@@ -1,0 +1,225 @@
+package pcbound_test
+
+// One benchmark per paper table/figure (deliverable d), plus ablation
+// benchmarks for the design decisions DESIGN.md calls out. Benchmarks run
+// the same experiment code as cmd/pcbench at a reduced "quick" scale and
+// report the headline metric of each figure through b.ReportMetric, so
+// `go test -bench=.` regenerates every result series.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pcbound/internal/cells"
+	"pcbound/internal/core"
+	"pcbound/internal/data"
+	"pcbound/internal/domain"
+	"pcbound/internal/experiments"
+	"pcbound/internal/join"
+	"pcbound/internal/pcgen"
+	"pcbound/internal/predicate"
+	"pcbound/internal/sat"
+	"pcbound/internal/workload"
+)
+
+func benchCfg() experiments.Config { return experiments.Quick() }
+
+func runExperiment(b *testing.B, name string, metrics ...string) {
+	b.Helper()
+	var res experiments.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Run(name, benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, m := range metrics {
+		if v, ok := res.Series[m]; ok {
+			b.ReportMetric(v, sanitize(m))
+		}
+	}
+}
+
+func sanitize(m string) string {
+	out := []rune(m)
+	for i, r := range out {
+		if r == ' ' {
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+func BenchmarkFig1Extrapolation(b *testing.B) {
+	runExperiment(b, "fig1", "relerr/0.5", "relerr/0.9")
+}
+
+func BenchmarkFig3Count(b *testing.B) {
+	runExperiment(b, "fig3", "fail/Corr-PC/0.5", "over/Corr-PC/0.5", "over/Rand-PC/0.5")
+}
+
+func BenchmarkFig4Sum(b *testing.B) {
+	runExperiment(b, "fig4", "fail/Corr-PC/0.5", "over/Corr-PC/0.5", "over/Rand-PC/0.5")
+}
+
+func BenchmarkTable1Confidence(b *testing.B) {
+	runExperiment(b, "table1", "fail/US-1n/99.99", "over/US-1n/99.99", "over/Corr-PC")
+}
+
+func BenchmarkFig5SampleSize(b *testing.B) {
+	runExperiment(b, "fig5", "over/SUM/US-1N", "over/SUM/US-10N", "over/SUM/Corr-PC")
+}
+
+func BenchmarkFig6Noise(b *testing.B) {
+	runExperiment(b, "fig6", "fail/Corr-PC/3sd", "fail/Overlapping-PC/3sd", "fail/US-10n/3sd")
+}
+
+func BenchmarkFig7CellDecomposition(b *testing.B) {
+	runExperiment(b, "fig7",
+		"checks/No Optimization", "checks/DFS", "checks/DFS + Re-writing")
+}
+
+func BenchmarkFig8PartitionScaling(b *testing.B) {
+	runExperiment(b, "fig8", "latency_us/50", "latency_us/2000")
+}
+
+func BenchmarkFig9MinMaxAvg(b *testing.B) {
+	runExperiment(b, "fig9", "over/MIN", "over/MAX", "over/AVG")
+}
+
+func BenchmarkFig10Airbnb(b *testing.B) {
+	runExperiment(b, "fig10", "over/SUM/Corr-PC", "over/SUM/Rand-PC")
+}
+
+func BenchmarkFig11Border(b *testing.B) {
+	runExperiment(b, "fig11", "over/SUM/Corr-PC", "over/SUM/Rand-PC")
+}
+
+func BenchmarkFig12Joins(b *testing.B) {
+	runExperiment(b, "fig12",
+		"triangle/pc/10000", "triangle/es/10000", "chain/pc/10000", "chain/es/10000")
+}
+
+func BenchmarkTable2FailureMatrix(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Queries = 25
+	cfg.Rows = 3000
+	var res experiments.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Run("table2", cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Series["failures/Intel Wireless/SUM(light)/US-1p"], "US-1p_intel_sum_failures")
+	b.ReportMetric(res.Series["failures/Intel Wireless/SUM(light)/PC"], "PC_intel_sum_failures")
+}
+
+// --- Ablation benchmarks (DESIGN.md section 5) ---
+
+// BenchmarkAblationDecomposition compares the three decomposition strategies
+// head-to-head on one workload (Figure 7's ablation as a micro-benchmark).
+func BenchmarkAblationDecomposition(b *testing.B) {
+	schema := domain.NewSchema(
+		domain.Attr{Name: "x", Kind: domain.Continuous, Domain: domain.NewInterval(0, 100)},
+		domain.Attr{Name: "y", Kind: domain.Continuous, Domain: domain.NewInterval(0, 100)},
+	)
+	rng := rand.New(rand.NewSource(1))
+	preds := make([]*predicate.P, 12)
+	for i := range preds {
+		w := 40 + rng.Float64()*40
+		xl := rng.Float64() * (100 - w)
+		yl := rng.Float64() * (100 - w)
+		preds[i] = predicate.NewBuilder(schema).Range("x", xl, xl+w).Range("y", yl, yl+w).Build()
+	}
+	for _, strat := range []cells.Strategy{cells.Naive, cells.DFS, cells.DFSRewrite} {
+		b.Run(strat.String(), func(b *testing.B) {
+			solver := sat.New(schema)
+			for i := 0; i < b.N; i++ {
+				if _, err := cells.Decompose(solver, preds, cells.Options{
+					Strategy: strat, SkipProjections: true,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFastPath measures the disjoint greedy fast path against
+// the general MILP path on the same disjoint constraint set.
+func BenchmarkAblationFastPath(b *testing.B) {
+	tb := data.Intel(4000, 1)
+	_, missing := tb.RemoveTopFraction("light", 0.3)
+	set, err := pcgen.CorrPC(missing, []string{"time"}, 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.New(missing.Schema(), []string{"time"}, "light", 7)
+	queries := gen.Queries(50, core.Sum)
+	for _, disable := range []bool{false, true} {
+		name := "greedy"
+		if disable {
+			name = "milp"
+		}
+		b.Run(name, func(b *testing.B) {
+			engine := core.NewEngine(set, nil, core.Options{DisableFastPath: disable})
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				if _, err := engine.Bound(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFECvsCartesian quantifies the Section 5.2 bound
+// improvement over the naive product as query size grows.
+func BenchmarkAblationFECvsCartesian(b *testing.B) {
+	for _, k := range []int{3, 5, 7} {
+		b.Run(fmt.Sprintf("chain-%d", k), func(b *testing.B) {
+			g := join.Chain(k, 1000)
+			var fec, cart float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				fec, err = join.CountBound(g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cart = join.CartesianCount(g)
+			}
+			b.ReportMetric(cart/fec, "cartesian_over_fec")
+		})
+	}
+}
+
+// BenchmarkAblationEarlyStop measures the tightness/time trade of
+// Optimization 4 at several stop layers.
+func BenchmarkAblationEarlyStop(b *testing.B) {
+	tb := data.Intel(4000, 1)
+	_, missing := tb.RemoveTopFraction("light", 0.3)
+	rng := rand.New(rand.NewSource(2))
+	set, err := pcgen.RandPC(missing, []string{"device", "time"}, 36, 10, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.New(missing.Schema(), []string{"device", "time"}, "light", 7)
+	queries := gen.Queries(20, core.Sum)
+	for _, layer := range []int{0, 2, 4} {
+		b.Run(fmt.Sprintf("layer-%d", layer), func(b *testing.B) {
+			opts := core.Options{}
+			opts.Cells.EarlyStopLayer = layer
+			engine := core.NewEngine(set, nil, opts)
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				if _, err := engine.Bound(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

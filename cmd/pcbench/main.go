@@ -1,0 +1,70 @@
+// Command pcbench reproduces the paper's evaluation. Each experiment id maps
+// to one figure or table of "Fast and Reliable Missing Data Contingency
+// Analysis with Predicate-Constraints" (SIGMOD 2020); see DESIGN.md for the
+// full index.
+//
+// Usage:
+//
+//	pcbench -exp fig3                 # one experiment at default scale
+//	pcbench -exp all -queries 1000 \
+//	        -pcs 2000 -rows 200000    # full paper-scale run
+//	pcbench -list                     # enumerate experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pcbound/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (fig1, fig3, …, table2) or 'all'")
+		rows    = flag.Int("rows", 0, "dataset rows (0 = default)")
+		queries = flag.Int("queries", 0, "queries per measurement point (0 = default)")
+		pcs     = flag.Int("pcs", 0, "predicate-constraints per set (0 = default)")
+		seed    = flag.Int64("seed", 0, "random seed (0 = default)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		quick   = flag.Bool("quick", false, "use the reduced quick configuration")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Printf("%-8s %s\n", name, experiments.Title(name))
+		}
+		return
+	}
+
+	cfg := experiments.Config{Rows: *rows, Queries: *queries, PCs: *pcs, Seed: *seed}
+	if *quick {
+		q := experiments.Quick()
+		if cfg.Rows == 0 {
+			cfg.Rows = q.Rows
+		}
+		if cfg.Queries == 0 {
+			cfg.Queries = q.Queries
+		}
+		if cfg.PCs == 0 {
+			cfg.PCs = q.PCs
+		}
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = experiments.Names()
+	}
+	for _, name := range names {
+		start := time.Now()
+		res, err := experiments.Run(name, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s: %s (%s)\n\n%s\n", res.Name, res.Title,
+			time.Since(start).Round(time.Millisecond), res.Table)
+	}
+}

@@ -1,0 +1,146 @@
+// Command pcrange computes a hard result range for one aggregate query from
+// a predicate-constraint specification, and optionally validates the
+// constraints against historical data.
+//
+// Usage:
+//
+//	pcrange -spec constraints.json -agg SUM -attr price
+//	pcrange -spec constraints.json -agg COUNT -where "utc:11:12,branch:0:0"
+//	pcrange -spec constraints.json -validate history.csv
+//
+// The spec file format:
+//
+//	{
+//	  "schema": [
+//	    {"name": "utc",    "kind": "integral",   "min": 0, "max": 30},
+//	    {"name": "price",  "kind": "continuous", "min": 0, "max": 1000}
+//	  ],
+//	  "constraints": [
+//	    {"predicate": {"utc": [11, 11]},
+//	     "values":    {"price": [0.99, 129.99]},
+//	     "klo": 50, "khi": 100}
+//	  ]
+//	}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pcbound/internal/core"
+	"pcbound/internal/predicate"
+	"pcbound/internal/sat"
+	"pcbound/internal/table"
+)
+
+func main() {
+	var (
+		specPath = flag.String("spec", "", "path to the constraint spec JSON (required)")
+		agg      = flag.String("agg", "COUNT", "aggregate: COUNT, SUM, AVG, MIN, MAX")
+		attr     = flag.String("attr", "", "aggregated attribute (for SUM/AVG/MIN/MAX)")
+		where    = flag.String("where", "", "predicate, e.g. \"utc:11:12,branch:0:0\"")
+		validate = flag.String("validate", "", "CSV of historical rows to test the constraints against")
+	)
+	flag.Parse()
+	if *specPath == "" {
+		fail("missing -spec")
+	}
+
+	raw, err := os.ReadFile(*specPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	set, schema, err := core.DecodeSet(raw)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	if *validate != "" {
+		f, err := os.Open(*validate)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		tb, err := table.ReadCSV(schema, f)
+		if err != nil {
+			fail("reading history: %v", err)
+		}
+		errs := set.Validate(tb.Rows())
+		if len(errs) == 0 {
+			fmt.Printf("all %d constraints hold on %d historical rows\n", set.Len(), tb.Len())
+			return
+		}
+		for _, e := range errs {
+			fmt.Printf("VIOLATED: %v\n", e)
+		}
+		os.Exit(2)
+	}
+
+	var wherePred *predicate.P
+	if *where != "" {
+		b := predicate.NewBuilder(schema)
+		for _, clause := range strings.Split(*where, ",") {
+			parts := strings.Split(clause, ":")
+			if len(parts) != 3 {
+				fail("bad where clause %q (want attr:lo:hi)", clause)
+			}
+			lo, err1 := strconv.ParseFloat(parts[1], 64)
+			hi, err2 := strconv.ParseFloat(parts[2], 64)
+			if err1 != nil || err2 != nil {
+				fail("bad bounds in %q", clause)
+			}
+			b.Range(parts[0], lo, hi)
+		}
+		wherePred = b.Build()
+	}
+
+	var aggKind core.Agg
+	switch strings.ToUpper(*agg) {
+	case "COUNT":
+		aggKind = core.Count
+	case "SUM":
+		aggKind = core.Sum
+	case "AVG":
+		aggKind = core.Avg
+	case "MIN":
+		aggKind = core.Min
+	case "MAX":
+		aggKind = core.Max
+	default:
+		fail("unknown aggregate %q", *agg)
+	}
+	if aggKind != core.Count && *attr == "" {
+		fail("-attr is required for %s", *agg)
+	}
+
+	solver := sat.New(schema)
+	engine := core.NewEngine(set, solver, core.Options{})
+	if !set.Closed(solver) {
+		if w, ok := set.Uncovered(solver); ok {
+			fmt.Fprintf(os.Stderr, "warning: constraint set is not closed (e.g. %v is uncovered); bounds hold only if no missing row falls outside all predicates\n", w)
+		}
+	}
+	r, err := engine.Bound(core.Query{Agg: aggKind, Attr: *attr, Where: wherePred})
+	if err != nil {
+		fail("%v", err)
+	}
+	if r.Lo > r.Hi {
+		fmt.Println("no missing rows can match this query: aggregate undefined")
+		return
+	}
+	fmt.Printf("%s range: [%g, %g]\n", strings.ToUpper(*agg), r.Lo, r.Hi)
+	if r.MaybeEmpty {
+		fmt.Println("note: zero matching rows is also consistent with the constraints")
+	}
+	if r.Reconciled {
+		fmt.Println("note: conflicting frequency lower bounds were relaxed (constraints reconciled)")
+	}
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "pcrange: "+format+"\n", args...)
+	os.Exit(1)
+}

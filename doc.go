@@ -1,0 +1,20 @@
+// Package pcbound is a from-scratch Go reproduction of "Fast and Reliable
+// Missing Data Contingency Analysis with Predicate-Constraints" (Liang,
+// Shang, Elmore, Krishnan, Franklin — SIGMOD 2020, arXiv:2004.04139).
+//
+// The library computes hard, deterministic result ranges for SUM, COUNT,
+// AVG, MIN and MAX SQL aggregate queries over relations with missing rows,
+// given user-specified predicate-constraints on the frequency and variation
+// of the missing tuples. See README.md for a quickstart, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for the paper-vs-measured record.
+//
+// The root package carries module documentation and the per-figure
+// benchmarks (bench_test.go); the implementation lives under internal/:
+//
+//   - internal/core — the predicate-constraint framework (Sections 3-4)
+//   - internal/cells, internal/sat — cell decomposition and its SAT oracle
+//   - internal/lp, internal/milp — simplex and branch-and-bound solvers
+//   - internal/join — fractional-edge-cover join bounds (Section 5)
+//   - internal/baselines, internal/pcgen, internal/data, internal/workload,
+//     internal/experiments — the full evaluation harness (Section 6)
+package pcbound

@@ -1,0 +1,112 @@
+// Sensor outage contingency analysis — the paper's motivating scenario
+// (Section 1): a lab's sensor feed is stored in partitions, one of which
+// failed to load. The analyst wants to know how many readings exceeded a
+// temperature-like threshold, and whether losing the partition could change
+// her conclusion.
+//
+// The example:
+//  1. generates the Intel-Wireless twin and drops one "partition" (a device
+//     range) as the missing rows,
+//  2. derives predicate-constraints for the missing partition from last
+//     week's (historical) data and validates them,
+//  3. bounds COUNT(*) WHERE light >= threshold over the missing rows,
+//  4. combines the bound with the present rows into a decision-ready range,
+//     and contrasts it with simple extrapolation.
+//
+// Run with: go run ./examples/sensor_outage
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pcbound/internal/baselines"
+	"pcbound/internal/core"
+	"pcbound/internal/data"
+	"pcbound/internal/pcgen"
+	"pcbound/internal/predicate"
+	"pcbound/internal/sat"
+	"pcbound/internal/table"
+)
+
+func main() {
+	const threshold = 900.0
+
+	// This week's readings; devices 10-18's partition failed to load.
+	week := data.Intel(40000, 2024)
+	schema := week.Schema()
+	lostPartition := predicate.NewBuilder(schema).Range("device", 10, 18).Build()
+	present := week.Filter(predicate.NewBuilder(schema).Lt("device", 10).Build())
+	for i := 0; i < week.Len(); i++ {
+		r := week.Row(i)
+		if r[schema.MustIndex("device")] > 18 {
+			present.MustAppend(r)
+		}
+	}
+	missing := week.Filter(lostPartition)
+
+	// Last week's data is intact; the analyst derives constraints for the
+	// lost partition from it. Frequencies are padded 25% to allow for load
+	// growth — the padding is an explicit, testable assumption.
+	lastWeek := data.Intel(40000, 2023)
+	// Rebind last week's rows to this week's schema object: constraint sets
+	// are tied to one schema instance.
+	historical := table.FromRows(schema, lastWeek.Filter(lostPartition).Rows())
+	derived, err := pcgen.CorrPC(historical, []string{"device", "light"}, 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set := core.NewSet(schema)
+	for _, pc := range derived.PCs() {
+		pc.KLo = 0
+		pc.KHi = pc.KHi + pc.KHi/4 + 3
+		// Light levels may drift: widen the hull by 10%.
+		li := schema.MustIndex("light")
+		w := pc.Values[li].Width()
+		pc.Values[li].Lo = maxf(0, pc.Values[li].Lo-0.1*w)
+		pc.Values[li].Hi = pc.Values[li].Hi + 0.1*w
+		set.MustAdd(pc)
+	}
+
+	// The constraints are testable: verify they hold on last week's data.
+	if errs := set.Validate(historical.Rows()); len(errs) > 0 {
+		log.Fatalf("derived constraints do not hold on history: %v", errs[0])
+	}
+	solver := sat.New(schema)
+	fmt.Printf("constraints: %d, closed over the domain: %v\n", set.Len(), set.Closed(solver))
+
+	// Bound the missing partition's contribution to the analysis query:
+	// COUNT(*) WHERE light >= threshold (readings over the threshold).
+	hot := predicate.NewBuilder(schema).Ge("light", threshold).Build()
+	engine := core.NewEngine(set, solver, core.Options{})
+	bound, err := engine.Count(hot.And(lostPartition))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	presentHot := present.Count(hot)
+	trueMissingHot := missing.Count(hot)
+	fmt.Printf("\npresent partitions: %.0f readings over %.0f lux\n", presentHot, threshold)
+	fmt.Printf("lost partition contribution is in [%.0f, %.0f] (truth: %.0f)\n",
+		bound.Lo, bound.Hi, trueMissingHot)
+	fmt.Printf("TOTAL is guaranteed within [%.0f, %.0f]; actual total: %.0f\n",
+		presentHot+bound.Lo, presentHot+bound.Hi, presentHot+trueMissingHot)
+
+	if !bound.Contains(trueMissingHot) {
+		log.Fatal("BUG: hard bound failed")
+	}
+
+	// Contrast with simple extrapolation: one number, no uncertainty, and
+	// biased whenever the lost partition differs from the rest.
+	extrapolated := presentHot / float64(present.Len()) * float64(week.Len())
+	fmt.Printf("\nsimple extrapolation would report %.0f (error %.1f%%, and no range)\n",
+		extrapolated,
+		100*baselines.RelativeError(extrapolated, presentHot+trueMissingHot))
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

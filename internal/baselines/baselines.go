@@ -1,0 +1,277 @@
+// Package baselines implements the competitor estimators of the paper's
+// evaluation (Section 6.1): uniform and stratified sampling with parametric
+// (CLT) and non-parametric (Hoeffding) confidence intervals, equi-width
+// histograms with cross-attribute independence, a Gaussian-mixture
+// generative model, and simple extrapolation.
+//
+// Every estimator answers COUNT(*) and SUM(attr) queries about the missing
+// rows with an interval [Lo, Hi]; the experiment harness measures how often
+// the true value escapes the interval (failure rate) and how loose the
+// interval is (over-estimation rate).
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	"pcbound/internal/core"
+	"pcbound/internal/predicate"
+	"pcbound/internal/stats"
+	"pcbound/internal/table"
+)
+
+// Estimate is an estimated result interval.
+type Estimate struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether v lies in the interval.
+func (e Estimate) Contains(v float64) bool { return v >= e.Lo-1e-9 && v <= e.Hi+1e-9 }
+
+// Estimator answers aggregate queries about the missing rows.
+type Estimator interface {
+	Name() string
+	Count(where *predicate.P) Estimate
+	Sum(attr string, where *predicate.P) Estimate
+}
+
+// PCEstimator adapts a predicate-constraint engine to the Estimator
+// interface, so the framework slots into the same harness as the baselines.
+type PCEstimator struct {
+	Label  string
+	Engine *core.Engine
+}
+
+// Name implements Estimator.
+func (p *PCEstimator) Name() string { return p.Label }
+
+// Count implements Estimator.
+func (p *PCEstimator) Count(where *predicate.P) Estimate {
+	r, err := p.Engine.Count(where)
+	if err != nil {
+		return Estimate{Lo: math.Inf(-1), Hi: math.Inf(1)}
+	}
+	return Estimate{Lo: r.Lo, Hi: r.Hi}
+}
+
+// Sum implements Estimator.
+func (p *PCEstimator) Sum(attr string, where *predicate.P) Estimate {
+	r, err := p.Engine.Sum(attr, where)
+	if err != nil {
+		return Estimate{Lo: math.Inf(-1), Hi: math.Inf(1)}
+	}
+	return Estimate{Lo: r.Lo, Hi: r.Hi}
+}
+
+// UniformSample is the US-k baseline: an unbiased sample of the missing rows
+// plus knowledge of the total number of missing rows, extrapolated with a
+// confidence interval (Section 6.1.1).
+type UniformSample struct {
+	Label string
+	// Parametric selects the CLT interval (US-kp); otherwise the Hoeffding
+	// non-parametric interval of Hellerstein et al. is used (US-kn).
+	Parametric bool
+	// Confidence is the interval's nominal coverage, e.g. 0.9999.
+	Confidence float64
+	// SpreadNoise, when positive, perturbs the sample-estimated value spread
+	// with Gaussian noise of this standard deviation before computing the
+	// non-parametric interval. Figure 6 uses it to corrupt the sampling
+	// bound "by mis-estimating the spread of values (which is functionally
+	// equivalent to an inaccurate PC)".
+	SpreadNoise float64
+
+	sample   *table.T
+	total    float64 // known number of missing rows
+	noiseRng *rand.Rand
+}
+
+// NewUniformSample draws sampleSize rows uniformly without replacement from
+// the missing table.
+func NewUniformSample(label string, missing *table.T, sampleSize int, parametric bool, confidence float64, rng *rand.Rand) *UniformSample {
+	n := missing.Len()
+	if sampleSize > n {
+		sampleSize = n
+	}
+	perm := rng.Perm(n)
+	st := table.New(missing.Schema())
+	for _, i := range perm[:sampleSize] {
+		st.MustAppend(missing.Row(i))
+	}
+	return &UniformSample{
+		Label:      label,
+		Parametric: parametric,
+		Confidence: confidence,
+		sample:     st,
+		total:      float64(n),
+		noiseRng:   rand.New(rand.NewSource(rng.Int63())),
+	}
+}
+
+// Name implements Estimator.
+func (u *UniformSample) Name() string { return u.Label }
+
+// Count implements Estimator: estimate N·p̂ with a proportion interval.
+func (u *UniformSample) Count(where *predicate.P) Estimate {
+	n := float64(u.sample.Len())
+	if n == 0 {
+		return Estimate{Lo: 0, Hi: u.total}
+	}
+	k := u.sample.Count(where)
+	p := k / n
+	var eps float64
+	if u.Parametric {
+		z := stats.NormalQuantile(1 - (1-u.Confidence)/2)
+		eps = z * math.Sqrt(p*(1-p)/n)
+	} else {
+		eps = stats.HoeffdingEpsilon(int(n), 1, 1-u.Confidence)
+	}
+	lo := math.Max(0, (p-eps)*u.total)
+	hi := math.Min(u.total, (p+eps)*u.total)
+	return Estimate{Lo: lo, Hi: hi}
+}
+
+// Sum implements Estimator: estimate N·mean(x) where x is the value for
+// matching rows and 0 otherwise.
+func (u *UniformSample) Sum(attr string, where *predicate.P) Estimate {
+	n := u.sample.Len()
+	if n == 0 {
+		return Estimate{Lo: 0, Hi: 0}
+	}
+	ai := u.sample.Schema().MustIndex(attr)
+	xs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		r := u.sample.Row(i)
+		if where == nil || where.Eval(r) {
+			xs[i] = r[ai]
+		}
+	}
+	m := stats.Mean(xs)
+	var eps float64
+	if u.Parametric {
+		z := stats.NormalQuantile(1 - (1-u.Confidence)/2)
+		eps = z * stats.StdDev(xs) / math.Sqrt(float64(n))
+	} else {
+		// The non-parametric interval needs the value range, which must
+		// itself be estimated from the sample — the fallibility the paper
+		// highlights ("a small number of example rows fail to accurately
+		// capture the spread").
+		mn, mx := stats.MinMax(xs)
+		if u.SpreadNoise > 0 && u.noiseRng != nil {
+			mn += u.noiseRng.NormFloat64() * u.SpreadNoise
+			mx += u.noiseRng.NormFloat64() * u.SpreadNoise
+			if mx < mn {
+				mn, mx = mx, mn
+			}
+		}
+		eps = stats.HoeffdingEpsilon(n, mx-mn, 1-u.Confidence)
+	}
+	return Estimate{Lo: (m - eps) * u.total, Hi: (m + eps) * u.total}
+}
+
+// Stratum is one stratified-sampling stratum: a region with a known number
+// of missing rows and a sample of them.
+type Stratum struct {
+	Pred   *predicate.P
+	Total  float64
+	Sample *table.T
+}
+
+// StratifiedSample is the ST-k baseline: per-stratum samples combined with
+// per-stratum extrapolation (Section 6.1.1). Strata typically come from the
+// same partition the PCs use.
+type StratifiedSample struct {
+	Label      string
+	Parametric bool
+	Confidence float64
+	strata     []Stratum
+}
+
+// NewStratifiedSample partitions the missing rows by the given predicates
+// (which should be disjoint) and samples proportionally, at least one row
+// per non-empty stratum, totalling roughly sampleSize.
+func NewStratifiedSample(label string, missing *table.T, strata []*predicate.P, sampleSize int, parametric bool, confidence float64, rng *rand.Rand) *StratifiedSample {
+	s := &StratifiedSample{Label: label, Parametric: parametric, Confidence: confidence}
+	n := float64(missing.Len())
+	for _, pred := range strata {
+		part := missing.Filter(pred)
+		if part.Len() == 0 {
+			continue
+		}
+		k := int(math.Round(float64(sampleSize) * float64(part.Len()) / math.Max(n, 1)))
+		if k < 1 {
+			k = 1
+		}
+		if k > part.Len() {
+			k = part.Len()
+		}
+		perm := rng.Perm(part.Len())
+		sm := table.New(missing.Schema())
+		for _, i := range perm[:k] {
+			sm.MustAppend(part.Row(i))
+		}
+		s.strata = append(s.strata, Stratum{Pred: pred, Total: float64(part.Len()), Sample: sm})
+	}
+	return s
+}
+
+// Name implements Estimator.
+func (s *StratifiedSample) Name() string { return s.Label }
+
+// Count implements Estimator.
+func (s *StratifiedSample) Count(where *predicate.P) Estimate {
+	var lo, hi float64
+	var center, varSum float64
+	z := stats.NormalQuantile(1 - (1-s.Confidence)/2)
+	for _, st := range s.strata {
+		n := float64(st.Sample.Len())
+		k := st.Sample.Count(where)
+		p := k / n
+		center += p * st.Total
+		if s.Parametric {
+			varSum += st.Total * st.Total * p * (1 - p) / n
+		} else {
+			eps := stats.HoeffdingEpsilon(int(n), 1, 1-s.Confidence)
+			lo += math.Max(0, p-eps) * st.Total
+			hi += math.Min(1, p+eps) * st.Total
+		}
+	}
+	if s.Parametric {
+		spread := z * math.Sqrt(varSum)
+		return Estimate{Lo: math.Max(0, center-spread), Hi: center + spread}
+	}
+	return Estimate{Lo: lo, Hi: hi}
+}
+
+// Sum implements Estimator.
+func (s *StratifiedSample) Sum(attr string, where *predicate.P) Estimate {
+	var lo, hi float64
+	var center, varSum float64
+	z := stats.NormalQuantile(1 - (1-s.Confidence)/2)
+	for _, st := range s.strata {
+		n := st.Sample.Len()
+		ai := st.Sample.Schema().MustIndex(attr)
+		xs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			r := st.Sample.Row(i)
+			if where == nil || where.Eval(r) {
+				xs[i] = r[ai]
+			}
+		}
+		m := stats.Mean(xs)
+		center += m * st.Total
+		if s.Parametric {
+			sd := stats.StdDev(xs)
+			varSum += st.Total * st.Total * sd * sd / float64(n)
+		} else {
+			mn, mx := stats.MinMax(xs)
+			eps := stats.HoeffdingEpsilon(n, mx-mn, 1-s.Confidence)
+			lo += (m - eps) * st.Total
+			hi += (m + eps) * st.Total
+		}
+	}
+	if s.Parametric {
+		spread := z * math.Sqrt(varSum)
+		return Estimate{Lo: center - spread, Hi: center + spread}
+	}
+	return Estimate{Lo: lo, Hi: hi}
+}

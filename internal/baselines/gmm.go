@@ -1,0 +1,249 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	"pcbound/internal/domain"
+	"pcbound/internal/predicate"
+	"pcbound/internal/table"
+)
+
+// GMM is a diagonal-covariance Gaussian mixture model fit by
+// expectation-maximization — the generative baseline of Section 6.1.2.
+type GMM struct {
+	dims  int
+	comps []gmmComponent
+}
+
+type gmmComponent struct {
+	weight float64
+	mean   []float64
+	vars   []float64
+}
+
+// FitGMM fits a k-component diagonal GMM to the rows with iters EM steps.
+// Initialization picks k distinct rows as seeds (k-means++-style spreading).
+func FitGMM(rows []domain.Row, k, iters int, rng *rand.Rand) *GMM {
+	n := len(rows)
+	if n == 0 || k < 1 {
+		return &GMM{}
+	}
+	if k > n {
+		k = n
+	}
+	d := len(rows[0])
+	g := &GMM{dims: d, comps: make([]gmmComponent, k)}
+
+	// Global variance floor keeps EM from collapsing onto single points.
+	globalVar := make([]float64, d)
+	mean := make([]float64, d)
+	for _, r := range rows {
+		for j, v := range r {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	for _, r := range rows {
+		for j, v := range r {
+			dv := v - mean[j]
+			globalVar[j] += dv * dv
+		}
+	}
+	floor := make([]float64, d)
+	for j := range globalVar {
+		globalVar[j] /= float64(n)
+		floor[j] = math.Max(globalVar[j]*1e-4, 1e-9)
+	}
+
+	// Spread seeds: first uniform, then farthest-point refinement.
+	seeds := []int{rng.Intn(n)}
+	for len(seeds) < k {
+		best, bestDist := 0, -1.0
+		for cand := 0; cand < n; cand++ {
+			dmin := math.Inf(1)
+			for _, s := range seeds {
+				dist := 0.0
+				for j := range rows[cand] {
+					dv := rows[cand][j] - rows[s][j]
+					dist += dv * dv
+				}
+				dmin = math.Min(dmin, dist)
+			}
+			if dmin > bestDist {
+				bestDist, best = dmin, cand
+			}
+		}
+		seeds = append(seeds, best)
+	}
+	for c := range g.comps {
+		g.comps[c] = gmmComponent{
+			weight: 1 / float64(k),
+			mean:   append([]float64(nil), rows[seeds[c]]...),
+			vars:   append([]float64(nil), globalVar...),
+		}
+		for j := range g.comps[c].vars {
+			g.comps[c].vars[j] = math.Max(g.comps[c].vars[j], floor[j])
+		}
+	}
+
+	resp := make([][]float64, n)
+	for i := range resp {
+		resp[i] = make([]float64, k)
+	}
+	for iter := 0; iter < iters; iter++ {
+		// E step.
+		for i, r := range rows {
+			total := 0.0
+			for c := range g.comps {
+				p := g.comps[c].weight * g.comps[c].density(r)
+				resp[i][c] = p
+				total += p
+			}
+			if total <= 0 {
+				for c := range g.comps {
+					resp[i][c] = 1 / float64(k)
+				}
+				continue
+			}
+			for c := range g.comps {
+				resp[i][c] /= total
+			}
+		}
+		// M step.
+		for c := range g.comps {
+			var wsum float64
+			mu := make([]float64, d)
+			for i, r := range rows {
+				w := resp[i][c]
+				wsum += w
+				for j, v := range r {
+					mu[j] += w * v
+				}
+			}
+			if wsum <= 1e-12 {
+				continue
+			}
+			for j := range mu {
+				mu[j] /= wsum
+			}
+			vr := make([]float64, d)
+			for i, r := range rows {
+				w := resp[i][c]
+				for j, v := range r {
+					dv := v - mu[j]
+					vr[j] += w * dv * dv
+				}
+			}
+			for j := range vr {
+				vr[j] = math.Max(vr[j]/wsum, floor[j])
+			}
+			g.comps[c] = gmmComponent{weight: wsum / float64(n), mean: mu, vars: vr}
+		}
+	}
+	return g
+}
+
+func (c *gmmComponent) density(r domain.Row) float64 {
+	logp := 0.0
+	for j, v := range r {
+		dv := v - c.mean[j]
+		logp += -0.5*dv*dv/c.vars[j] - 0.5*math.Log(2*math.Pi*c.vars[j])
+	}
+	return math.Exp(logp)
+}
+
+// Sample draws n rows from the mixture, clipped to the schema domain and
+// rounded on integral attributes.
+func (g *GMM) Sample(n int, schema *domain.Schema, rng *rand.Rand) []domain.Row {
+	if len(g.comps) == 0 {
+		return nil
+	}
+	out := make([]domain.Row, n)
+	for i := range out {
+		u := rng.Float64()
+		ci := len(g.comps) - 1
+		for c := range g.comps {
+			if u < g.comps[c].weight {
+				ci = c
+				break
+			}
+			u -= g.comps[c].weight
+		}
+		comp := g.comps[ci]
+		r := make(domain.Row, g.dims)
+		for j := range r {
+			v := comp.mean[j] + rng.NormFloat64()*math.Sqrt(comp.vars[j])
+			a := schema.Attr(j)
+			v = math.Max(a.Domain.Lo, math.Min(a.Domain.Hi, v))
+			if a.Kind == domain.Integral {
+				v = math.Round(v)
+			}
+			r[j] = v
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// Components returns the number of mixture components.
+func (g *GMM) Components() int { return len(g.comps) }
+
+// Generative is the "Gen" baseline: fit a GMM to the missing rows, then
+// answer queries by simulating several synthetic missing datasets and
+// reporting the min/max result across replicas (Section 6.1.2).
+type Generative struct {
+	Label    string
+	schema   *domain.Schema
+	model    *GMM
+	total    int
+	replicas []*table.T
+}
+
+// NewGenerative fits the model (k components, EM iterations) and
+// pre-simulates `replicas` datasets of the true missing cardinality.
+func NewGenerative(label string, missing *table.T, k, emIters, replicas int, rng *rand.Rand) *Generative {
+	g := &Generative{Label: label, schema: missing.Schema(), total: missing.Len()}
+	g.model = FitGMM(missing.Rows(), k, emIters, rng)
+	for rep := 0; rep < replicas; rep++ {
+		t := table.New(g.schema)
+		for _, r := range g.model.Sample(g.total, g.schema, rng) {
+			t.MustAppend(r)
+		}
+		g.replicas = append(g.replicas, t)
+	}
+	return g
+}
+
+// Name implements Estimator.
+func (g *Generative) Name() string { return g.Label }
+
+// Count implements Estimator.
+func (g *Generative) Count(where *predicate.P) Estimate {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, t := range g.replicas {
+		v := t.Count(where)
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if math.IsInf(lo, 1) {
+		return Estimate{}
+	}
+	return Estimate{Lo: lo, Hi: hi}
+}
+
+// Sum implements Estimator.
+func (g *Generative) Sum(attr string, where *predicate.P) Estimate {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, t := range g.replicas {
+		v := t.Sum(attr, where)
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if math.IsInf(lo, 1) {
+		return Estimate{}
+	}
+	return Estimate{Lo: lo, Hi: hi}
+}

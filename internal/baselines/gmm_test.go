@@ -1,0 +1,185 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pcbound/internal/core"
+	"pcbound/internal/data"
+	"pcbound/internal/domain"
+	"pcbound/internal/pcgen"
+	"pcbound/internal/stats"
+	"pcbound/internal/table"
+)
+
+func TestFitGMMRecoversSeparatedClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var rows []domain.Row
+	for i := 0; i < 300; i++ {
+		rows = append(rows, domain.Row{rng.NormFloat64()*0.5 + 0})
+	}
+	for i := 0; i < 300; i++ {
+		rows = append(rows, domain.Row{rng.NormFloat64()*0.5 + 10})
+	}
+	g := FitGMM(rows, 2, 30, rng)
+	if g.Components() != 2 {
+		t.Fatalf("components = %d", g.Components())
+	}
+	m0 := g.comps[0].mean[0]
+	m1 := g.comps[1].mean[0]
+	if m0 > m1 {
+		m0, m1 = m1, m0
+	}
+	if math.Abs(m0-0) > 1 || math.Abs(m1-10) > 1 {
+		t.Errorf("means = %v, %v, want ~0 and ~10", m0, m1)
+	}
+	// Weights roughly balanced.
+	if g.comps[0].weight < 0.3 || g.comps[0].weight > 0.7 {
+		t.Errorf("weight = %v", g.comps[0].weight)
+	}
+}
+
+func TestGMMSampleRespectsSchema(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	schema := domain.NewSchema(
+		domain.Attr{Name: "k", Kind: domain.Integral, Domain: domain.NewInterval(0, 10)},
+		domain.Attr{Name: "v", Kind: domain.Continuous, Domain: domain.NewInterval(0, 1)},
+	)
+	var rows []domain.Row
+	for i := 0; i < 100; i++ {
+		rows = append(rows, domain.Row{float64(rng.Intn(11)), rng.Float64()})
+	}
+	g := FitGMM(rows, 3, 15, rng)
+	samples := g.Sample(200, schema, rng)
+	if len(samples) != 200 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	full := schema.FullBox()
+	for _, r := range samples {
+		if !full.Contains(r) {
+			t.Fatalf("sample %v escapes domain", r)
+		}
+		if r[0] != math.Round(r[0]) {
+			t.Fatalf("integral attribute sampled fractional: %v", r[0])
+		}
+	}
+}
+
+func TestGMMDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if g := FitGMM(nil, 3, 5, rng); g.Components() != 0 {
+		t.Error("empty fit should have no components")
+	}
+	// k larger than n clamps.
+	rows := []domain.Row{{1}, {2}}
+	if g := FitGMM(rows, 10, 5, rng); g.Components() != 2 {
+		t.Errorf("k clamp: %d", FitGMM(rows, 10, 5, rng).Components())
+	}
+	schema := domain.NewSchema(domain.Attr{Name: "x", Kind: domain.Continuous, Domain: domain.NewInterval(0, 10)})
+	empty := &GMM{}
+	if s := empty.Sample(5, schema, rng); s != nil {
+		t.Error("empty model should sample nothing")
+	}
+}
+
+func TestGenerativeEstimator(t *testing.T) {
+	tb := data.Intel(3000, 4)
+	_, missing := tb.RemoveTopFraction("light", 0.3)
+	rng := rand.New(rand.NewSource(5))
+	g := NewGenerative("Gen", missing, 5, 10, 8, rng)
+	if g.Name() != "Gen" {
+		t.Error("name")
+	}
+	// Full count is always the simulated cardinality: must equal truth.
+	est := g.Count(nil)
+	if !est.Contains(float64(missing.Len())) {
+		t.Errorf("replica count %v does not contain %d", est, missing.Len())
+	}
+	// Sum estimate is a non-degenerate interval in the right ballpark
+	// (within 3x of truth for a well-fit model).
+	truth := missing.Sum("light", nil)
+	es := g.Sum("light", nil)
+	if es.Hi <= es.Lo {
+		t.Errorf("degenerate interval %+v", es)
+	}
+	if es.Hi < truth/5 || es.Lo > truth*5 {
+		t.Errorf("generative sum wildly off: truth %v, est %+v", truth, es)
+	}
+}
+
+func TestPCEstimatorWrapsEngine(t *testing.T) {
+	tb := data.Intel(3000, 6)
+	_, missing := tb.RemoveTopFraction("light", 0.3)
+	set, err := pcgen.CorrPC(missing, []string{"device", "time"}, 49)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.NewEngine(set, nil, core.Options{})
+	pc := &PCEstimator{Label: "Corr-PC", Engine: e}
+	if pc.Name() != "Corr-PC" {
+		t.Error("name")
+	}
+	truth := float64(missing.Len())
+	if est := pc.Count(nil); !est.Contains(truth) {
+		t.Errorf("count %v outside %+v", truth, est)
+	}
+	truthSum := missing.Sum("light", nil)
+	if est := pc.Sum("light", nil); !est.Contains(truthSum) {
+		t.Errorf("sum %v outside %+v", truthSum, est)
+	}
+}
+
+func TestExtrapolateSumUnderCorrelatedMissingness(t *testing.T) {
+	tb := data.Intel(4000, 7)
+	truth := tb.Sum("light", nil)
+	// Correlated removal: extrapolation under-estimates badly.
+	presentCorr, _ := tb.RemoveTopFraction("light", 0.4)
+	estCorr := ExtrapolateSum(presentCorr, "light", nil, tb.Len())
+	errCorr := RelativeError(estCorr, truth)
+	// Random removal: extrapolation is nearly unbiased.
+	presentRand, _ := data.RemoveRandomFraction(tb, 0.4, 8)
+	estRand := ExtrapolateSum(presentRand, "light", nil, tb.Len())
+	errRand := RelativeError(estRand, truth)
+	if errCorr < 2*errRand {
+		t.Errorf("correlated missingness error %v should dwarf random %v", errCorr, errRand)
+	}
+	if errRand > 0.2 {
+		t.Errorf("random-removal extrapolation error %v too large", errRand)
+	}
+	// Degenerate inputs.
+	if ExtrapolateSum(table.New(tb.Schema()), "light", nil, 100) != 0 {
+		t.Error("empty present table should extrapolate to 0")
+	}
+}
+
+func TestMetricHelpers(t *testing.T) {
+	if RelativeError(0, 0) != 0 {
+		t.Error("0/0 error")
+	}
+	if !math.IsInf(RelativeError(1, 0), 1) {
+		t.Error("x/0 should be inf")
+	}
+	if RelativeError(90, 100) != 0.1 {
+		t.Error("rel error")
+	}
+	if OverEstimationRate(200, 100) != 2 {
+		t.Error("over-estimation")
+	}
+	if OverEstimationRate(50, 100) != 1 {
+		t.Error("clamped over-estimation")
+	}
+	if OverEstimationRate(5, 0) != 1 {
+		t.Error("zero-truth over-estimation")
+	}
+	if MedianOverEstimation([]float64{1, 2, 9}) != 2 {
+		t.Error("median")
+	}
+	if stats.Median([]float64{1}) != 1 {
+		t.Error("stats reachable")
+	}
+	e := Estimate{Lo: 1, Hi: 2}
+	if !e.Contains(1.5) || e.Contains(3) {
+		t.Error("Estimate.Contains")
+	}
+}

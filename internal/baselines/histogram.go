@@ -1,0 +1,243 @@
+package baselines
+
+import (
+	"math"
+
+	"pcbound/internal/domain"
+	"pcbound/internal/predicate"
+	"pcbound/internal/stats"
+	"pcbound/internal/table"
+)
+
+// Histogram is the equi-width histogram baseline (Section 6.1.3): one 1-D
+// equi-width histogram per attribute over the missing rows, combined across
+// attributes with the standard independence assumption. Bounds derived from
+// each marginal are hard, but the independence combination is not — on
+// correlated data the histogram fails, exactly as in the paper's Table 2.
+type Histogram struct {
+	Label string
+	// Frechet switches the multi-attribute combination from the independence
+	// assumption (the paper's Table 2 variant, which can fail on correlated
+	// data) to Fréchet bounds (min of upper fractions / Bonferroni lower),
+	// which are hard given hard marginals — the behaviour Figures 3 and 4
+	// report ("Histograms do not fail if they have accurate constraints").
+	Frechet bool
+	schema  *domain.Schema
+	total   float64
+	margins map[string]*margin
+	// Value range of the aggregate attribute per aggregate-attr bucket is
+	// carried by its own margin.
+}
+
+type margin struct {
+	lo, width float64
+	counts    []float64
+	// mins/maxs track per-bucket value extremes (equal to the bucket edges
+	// for the bucketed attribute itself, tighter when data is sparse).
+	mins, maxs []float64
+}
+
+// NewHistogram builds marginal histograms with the given bucket count over
+// every listed attribute.
+func NewHistogram(label string, missing *table.T, attrs []string, buckets int) *Histogram {
+	h := &Histogram{
+		Label:   label,
+		schema:  missing.Schema(),
+		total:   float64(missing.Len()),
+		margins: make(map[string]*margin, len(attrs)),
+	}
+	for _, a := range attrs {
+		ai := h.schema.MustIndex(a)
+		dom := h.schema.Attr(ai).Domain
+		m := &margin{
+			lo:     dom.Lo,
+			width:  dom.Width() / float64(buckets),
+			counts: make([]float64, buckets),
+			mins:   make([]float64, buckets),
+			maxs:   make([]float64, buckets),
+		}
+		for b := range m.mins {
+			m.mins[b] = math.Inf(1)
+			m.maxs[b] = math.Inf(-1)
+		}
+		for i := 0; i < missing.Len(); i++ {
+			v := missing.Row(i)[ai]
+			b := m.bucket(v)
+			m.counts[b]++
+			if v < m.mins[b] {
+				m.mins[b] = v
+			}
+			if v > m.maxs[b] {
+				m.maxs[b] = v
+			}
+		}
+		h.margins[a] = m
+	}
+	return h
+}
+
+func (m *margin) bucket(v float64) int {
+	if m.width <= 0 {
+		return 0
+	}
+	b := int((v - m.lo) / m.width)
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(m.counts) {
+		b = len(m.counts) - 1
+	}
+	return b
+}
+
+// fraction returns the (lower, upper) bounds on the fraction of rows whose
+// attribute lies in iv, from the marginal alone: buckets fully inside count
+// toward both, partially overlapping buckets only toward the upper bound.
+func (m *margin) fraction(iv domain.Interval, total float64) (float64, float64) {
+	if total == 0 {
+		return 0, 0
+	}
+	var lo, hi float64
+	for b, c := range m.counts {
+		if c == 0 {
+			continue
+		}
+		blo := m.lo + float64(b)*m.width
+		bhi := blo + m.width
+		bucket := domain.Interval{Lo: blo, Hi: bhi}
+		if !bucket.Overlaps(iv) {
+			continue
+		}
+		hi += c
+		if iv.ContainsInterval(bucket) {
+			lo += c
+		}
+	}
+	return lo / total, hi / total
+}
+
+// Name implements Estimator.
+func (h *Histogram) Name() string { return h.Label }
+
+// Count implements Estimator: combine per-attribute fraction bounds, either
+// multiplicatively (independence) or via Fréchet bounds.
+func (h *Histogram) Count(where *predicate.P) Estimate {
+	var los, his []float64
+	if where != nil {
+		for a, m := range h.margins {
+			ai := h.schema.MustIndex(a)
+			iv := where.Box()[ai]
+			if iv == h.schema.Attr(ai).Domain {
+				continue
+			}
+			l, u := m.fraction(iv, h.total)
+			los = append(los, l)
+			his = append(his, u)
+		}
+	}
+	fLo, fHi := 1.0, 1.0
+	if h.Frechet {
+		// Hard bounds: P(∩Aⱼ) <= min P(Aⱼ) and >= Σ P(Aⱼ) - (m-1).
+		bonferroni := 1.0 - float64(len(los))
+		for i := range los {
+			bonferroni += los[i]
+			fHi = math.Min(fHi, his[i])
+		}
+		fLo = math.Max(0, bonferroni)
+	} else {
+		for i := range los {
+			fLo *= los[i]
+			fHi *= his[i]
+		}
+	}
+	return Estimate{Lo: fLo * h.total, Hi: fHi * h.total}
+}
+
+// Sum implements Estimator: count bounds times the aggregate attribute's
+// value bounds within the query region.
+func (h *Histogram) Sum(attr string, where *predicate.P) Estimate {
+	cnt := h.Count(where)
+	m, ok := h.margins[attr]
+	if !ok {
+		// No marginal on the aggregate: fall back to the domain.
+		dom := h.schema.Attr(h.schema.MustIndex(attr)).Domain
+		return spanEstimate(cnt, dom.Lo, dom.Hi)
+	}
+	// Value bounds: extremes over buckets overlapping the query's constraint
+	// on attr (the whole histogram when unconstrained).
+	iv := domain.Full
+	if where != nil {
+		iv = where.Box()[h.schema.MustIndex(attr)]
+	}
+	vlo, vhi := math.Inf(1), math.Inf(-1)
+	for b, c := range m.counts {
+		if c == 0 {
+			continue
+		}
+		bucket := domain.Interval{Lo: m.lo + float64(b)*m.width, Hi: m.lo + float64(b+1)*m.width}
+		if !bucket.Overlaps(iv) {
+			continue
+		}
+		vlo = math.Min(vlo, m.mins[b])
+		vhi = math.Max(vhi, m.maxs[b])
+	}
+	if math.IsInf(vlo, 1) {
+		return Estimate{Lo: 0, Hi: 0}
+	}
+	return spanEstimate(cnt, vlo, vhi)
+}
+
+// spanEstimate bounds a sum of cnt rows each valued in [vlo, vhi].
+func spanEstimate(cnt Estimate, vlo, vhi float64) Estimate {
+	lo := cnt.Lo * vlo
+	if vlo < 0 {
+		lo = cnt.Hi * vlo
+	}
+	hi := cnt.Hi * vhi
+	if vhi < 0 {
+		hi = cnt.Lo * vhi
+	}
+	return Estimate{Lo: lo, Hi: hi}
+}
+
+// ExtrapolateSum is the Figure 1 baseline: scale the present rows' sum by
+// the known total/present row ratio. It returns a point estimate, not an
+// interval — its relative error under correlated missingness motivates the
+// whole framework.
+func ExtrapolateSum(present *table.T, attr string, where *predicate.P, totalRows int) float64 {
+	pc := present.Count(where)
+	if pc == 0 {
+		return 0
+	}
+	frac := float64(present.Len()) / float64(totalRows)
+	if frac <= 0 {
+		return 0
+	}
+	return present.Sum(attr, where) / frac
+}
+
+// RelativeError returns |est-truth| / |truth| (infinite when truth is 0 and
+// est is not).
+func RelativeError(est, truth float64) float64 {
+	if truth == 0 {
+		if est == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(est-truth) / math.Abs(truth)
+}
+
+// OverEstimationRate returns the paper's tightness metric: upper bound over
+// true value (clamped at 1 from below, since a bound cannot be tighter than
+// the truth; values below 1 indicate a failure which is tracked separately).
+func OverEstimationRate(hi, truth float64) float64 {
+	if truth <= 0 {
+		return 1
+	}
+	return math.Max(1, hi/truth)
+}
+
+// MedianOverEstimation aggregates over-estimation rates as the paper plots
+// them.
+func MedianOverEstimation(rates []float64) float64 { return stats.Median(rates) }

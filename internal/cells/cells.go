@@ -1,0 +1,353 @@
+// Package cells implements cell decomposition (Section 4.1 of the paper):
+// splitting a set of possibly-overlapping predicate boxes into disjoint
+// satisfiable cells, each identified by the subset of predicates that hold
+// inside it.
+//
+// It implements all four of the paper's optimizations:
+//
+//  1. Predicate pushdown — the target query's predicate is conjoined into
+//     every satisfiability check, and predicates that cannot overlap the
+//     query are removed from the branching set entirely.
+//  2. DFS pruning — cells are enumerated by a depth-first search over
+//     include/exclude decisions; an unsatisfiable prefix prunes its whole
+//     subtree.
+//  3. Expression rewriting — if a prefix X is satisfiable and X∧Y is not,
+//     then X∧¬Y is satisfiable without consulting the solver
+//     ((X ∧ ¬(X∧Y)) ⇒ X∧¬Y).
+//  4. Approximate early stopping — below DFS layer K, stop verifying and
+//     admit every remaining combination as satisfiable. This may admit
+//     false-positive cells, which loosens but never invalidates the bounds
+//     (the true problem is a sub-problem of the approximation).
+package cells
+
+import (
+	"fmt"
+	"math"
+
+	"pcbound/internal/domain"
+	"pcbound/internal/predicate"
+	"pcbound/internal/sat"
+)
+
+// Strategy selects the enumeration algorithm.
+type Strategy int
+
+const (
+	// DFSRewrite is the paper's full optimization stack (default).
+	DFSRewrite Strategy = iota
+	// DFS prunes unsatisfiable prefixes but re-checks every branch.
+	DFS
+	// Naive enumerates and checks all 2^n cells sequentially.
+	Naive
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case DFSRewrite:
+		return "dfs+rewrite"
+	case DFS:
+		return "dfs"
+	case Naive:
+		return "naive"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Options configures a decomposition.
+type Options struct {
+	// Strategy selects naive/DFS/DFS+rewrite enumeration.
+	Strategy Strategy
+	// Pushdown, when non-nil, restricts the decomposition to the region
+	// satisfying the query predicate (Optimization 1).
+	Pushdown *predicate.P
+	// EarlyStopLayer > 0 enables Optimization 4: below this DFS depth all
+	// surviving combinations are admitted without solver checks.
+	EarlyStopLayer int
+	// MaxCells caps the number of emitted cells as a safety valve
+	// (0 = unlimited). Decompose returns ErrTooManyCells beyond it.
+	MaxCells int
+	// SkipProjections disables exact per-cell attribute projections
+	// (cheaper; value bounds then come only from the cell's positive boxes).
+	SkipProjections bool
+}
+
+// ErrTooManyCells is returned when MaxCells is exceeded.
+var ErrTooManyCells = fmt.Errorf("cells: decomposition exceeded MaxCells")
+
+// Cell is one satisfiable region of the decomposition: the set of points
+// satisfying every predicate in Active, no predicate outside it, and the
+// pushdown predicate if one was given.
+type Cell struct {
+	// Active lists indices (into the decomposed predicate set) of the
+	// predicates that hold in this cell, ascending.
+	Active []int
+	// Region is the cell's positive bounding box: the intersection of the
+	// active predicate boxes and the pushdown box. The cell's true region is
+	// Region minus the inactive predicate boxes.
+	Region domain.Box
+	// Projection is the tightest per-attribute interval over the true cell
+	// region (equal to Region when SkipProjections is set or the cell was
+	// admitted unverified by early stopping).
+	Projection domain.Box
+	// Verified records whether the solver proved the cell satisfiable
+	// (false only under early stopping).
+	Verified bool
+}
+
+// Result is a decomposition outcome.
+type Result struct {
+	Cells []Cell
+	// Checks is the number of satisfiability queries issued (the paper's
+	// Figure 7 "number of evaluated cells" metric).
+	Checks int64
+	// RewriteSkips counts solver calls avoided by Optimization 3.
+	RewriteSkips int64
+	// PrunedSubtrees counts DFS subtrees cut by an unsatisfiable prefix.
+	PrunedSubtrees int64
+	// DroppedByPushdown counts predicates removed from the branching set by
+	// Optimization 1.
+	DroppedByPushdown int
+}
+
+// Decompose splits the predicate set into disjoint satisfiable cells.
+// The indices in Cell.Active refer to positions in preds.
+func Decompose(solver *sat.Solver, preds []*predicate.P, opts Options) (Result, error) {
+	schema := solver.Schema()
+	var res Result
+
+	base := schema.FullBox()
+	if opts.Pushdown != nil {
+		base = base.Intersect(opts.Pushdown.Box())
+	}
+
+	// Optimization 1: drop predicates that cannot intersect the query box.
+	kept := make([]int, 0, len(preds))
+	for i, p := range preds {
+		if base.Intersect(p.Box()).EmptyFor(schema) {
+			res.DroppedByPushdown++
+			continue
+		}
+		kept = append(kept, i)
+	}
+	n := len(kept)
+	if n == 0 {
+		return res, nil
+	}
+
+	boxes := make([]domain.Box, n)
+	for k, i := range kept {
+		boxes[k] = preds[i].Box()
+	}
+
+	emit := func(activeLocal []int, verified bool) error {
+		if opts.MaxCells > 0 && len(res.Cells) >= opts.MaxCells {
+			return ErrTooManyCells
+		}
+		region := base.Clone()
+		for _, k := range activeLocal {
+			region = region.Intersect(boxes[k])
+		}
+		active := make([]int, len(activeLocal))
+		neg := make([]domain.Box, 0, n-len(activeLocal))
+		inActive := make(map[int]bool, len(activeLocal))
+		for j, k := range activeLocal {
+			active[j] = kept[k]
+			inActive[k] = true
+		}
+		for k := 0; k < n; k++ {
+			if !inActive[k] {
+				neg = append(neg, boxes[k])
+			}
+		}
+		proj := region.Clone()
+		if !opts.SkipProjections && verified {
+			boxesRem := solver.RemainderBoxes(region, neg)
+			if len(boxesRem) == 0 {
+				// Region became empty under exact projection: skip the cell.
+				return nil
+			}
+			for d := range proj {
+				iv := boxesRem[0][d]
+				for _, rb := range boxesRem[1:] {
+					iv = iv.Hull(rb[d])
+				}
+				proj[d] = iv
+			}
+		}
+		res.Cells = append(res.Cells, Cell{
+			Active:     active,
+			Region:     region,
+			Projection: proj,
+			Verified:   verified,
+		})
+		return nil
+	}
+
+	switch opts.Strategy {
+	case Naive:
+		if err := naive(solver, schema, base, boxes, emit, &res); err != nil {
+			return res, err
+		}
+	case DFS, DFSRewrite:
+		rw := opts.Strategy == DFSRewrite
+		// Root must be satisfiable for the rewrite invariant ("prefix is
+		// known sat") to hold from the start.
+		res.Checks++
+		if !solver.SatBoxes(base, nil) {
+			return res, nil
+		}
+		err := dfs(solver, schema, base, boxes, 0, nil, nil, rw, opts, emit, &res)
+		if err != nil {
+			return res, err
+		}
+	default:
+		return res, fmt.Errorf("cells: unknown strategy %v", opts.Strategy)
+	}
+	return res, nil
+}
+
+// naive checks each of the 2^n cells independently (no pruning); cells with
+// an empty active set are skipped (they lie outside every predicate, which
+// closure excludes).
+func naive(solver *sat.Solver, schema *domain.Schema, base domain.Box, boxes []domain.Box, emit func([]int, bool) error, res *Result) error {
+	n := len(boxes)
+	if n > 30 {
+		return fmt.Errorf("cells: naive enumeration of 2^%d cells refused", n)
+	}
+	for mask := 1; mask < (1 << n); mask++ {
+		var active []int
+		pos := base.Clone()
+		var neg []domain.Box
+		for k := 0; k < n; k++ {
+			if mask&(1<<k) != 0 {
+				active = append(active, k)
+				pos = pos.Intersect(boxes[k])
+			} else {
+				neg = append(neg, boxes[k])
+			}
+		}
+		res.Checks++
+		if solver.SatBoxes(pos, neg) {
+			if err := emit(active, true); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// dfs explores include/exclude decisions for predicate k given a satisfiable
+// prefix (pos region minus negated boxes). The prefix is always known
+// satisfiable on entry.
+func dfs(solver *sat.Solver, schema *domain.Schema, pos domain.Box, boxes []domain.Box, k int, active []int, neg []domain.Box, rewrite bool, opts Options, emit func([]int, bool) error, res *Result) error {
+	n := len(boxes)
+	if k == n {
+		if len(active) == 0 {
+			// Outside every predicate: excluded by closure.
+			return nil
+		}
+		return emit(active, true)
+	}
+	if opts.EarlyStopLayer > 0 && k >= opts.EarlyStopLayer {
+		// Optimization 4: admit all remaining combinations unverified.
+		return earlyStopExpand(pos, boxes, k, active, emit, opts, res)
+	}
+
+	// Include branch: prefix ∧ ψk.
+	incPos := pos.Intersect(boxes[k])
+	res.Checks++
+	incSat := solver.SatBoxes(incPos, neg)
+	if incSat {
+		if err := dfs(solver, schema, incPos, boxes, k+1, append(active, k), neg, rewrite, opts, emit, res); err != nil {
+			return err
+		}
+	} else {
+		res.PrunedSubtrees++
+	}
+
+	// Exclude branch: prefix ∧ ¬ψk.
+	negNext := append(neg, boxes[k])
+	if !incSat && rewrite {
+		// Optimization 3: X sat ∧ (X∧Y unsat) ⇒ X∧¬Y sat; skip the check.
+		res.RewriteSkips++
+		return dfs(solver, schema, pos, boxes, k+1, active, negNext, rewrite, opts, emit, res)
+	}
+	res.Checks++
+	if solver.SatBoxes(pos, negNext) {
+		return dfs(solver, schema, pos, boxes, k+1, active, negNext, rewrite, opts, emit, res)
+	}
+	res.PrunedSubtrees++
+	return nil
+}
+
+// earlyStopExpand emits every completion of the current prefix as an
+// unverified cell.
+func earlyStopExpand(pos domain.Box, boxes []domain.Box, k int, active []int, emit func([]int, bool) error, opts Options, res *Result) error {
+	n := len(boxes)
+	rem := n - k
+	if rem > 30 {
+		return fmt.Errorf("cells: early stop would expand 2^%d cells", rem)
+	}
+	for mask := 0; mask < (1 << rem); mask++ {
+		act := append([]int(nil), active...)
+		cur := pos.Clone()
+		empty := false
+		for j := 0; j < rem; j++ {
+			if mask&(1<<j) != 0 {
+				act = append(act, k+j)
+				cur = cur.Intersect(boxes[k+j])
+				if cur.Empty() {
+					// Cheap local reject: positive intersection already empty
+					// (this is not a solver call).
+					empty = true
+					break
+				}
+			}
+		}
+		if empty || len(act) == 0 {
+			continue
+		}
+		if err := emit(act, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// UpperValue returns the tightest upper bound on attribute attr for rows in
+// the cell, combining the active PCs' value-constraint bounds with the
+// cell's exact region projection. valueBoxes[i] is predicate i's value
+// constraint ν.
+func (c *Cell) UpperValue(attrIdx int, valueBoxes []domain.Box) float64 {
+	u := c.Projection[attrIdx].Hi
+	for _, i := range c.Active {
+		if h := valueBoxes[i][attrIdx].Hi; h < u {
+			u = h
+		}
+	}
+	return u
+}
+
+// LowerValue is the dual of UpperValue.
+func (c *Cell) LowerValue(attrIdx int, valueBoxes []domain.Box) float64 {
+	l := c.Projection[attrIdx].Lo
+	for _, i := range c.Active {
+		if lo := valueBoxes[i][attrIdx].Lo; lo > l {
+			l = lo
+		}
+	}
+	return l
+}
+
+// MaxCount returns the tightest per-cell cardinality cap implied by the
+// active PCs' frequency upper bounds.
+func (c *Cell) MaxCount(kHi []float64) float64 {
+	u := math.Inf(1)
+	for _, i := range c.Active {
+		if kHi[i] < u {
+			u = kHi[i]
+		}
+	}
+	return u
+}

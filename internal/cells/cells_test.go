@@ -1,0 +1,398 @@
+package cells
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pcbound/internal/domain"
+	"pcbound/internal/predicate"
+	"pcbound/internal/sat"
+)
+
+func schema2D() *domain.Schema {
+	return domain.NewSchema(
+		domain.Attr{Name: "x", Kind: domain.Continuous, Domain: domain.NewInterval(0, 100)},
+		domain.Attr{Name: "y", Kind: domain.Continuous, Domain: domain.NewInterval(0, 100)},
+	)
+}
+
+func box(s *domain.Schema, xlo, xhi, ylo, yhi float64) *predicate.P {
+	return predicate.NewBuilder(s).Range("x", xlo, xhi).Range("y", ylo, yhi).Build()
+}
+
+func keys(cs []Cell) []string {
+	var out []string
+	for _, c := range cs {
+		k := ""
+		for _, a := range c.Active {
+			k += string(rune('a' + a))
+		}
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestDecomposeDisjoint(t *testing.T) {
+	s := schema2D()
+	sv := sat.New(s)
+	preds := []*predicate.P{
+		box(s, 0, 10, 0, 10),
+		box(s, 20, 30, 0, 10),
+		box(s, 40, 50, 0, 10),
+	}
+	for _, strat := range []Strategy{Naive, DFS, DFSRewrite} {
+		res, err := Decompose(sv, preds, Options{Strategy: strat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := keys(res.Cells)
+		want := []string{"a", "b", "c"}
+		if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+			t.Errorf("%v: cells = %v, want %v", strat, got, want)
+		}
+	}
+}
+
+func TestDecomposeOverlappingPair(t *testing.T) {
+	s := schema2D()
+	sv := sat.New(s)
+	// Figure-2-style overlap: A and B overlap; cells: A\B, A∩B, B\A.
+	preds := []*predicate.P{
+		box(s, 0, 50, 0, 50),
+		box(s, 30, 80, 30, 80),
+	}
+	for _, strat := range []Strategy{Naive, DFS, DFSRewrite} {
+		res, err := Decompose(sv, preds, Options{Strategy: strat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := keys(res.Cells)
+		want := []string{"a", "ab", "b"}
+		if len(got) != 3 {
+			t.Fatalf("%v: got %v, want %v", strat, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%v: cells = %v, want %v", strat, got, want)
+			}
+		}
+	}
+}
+
+func TestDecomposeNestedPredicate(t *testing.T) {
+	s := schema2D()
+	sv := sat.New(s)
+	// B strictly inside A: cells are A\B and A∩B; "B without A" is
+	// unsatisfiable.
+	preds := []*predicate.P{
+		box(s, 0, 50, 0, 50),
+		box(s, 10, 20, 10, 20),
+	}
+	res, err := Decompose(sv, preds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := keys(res.Cells)
+	if len(got) != 2 || got[0] != "a" || got[1] != "ab" {
+		t.Errorf("cells = %v, want [a ab]", got)
+	}
+}
+
+func TestStrategiesAgreeOnRandomInstances(t *testing.T) {
+	s := schema2D()
+	sv := sat.New(s)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(5)
+		preds := make([]*predicate.P, n)
+		for i := range preds {
+			xl := rng.Float64() * 70
+			yl := rng.Float64() * 70
+			preds[i] = box(s, xl, xl+10+rng.Float64()*30, yl, yl+10+rng.Float64()*30)
+		}
+		var results [][]string
+		var checks []int64
+		for _, strat := range []Strategy{Naive, DFS, DFSRewrite} {
+			res, err := Decompose(sv, preds, Options{Strategy: strat})
+			if err != nil {
+				t.Fatal(err)
+			}
+			results = append(results, keys(res.Cells))
+			checks = append(checks, res.Checks)
+		}
+		for i := 1; i < len(results); i++ {
+			if len(results[i]) != len(results[0]) {
+				t.Fatalf("trial %d: strategy %d found %d cells, naive %d",
+					trial, i, len(results[i]), len(results[0]))
+			}
+			for j := range results[0] {
+				if results[i][j] != results[0][j] {
+					t.Fatalf("trial %d: cell sets differ: %v vs %v", trial, results[i], results[0])
+				}
+			}
+		}
+		// DFS checks internal prefix nodes as well as leaves, so without any
+		// pruning it can do up to ~2x the naive leaf checks; it must never
+		// exceed that. Rewriting never checks more than plain DFS.
+		if checks[1] > 2*checks[0]+2 {
+			t.Errorf("trial %d: DFS checks %d > 2x naive %d", trial, checks[1], checks[0])
+		}
+		if checks[2] > checks[1] {
+			t.Errorf("trial %d: rewrite checks %d > DFS %d", trial, checks[2], checks[1])
+		}
+	}
+}
+
+func TestPushdownDropsAndRestricts(t *testing.T) {
+	s := schema2D()
+	sv := sat.New(s)
+	preds := []*predicate.P{
+		box(s, 0, 10, 0, 10),   // inside query
+		box(s, 60, 90, 60, 90), // outside query
+		box(s, 5, 25, 0, 10),   // straddles the query boundary
+	}
+	query := box(s, 0, 20, 0, 20)
+	res, err := Decompose(sv, preds, Options{Pushdown: query})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DroppedByPushdown != 1 {
+		t.Errorf("DroppedByPushdown = %d, want 1", res.DroppedByPushdown)
+	}
+	for _, c := range res.Cells {
+		for _, a := range c.Active {
+			if a == 1 {
+				t.Error("cell active on predicate outside query")
+			}
+		}
+		if !query.Box().ContainsBox(c.Region) {
+			t.Errorf("cell region %v escapes query box", c.Region)
+		}
+	}
+	// Indices must refer to the ORIGINAL predicate slice.
+	seen := map[int]bool{}
+	for _, c := range res.Cells {
+		for _, a := range c.Active {
+			seen[a] = true
+		}
+	}
+	if !seen[0] || !seen[2] {
+		t.Errorf("expected original indices 0 and 2 active somewhere, got %v", seen)
+	}
+}
+
+func TestRewriteSkipsCounted(t *testing.T) {
+	s := schema2D()
+	sv := sat.New(s)
+	// Disjoint predicates maximize "include branch unsat" events, so the
+	// rewrite rule fires often.
+	var preds []*predicate.P
+	for i := 0; i < 6; i++ {
+		lo := float64(i) * 15
+		preds = append(preds, box(s, lo, lo+10, 0, 10))
+	}
+	plain, err := Decompose(sv, preds, Options{Strategy: DFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := Decompose(sv, preds, Options{Strategy: DFSRewrite})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.RewriteSkips == 0 {
+		t.Error("expected rewrite skips > 0 on disjoint predicates")
+	}
+	if rw.Checks >= plain.Checks {
+		t.Errorf("rewrite checks %d >= plain %d", rw.Checks, plain.Checks)
+	}
+	if len(rw.Cells) != len(plain.Cells) {
+		t.Errorf("cell counts differ: %d vs %d", len(rw.Cells), len(plain.Cells))
+	}
+}
+
+func TestEarlyStopAdmitsSuperset(t *testing.T) {
+	s := schema2D()
+	sv := sat.New(s)
+	rng := rand.New(rand.NewSource(17))
+	n := 6
+	preds := make([]*predicate.P, n)
+	for i := range preds {
+		xl := rng.Float64() * 60
+		yl := rng.Float64() * 60
+		preds[i] = box(s, xl, xl+30, yl, yl+30)
+	}
+	exact, err := Decompose(sv, preds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := Decompose(sv, preds, Options{EarlyStopLayer: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(approx.Cells) < len(exact.Cells) {
+		t.Errorf("early stop found %d cells < exact %d", len(approx.Cells), len(exact.Cells))
+	}
+	if approx.Checks >= exact.Checks {
+		t.Errorf("early stop checks %d >= exact %d", approx.Checks, exact.Checks)
+	}
+	// Every exact cell must appear in the approximation.
+	approxSet := map[string]bool{}
+	for _, k := range keys(approx.Cells) {
+		approxSet[k] = true
+	}
+	for _, k := range keys(exact.Cells) {
+		if !approxSet[k] {
+			t.Errorf("exact cell %q missing from early-stop result", k)
+		}
+	}
+	// Unverified cells must be flagged.
+	anyUnverified := false
+	for _, c := range approx.Cells {
+		if !c.Verified {
+			anyUnverified = true
+		}
+	}
+	if len(approx.Cells) > len(exact.Cells) && !anyUnverified {
+		t.Error("extra admitted cells must be unverified")
+	}
+}
+
+func TestMaxCells(t *testing.T) {
+	s := schema2D()
+	sv := sat.New(s)
+	var preds []*predicate.P
+	for i := 0; i < 8; i++ {
+		preds = append(preds, box(s, float64(i), float64(i)+50, 0, 100))
+	}
+	_, err := Decompose(sv, preds, Options{MaxCells: 3})
+	if err != ErrTooManyCells {
+		t.Fatalf("err = %v, want ErrTooManyCells", err)
+	}
+}
+
+func TestNaiveRefusesHugeN(t *testing.T) {
+	s := schema2D()
+	sv := sat.New(s)
+	preds := make([]*predicate.P, 31)
+	for i := range preds {
+		preds[i] = box(s, 0, 100, 0, 100)
+	}
+	if _, err := Decompose(sv, preds, Options{Strategy: Naive}); err == nil {
+		t.Fatal("want refusal for n=31 naive enumeration")
+	}
+}
+
+func TestCellValueHelpers(t *testing.T) {
+	s := schema2D()
+	sv := sat.New(s)
+	preds := []*predicate.P{
+		box(s, 0, 50, 0, 50),
+		box(s, 30, 80, 0, 50),
+	}
+	valueBoxes := []domain.Box{
+		{domain.NewInterval(0, 100), domain.NewInterval(0, 10)},
+		{domain.NewInterval(0, 100), domain.NewInterval(5, 8)},
+	}
+	kHi := []float64{100, 50}
+	res, err := Decompose(sv, preds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cells {
+		if len(c.Active) == 2 {
+			// Overlap cell: most restrictive value bound on y is [5, 8],
+			// count cap is 50.
+			if u := c.UpperValue(1, valueBoxes); u != 8 {
+				t.Errorf("overlap UpperValue = %v, want 8", u)
+			}
+			if l := c.LowerValue(1, valueBoxes); l != 5 {
+				t.Errorf("overlap LowerValue = %v, want 5", l)
+			}
+			if mc := c.MaxCount(kHi); mc != 50 {
+				t.Errorf("overlap MaxCount = %v, want 50", mc)
+			}
+		}
+		if len(c.Active) == 1 && c.Active[0] == 0 {
+			// Region projection clips x to [0, 50] even though ν allows 100.
+			if u := c.UpperValue(0, valueBoxes); u > 50 {
+				t.Errorf("cell-a UpperValue(x) = %v, want <= 50", u)
+			}
+			if mc := c.MaxCount(kHi); mc != 100 {
+				t.Errorf("cell-a MaxCount = %v, want 100", mc)
+			}
+		}
+	}
+}
+
+func TestProjectionTighterThanRegion(t *testing.T) {
+	s := schema2D()
+	sv := sat.New(s)
+	// Cell "a only" has a bite taken out of the middle-right by b: the exact
+	// projection of x over a\b is still [0,50] (left edge uncovered), but
+	// the y projection stays [0,50]. Use a construction where projection is
+	// strictly tighter: b covers the whole right half of a.
+	preds := []*predicate.P{
+		box(s, 0, 50, 0, 50),
+		box(s, 25, 50, 0, 50),
+	}
+	res, err := Decompose(sv, preds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cells {
+		if len(c.Active) == 1 && c.Active[0] == 0 {
+			// a\b: x must project to [0, 25).
+			if c.Projection[0].Hi >= 25 {
+				t.Errorf("a\\b x projection = %v, want < 25", c.Projection[0])
+			}
+		}
+	}
+}
+
+func TestDecomposeEmptyInputs(t *testing.T) {
+	s := schema2D()
+	sv := sat.New(s)
+	res, err := Decompose(sv, nil, Options{})
+	if err != nil || len(res.Cells) != 0 {
+		t.Fatalf("empty input: %v %v", res, err)
+	}
+	// Pushdown excluding everything.
+	pred := box(s, 0, 10, 0, 10)
+	q := box(s, 90, 100, 90, 100)
+	res, err = Decompose(sv, []*predicate.P{pred}, Options{Pushdown: q})
+	if err != nil || len(res.Cells) != 0 || res.DroppedByPushdown != 1 {
+		t.Fatalf("pushdown exclusion: %+v %v", res, err)
+	}
+}
+
+func TestDecomposeIdenticalPredicates(t *testing.T) {
+	s := schema2D()
+	sv := sat.New(s)
+	p := box(s, 0, 10, 0, 10)
+	res, err := Decompose(sv, []*predicate.P{p, p}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the both-active cell is satisfiable.
+	if len(res.Cells) != 1 || len(res.Cells[0].Active) != 2 {
+		t.Fatalf("identical predicates: cells = %v", keys(res.Cells))
+	}
+}
+
+func TestMaxCountInfinityWhenUnbounded(t *testing.T) {
+	c := Cell{Active: []int{0}}
+	if mc := c.MaxCount([]float64{math.Inf(1)}); !math.IsInf(mc, 1) {
+		t.Errorf("MaxCount = %v, want +inf", mc)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	for _, st := range []Strategy{Naive, DFS, DFSRewrite, Strategy(9)} {
+		if st.String() == "" {
+			t.Error("empty strategy string")
+		}
+	}
+}

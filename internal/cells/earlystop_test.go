@@ -1,0 +1,89 @@
+package cells
+
+import (
+	"testing"
+
+	"pcbound/internal/predicate"
+	"pcbound/internal/sat"
+)
+
+func TestEarlyStopMaxCellsRespected(t *testing.T) {
+	s := schema2D()
+	sv := sat.New(s)
+	var preds []*predicate.P
+	for i := 0; i < 8; i++ {
+		preds = append(preds, box(s, float64(i), float64(i)+60, 0, 100))
+	}
+	_, err := Decompose(sv, preds, Options{EarlyStopLayer: 1, MaxCells: 2})
+	if err != ErrTooManyCells {
+		t.Fatalf("err = %v, want ErrTooManyCells", err)
+	}
+}
+
+func TestEarlyStopLayerZeroMeansExact(t *testing.T) {
+	s := schema2D()
+	sv := sat.New(s)
+	preds := []*predicate.P{
+		box(s, 0, 50, 0, 50),
+		box(s, 30, 80, 30, 80),
+	}
+	exact, err := Decompose(sv, preds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := Decompose(sv, preds, Options{EarlyStopLayer: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact.Cells) != len(zero.Cells) {
+		t.Errorf("layer 0 should disable early stopping: %d vs %d cells",
+			len(zero.Cells), len(exact.Cells))
+	}
+	for _, c := range zero.Cells {
+		if !c.Verified {
+			t.Error("all cells must be verified without early stopping")
+		}
+	}
+}
+
+func TestEarlyStopDeepLayerEqualsExact(t *testing.T) {
+	// A stop layer at or beyond n never fires: results identical to exact.
+	s := schema2D()
+	sv := sat.New(s)
+	preds := []*predicate.P{
+		box(s, 0, 50, 0, 50),
+		box(s, 30, 80, 30, 80),
+		box(s, 60, 100, 0, 40),
+	}
+	exact, err := Decompose(sv, preds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := Decompose(sv, preds, Options{EarlyStopLayer: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact.Cells) != len(deep.Cells) {
+		t.Errorf("deep stop layer changed the result: %d vs %d", len(deep.Cells), len(exact.Cells))
+	}
+}
+
+func TestEarlyStopPositiveIntersectionPruning(t *testing.T) {
+	// Early-stopped expansion still drops combinations whose positive boxes
+	// have empty intersection (a cheap local check, not a solver call).
+	s := schema2D()
+	sv := sat.New(s)
+	preds := []*predicate.P{
+		box(s, 0, 10, 0, 10),
+		box(s, 90, 100, 90, 100), // disjoint from the first
+	}
+	res, err := Decompose(sv, preds, Options{EarlyStopLayer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cells {
+		if len(c.Active) == 2 {
+			t.Error("disjoint pair admitted as a joint cell by early stopping")
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"pcbound/internal/predicate"
+)
+
+// emptyRange is the range of an aggregate with no possible value (no rows
+// can exist in the query region). Lo > Hi so Contains is always false.
+func emptyRange() Range {
+	return Range{Lo: math.Inf(1), Hi: math.Inf(-1), MaybeEmpty: true, LoExact: true, HiExact: true}
+}
+
+func (e *Engine) useFast() bool {
+	return !e.opts.DisableFastPath && e.set.Disjoint() &&
+		e.opts.Cells.EarlyStopLayer == 0
+}
+
+// Count bounds COUNT(*) over the missing rows satisfying where.
+func (e *Engine) Count(where *predicate.P) (Range, error) {
+	if e.useFast() {
+		r := e.fastCount(where)
+		return r, nil
+	}
+	cp, err := e.decompose(where)
+	if err != nil {
+		return Range{}, err
+	}
+	if len(cp.cells) == 0 {
+		return Range{LoExact: true, HiExact: true, SATChecks: cp.satChecks}, nil
+	}
+	obj := cp.ones()
+	up := cp.solve(obj, true, nil, false, e.opts.MILP)
+	lo := cp.solve(obj, false, nil, false, e.opts.MILP)
+	return cp.newRange(lo, up), nil
+}
+
+// Sum bounds SUM(attr) over the missing rows satisfying where.
+func (e *Engine) Sum(attr string, where *predicate.P) (Range, error) {
+	if e.useFast() {
+		r := e.fastSum(attr, where)
+		return r, nil
+	}
+	cp, err := e.decompose(where)
+	if err != nil {
+		return Range{}, err
+	}
+	if len(cp.cells) == 0 {
+		return Range{LoExact: true, HiExact: true, SATChecks: cp.satChecks}, nil
+	}
+	ai := e.set.Schema().MustIndex(attr)
+	u := cp.upperVec(ai)
+	l := cp.lowerVec(ai)
+
+	// Cells with an unbounded value range make the corresponding endpoint
+	// infinite iff a row can actually be placed there.
+	hiInf, loInf := false, false
+	for i := range cp.cells {
+		if math.IsInf(u[i], 1) {
+			if cp.feasible(nil, false, i, e.opts.MILP) {
+				hiInf = true
+			}
+			u[i] = 0 // unreachable cell: coefficient irrelevant
+		}
+		if math.IsInf(l[i], -1) {
+			if cp.feasible(nil, false, i, e.opts.MILP) {
+				loInf = true
+			}
+			l[i] = 0
+		}
+	}
+
+	up := cp.solve(u, true, nil, false, e.opts.MILP)
+	lo := cp.solve(l, false, nil, false, e.opts.MILP)
+	r := cp.newRange(lo, up)
+	if hiInf {
+		r.Hi = math.Inf(1)
+		r.HiExact = true
+	}
+	if loInf {
+		r.Lo = math.Inf(-1)
+		r.LoExact = true
+	}
+	return r, nil
+}
+
+// Avg bounds AVG(attr) over the missing rows satisfying where, via the
+// paper's binary search over a parametric allocation problem (Section 4.2).
+// The returned range is conditional on at least one missing row existing in
+// the region; MaybeEmpty reports whether zero rows is also possible.
+func (e *Engine) Avg(attr string, where *predicate.P) (Range, error) {
+	if e.useFast() {
+		r := e.fastAvg(attr, where)
+		return r, nil
+	}
+	cp, err := e.decompose(where)
+	if err != nil {
+		return Range{}, err
+	}
+	if len(cp.cells) == 0 {
+		r := emptyRange()
+		r.SATChecks = cp.satChecks
+		return r, nil
+	}
+	if !cp.feasible(nil, true, -1, e.opts.MILP) {
+		r := emptyRange()
+		r.SATChecks = cp.satChecks
+		return r, nil
+	}
+	ai := e.set.Schema().MustIndex(attr)
+	u := cp.upperVec(ai)
+	l := cp.lowerVec(ai)
+
+	hi0, lo0 := math.Inf(-1), math.Inf(1)
+	for i := range cp.cells {
+		hi0 = math.Max(hi0, u[i])
+		lo0 = math.Min(lo0, l[i])
+	}
+	r := Range{MaybeEmpty: cp.mayBeEmpty(), Cells: len(cp.cells), SATChecks: cp.satChecks}
+	if math.IsInf(hi0, 1) || math.IsInf(lo0, -1) {
+		// Unbounded value constraints: fall back to the trivial hull.
+		r.Lo, r.Hi = lo0, hi0
+		return r, nil
+	}
+
+	// Upper: sup{r : max Σ (U_i - r)·x_i >= 0 over allocations with >=1 row}.
+	r.Hi = binarySearchAvg(lo0, hi0, func(mid float64) bool {
+		obj := make([]float64, len(u))
+		for i := range u {
+			obj[i] = u[i] - mid
+		}
+		sol := cp.solve(obj, true, nil, true, e.opts.MILP)
+		// sol.bound >= optimum: "< 0" proves mid is unachievable.
+		return sol.feasible && sol.bound >= 0
+	}, true)
+	// Lower: inf{r : min Σ (L_i - r)·x_i <= 0 over allocations with >=1 row}.
+	r.Lo = binarySearchAvg(lo0, hi0, func(mid float64) bool {
+		obj := make([]float64, len(l))
+		for i := range l {
+			obj[i] = l[i] - mid
+		}
+		sol := cp.solve(obj, false, nil, true, e.opts.MILP)
+		// sol.bound <= optimum: "> 0" proves avg <= mid is impossible.
+		return sol.feasible && sol.bound <= 0
+	}, false)
+	return r, nil
+}
+
+// binarySearchAvg searches [lo, hi]. For the upper endpoint (searchSup),
+// ok(mid) means "average >= mid is possible" and the final hi is returned
+// (sound from above). For the lower endpoint, ok(mid) means "average <= mid
+// is possible" and the final lo is returned (sound from below).
+func binarySearchAvg(lo, hi float64, ok func(float64) bool, searchSup bool) float64 {
+	if lo >= hi {
+		return lo
+	}
+	for iter := 0; iter < 60 && hi-lo > 1e-9*(1+math.Abs(hi)+math.Abs(lo)); iter++ {
+		mid := lo + (hi-lo)/2
+		if searchSup {
+			if ok(mid) {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		} else {
+			if ok(mid) {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+	}
+	if searchSup {
+		return hi
+	}
+	return lo
+}
+
+// Max bounds MAX(attr) over the missing rows satisfying where. Hi is the
+// largest value any instance can exhibit; Lo is the smallest possible
+// maximum among instances with at least one row.
+func (e *Engine) Max(attr string, where *predicate.P) (Range, error) {
+	if e.useFast() {
+		r := e.fastMinMax(attr, where, true)
+		return r, nil
+	}
+	return e.minMax(attr, where, true)
+}
+
+// Min bounds MIN(attr), dual to Max.
+func (e *Engine) Min(attr string, where *predicate.P) (Range, error) {
+	if e.useFast() {
+		r := e.fastMinMax(attr, where, false)
+		return r, nil
+	}
+	return e.minMax(attr, where, false)
+}
+
+func (e *Engine) minMax(attr string, where *predicate.P, isMax bool) (Range, error) {
+	cp, err := e.decompose(where)
+	if err != nil {
+		return Range{}, err
+	}
+	if len(cp.cells) == 0 {
+		r := emptyRange()
+		r.SATChecks = cp.satChecks
+		return r, nil
+	}
+	ai := e.set.Schema().MustIndex(attr)
+	u := cp.upperVec(ai)
+	l := cp.lowerVec(ai)
+
+	// Reachable cells: those that can host at least one row.
+	reach := make([]bool, len(cp.cells))
+	any := false
+	for i := range cp.cells {
+		reach[i] = cp.feasible(nil, false, i, e.opts.MILP)
+		any = any || reach[i]
+	}
+	if !any {
+		r := emptyRange()
+		r.SATChecks = cp.satChecks
+		return r, nil
+	}
+
+	r := Range{MaybeEmpty: cp.mayBeEmpty(), Cells: len(cp.cells), SATChecks: cp.satChecks, LoExact: true, HiExact: true}
+	if isMax {
+		// Hi: the largest upper value among reachable cells (a row placed
+		// there at its cell maximum realizes it).
+		r.Hi = math.Inf(-1)
+		for i := range cp.cells {
+			if reach[i] {
+				r.Hi = math.Max(r.Hi, u[i])
+			}
+		}
+		// Lo: minimize the largest lower-value among used cells. Search
+		// thresholds ascending; the first feasible restriction wins.
+		r.Lo = thresholdSearch(cp, l, e, true)
+	} else {
+		r.Lo = math.Inf(1)
+		for i := range cp.cells {
+			if reach[i] {
+				r.Lo = math.Min(r.Lo, l[i])
+			}
+		}
+		r.Hi = thresholdSearch(cp, u, e, false)
+	}
+	return r, nil
+}
+
+// thresholdSearch finds, for MAX (ascending=true), the smallest t such that
+// an allocation using only cells with vals[i] <= t (and >= 1 row) is
+// feasible; for MIN it finds the largest t over cells with vals[i] >= t.
+func thresholdSearch(cp *cellProblem, vals []float64, e *Engine, ascending bool) float64 {
+	uniq := append([]float64(nil), vals...)
+	sort.Float64s(uniq)
+	if !ascending {
+		for i, j := 0, len(uniq)-1; i < j; i, j = i+1, j-1 {
+			uniq[i], uniq[j] = uniq[j], uniq[i]
+		}
+	}
+	for _, t := range uniq {
+		forbid := make([]bool, len(vals))
+		for i, v := range vals {
+			if ascending && v > t {
+				forbid[i] = true
+			}
+			if !ascending && v < t {
+				forbid[i] = true
+			}
+		}
+		if cp.feasible(forbid, true, -1, e.opts.MILP) {
+			return t
+		}
+	}
+	// Every restriction infeasible: the unrestricted extremum is the only
+	// sound answer.
+	if ascending {
+		m := math.Inf(-1)
+		for _, v := range vals {
+			m = math.Max(m, v)
+		}
+		return m
+	}
+	m := math.Inf(1)
+	for _, v := range vals {
+		m = math.Min(m, v)
+	}
+	return m
+}
+
+// newRange assembles a Range from directional solve results.
+func (cp *cellProblem) newRange(lo, up solveResult) Range {
+	r := Range{
+		Cells:     len(cp.cells),
+		SATChecks: cp.satChecks,
+	}
+	if up.feasible {
+		r.Hi = up.bound
+		r.HiExact = up.exact
+	} else {
+		r.Hi = math.Inf(-1)
+	}
+	if lo.feasible {
+		r.Lo = lo.bound
+		r.LoExact = lo.exact
+	} else {
+		r.Lo = math.Inf(1)
+	}
+	r.Reconciled = lo.reconciled || up.reconciled
+	// Unverified (early-stopped) cells mean the bound may be loose.
+	for _, c := range cp.cells {
+		if !c.Verified {
+			r.LoExact, r.HiExact = false, false
+			break
+		}
+	}
+	return r
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+
+	"pcbound/internal/table"
+)
+
+// Analyzer answers aggregate queries over the FULL relation R = R* ∪ R?:
+// the certain partition R* is scanned exactly, the missing partition R? is
+// bounded by the engine, and the two are combined into a hard range for the
+// whole-table result (the paper's partially-covered-query setup in
+// Section 6.2: "if a query is partially covered by the missing data, we
+// solve the part that is missing ... then combine the result with a
+// 'partial ground truth' that is derived from the existing data").
+type Analyzer struct {
+	Present *table.T
+	Engine  *Engine
+}
+
+// NewAnalyzer pairs the certain rows with a missing-data engine.
+func NewAnalyzer(present *table.T, engine *Engine) *Analyzer {
+	return &Analyzer{Present: present, Engine: engine}
+}
+
+// Bound returns the hard range of the query over the full relation.
+func (a *Analyzer) Bound(q Query) (Range, error) {
+	missing, err := a.Engine.Bound(q)
+	if err != nil {
+		return Range{}, err
+	}
+	switch q.Agg {
+	case Count:
+		c := a.Present.Count(q.Where)
+		return shift(missing, c), nil
+	case Sum:
+		s := a.Present.Sum(q.Attr, q.Where)
+		return shift(missing, s), nil
+	case Min:
+		v, ok := a.Present.Min(q.Attr, q.Where)
+		return combineExtreme(missing, v, ok, false), nil
+	case Max:
+		v, ok := a.Present.Max(q.Attr, q.Where)
+		return combineExtreme(missing, v, ok, true), nil
+	case Avg:
+		return a.avg(q)
+	default:
+		return Range{}, errUnknownAgg(q.Agg)
+	}
+}
+
+func errUnknownAgg(a Agg) error {
+	return &aggError{a}
+}
+
+type aggError struct{ agg Agg }
+
+func (e *aggError) Error() string { return "core: unknown aggregate " + e.agg.String() }
+
+// shift translates an additive (COUNT/SUM) missing range by the present
+// partition's exact contribution.
+func shift(r Range, v float64) Range {
+	r.Lo += v
+	r.Hi += v
+	r.MaybeEmpty = false // the full-table aggregate is defined regardless
+	return r
+}
+
+// combineExtreme merges a present extreme with the missing rows' extreme
+// range. For MAX: the full max is max(present, missing); the missing side
+// may contribute nothing if zero missing rows are allowed.
+func combineExtreme(missing Range, present float64, havePresent bool, isMax bool) Range {
+	missingPossible := missing.Lo <= missing.Hi
+	if !havePresent {
+		// Entirely determined by the missing rows.
+		return missing
+	}
+	if !missingPossible {
+		return Range{Lo: present, Hi: present, LoExact: true, HiExact: true}
+	}
+	out := Range{LoExact: missing.LoExact, HiExact: missing.HiExact}
+	if isMax {
+		// Upper: both sides at their best.
+		out.Hi = math.Max(present, missing.Hi)
+		// Lower: the present max always participates; the missing rows can
+		// only raise the max, and contribute at least missing.Lo when they
+		// must exist.
+		if missing.MaybeEmpty {
+			out.Lo = present
+		} else {
+			out.Lo = math.Max(present, missing.Lo)
+		}
+	} else {
+		out.Lo = math.Min(present, missing.Lo)
+		if missing.MaybeEmpty {
+			out.Hi = present
+		} else {
+			out.Hi = math.Min(present, missing.Hi)
+		}
+	}
+	return out
+}
+
+// avg combines exact present sum/count with the missing sum/count ranges.
+// avg = (S0 + s) / (C0 + c) over s ∈ [sLo, sHi], c ∈ [cLo, cHi] with the
+// coupling between s and c relaxed — the result is a sound outer range.
+// The function s ↦ avg is increasing and (for S0+s and the denominator
+// positive) c ↦ avg is monotone, so the extrema lie at box corners.
+func (a *Analyzer) avg(q Query) (Range, error) {
+	sumQ := q
+	sumQ.Agg = Sum
+	sumR, err := a.Engine.Bound(sumQ)
+	if err != nil {
+		return Range{}, err
+	}
+	cntQ := q
+	cntQ.Agg = Count
+	cntR, err := a.Engine.Bound(cntQ)
+	if err != nil {
+		return Range{}, err
+	}
+	s0 := a.Present.Sum(q.Attr, q.Where)
+	c0 := a.Present.Count(q.Where)
+	if c0+cntR.Hi == 0 {
+		// No rows can match at all: undefined.
+		return emptyRange(), nil
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	counts := []float64{cntR.Lo, cntR.Hi}
+	if c0+cntR.Lo <= 0 {
+		// The zero-denominator corner is excluded below, but the extremum
+		// over integer counts then sits at the smallest positive count.
+		counts = append(counts, 1)
+	}
+	for _, s := range []float64{sumR.Lo, sumR.Hi} {
+		for _, c := range counts {
+			den := c0 + c
+			if den <= 0 {
+				continue
+			}
+			v := (s0 + s) / den
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	r := Range{Lo: lo, Hi: hi}
+	if c0 == 0 && cntR.Lo == 0 {
+		r.MaybeEmpty = true
+	}
+	return r, nil
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pcbound/internal/domain"
+	"pcbound/internal/predicate"
+	"pcbound/internal/table"
+)
+
+// analyzerFixture: present rows on branch 2, missing rows constrained on
+// branches 0 and 1.
+func analyzerFixture(t *testing.T) (*Analyzer, *table.T) {
+	t.Helper()
+	s := salesSchema()
+	present := table.New(s)
+	present.MustAppend(
+		domain.Row{5, 2, 40},
+		domain.Row{6, 2, 60},
+	)
+	set := NewSet(s)
+	set.MustAdd(
+		MustPC(predicate.NewBuilder(s).Eq("branch", 0).Build(),
+			map[string]domain.Interval{"price": domain.NewInterval(10, 100)}, 2, 4),
+		MustPC(predicate.NewBuilder(s).Eq("branch", 1).Build(),
+			map[string]domain.Interval{"price": domain.NewInterval(200, 300)}, 0, 2),
+	)
+	return NewAnalyzer(present, NewEngine(set, nil, Options{})), present
+}
+
+func TestAnalyzerCountSum(t *testing.T) {
+	a, _ := analyzerFixture(t)
+	r, err := a.Bound(Query{Agg: Count})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 present + [2, 6] missing.
+	if r.Lo != 4 || r.Hi != 8 {
+		t.Errorf("COUNT = %v, want [4, 8]", r)
+	}
+	s, err := a.Bound(Query{Agg: Sum, Attr: "price"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 present + [2·10, 4·100 + 2·300].
+	if s.Lo != 120 || s.Hi != 1100 {
+		t.Errorf("SUM = %v, want [120, 1100]", s)
+	}
+}
+
+func TestAnalyzerMinMax(t *testing.T) {
+	a, _ := analyzerFixture(t)
+	mx, err := a.Bound(Query{Agg: Max, Attr: "price"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Present max 60; missing max range [10, 300] with forced rows:
+	// full max ∈ [60, 300].
+	if mx.Lo != 60 || mx.Hi != 300 {
+		t.Errorf("MAX = %v, want [60, 300]", mx)
+	}
+	mn, err := a.Bound(Query{Agg: Min, Attr: "price"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Present min 40; missing min ∈ [10, 100] forced: full min ∈ [10, 40].
+	if mn.Lo != 10 || mn.Hi != 40 {
+		t.Errorf("MIN = %v, want [10, 40]", mn)
+	}
+}
+
+func TestAnalyzerMaxWithMaybeEmptyMissing(t *testing.T) {
+	s := salesSchema()
+	present := table.New(s)
+	present.MustAppend(domain.Row{5, 2, 40})
+	set := NewSet(s)
+	set.MustAdd(MustPC(predicate.NewBuilder(s).Eq("branch", 0).Build(),
+		map[string]domain.Interval{"price": domain.NewInterval(200, 300)}, 0, 2))
+	a := NewAnalyzer(present, NewEngine(set, nil, Options{}))
+	mx, err := a.Bound(Query{Agg: Max, Attr: "price"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Missing rows optional: max ∈ [present max, 300].
+	if mx.Lo != 40 || mx.Hi != 300 {
+		t.Errorf("MAX = %v, want [40, 300]", mx)
+	}
+	if mx.MaybeEmpty {
+		t.Error("full-table max is always defined here")
+	}
+}
+
+func TestAnalyzerAvg(t *testing.T) {
+	a, _ := analyzerFixture(t)
+	r, err := a.Bound(Query{Agg: Avg, Attr: "price"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Present: sum 100, count 2. Missing: sum [20,1000], count [2,6].
+	// Interval-arithmetic corners: lo = (100+20)/(2+6) = 15,
+	// hi = (100+1000)/(2+2) = 275.
+	if math.Abs(r.Lo-15) > 1e-6 || math.Abs(r.Hi-275) > 1e-6 {
+		t.Errorf("AVG = %v, want [15, 275]", r)
+	}
+}
+
+func TestAnalyzerAvgZeroDenominatorCorner(t *testing.T) {
+	s := salesSchema()
+	present := table.New(s) // no present rows
+	set := NewSet(s)
+	set.MustAdd(MustPC(predicate.NewBuilder(s).Eq("branch", 0).Build(),
+		map[string]domain.Interval{"price": domain.NewInterval(50, 100)}, 0, 10))
+	a := NewAnalyzer(present, NewEngine(set, nil, Options{}))
+	r, err := a.Bound(Query{Agg: Avg, Attr: "price"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single 100-price row gives avg 100; the count=1 corner must be
+	// included even though the count lower bound is 0.
+	if !r.Contains(100) {
+		t.Errorf("AVG range %v must contain the single-row average 100", r)
+	}
+	if !r.MaybeEmpty {
+		t.Error("zero rows possible: MaybeEmpty should be set")
+	}
+}
+
+func TestAnalyzerNoRowsAtAll(t *testing.T) {
+	s := salesSchema()
+	a := NewAnalyzer(table.New(s), NewEngine(NewSet(s), nil, Options{}))
+	r, err := a.Bound(Query{Agg: Avg, Attr: "price"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Lo <= r.Hi {
+		t.Errorf("AVG over nothing should be the empty range, got %v", r)
+	}
+	mx, err := a.Bound(Query{Agg: Max, Attr: "price"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mx.Lo <= mx.Hi {
+		t.Errorf("MAX over nothing should be the empty range, got %v", mx)
+	}
+	if _, err := a.Bound(Query{Agg: Agg(77)}); err == nil {
+		t.Error("unknown aggregate accepted")
+	}
+}
+
+// TestAnalyzerSoundnessRandomized mirrors the engine soundness test but at
+// the full-relation level: generate a complete instance, split it, derive
+// constraints for the missing part, and check the combined range contains
+// the full-table truth for every aggregate.
+func TestAnalyzerSoundnessRandomized(t *testing.T) {
+	s := domain.NewSchema(
+		domain.Attr{Name: "x", Kind: domain.Integral, Domain: domain.NewInterval(0, 9)},
+		domain.Attr{Name: "v", Kind: domain.Continuous, Domain: domain.NewInterval(0, 100)},
+	)
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		full := table.New(s)
+		n := 5 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			full.MustAppend(domain.Row{float64(rng.Intn(10)), rng.Float64() * 100})
+		}
+		present, missing := full.RemoveTopFraction("v", 0.3)
+		set := NewSet(s)
+		// Exact per-x constraints derived from the missing part.
+		for x := 0; x < 10; x++ {
+			pred := predicate.NewBuilder(s).Eq("x", float64(x)).Build()
+			cnt := int(missing.Count(pred))
+			vals := map[string]domain.Interval{}
+			if cnt > 0 {
+				lo, _ := missing.Min("v", pred)
+				hi, _ := missing.Max("v", pred)
+				vals["v"] = domain.NewInterval(lo, hi)
+			}
+			set.MustAdd(MustPC(pred, vals, cnt, cnt))
+		}
+		a := NewAnalyzer(present, NewEngine(set, nil, Options{}))
+		for qi := 0; qi < 3; qi++ {
+			var where *predicate.P
+			if qi > 0 {
+				lo := rng.Intn(10)
+				hi := lo + rng.Intn(10-lo)
+				where = predicate.NewBuilder(s).Range("x", float64(lo), float64(hi)).Build()
+			}
+			check := func(q Query, truth float64, defined bool) {
+				t.Helper()
+				r, err := a.Bound(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !defined {
+					return
+				}
+				if !r.Contains(truth) {
+					t.Fatalf("trial %d q%d %v: truth %v outside %v", trial, qi, q.Agg, truth, r)
+				}
+			}
+			check(Query{Agg: Count, Where: where}, full.Count(where), true)
+			check(Query{Agg: Sum, Attr: "v", Where: where}, full.Sum("v", where), true)
+			avg, okA := full.Avg("v", where)
+			check(Query{Agg: Avg, Attr: "v", Where: where}, avg, okA)
+			mn, okN := full.Min("v", where)
+			check(Query{Agg: Min, Attr: "v", Where: where}, mn, okN)
+			mx, okX := full.Max("v", where)
+			check(Query{Agg: Max, Attr: "v", Where: where}, mx, okX)
+		}
+	}
+}

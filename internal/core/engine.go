@@ -1,0 +1,350 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pcbound/internal/cells"
+	"pcbound/internal/domain"
+	"pcbound/internal/lp"
+	"pcbound/internal/milp"
+	"pcbound/internal/predicate"
+	"pcbound/internal/sat"
+)
+
+// Agg identifies an aggregate function.
+type Agg int
+
+const (
+	// Count is COUNT(*).
+	Count Agg = iota
+	// Sum is SUM(attr).
+	Sum
+	// Avg is AVG(attr).
+	Avg
+	// Min is MIN(attr).
+	Min
+	// Max is MAX(attr).
+	Max
+)
+
+func (a Agg) String() string {
+	switch a {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Avg:
+		return "AVG"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	default:
+		return fmt.Sprintf("Agg(%d)", int(a))
+	}
+}
+
+// Query is an aggregate query over the missing partition:
+// SELECT Agg(Attr) FROM R? WHERE Where.
+type Query struct {
+	Agg   Agg
+	Attr  string       // aggregated attribute; ignored for COUNT
+	Where *predicate.P // nil means no predicate
+}
+
+// Range is a hard result range: the aggregate of every missing-data instance
+// satisfying the constraint set lies in [Lo, Hi].
+type Range struct {
+	Lo, Hi float64
+	// LoExact / HiExact report whether the endpoint was proven optimal
+	// (tight) by the MILP, as opposed to a sound-but-looser relaxation or
+	// early-stopping bound.
+	LoExact, HiExact bool
+	// MaybeEmpty is set for MIN/MAX/AVG when the constraints admit an
+	// instance with zero missing rows, on which the aggregate is undefined;
+	// Lo/Hi then bound the aggregate over non-empty instances.
+	MaybeEmpty bool
+	// Reconciled is set when the frequency lower bounds were mutually
+	// unsatisfiable and were relaxed to zero to produce a (sound) range,
+	// per the paper's "reconcile conflicting constraints" behaviour.
+	Reconciled bool
+	// Cells is the number of satisfiable decomposition cells used.
+	Cells int
+	// SATChecks counts satisfiability queries issued for this bound.
+	SATChecks int64
+}
+
+// Contains reports whether v lies in the range.
+func (r Range) Contains(v float64) bool { return v >= r.Lo-1e-9 && v <= r.Hi+1e-9 }
+
+// Width returns Hi - Lo.
+func (r Range) Width() float64 { return r.Hi - r.Lo }
+
+func (r Range) String() string {
+	return fmt.Sprintf("[%g, %g]", r.Lo, r.Hi)
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Cells configures cell decomposition (strategy, early stopping…).
+	// The Pushdown field is managed per query and must be left nil.
+	Cells cells.Options
+	// MILP configures the branch-and-bound search.
+	MILP milp.Options
+	// DisableFastPath forces the general MILP path even for disjoint sets.
+	DisableFastPath bool
+}
+
+// Engine computes hard aggregate ranges for one constraint set.
+type Engine struct {
+	set    *Set
+	solver *sat.Solver
+	opts   Options
+}
+
+// NewEngine builds an engine over the set. A fresh SAT solver is created if
+// solver is nil.
+func NewEngine(set *Set, solver *sat.Solver, opts Options) *Engine {
+	if solver == nil {
+		solver = sat.New(set.Schema())
+	}
+	return &Engine{set: set, solver: solver, opts: opts}
+}
+
+// Set returns the engine's constraint set.
+func (e *Engine) Set() *Set { return e.set }
+
+// Solver returns the engine's SAT solver (for stats inspection).
+func (e *Engine) Solver() *sat.Solver { return e.solver }
+
+// Bound dispatches on the aggregate kind.
+func (e *Engine) Bound(q Query) (Range, error) {
+	switch q.Agg {
+	case Count:
+		return e.Count(q.Where)
+	case Sum:
+		return e.Sum(q.Attr, q.Where)
+	case Avg:
+		return e.Avg(q.Attr, q.Where)
+	case Min:
+		return e.Min(q.Attr, q.Where)
+	case Max:
+		return e.Max(q.Attr, q.Where)
+	default:
+		return Range{}, fmt.Errorf("core: unknown aggregate %v", q.Agg)
+	}
+}
+
+// cellProblem is the optimization problem extracted from a decomposition:
+// one integer variable per cell, one frequency window per constraint.
+type cellProblem struct {
+	schema *domain.Schema
+	cells  []cells.Cell
+	// cellsOf[j] lists cell indices in which constraint j is active.
+	cellsOf map[int][]int
+	// kLo/kHi are the (pushdown-adjusted) frequency windows by original
+	// constraint index.
+	kLo, kHi map[int]float64
+	// valueBoxes[j] is constraint j's ν.
+	valueBoxes []domain.Box
+	// capHi[i] is the per-cell cardinality cap (min of active KHi).
+	capHi []float64
+
+	satChecks int64
+}
+
+// decompose runs cell decomposition for a query predicate and assembles the
+// optimization problem.
+func (e *Engine) decompose(where *predicate.P) (*cellProblem, error) {
+	opts := e.opts.Cells
+	opts.Pushdown = where
+	res, err := cells.Decompose(e.solver, e.set.Predicates(), opts)
+	if err != nil {
+		return nil, err
+	}
+	cp := &cellProblem{
+		schema:  e.set.Schema(),
+		cells:   res.Cells,
+		cellsOf: make(map[int][]int),
+		kLo:     make(map[int]float64),
+		kHi:     make(map[int]float64),
+	}
+	cp.satChecks = res.Checks
+	cp.valueBoxes = make([]domain.Box, e.set.Len())
+	for j, pc := range e.set.PCs() {
+		cp.valueBoxes[j] = pc.Values
+	}
+	for i, c := range res.Cells {
+		for _, j := range c.Active {
+			cp.cellsOf[j] = append(cp.cellsOf[j], i)
+		}
+		_ = i
+	}
+	var whereBox domain.Box
+	if where != nil {
+		whereBox = where.Box()
+	}
+	for j, pc := range e.set.PCs() {
+		if len(cp.cellsOf[j]) == 0 {
+			continue // dropped by pushdown or fully pruned
+		}
+		cp.kHi[j] = float64(pc.KHi)
+		lo := float64(pc.KLo)
+		// A frequency lower bound forces rows to exist somewhere in ψ. Those
+		// rows are only forced INTO the query region when ψ lies entirely
+		// inside it; otherwise they may live outside and the lower bound
+		// must be relaxed to keep the range sound (see DESIGN.md).
+		if whereBox != nil && !whereBox.ContainsBox(pc.Pred.Box()) {
+			lo = 0
+		}
+		cp.kLo[j] = lo
+	}
+	cp.capHi = make([]float64, len(cp.cells))
+	khiVec := make([]float64, e.set.Len())
+	for j, pc := range e.set.PCs() {
+		khiVec[j] = float64(pc.KHi)
+	}
+	for i := range cp.cells {
+		cp.capHi[i] = cp.cells[i].MaxCount(khiVec)
+	}
+	return cp, nil
+}
+
+// constraintIdx returns the sorted constraint indices with at least one cell.
+func (cp *cellProblem) constraintIdx() []int {
+	idx := make([]int, 0, len(cp.cellsOf))
+	for j := range cp.cellsOf {
+		idx = append(idx, j)
+	}
+	sort.Ints(idx)
+	return idx
+}
+
+// buildLP assembles the base LP (no objective semantics; obj must have one
+// coefficient per cell). forbidZero lists cells constrained to x=0, and
+// atLeastOne adds Σx ≥ 1. relaxKLo drops frequency lower bounds.
+func (cp *cellProblem) buildLP(obj []float64, maximize bool, forbidZero []bool, atLeastOne bool, relaxKLo bool) *lp.Problem {
+	var p *lp.Problem
+	if maximize {
+		p = lp.NewMaximize(obj)
+	} else {
+		p = lp.NewMinimize(obj)
+	}
+	for _, j := range cp.constraintIdx() {
+		idx := cp.cellsOf[j]
+		val := make([]float64, len(idx))
+		for k := range val {
+			val[k] = 1
+		}
+		if !math.IsInf(cp.kHi[j], 1) {
+			_ = p.AddSparse(idx, val, lp.LE, cp.kHi[j])
+		}
+		if !relaxKLo && cp.kLo[j] > 0 {
+			_ = p.AddSparse(idx, val, lp.GE, cp.kLo[j])
+		}
+	}
+	for i := range cp.cells {
+		if forbidZero != nil && forbidZero[i] {
+			_ = p.AddSparse([]int{i}, []float64{1}, lp.LE, 0)
+			continue
+		}
+		_ = p.AddUpperBound(i, cp.capHi[i])
+	}
+	if atLeastOne {
+		all := make([]float64, len(cp.cells))
+		for i := range all {
+			all[i] = 1
+		}
+		_ = p.AddDense(all, lp.GE, 1)
+	}
+	return p
+}
+
+// solveResult carries a directional MILP outcome.
+type solveResult struct {
+	bound      float64 // sound outer bound in the requested direction
+	exact      bool    // proven optimal
+	reconciled bool    // kLo relaxation was needed
+	feasible   bool
+	nodes      int
+}
+
+// solve optimizes obj over the cell problem in the given direction, relaxing
+// frequency lower bounds if the system is infeasible (constraint
+// reconciliation).
+func (cp *cellProblem) solve(obj []float64, maximize bool, forbidZero []bool, atLeastOne bool, mopts milp.Options) solveResult {
+	for _, relax := range []bool{false, true} {
+		p := cp.buildLP(obj, maximize, forbidZero, atLeastOne, relax)
+		var sol milp.Solution
+		if maximize {
+			sol = milp.SolveMax(milp.Problem{LP: p}, mopts)
+		} else {
+			sol = milp.SolveMin(milp.Problem{LP: p}, mopts)
+		}
+		switch sol.Status {
+		case milp.Optimal:
+			return solveResult{bound: sol.Objective, exact: true, reconciled: relax, feasible: true, nodes: sol.Nodes}
+		case milp.Feasible, milp.BoundOnly:
+			return solveResult{bound: sol.Bound, exact: false, reconciled: relax, feasible: true, nodes: sol.Nodes}
+		case milp.Unbounded:
+			inf := math.Inf(1)
+			if !maximize {
+				inf = math.Inf(-1)
+			}
+			return solveResult{bound: inf, exact: true, reconciled: relax, feasible: true, nodes: sol.Nodes}
+		case milp.Infeasible:
+			// fall through to the relaxed attempt
+		}
+	}
+	return solveResult{feasible: false}
+}
+
+// feasible reports whether any allocation satisfies the constraints with the
+// given cell restrictions.
+func (cp *cellProblem) feasible(forbidZero []bool, atLeastOne bool, minOne int, mopts milp.Options) bool {
+	obj := make([]float64, len(cp.cells))
+	p := cp.buildLP(obj, true, forbidZero, atLeastOne, false)
+	if minOne >= 0 {
+		_ = p.AddSparse([]int{minOne}, []float64{1}, lp.GE, 1)
+	}
+	sol := milp.SolveMax(milp.Problem{LP: p}, mopts)
+	return sol.Status == milp.Optimal || sol.Status == milp.Feasible
+}
+
+// mayBeEmpty reports whether the zero allocation is feasible (no forced
+// rows inside the query region).
+func (cp *cellProblem) mayBeEmpty() bool {
+	for _, j := range cp.constraintIdx() {
+		if cp.kLo[j] > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// upperVec / lowerVec compute per-cell extreme values for an attribute.
+func (cp *cellProblem) upperVec(attrIdx int) []float64 {
+	u := make([]float64, len(cp.cells))
+	for i := range cp.cells {
+		u[i] = cp.cells[i].UpperValue(attrIdx, cp.valueBoxes)
+	}
+	return u
+}
+
+func (cp *cellProblem) lowerVec(attrIdx int) []float64 {
+	l := make([]float64, len(cp.cells))
+	for i := range cp.cells {
+		l[i] = cp.cells[i].LowerValue(attrIdx, cp.valueBoxes)
+	}
+	return l
+}
+
+func (cp *cellProblem) ones() []float64 {
+	o := make([]float64, len(cp.cells))
+	for i := range o {
+		o[i] = 1
+	}
+	return o
+}

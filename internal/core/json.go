@@ -1,0 +1,128 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"pcbound/internal/domain"
+	"pcbound/internal/predicate"
+)
+
+// This file implements a JSON wire format for schemas and constraint sets,
+// so contingency assumptions can be "checked, versioned, and tested just
+// like any other analysis code" (Section 1). cmd/pcrange consumes the same
+// format.
+
+// SpecJSON is the serialized form of a schema plus constraint set.
+type SpecJSON struct {
+	Schema      []AttrJSON `json:"schema"`
+	Constraints []PCJSON   `json:"constraints"`
+}
+
+// AttrJSON serializes one schema attribute.
+type AttrJSON struct {
+	Name string  `json:"name"`
+	Kind string  `json:"kind"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// PCJSON serializes one predicate-constraint. Predicate and value ranges
+// map attribute name to [lo, hi]; attributes absent from a map are
+// unconstrained. Infinite endpoints are encoded as missing maps entries
+// (use the attribute domain instead).
+type PCJSON struct {
+	Name      string                `json:"name,omitempty"`
+	Predicate map[string][2]float64 `json:"predicate"`
+	Values    map[string][2]float64 `json:"values,omitempty"`
+	KLo       int                   `json:"klo"`
+	KHi       int                   `json:"khi"`
+}
+
+// EncodeSet serializes the set (with its schema) to JSON.
+func EncodeSet(set *Set) ([]byte, error) {
+	schema := set.Schema()
+	spec := SpecJSON{}
+	for i := 0; i < schema.Len(); i++ {
+		a := schema.Attr(i)
+		kind := "continuous"
+		if a.Kind == domain.Integral {
+			kind = "integral"
+		}
+		spec.Schema = append(spec.Schema, AttrJSON{
+			Name: a.Name, Kind: kind, Min: a.Domain.Lo, Max: a.Domain.Hi,
+		})
+	}
+	for _, pc := range set.PCs() {
+		pj := PCJSON{
+			Name:      pc.Name,
+			Predicate: map[string][2]float64{},
+			Values:    map[string][2]float64{},
+			KLo:       pc.KLo,
+			KHi:       pc.KHi,
+		}
+		box := pc.Pred.Box()
+		for i := 0; i < schema.Len(); i++ {
+			a := schema.Attr(i)
+			if box[i] != a.Domain {
+				pj.Predicate[a.Name] = [2]float64{box[i].Lo, box[i].Hi}
+			}
+			if pc.Values[i] != a.Domain {
+				pj.Values[a.Name] = [2]float64{pc.Values[i].Lo, pc.Values[i].Hi}
+			}
+		}
+		spec.Constraints = append(spec.Constraints, pj)
+	}
+	return json.MarshalIndent(spec, "", "  ")
+}
+
+// DecodeSet parses a SpecJSON document into a fresh schema and set.
+func DecodeSet(raw []byte) (*Set, *domain.Schema, error) {
+	var spec SpecJSON
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return nil, nil, fmt.Errorf("core: parsing spec: %w", err)
+	}
+	if len(spec.Schema) == 0 {
+		return nil, nil, fmt.Errorf("core: spec has no schema")
+	}
+	attrs := make([]domain.Attr, len(spec.Schema))
+	for i, a := range spec.Schema {
+		kind := domain.Continuous
+		switch a.Kind {
+		case "integral", "int", "integer", "categorical":
+			kind = domain.Integral
+		case "continuous", "float", "":
+		default:
+			return nil, nil, fmt.Errorf("core: unknown kind %q for attribute %q", a.Kind, a.Name)
+		}
+		if a.Min > a.Max || math.IsNaN(a.Min) || math.IsNaN(a.Max) {
+			return nil, nil, fmt.Errorf("core: invalid domain [%g, %g] for attribute %q", a.Min, a.Max, a.Name)
+		}
+		attrs[i] = domain.Attr{Name: a.Name, Kind: kind, Domain: domain.NewInterval(a.Min, a.Max)}
+	}
+	schema := domain.NewSchema(attrs...)
+	set := NewSet(schema)
+	for i, c := range spec.Constraints {
+		b := predicate.NewBuilder(schema)
+		for name, rng := range c.Predicate {
+			if _, ok := schema.Index(name); !ok {
+				return nil, nil, fmt.Errorf("core: constraint %d: unknown predicate attribute %q", i, name)
+			}
+			b.Range(name, rng[0], rng[1])
+		}
+		values := map[string]domain.Interval{}
+		for name, rng := range c.Values {
+			values[name] = domain.NewInterval(rng[0], rng[1])
+		}
+		pc, err := NewPC(b.Build(), values, c.KLo, c.KHi)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: constraint %d: %w", i, err)
+		}
+		pc.Name = c.Name
+		if err := set.Add(pc); err != nil {
+			return nil, nil, fmt.Errorf("core: constraint %d: %w", i, err)
+		}
+	}
+	return set, schema, nil
+}

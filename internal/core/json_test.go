@@ -1,0 +1,153 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pcbound/internal/domain"
+	"pcbound/internal/predicate"
+)
+
+func specFixture() *Set {
+	s := salesSchema()
+	set := NewSet(s)
+	set.MustAdd(
+		MustPC(predicate.NewBuilder(s).Eq("branch", 0).Build(),
+			map[string]domain.Interval{"price": domain.NewInterval(0, 149.99)}, 0, 5),
+		MustPC(predicate.NewBuilder(s).Range("utc", 10, 13).Build(),
+			map[string]domain.Interval{"price": domain.NewInterval(0, 999.99)}, 2, 100),
+	)
+	set.PCs()[0].Name = ""
+	return set
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	set := specFixture()
+	raw, err := EncodeSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, schema, err := DecodeSet(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Len() != set.Schema().Len() {
+		t.Fatalf("schema len = %d", schema.Len())
+	}
+	if got.Len() != set.Len() {
+		t.Fatalf("constraints = %d, want %d", got.Len(), set.Len())
+	}
+	for i, pc := range got.PCs() {
+		orig := set.PCs()[i]
+		if pc.KLo != orig.KLo || pc.KHi != orig.KHi {
+			t.Errorf("constraint %d frequency [%d,%d], want [%d,%d]",
+				i, pc.KLo, pc.KHi, orig.KLo, orig.KHi)
+		}
+		for d := range pc.Values {
+			if pc.Values[d] != orig.Values[d] {
+				t.Errorf("constraint %d values dim %d: %v vs %v", i, d, pc.Values[d], orig.Values[d])
+			}
+			if pc.Pred.Box()[d] != orig.Pred.Box()[d] {
+				t.Errorf("constraint %d predicate dim %d differs", i, d)
+			}
+		}
+	}
+	// Both sets must produce identical bounds.
+	e1 := NewEngine(set, nil, Options{})
+	e2 := NewEngine(got, nil, Options{})
+	r1, err := e1.Sum("price", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-express the query over the decoded schema (same names).
+	r2, err := e2.Sum("price", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Lo != r2.Lo || r1.Hi != r2.Hi {
+		t.Errorf("bounds differ after round trip: %v vs %v", r1, r2)
+	}
+}
+
+func TestDecodeSetErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  string
+	}{
+		{"garbage", "not json"},
+		{"no schema", `{"constraints": []}`},
+		{"bad kind", `{"schema":[{"name":"x","kind":"complex","min":0,"max":1}]}`},
+		{"inverted domain", `{"schema":[{"name":"x","kind":"continuous","min":5,"max":1}]}`},
+		{"unknown predicate attr", `{"schema":[{"name":"x","kind":"continuous","min":0,"max":1}],
+			"constraints":[{"predicate":{"y":[0,1]},"klo":0,"khi":1}]}`},
+		{"bad frequency", `{"schema":[{"name":"x","kind":"continuous","min":0,"max":1}],
+			"constraints":[{"predicate":{},"klo":5,"khi":1}]}`},
+	}
+	for _, tc := range cases {
+		if _, _, err := DecodeSet([]byte(tc.raw)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestEncodeOmitsUnconstrainedAttrs(t *testing.T) {
+	set := specFixture()
+	raw, err := EncodeSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(raw)
+	// The first constraint predicates only on branch; utc must not appear in
+	// its predicate map (spot-check the document mentions both attrs overall
+	// but the encoding is sparse).
+	if !strings.Contains(s, `"branch"`) || !strings.Contains(s, `"price"`) {
+		t.Errorf("expected sparse maps mentioning branch and price:\n%s", s)
+	}
+	// Unconstrained humidity-like attributes: salesSchema has only 3 attrs,
+	// all used somewhere; just assert the document parses back.
+	if _, _, err := DecodeSet(raw); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	s := salesSchema()
+	set := NewSet(s)
+	set.MustAdd(
+		MustPC(predicate.NewBuilder(s).Eq("branch", 0).Build(),
+			map[string]domain.Interval{"price": domain.NewInterval(0, 100)}, 1, 5),
+		MustPC(predicate.NewBuilder(s).Eq("branch", 1).Build(),
+			map[string]domain.Interval{"price": domain.NewInterval(0, 200)}, 2, 3),
+	)
+	e := NewEngine(set, nil, Options{})
+	groups := []*predicate.P{
+		predicate.NewBuilder(s).Eq("branch", 0).Build(),
+		predicate.NewBuilder(s).Eq("branch", 1).Build(),
+		predicate.NewBuilder(s).Eq("branch", 2).Build(),
+	}
+	out, err := e.GroupBy(Query{Agg: Count}, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("groups = %d", len(out))
+	}
+	if out[0].Range.Lo != 1 || out[0].Range.Hi != 5 {
+		t.Errorf("group 0 = %v, want [1, 5]", out[0].Range)
+	}
+	if out[1].Range.Lo != 2 || out[1].Range.Hi != 3 {
+		t.Errorf("group 1 = %v, want [2, 3]", out[1].Range)
+	}
+	if out[2].Range.Lo != 0 || out[2].Range.Hi != 0 {
+		t.Errorf("group 2 (uncovered) = %v, want [0, 0]", out[2].Range)
+	}
+	// With an outer WHERE, the group conjoins.
+	where := predicate.NewBuilder(s).Range("utc", 0, 30).Build()
+	out2, err := e.GroupBy(Query{Agg: Sum, Attr: "price", Where: where}, groups[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2[0].Range.Hi != 500 {
+		t.Errorf("group SUM upper = %v, want 500", out2[0].Range.Hi)
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pcbound/internal/domain"
+	"pcbound/internal/predicate"
+	"pcbound/internal/sat"
+)
+
+// salesSchema mirrors the paper's running example (Section 2.1):
+// Sales(utc, branch, price). utc is a day number, branch a category code.
+func salesSchema() *domain.Schema {
+	return domain.NewSchema(
+		domain.Attr{Name: "utc", Kind: domain.Integral, Domain: domain.NewInterval(0, 30)},
+		domain.Attr{Name: "branch", Kind: domain.Integral, Domain: domain.NewInterval(0, 2)},
+		domain.Attr{Name: "price", Kind: domain.Continuous, Domain: domain.NewInterval(0, 1000)},
+	)
+}
+
+func TestNewPCValidation(t *testing.T) {
+	s := salesSchema()
+	pred := predicate.NewBuilder(s).Eq("branch", 0).Build()
+	if _, err := NewPC(pred, map[string]domain.Interval{"price": domain.NewInterval(0, 149.99)}, 0, 5); err != nil {
+		t.Fatalf("valid PC rejected: %v", err)
+	}
+	if _, err := NewPC(nil, nil, 0, 5); err == nil {
+		t.Error("nil predicate accepted")
+	}
+	if _, err := NewPC(pred, nil, -1, 5); err == nil {
+		t.Error("negative klo accepted")
+	}
+	if _, err := NewPC(pred, nil, 6, 5); err == nil {
+		t.Error("klo > khi accepted")
+	}
+	if _, err := NewPC(pred, map[string]domain.Interval{"nope": domain.Full}, 0, 5); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, err := NewPC(pred, map[string]domain.Interval{"price": domain.NewInterval(10, 5)}, 0, 5); err == nil {
+		t.Error("empty value range with khi>0 accepted")
+	}
+	// Empty value range with khi == 0 is legal (vacuous constraint).
+	if _, err := NewPC(pred, map[string]domain.Interval{"price": domain.NewInterval(10, 5)}, 0, 0); err != nil {
+		t.Errorf("vacuous PC rejected: %v", err)
+	}
+}
+
+func TestPCSatisfiedBy(t *testing.T) {
+	s := salesSchema()
+	// Paper's c1: branch = Chicago(0) => price <= 149.99, at most 5 rows.
+	pc := MustPC(
+		predicate.NewBuilder(s).Eq("branch", 0).Build(),
+		map[string]domain.Interval{"price": domain.NewInterval(0, 149.99)},
+		0, 5)
+	good := []domain.Row{
+		{1, 0, 100}, {2, 0, 149.99}, {3, 1, 999}, // branch 1 unconstrained
+	}
+	if err := pc.SatisfiedBy(good); err != nil {
+		t.Errorf("good instance rejected: %v", err)
+	}
+	badValue := []domain.Row{{1, 0, 200}}
+	if err := pc.SatisfiedBy(badValue); err == nil {
+		t.Error("value violation accepted")
+	}
+	badCount := make([]domain.Row, 6)
+	for i := range badCount {
+		badCount[i] = domain.Row{float64(i), 0, 10}
+	}
+	if err := pc.SatisfiedBy(badCount); err == nil {
+		t.Error("count violation accepted")
+	}
+	// Lower-bound violation.
+	pcLo := MustPC(predicate.NewBuilder(s).Eq("branch", 1).Build(), nil, 2, 10)
+	if err := pcLo.SatisfiedBy([]domain.Row{{1, 1, 5}}); err == nil {
+		t.Error("count below klo accepted")
+	}
+}
+
+func TestSetAddValidation(t *testing.T) {
+	s := salesSchema()
+	set := NewSet(s)
+	other := salesSchema()
+	pcOther := MustPC(predicate.True(other), nil, 0, 5)
+	if err := set.Add(pcOther); err == nil {
+		t.Error("PC over different schema accepted")
+	}
+	pc := MustPC(predicate.True(s), nil, 0, 5)
+	if err := set.Add(pc); err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 1 {
+		t.Errorf("Len = %d", set.Len())
+	}
+	bad := pc
+	bad.KLo, bad.KHi = 3, 1
+	if err := set.Add(bad); err == nil {
+		t.Error("inverted frequency window accepted")
+	}
+}
+
+func TestClosedAndUncovered(t *testing.T) {
+	s := salesSchema()
+	sv := sat.New(s)
+	set := NewSet(s)
+	// Branches 0 and 1 covered, branch 2 not: not closed.
+	set.MustAdd(
+		MustPC(predicate.NewBuilder(s).Eq("branch", 0).Build(), nil, 0, 5),
+		MustPC(predicate.NewBuilder(s).Eq("branch", 1).Build(), nil, 0, 5),
+	)
+	if set.Closed(sv) {
+		t.Error("incomplete set reported closed")
+	}
+	w, ok := set.Uncovered(sv)
+	if !ok {
+		t.Fatal("expected uncovered witness")
+	}
+	if w[s.MustIndex("branch")] != 2 {
+		t.Errorf("witness branch = %v, want 2", w[s.MustIndex("branch")])
+	}
+	set.MustAdd(MustPC(predicate.NewBuilder(s).Eq("branch", 2).Build(), nil, 0, 5))
+	if !set.Closed(sv) {
+		t.Error("complete set reported open")
+	}
+	if _, ok := set.Uncovered(sv); ok {
+		t.Error("closed set returned witness")
+	}
+}
+
+func TestValidateAgainstHistory(t *testing.T) {
+	s := salesSchema()
+	set := NewSet(s)
+	set.MustAdd(
+		MustPC(predicate.NewBuilder(s).Eq("branch", 0).Build(),
+			map[string]domain.Interval{"price": domain.NewInterval(0, 100)}, 0, 2),
+		MustPC(predicate.NewBuilder(s).Eq("branch", 1).Build(),
+			map[string]domain.Interval{"price": domain.NewInterval(0, 50)}, 0, 2),
+	)
+	ok := []domain.Row{{1, 0, 99}, {1, 1, 49}}
+	if errs := set.Validate(ok); len(errs) != 0 {
+		t.Errorf("valid history rejected: %v", errs)
+	}
+	bad := []domain.Row{{1, 0, 999}, {1, 1, 60}}
+	if errs := set.Validate(bad); len(errs) != 2 {
+		t.Errorf("want 2 violations, got %v", errs)
+	}
+}
+
+func TestDisjointDetection(t *testing.T) {
+	s := salesSchema()
+	set := NewSet(s)
+	set.MustAdd(
+		MustPC(predicate.NewBuilder(s).Eq("branch", 0).Build(), nil, 0, 5),
+		MustPC(predicate.NewBuilder(s).Eq("branch", 1).Build(), nil, 0, 5),
+	)
+	if !set.Disjoint() {
+		t.Error("disjoint set not detected")
+	}
+	// Cached value must invalidate on Add.
+	set.MustAdd(MustPC(predicate.True(s), nil, 0, 100))
+	if set.Disjoint() {
+		t.Error("overlapping set reported disjoint")
+	}
+}
+
+func TestDisjointLatticeAware(t *testing.T) {
+	s := salesSchema()
+	set := NewSet(s)
+	// Overlap only in the integer-free region (0.2, 0.8) of an integral
+	// attribute: still disjoint on the lattice.
+	set.MustAdd(
+		MustPC(predicate.NewBuilder(s).Range("branch", 0, 0.2).Build(), nil, 0, 5),
+		MustPC(predicate.NewBuilder(s).Range("branch", 0.8, 2).Build(), nil, 0, 5),
+	)
+	if !set.Disjoint() {
+		t.Error("lattice-disjoint set not detected")
+	}
+}
+
+func TestTotalKLoAndMaxAbsValue(t *testing.T) {
+	s := salesSchema()
+	set := NewSet(s)
+	set.MustAdd(
+		MustPC(predicate.NewBuilder(s).Eq("branch", 0).Build(),
+			map[string]domain.Interval{"price": domain.NewInterval(5, 100)}, 2, 5),
+		MustPC(predicate.NewBuilder(s).Eq("branch", 1).Build(),
+			map[string]domain.Interval{"price": domain.NewInterval(0, 250)}, 3, 5),
+	)
+	if got := set.TotalKLo(); got != 5 {
+		t.Errorf("TotalKLo = %d, want 5", got)
+	}
+	if got := set.MaxAbsValue("price"); got != 250 {
+		t.Errorf("MaxAbsValue = %v, want 250", got)
+	}
+}
+
+func TestPCString(t *testing.T) {
+	s := salesSchema()
+	pc := MustPC(predicate.NewBuilder(s).Eq("branch", 0).Build(), nil, 0, 5)
+	if pc.String() == "" {
+		t.Error("empty PC string")
+	}
+	pc.Name = "c1"
+	if got := pc.String(); got[:2] != "c1" {
+		t.Errorf("named PC string = %q", got)
+	}
+	if math.IsNaN(1.0) { // keep math import honest
+		t.Fatal()
+	}
+}

@@ -1,0 +1,167 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"pcbound/internal/predicate"
+	"pcbound/internal/stats"
+)
+
+func TestIntelShape(t *testing.T) {
+	tb := Intel(5000, 1)
+	if tb.Len() != 5000 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	s := tb.Schema()
+	for _, name := range []string{"device", "time", "light", "temperature", "humidity", "voltage"} {
+		if _, ok := s.Index(name); !ok {
+			t.Errorf("missing attribute %q", name)
+		}
+	}
+	// All rows inside the domain box.
+	full := s.FullBox()
+	for i := 0; i < tb.Len(); i++ {
+		if !full.Contains(tb.Row(i)) {
+			t.Fatalf("row %v escapes domain", tb.Row(i))
+		}
+	}
+	// Light must correlate with time-of-day (diurnal signal): correlation of
+	// light with the day-phase cosine should be clearly positive.
+	light := tb.Column("light")
+	phase := make([]float64, tb.Len())
+	ti := s.MustIndex("time")
+	for i := 0; i < tb.Len(); i++ {
+		tm := tb.Row(i)[ti]
+		hour := math.Mod(tm/60, 24)
+		phase[i] = math.Max(0, math.Cos((hour-13)/24*2*math.Pi))
+	}
+	if r := stats.Pearson(light, phase); r < 0.3 {
+		t.Errorf("light/diurnal correlation = %v, want > 0.3", r)
+	}
+}
+
+func TestIntelDeterministic(t *testing.T) {
+	a := Intel(100, 7)
+	b := Intel(100, 7)
+	for i := 0; i < 100; i++ {
+		for j := range a.Row(i) {
+			if a.Row(i)[j] != b.Row(i)[j] {
+				t.Fatal("same seed produced different data")
+			}
+		}
+	}
+	c := Intel(100, 8)
+	same := true
+	for i := 0; i < 100 && same; i++ {
+		for j := range a.Row(i) {
+			if a.Row(i)[j] != c.Row(i)[j] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestAirbnbSkew(t *testing.T) {
+	tb := Airbnb(20000, 2)
+	if tb.Len() != 20000 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	price := tb.Column("price")
+	mean := stats.Mean(price)
+	med := stats.Median(price)
+	// Lognormal prices: mean well above median (right skew).
+	if mean < med*1.15 {
+		t.Errorf("price mean %v vs median %v: not right-skewed", mean, med)
+	}
+	// Manhattan cluster must be more expensive than the rest.
+	s := tb.Schema()
+	manhattan := predicate.NewBuilder(s).
+		Range("latitude", 40.74, 40.82).Range("longitude", -74.02, -73.93).Build()
+	inAvg, ok1 := tb.Avg("price", manhattan)
+	allAvg, ok2 := tb.Avg("price", nil)
+	if !ok1 || !ok2 || inAvg <= allAvg {
+		t.Errorf("Manhattan avg %v should exceed overall %v", inAvg, allAvg)
+	}
+	full := s.FullBox()
+	for i := 0; i < tb.Len(); i++ {
+		if !full.Contains(tb.Row(i)) {
+			t.Fatalf("row %v escapes domain", tb.Row(i))
+		}
+	}
+}
+
+func TestBorderSkew(t *testing.T) {
+	tb := Border(20000, 3)
+	if tb.Len() != 20000 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	value := tb.Column("value")
+	mean := stats.Mean(value)
+	med := stats.Median(value)
+	if mean < med*1.5 {
+		t.Errorf("value mean %v vs median %v: not heavy-tailed", mean, med)
+	}
+	// Busiest port (0) must dominate a quiet port (100).
+	s := tb.Schema()
+	p0 := predicate.NewBuilder(s).Eq("port", 0).Build()
+	p100 := predicate.NewBuilder(s).Eq("port", 100).Build()
+	a0, ok0 := tb.Avg("value", p0)
+	a100, ok100 := tb.Avg("value", p100)
+	if !ok0 || !ok100 || a0 <= a100 {
+		t.Errorf("port 0 avg %v should exceed port 100 avg %v", a0, a100)
+	}
+	// Values are integral counts.
+	for i := 0; i < 100; i++ {
+		v := tb.Row(i)[s.MustIndex("value")]
+		if v != math.Floor(v) {
+			t.Errorf("value %v not integral", v)
+		}
+	}
+}
+
+func TestEdges(t *testing.T) {
+	tb := Edges(500, 20, 4)
+	if tb.Len() != 500 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	s := tb.Schema()
+	for i := 0; i < tb.Len(); i++ {
+		r := tb.Row(i)
+		if r[0] < 0 || r[0] > 19 || r[1] < 0 || r[1] > 19 {
+			t.Fatalf("edge %v out of vertex range", r)
+		}
+	}
+	if _, ok := s.Index("src"); !ok {
+		t.Error("missing src")
+	}
+}
+
+func TestRemoveRandomFraction(t *testing.T) {
+	tb := Intel(1000, 5)
+	present, missing := RemoveRandomFraction(tb, 0.3, 9)
+	if missing.Len() != 300 || present.Len() != 700 {
+		t.Fatalf("split = %d/%d", present.Len(), missing.Len())
+	}
+	// Random removal should NOT be value-correlated: missing light mean close
+	// to overall mean (within 15%).
+	allMean := stats.Mean(tb.Column("light"))
+	missMean := stats.Mean(missing.Column("light"))
+	if math.Abs(missMean-allMean) > 0.15*allMean {
+		t.Errorf("random removal looks correlated: %v vs %v", missMean, allMean)
+	}
+}
+
+func TestCorrelatedRemovalIsCorrelated(t *testing.T) {
+	tb := Intel(2000, 6)
+	_, missing := tb.RemoveTopFraction("light", 0.2)
+	allMean := stats.Mean(tb.Column("light"))
+	missMean := stats.Mean(missing.Column("light"))
+	if missMean < 1.5*allMean {
+		t.Errorf("top-fraction removal should skew high: missing mean %v vs all %v", missMean, allMean)
+	}
+}

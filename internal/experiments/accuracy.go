@@ -1,0 +1,424 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pcbound/internal/baselines"
+	"pcbound/internal/core"
+	"pcbound/internal/data"
+	"pcbound/internal/pcgen"
+	"pcbound/internal/stats"
+	"pcbound/internal/table"
+	"pcbound/internal/workload"
+)
+
+// Fig1 reproduces Figure 1: relative error of simple extrapolation on a SUM
+// query as the fraction of (value-correlated) missing rows grows.
+func Fig1(cfg Config) (Result, error) {
+	tb := data.Intel(cfg.Rows, cfg.Seed)
+	truth := tb.Sum("light", nil)
+	series := map[string]float64{}
+	var rows [][]string
+	for _, frac := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+		present, _ := tb.RemoveTopFraction("light", frac)
+		est := baselines.ExtrapolateSum(present, "light", nil, tb.Len())
+		re := baselines.RelativeError(est, truth)
+		key := fmt.Sprintf("relerr/%.1f", frac)
+		series[key] = re
+		rows = append(rows, []string{fmt.Sprintf("%.1f", frac), f3(re)})
+	}
+	return Result{
+		Table:  renderTable([]string{"fraction missing", "relative error"}, rows),
+		Series: series,
+	}, nil
+}
+
+// intelScenario bundles the Intel twin split into present/missing plus the
+// standard constraint sets and baselines at a given missing fraction.
+type scenario struct {
+	missing   *table.T
+	queryGen  *workload.Gen
+	corrPC    *baselines.PCEstimator
+	estimates []baselines.Estimator
+}
+
+// intelEstimators builds Corr-PC, Rand-PC, US-1n, ST-1n and Histogram over
+// the Intel missing rows, as in Figures 3 and 4.
+func intelEstimators(cfg Config, frac float64) (*scenario, error) {
+	tb := data.Intel(cfg.Rows, cfg.Seed)
+	_, missing := tb.RemoveTopFraction("light", frac)
+	return buildScenario(cfg, missing, []string{"device", "time"}, "light", 1)
+}
+
+// buildScenario derives the standard estimator suite for a missing table.
+// sampleScale multiplies the sample size (1 → "1n").
+func buildScenario(cfg Config, missing *table.T, predAttrs []string, aggAttr string, sampleScale int) (*scenario, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 100))
+	corrSet, err := pcgen.CorrPC(missing, predAttrs, cfg.PCs)
+	if err != nil {
+		return nil, err
+	}
+	randSet, err := pcgen.RandPC(missing, predAttrs, cfg.PCs, 12, rng)
+	if err != nil {
+		return nil, err
+	}
+	corr := &baselines.PCEstimator{Label: "Corr-PC", Engine: core.NewEngine(corrSet, nil, core.Options{})}
+	randE := &baselines.PCEstimator{Label: "Rand-PC", Engine: core.NewEngine(randSet, nil, core.Options{})}
+	us := baselines.NewUniformSample(fmt.Sprintf("US-%dn", sampleScale),
+		missing, sampleScale*cfg.PCs, false, 0.9999, rng)
+	// Stratified sampling uses a coarser partition than the PCs so each
+	// stratum receives several sample rows (1 row per stratum degenerates
+	// every per-stratum spread estimate to zero width).
+	strataSet, err := pcgen.CorrPC(missing, predAttrs, maxInt(8, cfg.PCs/8))
+	if err != nil {
+		return nil, err
+	}
+	st := baselines.NewStratifiedSample(fmt.Sprintf("ST-%dn", sampleScale),
+		missing, strataSet.Predicates(), sampleScale*cfg.PCs, false, 0.9999, rng)
+	hist := baselines.NewHistogram("Histogram", missing, append(append([]string{}, predAttrs...), aggAttr), 64)
+	hist.Frechet = true
+	sc := &scenario{
+		missing:  missing,
+		queryGen: workload.New(missing.Schema(), predAttrs, aggAttr, cfg.Seed+7),
+		corrPC:   corr,
+		estimates: []baselines.Estimator{
+			corr, st, us, randE, hist,
+		},
+	}
+	return sc, nil
+}
+
+// accuracyByFraction is the shared harness of Figures 3 and 4.
+func accuracyByFraction(cfg Config, agg core.Agg) (Result, error) {
+	fracs := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	series := map[string]float64{}
+	var rows [][]string
+	for _, frac := range fracs {
+		sc, err := intelEstimators(cfg, frac)
+		if err != nil {
+			return Result{}, err
+		}
+		queries := sc.queryGen.Queries(cfg.Queries, agg)
+		for _, est := range sc.estimates {
+			out := evaluate(est, queries, sc.missing)
+			series[fmt.Sprintf("fail/%s/%.1f", est.Name(), frac)] = out.FailureRate()
+			series[fmt.Sprintf("over/%s/%.1f", est.Name(), frac)] = out.MedianOverEst()
+			rows = append(rows, []string{
+				fmt.Sprintf("%.1f", frac), est.Name(),
+				f2(out.FailureRate()), f2(out.MedianOverEst()),
+			})
+		}
+	}
+	return Result{
+		Table: renderTable(
+			[]string{"fraction missing", "framework", "failure rate (%)", "median over-estimation"},
+			rows),
+		Series: series,
+	}, nil
+}
+
+// Fig3 reproduces Figure 3 (COUNT(*) accuracy on Intel Wireless).
+func Fig3(cfg Config) (Result, error) { return accuracyByFraction(cfg, core.Count) }
+
+// Fig4 reproduces Figure 4 (SUM(light) accuracy on Intel Wireless).
+func Fig4(cfg Config) (Result, error) { return accuracyByFraction(cfg, core.Sum) }
+
+// Table1 reproduces Table 1: uniform sampling's failure/over-estimation
+// trade-off across confidence levels, against Corr-PC's zero-failure line.
+func Table1(cfg Config) (Result, error) {
+	sc, err := intelEstimators(cfg, 0.3)
+	if err != nil {
+		return Result{}, err
+	}
+	queries := sc.queryGen.Queries(cfg.Queries, core.Sum)
+	series := map[string]float64{}
+	var rows [][]string
+	for _, conf := range []float64{0.80, 0.85, 0.90, 0.95, 0.99, 0.999, 0.9999} {
+		// Re-seed per confidence level so every level sees the SAME sample
+		// and only the interval width varies.
+		rng := rand.New(rand.NewSource(cfg.Seed + 55))
+		us := baselines.NewUniformSample("US-1n", sc.missing, cfg.PCs, false, conf, rng)
+		out := evaluate(us, queries, sc.missing)
+		series[fmt.Sprintf("fail/US-1n/%g", conf*100)] = out.FailureRate()
+		series[fmt.Sprintf("over/US-1n/%g", conf*100)] = out.MedianOverEst()
+		rows = append(rows, []string{
+			fmt.Sprintf("%g%%", conf*100), "US-1n",
+			f2(out.FailureRate()), f2(out.MedianOverEst()),
+		})
+	}
+	pcOut := evaluate(sc.corrPC, queries, sc.missing)
+	series["fail/Corr-PC"] = pcOut.FailureRate()
+	series["over/Corr-PC"] = pcOut.MedianOverEst()
+	rows = append(rows, []string{"—", "Corr-PC", f2(pcOut.FailureRate()), f2(pcOut.MedianOverEst())})
+	return Result{
+		Table: renderTable(
+			[]string{"confidence", "framework", "failure rate (%)", "over-estimation"},
+			rows),
+		Series: series,
+	}, nil
+}
+
+// Fig5 reproduces Figure 5: uniform sampling with 1N/2N/5N/10N samples vs
+// Corr-PC, for COUNT and SUM.
+func Fig5(cfg Config) (Result, error) {
+	sc, err := intelEstimators(cfg, 0.3)
+	if err != nil {
+		return Result{}, err
+	}
+	series := map[string]float64{}
+	var rows [][]string
+	rng := rand.New(rand.NewSource(cfg.Seed + 56))
+	for _, agg := range []core.Agg{core.Count, core.Sum} {
+		queries := sc.queryGen.Queries(cfg.Queries, agg)
+		pcOut := evaluate(sc.corrPC, queries, sc.missing)
+		series[fmt.Sprintf("over/%v/Corr-PC", agg)] = pcOut.MedianOverEst()
+		for _, scale := range []int{1, 2, 5, 10} {
+			us := baselines.NewUniformSample(fmt.Sprintf("US-%dN", scale),
+				sc.missing, scale*cfg.PCs, false, 0.9999, rng)
+			out := evaluate(us, queries, sc.missing)
+			series[fmt.Sprintf("over/%v/US-%dN", agg, scale)] = out.MedianOverEst()
+			rows = append(rows, []string{
+				agg.String(), fmt.Sprintf("%dN", scale),
+				f2(out.MedianOverEst()), f2(pcOut.MedianOverEst()),
+			})
+		}
+	}
+	return Result{
+		Table: renderTable(
+			[]string{"query", "sample size", "US-n over-estimation", "Corr-PC over-estimation"},
+			rows),
+		Series: series,
+	}, nil
+}
+
+// Fig6 reproduces Figure 6: failure rate of Corr-PC, Overlapping-PC and
+// US-10n as the constraints/bounds are corrupted with 0-3 SD of noise.
+func Fig6(cfg Config) (Result, error) {
+	tb := data.Intel(cfg.Rows, cfg.Seed)
+	_, missing := tb.RemoveTopFraction("light", 0.3)
+	lightSD := stats.StdDev(missing.Column("light"))
+	gen := workload.New(missing.Schema(), []string{"device", "time"}, "light", cfg.Seed+7)
+	queries := gen.Queries(cfg.Queries, core.Sum)
+
+	corrSet, err := pcgen.CorrPC(missing, []string{"device", "time"}, cfg.PCs)
+	if err != nil {
+		return Result{}, err
+	}
+	// A small overlapping set: partition plus a coarse second layer.
+	overSet, err := pcgen.Overlapping(missing, []string{"device", "time"}, minInt(cfg.PCs, 64))
+	if err != nil {
+		return Result{}, err
+	}
+
+	series := map[string]float64{}
+	var rows [][]string
+	for _, sd := range []float64{0, 1, 2, 3} {
+		// The PC noise draws differ per level, but the sampler uses the same
+		// sample at every level so only the corruption magnitude varies.
+		rng := rand.New(rand.NewSource(cfg.Seed + 60 + int64(sd)))
+		sigma := sd * lightSD
+		var corrEst, overEst baselines.Estimator
+		if sd == 0 {
+			corrEst = &baselines.PCEstimator{Label: "Corr-PC", Engine: core.NewEngine(corrSet, nil, core.Options{})}
+			overEst = &baselines.PCEstimator{Label: "Overlapping-PC", Engine: core.NewEngine(overSet, nil, core.Options{})}
+		} else {
+			noisyCorr := pcgen.Noise(corrSet, map[string]float64{"light": sigma}, rng)
+			noisyOver := pcgen.Noise(overSet, map[string]float64{"light": sigma}, rng)
+			corrEst = &baselines.PCEstimator{Label: "Corr-PC", Engine: core.NewEngine(noisyCorr, nil, core.Options{})}
+			overEst = &baselines.PCEstimator{Label: "Overlapping-PC", Engine: core.NewEngine(noisyOver, nil, core.Options{})}
+		}
+		usRng := rand.New(rand.NewSource(cfg.Seed + 61))
+		us := baselines.NewUniformSample("US-10n", missing, 10*cfg.PCs, false, 0.9999, usRng)
+		us.SpreadNoise = sigma
+		for _, est := range []baselines.Estimator{corrEst, overEst, us} {
+			out := evaluate(est, queries, missing)
+			series[fmt.Sprintf("fail/%s/%gsd", est.Name(), sd)] = out.FailureRate()
+			rows = append(rows, []string{
+				fmt.Sprintf("%gSD", sd), est.Name(), f2(out.FailureRate()),
+			})
+		}
+	}
+	return Result{
+		Table:  renderTable([]string{"noise", "framework", "failure rate (%)"}, rows),
+		Series: series,
+	}, nil
+}
+
+// Fig9 reproduces Figure 9: MIN/MAX/AVG over-estimation under a
+// DeviceID×Time partition.
+func Fig9(cfg Config) (Result, error) {
+	tb := data.Intel(cfg.Rows, cfg.Seed)
+	_, missing := tb.RemoveTopFraction("light", 0.3)
+	set, err := pcgen.CorrPC(missing, []string{"device", "time"}, cfg.PCs)
+	if err != nil {
+		return Result{}, err
+	}
+	engine := core.NewEngine(set, nil, core.Options{})
+	gen := workload.New(missing.Schema(), []string{"device", "time"}, "light", cfg.Seed+7)
+	series := map[string]float64{}
+	var rows [][]string
+	for _, agg := range []core.Agg{core.Min, core.Max, core.Avg} {
+		var rates []float64
+		failures, evaluated := 0, 0
+		for _, q := range gen.Queries(cfg.Queries, agg) {
+			var truth float64
+			var ok bool
+			switch agg {
+			case core.Min:
+				truth, ok = missing.Min("light", q.Where)
+			case core.Max:
+				truth, ok = missing.Max("light", q.Where)
+			case core.Avg:
+				truth, ok = missing.Avg("light", q.Where)
+			}
+			if !ok {
+				continue // no missing rows match: aggregate undefined
+			}
+			r, err := engine.Bound(q)
+			if err != nil {
+				return Result{}, err
+			}
+			evaluated++
+			if !r.Contains(truth) {
+				failures++
+			}
+			switch agg {
+			case core.Min:
+				// For MIN the informative endpoint is the lower bound.
+				rates = append(rates, baselines.OverEstimationRate(truth+1, r.Lo+1))
+			default:
+				rates = append(rates, baselines.OverEstimationRate(r.Hi, truth))
+			}
+		}
+		med := stats.Median(rates)
+		series[fmt.Sprintf("over/%v", agg)] = med
+		series[fmt.Sprintf("fail/%v", agg)] = 100 * float64(failures) / float64(maxInt(evaluated, 1))
+		rows = append(rows, []string{agg.String(), f3(med), fmt.Sprintf("%d/%d", failures, evaluated)})
+	}
+	return Result{
+		Table:  renderTable([]string{"aggregate", "median over-estimation", "failures"}, rows),
+		Series: series,
+	}, nil
+}
+
+// skewedDataset is the shared harness of Figures 10 and 11.
+func skewedDataset(cfg Config, build func() *table.T, removeAttr string, predAttrs []string, aggAttr string) (Result, error) {
+	tb := build()
+	_, missing := tb.RemoveTopFraction(removeAttr, 0.3)
+	sc, err := buildScenario(cfg, missing, predAttrs, aggAttr, 10)
+	if err != nil {
+		return Result{}, err
+	}
+	series := map[string]float64{}
+	var rows [][]string
+	for _, agg := range []core.Agg{core.Count, core.Sum} {
+		queries := sc.queryGen.Queries(cfg.Queries, agg)
+		for _, est := range sc.estimates {
+			out := evaluate(est, queries, sc.missing)
+			series[fmt.Sprintf("over/%v/%s", agg, est.Name())] = out.MedianOverEst()
+			series[fmt.Sprintf("fail/%v/%s", agg, est.Name())] = out.FailureRate()
+			rows = append(rows, []string{
+				agg.String(), est.Name(), f2(out.MedianOverEst()), f2(out.FailureRate()),
+			})
+		}
+	}
+	return Result{
+		Table: renderTable(
+			[]string{"query", "framework", "median over-estimation", "failure rate (%)"},
+			rows),
+		Series: series,
+	}, nil
+}
+
+// Fig10 reproduces Figure 10 (Airbnb NYC, predicates on latitude/longitude).
+func Fig10(cfg Config) (Result, error) {
+	return skewedDataset(cfg,
+		func() *table.T { return data.Airbnb(cfg.Rows, cfg.Seed) },
+		"price", []string{"latitude", "longitude"}, "price")
+}
+
+// Fig11 reproduces Figure 11 (Border Crossing, predicates on port/date).
+func Fig11(cfg Config) (Result, error) {
+	return skewedDataset(cfg,
+		func() *table.T { return data.Border(cfg.Rows, cfg.Seed) },
+		"value", []string{"port", "date"}, "value")
+}
+
+// Table2 reproduces Table 2: failure counts of every framework over random
+// predicates across the three datasets, COUNT and SUM.
+func Table2(cfg Config) (Result, error) {
+	type dataset struct {
+		name      string
+		build     func() *table.T
+		rmAttr    string
+		predAttrs []string
+		aggAttr   string
+	}
+	datasets := []dataset{
+		{"Intel Wireless", func() *table.T { return data.Intel(cfg.Rows, cfg.Seed) },
+			"light", []string{"device", "time"}, "light"},
+		{"Airbnb@NYC", func() *table.T { return data.Airbnb(cfg.Rows, cfg.Seed) },
+			"price", []string{"latitude", "longitude"}, "price"},
+		{"Border Cross", func() *table.T { return data.Border(cfg.Rows, cfg.Seed) },
+			"value", []string{"port", "date"}, "value"},
+	}
+	header := []string{"dataset", "query", "PC", "Hist", "US-1p", "US-10p", "US-1n", "US-10n", "ST-1n", "ST-10n", "Gen"}
+	series := map[string]float64{}
+	var rows [][]string
+	for _, ds := range datasets {
+		tb := ds.build()
+		_, missing := tb.RemoveTopFraction(ds.rmAttr, 0.3)
+		rng := rand.New(rand.NewSource(cfg.Seed + 200))
+		corrSet, err := pcgen.CorrPC(missing, ds.predAttrs, cfg.PCs)
+		if err != nil {
+			return Result{}, err
+		}
+		strataSet, err := pcgen.CorrPC(missing, ds.predAttrs, maxInt(8, cfg.PCs/8))
+		if err != nil {
+			return Result{}, err
+		}
+		strata := strataSet.Predicates()
+		ests := []baselines.Estimator{
+			&baselines.PCEstimator{Label: "PC", Engine: core.NewEngine(corrSet, nil, core.Options{})},
+			baselines.NewHistogram("Hist", missing, append(append([]string{}, ds.predAttrs...), ds.aggAttr), 64),
+			baselines.NewUniformSample("US-1p", missing, cfg.PCs, true, 0.99, rng),
+			baselines.NewUniformSample("US-10p", missing, 10*cfg.PCs, true, 0.99, rng),
+			baselines.NewUniformSample("US-1n", missing, cfg.PCs, false, 0.99, rng),
+			baselines.NewUniformSample("US-10n", missing, 10*cfg.PCs, false, 0.99, rng),
+			baselines.NewStratifiedSample("ST-1n", missing, strata, cfg.PCs, false, 0.99, rng),
+			baselines.NewStratifiedSample("ST-10n", missing, strata, 10*cfg.PCs, false, 0.99, rng),
+			baselines.NewGenerative("Gen", missing, 8, 15, 10, rng),
+		}
+		gen := workload.New(missing.Schema(), ds.predAttrs, ds.aggAttr, cfg.Seed+7)
+		for _, agg := range []core.Agg{core.Count, core.Sum} {
+			queries := gen.Queries(cfg.Queries, agg)
+			label := "COUNT(*)"
+			if agg == core.Sum {
+				label = "SUM(" + ds.aggAttr + ")"
+			}
+			row := []string{ds.name, label}
+			for _, est := range ests {
+				out := evaluate(est, queries, missing)
+				row = append(row, fmt.Sprintf("%d", out.Failures))
+				series[fmt.Sprintf("failures/%s/%s/%s", ds.name, label, est.Name())] = float64(out.Failures)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return Result{Table: renderTable(header, rows), Series: series}, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

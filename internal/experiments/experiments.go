@@ -1,0 +1,207 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 6). Each experiment is a named runner that builds the
+// dataset twin, the missing-data scenario, the predicate-constraint sets and
+// the baselines, executes the query workload, and renders the same
+// rows/series the paper reports as a text table.
+//
+// DESIGN.md carries the experiment index (id → workload → modules → bench);
+// EXPERIMENTS.md records paper-vs-measured outcomes.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"pcbound/internal/baselines"
+	"pcbound/internal/core"
+	"pcbound/internal/stats"
+	"pcbound/internal/table"
+)
+
+// Config scales an experiment. The zero value is replaced by Default().
+type Config struct {
+	// Rows is the dataset size (per dataset twin).
+	Rows int
+	// Queries is the workload size per measurement point (the paper uses
+	// 1000; the default trades a little smoothing for speed).
+	Queries int
+	// PCs is the constraint-set size n (the paper uses 1500-2000).
+	PCs int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Default returns the standard configuration used by cmd/pcbench.
+func Default() Config {
+	return Config{Rows: 30000, Queries: 300, PCs: 400, Seed: 1}
+}
+
+// Quick returns a reduced configuration for unit tests and benchmarks.
+func Quick() Config {
+	return Config{Rows: 4000, Queries: 40, PCs: 64, Seed: 1}
+}
+
+func (c Config) orDefault() Config {
+	d := Default()
+	if c.Rows > 0 {
+		d.Rows = c.Rows
+	}
+	if c.Queries > 0 {
+		d.Queries = c.Queries
+	}
+	if c.PCs > 0 {
+		d.PCs = c.PCs
+	}
+	if c.Seed != 0 {
+		d.Seed = c.Seed
+	}
+	return d
+}
+
+// Result is a rendered experiment outcome.
+type Result struct {
+	Name  string
+	Title string
+	// Table is the human-readable reproduction of the paper's figure/table.
+	Table string
+	// Series holds the numeric outcome keyed by "row/column" labels, for
+	// benchmarks and tests to assert on shapes.
+	Series map[string]float64
+}
+
+// Runner executes one experiment.
+type Runner func(Config) (Result, error)
+
+var registry = map[string]struct {
+	title string
+	run   Runner
+}{
+	"fig1":   {"Figure 1 — simple extrapolation error vs fraction missing", Fig1},
+	"fig3":   {"Figure 3 — COUNT failure rate and over-estimation vs fraction missing (Intel)", Fig3},
+	"fig4":   {"Figure 4 — SUM failure rate and over-estimation vs fraction missing (Intel)", Fig4},
+	"table1": {"Table 1 — failure/accuracy trade-off vs confidence level", Table1},
+	"fig5":   {"Figure 5 — uniform sampling with larger samples vs Corr-PC", Fig5},
+	"fig6":   {"Figure 6 — robustness to noisy constraints", Fig6},
+	"fig7":   {"Figure 7 — cells evaluated during decomposition (optimizations ablation)", Fig7},
+	"fig8":   {"Figure 8 — query latency vs partition size (disjoint fast path)", Fig8},
+	"fig9":   {"Figure 9 — MIN/MAX/AVG over-estimation (Intel)", Fig9},
+	"fig10":  {"Figure 10 — COUNT/SUM over-estimation (Airbnb NYC)", Fig10},
+	"fig11":  {"Figure 11 — COUNT/SUM over-estimation (Border Crossing)", Fig11},
+	"fig12":  {"Figure 12 — join bounds: Corr-PC (FEC) vs elastic sensitivity", Fig12},
+	"table2": {"Table 2 — failure events over random predicates, all frameworks", Table2},
+}
+
+// Names returns the registered experiment ids in a stable order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Title returns an experiment's display title.
+func Title(name string) string { return registry[name].title }
+
+// Run executes a registered experiment.
+func Run(name string, cfg Config) (Result, error) {
+	e, ok := registry[name]
+	if !ok {
+		return Result{}, fmt.Errorf("experiments: unknown experiment %q (have %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	res, err := e.run(cfg.orDefault())
+	if err != nil {
+		return Result{}, fmt.Errorf("experiments: %s: %w", name, err)
+	}
+	res.Name = name
+	res.Title = e.title
+	return res, nil
+}
+
+// evalOutcome aggregates a workload evaluation for one estimator.
+type evalOutcome struct {
+	Failures  int
+	Evaluated int
+	OverEst   []float64
+}
+
+// FailureRate returns failures as a percentage of evaluated queries.
+func (o evalOutcome) FailureRate() float64 {
+	if o.Evaluated == 0 {
+		return 0
+	}
+	return 100 * float64(o.Failures) / float64(o.Evaluated)
+}
+
+// MedianOverEst returns the median over-estimation rate.
+func (o evalOutcome) MedianOverEst() float64 {
+	if len(o.OverEst) == 0 {
+		return 1
+	}
+	return stats.Median(o.OverEst)
+}
+
+// evaluate runs the workload against one estimator, comparing to the ground
+// truth held in the missing table (the paper's setup: all frameworks model
+// the missing rows only).
+func evaluate(est baselines.Estimator, queries []core.Query, missing *table.T) evalOutcome {
+	var out evalOutcome
+	for _, q := range queries {
+		var truth float64
+		var e baselines.Estimate
+		switch q.Agg {
+		case core.Count:
+			truth = missing.Count(q.Where)
+			e = est.Count(q.Where)
+		case core.Sum:
+			truth = missing.Sum(q.Attr, q.Where)
+			e = est.Sum(q.Attr, q.Where)
+		default:
+			continue
+		}
+		out.Evaluated++
+		if !e.Contains(truth) {
+			out.Failures++
+			continue
+		}
+		// Tightness is only meaningful for bounds that actually hold
+		// (Section 6.1: "only meaningful if the failure rate is low").
+		if truth > 0 {
+			out.OverEst = append(out.OverEst, baselines.OverEstimationRate(e.Hi, truth))
+		}
+	}
+	return out
+}
+
+// renderTable renders rows with a header through a tabwriter.
+func renderTable(header []string, rows [][]string) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(header, "\t"))
+	sep := make([]string, len(header))
+	for i, h := range header {
+		sep[i] = strings.Repeat("-", len(h))
+	}
+	fmt.Fprintln(w, strings.Join(sep, "\t"))
+	for _, r := range rows {
+		fmt.Fprintln(w, strings.Join(r, "\t"))
+	}
+	w.Flush()
+	return sb.String()
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+func sci(v float64) string {
+	if v == 0 {
+		return "0"
+	}
+	exp := math.Floor(math.Log10(math.Abs(v)))
+	return fmt.Sprintf("%.2fe%+03.0f", v/math.Pow(10, exp), exp)
+}

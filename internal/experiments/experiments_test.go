@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickCfg keeps experiment smoke tests fast.
+func quickCfg() Config { return Quick() }
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	want := []string{"fig1", "fig10", "fig11", "fig12", "fig3", "fig4", "fig5",
+		"fig6", "fig7", "fig8", "fig9", "table1", "table2"}
+	if len(names) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d: %v", len(names), len(want), names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("names[%d] = %q, want %q", i, names[i], want[i])
+		}
+		if Title(want[i]) == "" {
+			t.Errorf("missing title for %s", want[i])
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nope", quickCfg()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	res, err := Run("fig1", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Error must grow with the missing fraction (correlated removal).
+	if res.Series["relerr/0.1"] >= res.Series["relerr/0.9"] {
+		t.Errorf("extrapolation error should grow: 0.1 -> %v, 0.9 -> %v",
+			res.Series["relerr/0.1"], res.Series["relerr/0.9"])
+	}
+	if !strings.Contains(res.Table, "fraction missing") {
+		t.Error("table missing header")
+	}
+}
+
+func TestFig3PCsNeverFail(t *testing.T) {
+	res, err := Run("fig3", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []string{"0.1", "0.3", "0.5", "0.7", "0.9"} {
+		for _, fw := range []string{"Corr-PC", "Rand-PC", "Histogram"} {
+			if v := res.Series["fail/"+fw+"/"+frac]; v != 0 {
+				t.Errorf("%s at frac %s: failure rate %v, want 0 (hard bounds)", fw, frac, v)
+			}
+		}
+	}
+	// Informed PCs materially tighter than random ones on COUNT at some
+	// fraction.
+	if res.Series["over/Corr-PC/0.5"] > res.Series["over/Rand-PC/0.5"] {
+		t.Errorf("Corr-PC (%v) should be at most Rand-PC (%v)",
+			res.Series["over/Corr-PC/0.5"], res.Series["over/Rand-PC/0.5"])
+	}
+}
+
+func TestFig4SumShapes(t *testing.T) {
+	res, err := Run("fig4", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []string{"0.1", "0.5", "0.9"} {
+		if v := res.Series["fail/Corr-PC/"+frac]; v != 0 {
+			t.Errorf("Corr-PC SUM failure at %s: %v", frac, v)
+		}
+	}
+}
+
+func TestTable1TradeOff(t *testing.T) {
+	res, err := Run("table1", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Series["fail/Corr-PC"] != 0 {
+		t.Errorf("Corr-PC failures = %v", res.Series["fail/Corr-PC"])
+	}
+	// With an identical sample per level, failures shrink (weakly) as the
+	// interval widens with confidence.
+	if res.Series["fail/US-1n/80"] < res.Series["fail/US-1n/99.99"] {
+		t.Errorf("failures should shrink with confidence: %v vs %v",
+			res.Series["fail/US-1n/80"], res.Series["fail/US-1n/99.99"])
+	}
+}
+
+func TestFig5Convergence(t *testing.T) {
+	res, err := Run("fig5", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Larger samples tighten the bound (weakly: tiny quick-config samples
+	// cover few queries at 1N, so compare 2N against 10N).
+	if res.Series["over/SUM/US-2N"]+1e-9 < res.Series["over/SUM/US-10N"] {
+		t.Errorf("10N sample (%v) should be tighter than 2N (%v)",
+			res.Series["over/SUM/US-10N"], res.Series["over/SUM/US-2N"])
+	}
+}
+
+func TestFig6NoiseShapes(t *testing.T) {
+	res, err := Run("fig6", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Noise-free PCs cannot fail.
+	if res.Series["fail/Corr-PC/0sd"] != 0 || res.Series["fail/Overlapping-PC/0sd"] != 0 {
+		t.Errorf("noise-free PCs failed: %v / %v",
+			res.Series["fail/Corr-PC/0sd"], res.Series["fail/Overlapping-PC/0sd"])
+	}
+	// Heavy noise must break some PC constraints.
+	if res.Series["fail/Corr-PC/3sd"] <= 0 {
+		t.Errorf("3SD noise should cause Corr-PC failures, got %v",
+			res.Series["fail/Corr-PC/3sd"])
+	}
+}
+
+func TestFig7OptimizationRatios(t *testing.T) {
+	cfg := quickCfg()
+	cfg.PCs = 12 // keep the 2^n naive pass tiny in CI
+	res, err := Run("fig7", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := res.Series["checks/No Optimization"]
+	dfs := res.Series["checks/DFS"]
+	rw := res.Series["checks/DFS + Re-writing"]
+	if naive != (1<<12)-1 {
+		t.Errorf("naive checks = %v, want 2^12-1", naive)
+	}
+	if !(rw <= dfs) {
+		t.Errorf("rewriting (%v) must not exceed DFS (%v)", rw, dfs)
+	}
+	if dfs >= naive {
+		t.Errorf("DFS (%v) should beat naive (%v) on overlapping PCs", dfs, naive)
+	}
+	// All variants agree on the satisfiable cells.
+	if res.Series["cells/No Optimization"] != res.Series["cells/DFS + Re-writing"] {
+		t.Errorf("cell counts differ: %v vs %v",
+			res.Series["cells/No Optimization"], res.Series["cells/DFS + Re-writing"])
+	}
+}
+
+func TestFig8Scales(t *testing.T) {
+	res, err := Run("fig8", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Latency at 2000 PCs must stay well under the paper's 50ms (we are on
+	// the greedy path); allow 25ms for CI noise.
+	if v := res.Series["latency_us/2000"]; v > 25000 {
+		t.Errorf("per-query latency at 2000 PCs = %vus", v)
+	}
+}
+
+func TestFig9Bounds(t *testing.T) {
+	res, err := Run("fig9", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, agg := range []string{"MIN", "MAX", "AVG"} {
+		if v := res.Series["fail/"+agg]; v != 0 {
+			t.Errorf("%s failure rate = %v, want 0", agg, v)
+		}
+	}
+	// MIN and MAX bounds track the per-bucket hulls: near-optimal, far
+	// tighter than typical AVG/SUM over-estimation. (Exactly 1.0 needs
+	// bucket-aligned queries; random queries clip buckets partially.)
+	if v := res.Series["over/MAX"]; v > 2 {
+		t.Errorf("MAX over-estimation = %v, want near-optimal (< 2)", v)
+	}
+	if v := res.Series["over/MIN"]; v > 2 {
+		t.Errorf("MIN over-estimation = %v, want near-optimal (< 2)", v)
+	}
+}
+
+func TestFig12Shapes(t *testing.T) {
+	res, err := Run("fig12", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"10", "100", "1000", "10000"} {
+		pc := res.Series["triangle/pc/"+n]
+		es := res.Series["triangle/es/"+n]
+		if pc > es {
+			t.Errorf("n=%s: PC triangle bound %v exceeds elastic %v", n, pc, es)
+		}
+		cpc := res.Series["chain/pc/"+n]
+		ces := res.Series["chain/es/"+n]
+		if cpc > ces {
+			t.Errorf("n=%s: PC chain bound %v exceeds elastic %v", n, cpc, ces)
+		}
+	}
+	// The gap must grow with table size (orders of magnitude at n=10000).
+	gapSmall := res.Series["triangle/es/10"] / res.Series["triangle/pc/10"]
+	gapLarge := res.Series["triangle/es/10000"] / res.Series["triangle/pc/10000"]
+	if gapLarge <= gapSmall {
+		t.Errorf("gap should grow with size: %v -> %v", gapSmall, gapLarge)
+	}
+	if gapLarge < 50 {
+		t.Errorf("gap at n=10000 = %vx, want orders of magnitude", gapLarge)
+	}
+}
+
+func TestTable2HardBoundRows(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Queries = 25 // Gen + 9 estimators × 3 datasets: keep small
+	cfg.Rows = 3000
+	res, err := Run("table2", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PC columns must be all-zero.
+	for k, v := range res.Series {
+		if strings.HasSuffix(k, "/PC") && v != 0 {
+			t.Errorf("%s = %v, want 0", k, v)
+		}
+	}
+	if !strings.Contains(res.Table, "Gen") {
+		t.Error("table missing Gen column")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var zero Config
+	d := zero.orDefault()
+	if d.Rows == 0 || d.Queries == 0 || d.PCs == 0 || d.Seed == 0 {
+		t.Errorf("defaults not applied: %+v", d)
+	}
+	custom := Config{Rows: 10}.orDefault()
+	if custom.Rows != 10 || custom.Queries != Default().Queries {
+		t.Errorf("partial override wrong: %+v", custom)
+	}
+}

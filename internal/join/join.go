@@ -1,0 +1,272 @@
+// Package join bounds aggregate queries with inner natural-join conditions
+// over predicate-constrained relations (Section 5 of the paper).
+//
+// Two bounding methods are provided:
+//
+//   - The naive method (Section 5.1): treat the join as a Cartesian product
+//     of per-relation bounds. Sound but extremely loose for equality joins —
+//     O(N³) for the triangle query.
+//
+//   - The fractional-edge-cover method (Section 5.2): using Friedgut's
+//     Generalized Weighted Entropy inequality, SUM(A) over the natural join
+//     is bounded by SUM(A) on A's relation times Π_{i≠a} COUNT(Rᵢ)^{cᵢ} for
+//     any fractional edge cover c with c_a = 1. Minimizing the log of the
+//     right-hand side subject to the cover constraints is a linear program
+//     (solved with internal/lp), giving the tightest such bound — O(N^{3/2})
+//     for the triangle query, the worst-case-optimal-join exponent.
+//
+// The elastic-sensitivity baseline of the paper's Figure 12 comparison
+// (Johnson et al., "Towards practical differential privacy for SQL
+// queries") is in elastic.go.
+package join
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"pcbound/internal/lp"
+)
+
+// Relation describes one joined relation by its join attributes and the
+// hard bounds obtained from its predicate-constraint set.
+type Relation struct {
+	// Name identifies the relation in error messages.
+	Name string
+	// Attrs are the relation's attribute names; relations sharing an
+	// attribute name natural-join on it.
+	Attrs []string
+	// Count is a hard upper bound on the relation's cardinality (e.g. the
+	// Hi endpoint of a core COUNT range).
+	Count float64
+	// Sum is a hard upper bound on SUM(A) over the relation, used only for
+	// the relation carrying the aggregated attribute.
+	Sum float64
+}
+
+// Graph is a natural-join query graph (a hypergraph whose vertices are
+// attributes and whose edges are relations).
+type Graph struct {
+	Rels []Relation
+}
+
+// Attrs returns the sorted set of all attribute names in the graph.
+func (g Graph) Attrs() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range g.Rels {
+		for _, a := range r.Attrs {
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Cover is a fractional edge cover: one non-negative weight per relation
+// such that every attribute's incident weights sum to at least 1.
+type Cover []float64
+
+// FractionalEdgeCover solves the LP
+//
+//	minimize   Σ cᵢ·ln(Nᵢ)
+//	subject to Σ_{i: s ∈ Rᵢ} cᵢ ≥ 1  for every attribute s,
+//	           c_fix = 1 (if fix >= 0), c ≥ 0,
+//
+// returning the optimal cover. Counts below 1 are clamped to 1 (ln N would
+// go negative; a relation bounded by fewer than one row forces the whole
+// join toward zero and is handled by the callers).
+func FractionalEdgeCover(g Graph, fix int) (Cover, error) {
+	n := len(g.Rels)
+	if n == 0 {
+		return nil, errors.New("join: empty query graph")
+	}
+	if fix >= n {
+		return nil, fmt.Errorf("join: fixed relation %d out of range", fix)
+	}
+	obj := make([]float64, n)
+	for i, r := range g.Rels {
+		obj[i] = math.Log(math.Max(r.Count, 1))
+	}
+	p := lp.NewMinimize(obj)
+	for _, a := range g.Attrs() {
+		var idx []int
+		var val []float64
+		for i, r := range g.Rels {
+			for _, ra := range r.Attrs {
+				if ra == a {
+					idx = append(idx, i)
+					val = append(val, 1)
+					break
+				}
+			}
+		}
+		if err := p.AddSparse(idx, val, lp.GE, 1); err != nil {
+			return nil, err
+		}
+	}
+	if fix >= 0 {
+		if err := p.AddSparse([]int{fix}, []float64{1}, lp.EQ, 1); err != nil {
+			return nil, err
+		}
+	}
+	sol := lp.Solve(p)
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("join: edge cover LP %v", sol.Status)
+	}
+	return Cover(sol.X), nil
+}
+
+// Valid reports whether the cover satisfies all attribute constraints of g.
+func (c Cover) Valid(g Graph) bool {
+	if len(c) != len(g.Rels) {
+		return false
+	}
+	for _, v := range c {
+		if v < -1e-9 {
+			return false
+		}
+	}
+	for _, a := range g.Attrs() {
+		total := 0.0
+		for i, r := range g.Rels {
+			for _, ra := range r.Attrs {
+				if ra == a {
+					total += c[i]
+					break
+				}
+			}
+		}
+		if total < 1-1e-6 {
+			return false
+		}
+	}
+	return true
+}
+
+// CountBound returns the fractional-edge-cover (AGM) upper bound on the
+// join's output cardinality: Π COUNT(Rᵢ)^{cᵢ} for the optimal cover.
+func CountBound(g Graph) (float64, error) {
+	for _, r := range g.Rels {
+		if r.Count <= 0 {
+			return 0, nil
+		}
+	}
+	c, err := FractionalEdgeCover(g, -1)
+	if err != nil {
+		return 0, err
+	}
+	logB := 0.0
+	for i, r := range g.Rels {
+		logB += c[i] * math.Log(math.Max(r.Count, 1))
+	}
+	return math.Exp(logB), nil
+}
+
+// SumBound returns the GWE upper bound on SUM(A) over the natural join,
+// where A belongs to relation aIdx with per-relation bound g.Rels[aIdx].Sum:
+//
+//	SUM(A)_⋈  ≤  SUM(A)_{R_a} × Π_{i≠a} COUNT(Rᵢ)^{cᵢ}
+//
+// with c the tightest fractional edge cover having c_a = 1. A non-positive
+// Sum or Count bound short-circuits to 0 (no positive mass can flow through
+// the join).
+func SumBound(g Graph, aIdx int) (float64, error) {
+	if aIdx < 0 || aIdx >= len(g.Rels) {
+		return 0, fmt.Errorf("join: aggregate relation %d out of range", aIdx)
+	}
+	if g.Rels[aIdx].Sum <= 0 {
+		return 0, nil
+	}
+	for _, r := range g.Rels {
+		if r.Count <= 0 {
+			return 0, nil
+		}
+	}
+	c, err := FractionalEdgeCover(g, aIdx)
+	if err != nil {
+		return 0, err
+	}
+	logB := math.Log(g.Rels[aIdx].Sum)
+	for i, r := range g.Rels {
+		if i == aIdx {
+			continue
+		}
+		logB += c[i] * math.Log(math.Max(r.Count, 1))
+	}
+	return math.Exp(logB), nil
+}
+
+// CartesianCount is the naive Section 5.1 bound: the product of relation
+// cardinalities.
+func CartesianCount(g Graph) float64 {
+	b := 1.0
+	for _, r := range g.Rels {
+		b *= math.Max(r.Count, 0)
+	}
+	return b
+}
+
+// CartesianSum is the naive SUM bound: SUM on the aggregate relation times
+// the product of the other cardinalities.
+func CartesianSum(g Graph, aIdx int) float64 {
+	b := math.Max(g.Rels[aIdx].Sum, 0)
+	for i, r := range g.Rels {
+		if i != aIdx {
+			b *= math.Max(r.Count, 0)
+		}
+	}
+	return b
+}
+
+// Triangle builds the triangle-counting query graph R(a,b) ⋈ S(b,c) ⋈ T(c,a)
+// with each relation bounded by n rows (Section 6.6.3).
+func Triangle(n float64) Graph {
+	return Graph{Rels: []Relation{
+		{Name: "R", Attrs: []string{"a", "b"}, Count: n},
+		{Name: "S", Attrs: []string{"b", "c"}, Count: n},
+		{Name: "T", Attrs: []string{"c", "a"}, Count: n},
+	}}
+}
+
+// Chain builds the acyclic chain R1(x1,x2) ⋈ R2(x2,x3) ⋈ … ⋈ Rk(xk,xk+1)
+// with each relation bounded by n rows (Section 6.6.3).
+func Chain(k int, n float64) Graph {
+	g := Graph{}
+	for i := 1; i <= k; i++ {
+		g.Rels = append(g.Rels, Relation{
+			Name:  fmt.Sprintf("R%d", i),
+			Attrs: []string{fmt.Sprintf("x%d", i), fmt.Sprintf("x%d", i+1)},
+			Count: n,
+		})
+	}
+	return g
+}
+
+// Clique builds the k-clique counting query graph (each relation covers one
+// (k-1)-subset of the k attributes, as in the paper's 4-clique example).
+func Clique(k int, n float64) Graph {
+	if k < 3 {
+		k = 3
+	}
+	attrs := make([]string, k)
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("v%d", i+1)
+	}
+	g := Graph{}
+	for i := 0; i < k; i++ {
+		// Relation i contains all attributes except attrs[i].
+		var as []string
+		for j, a := range attrs {
+			if j != i {
+				as = append(as, a)
+			}
+		}
+		g.Rels = append(g.Rels, Relation{Name: fmt.Sprintf("E%d", i+1), Attrs: as, Count: n})
+	}
+	return g
+}

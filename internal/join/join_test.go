@@ -1,0 +1,328 @@
+package join
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pcbound/internal/core"
+	"pcbound/internal/domain"
+	"pcbound/internal/predicate"
+)
+
+func TestTriangleEdgeCover(t *testing.T) {
+	g := Triangle(100)
+	c, err := FractionalEdgeCover(g, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Valid(g) {
+		t.Fatalf("invalid cover %v", c)
+	}
+	// Optimal triangle cover is (1/2, 1/2, 1/2).
+	for i, v := range c {
+		if math.Abs(v-0.5) > 1e-6 {
+			t.Errorf("c[%d] = %v, want 0.5", i, v)
+		}
+	}
+	b, err := CountBound(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(100, 1.5)
+	if math.Abs(b-want) > 1e-6*want {
+		t.Errorf("triangle bound = %v, want N^1.5 = %v", b, want)
+	}
+	// Naive/elastic bounds are N^3 — multiple orders of magnitude looser.
+	if naive := CartesianCount(g); naive != 1e6 {
+		t.Errorf("Cartesian = %v, want 1e6", naive)
+	}
+	if es := ElasticCountBound(g); es != 1e6 {
+		t.Errorf("elastic = %v, want 1e6", es)
+	}
+}
+
+func TestChainEdgeCover(t *testing.T) {
+	// R1(x1,x2) ⋈ … ⋈ R5(x5,x6): optimal cover picks relations 1, 3, 5.
+	g := Chain(5, 1000)
+	b, err := CountBound(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(1000, 3)
+	if math.Abs(b-want) > 1e-6*want {
+		t.Errorf("chain bound = %v, want N^3 = %v", b, want)
+	}
+	if es := ElasticCountBound(g); es != math.Pow(1000, 5) {
+		t.Errorf("elastic chain = %v, want N^5", es)
+	}
+}
+
+func TestCliqueEdgeCover(t *testing.T) {
+	// 4-clique with 3-attribute relations: AGM exponent is 4/3.
+	g := Clique(4, 10)
+	b, err := CountBound(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(10, 4.0/3.0)
+	if math.Abs(b-want) > 1e-6*want {
+		t.Errorf("4-clique bound = %v, want N^(4/3) = %v", b, want)
+	}
+	// Degenerate k<3 falls back to triangle-sized clique.
+	g3 := Clique(2, 10)
+	if len(g3.Rels) != 3 {
+		t.Errorf("Clique(2) made %d relations, want 3", len(g3.Rels))
+	}
+}
+
+func TestSumBoundTwoRelationJoin(t *testing.T) {
+	// R(x,y) with SUM bound 500, S(y,z) with 200 rows:
+	// SUM over join <= 500 × 200.
+	g := Graph{Rels: []Relation{
+		{Name: "R", Attrs: []string{"x", "y"}, Count: 100, Sum: 500},
+		{Name: "S", Attrs: []string{"y", "z"}, Count: 200},
+	}}
+	b, err := SumBound(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b-500*200) > 1e-6 {
+		t.Errorf("SumBound = %v, want 100000", b)
+	}
+	if cs := CartesianSum(g, 0); cs != 500*200 {
+		t.Errorf("CartesianSum = %v", cs)
+	}
+}
+
+func TestSumBoundTriangleWeighted(t *testing.T) {
+	// Weighted triangle: SUM on R; cover with c_R = 1 leaves b,a covered, c
+	// needs c_S + c_T >= 1, so min is N^1 extra — total Sum × N.
+	g := Triangle(100)
+	g.Rels[0].Sum = 1000
+	b, err := SumBound(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1000.0 * 100
+	if math.Abs(b-want) > 1e-6*want {
+		t.Errorf("weighted triangle = %v, want %v", b, want)
+	}
+	// Strictly tighter than Cartesian (1000 × 100 × 100).
+	if cs := CartesianSum(g, 0); b >= cs {
+		t.Errorf("FEC sum %v not tighter than Cartesian %v", b, cs)
+	}
+}
+
+func TestBoundMonotoneInSize(t *testing.T) {
+	prev := 0.0
+	for _, n := range []float64{10, 100, 1000, 10000} {
+		b, err := CountBound(Triangle(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b <= prev {
+			t.Errorf("bound %v not increasing at n=%v", b, n)
+		}
+		// FEC must always be at most the elastic/Cartesian bound.
+		if es := ElasticCountBound(Triangle(n)); b > es+1e-9 {
+			t.Errorf("FEC %v exceeds elastic %v at n=%v", b, es, n)
+		}
+		prev = b
+	}
+}
+
+func TestZeroAndDegenerateCounts(t *testing.T) {
+	g := Triangle(100)
+	g.Rels[1].Count = 0
+	b, err := CountBound(g)
+	if err != nil || b != 0 {
+		t.Errorf("zero relation: bound = %v err %v, want 0", b, err)
+	}
+	if _, err := FractionalEdgeCover(Graph{}, -1); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if _, err := FractionalEdgeCover(Triangle(10), 5); err == nil {
+		t.Error("out-of-range fix accepted")
+	}
+	if _, err := SumBound(Triangle(10), 9); err == nil {
+		t.Error("out-of-range aggregate relation accepted")
+	}
+	g2 := Triangle(10)
+	g2.Rels[0].Sum = 0
+	if b, err := SumBound(g2, 0); err != nil || b != 0 {
+		t.Errorf("zero sum: %v %v", b, err)
+	}
+}
+
+func TestCoverValid(t *testing.T) {
+	g := Triangle(10)
+	if (Cover{0.5, 0.5}).Valid(g) {
+		t.Error("short cover accepted")
+	}
+	if (Cover{-1, 1, 1}).Valid(g) {
+		t.Error("negative cover accepted")
+	}
+	if (Cover{0.1, 0.1, 0.1}).Valid(g) {
+		t.Error("under-covering accepted")
+	}
+	if !(Cover{1, 1, 1}).Valid(g) {
+		t.Error("integral cover rejected")
+	}
+}
+
+func TestMaxFrequency(t *testing.T) {
+	if mf := MaxFrequency(nil); mf != 0 {
+		t.Errorf("empty mf = %v", mf)
+	}
+	if mf := MaxFrequency([]int64{1, 2, 2, 3, 2}); mf != 3 {
+		t.Errorf("mf = %v, want 3", mf)
+	}
+}
+
+func TestElasticInstanceVariant(t *testing.T) {
+	g := Triangle(100)
+	// Observed max frequency 3 on S and T tightens the cascade.
+	b := ElasticCountBoundInstance(g, []float64{0, 3, 3})
+	if b != 100*3*3 {
+		t.Errorf("instance elastic = %v, want 900", b)
+	}
+	// Without observations it matches the worst case.
+	if b := ElasticCountBoundInstance(g, nil); b != ElasticCountBound(g) {
+		t.Errorf("no-mf variant = %v, want %v", b, ElasticCountBound(g))
+	}
+	if b := ElasticCountBoundInstance(Graph{}, nil); b != 0 {
+		t.Errorf("empty graph = %v", b)
+	}
+}
+
+// TestFECBoundIsSoundOnRandomInstances materializes random two-relation
+// joins and verifies the FEC bound really contains the true join size and
+// SUM.
+func TestFECBoundIsSoundOnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		nR := 1 + rng.Intn(50)
+		nS := 1 + rng.Intn(50)
+		keys := 1 + rng.Intn(10)
+		type pair struct{ k, v int }
+		R := make([]pair, nR)
+		S := make([]pair, nS)
+		sumR := 0.0
+		for i := range R {
+			R[i] = pair{rng.Intn(keys), rng.Intn(100)}
+			sumR += float64(R[i].v)
+		}
+		for i := range S {
+			S[i] = pair{rng.Intn(keys), rng.Intn(100)}
+		}
+		// True join on k.
+		joinCount := 0
+		joinSum := 0.0
+		for _, r := range R {
+			for _, s := range S {
+				if r.k == s.k {
+					joinCount++
+					joinSum += float64(r.v)
+				}
+			}
+		}
+		g := Graph{Rels: []Relation{
+			{Name: "R", Attrs: []string{"k", "v"}, Count: float64(nR), Sum: sumR},
+			{Name: "S", Attrs: []string{"k", "w"}, Count: float64(nS)},
+		}}
+		cb, err := CountBound(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(joinCount) > cb+1e-9 {
+			t.Fatalf("trial %d: true count %d exceeds bound %v", trial, joinCount, cb)
+		}
+		sb, err := SumBound(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if joinSum > sb+1e-9 {
+			t.Fatalf("trial %d: true sum %v exceeds bound %v", trial, joinSum, sb)
+		}
+	}
+}
+
+// TestTriangleBoundSoundOnRandomGraphs validates the N^1.5 bound against
+// actual triangle counts of random directed graphs.
+func TestTriangleBoundSoundOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + rng.Intn(80)
+		verts := 10
+		type edge struct{ a, b int }
+		edges := make([]edge, n)
+		for i := range edges {
+			edges[i] = edge{rng.Intn(verts), rng.Intn(verts)}
+		}
+		// Count directed triangles R(a,b) S(b,c) T(c,a) over the same edge
+		// set used three times.
+		count := 0
+		for _, e1 := range edges {
+			for _, e2 := range edges {
+				if e2.a != e1.b {
+					continue
+				}
+				for _, e3 := range edges {
+					if e3.a == e2.b && e3.b == e1.a {
+						count++
+					}
+				}
+			}
+		}
+		b, err := CountBound(Triangle(float64(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(count) > b+1e-9 {
+			t.Fatalf("trial %d: %d triangles exceed bound %v (n=%d)", trial, count, b, n)
+		}
+	}
+}
+
+func TestProductSet(t *testing.T) {
+	sa := domain.NewSchema(domain.Attr{Name: "x", Kind: domain.Integral, Domain: domain.NewInterval(0, 9)})
+	sb := domain.NewSchema(domain.Attr{Name: "y", Kind: domain.Integral, Domain: domain.NewInterval(0, 9)})
+	a := core.NewSet(sa)
+	a.MustAdd(core.MustPC(predicate.NewBuilder(sa).Range("x", 0, 4).Build(),
+		map[string]domain.Interval{"x": domain.NewInterval(0, 4)}, 1, 3))
+	b := core.NewSet(sb)
+	b.MustAdd(core.MustPC(predicate.NewBuilder(sb).Range("y", 0, 9).Build(),
+		map[string]domain.Interval{"y": domain.NewInterval(0, 9)}, 2, 5))
+
+	prod, schema, err := Product(a, b, "R", "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Len() != 2 {
+		t.Fatalf("product schema len = %d", schema.Len())
+	}
+	if _, ok := schema.Index("R.x"); !ok {
+		t.Error("missing prefixed attribute R.x")
+	}
+	if prod.Len() != 1 {
+		t.Fatalf("product PCs = %d, want 1", prod.Len())
+	}
+	pc := prod.PCs()[0]
+	if pc.KLo != 2 || pc.KHi != 15 {
+		t.Errorf("product frequency = [%d, %d], want [2, 15]", pc.KLo, pc.KHi)
+	}
+	// Product engine bounds the join COUNT by 15 (the Cartesian bound).
+	e := core.NewEngine(prod, nil, core.Options{})
+	r, err := e.Count(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hi != 15 {
+		t.Errorf("product COUNT upper = %v, want 15", r.Hi)
+	}
+	// Same prefixes rejected.
+	if _, _, err := Product(a, b, "R", "R"); err == nil {
+		t.Error("identical prefixes accepted")
+	}
+}

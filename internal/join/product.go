@@ -1,0 +1,60 @@
+package join
+
+import (
+	"errors"
+
+	"pcbound/internal/core"
+	"pcbound/internal/domain"
+	"pcbound/internal/predicate"
+)
+
+// Product implements the naive multi-relation method of Section 5.1: the
+// direct product of two predicate-constraint sets,
+//
+//	πₐ × π_b = (ψₐ ∧ ψ_b, [νₐ ν_b], κₐ ⊗ κ_b),
+//
+// over the concatenated schema (attributes prefixed with each relation's
+// name). The resulting set bounds any inner join of the two relations,
+// since every join output row is a product row; the bound is loose for
+// equality joins (use the fractional-edge-cover bound instead).
+func Product(a, b *core.Set, prefixA, prefixB string) (*core.Set, *domain.Schema, error) {
+	if prefixA == prefixB {
+		return nil, nil, errors.New("join: product prefixes must differ")
+	}
+	sa, sb := a.Schema(), b.Schema()
+	attrs := make([]domain.Attr, 0, sa.Len()+sb.Len())
+	for i := 0; i < sa.Len(); i++ {
+		at := sa.Attr(i)
+		at.Name = prefixA + "." + at.Name
+		attrs = append(attrs, at)
+	}
+	for i := 0; i < sb.Len(); i++ {
+		at := sb.Attr(i)
+		at.Name = prefixB + "." + at.Name
+		attrs = append(attrs, at)
+	}
+	schema := domain.NewSchema(attrs...)
+
+	concat := func(x, y domain.Box) domain.Box {
+		out := make(domain.Box, 0, len(x)+len(y))
+		out = append(out, x...)
+		out = append(out, y...)
+		return out
+	}
+
+	set := core.NewSet(schema)
+	for _, pa := range a.PCs() {
+		for _, pb := range b.PCs() {
+			pc := core.PC{
+				Pred:   predicate.FromBox(schema, concat(pa.Pred.Box(), pb.Pred.Box())),
+				Values: concat(pa.Values, pb.Values),
+				KLo:    pa.KLo * pb.KLo,
+				KHi:    pa.KHi * pb.KHi,
+			}
+			if err := set.Add(pc); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return set, schema, nil
+}

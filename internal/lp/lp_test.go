@@ -1,0 +1,370 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func mustAdd(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimpleMaximize(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj=12? Check:
+	// vertices: (0,0)=0 (4,0)=12 (0,2)=4 (3,1)=11. Optimum 12 at (4,0).
+	p := NewMaximize([]float64{3, 2})
+	mustAdd(t, p.AddDense([]float64{1, 1}, LE, 4))
+	mustAdd(t, p.AddDense([]float64{1, 3}, LE, 6))
+	sol := Solve(p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-12) > 1e-7 {
+		t.Errorf("objective = %v, want 12", sol.Objective)
+	}
+	if math.Abs(sol.X[0]-4) > 1e-7 || math.Abs(sol.X[1]) > 1e-7 {
+		t.Errorf("X = %v, want [4 0]", sol.X)
+	}
+}
+
+func TestSimpleMinimizeWithGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 10, x <= 6 -> y >= 4; optimum x=6,y=4: 24.
+	p := NewMinimize([]float64{2, 3})
+	mustAdd(t, p.AddDense([]float64{1, 1}, GE, 10))
+	mustAdd(t, p.AddDense([]float64{1, 0}, LE, 6))
+	sol := Solve(p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-24) > 1e-7 {
+		t.Errorf("objective = %v, want 24", sol.Objective)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// max x + y s.t. x + y = 5, x <= 3 -> 5.
+	p := NewMaximize([]float64{1, 1})
+	mustAdd(t, p.AddDense([]float64{1, 1}, EQ, 5))
+	mustAdd(t, p.AddDense([]float64{1, 0}, LE, 3))
+	sol := Solve(p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-5) > 1e-7 {
+		t.Fatalf("got %v obj %v, want optimal 5", sol.Status, sol.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewMaximize([]float64{1})
+	mustAdd(t, p.AddDense([]float64{1}, GE, 10))
+	mustAdd(t, p.AddDense([]float64{1}, LE, 5))
+	if sol := Solve(p); sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestInfeasibleEquality(t *testing.T) {
+	p := NewMinimize([]float64{1, 1})
+	mustAdd(t, p.AddDense([]float64{1, 1}, EQ, 4))
+	mustAdd(t, p.AddDense([]float64{1, 1}, EQ, 7))
+	if sol := Solve(p); sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewMaximize([]float64{1, 0})
+	mustAdd(t, p.AddDense([]float64{0, 1}, LE, 5))
+	if sol := Solve(p); sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestMinimizeUnboundedIsNotUnboundedBelowZero(t *testing.T) {
+	// min x with x >= 0 implicit: optimum 0, not unbounded.
+	p := NewMinimize([]float64{1})
+	sol := Solve(p)
+	if sol.Status != Optimal || math.Abs(sol.Objective) > 1e-9 {
+		t.Fatalf("got %v obj %v, want optimal 0", sol.Status, sol.Objective)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// x - y <= -2  (i.e. y >= x + 2), max x + y with y <= 5 -> x = 3, y = 5.
+	p := NewMaximize([]float64{1, 1})
+	mustAdd(t, p.AddDense([]float64{1, -1}, LE, -2))
+	mustAdd(t, p.AddDense([]float64{0, 1}, LE, 5))
+	sol := Solve(p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-8) > 1e-7 {
+		t.Fatalf("got %v obj %v, want optimal 8", sol.Status, sol.Objective)
+	}
+}
+
+func TestSparseAndBounds(t *testing.T) {
+	p := NewMaximize([]float64{1, 2, 3})
+	mustAdd(t, p.AddSparse([]int{0, 2}, []float64{1, 1}, LE, 10))
+	mustAdd(t, p.AddUpperBound(1, 4))
+	mustAdd(t, p.AddUpperBound(2, 6))
+	mustAdd(t, p.AddLowerBound(0, 2))
+	sol := Solve(p)
+	// x2 = 6 (bound), x0 in [2, 4] (row 0 leaves 4), x1 = 4.
+	// obj = 4 + 8 + 18 = 30.
+	if sol.Status != Optimal || math.Abs(sol.Objective-30) > 1e-6 {
+		t.Fatalf("got %v obj %v X %v, want optimal 30", sol.Status, sol.Objective, sol.X)
+	}
+}
+
+func TestBoundHelpersSkipTrivial(t *testing.T) {
+	p := NewMaximize([]float64{1})
+	mustAdd(t, p.AddUpperBound(0, math.Inf(1)))
+	mustAdd(t, p.AddLowerBound(0, 0))
+	mustAdd(t, p.AddLowerBound(0, -5))
+	if p.NumConstraints() != 0 {
+		t.Errorf("trivial bounds added %d rows", p.NumConstraints())
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	p := NewMaximize([]float64{1, 2})
+	if err := p.AddDense([]float64{1}, LE, 0); err == nil {
+		t.Error("want error for short row")
+	}
+	if err := p.AddSparse([]int{0}, []float64{1, 2}, LE, 0); err == nil {
+		t.Error("want error for mismatched sparse")
+	}
+	if err := p.AddSparse([]int{5}, []float64{1}, LE, 0); err == nil {
+		t.Error("want error for out-of-range index")
+	}
+}
+
+func TestDegenerateCycling(t *testing.T) {
+	// A classically degenerate LP (Beale's example) that cycles under naive
+	// Dantzig pivoting without anti-cycling.
+	p := NewMaximize([]float64{0.75, -150, 0.02, -6})
+	mustAdd(t, p.AddDense([]float64{0.25, -60, -0.04, 9}, LE, 0))
+	mustAdd(t, p.AddDense([]float64{0.5, -90, -0.02, 3}, LE, 0))
+	mustAdd(t, p.AddDense([]float64{0, 0, 1, 0}, LE, 1))
+	sol := Solve(p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if math.Abs(sol.Objective-0.05) > 1e-7 {
+		t.Errorf("objective = %v, want 0.05", sol.Objective)
+	}
+}
+
+func TestPaperNumericalExampleRelaxation(t *testing.T) {
+	// Section 4.4 overlapping example: cells c1 (in t1∩t2) and c2 (t2 only).
+	// max 129.99 x1 + 149.99 x2 s.t. 50 <= x1 <= 100, 75 <= x1+x2 <= 125.
+	p := NewMaximize([]float64{129.99, 149.99})
+	mustAdd(t, p.AddDense([]float64{1, 0}, GE, 50))
+	mustAdd(t, p.AddDense([]float64{1, 0}, LE, 100))
+	mustAdd(t, p.AddDense([]float64{1, 1}, GE, 75))
+	mustAdd(t, p.AddDense([]float64{1, 1}, LE, 125))
+	sol := Solve(p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	want := 50*129.99 + 75*149.99
+	if math.Abs(sol.Objective-want) > 1e-6 {
+		t.Errorf("objective = %v, want %v", sol.Objective, want)
+	}
+	// Lower bound side: min 0.99(x1+x2) -> 74.25.
+	q := NewMinimize([]float64{0.99, 0.99})
+	mustAdd(t, q.AddDense([]float64{1, 0}, GE, 50))
+	mustAdd(t, q.AddDense([]float64{1, 0}, LE, 100))
+	mustAdd(t, q.AddDense([]float64{1, 1}, GE, 75))
+	mustAdd(t, q.AddDense([]float64{1, 1}, LE, 125))
+	sol2 := Solve(q)
+	if sol2.Status != Optimal || math.Abs(sol2.Objective-74.25) > 1e-6 {
+		t.Fatalf("lower: got %v obj %v, want optimal 74.25", sol2.Status, sol2.Objective)
+	}
+}
+
+func TestSolutionSatisfiesConstraints(t *testing.T) {
+	// Random LPs: whenever Optimal, X must satisfy every constraint.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(4)
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = rng.Float64()*20 - 10
+		}
+		var p *Problem
+		if rng.Intn(2) == 0 {
+			p = NewMaximize(c)
+		} else {
+			p = NewMinimize(c)
+		}
+		m := 1 + rng.Intn(5)
+		type row struct {
+			a     []float64
+			sense Sense
+			rhs   float64
+		}
+		var saved []row
+		for i := 0; i < m; i++ {
+			a := make([]float64, n)
+			for j := range a {
+				a[j] = rng.Float64()*4 - 1
+			}
+			sense := Sense(rng.Intn(2)) // LE or GE
+			rhs := rng.Float64() * 20
+			saved = append(saved, row{a, sense, rhs})
+			mustAdd(t, p.AddDense(a, sense, rhs))
+		}
+		// Keep it bounded.
+		for j := 0; j < n; j++ {
+			mustAdd(t, p.AddUpperBound(j, 50))
+			saved = append(saved, row{unit(n, j), LE, 50})
+		}
+		sol := Solve(p)
+		if sol.Status != Optimal && sol.Status != Infeasible {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+		if sol.Status != Optimal {
+			continue
+		}
+		for k, r := range saved {
+			dot := 0.0
+			for j := range r.a {
+				dot += r.a[j] * sol.X[j]
+			}
+			switch r.sense {
+			case LE:
+				if dot > r.rhs+1e-6 {
+					t.Fatalf("trial %d: row %d violated: %v > %v", trial, k, dot, r.rhs)
+				}
+			case GE:
+				if dot < r.rhs-1e-6 {
+					t.Fatalf("trial %d: row %d violated: %v < %v", trial, k, dot, r.rhs)
+				}
+			}
+		}
+		for j, v := range sol.X {
+			if v < -1e-7 {
+				t.Fatalf("trial %d: x[%d] = %v negative", trial, j, v)
+			}
+		}
+	}
+}
+
+func TestAgainstBruteForce2D(t *testing.T) {
+	// Cross-check optima on random bounded 2-D LPs using a fine grid search.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		c := []float64{rng.Float64()*10 - 5, rng.Float64()*10 - 5}
+		p := NewMaximize(c)
+		type row struct {
+			a   []float64
+			rhs float64
+		}
+		var cons []row
+		for i := 0; i < 3; i++ {
+			a := []float64{rng.Float64()*2 - 0.5, rng.Float64()*2 - 0.5}
+			rhs := rng.Float64()*10 + 1
+			cons = append(cons, row{a, rhs})
+			mustAdd(t, p.AddDense(a, LE, rhs))
+		}
+		mustAdd(t, p.AddUpperBound(0, 10))
+		mustAdd(t, p.AddUpperBound(1, 10))
+		sol := Solve(p)
+		if sol.Status != Optimal {
+			// x = 0 is always feasible here (rhs > 0), so it must be optimal.
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+		best := math.Inf(-1)
+		const steps = 200
+		for i := 0; i <= steps; i++ {
+			for j := 0; j <= steps; j++ {
+				x := float64(i) / steps * 10
+				y := float64(j) / steps * 10
+				ok := true
+				for _, r := range cons {
+					if r.a[0]*x+r.a[1]*y > r.rhs+1e-9 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					if v := c[0]*x + c[1]*y; v > best {
+						best = v
+					}
+				}
+			}
+		}
+		if sol.Objective < best-1e-3 {
+			t.Fatalf("trial %d: simplex %v < grid %v", trial, sol.Objective, best)
+		}
+	}
+}
+
+func TestZeroVariables(t *testing.T) {
+	p := NewMaximize(nil)
+	sol := Solve(p)
+	if sol.Status != Optimal || sol.Objective != 0 {
+		t.Fatalf("empty LP: %v %v", sol.Status, sol.Objective)
+	}
+}
+
+func TestRedundantEqualityRows(t *testing.T) {
+	// Duplicate equality rows produce a redundant artificial row that must be
+	// handled when driving artificials out.
+	p := NewMaximize([]float64{1, 1})
+	mustAdd(t, p.AddDense([]float64{1, 1}, EQ, 5))
+	mustAdd(t, p.AddDense([]float64{1, 1}, EQ, 5))
+	mustAdd(t, p.AddDense([]float64{1, 0}, LE, 2))
+	sol := Solve(p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-5) > 1e-7 {
+		t.Fatalf("got %v obj %v, want optimal 5", sol.Status, sol.Objective)
+	}
+}
+
+func TestSenseStatusStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("sense strings wrong")
+	}
+	for _, s := range []Status{Optimal, Infeasible, Unbounded, IterLimit} {
+		if s.String() == "" {
+			t.Error("empty status string")
+		}
+	}
+	if Sense(99).String() == "" || Status(99).String() == "" {
+		t.Error("unknown enum strings should not be empty")
+	}
+}
+
+func unit(n, j int) []float64 {
+	a := make([]float64, n)
+	a[j] = 1
+	return a
+}
+
+func BenchmarkSolveMedium(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n, m := 50, 40
+	c := make([]float64, n)
+	for i := range c {
+		c[i] = rng.Float64()
+	}
+	rows := make([][]float64, m)
+	for i := range rows {
+		rows[i] = make([]float64, n)
+		for j := range rows[i] {
+			rows[i][j] = rng.Float64()
+		}
+	}
+	b.ResetTimer()
+	for k := 0; k < b.N; k++ {
+		p := NewMaximize(c)
+		for i := range rows {
+			_ = p.AddDense(rows[i], LE, 10)
+		}
+		sol := Solve(p)
+		if sol.Status != Optimal {
+			b.Fatalf("status %v", sol.Status)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+// Package milp implements a branch-and-bound mixed-integer linear program
+// solver over the simplex solver in internal/lp. It substitutes for the
+// off-the-shelf MILP solver the paper uses to allocate rows to decomposition
+// cells (Section 4.2).
+//
+// A property this package leans on: for the bounding use-case, the LP
+// relaxation optimum is itself a sound outer bound on the integer optimum
+// (relaxations only widen the feasible region). Solve therefore always
+// returns both the best integer incumbent and the tightest proven relaxation
+// bound, and internal/core uses the bound when the node budget expires —
+// bounds get looser, never wrong.
+package milp
+
+import (
+	"container/heap"
+	"math"
+
+	"pcbound/internal/lp"
+)
+
+// Problem is a mixed-integer LP: the base LP plus integrality flags.
+type Problem struct {
+	// LP is the underlying linear program (variables are non-negative;
+	// bounds are rows). The problem takes ownership of it.
+	LP *lp.Problem
+	// Integer marks which variables must take integer values. A nil slice
+	// means all variables are integral (the common case in this system,
+	// where variables are row counts).
+	Integer []bool
+}
+
+// Options tunes the search.
+type Options struct {
+	// MaxNodes caps the number of branch-and-bound nodes explored.
+	// Zero means DefaultMaxNodes.
+	MaxNodes int
+	// IntTol is the integrality tolerance. Zero means 1e-6.
+	IntTol float64
+}
+
+// DefaultMaxNodes is the node budget used when Options.MaxNodes is zero.
+const DefaultMaxNodes = 20000
+
+// Status describes the solve outcome.
+type Status int
+
+const (
+	// Optimal means the incumbent is proven optimal.
+	Optimal Status = iota
+	// Feasible means an integer solution was found but the node budget
+	// expired before proving optimality; Bound still outer-bounds the
+	// true optimum.
+	Feasible
+	// BoundOnly means no integer solution was found within the budget, but
+	// Bound is a valid outer bound on the optimum (if one exists).
+	BoundOnly
+	// Infeasible means the LP relaxation (hence the MILP) has no solution.
+	Infeasible
+	// Unbounded means the relaxation is unbounded.
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case BoundOnly:
+		return "bound-only"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return "unknown"
+	}
+}
+
+// Solution is a MILP solve result.
+type Solution struct {
+	Status Status
+	// Objective is the incumbent's objective (valid for Optimal/Feasible).
+	Objective float64
+	// Bound outer-bounds the true optimum: for maximization Bound >= opt,
+	// for minimization Bound <= opt. Equal to Objective when Optimal.
+	Bound float64
+	// X is the incumbent point (nil unless Optimal/Feasible).
+	X []float64
+	// Nodes is the number of nodes explored.
+	Nodes int
+}
+
+type node struct {
+	prob  *lp.Problem
+	bound float64 // LP relaxation objective (in maximization orientation)
+	depth int
+}
+
+type nodeQueue []*node
+
+func (q nodeQueue) Len() int            { return len(q) }
+func (q nodeQueue) Less(i, j int) bool  { return q[i].bound > q[j].bound } // best-first
+func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(*node)) }
+func (q *nodeQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// Maximize reports whether the problem's LP maximizes. The lp package does
+// not expose orientation, so callers of Solve pass it explicitly via the
+// constructor helpers below.
+type orientation bool
+
+// SolveMax solves a maximization MILP.
+func SolveMax(p Problem, opts Options) Solution { return solve(p, opts, true) }
+
+// SolveMin solves a minimization MILP.
+func SolveMin(p Problem, opts Options) Solution { return solve(p, opts, false) }
+
+func solve(p Problem, opts Options, maximize bool) Solution {
+	if opts.MaxNodes <= 0 {
+		opts.MaxNodes = DefaultMaxNodes
+	}
+	if opts.IntTol <= 0 {
+		opts.IntTol = 1e-6
+	}
+	isInt := func(i int) bool {
+		if p.Integer == nil {
+			return true
+		}
+		return p.Integer[i]
+	}
+	// dir converts objectives into "maximization orientation" so the
+	// best-first queue and pruning logic are direction-free.
+	dir := 1.0
+	if !maximize {
+		dir = -1.0
+	}
+
+	root := &node{prob: p.LP}
+	sol := lp.Solve(root.prob)
+	switch sol.Status {
+	case lp.Infeasible:
+		return Solution{Status: Infeasible, Nodes: 1}
+	case lp.Unbounded:
+		return Solution{Status: Unbounded, Nodes: 1, Bound: dir * math.Inf(1)}
+	case lp.IterLimit:
+		// Extremely rare; treat conservatively as an unbounded relaxation.
+		return Solution{Status: BoundOnly, Bound: dir * math.Inf(1), Nodes: 1}
+	}
+	root.bound = dir * sol.Objective
+
+	var (
+		best      []float64
+		bestObj   = math.Inf(-1) // in maximization orientation
+		haveBest  bool
+		nodes     int
+		openQueue = &nodeQueue{}
+	)
+	heap.Init(openQueue)
+
+	process := func(n *node, lpSol lp.Solution) {
+		// Find the most fractional integer variable.
+		frac, fracIdx := -1.0, -1
+		for i, v := range lpSol.X {
+			if !isInt(i) {
+				continue
+			}
+			f := math.Abs(v - math.Round(v))
+			if f > opts.IntTol && f > frac {
+				frac, fracIdx = f, i
+			}
+		}
+		if fracIdx < 0 {
+			// Integer-feasible.
+			obj := dir * lpSol.Objective
+			if obj > bestObj {
+				bestObj = obj
+				best = append([]float64(nil), lpSol.X...)
+				// Snap near-integers exactly.
+				for i := range best {
+					if isInt(i) {
+						best[i] = math.Round(best[i])
+					}
+				}
+				haveBest = true
+			}
+			return
+		}
+		v := lpSol.X[fracIdx]
+		down := n.prob.Clone()
+		_ = down.AddSparse([]int{fracIdx}, []float64{1}, lp.LE, math.Floor(v))
+		up := n.prob.Clone()
+		_ = up.AddSparse([]int{fracIdx}, []float64{1}, lp.GE, math.Ceil(v))
+		for _, child := range []*lp.Problem{down, up} {
+			cs := lp.Solve(child)
+			nodes++
+			if cs.Status != lp.Optimal {
+				continue
+			}
+			cb := dir * cs.Objective
+			if haveBest && cb <= bestObj+1e-9 {
+				continue // pruned by bound
+			}
+			heap.Push(openQueue, &node{prob: child, bound: cb, depth: n.depth + 1})
+		}
+	}
+
+	nodes = 1
+	process(root, sol)
+	for openQueue.Len() > 0 && nodes < opts.MaxNodes {
+		n := heap.Pop(openQueue).(*node)
+		if haveBest && n.bound <= bestObj+1e-9 {
+			continue
+		}
+		ns := lp.Solve(n.prob)
+		if ns.Status != lp.Optimal {
+			continue
+		}
+		process(n, ns)
+	}
+
+	// The global outer bound is the max of the incumbent and all open nodes.
+	globalBound := bestObj
+	if !haveBest {
+		globalBound = math.Inf(-1)
+	}
+	if openQueue.Len() > 0 {
+		for _, n := range *openQueue {
+			if n.bound > globalBound {
+				globalBound = n.bound
+			}
+		}
+	} else if !haveBest {
+		// Search exhausted with no incumbent: the MILP is integer-infeasible.
+		return Solution{Status: Infeasible, Nodes: nodes}
+	}
+	if math.IsInf(globalBound, -1) {
+		globalBound = root.bound
+	}
+
+	out := Solution{Nodes: nodes, Bound: dir * globalBound}
+	if haveBest {
+		out.Objective = dir * bestObj
+		out.X = best
+		if openQueue.Len() == 0 || globalBound <= bestObj+1e-9 {
+			out.Status = Optimal
+			out.Bound = out.Objective
+		} else {
+			out.Status = Feasible
+		}
+		return out
+	}
+	out.Status = BoundOnly
+	return out
+}

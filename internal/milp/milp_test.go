@@ -1,0 +1,291 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pcbound/internal/lp"
+)
+
+func TestIntegerKnapsack(t *testing.T) {
+	// max 5x + 4y s.t. 6x + 5y <= 23, x,y integer >= 0.
+	// LP relaxation: x = 23/6 ≈ 3.83, obj ≈ 19.17.
+	// Integer optimum: x=3, y=1 -> 19.
+	p := lp.NewMaximize([]float64{5, 4})
+	if err := p.AddDense([]float64{6, 5}, lp.LE, 23); err != nil {
+		t.Fatal(err)
+	}
+	sol := SolveMax(Problem{LP: p}, Options{})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-19) > 1e-6 {
+		t.Errorf("objective = %v, want 19", sol.Objective)
+	}
+	if sol.X[0] != 3 || sol.X[1] != 1 {
+		t.Errorf("X = %v, want [3 1]", sol.X)
+	}
+	if math.Abs(sol.Bound-19) > 1e-6 {
+		t.Errorf("Bound = %v, want 19 at optimality", sol.Bound)
+	}
+}
+
+func TestMinimization(t *testing.T) {
+	// min 3x + 2y s.t. x + y >= 4.5, x,y integer -> total 5 rows at least;
+	// optimum all-y: y=5 obj 10? x=0,y=5: 10. x=1,y=4: 11. x=2,y=3: 12.
+	p := lp.NewMinimize([]float64{3, 2})
+	if err := p.AddDense([]float64{1, 1}, lp.GE, 4.5); err != nil {
+		t.Fatal(err)
+	}
+	sol := SolveMin(Problem{LP: p}, Options{})
+	if sol.Status != Optimal || math.Abs(sol.Objective-10) > 1e-6 {
+		t.Fatalf("got %v obj %v, want optimal 10", sol.Status, sol.Objective)
+	}
+	// Bound must outer-bound from below for minimization.
+	if sol.Bound > sol.Objective+1e-9 {
+		t.Errorf("min Bound %v > Objective %v", sol.Bound, sol.Objective)
+	}
+}
+
+func TestMixedInteger(t *testing.T) {
+	// x integer, y continuous. max x + 10y s.t. x + 5y <= 7.5, x <= 3.
+	// With x=3: y = 0.9 -> 12. With x=2: y=1.1 -> 13. x=0: y=1.5 -> 15.
+	p := lp.NewMaximize([]float64{1, 10})
+	if err := p.AddDense([]float64{1, 5}, lp.LE, 7.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddUpperBound(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	sol := SolveMax(Problem{LP: p, Integer: []bool{true, false}}, Options{})
+	if sol.Status != Optimal || math.Abs(sol.Objective-15) > 1e-6 {
+		t.Fatalf("got %v obj %v, want optimal 15", sol.Status, sol.Objective)
+	}
+	if sol.X[0] != 0 {
+		t.Errorf("x = %v, want 0", sol.X[0])
+	}
+}
+
+func TestInfeasibleMILP(t *testing.T) {
+	p := lp.NewMaximize([]float64{1})
+	if err := p.AddDense([]float64{1}, lp.GE, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddDense([]float64{1}, lp.LE, 2); err != nil {
+		t.Fatal(err)
+	}
+	sol := SolveMax(Problem{LP: p}, Options{})
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestIntegerInfeasibleButLPFeasible(t *testing.T) {
+	// 0.4 <= x <= 0.6 has no integer point.
+	p := lp.NewMaximize([]float64{1})
+	if err := p.AddDense([]float64{1}, lp.GE, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddDense([]float64{1}, lp.LE, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	sol := SolveMax(Problem{LP: p}, Options{})
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible (no integer point)", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := lp.NewMaximize([]float64{1})
+	sol := SolveMax(Problem{LP: p}, Options{})
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+	if !math.IsInf(sol.Bound, 1) {
+		t.Errorf("Bound = %v, want +inf", sol.Bound)
+	}
+}
+
+func TestPaperNumericalExample(t *testing.T) {
+	// Section 4.4: max 129.99 x1 + 149.99 x2,
+	// 50 <= x1 <= 100, 75 <= x1 + x2 <= 125 -> 17748.75 (integral already).
+	p := lp.NewMaximize([]float64{129.99, 149.99})
+	for _, c := range []struct {
+		a     []float64
+		sense lp.Sense
+		rhs   float64
+	}{
+		{[]float64{1, 0}, lp.GE, 50},
+		{[]float64{1, 0}, lp.LE, 100},
+		{[]float64{1, 1}, lp.GE, 75},
+		{[]float64{1, 1}, lp.LE, 125},
+	} {
+		if err := p.AddDense(c.a, c.sense, c.rhs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sol := SolveMax(Problem{LP: p}, Options{})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-17748.75) > 1e-6 {
+		t.Errorf("objective = %v, want 17748.75", sol.Objective)
+	}
+	if sol.X[0] != 50 || sol.X[1] != 75 {
+		t.Errorf("X = %v, want [50 75]", sol.X)
+	}
+}
+
+func TestNodeBudgetStillSound(t *testing.T) {
+	// A problem needing branching, solved with a node budget of 2: the
+	// returned Bound must still be >= the true integer optimum.
+	p := lp.NewMaximize([]float64{5, 4, 3, 7, 6})
+	if err := p.AddDense([]float64{6, 5, 4, 9, 7}, lp.LE, 23.5); err != nil {
+		t.Fatal(err)
+	}
+	full := SolveMax(Problem{LP: p.Clone()}, Options{})
+	if full.Status != Optimal {
+		t.Fatalf("full solve status %v", full.Status)
+	}
+	tight := SolveMax(Problem{LP: p}, Options{MaxNodes: 2})
+	if tight.Bound < full.Objective-1e-6 {
+		t.Errorf("budgeted Bound %v < true optimum %v", tight.Bound, full.Objective)
+	}
+}
+
+// TestRandomAgainstBruteForce cross-checks B&B against exhaustive integer
+// enumeration on small random allocation problems shaped like the paper's
+// cell MILPs (interval sum constraints over subsets).
+func TestRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 120; trial++ {
+		n := 2 + rng.Intn(3) // 2-4 cells
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = float64(rng.Intn(20)) / 2
+		}
+		p := lp.NewMaximize(c)
+		type con struct {
+			mask   []bool
+			lo, hi float64
+		}
+		m := 1 + rng.Intn(3)
+		var cons []con
+		for k := 0; k < m; k++ {
+			mask := make([]bool, n)
+			var idx []int
+			var val []float64
+			for i := range mask {
+				if rng.Intn(2) == 0 {
+					mask[i] = true
+					idx = append(idx, i)
+					val = append(val, 1)
+				}
+			}
+			if len(idx) == 0 {
+				mask[0] = true
+				idx = append(idx, 0)
+				val = append(val, 1)
+			}
+			lo := float64(rng.Intn(4))
+			hi := lo + float64(rng.Intn(6))
+			cons = append(cons, con{mask, lo, hi})
+			if err := p.AddSparse(idx, val, lp.GE, lo); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.AddSparse(idx, val, lp.LE, hi); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Global cap keeps brute force cheap.
+		capAll := make([]float64, n)
+		for i := range capAll {
+			capAll[i] = 1
+		}
+		if err := p.AddDense(capAll, lp.LE, 10); err != nil {
+			t.Fatal(err)
+		}
+		sol := SolveMax(Problem{LP: p}, Options{})
+
+		// Brute force over x_i in [0,10].
+		best := math.Inf(-1)
+		var rec func(i int, x []int, sum int)
+		rec = func(i int, x []int, sum int) {
+			if sum > 10 {
+				return
+			}
+			if i == n {
+				for _, cn := range cons {
+					s := 0
+					for j := range x {
+						if cn.mask[j] {
+							s += x[j]
+						}
+					}
+					if float64(s) < cn.lo || float64(s) > cn.hi {
+						return
+					}
+				}
+				v := 0.0
+				for j := range x {
+					v += c[j] * float64(x[j])
+				}
+				if v > best {
+					best = v
+				}
+				return
+			}
+			for v := 0; v <= 10; v++ {
+				x[i] = v
+				rec(i+1, x, sum+v)
+			}
+			x[i] = 0
+		}
+		rec(0, make([]int, n), 0)
+
+		if math.IsInf(best, -1) {
+			if sol.Status != Infeasible {
+				t.Fatalf("trial %d: brute infeasible but solver says %v (obj %v)", trial, sol.Status, sol.Objective)
+			}
+			continue
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v, brute optimum %v", trial, sol.Status, best)
+		}
+		if math.Abs(sol.Objective-best) > 1e-6 {
+			t.Fatalf("trial %d: solver %v != brute %v", trial, sol.Objective, best)
+		}
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	for _, s := range []Status{Optimal, Feasible, BoundOnly, Infeasible, Unbounded, Status(42)} {
+		if s.String() == "" {
+			t.Errorf("empty string for %d", int(s))
+		}
+	}
+}
+
+func BenchmarkKnapsack(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	n := 15
+	c := make([]float64, n)
+	w := make([]float64, n)
+	for i := range c {
+		c[i] = 1 + rng.Float64()*9
+		w[i] = 1 + rng.Float64()*9
+	}
+	b.ResetTimer()
+	for k := 0; k < b.N; k++ {
+		p := lp.NewMaximize(c)
+		_ = p.AddDense(w, lp.LE, 30.5)
+		for i := 0; i < n; i++ {
+			_ = p.AddUpperBound(i, 4)
+		}
+		sol := SolveMax(Problem{LP: p}, Options{})
+		if sol.Status != Optimal {
+			b.Fatalf("status %v", sol.Status)
+		}
+	}
+}

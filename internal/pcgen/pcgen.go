@@ -1,0 +1,243 @@
+// Package pcgen constructs the predicate-constraint sets the paper's
+// evaluation uses (Section 6.1.4):
+//
+//   - Corr-PC: an equi-cardinality grid partition over the attributes most
+//     correlated with the aggregate, with exact per-bucket counts and value
+//     hulls — the "reasonably best performance one could expect".
+//   - Rand-PC: a randomly-placed grid (boundaries uniform over the domain,
+//     ignoring the data distribution) plus randomly generated overlapping
+//     boxes — the worst case.
+//   - Overlapping-PC: a partition plus a coarser overlapping layer, used in
+//     the noise-robustness experiment (Figure 6) to show that overlapping
+//     constraints reject mis-specification.
+//   - Noise: Gaussian perturbation of the value bounds, for Figure 6.
+//
+// All generators derive frequency windows and value hulls from the true
+// missing rows, matching the paper's idealized setup in which every
+// framework receives accurate information about the missing data.
+package pcgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pcbound/internal/core"
+	"pcbound/internal/domain"
+	"pcbound/internal/predicate"
+	"pcbound/internal/table"
+)
+
+// CorrPC builds an equi-cardinality grid partition of the missing rows over
+// the given attributes (1 or 2), with roughly n buckets. Buckets tile the
+// full domain, so the resulting set is closed.
+func CorrPC(missing *table.T, attrs []string, n int) (*core.Set, error) {
+	bounds, err := gridBoundaries(missing, attrs, n, nil)
+	if err != nil {
+		return nil, err
+	}
+	return gridSet(missing, attrs, bounds)
+}
+
+// RandPC builds a randomly placed grid of roughly n buckets (boundaries
+// uniform over the attribute domains) plus nOverlap random overlapping
+// boxes. Counts and hulls still come from the data, so the set is accurate —
+// just poorly aligned with the data's structure.
+func RandPC(missing *table.T, attrs []string, n, nOverlap int, rng *rand.Rand) (*core.Set, error) {
+	bounds, err := gridBoundaries(missing, attrs, n, rng)
+	if err != nil {
+		return nil, err
+	}
+	set, err := gridSet(missing, attrs, bounds)
+	if err != nil {
+		return nil, err
+	}
+	schema := missing.Schema()
+	for i := 0; i < nOverlap; i++ {
+		b := predicate.NewBuilder(schema)
+		for _, a := range attrs {
+			ai := schema.MustIndex(a)
+			dom := schema.Attr(ai).Domain
+			w := dom.Width() * (0.05 + 0.25*rng.Float64())
+			lo := dom.Lo + rng.Float64()*(dom.Width()-w)
+			b.Range(a, lo, lo+w)
+		}
+		pred := b.Build()
+		if err := set.Add(pcFromData(missing, pred)); err != nil {
+			return nil, err
+		}
+	}
+	return set, nil
+}
+
+// Overlapping builds a Corr-PC partition of n buckets plus a coarser layer
+// of overlapping merged buckets on the first attribute, giving every region
+// two independent constraints (Figure 6's Overlapping-PC).
+func Overlapping(missing *table.T, attrs []string, n int) (*core.Set, error) {
+	set, err := CorrPC(missing, attrs, n)
+	if err != nil {
+		return nil, err
+	}
+	// Coarse layer: partition the first attribute alone into n/4 pieces.
+	coarse := n / 4
+	if coarse < 1 {
+		coarse = 1
+	}
+	coarseSet, err := CorrPC(missing, attrs[:1], coarse)
+	if err != nil {
+		return nil, err
+	}
+	if err := set.Add(coarseSet.PCs()...); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// Noise returns a copy of the set whose value-constraint endpoints are
+// perturbed by independent Gaussian noise: sigmas maps attribute name to the
+// noise standard deviation (Figure 6 uses k × the attribute's standard
+// deviation). Frequency windows are unchanged. The result may no longer
+// hold on the true data — that is the point of the experiment.
+func Noise(set *core.Set, sigmas map[string]float64, rng *rand.Rand) *core.Set {
+	schema := set.Schema()
+	out := core.NewSet(schema)
+	for _, pc := range set.PCs() {
+		values := pc.Values.Clone()
+		for name, sigma := range sigmas {
+			i := schema.MustIndex(name)
+			if values[i] == schema.Attr(i).Domain {
+				continue // unconstrained attribute: nothing to corrupt
+			}
+			lo := values[i].Lo + rng.NormFloat64()*sigma
+			hi := values[i].Hi + rng.NormFloat64()*sigma
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			values[i] = domain.NewInterval(lo, hi)
+		}
+		noisy := pc
+		noisy.Values = values
+		// Bypass Add-side validation deliberately: noisy constraints are
+		// allowed to be wrong.
+		if err := out.Add(noisy); err != nil {
+			// Frequency windows are untouched, so Add can only fail on
+			// schema mismatch, which cannot happen here.
+			panic(err)
+		}
+	}
+	return out
+}
+
+// gridBoundaries computes per-attribute bucket boundaries. With rng == nil
+// the boundaries are data quantiles (equi-cardinality, Corr-PC); otherwise
+// they are uniform random points over the domain (Rand-PC).
+func gridBoundaries(missing *table.T, attrs []string, n int, rng *rand.Rand) ([][]float64, error) {
+	if len(attrs) == 0 || len(attrs) > 2 {
+		return nil, fmt.Errorf("pcgen: grid over %d attributes unsupported (want 1 or 2)", len(attrs))
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("pcgen: need at least 1 bucket, got %d", n)
+	}
+	schema := missing.Schema()
+	parts := make([]int, len(attrs))
+	if len(attrs) == 1 {
+		parts[0] = n
+	} else {
+		g := int(math.Round(math.Sqrt(float64(n))))
+		if g < 1 {
+			g = 1
+		}
+		parts[0], parts[1] = g, g
+	}
+	bounds := make([][]float64, len(attrs))
+	for d, a := range attrs {
+		ai, ok := schema.Index(a)
+		if !ok {
+			return nil, fmt.Errorf("pcgen: unknown attribute %q", a)
+		}
+		if rng == nil {
+			bounds[d] = missing.Quantiles(a, parts[d])
+		} else {
+			dom := schema.Attr(ai).Domain
+			bs := make([]float64, parts[d]+1)
+			bs[0], bs[parts[d]] = dom.Lo, dom.Hi
+			for k := 1; k < parts[d]; k++ {
+				bs[k] = dom.Lo + rng.Float64()*dom.Width()
+			}
+			sortFloats(bs)
+			bounds[d] = bs
+		}
+	}
+	return bounds, nil
+}
+
+// gridSet tiles the domain with boxes from the boundary lists and derives
+// one PC per bucket from the missing rows.
+func gridSet(missing *table.T, attrs []string, bounds [][]float64) (*core.Set, error) {
+	schema := missing.Schema()
+	set := core.NewSet(schema)
+	var build func(d int, cur domain.Box) error
+	boxes := []*predicate.P{}
+	build = func(d int, cur domain.Box) error {
+		if d == len(attrs) {
+			boxes = append(boxes, predicate.FromBox(schema, cur))
+			return nil
+		}
+		ai := schema.MustIndex(attrs[d])
+		kind := schema.Attr(ai).Kind
+		bs := bounds[d]
+		for k := 0; k+1 < len(bs); k++ {
+			lo := bs[k]
+			if k > 0 {
+				lo = succ(bs[k], kind) // half-open tiling: (b_k, b_{k+1}]
+			}
+			hi := bs[k+1]
+			if lo > hi {
+				continue // duplicate boundary: empty piece
+			}
+			next := cur.Clone()
+			next[ai] = domain.NewInterval(lo, hi)
+			if err := build(d+1, next); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := build(0, schema.FullBox()); err != nil {
+		return nil, err
+	}
+	for _, pred := range boxes {
+		if err := set.Add(pcFromData(missing, pred)); err != nil {
+			return nil, err
+		}
+	}
+	return set, nil
+}
+
+// pcFromData derives the exact PC for a predicate from the missing rows:
+// frequency window (count, count) and value box equal to the hull of the
+// matching rows (the full domain when no row matches).
+func pcFromData(missing *table.T, pred *predicate.P) core.PC {
+	schema := missing.Schema()
+	cnt := int(missing.Count(pred))
+	values := schema.FullBox()
+	if cnt > 0 {
+		values = missing.Hull(pred)
+	}
+	return core.PC{Pred: pred, Values: values, KLo: cnt, KHi: cnt}
+}
+
+func succ(v float64, k domain.Kind) float64 {
+	if k == domain.Integral {
+		return math.Floor(v) + 1
+	}
+	return math.Nextafter(v, math.Inf(1))
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

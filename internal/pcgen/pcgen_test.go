@@ -1,0 +1,197 @@
+package pcgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pcbound/internal/core"
+	"pcbound/internal/data"
+	"pcbound/internal/sat"
+)
+
+func TestCorrPCValidAndClosed(t *testing.T) {
+	tb := data.Intel(3000, 1)
+	_, missing := tb.RemoveTopFraction("light", 0.3)
+	set, err := CorrPC(missing, []string{"device", "time"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Derived constraints must hold on the data they were derived from.
+	if errs := set.Validate(missing.Rows()); len(errs) != 0 {
+		t.Fatalf("Corr-PC violates its own data: %v", errs[0])
+	}
+	// And must tile the domain.
+	sv := sat.New(missing.Schema())
+	if !set.Closed(sv) {
+		w, _ := set.Uncovered(sv)
+		t.Fatalf("Corr-PC not closed; uncovered point %v", w)
+	}
+	// Grid partitions are disjoint: the engine can use the fast path.
+	if !set.Disjoint() {
+		t.Error("Corr-PC grid should be disjoint")
+	}
+	// Total frequency mass equals the missing cardinality.
+	total := 0
+	for _, pc := range set.PCs() {
+		total += pc.KHi
+	}
+	if total != missing.Len() {
+		t.Errorf("total KHi = %d, want %d", total, missing.Len())
+	}
+}
+
+func TestCorrPC1D(t *testing.T) {
+	tb := data.Intel(2000, 2)
+	_, missing := tb.RemoveTopFraction("light", 0.2)
+	set, err := CorrPC(missing, []string{"time"}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() == 0 || set.Len() > 50 {
+		t.Errorf("1-D partition size = %d", set.Len())
+	}
+	if errs := set.Validate(missing.Rows()); len(errs) != 0 {
+		t.Fatalf("violations: %v", errs[0])
+	}
+	if !set.Closed(sat.New(missing.Schema())) {
+		t.Error("1-D partition not closed")
+	}
+}
+
+func TestCorrPCErrors(t *testing.T) {
+	tb := data.Intel(100, 3)
+	if _, err := CorrPC(tb, nil, 10); err == nil {
+		t.Error("no attributes accepted")
+	}
+	if _, err := CorrPC(tb, []string{"a", "b", "c"}, 10); err == nil {
+		t.Error("3 attributes accepted")
+	}
+	if _, err := CorrPC(tb, []string{"device"}, 0); err == nil {
+		t.Error("0 buckets accepted")
+	}
+	if _, err := CorrPC(tb, []string{"nope"}, 10); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+func TestRandPCValidAndClosed(t *testing.T) {
+	tb := data.Intel(3000, 4)
+	_, missing := tb.RemoveTopFraction("light", 0.3)
+	rng := rand.New(rand.NewSource(5))
+	set, err := RandPC(missing, []string{"device", "time"}, 64, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := set.Validate(missing.Rows()); len(errs) != 0 {
+		t.Fatalf("Rand-PC violates its own data: %v", errs[0])
+	}
+	if !set.Closed(sat.New(missing.Schema())) {
+		t.Error("Rand-PC not closed")
+	}
+	// The overlap layer must actually overlap.
+	if set.Disjoint() {
+		t.Error("Rand-PC with overlap boxes should not be disjoint")
+	}
+}
+
+func TestOverlappingLayered(t *testing.T) {
+	tb := data.Intel(2000, 6)
+	_, missing := tb.RemoveTopFraction("light", 0.3)
+	set, err := Overlapping(missing, []string{"device", "time"}, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Disjoint() {
+		t.Error("Overlapping-PC should overlap")
+	}
+	if errs := set.Validate(missing.Rows()); len(errs) != 0 {
+		t.Fatalf("violations: %v", errs[0])
+	}
+	if !set.Closed(sat.New(missing.Schema())) {
+		t.Error("Overlapping-PC not closed")
+	}
+}
+
+func TestNoisePerturbsOnlyValues(t *testing.T) {
+	tb := data.Intel(2000, 7)
+	_, missing := tb.RemoveTopFraction("light", 0.3)
+	set, err := CorrPC(missing, []string{"device", "time"}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	noisy := Noise(set, map[string]float64{"light": 100}, rng)
+	if noisy.Len() != set.Len() {
+		t.Fatalf("noise changed set size")
+	}
+	li := missing.Schema().MustIndex("light")
+	changed := 0
+	for i, pc := range noisy.PCs() {
+		orig := set.PCs()[i]
+		if pc.KLo != orig.KLo || pc.KHi != orig.KHi {
+			t.Error("noise must not change frequency windows")
+		}
+		if pc.Values[li] != orig.Values[li] {
+			changed++
+		}
+		// Untouched attributes unchanged.
+		di := missing.Schema().MustIndex("device")
+		if pc.Values[di] != orig.Values[di] {
+			t.Error("noise leaked to device attribute")
+		}
+	}
+	if changed == 0 {
+		t.Error("noise changed nothing")
+	}
+	// With large noise, some constraints should now be violated by the data.
+	if errs := noisy.Validate(missing.Rows()); len(errs) == 0 {
+		t.Error("expected violations under heavy noise")
+	}
+}
+
+// TestCorrPCBoundsAreSound runs the full loop: derive Corr-PC from missing
+// rows, then check engine ranges contain the ground truth for aggregate
+// queries.
+func TestCorrPCBoundsAreSound(t *testing.T) {
+	tb := data.Intel(4000, 9)
+	_, missing := tb.RemoveTopFraction("light", 0.25)
+	set, err := CorrPC(missing, []string{"device", "time"}, 81)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.NewEngine(set, nil, core.Options{})
+	// Full-domain queries.
+	truthCount := float64(missing.Len())
+	truthSum := missing.Sum("light", nil)
+	rc, err := e.Count(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rc.Contains(truthCount) {
+		t.Errorf("COUNT truth %v outside %v", truthCount, rc)
+	}
+	rs, err := e.Sum("light", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Contains(truthSum) {
+		t.Errorf("SUM truth %v outside %v", truthSum, rs)
+	}
+	// Exact counts mean the COUNT range must be tight.
+	if rc.Lo != truthCount || rc.Hi != truthCount {
+		t.Errorf("COUNT with exact frequencies should be exact: %v", rc)
+	}
+	// MIN/MAX hard bounds: truth inside.
+	mx, err := e.Max("light", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truthMax, _ := missing.Max("light", nil)
+	if !mx.Contains(truthMax) {
+		t.Errorf("MAX truth %v outside %v", truthMax, mx)
+	}
+	if math.Abs(mx.Hi-truthMax) > 1e-9 {
+		t.Errorf("MAX upper should equal the hull max: %v vs %v", mx.Hi, truthMax)
+	}
+}

@@ -1,0 +1,67 @@
+package sat
+
+import "pcbound/internal/domain"
+
+// RemainderBoxes returns a disjoint box decomposition of b \ (n₁ ∪ … ∪ nₖ),
+// restricted to boxes that are non-empty over the schema lattice. The union
+// of the returned boxes contains exactly the lattice points of b outside all
+// negative boxes.
+//
+// Cell decomposition uses this to compute exact per-cell projections: the
+// tightest value interval an attribute can take inside a cell is the hull of
+// the attribute's intervals across the cell's remainder boxes.
+func (s *Solver) RemainderBoxes(b domain.Box, neg []domain.Box) []domain.Box {
+	s.checks.Add(1)
+	var out []domain.Box
+	s.remainder(b, neg, &out)
+	return out
+}
+
+func (s *Solver) remainder(b domain.Box, neg []domain.Box, out *[]domain.Box) {
+	s.nodes.Add(1)
+	if b.EmptyFor(s.schema) {
+		return
+	}
+	for i, n := range neg {
+		inter := b.Intersect(n)
+		if inter.EmptyFor(s.schema) {
+			continue
+		}
+		if n.ContainsBox(b) {
+			return
+		}
+		rest := neg[i+1:]
+		cur := b.Clone()
+		for d := range cur {
+			kind := s.schema.Attr(d).Kind
+			if cur[d].Lo < n[d].Lo {
+				piece := cur.Clone()
+				piece[d] = domain.Interval{Lo: cur[d].Lo, Hi: pred(n[d].Lo, kind)}
+				s.remainder(piece, rest, out)
+				cur[d].Lo = n[d].Lo
+			}
+			if cur[d].Hi > n[d].Hi {
+				piece := cur.Clone()
+				piece[d] = domain.Interval{Lo: succ(n[d].Hi, kind), Hi: cur[d].Hi}
+				s.remainder(piece, rest, out)
+				cur[d].Hi = n[d].Hi
+			}
+		}
+		return
+	}
+	*out = append(*out, b)
+}
+
+// Projection returns the tightest interval attribute dim can take over
+// b \ ∪neg, and whether the region is non-empty.
+func (s *Solver) Projection(b domain.Box, neg []domain.Box, dim int) (domain.Interval, bool) {
+	boxes := s.RemainderBoxes(b, neg)
+	if len(boxes) == 0 {
+		return domain.Interval{Lo: 1, Hi: 0}, false
+	}
+	iv := boxes[0][dim]
+	for _, rb := range boxes[1:] {
+		iv = iv.Hull(rb[dim])
+	}
+	return iv, true
+}

@@ -1,0 +1,126 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"pcbound/internal/domain"
+)
+
+func TestRemainderBoxesFullCover(t *testing.T) {
+	s := schema2D()
+	sv := New(s)
+	b := domain.Box{domain.NewInterval(0, 10), domain.NewInterval(0, 10)}
+	cover := domain.Box{domain.NewInterval(0, 10), domain.NewInterval(0, 10)}
+	if got := sv.RemainderBoxes(b, []domain.Box{cover}); len(got) != 0 {
+		t.Errorf("fully covered: got %d remainder boxes", len(got))
+	}
+}
+
+func TestRemainderBoxesNoNegatives(t *testing.T) {
+	s := schema2D()
+	sv := New(s)
+	b := domain.Box{domain.NewInterval(0, 10), domain.NewInterval(0, 10)}
+	got := sv.RemainderBoxes(b, nil)
+	if len(got) != 1 || !boxEq(got[0], b) {
+		t.Errorf("no negatives: got %v", got)
+	}
+}
+
+func TestRemainderBoxesDisjointAndExact(t *testing.T) {
+	// Integral grid lets us verify point-exactness by enumeration.
+	s := domain.NewSchema(
+		domain.Attr{Name: "x", Kind: domain.Integral, Domain: domain.NewInterval(0, 9)},
+		domain.Attr{Name: "y", Kind: domain.Integral, Domain: domain.NewInterval(0, 9)},
+	)
+	sv := New(s)
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		b := randIntBox(rng)
+		var neg []domain.Box
+		for i := 0; i < rng.Intn(4); i++ {
+			neg = append(neg, randIntBox(rng))
+		}
+		rem := sv.RemainderBoxes(b, neg)
+		// Disjointness.
+		for i := 0; i < len(rem); i++ {
+			for j := i + 1; j < len(rem); j++ {
+				if !rem[i].Intersect(rem[j]).EmptyFor(s) {
+					t.Fatalf("trial %d: remainder boxes %v and %v overlap", trial, rem[i], rem[j])
+				}
+			}
+		}
+		// Point-exactness.
+		for x := 0.0; x <= 9; x++ {
+			for y := 0.0; y <= 9; y++ {
+				r := domain.Row{x, y}
+				inRegion := b.Contains(r)
+				if inRegion {
+					for _, n := range neg {
+						if n.Contains(r) {
+							inRegion = false
+							break
+						}
+					}
+				}
+				inRem := false
+				for _, rb := range rem {
+					if rb.Contains(r) {
+						inRem = true
+						break
+					}
+				}
+				if inRegion != inRem {
+					t.Fatalf("trial %d: point %v region=%v remainder=%v\nb=%v neg=%v rem=%v",
+						trial, r, inRegion, inRem, b, neg, rem)
+				}
+			}
+		}
+	}
+}
+
+func TestProjection(t *testing.T) {
+	s := schema2D()
+	sv := New(s)
+	b := domain.Box{domain.NewInterval(0, 10), domain.NewInterval(0, 10)}
+	// Remove the top slab y in [6,10]: projection of y shrinks, x unchanged.
+	neg := []domain.Box{{domain.NewInterval(0, 10), domain.NewInterval(6, 10)}}
+	ivy, ok := sv.Projection(b, neg, 1)
+	if !ok {
+		t.Fatal("region non-empty")
+	}
+	if ivy.Hi >= 6 || ivy.Lo != 0 {
+		t.Errorf("y projection = %v, want [0, <6)", ivy)
+	}
+	ivx, _ := sv.Projection(b, neg, 0)
+	if ivx.Lo != 0 || ivx.Hi != 10 {
+		t.Errorf("x projection = %v, want [0,10]", ivx)
+	}
+	// Fully covered region.
+	if _, ok := sv.Projection(b, []domain.Box{b}, 0); ok {
+		t.Error("projection of empty region should report not-ok")
+	}
+}
+
+func boxEq(a, b domain.Box) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func randIntBox(rng *rand.Rand) domain.Box {
+	mk := func() domain.Interval {
+		a, b := rng.Intn(10), rng.Intn(10)
+		if a > b {
+			a, b = b, a
+		}
+		return domain.NewInterval(float64(a), float64(b))
+	}
+	return domain.Box{mk(), mk()}
+}

@@ -1,0 +1,198 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMoments(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if s := Sum(xs); s != 40 {
+		t.Errorf("Sum = %v", s)
+	}
+	// Sample variance of this classic set is 32/7.
+	if v := Variance(xs); !almost(v, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v, want %v", v, 32.0/7.0)
+	}
+	if sd := StdDev(xs); !almost(sd, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("StdDev = %v", sd)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("empty/singleton moments should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	mn, mx := MinMax([]float64{3, -1, 7, 0})
+	if mn != -1 || mx != 7 {
+		t.Errorf("MinMax = %v %v", mn, mx)
+	}
+	mn, mx = MinMax(nil)
+	if !math.IsInf(mn, 1) || !math.IsInf(mx, -1) {
+		t.Error("empty MinMax should be inverted infinities")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {-1, 1}, {2, 5},
+	}
+	for _, tt := range tests {
+		if got := Quantile(xs, tt.q); !almost(got, tt.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+	if m := Median([]float64{1, 3, 2}); m != 2 {
+		t.Errorf("Median = %v", m)
+	}
+	// Interpolation between points.
+	if got := Quantile([]float64{0, 10}, 0.3); !almost(got, 3, 1e-12) {
+		t.Errorf("interpolated quantile = %v, want 3", got)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if r := Pearson(xs, ys); !almost(r, 1, 1e-12) {
+		t.Errorf("perfect correlation = %v", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if r := Pearson(xs, neg); !almost(r, -1, 1e-12) {
+		t.Errorf("perfect anti-correlation = %v", r)
+	}
+	if r := Pearson(xs, []float64{1, 1, 1, 1, 1}); r != 0 {
+		t.Errorf("constant series correlation = %v, want 0", r)
+	}
+	if r := Pearson(xs, []float64{1, 2}); r != 0 {
+		t.Errorf("length mismatch = %v, want 0", r)
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	tests := []struct{ z, want float64 }{
+		{0, 0.5},
+		{1.959963984540054, 0.975},
+		{-1.959963984540054, 0.025},
+		{1, 0.8413447460685429},
+	}
+	for _, tt := range tests {
+		if got := NormalCDF(tt.z); !almost(got, tt.want, 1e-9) {
+			t.Errorf("NormalCDF(%v) = %v, want %v", tt.z, got, tt.want)
+		}
+	}
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	for _, p := range []float64{0.0001, 0.01, 0.025, 0.2, 0.5, 0.8, 0.975, 0.99, 0.9999} {
+		z := NormalQuantile(p)
+		if got := NormalCDF(z); !almost(got, p, 1e-9) {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("edge quantiles should be infinite")
+	}
+	// Property: monotonicity.
+	f := func(a, b float64) bool {
+		pa := math.Abs(math.Mod(a, 1))
+		pb := math.Abs(math.Mod(b, 1))
+		if pa == 0 || pb == 0 || pa == pb {
+			return true
+		}
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return NormalQuantile(pa) <= NormalQuantile(pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	if z := NormalQuantile(0.975); !almost(z, 1.959963984540054, 1e-8) {
+		t.Errorf("z(0.975) = %v", z)
+	}
+	if z := NormalQuantile(0.995); !almost(z, 2.575829303548901, 1e-8) {
+		t.Errorf("z(0.995) = %v", z)
+	}
+}
+
+func TestHoeffdingEpsilon(t *testing.T) {
+	// Known identity: eps = width*sqrt(ln(2/delta)/(2n)).
+	eps := HoeffdingEpsilon(100, 1, 0.05)
+	want := math.Sqrt(math.Log(2/0.05) / 200)
+	if !almost(eps, want, 1e-12) {
+		t.Errorf("eps = %v, want %v", eps, want)
+	}
+	if !math.IsInf(HoeffdingEpsilon(0, 1, 0.05), 1) {
+		t.Error("n=0 should be infinite")
+	}
+	if !math.IsInf(HoeffdingEpsilon(10, 1, 0), 1) {
+		t.Error("delta=0 should be infinite")
+	}
+	if HoeffdingEpsilon(10, 1, 1) != 0 {
+		t.Error("delta=1 should be 0")
+	}
+	// Tightens with n and loosens as delta shrinks.
+	if HoeffdingEpsilon(1000, 1, 0.05) >= HoeffdingEpsilon(100, 1, 0.05) {
+		t.Error("epsilon should shrink with n")
+	}
+	if HoeffdingEpsilon(100, 1, 0.001) <= HoeffdingEpsilon(100, 1, 0.1) {
+		t.Error("epsilon should grow as delta shrinks")
+	}
+}
+
+// TestHoeffdingCoverage empirically verifies the concentration bound: the
+// empirical mean of bounded variables stays within epsilon of the true mean
+// at least 1-delta of the time.
+func TestHoeffdingCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const trials = 2000
+	const n = 50
+	const delta = 0.1
+	eps := HoeffdingEpsilon(n, 1, delta)
+	failures := 0
+	for i := 0; i < trials; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += rng.Float64() // uniform [0,1], true mean 0.5
+		}
+		if math.Abs(s/n-0.5) > eps {
+			failures++
+		}
+	}
+	if rate := float64(failures) / trials; rate > delta {
+		t.Errorf("failure rate %v exceeds delta %v", rate, delta)
+	}
+}
+
+func TestNormalPDF(t *testing.T) {
+	if got := NormalPDF(0); !almost(got, 1/math.Sqrt(2*math.Pi), 1e-12) {
+		t.Errorf("pdf(0) = %v", got)
+	}
+	if NormalPDF(10) > 1e-20 {
+		t.Error("far tail should be tiny")
+	}
+}
+
+func TestQuantileSortedBounds(t *testing.T) {
+	if QuantileSorted(nil, 0.5) != 0 {
+		t.Error("empty sorted quantile")
+	}
+	if QuantileSorted([]float64{7}, 0.99) != 7 {
+		t.Error("singleton quantile")
+	}
+}

@@ -1,0 +1,310 @@
+// Package table provides the in-memory relational substrate the evaluation
+// runs on: a typed row store with predicate filtering, exact aggregate
+// execution (the experiments' ground truth), partitioning into
+// present/missing halves, and CSV import/export.
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+
+	"pcbound/internal/domain"
+	"pcbound/internal/predicate"
+)
+
+// T is an in-memory relation over a schema. Rows are stored row-major.
+type T struct {
+	schema *domain.Schema
+	rows   []domain.Row
+}
+
+// New creates an empty table.
+func New(schema *domain.Schema) *T { return &T{schema: schema} }
+
+// FromRows wraps rows (not copied) in a table.
+func FromRows(schema *domain.Schema, rows []domain.Row) *T {
+	return &T{schema: schema, rows: rows}
+}
+
+// Schema returns the table's schema.
+func (t *T) Schema() *domain.Schema { return t.schema }
+
+// Len returns the number of rows.
+func (t *T) Len() int { return len(t.rows) }
+
+// Row returns the i-th row (shared storage).
+func (t *T) Row(i int) domain.Row { return t.rows[i] }
+
+// Rows returns the underlying row slice (shared; treat as read-only).
+func (t *T) Rows() []domain.Row { return t.rows }
+
+// Append adds rows, validating their arity.
+func (t *T) Append(rows ...domain.Row) error {
+	for _, r := range rows {
+		if len(r) != t.schema.Len() {
+			return fmt.Errorf("table: row has %d values, schema has %d", len(r), t.schema.Len())
+		}
+		t.rows = append(t.rows, r)
+	}
+	return nil
+}
+
+// MustAppend is Append that panics on error.
+func (t *T) MustAppend(rows ...domain.Row) {
+	if err := t.Append(rows...); err != nil {
+		panic(err)
+	}
+}
+
+// Column returns a copy of the named attribute's values.
+func (t *T) Column(attr string) []float64 {
+	i := t.schema.MustIndex(attr)
+	out := make([]float64, len(t.rows))
+	for j, r := range t.rows {
+		out[j] = r[i]
+	}
+	return out
+}
+
+// Filter returns a new table with the rows satisfying p (rows shared).
+func (t *T) Filter(p *predicate.P) *T {
+	if p == nil {
+		return FromRows(t.schema, t.rows)
+	}
+	var out []domain.Row
+	for _, r := range t.rows {
+		if p.Eval(r) {
+			out = append(out, r)
+		}
+	}
+	return FromRows(t.schema, out)
+}
+
+// Count returns the number of rows satisfying p (nil = all).
+func (t *T) Count(p *predicate.P) float64 {
+	if p == nil {
+		return float64(len(t.rows))
+	}
+	n := 0
+	for _, r := range t.rows {
+		if p.Eval(r) {
+			n++
+		}
+	}
+	return float64(n)
+}
+
+// Sum returns SUM(attr) over rows satisfying p.
+func (t *T) Sum(attr string, p *predicate.P) float64 {
+	i := t.schema.MustIndex(attr)
+	s := 0.0
+	for _, r := range t.rows {
+		if p == nil || p.Eval(r) {
+			s += r[i]
+		}
+	}
+	return s
+}
+
+// Avg returns AVG(attr) over rows satisfying p and whether any row matched.
+func (t *T) Avg(attr string, p *predicate.P) (float64, bool) {
+	i := t.schema.MustIndex(attr)
+	s, n := 0.0, 0
+	for _, r := range t.rows {
+		if p == nil || p.Eval(r) {
+			s += r[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return s / float64(n), true
+}
+
+// Min returns MIN(attr) over rows satisfying p and whether any row matched.
+func (t *T) Min(attr string, p *predicate.P) (float64, bool) {
+	i := t.schema.MustIndex(attr)
+	m, ok := math.Inf(1), false
+	for _, r := range t.rows {
+		if p == nil || p.Eval(r) {
+			if r[i] < m {
+				m = r[i]
+			}
+			ok = true
+		}
+	}
+	return m, ok
+}
+
+// Max returns MAX(attr) over rows satisfying p and whether any row matched.
+func (t *T) Max(attr string, p *predicate.P) (float64, bool) {
+	i := t.schema.MustIndex(attr)
+	m, ok := math.Inf(-1), false
+	for _, r := range t.rows {
+		if p == nil || p.Eval(r) {
+			if r[i] > m {
+				m = r[i]
+			}
+			ok = true
+		}
+	}
+	return m, ok
+}
+
+// Hull returns the bounding box of the rows satisfying p (empty box when no
+// row matches).
+func (t *T) Hull(p *predicate.P) domain.Box {
+	box := make(domain.Box, t.schema.Len())
+	for d := range box {
+		box[d] = domain.Interval{Lo: math.Inf(1), Hi: math.Inf(-1)}
+	}
+	for _, r := range t.rows {
+		if p != nil && !p.Eval(r) {
+			continue
+		}
+		for d, v := range r {
+			if v < box[d].Lo {
+				box[d].Lo = v
+			}
+			if v > box[d].Hi {
+				box[d].Hi = v
+			}
+		}
+	}
+	return box
+}
+
+// SplitByMask partitions the table into (kept, removed) by a boolean mask.
+func (t *T) SplitByMask(removed []bool) (*T, *T) {
+	if len(removed) != len(t.rows) {
+		panic("table: mask length mismatch")
+	}
+	var keep, gone []domain.Row
+	for i, r := range t.rows {
+		if removed[i] {
+			gone = append(gone, r)
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	return FromRows(t.schema, keep), FromRows(t.schema, gone)
+}
+
+// RemoveTopFraction removes the frac of rows with the largest values of
+// attr — the paper's correlated missing-data mechanism ("removing those
+// rows [with] maximum values of the light attribute", Section 6.2). Ties
+// are broken by row order for determinism. It returns (present, missing).
+func (t *T) RemoveTopFraction(attr string, frac float64) (*T, *T) {
+	n := len(t.rows)
+	k := int(math.Round(frac * float64(n)))
+	if k <= 0 {
+		return FromRows(t.schema, t.rows), New(t.schema)
+	}
+	if k >= n {
+		return New(t.schema), FromRows(t.schema, t.rows)
+	}
+	i := t.schema.MustIndex(attr)
+	idx := make([]int, n)
+	for j := range idx {
+		idx[j] = j
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return t.rows[idx[a]][i] > t.rows[idx[b]][i] })
+	removed := make([]bool, n)
+	for _, j := range idx[:k] {
+		removed[j] = true
+	}
+	return t.SplitByMask(removed)
+}
+
+// Quantiles returns nq+1 boundary values splitting attr's distribution into
+// nq equal-cardinality pieces; boundaries are extended to the attribute's
+// domain at both ends so the pieces tile the domain.
+func (t *T) Quantiles(attr string, nq int) []float64 {
+	i := t.schema.MustIndex(attr)
+	vals := make([]float64, len(t.rows))
+	for j, r := range t.rows {
+		vals[j] = r[i]
+	}
+	sort.Float64s(vals)
+	dom := t.schema.Attr(i).Domain
+	out := make([]float64, nq+1)
+	out[0] = dom.Lo
+	out[nq] = dom.Hi
+	for k := 1; k < nq; k++ {
+		if len(vals) == 0 {
+			out[k] = dom.Lo + (dom.Hi-dom.Lo)*float64(k)/float64(nq)
+			continue
+		}
+		pos := float64(k) / float64(nq) * float64(len(vals)-1)
+		out[k] = vals[int(pos)]
+	}
+	return out
+}
+
+// WriteCSV writes the table with a header row.
+func (t *T) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.schema.Names()); err != nil {
+		return err
+	}
+	rec := make([]string, t.schema.Len())
+	for _, r := range t.rows {
+		for i, v := range r {
+			rec[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads rows matching the schema from CSV with a header row whose
+// column names must match the schema (in any order).
+func ReadCSV(schema *domain.Schema, r io.Reader) (*T, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading header: %w", err)
+	}
+	colOf := make([]int, schema.Len()) // schema index -> csv column
+	for i := range colOf {
+		colOf[i] = -1
+	}
+	for c, name := range header {
+		if i, ok := schema.Index(name); ok {
+			colOf[i] = c
+		}
+	}
+	for i, c := range colOf {
+		if c < 0 {
+			return nil, fmt.Errorf("table: CSV missing column %q", schema.Attr(i).Name)
+		}
+	}
+	t := New(schema)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table: line %d: %w", line, err)
+		}
+		row := make(domain.Row, schema.Len())
+		for i, c := range colOf {
+			v, err := strconv.ParseFloat(rec[c], 64)
+			if err != nil {
+				return nil, fmt.Errorf("table: line %d column %q: %w", line, schema.Attr(i).Name, err)
+			}
+			row[i] = v
+		}
+		t.rows = append(t.rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,226 @@
+package table
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"pcbound/internal/domain"
+	"pcbound/internal/predicate"
+)
+
+func schema() *domain.Schema {
+	return domain.NewSchema(
+		domain.Attr{Name: "id", Kind: domain.Integral, Domain: domain.NewInterval(0, 99)},
+		domain.Attr{Name: "v", Kind: domain.Continuous, Domain: domain.NewInterval(0, 1000)},
+	)
+}
+
+func sample(t *testing.T) *T {
+	t.Helper()
+	tb := New(schema())
+	tb.MustAppend(
+		domain.Row{0, 10},
+		domain.Row{1, 20},
+		domain.Row{2, 30},
+		domain.Row{3, 40},
+	)
+	return tb
+}
+
+func TestAppendValidation(t *testing.T) {
+	tb := New(schema())
+	if err := tb.Append(domain.Row{1}); err == nil {
+		t.Error("short row accepted")
+	}
+	if err := tb.Append(domain.Row{1, 2}); err != nil {
+		t.Errorf("valid row rejected: %v", err)
+	}
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	tb := sample(t)
+	if c := tb.Count(nil); c != 4 {
+		t.Errorf("Count = %v", c)
+	}
+	if s := tb.Sum("v", nil); s != 100 {
+		t.Errorf("Sum = %v", s)
+	}
+	if a, ok := tb.Avg("v", nil); !ok || a != 25 {
+		t.Errorf("Avg = %v %v", a, ok)
+	}
+	if m, ok := tb.Min("v", nil); !ok || m != 10 {
+		t.Errorf("Min = %v", m)
+	}
+	if m, ok := tb.Max("v", nil); !ok || m != 40 {
+		t.Errorf("Max = %v", m)
+	}
+	p := predicate.NewBuilder(schemaOf(tb)).Ge("v", 25).Build()
+	if c := tb.Count(p); c != 2 {
+		t.Errorf("filtered Count = %v", c)
+	}
+	if s := tb.Sum("v", p); s != 70 {
+		t.Errorf("filtered Sum = %v", s)
+	}
+	empty := predicate.NewBuilder(schemaOf(tb)).Ge("v", 999).Build()
+	if _, ok := tb.Avg("v", empty); ok {
+		t.Error("Avg over empty selection should report !ok")
+	}
+	if _, ok := tb.Min("v", empty); ok {
+		t.Error("Min over empty selection should report !ok")
+	}
+	if _, ok := tb.Max("v", empty); ok {
+		t.Error("Max over empty selection should report !ok")
+	}
+}
+
+func schemaOf(tb *T) *domain.Schema { return tb.Schema() }
+
+func TestFilterAndColumn(t *testing.T) {
+	tb := sample(t)
+	p := predicate.NewBuilder(tb.Schema()).Le("v", 20).Build()
+	f := tb.Filter(p)
+	if f.Len() != 2 {
+		t.Errorf("Filter len = %d", f.Len())
+	}
+	if f2 := tb.Filter(nil); f2.Len() != 4 {
+		t.Error("nil filter should keep all")
+	}
+	col := tb.Column("v")
+	if len(col) != 4 || col[2] != 30 {
+		t.Errorf("Column = %v", col)
+	}
+}
+
+func TestHull(t *testing.T) {
+	tb := sample(t)
+	h := tb.Hull(nil)
+	if h[0].Lo != 0 || h[0].Hi != 3 || h[1].Lo != 10 || h[1].Hi != 40 {
+		t.Errorf("Hull = %v", h)
+	}
+	empty := tb.Hull(predicate.NewBuilder(tb.Schema()).Ge("v", 999).Build())
+	if !empty.Empty() {
+		t.Errorf("hull of nothing should be empty, got %v", empty)
+	}
+}
+
+func TestSplitByMask(t *testing.T) {
+	tb := sample(t)
+	keep, gone := tb.SplitByMask([]bool{false, true, false, true})
+	if keep.Len() != 2 || gone.Len() != 2 {
+		t.Fatalf("split = %d/%d", keep.Len(), gone.Len())
+	}
+	if gone.Row(0)[1] != 20 || gone.Row(1)[1] != 40 {
+		t.Errorf("wrong rows removed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mask length mismatch should panic")
+		}
+	}()
+	tb.SplitByMask([]bool{true})
+}
+
+func TestRemoveTopFraction(t *testing.T) {
+	tb := sample(t)
+	present, missing := tb.RemoveTopFraction("v", 0.5)
+	if present.Len() != 2 || missing.Len() != 2 {
+		t.Fatalf("split = %d/%d", present.Len(), missing.Len())
+	}
+	// The two largest v values must be missing.
+	if m, _ := missing.Min("v", nil); m != 30 {
+		t.Errorf("missing min = %v, want 30", m)
+	}
+	if m, _ := present.Max("v", nil); m != 20 {
+		t.Errorf("present max = %v, want 20", m)
+	}
+	// Degenerate fractions.
+	p0, m0 := tb.RemoveTopFraction("v", 0)
+	if p0.Len() != 4 || m0.Len() != 0 {
+		t.Error("frac=0 should remove nothing")
+	}
+	p1, m1 := tb.RemoveTopFraction("v", 1)
+	if p1.Len() != 0 || m1.Len() != 4 {
+		t.Error("frac=1 should remove everything")
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	tb := New(schema())
+	for i := 0; i < 100; i++ {
+		tb.MustAppend(domain.Row{float64(i), float64(i * 10)})
+	}
+	qs := tb.Quantiles("v", 4)
+	if len(qs) != 5 {
+		t.Fatalf("len = %d", len(qs))
+	}
+	// Boundaries extended to the domain.
+	if qs[0] != 0 || qs[4] != 1000 {
+		t.Errorf("boundaries = %v, %v", qs[0], qs[4])
+	}
+	// Interior boundaries roughly at quartiles of the data.
+	if math.Abs(qs[2]-495) > 20 {
+		t.Errorf("median boundary = %v", qs[2])
+	}
+	// Monotone.
+	for i := 1; i < len(qs); i++ {
+		if qs[i] < qs[i-1] {
+			t.Errorf("non-monotone quantiles %v", qs)
+		}
+	}
+	// Empty table still tiles the domain.
+	qe := New(schema()).Quantiles("v", 2)
+	if qe[0] != 0 || qe[2] != 1000 || qe[1] <= 0 || qe[1] >= 1000 {
+		t.Errorf("empty-table quantiles = %v", qe)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tb := sample(t)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(tb.Schema(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tb.Len() {
+		t.Fatalf("round trip len = %d", got.Len())
+	}
+	for i := 0; i < tb.Len(); i++ {
+		for j := range tb.Row(i) {
+			if got.Row(i)[j] != tb.Row(i)[j] {
+				t.Errorf("row %d differs: %v vs %v", i, got.Row(i), tb.Row(i))
+			}
+		}
+	}
+}
+
+func TestReadCSVColumnReorderAndErrors(t *testing.T) {
+	s := schema()
+	// Reordered columns are fine.
+	tb, err := ReadCSV(s, strings.NewReader("v,id\n10,0\n20,1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Row(0)[0] != 0 || tb.Row(0)[1] != 10 {
+		t.Errorf("reorder failed: %v", tb.Row(0))
+	}
+	// Missing column.
+	if _, err := ReadCSV(s, strings.NewReader("id\n1\n")); err == nil {
+		t.Error("missing column accepted")
+	}
+	// Bad number.
+	if _, err := ReadCSV(s, strings.NewReader("id,v\n1,abc\n")); err == nil {
+		t.Error("non-numeric accepted")
+	}
+	// Empty input.
+	if _, err := ReadCSV(s, strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+}

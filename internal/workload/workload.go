@@ -1,0 +1,73 @@
+// Package workload generates the random aggregate-query workloads the
+// paper's evaluation uses ("1000 randomly chosen predicates", Table 2):
+// range predicates over chosen attributes with an aggregate over a target
+// attribute.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"pcbound/internal/core"
+	"pcbound/internal/domain"
+	"pcbound/internal/predicate"
+)
+
+// Gen produces deterministic random queries over a schema.
+type Gen struct {
+	schema *domain.Schema
+	// PredAttrs are the attributes queries place range predicates on.
+	PredAttrs []string
+	// AggAttr is the aggregated attribute (for SUM/AVG/MIN/MAX).
+	AggAttr string
+	// MinWidthFrac/MaxWidthFrac bound each predicate range's width as a
+	// fraction of the attribute domain. Defaults: [0.05, 0.25] — selective
+	// but non-degenerate queries (a 1x sample still sees a few matches).
+	MinWidthFrac, MaxWidthFrac float64
+	rng                        *rand.Rand
+}
+
+// New creates a generator with the default selectivity.
+func New(schema *domain.Schema, predAttrs []string, aggAttr string, seed int64) *Gen {
+	return &Gen{
+		schema:       schema,
+		PredAttrs:    predAttrs,
+		AggAttr:      aggAttr,
+		MinWidthFrac: 0.05,
+		MaxWidthFrac: 0.25,
+		rng:          rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Where generates one random conjunctive range predicate.
+func (g *Gen) Where() *predicate.P {
+	b := predicate.NewBuilder(g.schema)
+	for _, a := range g.PredAttrs {
+		ai := g.schema.MustIndex(a)
+		dom := g.schema.Attr(ai).Domain
+		frac := g.MinWidthFrac + g.rng.Float64()*(g.MaxWidthFrac-g.MinWidthFrac)
+		w := dom.Width() * frac
+		lo := dom.Lo + g.rng.Float64()*(dom.Width()-w)
+		hi := lo + w
+		if g.schema.Attr(ai).Kind == domain.Integral {
+			lo = math.Floor(lo)
+			hi = math.Ceil(hi)
+		}
+		b.Range(a, lo, hi)
+	}
+	return b.Build()
+}
+
+// Query generates one random query with the given aggregate.
+func (g *Gen) Query(agg core.Agg) core.Query {
+	return core.Query{Agg: agg, Attr: g.AggAttr, Where: g.Where()}
+}
+
+// Queries generates n random queries with the given aggregate.
+func (g *Gen) Queries(n int, agg core.Agg) []core.Query {
+	out := make([]core.Query, n)
+	for i := range out {
+		out[i] = g.Query(agg)
+	}
+	return out
+}

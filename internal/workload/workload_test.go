@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"pcbound/internal/core"
+	"pcbound/internal/data"
+)
+
+func TestQueriesAreSelectiveAndInDomain(t *testing.T) {
+	tb := data.Intel(10, 1)
+	s := tb.Schema()
+	g := New(s, []string{"device", "time"}, "light", 42)
+	qs := g.Queries(200, core.Sum)
+	if len(qs) != 200 {
+		t.Fatalf("len = %d", len(qs))
+	}
+	for i, q := range qs {
+		if q.Agg != core.Sum || q.Attr != "light" || q.Where == nil {
+			t.Fatalf("query %d malformed: %+v", i, q)
+		}
+		box := q.Where.Box()
+		for _, a := range []string{"device", "time"} {
+			ai := s.MustIndex(a)
+			dom := s.Attr(ai).Domain
+			iv := box[ai]
+			if iv.Lo < dom.Lo || iv.Hi > dom.Hi {
+				t.Fatalf("query %d escapes domain on %s: %v", i, a, iv)
+			}
+			frac := iv.Width() / dom.Width()
+			// Integral snapping can stretch the range by up to one lattice
+			// step on each side.
+			if frac > g.MaxWidthFrac+2.0/dom.Width()+1e-9 {
+				t.Fatalf("query %d too wide on %s: frac %v", i, a, frac)
+			}
+		}
+		// Unlisted attributes unconstrained.
+		li := s.MustIndex("light")
+		if box[li] != s.Attr(li).Domain {
+			t.Fatalf("query %d constrains the aggregate attribute", i)
+		}
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	s := data.Intel(10, 1).Schema()
+	a := New(s, []string{"time"}, "light", 7).Queries(20, core.Count)
+	b := New(s, []string{"time"}, "light", 7).Queries(20, core.Count)
+	for i := range a {
+		if !a[i].Where.Equal(b[i].Where) {
+			t.Fatal("same seed produced different queries")
+		}
+	}
+	c := New(s, []string{"time"}, "light", 8).Queries(20, core.Count)
+	same := true
+	for i := range a {
+		if !a[i].Where.Equal(c[i].Where) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestIntegralSnapping(t *testing.T) {
+	s := data.Intel(10, 1).Schema()
+	g := New(s, []string{"device"}, "light", 3)
+	for i := 0; i < 50; i++ {
+		w := g.Where()
+		iv := w.Interval("device")
+		if iv.Lo != math.Floor(iv.Lo) || iv.Hi != math.Ceil(iv.Hi) {
+			t.Fatalf("integral bounds not snapped: %v", iv)
+		}
+	}
+}
+
+func TestWidthFracConfigurable(t *testing.T) {
+	s := data.Intel(10, 1).Schema()
+	g := New(s, []string{"time"}, "light", 5)
+	g.MinWidthFrac, g.MaxWidthFrac = 0.5, 0.5
+	w := g.Where()
+	iv := w.Interval("time")
+	dom := s.Attr(s.MustIndex("time")).Domain
+	if frac := iv.Width() / dom.Width(); math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("width frac = %v, want 0.5", frac)
+	}
+}
