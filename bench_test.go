@@ -1,7 +1,7 @@
 package pcbound_test
 
 // One benchmark per paper table/figure (deliverable d), plus ablation
-// benchmarks for the design decisions DESIGN.md calls out. Benchmarks run
+// benchmarks for the implementation's key design decisions. Benchmarks run
 // the same experiment code as cmd/pcbench at a reduced "quick" scale and
 // report the headline metric of each figure through b.ReportMetric, so
 // `go test -bench=.` regenerates every result series.
@@ -9,7 +9,9 @@ package pcbound_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
+	"time"
 
 	"pcbound/internal/cells"
 	"pcbound/internal/core"
@@ -118,7 +120,7 @@ func BenchmarkTable2FailureMatrix(b *testing.B) {
 	b.ReportMetric(res.Series["failures/Intel Wireless/SUM(light)/PC"], "PC_intel_sum_failures")
 }
 
-// --- Ablation benchmarks (DESIGN.md section 5) ---
+// --- Ablation benchmarks ---
 
 // BenchmarkAblationDecomposition compares the three decomposition strategies
 // head-to-head on one workload (Figure 7's ablation as a micro-benchmark).
@@ -195,6 +197,86 @@ func BenchmarkAblationFECvsCartesian(b *testing.B) {
 			b.ReportMetric(cart/fec, "cartesian_over_fec")
 		})
 	}
+}
+
+// BenchmarkAblationParallelBatch is the sequential-vs-parallel ablation for
+// the batch-bounding engine: a ≥100-query workload with repeated query
+// regions, bounded (a) by the seed's sequential path — a per-query Bound
+// loop with the decomposition cache disabled — and (b) by BoundBatch with a
+// worker pool and the shared decomposition cache. The speedup sub-benchmark
+// verifies the two paths return bit-identical Ranges and reports the
+// wall-clock ratio via b.ReportMetric. On a single-core host the win comes
+// from decomposition reuse; on multi-core hosts the worker pool compounds it.
+func BenchmarkAblationParallelBatch(b *testing.B) {
+	tb := data.Intel(4000, 1)
+	_, missing := tb.RemoveTopFraction("light", 0.3)
+	rng := rand.New(rand.NewSource(3))
+	set, err := pcgen.RandPC(missing, []string{"device", "time"}, 24, 10, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.New(missing.Schema(), []string{"device", "time"}, "light", 7)
+	base := gen.Queries(30, core.Sum)
+	queries := make([]core.Query, 0, 4*len(base))
+	for len(queries) < 120 { // ≥100 queries, each region appearing 4 times
+		queries = append(queries, base...)
+	}
+	par := runtime.GOMAXPROCS(0)
+	if par < 4 {
+		par = 4
+	}
+	seqOpts := core.Options{DisableDecompCache: true}
+
+	b.Run("seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			engine := core.NewEngine(set, nil, seqOpts)
+			for _, q := range queries {
+				if _, err := engine.Bound(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("batch-par%d", par), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			engine := core.NewEngine(set, nil, core.Options{})
+			if _, err := engine.BoundBatch(queries, core.BatchOptions{Parallelism: par}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("speedup", func(b *testing.B) {
+		var seqTotal, batchTotal time.Duration
+		for i := 0; i < b.N; i++ {
+			seqEngine := core.NewEngine(set, nil, seqOpts)
+			want := make([]core.Range, len(queries))
+			start := time.Now()
+			for qi, q := range queries {
+				var err error
+				want[qi], err = seqEngine.Bound(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			seqTotal += time.Since(start)
+
+			batchEngine := core.NewEngine(set, nil, core.Options{})
+			start = time.Now()
+			got, err := batchEngine.BoundBatch(queries, core.BatchOptions{Parallelism: par})
+			if err != nil {
+				b.Fatal(err)
+			}
+			batchTotal += time.Since(start)
+
+			for qi := range want {
+				if got[qi] != want[qi] {
+					b.Fatalf("query %d: batch range %+v != sequential range %+v", qi, got[qi], want[qi])
+				}
+			}
+		}
+		b.ReportMetric(float64(seqTotal)/float64(batchTotal), "speedup")
+		b.ReportMetric(float64(len(queries)), "queries")
+	})
 }
 
 // BenchmarkAblationEarlyStop measures the tightness/time trade of

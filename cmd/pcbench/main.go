@@ -1,6 +1,6 @@
 // Command pcbench reproduces the paper's evaluation. Each experiment id maps
 // to one figure or table of "Fast and Reliable Missing Data Contingency
-// Analysis with Predicate-Constraints" (SIGMOD 2020); see DESIGN.md for the
+// Analysis with Predicate-Constraints" (SIGMOD 2020); see README.md for the
 // full index.
 //
 // Usage:
@@ -8,6 +8,7 @@
 //	pcbench -exp fig3                 # one experiment at default scale
 //	pcbench -exp all -queries 1000 \
 //	        -pcs 2000 -rows 200000    # full paper-scale run
+//	pcbench -exp fig8 -parallel -1    # fan query bounding over all cores
 //	pcbench -list                     # enumerate experiments
 package main
 
@@ -15,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"pcbound/internal/experiments"
@@ -22,13 +24,14 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (fig1, fig3, …, table2) or 'all'")
-		rows    = flag.Int("rows", 0, "dataset rows (0 = default)")
-		queries = flag.Int("queries", 0, "queries per measurement point (0 = default)")
-		pcs     = flag.Int("pcs", 0, "predicate-constraints per set (0 = default)")
-		seed    = flag.Int64("seed", 0, "random seed (0 = default)")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		quick   = flag.Bool("quick", false, "use the reduced quick configuration")
+		exp      = flag.String("exp", "all", "experiment id (fig1, fig3, …, table2) or 'all'")
+		rows     = flag.Int("rows", 0, "dataset rows (0 = default)")
+		queries  = flag.Int("queries", 0, "queries per measurement point (0 = default)")
+		pcs      = flag.Int("pcs", 0, "predicate-constraints per set (0 = default)")
+		seed     = flag.Int64("seed", 0, "random seed (0 = default)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		quick    = flag.Bool("quick", false, "use the reduced quick configuration")
+		parallel = flag.Int("parallel", 0, "worker goroutines for query bounding (0 or 1 = sequential, -1 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -39,7 +42,11 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Rows: *rows, Queries: *queries, PCs: *pcs, Seed: *seed}
+	par := *parallel
+	if par < 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	cfg := experiments.Config{Rows: *rows, Queries: *queries, PCs: *pcs, Seed: *seed, Parallelism: par}
 	if *quick {
 		q := experiments.Quick()
 		if cfg.Rows == 0 {

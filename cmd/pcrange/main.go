@@ -6,7 +6,11 @@
 //
 //	pcrange -spec constraints.json -agg SUM -attr price
 //	pcrange -spec constraints.json -agg COUNT -where "utc:11:12,branch:0:0"
+//	pcrange -spec constraints.json -agg COUNT,SUM,AVG,MIN,MAX -attr price
 //	pcrange -spec constraints.json -validate history.csv
+//
+// -agg accepts a comma-separated list; the queries are bounded as one batch
+// (-parallel controls the worker count).
 //
 // The spec file format:
 //
@@ -27,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -39,10 +44,11 @@ import (
 func main() {
 	var (
 		specPath = flag.String("spec", "", "path to the constraint spec JSON (required)")
-		agg      = flag.String("agg", "COUNT", "aggregate: COUNT, SUM, AVG, MIN, MAX")
+		agg      = flag.String("agg", "COUNT", "comma-separated aggregates: COUNT, SUM, AVG, MIN, MAX")
 		attr     = flag.String("attr", "", "aggregated attribute (for SUM/AVG/MIN/MAX)")
 		where    = flag.String("where", "", "predicate, e.g. \"utc:11:12,branch:0:0\"")
 		validate = flag.String("validate", "", "CSV of historical rows to test the constraints against")
+		parallel = flag.Int("parallel", 0, "worker goroutines for the query batch (0 or 1 = sequential, -1 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *specPath == "" {
@@ -97,23 +103,30 @@ func main() {
 		wherePred = b.Build()
 	}
 
-	var aggKind core.Agg
-	switch strings.ToUpper(*agg) {
-	case "COUNT":
-		aggKind = core.Count
-	case "SUM":
-		aggKind = core.Sum
-	case "AVG":
-		aggKind = core.Avg
-	case "MIN":
-		aggKind = core.Min
-	case "MAX":
-		aggKind = core.Max
-	default:
-		fail("unknown aggregate %q", *agg)
-	}
-	if aggKind != core.Count && *attr == "" {
-		fail("-attr is required for %s", *agg)
+	var queries []core.Query
+	var labels []string
+	for _, name := range strings.Split(*agg, ",") {
+		name = strings.ToUpper(strings.TrimSpace(name))
+		var aggKind core.Agg
+		switch name {
+		case "COUNT":
+			aggKind = core.Count
+		case "SUM":
+			aggKind = core.Sum
+		case "AVG":
+			aggKind = core.Avg
+		case "MIN":
+			aggKind = core.Min
+		case "MAX":
+			aggKind = core.Max
+		default:
+			fail("unknown aggregate %q", name)
+		}
+		if aggKind != core.Count && *attr == "" {
+			fail("-attr is required for %s", name)
+		}
+		queries = append(queries, core.Query{Agg: aggKind, Attr: *attr, Where: wherePred})
+		labels = append(labels, name)
 	}
 
 	solver := sat.New(schema)
@@ -123,20 +136,26 @@ func main() {
 			fmt.Fprintf(os.Stderr, "warning: constraint set is not closed (e.g. %v is uncovered); bounds hold only if no missing row falls outside all predicates\n", w)
 		}
 	}
-	r, err := engine.Bound(core.Query{Agg: aggKind, Attr: *attr, Where: wherePred})
+	par := *parallel
+	if par < 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	ranges, err := engine.BoundBatch(queries, core.BatchOptions{Parallelism: max(par, 1)})
 	if err != nil {
 		fail("%v", err)
 	}
-	if r.Lo > r.Hi {
-		fmt.Println("no missing rows can match this query: aggregate undefined")
-		return
-	}
-	fmt.Printf("%s range: [%g, %g]\n", strings.ToUpper(*agg), r.Lo, r.Hi)
-	if r.MaybeEmpty {
-		fmt.Println("note: zero matching rows is also consistent with the constraints")
-	}
-	if r.Reconciled {
-		fmt.Println("note: conflicting frequency lower bounds were relaxed (constraints reconciled)")
+	for i, r := range ranges {
+		if r.Lo > r.Hi {
+			fmt.Printf("%s: no missing rows can match this query: aggregate undefined\n", labels[i])
+			continue
+		}
+		fmt.Printf("%s range: [%g, %g]\n", labels[i], r.Lo, r.Hi)
+		if r.MaybeEmpty {
+			fmt.Println("note: zero matching rows is also consistent with the constraints")
+		}
+		if r.Reconciled {
+			fmt.Println("note: conflicting frequency lower bounds were relaxed (constraints reconciled)")
+		}
 	}
 }
 

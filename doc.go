@@ -5,8 +5,8 @@
 // The library computes hard, deterministic result ranges for SUM, COUNT,
 // AVG, MIN and MAX SQL aggregate queries over relations with missing rows,
 // given user-specified predicate-constraints on the frequency and variation
-// of the missing tuples. See README.md for a quickstart, DESIGN.md for the
-// system inventory, and EXPERIMENTS.md for the paper-vs-measured record.
+// of the missing tuples. See README.md for a quickstart, the package map,
+// and the experiment index.
 //
 // The root package carries module documentation and the per-figure
 // benchmarks (bench_test.go); the implementation lives under internal/:

@@ -35,6 +35,21 @@ type Estimator interface {
 	Sum(attr string, where *predicate.P) Estimate
 }
 
+// Concurrent marks estimators whose Count/Sum are safe for concurrent use,
+// so the experiment harness may fan a workload out across goroutines.
+// Estimators not implementing it are evaluated sequentially (the samplers
+// carry mutable state such as noise RNGs).
+type Concurrent interface {
+	ConcurrentSafe() bool
+}
+
+// ConcurrentSafe reports whether the estimator declares itself safe for
+// concurrent evaluation.
+func ConcurrentSafe(e Estimator) bool {
+	c, ok := e.(Concurrent)
+	return ok && c.ConcurrentSafe()
+}
+
 // PCEstimator adapts a predicate-constraint engine to the Estimator
 // interface, so the framework slots into the same harness as the baselines.
 type PCEstimator struct {
@@ -44,6 +59,10 @@ type PCEstimator struct {
 
 // Name implements Estimator.
 func (p *PCEstimator) Name() string { return p.Label }
+
+// ConcurrentSafe implements Concurrent: the engine is safe for concurrent
+// Bound calls.
+func (p *PCEstimator) ConcurrentSafe() bool { return true }
 
 // Count implements Estimator.
 func (p *PCEstimator) Count(where *predicate.P) Estimate {

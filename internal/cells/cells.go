@@ -23,6 +23,8 @@ package cells
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 
 	"pcbound/internal/domain"
 	"pcbound/internal/predicate"
@@ -74,6 +76,28 @@ type Options struct {
 
 // ErrTooManyCells is returned when MaxCells is exceeded.
 var ErrTooManyCells = fmt.Errorf("cells: decomposition exceeded MaxCells")
+
+// PushdownKey returns a canonical key for the pushdown-normalized query
+// region: the pushdown box clipped to the schema domain, rendered bit-exactly.
+// Two pushdown predicates with the same clipped box yield the same key, and
+// Decompose (and everything derived from it) produces identical results for
+// them, so the key is safe to use for caching decompositions. A nil pushdown
+// normalizes to the full domain.
+func PushdownKey(schema *domain.Schema, pushdown *predicate.P) string {
+	b := schema.FullBox()
+	if pushdown != nil {
+		b = b.Intersect(pushdown.Box())
+	}
+	var sb strings.Builder
+	sb.Grow(len(b) * 34)
+	for _, iv := range b {
+		sb.WriteString(strconv.FormatUint(math.Float64bits(iv.Lo), 16))
+		sb.WriteByte(':')
+		sb.WriteString(strconv.FormatUint(math.Float64bits(iv.Hi), 16))
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
 
 // Cell is one satisfiable region of the decomposition: the set of points
 // satisfying every predicate in Active, no predicate outside it, and the

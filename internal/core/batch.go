@@ -1,0 +1,147 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"pcbound/internal/parallel"
+)
+
+// This file implements the concurrent batch-bounding subsystem: BoundBatch
+// fans a query workload out across a worker pool. Each worker runs against
+// its own SAT-solver clone (statistics are folded back into the engine's
+// solver when the batch completes) and all workers share the engine's
+// decomposition cache, so queries over the same pushdown-normalized region
+// reuse one DFS+SAT decomposition no matter which worker lands them.
+//
+// BoundBatch is deterministic: results[i] is bit-identical to what
+// e.Bound(queries[i]) returns, at every parallelism level. Decompositions
+// are pure functions of the normalized region, so cache hits and races to
+// populate an entry cannot change any Range.
+
+// BatchOptions configures BoundBatch.
+type BatchOptions struct {
+	// Parallelism is the number of worker goroutines bounding queries;
+	// <= 0 uses runtime.GOMAXPROCS(0). 1 runs the batch sequentially on the
+	// calling goroutine.
+	Parallelism int
+}
+
+// BoundBatch bounds every query and returns the ranges in input order.
+// Individual query failures do not abort the batch: every query is
+// attempted, and the error of the lowest-indexed failing query (if any) is
+// returned alongside the partial results, whose failed entries are zero.
+func (e *Engine) BoundBatch(queries []Query, opts BatchOptions) ([]Range, error) {
+	n := len(queries)
+	if n == 0 {
+		return nil, nil
+	}
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > n {
+		par = n
+	}
+	results := make([]Range, n)
+	errs := make([]error, n)
+	if par == 1 {
+		for i, q := range queries {
+			results[i], errs[i] = e.Bound(q)
+		}
+		return results, firstError(errs)
+	}
+	workers := make([]*Engine, par)
+	parallel.For(n, par, func(w, i int) {
+		we := workers[w]
+		if we == nil {
+			we = e.workerClone()
+			workers[w] = we
+		}
+		results[i], errs[i] = we.Bound(queries[i])
+	})
+	for _, we := range workers {
+		if we != nil {
+			e.solver.AddStats(we.solver.Stats())
+		}
+	}
+	return results, firstError(errs)
+}
+
+// workerClone returns an engine view for one batch worker: same set, options
+// and decomposition cache, but a private SAT-solver clone so per-worker
+// solver work is attributable without contending on shared counters.
+func (e *Engine) workerClone() *Engine {
+	return &Engine{set: e.set, solver: e.solver.Clone(), opts: e.opts, cache: e.cache}
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CacheStats reports decomposition-cache hits and misses since the engine
+// was built (both zero when the cache is disabled).
+func (e *Engine) CacheStats() (hits, misses int64) {
+	if e.cache == nil {
+		return 0, 0
+	}
+	return e.cache.hits.Load(), e.cache.misses.Load()
+}
+
+// decompCache memoizes cell decompositions by pushdown-normalized region
+// key. Entries are immutable cellProblems shared by all readers, tagged with
+// the constraint-set version they were derived from; a version bump
+// (Set.Add after the engine was built) flushes the cache so stale problems
+// can never produce unsound ranges. When two goroutines race to decompose
+// the same region, both compute it (the result is identical either way) and
+// one insertion wins; this keeps the fast path lock-cheap without a per-key
+// singleflight.
+type decompCache struct {
+	mu      sync.RWMutex
+	entries map[string]*cellProblem
+	version uint64 // Set.Version the entries were computed against
+	max     int
+
+	hits, misses atomic.Int64
+}
+
+func newDecompCache(max int) *decompCache {
+	return &decompCache{entries: make(map[string]*cellProblem), max: max}
+}
+
+func (c *decompCache) get(key string, version uint64) (*cellProblem, bool) {
+	c.mu.RLock()
+	cp, ok := c.entries[key]
+	stale := c.version != version
+	c.mu.RUnlock()
+	if stale {
+		c.mu.Lock()
+		if c.version != version {
+			c.entries = make(map[string]*cellProblem)
+			c.version = version
+		}
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return cp, ok
+}
+
+func (c *decompCache) put(key string, cp *cellProblem, version uint64) {
+	c.mu.Lock()
+	if c.version == version && len(c.entries) < c.max {
+		c.entries[key] = cp
+	}
+	c.mu.Unlock()
+}

@@ -95,13 +95,28 @@ type Options struct {
 	MILP milp.Options
 	// DisableFastPath forces the general MILP path even for disjoint sets.
 	DisableFastPath bool
+	// DisableDecompCache turns off the decomposition cache, forcing every
+	// query to re-run DFS+SAT even when another query already decomposed the
+	// same pushdown-normalized region.
+	DisableDecompCache bool
+	// DecompCacheSize caps the number of cached decompositions
+	// (0 = DefaultDecompCacheSize). Once full, new regions are decomposed
+	// but not retained, keeping memory bounded and results deterministic.
+	DecompCacheSize int
 }
 
-// Engine computes hard aggregate ranges for one constraint set.
+// DefaultDecompCacheSize is the decomposition-cache capacity used when
+// Options.DecompCacheSize is zero.
+const DefaultDecompCacheSize = 1024
+
+// Engine computes hard aggregate ranges for one constraint set. An engine is
+// safe for concurrent use: Bound may be called from many goroutines, and
+// BoundBatch fans a whole workload out across workers.
 type Engine struct {
 	set    *Set
 	solver *sat.Solver
 	opts   Options
+	cache  *decompCache // nil when DisableDecompCache is set
 }
 
 // NewEngine builds an engine over the set. A fresh SAT solver is created if
@@ -110,7 +125,15 @@ func NewEngine(set *Set, solver *sat.Solver, opts Options) *Engine {
 	if solver == nil {
 		solver = sat.New(set.Schema())
 	}
-	return &Engine{set: set, solver: solver, opts: opts}
+	e := &Engine{set: set, solver: solver, opts: opts}
+	if !opts.DisableDecompCache {
+		size := opts.DecompCacheSize
+		if size <= 0 {
+			size = DefaultDecompCacheSize
+		}
+		e.cache = newDecompCache(size)
+	}
+	return e
 }
 
 // Set returns the engine's constraint set.
@@ -156,8 +179,31 @@ type cellProblem struct {
 }
 
 // decompose runs cell decomposition for a query predicate and assembles the
-// optimization problem.
+// optimization problem. Queries sharing a pushdown-normalized region reuse
+// the cached problem: a cellProblem is immutable after construction, so one
+// instance may serve any number of queries and goroutines. A cached hit
+// reports the SAT checks spent when the decomposition was first computed.
 func (e *Engine) decompose(where *predicate.P) (*cellProblem, error) {
+	var key string
+	var version uint64
+	if e.cache != nil {
+		key = cells.PushdownKey(e.set.Schema(), where)
+		version = e.set.Version()
+		if cp, ok := e.cache.get(key, version); ok {
+			return cp, nil
+		}
+	}
+	cp, err := e.decomposeUncached(where)
+	if err != nil {
+		return nil, err
+	}
+	if e.cache != nil {
+		e.cache.put(key, cp, version)
+	}
+	return cp, nil
+}
+
+func (e *Engine) decomposeUncached(where *predicate.P) (*cellProblem, error) {
 	opts := e.opts.Cells
 	opts.Pushdown = where
 	res, err := cells.Decompose(e.solver, e.set.Predicates(), opts)
@@ -180,7 +226,6 @@ func (e *Engine) decompose(where *predicate.P) (*cellProblem, error) {
 		for _, j := range c.Active {
 			cp.cellsOf[j] = append(cp.cellsOf[j], i)
 		}
-		_ = i
 	}
 	var whereBox domain.Box
 	if where != nil {
@@ -195,7 +240,7 @@ func (e *Engine) decompose(where *predicate.P) (*cellProblem, error) {
 		// A frequency lower bound forces rows to exist somewhere in ψ. Those
 		// rows are only forced INTO the query region when ψ lies entirely
 		// inside it; otherwise they may live outside and the lower bound
-		// must be relaxed to keep the range sound (see DESIGN.md).
+		// must be relaxed to keep the range sound.
 		if whereBox != nil && !whereBox.ContainsBox(pc.Pred.Box()) {
 			lo = 0
 		}

@@ -17,6 +17,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"pcbound/internal/domain"
 	"pcbound/internal/predicate"
@@ -102,14 +104,26 @@ func (pc PC) SatisfiedBy(rows []domain.Row) error {
 }
 
 // Set is a predicate-constraint set S = {π₁, …, πₙ} over one schema.
+// A fully-built set is safe for concurrent readers (Engine.Bound,
+// Engine.BoundBatch); Add must not race with readers.
 type Set struct {
 	schema *domain.Schema
 	pcs    []PC
 
 	// cached disjointness analysis (lazily computed, invalidated by Add).
+	// Guarded by disjointMu so concurrent Bound calls may trigger it safely.
+	disjointMu    sync.Mutex
 	disjointKnown bool
 	disjoint      bool
+
+	// version counts mutations; engine-side caches use it to drop entries
+	// derived from an older state of the set.
+	version atomic.Uint64
 }
+
+// Version returns a counter that increases on every successful Add. Caches
+// keyed on the set's contents compare versions to detect staleness.
+func (s *Set) Version() uint64 { return s.version.Load() }
 
 // NewSet creates an empty constraint set over the schema.
 func NewSet(schema *domain.Schema) *Set { return &Set{schema: schema} }
@@ -131,7 +145,10 @@ func (s *Set) Add(pcs ...PC) error {
 		}
 		s.pcs = append(s.pcs, pc)
 	}
+	s.disjointMu.Lock()
 	s.disjointKnown = false
+	s.disjointMu.Unlock()
+	s.version.Add(1)
 	return nil
 }
 
@@ -206,6 +223,8 @@ func (s *Set) Validate(rows []domain.Row) []error {
 // the schema lattice. Disjoint sets qualify for the greedy fast path
 // (Section 4.2 "Faster Algorithm in Special Cases", evaluated in Figure 8).
 func (s *Set) Disjoint() bool {
+	s.disjointMu.Lock()
+	defer s.disjointMu.Unlock()
 	if s.disjointKnown {
 		return s.disjoint
 	}

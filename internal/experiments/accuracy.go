@@ -101,7 +101,7 @@ func accuracyByFraction(cfg Config, agg core.Agg) (Result, error) {
 		}
 		queries := sc.queryGen.Queries(cfg.Queries, agg)
 		for _, est := range sc.estimates {
-			out := evaluate(est, queries, sc.missing)
+			out := evaluate(est, queries, sc.missing, cfg.Parallelism)
 			series[fmt.Sprintf("fail/%s/%.1f", est.Name(), frac)] = out.FailureRate()
 			series[fmt.Sprintf("over/%s/%.1f", est.Name(), frac)] = out.MedianOverEst()
 			rows = append(rows, []string{
@@ -139,7 +139,7 @@ func Table1(cfg Config) (Result, error) {
 		// and only the interval width varies.
 		rng := rand.New(rand.NewSource(cfg.Seed + 55))
 		us := baselines.NewUniformSample("US-1n", sc.missing, cfg.PCs, false, conf, rng)
-		out := evaluate(us, queries, sc.missing)
+		out := evaluate(us, queries, sc.missing, cfg.Parallelism)
 		series[fmt.Sprintf("fail/US-1n/%g", conf*100)] = out.FailureRate()
 		series[fmt.Sprintf("over/US-1n/%g", conf*100)] = out.MedianOverEst()
 		rows = append(rows, []string{
@@ -147,7 +147,7 @@ func Table1(cfg Config) (Result, error) {
 			f2(out.FailureRate()), f2(out.MedianOverEst()),
 		})
 	}
-	pcOut := evaluate(sc.corrPC, queries, sc.missing)
+	pcOut := evaluate(sc.corrPC, queries, sc.missing, cfg.Parallelism)
 	series["fail/Corr-PC"] = pcOut.FailureRate()
 	series["over/Corr-PC"] = pcOut.MedianOverEst()
 	rows = append(rows, []string{"—", "Corr-PC", f2(pcOut.FailureRate()), f2(pcOut.MedianOverEst())})
@@ -171,12 +171,12 @@ func Fig5(cfg Config) (Result, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed + 56))
 	for _, agg := range []core.Agg{core.Count, core.Sum} {
 		queries := sc.queryGen.Queries(cfg.Queries, agg)
-		pcOut := evaluate(sc.corrPC, queries, sc.missing)
+		pcOut := evaluate(sc.corrPC, queries, sc.missing, cfg.Parallelism)
 		series[fmt.Sprintf("over/%v/Corr-PC", agg)] = pcOut.MedianOverEst()
 		for _, scale := range []int{1, 2, 5, 10} {
 			us := baselines.NewUniformSample(fmt.Sprintf("US-%dN", scale),
 				sc.missing, scale*cfg.PCs, false, 0.9999, rng)
-			out := evaluate(us, queries, sc.missing)
+			out := evaluate(us, queries, sc.missing, cfg.Parallelism)
 			series[fmt.Sprintf("over/%v/US-%dN", agg, scale)] = out.MedianOverEst()
 			rows = append(rows, []string{
 				agg.String(), fmt.Sprintf("%dN", scale),
@@ -232,7 +232,7 @@ func Fig6(cfg Config) (Result, error) {
 		us := baselines.NewUniformSample("US-10n", missing, 10*cfg.PCs, false, 0.9999, usRng)
 		us.SpreadNoise = sigma
 		for _, est := range []baselines.Estimator{corrEst, overEst, us} {
-			out := evaluate(est, queries, missing)
+			out := evaluate(est, queries, missing, cfg.Parallelism)
 			series[fmt.Sprintf("fail/%s/%gsd", est.Name(), sd)] = out.FailureRate()
 			rows = append(rows, []string{
 				fmt.Sprintf("%gSD", sd), est.Name(), f2(out.FailureRate()),
@@ -260,7 +260,11 @@ func Fig9(cfg Config) (Result, error) {
 	var rows [][]string
 	for _, agg := range []core.Agg{core.Min, core.Max, core.Avg} {
 		var rates []float64
-		failures, evaluated := 0, 0
+		failures := 0
+		// Queries whose ground truth is undefined (no missing rows match the
+		// predicate) are dropped before bounding.
+		var truths []float64
+		var defined []core.Query
 		for _, q := range gen.Queries(cfg.Queries, agg) {
 			var truth float64
 			var ok bool
@@ -273,13 +277,20 @@ func Fig9(cfg Config) (Result, error) {
 				truth, ok = missing.Avg("light", q.Where)
 			}
 			if !ok {
-				continue // no missing rows match: aggregate undefined
+				continue
 			}
-			r, err := engine.Bound(q)
-			if err != nil {
-				return Result{}, err
-			}
-			evaluated++
+			truths = append(truths, truth)
+			defined = append(defined, q)
+		}
+		// BoundBatch with parallelism 1 is the plain sequential Bound loop.
+		ranges, err := engine.BoundBatch(defined, core.BatchOptions{Parallelism: max(cfg.Parallelism, 1)})
+		if err != nil {
+			return Result{}, err
+		}
+		evaluated := len(defined)
+		for qi := range defined {
+			truth := truths[qi]
+			r := ranges[qi]
 			if !r.Contains(truth) {
 				failures++
 			}
@@ -315,7 +326,7 @@ func skewedDataset(cfg Config, build func() *table.T, removeAttr string, predAtt
 	for _, agg := range []core.Agg{core.Count, core.Sum} {
 		queries := sc.queryGen.Queries(cfg.Queries, agg)
 		for _, est := range sc.estimates {
-			out := evaluate(est, queries, sc.missing)
+			out := evaluate(est, queries, sc.missing, cfg.Parallelism)
 			series[fmt.Sprintf("over/%v/%s", agg, est.Name())] = out.MedianOverEst()
 			series[fmt.Sprintf("fail/%v/%s", agg, est.Name())] = out.FailureRate()
 			rows = append(rows, []string{
@@ -399,7 +410,7 @@ func Table2(cfg Config) (Result, error) {
 			}
 			row := []string{ds.name, label}
 			for _, est := range ests {
-				out := evaluate(est, queries, missing)
+				out := evaluate(est, queries, missing, cfg.Parallelism)
 				row = append(row, fmt.Sprintf("%d", out.Failures))
 				series[fmt.Sprintf("failures/%s/%s/%s", ds.name, label, est.Name())] = float64(out.Failures)
 			}

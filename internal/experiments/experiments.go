@@ -4,8 +4,8 @@
 // the baselines, executes the query workload, and renders the same
 // rows/series the paper reports as a text table.
 //
-// DESIGN.md carries the experiment index (id → workload → modules → bench);
-// EXPERIMENTS.md records paper-vs-measured outcomes.
+// README.md carries the experiment index (id → paper figure); bench_test.go
+// at the repository root re-runs every experiment as a benchmark.
 package experiments
 
 import (
@@ -17,6 +17,7 @@ import (
 
 	"pcbound/internal/baselines"
 	"pcbound/internal/core"
+	"pcbound/internal/parallel"
 	"pcbound/internal/stats"
 	"pcbound/internal/table"
 )
@@ -32,6 +33,11 @@ type Config struct {
 	PCs int
 	// Seed drives all randomness.
 	Seed int64
+	// Parallelism is the number of worker goroutines used to bound queries
+	// (0 or 1 = sequential). Only concurrency-safe estimators — the
+	// predicate-constraint engines — are fanned out; sampler baselines stay
+	// sequential regardless. Results are independent of the setting.
+	Parallelism int
 }
 
 // Default returns the standard configuration used by cmd/pcbench.
@@ -58,6 +64,7 @@ func (c Config) orDefault() Config {
 	if c.Seed != 0 {
 		d.Seed = c.Seed
 	}
+	d.Parallelism = c.Parallelism
 	return d
 }
 
@@ -148,31 +155,48 @@ func (o evalOutcome) MedianOverEst() float64 {
 
 // evaluate runs the workload against one estimator, comparing to the ground
 // truth held in the missing table (the paper's setup: all frameworks model
-// the missing rows only).
-func evaluate(est baselines.Estimator, queries []core.Query, missing *table.T) evalOutcome {
-	var out evalOutcome
-	for _, q := range queries {
-		var truth float64
-		var e baselines.Estimate
+// the missing rows only). When par > 1 and the estimator declares itself
+// safe for concurrent use, the per-query work fans out across par worker
+// goroutines; aggregation stays in query order, so the outcome is identical
+// to the sequential evaluation.
+func evaluate(est baselines.Estimator, queries []core.Query, missing *table.T, par int) evalOutcome {
+	type obs struct {
+		truth float64
+		e     baselines.Estimate
+		skip  bool
+	}
+	results := make([]obs, len(queries))
+	one := func(i int) {
+		q := queries[i]
 		switch q.Agg {
 		case core.Count:
-			truth = missing.Count(q.Where)
-			e = est.Count(q.Where)
+			results[i].truth = missing.Count(q.Where)
+			results[i].e = est.Count(q.Where)
 		case core.Sum:
-			truth = missing.Sum(q.Attr, q.Where)
-			e = est.Sum(q.Attr, q.Where)
+			results[i].truth = missing.Sum(q.Attr, q.Where)
+			results[i].e = est.Sum(q.Attr, q.Where)
 		default:
+			results[i].skip = true
+		}
+	}
+	if !baselines.ConcurrentSafe(est) {
+		par = 1
+	}
+	parallel.For(len(queries), par, func(_, i int) { one(i) })
+	var out evalOutcome
+	for _, r := range results {
+		if r.skip {
 			continue
 		}
 		out.Evaluated++
-		if !e.Contains(truth) {
+		if !r.e.Contains(r.truth) {
 			out.Failures++
 			continue
 		}
 		// Tightness is only meaningful for bounds that actually hold
 		// (Section 6.1: "only meaningful if the failure rate is low").
-		if truth > 0 {
-			out.OverEst = append(out.OverEst, baselines.OverEstimationRate(e.Hi, truth))
+		if r.truth > 0 {
+			out.OverEst = append(out.OverEst, baselines.OverEstimationRate(r.e.Hi, r.truth))
 		}
 	}
 	return out

@@ -240,4 +240,34 @@ func TestConfigDefaults(t *testing.T) {
 	if custom.Rows != 10 || custom.Queries != Default().Queries {
 		t.Errorf("partial override wrong: %+v", custom)
 	}
+	if p := (Config{Parallelism: 4}).orDefault().Parallelism; p != 4 {
+		t.Errorf("Parallelism not preserved: %d", p)
+	}
+}
+
+// TestParallelismDeterministic checks that fanning query bounding out over
+// workers does not change any experiment outcome: the accuracy/tightness
+// series of a parallel run must equal the sequential run's exactly.
+func TestParallelismDeterministic(t *testing.T) {
+	for _, name := range []string{"fig9", "fig8"} {
+		seq := quickCfg()
+		par := quickCfg()
+		par.Parallelism = 4
+		rs, err := Run(name, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, err := Run(name, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range rs.Series {
+			if strings.HasPrefix(k, "latency") {
+				continue // wall-clock, legitimately differs
+			}
+			if rp.Series[k] != v {
+				t.Errorf("%s: series %q differs under parallelism: %v vs %v", name, k, rp.Series[k], v)
+			}
+		}
+	}
 }

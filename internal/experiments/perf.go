@@ -97,11 +97,10 @@ func Fig8(cfg Config) (Result, error) {
 		engine := core.NewEngine(set, nil, core.Options{})
 		gen := workload.New(missing.Schema(), []string{"time"}, "light", cfg.Seed+7)
 		queries := gen.Queries(minInt(cfg.Queries, 100), core.Sum)
+		par := max(cfg.Parallelism, 1)
 		start := time.Now()
-		for _, q := range queries {
-			if _, err := engine.Bound(q); err != nil {
-				return Result{}, err
-			}
+		if _, err := engine.BoundBatch(queries, core.BatchOptions{Parallelism: par}); err != nil {
+			return Result{}, err
 		}
 		per := time.Since(start) / time.Duration(len(queries))
 		series[fmt.Sprintf("latency_us/%d", n)] = float64(per.Microseconds())

@@ -15,7 +15,7 @@ import "math"
 // always assumes the worst-case scenario thus generates the bound for a
 // Cartesian product").
 //
-// Substitution note (DESIGN.md): the authors ran the reference elastic-
+// Substitution note: the authors ran the reference elastic-
 // sensitivity implementation; we re-derive its bound analytically. For the
 // Figure 12 workloads the two coincide: a left-deep cascade with worst-case
 // max-frequencies over n-row relations yields N³ for the triangle query and

@@ -1,0 +1,47 @@
+// Package parallel provides the small work-distribution primitive shared by
+// the batch-bounding engine and the experiment harness: a fixed pool of
+// workers draining indexed tasks from an atomic counter.
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(worker, i) for every i in [0, n), fanned out over par worker
+// goroutines, and returns when all calls have completed. par is clamped to
+// [1, n]; with par <= 1 the calls run sequentially on the caller's
+// goroutine. Each index is passed to exactly one call; worker identifies
+// the goroutine in [0, clamped par), runs its calls sequentially, and lets
+// callers keep cheap per-worker state (e.g. a solver clone) without
+// synchronization. fn must be safe for concurrent invocation when par > 1.
+func For(n, par int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

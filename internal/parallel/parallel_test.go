@@ -1,0 +1,49 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEachIndexOnce(t *testing.T) {
+	for _, par := range []int{-1, 0, 1, 3, 8, 100} {
+		const n = 37
+		var counts [n]atomic.Int32
+		maxWorker := int32(-1)
+		var mw atomic.Int32
+		mw.Store(-1)
+		For(n, par, func(w, i int) {
+			counts[i].Add(1)
+			for {
+				cur := mw.Load()
+				if int32(w) <= cur || mw.CompareAndSwap(cur, int32(w)) {
+					break
+				}
+			}
+		})
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("par=%d: index %d ran %d times", par, i, c)
+			}
+		}
+		maxWorker = mw.Load()
+		limit := par
+		if limit > n {
+			limit = n
+		}
+		if limit < 1 {
+			limit = 1
+		}
+		if int(maxWorker) >= limit {
+			t.Errorf("par=%d: worker id %d out of range [0, %d)", par, maxWorker, limit)
+		}
+	}
+}
+
+func TestForZeroTasks(t *testing.T) {
+	called := false
+	For(0, 4, func(_, _ int) { called = true })
+	if called {
+		t.Error("fn called with n=0")
+	}
+}

@@ -47,6 +47,17 @@ type Solver struct {
 // New returns a solver for the schema.
 func New(s *domain.Schema) *Solver { return &Solver{schema: s} }
 
+// Clone returns a fresh solver over the same schema with zeroed counters.
+// Batch engines hand each worker its own clone so per-worker statistics stay
+// attributable, then fold them back with AddStats.
+func (s *Solver) Clone() *Solver { return New(s.schema) }
+
+// AddStats folds another solver's counters into this one.
+func (s *Solver) AddStats(st Stats) {
+	s.checks.Add(st.Checks)
+	s.nodes.Add(st.Nodes)
+}
+
 // Schema returns the solver's schema.
 func (s *Solver) Schema() *domain.Schema { return s.schema }
 
