@@ -9,6 +9,7 @@
 //	pcbench -exp all -queries 1000 \
 //	        -pcs 2000 -rows 200000    # full paper-scale run
 //	pcbench -exp fig8 -parallel -1    # fan query bounding over all cores
+//	pcbench -exp fig8 -cpuprofile cpu.out -memprofile mem.out
 //	pcbench -list                     # enumerate experiments
 package main
 
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"pcbound/internal/experiments"
@@ -24,14 +26,16 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (fig1, fig3, …, table2) or 'all'")
-		rows     = flag.Int("rows", 0, "dataset rows (0 = default)")
-		queries  = flag.Int("queries", 0, "queries per measurement point (0 = default)")
-		pcs      = flag.Int("pcs", 0, "predicate-constraints per set (0 = default)")
-		seed     = flag.Int64("seed", 0, "random seed (0 = default)")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		quick    = flag.Bool("quick", false, "use the reduced quick configuration")
-		parallel = flag.Int("parallel", 0, "worker goroutines for query bounding (0 or 1 = sequential, -1 = GOMAXPROCS)")
+		exp        = flag.String("exp", "all", "experiment id (fig1, fig3, …, table2) or 'all'")
+		rows       = flag.Int("rows", 0, "dataset rows (0 = default)")
+		queries    = flag.Int("queries", 0, "queries per measurement point (0 = default)")
+		pcs        = flag.Int("pcs", 0, "predicate-constraints per set (0 = default)")
+		seed       = flag.Int64("seed", 0, "random seed (0 = default)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		quick      = flag.Bool("quick", false, "use the reduced quick configuration")
+		parallel   = flag.Int("parallel", 0, "worker goroutines for query bounding (0 or 1 = sequential, -1 = GOMAXPROCS)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
 	flag.Parse()
 
@@ -40,6 +44,36 @@ func main() {
 			fmt.Printf("%-8s %s\n", name, experiments.Title(name))
 		}
 		return
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pcbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		// Report failures without os.Exit: exiting inside this deferred func
+		// would skip the CPU-profile flush registered above.
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pcbench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "pcbench: memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	par := *parallel

@@ -1,0 +1,129 @@
+package cells
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"pcbound/internal/predicate"
+	"pcbound/internal/sat"
+)
+
+// The pre-optimization dfs threaded its active/neg path state through
+// append(active, k) / append(neg, boxes[k]) call arguments. When an append
+// had spare capacity, the include and exclude branches of one node shared a
+// backing array, so a deeper include could overwrite a slot another branch's
+// slice still referenced — latent only because the traversal was strictly
+// sequential and emit copied what escaped. The decomposer now keeps a single
+// explicit push/pop stack per path structure. These tests force the
+// aliasing-prone shape — long include chains followed by exclude branches at
+// every depth, so appends repeatedly land in spare capacity — and verify the
+// enumeration against the naive strategy, which shares no path state.
+
+// chainedPreds builds n nested predicates: predicate i covers [i, 100] in x.
+// Every prefix is satisfiable, so the DFS walks a maximal include chain
+// first, then unwinds through exclude branches at every depth — exactly the
+// pattern that re-used spare append capacity across branches.
+func chainedPreds(n int) (*sat.Solver, []*predicate.P) {
+	s := schema2D()
+	var preds []*predicate.P
+	for i := 0; i < n; i++ {
+		preds = append(preds, box(s, float64(i), 100, 0, 100))
+	}
+	return sat.New(s), preds
+}
+
+func cellKey(c Cell) string {
+	return fmt.Sprintf("%v", c.Active)
+}
+
+func sortedKeys(cs []Cell) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = cellKey(c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestDFSAliasingPatternMatchesNaive(t *testing.T) {
+	for _, strat := range []Strategy{DFS, DFSRewrite} {
+		for _, n := range []int{4, 9, 12} {
+			solver, preds := chainedPreds(n)
+			got, err := Decompose(solver, preds, Options{Strategy: strat, SkipProjections: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Decompose(solver, preds, Options{Strategy: Naive, SkipProjections: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, w := sortedKeys(got.Cells), sortedKeys(want.Cells)
+			if len(g) != len(w) {
+				t.Fatalf("%v n=%d: %d cells, naive found %d", strat, n, len(g), len(w))
+			}
+			for i := range g {
+				if g[i] != w[i] {
+					t.Fatalf("%v n=%d: cell sets diverge: %s vs %s", strat, n, g[i], w[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEmittedCellsAreIndependent verifies no two emitted cells share Active
+// backing storage and every Active list is strictly ascending — the
+// invariants an aliasing bug would break first.
+func TestEmittedCellsAreIndependent(t *testing.T) {
+	solver, preds := chainedPreds(10)
+	res, err := Decompose(solver, preds, Options{Strategy: DFSRewrite, SkipProjections: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 10 {
+		// Nested predicates: exactly one cell per chain prefix.
+		t.Fatalf("got %d cells, want 10", len(res.Cells))
+	}
+	seen := map[string]bool{}
+	for _, c := range res.Cells {
+		for j := 1; j < len(c.Active); j++ {
+			if c.Active[j] <= c.Active[j-1] {
+				t.Fatalf("cell %v: Active not strictly ascending", c.Active)
+			}
+		}
+		k := cellKey(c)
+		if seen[k] {
+			t.Fatalf("duplicate cell %s — path state leaked between branches", k)
+		}
+		seen[k] = true
+	}
+	// Mutating one cell's Active must not disturb any other cell.
+	if len(res.Cells) >= 2 && len(res.Cells[0].Active) > 0 {
+		before := cellKey(res.Cells[1])
+		res.Cells[0].Active[0] = -999
+		if cellKey(res.Cells[1]) != before {
+			t.Fatal("cells share Active backing arrays")
+		}
+	}
+}
+
+// TestEarlyStopCellsAreIndependent covers the same invariant for the
+// early-stop expansion, whose act slices also grew via shared-capacity
+// appends in the old implementation.
+func TestEarlyStopCellsAreIndependent(t *testing.T) {
+	solver, preds := chainedPreds(8)
+	res, err := Decompose(solver, preds, Options{
+		Strategy: DFSRewrite, EarlyStopLayer: 3, SkipProjections: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, c := range res.Cells {
+		k := cellKey(c)
+		if seen[k] {
+			t.Fatalf("duplicate cell %s after early-stop expansion", k)
+		}
+		seen[k] = true
+	}
+}

@@ -164,65 +164,39 @@ func Decompose(solver *sat.Solver, preds []*predicate.P, opts Options) (Result, 
 		boxes[k] = preds[i].Box()
 	}
 
-	emit := func(activeLocal []int, verified bool) error {
-		if opts.MaxCells > 0 && len(res.Cells) >= opts.MaxCells {
-			return ErrTooManyCells
-		}
-		region := base.Clone()
-		for _, k := range activeLocal {
-			region = region.Intersect(boxes[k])
-		}
-		active := make([]int, len(activeLocal))
-		neg := make([]domain.Box, 0, n-len(activeLocal))
-		inActive := make(map[int]bool, len(activeLocal))
-		for j, k := range activeLocal {
-			active[j] = kept[k]
-			inActive[k] = true
-		}
-		for k := 0; k < n; k++ {
-			if !inActive[k] {
-				neg = append(neg, boxes[k])
-			}
-		}
-		proj := region.Clone()
-		if !opts.SkipProjections && verified {
-			boxesRem := solver.RemainderBoxes(region, neg)
-			if len(boxesRem) == 0 {
-				// Region became empty under exact projection: skip the cell.
-				return nil
-			}
-			for d := range proj {
-				iv := boxesRem[0][d]
-				for _, rb := range boxesRem[1:] {
-					iv = iv.Hull(rb[d])
-				}
-				proj[d] = iv
-			}
-		}
-		res.Cells = append(res.Cells, Cell{
-			Active:     active,
-			Region:     region,
-			Projection: proj,
-			Verified:   verified,
-		})
-		return nil
+	dims := len(base)
+	dc := &decomposer{
+		solver: solver,
+		boxes:  boxes,
+		kept:   kept,
+		opts:   opts,
+		res:    &res,
+		// The DFS pushes at most one prefix box per include decision plus the
+		// root, so the arena's capacity is fixed up front and prefix slices
+		// stay valid for the lifetime of their subtree.
+		posArena:   make([]domain.Interval, 0, (n+1)*dims),
+		active:     make([]int, 0, n),
+		neg:        make([]domain.Box, 0, n),
+		negScratch: make([]domain.Box, 0, n),
+		esAct:      make([]int, 0, n),
+		esBox:      make(domain.Box, dims),
 	}
 
 	switch opts.Strategy {
 	case Naive:
-		if err := naive(solver, schema, base, boxes, emit, &res); err != nil {
+		if err := dc.naive(base); err != nil {
 			return res, err
 		}
 	case DFS, DFSRewrite:
-		rw := opts.Strategy == DFSRewrite
+		dc.rewrite = opts.Strategy == DFSRewrite
 		// Root must be satisfiable for the rewrite invariant ("prefix is
 		// known sat") to hold from the start.
 		res.Checks++
 		if !solver.SatBoxes(base, nil) {
 			return res, nil
 		}
-		err := dfs(solver, schema, base, boxes, 0, nil, nil, rw, opts, emit, &res)
-		if err != nil {
+		root := dc.pushPos(base)
+		if err := dc.dfs(root, 0); err != nil {
 			return res, err
 		}
 	default:
@@ -231,29 +205,85 @@ func Decompose(solver *sat.Solver, preds []*predicate.P, opts Options) (Result, 
 	return res, nil
 }
 
+// decomposer carries the working state of one decomposition. The DFS path
+// state lives in shared push/pop stacks rather than per-node slices: that
+// removes the per-node allocations of the appended active/neg lists and the
+// re-intersected prefix boxes, and it eliminates the slice-aliasing hazard
+// of sharing append-grown backing arrays between the include and exclude
+// branches (emit copies whatever escapes into a Cell).
+type decomposer struct {
+	solver  *sat.Solver
+	boxes   []domain.Box
+	kept    []int
+	opts    Options
+	res     *Result
+	rewrite bool
+
+	// posArena stacks the DFS prefix regions (one box pushed per include
+	// decision); fixed capacity, so subslices never move.
+	posArena []domain.Interval
+	// active holds the local indices of included predicates on the DFS path.
+	active []int
+	// neg holds the boxes of excluded predicates on the DFS path.
+	neg []domain.Box
+
+	negScratch []domain.Box // emit's inactive-box list (reused per cell)
+	esAct      []int        // early-stop scratch active list
+	esBox      domain.Box   // early-stop scratch region
+}
+
+// pushPos copies b onto the prefix arena and returns the stacked copy.
+func (dc *decomposer) pushPos(b domain.Box) domain.Box {
+	off := len(dc.posArena)
+	dc.posArena = append(dc.posArena, b...)
+	return domain.Box(dc.posArena[off : off+len(b)])
+}
+
+// pushPosIntersect stacks pos ∩ box without heap allocation.
+func (dc *decomposer) pushPosIntersect(pos, box domain.Box) domain.Box {
+	off := len(dc.posArena)
+	dc.posArena = append(dc.posArena, pos...)
+	out := domain.Box(dc.posArena[off : off+len(pos)])
+	for d := range out {
+		out[d] = out[d].Intersect(box[d])
+	}
+	return out
+}
+
+func (dc *decomposer) popPos(b domain.Box) {
+	dc.posArena = dc.posArena[:len(dc.posArena)-len(b)]
+}
+
 // naive checks each of the 2^n cells independently (no pruning); cells with
 // an empty active set are skipped (they lie outside every predicate, which
 // closure excludes).
-func naive(solver *sat.Solver, schema *domain.Schema, base domain.Box, boxes []domain.Box, emit func([]int, bool) error, res *Result) error {
-	n := len(boxes)
+func (dc *decomposer) naive(base domain.Box) error {
+	n := len(dc.boxes)
 	if n > 30 {
 		return fmt.Errorf("cells: naive enumeration of 2^%d cells refused", n)
 	}
+	// Dedicated buffers: emit reuses the decomposer scratch slices, so the
+	// enumeration state must not share them.
+	activeBuf := make([]int, 0, n)
+	posBuf := make(domain.Box, 0, len(base))
+	negBuf := make([]domain.Box, 0, n)
 	for mask := 1; mask < (1 << n); mask++ {
-		var active []int
-		pos := base.Clone()
-		var neg []domain.Box
+		active := activeBuf[:0]
+		pos := append(posBuf[:0], base...)
+		neg := negBuf[:0]
 		for k := 0; k < n; k++ {
 			if mask&(1<<k) != 0 {
 				active = append(active, k)
-				pos = pos.Intersect(boxes[k])
+				for d := range pos {
+					pos[d] = pos[d].Intersect(dc.boxes[k][d])
+				}
 			} else {
-				neg = append(neg, boxes[k])
+				neg = append(neg, dc.boxes[k])
 			}
 		}
-		res.Checks++
-		if solver.SatBoxes(pos, neg) {
-			if err := emit(active, true); err != nil {
+		dc.res.Checks++
+		if dc.solver.SatBoxes(pos, neg) {
+			if err := dc.emit(pos, active, true); err != nil {
 				return err
 			}
 		}
@@ -262,65 +292,76 @@ func naive(solver *sat.Solver, schema *domain.Schema, base domain.Box, boxes []d
 }
 
 // dfs explores include/exclude decisions for predicate k given a satisfiable
-// prefix (pos region minus negated boxes). The prefix is always known
-// satisfiable on entry.
-func dfs(solver *sat.Solver, schema *domain.Schema, pos domain.Box, boxes []domain.Box, k int, active []int, neg []domain.Box, rewrite bool, opts Options, emit func([]int, bool) error, res *Result) error {
-	n := len(boxes)
+// prefix (pos region minus dc.neg). The prefix is always known satisfiable
+// on entry.
+func (dc *decomposer) dfs(pos domain.Box, k int) error {
+	n := len(dc.boxes)
 	if k == n {
-		if len(active) == 0 {
+		if len(dc.active) == 0 {
 			// Outside every predicate: excluded by closure.
 			return nil
 		}
-		return emit(active, true)
+		return dc.emit(pos, dc.active, true)
 	}
-	if opts.EarlyStopLayer > 0 && k >= opts.EarlyStopLayer {
+	if dc.opts.EarlyStopLayer > 0 && k >= dc.opts.EarlyStopLayer {
 		// Optimization 4: admit all remaining combinations unverified.
-		return earlyStopExpand(pos, boxes, k, active, emit, opts, res)
+		return dc.earlyStopExpand(pos, k)
 	}
 
 	// Include branch: prefix ∧ ψk.
-	incPos := pos.Intersect(boxes[k])
-	res.Checks++
-	incSat := solver.SatBoxes(incPos, neg)
+	incPos := dc.pushPosIntersect(pos, dc.boxes[k])
+	dc.res.Checks++
+	incSat := dc.solver.SatBoxes(incPos, dc.neg)
 	if incSat {
-		if err := dfs(solver, schema, incPos, boxes, k+1, append(active, k), neg, rewrite, opts, emit, res); err != nil {
+		dc.active = append(dc.active, k)
+		err := dc.dfs(incPos, k+1)
+		dc.active = dc.active[:len(dc.active)-1]
+		if err != nil {
 			return err
 		}
 	} else {
-		res.PrunedSubtrees++
+		dc.res.PrunedSubtrees++
 	}
+	dc.popPos(incPos)
 
 	// Exclude branch: prefix ∧ ¬ψk.
-	negNext := append(neg, boxes[k])
-	if !incSat && rewrite {
+	dc.neg = append(dc.neg, dc.boxes[k])
+	var err error
+	switch {
+	case !incSat && dc.rewrite:
 		// Optimization 3: X sat ∧ (X∧Y unsat) ⇒ X∧¬Y sat; skip the check.
-		res.RewriteSkips++
-		return dfs(solver, schema, pos, boxes, k+1, active, negNext, rewrite, opts, emit, res)
+		dc.res.RewriteSkips++
+		err = dc.dfs(pos, k+1)
+	default:
+		dc.res.Checks++
+		if dc.solver.SatBoxes(pos, dc.neg) {
+			err = dc.dfs(pos, k+1)
+		} else {
+			dc.res.PrunedSubtrees++
+		}
 	}
-	res.Checks++
-	if solver.SatBoxes(pos, negNext) {
-		return dfs(solver, schema, pos, boxes, k+1, active, negNext, rewrite, opts, emit, res)
-	}
-	res.PrunedSubtrees++
-	return nil
+	dc.neg = dc.neg[:len(dc.neg)-1]
+	return err
 }
 
 // earlyStopExpand emits every completion of the current prefix as an
 // unverified cell.
-func earlyStopExpand(pos domain.Box, boxes []domain.Box, k int, active []int, emit func([]int, bool) error, opts Options, res *Result) error {
-	n := len(boxes)
+func (dc *decomposer) earlyStopExpand(pos domain.Box, k int) error {
+	n := len(dc.boxes)
 	rem := n - k
 	if rem > 30 {
 		return fmt.Errorf("cells: early stop would expand 2^%d cells", rem)
 	}
 	for mask := 0; mask < (1 << rem); mask++ {
-		act := append([]int(nil), active...)
-		cur := pos.Clone()
+		act := append(dc.esAct[:0], dc.active...)
+		cur := append(dc.esBox[:0], pos...)
 		empty := false
 		for j := 0; j < rem; j++ {
 			if mask&(1<<j) != 0 {
 				act = append(act, k+j)
-				cur = cur.Intersect(boxes[k+j])
+				for d := range cur {
+					cur[d] = cur[d].Intersect(dc.boxes[k+j][d])
+				}
 				if cur.Empty() {
 					// Cheap local reject: positive intersection already empty
 					// (this is not a solver call).
@@ -332,10 +373,57 @@ func earlyStopExpand(pos domain.Box, boxes []domain.Box, k int, active []int, em
 		if empty || len(act) == 0 {
 			continue
 		}
-		if err := emit(act, false); err != nil {
+		if err := dc.emit(cur, act, false); err != nil {
 			return err
 		}
 	}
+	return nil
+}
+
+// emit records one satisfiable cell. region is the prefix box maintained
+// incrementally by the search (bit-identical to re-intersecting the active
+// boxes from scratch, since interval intersection is exact min/max);
+// activeLocal lists the included predicates by local index, ascending.
+func (dc *decomposer) emit(region domain.Box, activeLocal []int, verified bool) error {
+	if dc.opts.MaxCells > 0 && len(dc.res.Cells) >= dc.opts.MaxCells {
+		return ErrTooManyCells
+	}
+	n := len(dc.boxes)
+	active := make([]int, len(activeLocal))
+	neg := dc.negScratch[:0]
+	// Two-pointer merge over the ascending activeLocal list: predicates not
+	// on it are the cell's negated boxes.
+	ai := 0
+	for k := 0; k < n; k++ {
+		if ai < len(activeLocal) && activeLocal[ai] == k {
+			active[ai] = dc.kept[k]
+			ai++
+		} else {
+			neg = append(neg, dc.boxes[k])
+		}
+	}
+	regionOut := region.Clone()
+	proj := region.Clone()
+	if !dc.opts.SkipProjections && verified {
+		boxesRem := dc.solver.RemainderBoxes(regionOut, neg)
+		if len(boxesRem) == 0 {
+			// Region became empty under exact projection: skip the cell.
+			return nil
+		}
+		for d := range proj {
+			iv := boxesRem[0][d]
+			for _, rb := range boxesRem[1:] {
+				iv = iv.Hull(rb[d])
+			}
+			proj[d] = iv
+		}
+	}
+	dc.res.Cells = append(dc.res.Cells, Cell{
+		Active:     active,
+		Region:     regionOut,
+		Projection: proj,
+		Verified:   verified,
+	})
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"pcbound/internal/milp"
 	"pcbound/internal/predicate"
 )
 
@@ -31,9 +32,12 @@ func (e *Engine) Count(where *predicate.P) (Range, error) {
 	if len(cp.cells) == 0 {
 		return Range{LoExact: true, HiExact: true, SATChecks: cp.satChecks}, nil
 	}
+	sc := e.acquireCtx()
+	defer e.releaseCtx(sc)
+	mopts := e.milpOpts()
 	obj := cp.ones()
-	up := cp.solve(obj, true, nil, false, e.opts.MILP)
-	lo := cp.solve(obj, false, nil, false, e.opts.MILP)
+	up := cp.solve(sc, obj, true, nil, false, mopts)
+	lo := cp.solve(sc, obj, false, nil, false, mopts)
 	return cp.newRange(lo, up), nil
 }
 
@@ -50,6 +54,9 @@ func (e *Engine) Sum(attr string, where *predicate.P) (Range, error) {
 	if len(cp.cells) == 0 {
 		return Range{LoExact: true, HiExact: true, SATChecks: cp.satChecks}, nil
 	}
+	sc := e.acquireCtx()
+	defer e.releaseCtx(sc)
+	mopts := e.milpOpts()
 	ai := e.set.Schema().MustIndex(attr)
 	u := cp.upperVec(ai)
 	l := cp.lowerVec(ai)
@@ -59,21 +66,21 @@ func (e *Engine) Sum(attr string, where *predicate.P) (Range, error) {
 	hiInf, loInf := false, false
 	for i := range cp.cells {
 		if math.IsInf(u[i], 1) {
-			if cp.feasible(nil, false, i, e.opts.MILP) {
+			if cp.feasible(sc, nil, false, i, mopts) {
 				hiInf = true
 			}
 			u[i] = 0 // unreachable cell: coefficient irrelevant
 		}
 		if math.IsInf(l[i], -1) {
-			if cp.feasible(nil, false, i, e.opts.MILP) {
+			if cp.feasible(sc, nil, false, i, mopts) {
 				loInf = true
 			}
 			l[i] = 0
 		}
 	}
 
-	up := cp.solve(u, true, nil, false, e.opts.MILP)
-	lo := cp.solve(l, false, nil, false, e.opts.MILP)
+	up := cp.solve(sc, u, true, nil, false, mopts)
+	lo := cp.solve(sc, l, false, nil, false, mopts)
 	r := cp.newRange(lo, up)
 	if hiInf {
 		r.Hi = math.Inf(1)
@@ -104,7 +111,10 @@ func (e *Engine) Avg(attr string, where *predicate.P) (Range, error) {
 		r.SATChecks = cp.satChecks
 		return r, nil
 	}
-	if !cp.feasible(nil, true, -1, e.opts.MILP) {
+	sc := e.acquireCtx()
+	defer e.releaseCtx(sc)
+	mopts := e.milpOpts()
+	if !cp.feasible(sc, nil, true, -1, mopts) {
 		r := emptyRange()
 		r.SATChecks = cp.satChecks
 		return r, nil
@@ -125,23 +135,24 @@ func (e *Engine) Avg(attr string, where *predicate.P) (Range, error) {
 		return r, nil
 	}
 
+	// One shared objective buffer serves every bisection probe: each probe
+	// overwrites all entries, and cp.solve copies the objective into the LP.
+	obj := make([]float64, len(u))
 	// Upper: sup{r : max Σ (U_i - r)·x_i >= 0 over allocations with >=1 row}.
 	r.Hi = binarySearchAvg(lo0, hi0, func(mid float64) bool {
-		obj := make([]float64, len(u))
 		for i := range u {
 			obj[i] = u[i] - mid
 		}
-		sol := cp.solve(obj, true, nil, true, e.opts.MILP)
+		sol := cp.solve(sc, obj, true, nil, true, mopts)
 		// sol.bound >= optimum: "< 0" proves mid is unachievable.
 		return sol.feasible && sol.bound >= 0
 	}, true)
 	// Lower: inf{r : min Σ (L_i - r)·x_i <= 0 over allocations with >=1 row}.
 	r.Lo = binarySearchAvg(lo0, hi0, func(mid float64) bool {
-		obj := make([]float64, len(l))
 		for i := range l {
 			obj[i] = l[i] - mid
 		}
-		sol := cp.solve(obj, false, nil, true, e.opts.MILP)
+		sol := cp.solve(sc, obj, false, nil, true, mopts)
 		// sol.bound <= optimum: "> 0" proves avg <= mid is impossible.
 		return sol.feasible && sol.bound <= 0
 	}, false)
@@ -208,6 +219,9 @@ func (e *Engine) minMax(attr string, where *predicate.P, isMax bool) (Range, err
 		r.SATChecks = cp.satChecks
 		return r, nil
 	}
+	sc := e.acquireCtx()
+	defer e.releaseCtx(sc)
+	mopts := e.milpOpts()
 	ai := e.set.Schema().MustIndex(attr)
 	u := cp.upperVec(ai)
 	l := cp.lowerVec(ai)
@@ -216,7 +230,7 @@ func (e *Engine) minMax(attr string, where *predicate.P, isMax bool) (Range, err
 	reach := make([]bool, len(cp.cells))
 	any := false
 	for i := range cp.cells {
-		reach[i] = cp.feasible(nil, false, i, e.opts.MILP)
+		reach[i] = cp.feasible(sc, nil, false, i, mopts)
 		any = any || reach[i]
 	}
 	if !any {
@@ -237,7 +251,7 @@ func (e *Engine) minMax(attr string, where *predicate.P, isMax bool) (Range, err
 		}
 		// Lo: minimize the largest lower-value among used cells. Search
 		// thresholds ascending; the first feasible restriction wins.
-		r.Lo = thresholdSearch(cp, l, e, true)
+		r.Lo = thresholdSearch(sc, cp, l, mopts, true)
 	} else {
 		r.Lo = math.Inf(1)
 		for i := range cp.cells {
@@ -245,7 +259,7 @@ func (e *Engine) minMax(attr string, where *predicate.P, isMax bool) (Range, err
 				r.Lo = math.Min(r.Lo, l[i])
 			}
 		}
-		r.Hi = thresholdSearch(cp, u, e, false)
+		r.Hi = thresholdSearch(sc, cp, u, mopts, false)
 	}
 	return r, nil
 }
@@ -253,7 +267,7 @@ func (e *Engine) minMax(attr string, where *predicate.P, isMax bool) (Range, err
 // thresholdSearch finds, for MAX (ascending=true), the smallest t such that
 // an allocation using only cells with vals[i] <= t (and >= 1 row) is
 // feasible; for MIN it finds the largest t over cells with vals[i] >= t.
-func thresholdSearch(cp *cellProblem, vals []float64, e *Engine, ascending bool) float64 {
+func thresholdSearch(sc *solveCtx, cp *cellProblem, vals []float64, mopts milp.Options, ascending bool) float64 {
 	uniq := append([]float64(nil), vals...)
 	sort.Float64s(uniq)
 	if !ascending {
@@ -261,17 +275,12 @@ func thresholdSearch(cp *cellProblem, vals []float64, e *Engine, ascending bool)
 			uniq[i], uniq[j] = uniq[j], uniq[i]
 		}
 	}
+	forbid := make([]bool, len(vals))
 	for _, t := range uniq {
-		forbid := make([]bool, len(vals))
 		for i, v := range vals {
-			if ascending && v > t {
-				forbid[i] = true
-			}
-			if !ascending && v < t {
-				forbid[i] = true
-			}
+			forbid[i] = (ascending && v > t) || (!ascending && v < t)
 		}
-		if cp.feasible(forbid, true, -1, e.opts.MILP) {
+		if cp.feasible(sc, forbid, true, -1, mopts) {
 			return t
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"pcbound/internal/cells"
 	"pcbound/internal/domain"
@@ -91,7 +92,10 @@ type Options struct {
 	// Cells configures cell decomposition (strategy, early stopping…).
 	// The Pushdown field is managed per query and must be left nil.
 	Cells cells.Options
-	// MILP configures the branch-and-bound search.
+	// MILP configures the branch-and-bound search. The Ctx field is managed
+	// per query by the engine and must be left nil; WarmStart may be set to
+	// re-optimize branch-and-bound children from their parent basis (faster,
+	// but last-ulp rounding may differ from the default cold solves).
 	MILP milp.Options
 	// DisableFastPath forces the general MILP path even for disjoint sets.
 	DisableFastPath bool
@@ -103,6 +107,13 @@ type Options struct {
 	// (0 = DefaultDecompCacheSize). Once full, new regions are decomposed
 	// but not retained, keeping memory bounded and results deterministic.
 	DecompCacheSize int
+	// Reference routes every optimized hot-path layer to its preserved
+	// pre-optimization implementation: the recursive SAT search, the
+	// clone-per-child branch-and-bound, and per-solve LP assembly. Results
+	// are bit-identical to the default configuration; the flag exists for
+	// differential testing and benchmarking (see BenchmarkHotPath). It only
+	// takes effect for solvers the engine creates itself (pass solver=nil).
+	Reference bool
 }
 
 // DefaultDecompCacheSize is the decomposition-cache capacity used when
@@ -117,6 +128,10 @@ type Engine struct {
 	solver *sat.Solver
 	opts   Options
 	cache  *decompCache // nil when DisableDecompCache is set
+	// ctxPool recycles per-query solve contexts (LP tableau arenas plus a
+	// reusable problem shell), so the two-direction × relax-retry pattern and
+	// the feasibility/threshold searches stop reallocating the LP.
+	ctxPool sync.Pool // of *solveCtx
 }
 
 // NewEngine builds an engine over the set. A fresh SAT solver is created if
@@ -124,6 +139,7 @@ type Engine struct {
 func NewEngine(set *Set, solver *sat.Solver, opts Options) *Engine {
 	if solver == nil {
 		solver = sat.New(set.Schema())
+		solver.UseReference(opts.Reference)
 	}
 	e := &Engine{set: set, solver: solver, opts: opts}
 	if !opts.DisableDecompCache {
@@ -134,6 +150,52 @@ func NewEngine(set *Set, solver *sat.Solver, opts Options) *Engine {
 		e.cache = newDecompCache(size)
 	}
 	return e
+}
+
+// solveCtx is one query's solve workspace: an LP context (tableau arenas)
+// and a problem shell rebuilt row-set by row-set via cellProblem.buildInto.
+type solveCtx struct {
+	lp    lp.Context
+	prob  lp.Problem
+	zeros []float64
+}
+
+// zeroObj returns an all-zero objective of length n from the context's
+// scratch (Problem.Reset copies it, so sharing the buffer is safe).
+func (sc *solveCtx) zeroObj(n int) []float64 {
+	if cap(sc.zeros) < n {
+		sc.zeros = make([]float64, n)
+	}
+	sc.zeros = sc.zeros[:n]
+	clear(sc.zeros)
+	return sc.zeros
+}
+
+// acquireCtx returns a pooled solve context, or nil in Reference mode (the
+// reference path assembles a fresh LP per solve, like the seed did).
+func (e *Engine) acquireCtx() *solveCtx {
+	if e.opts.Reference {
+		return nil
+	}
+	if v := e.ctxPool.Get(); v != nil {
+		return v.(*solveCtx)
+	}
+	return &solveCtx{}
+}
+
+func (e *Engine) releaseCtx(sc *solveCtx) {
+	if sc != nil {
+		e.ctxPool.Put(sc)
+	}
+}
+
+// milpOpts returns the per-query MILP options with the engine-level
+// reference flag applied.
+func (e *Engine) milpOpts() milp.Options {
+	m := e.opts.MILP
+	m.Ctx = nil
+	m.Reference = e.opts.Reference
+	return m
 }
 
 // Set returns the engine's constraint set.
@@ -174,6 +236,14 @@ type cellProblem struct {
 	valueBoxes []domain.Box
 	// capHi[i] is the per-cell cardinality cap (min of active KHi).
 	capHi []float64
+
+	// Immutable row-assembly data precomputed once per decomposition, shared
+	// by every query and worker that reuses this problem: the sorted
+	// constraint indices, a shared all-ones coefficient vector, and the
+	// identity index vector whose sub-slices serve as single-cell rows.
+	consIdx []int
+	onesVal []float64
+	idxAll  []int
 
 	satChecks int64
 }
@@ -254,6 +324,21 @@ func (e *Engine) decomposeUncached(where *predicate.P) (*cellProblem, error) {
 	for i := range cp.cells {
 		cp.capHi[i] = cp.cells[i].MaxCount(khiVec)
 	}
+	cp.consIdx = cp.constraintIdx()
+	size := len(cp.cells)
+	for _, j := range cp.consIdx {
+		if l := len(cp.cellsOf[j]); l > size {
+			size = l
+		}
+	}
+	cp.onesVal = make([]float64, size)
+	for i := range cp.onesVal {
+		cp.onesVal[i] = 1
+	}
+	cp.idxAll = make([]int, len(cp.cells))
+	for i := range cp.idxAll {
+		cp.idxAll[i] = i
+	}
 	return cp, nil
 }
 
@@ -267,9 +352,43 @@ func (cp *cellProblem) constraintIdx() []int {
 	return idx
 }
 
+// buildInto assembles the same LP buildLP does, but into the context's
+// reused problem shell: rows are pushed as references to the cellProblem's
+// immutable index/coefficient slices, so assembling a variant (direction,
+// relaxation, forbidden cells) costs no row allocation. The row order is
+// identical to buildLP's, which keeps solves bit-identical.
+func (cp *cellProblem) buildInto(sc *solveCtx, obj []float64, maximize bool, forbidZero []bool, atLeastOne bool, relaxKLo bool) *lp.Problem {
+	p := &sc.prob
+	p.Reset(obj, maximize)
+	for _, j := range cp.consIdx {
+		idx := cp.cellsOf[j]
+		val := cp.onesVal[:len(idx)]
+		if !math.IsInf(cp.kHi[j], 1) {
+			_ = p.PushRow(idx, val, lp.LE, cp.kHi[j])
+		}
+		if !relaxKLo && cp.kLo[j] > 0 {
+			_ = p.PushRow(idx, val, lp.GE, cp.kLo[j])
+		}
+	}
+	for i := range cp.cells {
+		if forbidZero != nil && forbidZero[i] {
+			_ = p.PushRow(cp.idxAll[i:i+1], cp.onesVal[:1], lp.LE, 0)
+			continue
+		}
+		if !math.IsInf(cp.capHi[i], 1) {
+			_ = p.PushRow(cp.idxAll[i:i+1], cp.onesVal[:1], lp.LE, cp.capHi[i])
+		}
+	}
+	if atLeastOne {
+		_ = p.PushRow(cp.idxAll, cp.onesVal[:len(cp.cells)], lp.GE, 1)
+	}
+	return p
+}
+
 // buildLP assembles the base LP (no objective semantics; obj must have one
 // coefficient per cell). forbidZero lists cells constrained to x=0, and
-// atLeastOne adds Σx ≥ 1. relaxKLo drops frequency lower bounds.
+// atLeastOne adds Σx ≥ 1. relaxKLo drops frequency lower bounds. It is the
+// reference-path assembly; hot paths use buildInto.
 func (cp *cellProblem) buildLP(obj []float64, maximize bool, forbidZero []bool, atLeastOne bool, relaxKLo bool) *lp.Problem {
 	var p *lp.Problem
 	if maximize {
@@ -318,10 +437,18 @@ type solveResult struct {
 
 // solve optimizes obj over the cell problem in the given direction, relaxing
 // frequency lower bounds if the system is infeasible (constraint
-// reconciliation).
-func (cp *cellProblem) solve(obj []float64, maximize bool, forbidZero []bool, atLeastOne bool, mopts milp.Options) solveResult {
+// reconciliation). sc supplies the reusable assembly/solve workspace; nil
+// (Reference mode) rebuilds the LP from scratch per attempt, as the seed
+// implementation did.
+func (cp *cellProblem) solve(sc *solveCtx, obj []float64, maximize bool, forbidZero []bool, atLeastOne bool, mopts milp.Options) solveResult {
 	for _, relax := range []bool{false, true} {
-		p := cp.buildLP(obj, maximize, forbidZero, atLeastOne, relax)
+		var p *lp.Problem
+		if sc != nil {
+			p = cp.buildInto(sc, obj, maximize, forbidZero, atLeastOne, relax)
+			mopts.Ctx = &sc.lp
+		} else {
+			p = cp.buildLP(obj, maximize, forbidZero, atLeastOne, relax)
+		}
 		var sol milp.Solution
 		if maximize {
 			sol = milp.SolveMax(milp.Problem{LP: p}, mopts)
@@ -348,11 +475,21 @@ func (cp *cellProblem) solve(obj []float64, maximize bool, forbidZero []bool, at
 
 // feasible reports whether any allocation satisfies the constraints with the
 // given cell restrictions.
-func (cp *cellProblem) feasible(forbidZero []bool, atLeastOne bool, minOne int, mopts milp.Options) bool {
-	obj := make([]float64, len(cp.cells))
-	p := cp.buildLP(obj, true, forbidZero, atLeastOne, false)
-	if minOne >= 0 {
-		_ = p.AddSparse([]int{minOne}, []float64{1}, lp.GE, 1)
+func (cp *cellProblem) feasible(sc *solveCtx, forbidZero []bool, atLeastOne bool, minOne int, mopts milp.Options) bool {
+	var p *lp.Problem
+	if sc != nil {
+		zeros := sc.zeroObj(len(cp.cells))
+		p = cp.buildInto(sc, zeros, true, forbidZero, atLeastOne, false)
+		if minOne >= 0 {
+			_ = p.PushRow(cp.idxAll[minOne:minOne+1], cp.onesVal[:1], lp.GE, 1)
+		}
+		mopts.Ctx = &sc.lp
+	} else {
+		obj := make([]float64, len(cp.cells))
+		p = cp.buildLP(obj, true, forbidZero, atLeastOne, false)
+		if minOne >= 0 {
+			_ = p.AddSparse([]int{minOne}, []float64{1}, lp.GE, 1)
+		}
 	}
 	sol := milp.SolveMax(milp.Problem{LP: p}, mopts)
 	return sol.Status == milp.Optimal || sol.Status == milp.Feasible
@@ -361,7 +498,7 @@ func (cp *cellProblem) feasible(forbidZero []bool, atLeastOne bool, minOne int, 
 // mayBeEmpty reports whether the zero allocation is feasible (no forced
 // rows inside the query region).
 func (cp *cellProblem) mayBeEmpty() bool {
-	for _, j := range cp.constraintIdx() {
+	for _, j := range cp.consIdx {
 		if cp.kLo[j] > 0 {
 			return false
 		}

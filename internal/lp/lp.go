@@ -5,6 +5,13 @@
 // per decomposition cell and two constraint rows per predicate-constraint —
 // so a dense tableau with Bland's-rule anti-cycling is exact, dependency-free
 // and fast.
+//
+// Rows are stored sparsely and only densified into the simplex tableau at
+// solve time, so problems are cheap to assemble, clone, and (via PushRow /
+// PopRow) to extend and retract — branch-and-bound materializes a node's
+// bound rows onto a shared base problem instead of deep-copying it. Solve
+// allocates a fresh tableau per call; a reusable Context (context.go) keeps
+// the tableau arenas alive across solves and produces bit-identical results.
 package lp
 
 import (
@@ -67,9 +74,13 @@ func (s Status) String() string {
 	}
 }
 
-// constraint is a dense row a·x (sense) rhs.
+// constraint is one row a·x (sense) rhs. Exactly one representation is set:
+// dense holds a full coefficient vector; otherwise (idx, val) hold the
+// non-zero entries (duplicate indices accumulate).
 type constraint struct {
-	a     []float64
+	dense []float64
+	idx   []int
+	val   []float64
 	sense Sense
 	rhs   float64
 }
@@ -97,6 +108,16 @@ func NewMinimize(c []float64) *Problem {
 	return &Problem{n: len(c), c: append([]float64(nil), c...), maximize: false}
 }
 
+// Reset re-initializes the problem in place: new objective, zero rows,
+// retained row capacity. Solve contexts use it to rebuild per-query row sets
+// without reallocating the problem.
+func (p *Problem) Reset(c []float64, maximize bool) {
+	p.n = len(c)
+	p.c = append(p.c[:0], c...)
+	p.maximize = maximize
+	p.cons = p.cons[:0]
+}
+
 // N returns the number of structural variables.
 func (p *Problem) N() int { return p.n }
 
@@ -109,7 +130,13 @@ func (p *Problem) Clone() *Problem {
 	q := &Problem{n: p.n, c: append([]float64(nil), p.c...), maximize: p.maximize}
 	q.cons = make([]constraint, len(p.cons))
 	for i, con := range p.cons {
-		q.cons[i] = constraint{a: append([]float64(nil), con.a...), sense: con.sense, rhs: con.rhs}
+		q.cons[i] = constraint{
+			dense: append([]float64(nil), con.dense...),
+			idx:   append([]int(nil), con.idx...),
+			val:   append([]float64(nil), con.val...),
+			sense: con.sense,
+			rhs:   con.rhs,
+		}
 	}
 	return q
 }
@@ -119,23 +146,56 @@ func (p *Problem) AddDense(a []float64, sense Sense, rhs float64) error {
 	if len(a) != p.n {
 		return fmt.Errorf("lp: coefficient row has %d entries, want %d", len(a), p.n)
 	}
-	p.cons = append(p.cons, constraint{a: append([]float64(nil), a...), sense: sense, rhs: rhs})
+	p.cons = append(p.cons, constraint{dense: append([]float64(nil), a...), sense: sense, rhs: rhs})
 	return nil
 }
 
-// AddSparse adds the constraint Σ val[k]·x[idx[k]] (sense) rhs.
+// AddSparse adds the constraint Σ val[k]·x[idx[k]] (sense) rhs. idx and val
+// are copied.
 func (p *Problem) AddSparse(idx []int, val []float64, sense Sense, rhs float64) error {
+	if err := p.checkSparse(idx, val); err != nil {
+		return err
+	}
+	p.cons = append(p.cons, constraint{
+		idx:   append([]int(nil), idx...),
+		val:   append([]float64(nil), val...),
+		sense: sense,
+		rhs:   rhs,
+	})
+	return nil
+}
+
+// PushRow appends the constraint Σ val[k]·x[idx[k]] (sense) rhs WITHOUT
+// copying idx and val: the caller must keep both unchanged for as long as
+// the row is pushed. Together with PopRow this gives branch-and-bound O(1)
+// row append/retract on a shared problem, instead of deep-cloning the
+// problem per node.
+func (p *Problem) PushRow(idx []int, val []float64, sense Sense, rhs float64) error {
+	if err := p.checkSparse(idx, val); err != nil {
+		return err
+	}
+	p.cons = append(p.cons, constraint{idx: idx, val: val, sense: sense, rhs: rhs})
+	return nil
+}
+
+// PopRow removes the most recently added constraint row.
+func (p *Problem) PopRow() {
+	if len(p.cons) == 0 {
+		return
+	}
+	p.cons[len(p.cons)-1] = constraint{} // release references
+	p.cons = p.cons[:len(p.cons)-1]
+}
+
+func (p *Problem) checkSparse(idx []int, val []float64) error {
 	if len(idx) != len(val) {
 		return errors.New("lp: sparse index/value length mismatch")
 	}
-	a := make([]float64, p.n)
-	for k, i := range idx {
+	for _, i := range idx {
 		if i < 0 || i >= p.n {
 			return fmt.Errorf("lp: variable index %d out of range [0,%d)", i, p.n)
 		}
-		a[i] += val[k]
 	}
-	p.cons = append(p.cons, constraint{a: a, sense: sense, rhs: rhs})
 	return nil
 }
 
@@ -166,273 +226,10 @@ type Solution struct {
 	Iterations int
 }
 
-const (
-	eps = 1e-9
-	// blandAfter switches pivoting from Dantzig's rule to Bland's rule after
-	// this many pivots, guaranteeing termination on degenerate problems.
-	blandAfter = 2000
-)
-
-// Solve runs two-phase primal simplex and returns the solution.
+// Solve runs two-phase primal simplex and returns the solution. It is
+// equivalent to solving with a fresh Context; reuse a Context on hot paths
+// to avoid re-allocating the tableau (results are bit-identical).
 func Solve(p *Problem) Solution {
-	m := len(p.cons)
-	if p.n == 0 {
-		return Solution{Status: Optimal, Objective: 0, X: nil}
-	}
-	// Internally always maximize; flip sign for minimization problems.
-	c := make([]float64, p.n)
-	sign := 1.0
-	if !p.maximize {
-		sign = -1.0
-	}
-	for i, v := range p.c {
-		c[i] = sign * v
-	}
-
-	// Normalize rows to non-negative rhs and count auxiliary columns.
-	type rowSpec struct {
-		a     []float64
-		rhs   float64
-		sense Sense
-	}
-	rows := make([]rowSpec, m)
-	nSlack, nArt := 0, 0
-	for i, con := range p.cons {
-		a := append([]float64(nil), con.a...)
-		rhs := con.rhs
-		sense := con.sense
-		if rhs < 0 {
-			for j := range a {
-				a[j] = -a[j]
-			}
-			rhs = -rhs
-			switch sense {
-			case LE:
-				sense = GE
-			case GE:
-				sense = LE
-			}
-		}
-		rows[i] = rowSpec{a: a, rhs: rhs, sense: sense}
-		switch sense {
-		case LE:
-			nSlack++
-		case GE:
-			nSlack++
-			nArt++
-		case EQ:
-			nArt++
-		}
-	}
-
-	total := p.n + nSlack + nArt
-	artStart := p.n + nSlack
-	t := &tableau{
-		m:     m,
-		n:     total,
-		rows:  make([][]float64, m),
-		basis: make([]int, m),
-	}
-	slackCol, artCol := p.n, artStart
-	needPhase1 := false
-	for i, r := range rows {
-		row := make([]float64, total+1)
-		copy(row, r.a)
-		row[total] = r.rhs
-		switch r.sense {
-		case LE:
-			row[slackCol] = 1
-			t.basis[i] = slackCol
-			slackCol++
-		case GE:
-			row[slackCol] = -1
-			slackCol++
-			row[artCol] = 1
-			t.basis[i] = artCol
-			artCol++
-			needPhase1 = true
-		case EQ:
-			row[artCol] = 1
-			t.basis[i] = artCol
-			artCol++
-			needPhase1 = true
-		}
-		t.rows[i] = row
-	}
-
-	iters := 0
-	if needPhase1 {
-		// Phase 1: maximize -Σ artificials.
-		obj := make([]float64, total+1)
-		for j := artStart; j < total; j++ {
-			obj[j] = -1
-		}
-		t.setObjective(obj)
-		st, it := t.optimize(artStart) // artificials may not re-enter? they may; block them only in phase 2
-		iters += it
-		if st == Unbounded {
-			// Phase 1 objective is bounded above by 0; unbounded means a bug.
-			return Solution{Status: Infeasible, Iterations: iters}
-		}
-		if st == IterLimit {
-			return Solution{Status: IterLimit, Iterations: iters}
-		}
-		if -t.objValue() > eps {
-			return Solution{Status: Infeasible, Objective: 0, Iterations: iters}
-		}
-		// Drive remaining artificial variables out of the basis.
-		for i := 0; i < t.m; i++ {
-			if t.basis[i] < artStart {
-				continue
-			}
-			pivoted := false
-			for j := 0; j < artStart; j++ {
-				if math.Abs(t.rows[i][j]) > eps {
-					t.pivot(i, j)
-					pivoted = true
-					break
-				}
-			}
-			if !pivoted {
-				// Redundant row: zero it out; keep the artificial basic at 0.
-				for j := 0; j < artStart; j++ {
-					t.rows[i][j] = 0
-				}
-				t.rows[i][total] = 0
-			}
-		}
-	}
-
-	// Phase 2: real objective; artificial columns are frozen out.
-	obj := make([]float64, total+1)
-	copy(obj, c)
-	t.setObjective(obj)
-	st, it := t.optimize(artStart)
-	iters += it
-	switch st {
-	case Unbounded:
-		return Solution{Status: Unbounded, Iterations: iters}
-	case IterLimit:
-		return Solution{Status: IterLimit, Iterations: iters}
-	}
-	x := make([]float64, p.n)
-	for i, b := range t.basis {
-		if b < p.n {
-			x[b] = t.rows[i][total]
-		}
-	}
-	objVal := 0.0
-	for i := range x {
-		objVal += p.c[i] * x[i]
-	}
-	return Solution{Status: Optimal, Objective: objVal, X: x, Iterations: iters}
-}
-
-// tableau is a dense simplex tableau with an explicit reduced-cost row.
-type tableau struct {
-	m, n  int
-	rows  [][]float64 // m rows of n+1 entries (rhs last)
-	obj   []float64   // n+1: reduced costs, obj[n] = -objectiveValue
-	basis []int
-}
-
-func (t *tableau) objValue() float64 { return -t.obj[t.n] }
-
-// setObjective installs a fresh objective c (length n+1, rhs entry ignored)
-// and prices it out against the current basis.
-func (t *tableau) setObjective(c []float64) {
-	t.obj = append([]float64(nil), c...)
-	t.obj[t.n] = 0
-	for i, b := range t.basis {
-		cb := c[b]
-		if cb == 0 {
-			continue
-		}
-		row := t.rows[i]
-		for j := 0; j <= t.n; j++ {
-			t.obj[j] -= cb * row[j]
-		}
-	}
-}
-
-// pivot performs a Gauss-Jordan pivot at (pr, pc).
-func (t *tableau) pivot(pr, pc int) {
-	prow := t.rows[pr]
-	pv := prow[pc]
-	inv := 1 / pv
-	for j := 0; j <= t.n; j++ {
-		prow[j] *= inv
-	}
-	prow[pc] = 1 // kill residual rounding
-	for i := 0; i < t.m; i++ {
-		if i == pr {
-			continue
-		}
-		row := t.rows[i]
-		f := row[pc]
-		if f == 0 {
-			continue
-		}
-		for j := 0; j <= t.n; j++ {
-			row[j] -= f * prow[j]
-		}
-		row[pc] = 0
-	}
-	f := t.obj[pc]
-	if f != 0 {
-		for j := 0; j <= t.n; j++ {
-			t.obj[j] -= f * prow[j]
-		}
-		t.obj[pc] = 0
-	}
-	t.basis[pr] = pc
-}
-
-// optimize runs primal simplex until optimal/unbounded/limit. Columns with
-// index >= colLimit are not allowed to enter the basis (used to freeze
-// artificials in phase 2).
-func (t *tableau) optimize(colLimit int) (Status, int) {
-	maxIters := 10000 + 50*(t.m+t.n)
-	for iter := 0; iter < maxIters; iter++ {
-		bland := iter >= blandAfter
-		// Entering column: positive reduced cost (we maximize, obj row holds
-		// c - z).
-		pc := -1
-		best := eps
-		for j := 0; j < colLimit; j++ {
-			if t.obj[j] > eps {
-				if bland {
-					pc = j
-					break
-				}
-				if t.obj[j] > best {
-					best = t.obj[j]
-					pc = j
-				}
-			}
-		}
-		if pc < 0 {
-			return Optimal, iter
-		}
-		// Ratio test.
-		pr := -1
-		bestRatio := math.Inf(1)
-		for i := 0; i < t.m; i++ {
-			a := t.rows[i][pc]
-			if a <= eps {
-				continue
-			}
-			ratio := t.rows[i][t.n] / a
-			if ratio < bestRatio-eps ||
-				(ratio < bestRatio+eps && pr >= 0 && t.basis[i] < t.basis[pr]) {
-				bestRatio = ratio
-				pr = i
-			}
-		}
-		if pr < 0 {
-			return Unbounded, iter
-		}
-		t.pivot(pr, pc)
-	}
-	return IterLimit, maxIters
+	var cx Context
+	return cx.Solve(p)
 }

@@ -9,6 +9,17 @@
 // returns both the best integer incumbent and the tightest proven relaxation
 // bound, and internal/core uses the bound when the node budget expires —
 // bounds get looser, never wrong.
+//
+// The search keeps one shared LP: each node records only its branch rows (a
+// persistent path of single-variable bounds), materialized onto the base
+// problem with PushRow/PopRow for the node's single LP solve, whose solution
+// is cached on the node. Compared to the reference implementation
+// (reference.go) this removes the per-child problem deep copy and the
+// second, redundant solve of every expanded node, while visiting exactly the
+// same tree and producing bit-identical solutions. Options.WarmStart
+// additionally re-optimizes children from the parent's optimal basis via
+// dual simplex — faster still, but pivot paths (and last-ulp rounding) may
+// then differ from the cold path.
 package milp
 
 import (
@@ -21,7 +32,9 @@ import (
 // Problem is a mixed-integer LP: the base LP plus integrality flags.
 type Problem struct {
 	// LP is the underlying linear program (variables are non-negative;
-	// bounds are rows). The problem takes ownership of it.
+	// bounds are rows). The problem takes ownership of it; the solver may
+	// temporarily push rows onto it during the search but always restores
+	// it before returning.
 	LP *lp.Problem
 	// Integer marks which variables must take integer values. A nil slice
 	// means all variables are integral (the common case in this system,
@@ -36,6 +49,18 @@ type Options struct {
 	MaxNodes int
 	// IntTol is the integrality tolerance. Zero means 1e-6.
 	IntTol float64
+	// WarmStart re-optimizes child relaxations from the parent node's
+	// optimal basis (dual simplex) instead of solving cold. Off by default:
+	// warm-started pivot sequences can differ in last-ulp rounding, and the
+	// default configuration guarantees results bit-identical to Reference.
+	WarmStart bool
+	// Ctx optionally supplies a reusable LP solve context (one per worker);
+	// nil allocates a private one per Solve call.
+	Ctx *lp.Context
+	// Reference forces the original clone-per-child, solve-twice
+	// branch-and-bound (reference.go). It exists for differential testing
+	// and benchmarking; results are bit-identical to the default path.
+	Reference bool
 }
 
 // DefaultMaxNodes is the node budget used when Options.MaxNodes is zero.
@@ -91,10 +116,25 @@ type Solution struct {
 	Nodes int
 }
 
+// branchRow is one branching decision: x[idx] (sense) rhs. Nodes share their
+// ancestors' rows through prev, so a node's constraint set is its root-to-
+// node path — materialized onto the shared base LP only while the node's
+// relaxation is being solved.
+type branchRow struct {
+	prev  *branchRow
+	sense lp.Sense
+	rhs   float64
+	idx   [1]int
+	val   [1]float64
+	depth int
+}
+
 type node struct {
-	prob  *lp.Problem
+	path  *branchRow
 	bound float64 // LP relaxation objective (in maximization orientation)
 	depth int
+	sol   lp.Solution // cached relaxation solution (solved once, at creation)
+	basis []int       // optimal basis for warm-starting children (WarmStart only)
 }
 
 type nodeQueue []*node
@@ -112,11 +152,6 @@ func (q *nodeQueue) Pop() interface{} {
 	return it
 }
 
-// Maximize reports whether the problem's LP maximizes. The lp package does
-// not expose orientation, so callers of Solve pass it explicitly via the
-// constructor helpers below.
-type orientation bool
-
 // SolveMax solves a maximization MILP.
 func SolveMax(p Problem, opts Options) Solution { return solve(p, opts, true) }
 
@@ -124,11 +159,18 @@ func SolveMax(p Problem, opts Options) Solution { return solve(p, opts, true) }
 func SolveMin(p Problem, opts Options) Solution { return solve(p, opts, false) }
 
 func solve(p Problem, opts Options, maximize bool) Solution {
+	if opts.Reference {
+		return solveReference(p, opts, maximize)
+	}
 	if opts.MaxNodes <= 0 {
 		opts.MaxNodes = DefaultMaxNodes
 	}
 	if opts.IntTol <= 0 {
 		opts.IntTol = 1e-6
+	}
+	cx := opts.Ctx
+	if cx == nil {
+		cx = &lp.Context{}
 	}
 	isInt := func(i int) bool {
 		if p.Integer == nil {
@@ -143,8 +185,7 @@ func solve(p Problem, opts Options, maximize bool) Solution {
 		dir = -1.0
 	}
 
-	root := &node{prob: p.LP}
-	sol := lp.Solve(root.prob)
+	sol := cx.Solve(p.LP)
 	switch sol.Status {
 	case lp.Infeasible:
 		return Solution{Status: Infeasible, Nodes: 1}
@@ -154,7 +195,10 @@ func solve(p Problem, opts Options, maximize bool) Solution {
 		// Extremely rare; treat conservatively as an unbounded relaxation.
 		return Solution{Status: BoundOnly, Bound: dir * math.Inf(1), Nodes: 1}
 	}
-	root.bound = dir * sol.Objective
+	root := &node{bound: dir * sol.Objective, sol: sol}
+	if opts.WarmStart {
+		root.basis = cx.Basis()
+	}
 
 	var (
 		best      []float64
@@ -162,8 +206,33 @@ func solve(p Problem, opts Options, maximize bool) Solution {
 		haveBest  bool
 		nodes     int
 		openQueue = &nodeQueue{}
+		pathBuf   []*branchRow // materialization scratch (root-first ordering)
 	)
 	heap.Init(openQueue)
+
+	// solveNode materializes the node path onto the shared base LP, solves
+	// the relaxation (warm-started from the parent basis when enabled), and
+	// restores the LP.
+	solveNode := func(path *branchRow, parentBasis []int) lp.Solution {
+		pathBuf = pathBuf[:0]
+		for r := path; r != nil; r = r.prev {
+			pathBuf = append(pathBuf, r)
+		}
+		for i := len(pathBuf) - 1; i >= 0; i-- {
+			r := pathBuf[i]
+			_ = p.LP.PushRow(r.idx[:], r.val[:], r.sense, r.rhs)
+		}
+		var s lp.Solution
+		if opts.WarmStart && parentBasis != nil {
+			s = cx.SolveFrom(p.LP, parentBasis)
+		} else {
+			s = cx.Solve(p.LP)
+		}
+		for range pathBuf {
+			p.LP.PopRow()
+		}
+		return s
+	}
 
 	process := func(n *node, lpSol lp.Solution) {
 		// Find the most fractional integer variable.
@@ -194,12 +263,15 @@ func solve(p Problem, opts Options, maximize bool) Solution {
 			return
 		}
 		v := lpSol.X[fracIdx]
-		down := n.prob.Clone()
-		_ = down.AddSparse([]int{fracIdx}, []float64{1}, lp.LE, math.Floor(v))
-		up := n.prob.Clone()
-		_ = up.AddSparse([]int{fracIdx}, []float64{1}, lp.GE, math.Ceil(v))
-		for _, child := range []*lp.Problem{down, up} {
-			cs := lp.Solve(child)
+		for _, branch := range [2]struct {
+			sense lp.Sense
+			rhs   float64
+		}{{lp.LE, math.Floor(v)}, {lp.GE, math.Ceil(v)}} {
+			childPath := &branchRow{
+				prev: n.path, sense: branch.sense, rhs: branch.rhs,
+				idx: [1]int{fracIdx}, val: [1]float64{1}, depth: n.depth + 1,
+			}
+			cs := solveNode(childPath, n.basis)
 			nodes++
 			if cs.Status != lp.Optimal {
 				continue
@@ -208,7 +280,11 @@ func solve(p Problem, opts Options, maximize bool) Solution {
 			if haveBest && cb <= bestObj+1e-9 {
 				continue // pruned by bound
 			}
-			heap.Push(openQueue, &node{prob: child, bound: cb, depth: n.depth + 1})
+			child := &node{path: childPath, bound: cb, depth: n.depth + 1, sol: cs}
+			if opts.WarmStart {
+				child.basis = cx.Basis()
+			}
+			heap.Push(openQueue, child)
 		}
 	}
 
@@ -219,11 +295,9 @@ func solve(p Problem, opts Options, maximize bool) Solution {
 		if haveBest && n.bound <= bestObj+1e-9 {
 			continue
 		}
-		ns := lp.Solve(n.prob)
-		if ns.Status != lp.Optimal {
-			continue
-		}
-		process(n, ns)
+		// The node's relaxation was solved when it was created; the cached
+		// solution replaces the reference implementation's re-solve.
+		process(n, n.sol)
 	}
 
 	// The global outer bound is the max of the incumbent and all open nodes.

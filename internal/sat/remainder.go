@@ -13,43 +13,19 @@ import "pcbound/internal/domain"
 func (s *Solver) RemainderBoxes(b domain.Box, neg []domain.Box) []domain.Box {
 	s.checks.Add(1)
 	var out []domain.Box
-	s.remainder(b, neg, &out)
+	if s.reference {
+		s.remainderRec(b, neg, &out)
+		return out
+	}
+	sc := s.getScratch()
+	sc.mode = modeCollect
+	sc.collected = nil
+	s.search(sc, b, neg)
+	out = sc.collected
+	sc.collected = nil
+	s.nodes.Add(sc.nodes)
+	s.putScratch(sc)
 	return out
-}
-
-func (s *Solver) remainder(b domain.Box, neg []domain.Box, out *[]domain.Box) {
-	s.nodes.Add(1)
-	if b.EmptyFor(s.schema) {
-		return
-	}
-	for i, n := range neg {
-		inter := b.Intersect(n)
-		if inter.EmptyFor(s.schema) {
-			continue
-		}
-		if n.ContainsBox(b) {
-			return
-		}
-		rest := neg[i+1:]
-		cur := b.Clone()
-		for d := range cur {
-			kind := s.schema.Attr(d).Kind
-			if cur[d].Lo < n[d].Lo {
-				piece := cur.Clone()
-				piece[d] = domain.Interval{Lo: cur[d].Lo, Hi: pred(n[d].Lo, kind)}
-				s.remainder(piece, rest, out)
-				cur[d].Lo = n[d].Lo
-			}
-			if cur[d].Hi > n[d].Hi {
-				piece := cur.Clone()
-				piece[d] = domain.Interval{Lo: succ(n[d].Hi, kind), Hi: cur[d].Hi}
-				s.remainder(piece, rest, out)
-				cur[d].Hi = n[d].Hi
-			}
-		}
-		return
-	}
-	*out = append(*out, b)
 }
 
 // Projection returns the tightest interval attribute dim can take over

@@ -12,15 +12,17 @@
 // negated predicate boxes. Such an expression is satisfiable iff the region
 // B \ (N₁ ∪ … ∪ Nₖ) contains a point of the schema lattice (continuous
 // attributes: any real; integral attributes: an integer). The solver decides
-// this exactly by recursive box subtraction: it carves B against each
-// overlapping Nᵢ into at most 2·dims disjoint remainder boxes and recurses,
+// this exactly by box subtraction: it carves B against each overlapping Nᵢ
+// into at most 2·dims disjoint remainder boxes and continues into each,
 // exiting early on the first witness point found. This is a complete
-// decision procedure for the fragment, unlike a generic SMT encoding it is
-// allocation-light and typically runs in microseconds.
+// decision procedure for the fragment; unlike a generic SMT encoding it is
+// allocation-free on the hot path (see arena.go) and typically runs in
+// microseconds.
 package sat
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"pcbound/internal/domain"
@@ -32,7 +34,7 @@ import (
 type Stats struct {
 	// Checks is the number of top-level satisfiability queries.
 	Checks int64
-	// Nodes is the number of box-subtraction recursion nodes visited.
+	// Nodes is the number of box-subtraction search nodes visited.
 	Nodes int64
 }
 
@@ -40,17 +42,39 @@ type Stats struct {
 // over a fixed schema. Solvers are safe for concurrent use.
 type Solver struct {
 	schema *domain.Schema
-	checks atomic.Int64
-	nodes  atomic.Int64
+	// kinds caches the per-dimension attribute kinds so lattice-aware
+	// emptiness/overlap tests skip the Attr struct copy on every probe.
+	kinds       []domain.Kind
+	reference   bool
+	checks      atomic.Int64
+	nodes       atomic.Int64
+	scratchPool sync.Pool // of *scratch
 }
 
 // New returns a solver for the schema.
-func New(s *domain.Schema) *Solver { return &Solver{schema: s} }
+func New(s *domain.Schema) *Solver {
+	kinds := make([]domain.Kind, s.Len())
+	for i := range kinds {
+		kinds[i] = s.Attr(i).Kind
+	}
+	return &Solver{schema: s, kinds: kinds}
+}
+
+// UseReference switches the solver to the recursive reference implementation
+// (the pre-optimization search in reference.go). It exists for differential
+// testing and for benchmarking the optimized engine against its baseline;
+// results are bit-identical either way. Must be called before the solver is
+// shared across goroutines.
+func (s *Solver) UseReference(on bool) { s.reference = on }
 
 // Clone returns a fresh solver over the same schema with zeroed counters.
 // Batch engines hand each worker its own clone so per-worker statistics stay
 // attributable, then fold them back with AddStats.
-func (s *Solver) Clone() *Solver { return New(s.schema) }
+func (s *Solver) Clone() *Solver {
+	c := New(s.schema)
+	c.reference = s.reference
+	return c
+}
 
 // AddStats folds another solver's counters into this one.
 func (s *Solver) AddStats(st Stats) {
@@ -103,50 +127,17 @@ func (s *Solver) SatBoxes(b domain.Box, neg []domain.Box) bool {
 
 // uncovered searches for a lattice point of b outside every box in neg.
 func (s *Solver) uncovered(b domain.Box, neg []domain.Box) (domain.Row, bool) {
-	s.nodes.Add(1)
-	if b.EmptyFor(s.schema) {
-		return nil, false
+	if s.reference {
+		return s.uncoveredRec(b, neg)
 	}
-	for i, n := range neg {
-		inter := b.Intersect(n)
-		if inter.EmptyFor(s.schema) {
-			continue
-		}
-		if n.ContainsBox(b) {
-			return nil, false
-		}
-		// Subtract n from b. Sweep the dimensions; at each dimension peel off
-		// the parts of the current box lying strictly below / above n's
-		// interval, recursing into each remainder. What is left after the
-		// sweep is contained in n and therefore covered.
-		//
-		// Negative boxes with index < i do not overlap b (checked above), so
-		// remainders only need to be tested against neg[i+1:].
-		rest := neg[i+1:]
-		cur := b.Clone()
-		for d := range cur {
-			kind := s.schema.Attr(d).Kind
-			if cur[d].Lo < n[d].Lo {
-				piece := cur.Clone()
-				piece[d] = domain.Interval{Lo: cur[d].Lo, Hi: pred(n[d].Lo, kind)}
-				if w, ok := s.uncovered(piece, rest); ok {
-					return w, true
-				}
-				cur[d].Lo = n[d].Lo
-			}
-			if cur[d].Hi > n[d].Hi {
-				piece := cur.Clone()
-				piece[d] = domain.Interval{Lo: succ(n[d].Hi, kind), Hi: cur[d].Hi}
-				if w, ok := s.uncovered(piece, rest); ok {
-					return w, true
-				}
-				cur[d].Hi = n[d].Hi
-			}
-		}
-		return nil, false
-	}
-	// No negative box overlaps b: any representative point is a witness.
-	return b.Representative(s.schema), true
+	sc := s.getScratch()
+	sc.mode = modeWitness
+	found := s.search(sc, b, neg)
+	w := sc.witness
+	sc.witness = nil
+	s.nodes.Add(sc.nodes)
+	s.putScratch(sc)
+	return w, found
 }
 
 // pred returns the largest lattice value strictly below v.
