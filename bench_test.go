@@ -448,6 +448,145 @@ func BenchmarkHotPathWarmStart(b *testing.B) {
 	}
 }
 
+// --- Constraint-store benchmarks (PR 3) ---
+
+// incrementalStore builds a store of overlapping constraint "chains" along an
+// integral axis plus an all-aggregate workload over sliding query windows.
+// Each window overlaps only a few constraints, so a single-constraint
+// mutation leaves most windows' decompositions untouched — exactly the
+// situation scoped cache invalidation targets.
+func incrementalStore() (*core.Store, []core.PCID, []core.Query) {
+	schema := domain.NewSchema(
+		domain.Attr{Name: "x", Kind: domain.Integral, Domain: domain.NewInterval(0, 99)},
+		domain.Attr{Name: "v", Kind: domain.Continuous, Domain: domain.NewInterval(0, 100)},
+	)
+	store := core.NewStore(schema)
+	var pcs []core.PC
+	for i := 0; i < 30; i++ {
+		lo := float64(3 * i)
+		pcs = append(pcs, core.MustPC(
+			// Width-12 boxes every 3 steps: ~4 constraints overlap each
+			// lattice point, so each query window decomposes into many cells
+			// and the DFS+SAT+projection work dominates the per-window MILP.
+			predicate.NewBuilder(schema).Range("x", lo, lo+12).Build(),
+			map[string]domain.Interval{"v": domain.NewInterval(0, 40+float64(i%4)*10)},
+			i%3, 6+i%5,
+		))
+	}
+	ids, err := store.AddPCs(pcs...)
+	if err != nil {
+		panic(err)
+	}
+	var queries []core.Query
+	for j := 0; j < 9; j++ {
+		where := predicate.NewBuilder(schema).Range("x", float64(10*j), float64(10*j+12)).Build()
+		for _, agg := range []core.Agg{core.Count, core.Sum} {
+			queries = append(queries, core.Query{Agg: agg, Attr: "v", Where: where})
+		}
+	}
+	return store, ids, queries
+}
+
+// mutateStore tightens one constraint in place (cycling through the store by
+// step), bumping the epoch.
+func mutateStore(store *core.Store, ids []core.PCID, step int) error {
+	id := ids[step%len(ids)]
+	pc, ok := store.Get(id)
+	if !ok {
+		return fmt.Errorf("constraint %d disappeared", id)
+	}
+	if pc.KHi > pc.KLo {
+		pc.KHi--
+	} else {
+		pc.KHi += 4
+	}
+	return store.Replace(id, pc)
+}
+
+// BenchmarkIncrementalUpdate measures the mutate→rebound cycle: after each
+// Replace, re-bound the whole workload either (a) incrementally — Rebind the
+// engine to the new snapshot and keep the decomposition cache, whose scoped
+// invalidation retains every entry the mutation did not touch — or (b) from
+// scratch, building a fresh engine (cold cache, fresh solver) as the
+// pre-Store design required after any constraint change. The speedup
+// sub-benchmark runs both per mutation, verifies the Ranges are
+// bit-identical, and reports the wall-clock ratio plus how many cache
+// entries scoped invalidation retained per mutation.
+func BenchmarkIncrementalUpdate(b *testing.B) {
+	opts := core.Options{DisableFastPath: true}
+
+	b.Run("incremental", func(b *testing.B) {
+		store, ids, queries := incrementalStore()
+		engine := core.NewEngine(store, nil, opts)
+		if _, err := engine.BoundBatch(queries, core.BatchOptions{Parallelism: 1}); err != nil {
+			b.Fatal(err) // warm the cache before timing
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := mutateStore(store, ids, i); err != nil {
+				b.Fatal(err)
+			}
+			engine = engine.Rebind()
+			if _, err := engine.BoundBatch(queries, core.BatchOptions{Parallelism: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		store, ids, queries := incrementalStore()
+		for i := 0; i < b.N; i++ {
+			if err := mutateStore(store, ids, i); err != nil {
+				b.Fatal(err)
+			}
+			engine := core.NewEngine(store, nil, opts)
+			if _, err := engine.BoundBatch(queries, core.BatchOptions{Parallelism: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("speedup", func(b *testing.B) {
+		store, ids, queries := incrementalStore()
+		engine := core.NewEngine(store, nil, opts)
+		if _, err := engine.BoundBatch(queries, core.BatchOptions{Parallelism: 1}); err != nil {
+			b.Fatal(err)
+		}
+		var incTotal, rebTotal time.Duration
+		retainedBefore := engine.CacheStats().Retained
+		for i := 0; i < b.N; i++ {
+			if err := mutateStore(store, ids, i); err != nil {
+				b.Fatal(err)
+			}
+
+			start := time.Now()
+			engine = engine.Rebind()
+			got, err := engine.BoundBatch(queries, core.BatchOptions{Parallelism: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			incTotal += time.Since(start)
+
+			start = time.Now()
+			fresh := core.NewEngine(store, nil, opts)
+			want, err := fresh.BoundBatch(queries, core.BatchOptions{Parallelism: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rebTotal += time.Since(start)
+
+			for qi := range want {
+				if got[qi] != want[qi] {
+					b.Fatalf("mutation %d query %d (%v): incremental %+v != rebuild %+v",
+						i, qi, queries[qi].Agg, got[qi], want[qi])
+				}
+			}
+		}
+		retained := engine.CacheStats().Retained - retainedBefore
+		b.ReportMetric(float64(rebTotal)/float64(incTotal), "speedup")
+		b.ReportMetric(float64(retained)/float64(b.N), "retained_entries/op")
+		b.ReportMetric(float64(len(queries)), "queries")
+	})
+}
+
 // BenchmarkAblationEarlyStop measures the tightness/time trade of
 // Optimization 4 at several stop layers.
 func BenchmarkAblationEarlyStop(b *testing.B) {

@@ -1,6 +1,8 @@
-// Command pcrange computes a hard result range for one aggregate query from
-// a predicate-constraint specification, and optionally validates the
-// constraints against historical data.
+// Command pcrange computes hard result ranges for aggregate queries from a
+// predicate-constraint specification, validates the constraints against
+// historical data, and — in script mode — drives an evolving constraint
+// store interactively: add, tighten, and retract constraints and re-bound
+// queries without rebuilding the engine from scratch.
 //
 // Usage:
 //
@@ -8,9 +10,28 @@
 //	pcrange -spec constraints.json -agg COUNT -where "utc:11:12,branch:0:0"
 //	pcrange -spec constraints.json -agg COUNT,SUM,AVG,MIN,MAX -attr price
 //	pcrange -spec constraints.json -validate history.csv
+//	pcrange -spec constraints.json -script session.txt
+//	pcrange -spec constraints.json -script -          # read commands from stdin
 //
 // -agg accepts a comma-separated list; the queries are bounded as one batch
 // (-parallel controls the worker count).
+//
+// Script mode reads one command per line ('#' starts a comment):
+//
+//	bound AGGS [ATTR] [WHERE]   bound aggregates, e.g. "bound SUM,AVG price utc:11:12"
+//	                            (use "-" for ATTR with COUNT-only lists)
+//	add JSON                    add a constraint, e.g. add {"name":"late","predicate":{"utc":[21,30]},"klo":3,"khi":5}
+//	remove NAME|#N              retract a constraint by name or 1-based index
+//	replace NAME|#N JSON        swap a constraint in place (tighten/loosen)
+//	show                        list current constraints
+//	stats                       store epoch, decomposition-cache and SAT-solver counters
+//	closed                      incremental closure check (with witness if open)
+//	quit                        stop reading
+//
+// Mutations bump the store epoch and rebind the engine to the new snapshot;
+// cached decompositions for regions untouched by a mutation stay live, so a
+// mutate-and-rebound cycle is much cheaper than a cold start (see
+// internal/core's scoped invalidation).
 //
 // The spec file format:
 //
@@ -28,6 +49,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +58,7 @@ import (
 	"strings"
 
 	"pcbound/internal/core"
+	"pcbound/internal/domain"
 	"pcbound/internal/predicate"
 	"pcbound/internal/sat"
 	"pcbound/internal/table"
@@ -43,23 +66,38 @@ import (
 
 func main() {
 	var (
-		specPath = flag.String("spec", "", "path to the constraint spec JSON (required)")
-		agg      = flag.String("agg", "COUNT", "comma-separated aggregates: COUNT, SUM, AVG, MIN, MAX")
-		attr     = flag.String("attr", "", "aggregated attribute (for SUM/AVG/MIN/MAX)")
-		where    = flag.String("where", "", "predicate, e.g. \"utc:11:12,branch:0:0\"")
-		validate = flag.String("validate", "", "CSV of historical rows to test the constraints against")
-		parallel = flag.Int("parallel", 0, "worker goroutines for the query batch (0 or 1 = sequential, -1 = GOMAXPROCS)")
+		specPath   = flag.String("spec", "", "path to the constraint spec JSON (required)")
+		agg        = flag.String("agg", "COUNT", "comma-separated aggregates: COUNT, SUM, AVG, MIN, MAX")
+		attr       = flag.String("attr", "", "aggregated attribute (for SUM/AVG/MIN/MAX)")
+		where      = flag.String("where", "", "predicate, e.g. \"utc:11:12,branch:0:0\"")
+		validate   = flag.String("validate", "", "CSV of historical rows to test the constraints against")
+		scriptPath = flag.String("script", "", "mutate-and-rebound command script (\"-\" for stdin)")
+		parallel   = flag.Int("parallel", 0, "worker goroutines for the query batch (0 or 1 = sequential, -1 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *specPath == "" {
 		fail("missing -spec")
+	}
+	if *parallel < -1 {
+		fail("-parallel must be >= -1, got %d", *parallel)
+	}
+	if *scriptPath != "" {
+		// Script mode takes its queries from the script; silently ignoring
+		// explicitly passed query flags would let users mistake the script
+		// output for covering their flag-specified query.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "agg", "attr", "where", "validate":
+				fail("-%s cannot be combined with -script (put the query in the script's bound commands)", f.Name)
+			}
+		})
 	}
 
 	raw, err := os.ReadFile(*specPath)
 	if err != nil {
 		fail("%v", err)
 	}
-	set, schema, err := core.DecodeSet(raw)
+	store, schema, err := core.DecodeSet(raw)
 	if err != nil {
 		fail("%v", err)
 	}
@@ -74,9 +112,9 @@ func main() {
 		if err != nil {
 			fail("reading history: %v", err)
 		}
-		errs := set.Validate(tb.Rows())
+		errs := store.Validate(tb.Rows())
 		if len(errs) == 0 {
-			fmt.Printf("all %d constraints hold on %d historical rows\n", set.Len(), tb.Len())
+			fmt.Printf("all %d constraints hold on %d historical rows\n", store.Len(), tb.Len())
 			return
 		}
 		for _, e := range errs {
@@ -85,78 +123,338 @@ func main() {
 		os.Exit(2)
 	}
 
-	var wherePred *predicate.P
-	if *where != "" {
-		b := predicate.NewBuilder(schema)
-		for _, clause := range strings.Split(*where, ",") {
-			parts := strings.Split(clause, ":")
-			if len(parts) != 3 {
-				fail("bad where clause %q (want attr:lo:hi)", clause)
-			}
-			lo, err1 := strconv.ParseFloat(parts[1], 64)
-			hi, err2 := strconv.ParseFloat(parts[2], 64)
-			if err1 != nil || err2 != nil {
-				fail("bad bounds in %q", clause)
-			}
-			b.Range(parts[0], lo, hi)
-		}
-		wherePred = b.Build()
-	}
-
-	var queries []core.Query
-	var labels []string
-	for _, name := range strings.Split(*agg, ",") {
-		name = strings.ToUpper(strings.TrimSpace(name))
-		var aggKind core.Agg
-		switch name {
-		case "COUNT":
-			aggKind = core.Count
-		case "SUM":
-			aggKind = core.Sum
-		case "AVG":
-			aggKind = core.Avg
-		case "MIN":
-			aggKind = core.Min
-		case "MAX":
-			aggKind = core.Max
-		default:
-			fail("unknown aggregate %q", name)
-		}
-		if aggKind != core.Count && *attr == "" {
-			fail("-attr is required for %s", name)
-		}
-		queries = append(queries, core.Query{Agg: aggKind, Attr: *attr, Where: wherePred})
-		labels = append(labels, name)
-	}
-
-	solver := sat.New(schema)
-	engine := core.NewEngine(set, solver, core.Options{})
-	if !set.Closed(solver) {
-		if w, ok := set.Uncovered(solver); ok {
-			fmt.Fprintf(os.Stderr, "warning: constraint set is not closed (e.g. %v is uncovered); bounds hold only if no missing row falls outside all predicates\n", w)
-		}
-	}
 	par := *parallel
 	if par < 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	ranges, err := engine.BoundBatch(queries, core.BatchOptions{Parallelism: max(par, 1)})
+	if par < 1 {
+		par = 1
+	}
+
+	if *scriptPath != "" {
+		runScript(store, schema, *scriptPath, par)
+		return
+	}
+
+	// Single-shot mode: validate everything up front so bad flags produce a
+	// clear error instead of a late panic or a silent zero range.
+	queries, labels, err := parseQueries(schema, *agg, *attr, *where)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	solver := sat.New(schema)
+	engine := core.NewEngine(store, solver, core.Options{})
+	warnIfOpen(store, solver)
+	ranges, err := engine.BoundBatch(queries, core.BatchOptions{Parallelism: par})
 	if err != nil {
 		fail("%v", err)
 	}
 	for i, r := range ranges {
-		if r.Lo > r.Hi {
-			fmt.Printf("%s: no missing rows can match this query: aggregate undefined\n", labels[i])
-			continue
-		}
-		fmt.Printf("%s range: [%g, %g]\n", labels[i], r.Lo, r.Hi)
-		if r.MaybeEmpty {
-			fmt.Println("note: zero matching rows is also consistent with the constraints")
-		}
-		if r.Reconciled {
-			fmt.Println("note: conflicting frequency lower bounds were relaxed (constraints reconciled)")
+		printRange(os.Stdout, labels[i], r)
+	}
+}
+
+// parseQueries validates the aggregate list, the aggregated attribute, and
+// the where clause against the schema, returning the batch to bound. All
+// errors are reported before any engine work starts.
+func parseQueries(schema *domain.Schema, aggList, attr, where string) ([]core.Query, []string, error) {
+	wherePred, err := parseWhere(schema, where)
+	if err != nil {
+		return nil, nil, err
+	}
+	if attr != "" && attr != "-" {
+		if _, ok := schema.Index(attr); !ok {
+			return nil, nil, fmt.Errorf("unknown attribute %q (schema has %s)",
+				attr, strings.Join(schema.Names(), ", "))
 		}
 	}
+	var queries []core.Query
+	var labels []string
+	for _, name := range strings.Split(aggList, ",") {
+		name = strings.ToUpper(strings.TrimSpace(name))
+		aggKind, ok := parseAgg(name)
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown aggregate %q (want COUNT, SUM, AVG, MIN or MAX)", name)
+		}
+		if aggKind != core.Count && (attr == "" || attr == "-") {
+			return nil, nil, fmt.Errorf("-attr is required for %s", name)
+		}
+		q := core.Query{Agg: aggKind, Where: wherePred}
+		if aggKind != core.Count {
+			q.Attr = attr
+		}
+		queries = append(queries, q)
+		labels = append(labels, name)
+	}
+	return queries, labels, nil
+}
+
+func parseAgg(name string) (core.Agg, bool) {
+	switch name {
+	case "COUNT":
+		return core.Count, true
+	case "SUM":
+		return core.Sum, true
+	case "AVG":
+		return core.Avg, true
+	case "MIN":
+		return core.Min, true
+	case "MAX":
+		return core.Max, true
+	default:
+		return 0, false
+	}
+}
+
+// parseWhere parses "attr:lo:hi,attr:lo:hi" into a predicate, validating
+// attribute names against the schema.
+func parseWhere(schema *domain.Schema, where string) (*predicate.P, error) {
+	if where == "" || where == "-" {
+		return nil, nil
+	}
+	b := predicate.NewBuilder(schema)
+	for _, clause := range strings.Split(where, ",") {
+		parts := strings.Split(clause, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad where clause %q (want attr:lo:hi)", clause)
+		}
+		if _, ok := schema.Index(parts[0]); !ok {
+			return nil, fmt.Errorf("unknown attribute %q in where clause (schema has %s)",
+				parts[0], strings.Join(schema.Names(), ", "))
+		}
+		lo, err1 := strconv.ParseFloat(parts[1], 64)
+		hi, err2 := strconv.ParseFloat(parts[2], 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad bounds in %q", clause)
+		}
+		b.Range(parts[0], lo, hi)
+	}
+	return b.Build(), nil
+}
+
+// warnIfOpen prints the soundness warning when the constraint set does not
+// cover the domain, and returns whether it is closed.
+func warnIfOpen(store *core.Store, solver *sat.Solver) bool {
+	if store.Closed(solver) {
+		return true
+	}
+	if w, ok := store.Uncovered(solver); ok {
+		fmt.Fprintf(os.Stderr, "warning: constraint set is not closed (e.g. %v is uncovered); bounds hold only if no missing row falls outside all predicates\n", w)
+	}
+	return false
+}
+
+func printRange(w *os.File, label string, r core.Range) {
+	if r.Lo > r.Hi {
+		fmt.Fprintf(w, "%s: no missing rows can match this query: aggregate undefined\n", label)
+		return
+	}
+	fmt.Fprintf(w, "%s range: [%g, %g]\n", label, r.Lo, r.Hi)
+	if r.MaybeEmpty {
+		fmt.Fprintln(w, "note: zero matching rows is also consistent with the constraints")
+	}
+	if r.Reconciled {
+		fmt.Fprintln(w, "note: conflicting frequency lower bounds were relaxed (constraints reconciled)")
+	}
+}
+
+// runScript executes the mutate-and-rebound command stream.
+func runScript(store *core.Store, schema *domain.Schema, path string, par int) {
+	var in *os.File
+	interactive := false
+	if path == "-" {
+		in = os.Stdin
+		// Prompts and forgiving error handling only at a real terminal; a
+		// piped script must fail fast like a -script file, or automation
+		// would keep mutating a store that is already in the wrong state
+		// (and still exit 0).
+		if st, err := os.Stdin.Stat(); err == nil && st.Mode()&os.ModeCharDevice != 0 {
+			interactive = true
+		}
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	solver := sat.New(schema)
+	engine := core.NewEngine(store, solver, core.Options{})
+	wasClosed := warnIfOpen(store, solver)
+
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	if interactive {
+		fmt.Print("> ")
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			if interactive {
+				fmt.Print("> ")
+			}
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			break
+		}
+		epochBefore := store.Epoch()
+		if err := runCommand(store, schema, &engine, line, par); err != nil {
+			// Script errors are fatal in batch mode, recoverable at a prompt.
+			if interactive {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			} else {
+				fail("script line %d: %v", lineNo, err)
+			}
+		}
+		// Re-check closure after mutations (cheap: the store tracks it
+		// incrementally) and warn on the closed→open transition, so ranges
+		// printed afterwards are not mistaken for unconditional bounds.
+		if store.Epoch() != epochBefore {
+			if wasClosed {
+				wasClosed = warnIfOpen(store, solver)
+			} else {
+				// Already open (warned at startup or on a prior transition):
+				// track silently until a mutation closes it again.
+				wasClosed = store.Closed(solver)
+			}
+		}
+		if interactive {
+			fmt.Print("> ")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail("reading script: %v", err)
+	}
+}
+
+// runCommand executes one script command against the store, rebinding the
+// engine after every mutation.
+func runCommand(store *core.Store, schema *domain.Schema, engine **core.Engine, line string, par int) error {
+	cmd, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch cmd {
+	case "bound":
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			return fmt.Errorf("bound needs an aggregate list (bound AGGS [ATTR] [WHERE])")
+		}
+		attr, where := "", ""
+		if len(fields) > 1 {
+			attr = fields[1]
+		}
+		if len(fields) > 2 {
+			where = fields[2]
+		}
+		if len(fields) > 3 {
+			return fmt.Errorf("bound takes at most 3 arguments, got %d", len(fields))
+		}
+		queries, labels, err := parseQueries(schema, fields[0], attr, where)
+		if err != nil {
+			return err
+		}
+		ranges, err := (*engine).BoundBatch(queries, core.BatchOptions{Parallelism: par})
+		if err != nil {
+			return err
+		}
+		for i, r := range ranges {
+			printRange(os.Stdout, labels[i], r)
+		}
+	case "add":
+		if rest == "" {
+			return fmt.Errorf("add needs a constraint JSON object")
+		}
+		pc, err := core.DecodePC(schema, []byte(rest))
+		if err != nil {
+			return err
+		}
+		ids, err := store.AddPCs(pc)
+		if err != nil {
+			return err
+		}
+		*engine = (*engine).Rebind()
+		fmt.Printf("added constraint #%d (id %d), epoch %d\n", store.Len(), ids[0], store.Epoch())
+	case "remove":
+		id, err := resolvePC(store, rest)
+		if err != nil {
+			return err
+		}
+		if err := store.Remove(id); err != nil {
+			return err
+		}
+		*engine = (*engine).Rebind()
+		fmt.Printf("removed constraint id %d, epoch %d\n", id, store.Epoch())
+	case "replace":
+		ref, js, ok := strings.Cut(rest, " ")
+		if !ok {
+			return fmt.Errorf("replace needs a constraint reference and a JSON object")
+		}
+		id, err := resolvePC(store, ref)
+		if err != nil {
+			return err
+		}
+		pc, err := core.DecodePC(schema, []byte(strings.TrimSpace(js)))
+		if err != nil {
+			return err
+		}
+		if err := store.Replace(id, pc); err != nil {
+			return err
+		}
+		*engine = (*engine).Rebind()
+		fmt.Printf("replaced constraint id %d, epoch %d\n", id, store.Epoch())
+	case "show":
+		snap := store.Snapshot()
+		ids := snap.IDs()
+		for i, pc := range snap.PCs() {
+			fmt.Printf("#%d (id %d): %v\n", i+1, ids[i], pc)
+		}
+		if len(ids) == 0 {
+			fmt.Println("(no constraints)")
+		}
+	case "stats":
+		st := (*engine).CacheStats()
+		sst := (*engine).Solver().Stats()
+		fmt.Printf("epoch %d, %d constraints; decomp cache: %d hits, %d misses, %d retained across epochs, %d invalidated; SAT: %d checks, %d nodes\n",
+			store.Epoch(), store.Len(), st.Hits, st.Misses, st.Retained, st.Invalidated, sst.Checks, sst.Nodes)
+	case "closed":
+		if store.Closed((*engine).Solver()) {
+			fmt.Println("closed: every domain point is covered by some predicate")
+		} else if w, ok := store.Uncovered((*engine).Solver()); ok {
+			fmt.Printf("NOT closed: e.g. %v is uncovered\n", w)
+		}
+	default:
+		return fmt.Errorf("unknown command %q (want bound, add, remove, replace, show, stats, closed, quit)", cmd)
+	}
+	return nil
+}
+
+// resolvePC resolves a constraint reference to a stable id: an exact name
+// match wins (so a constraint that happens to be named "#2" stays
+// addressable), then "#N" is tried as a 1-based position.
+func resolvePC(store *core.Store, ref string) (core.PCID, error) {
+	if ref == "" {
+		return 0, fmt.Errorf("missing constraint reference (use #N or a name)")
+	}
+	snap := store.Snapshot()
+	ids := snap.IDs()
+	for i, pc := range snap.PCs() {
+		if pc.Name == ref {
+			return ids[i], nil
+		}
+	}
+	if strings.HasPrefix(ref, "#") {
+		n, err := strconv.Atoi(ref[1:])
+		if err != nil || n < 1 || n > len(ids) {
+			return 0, fmt.Errorf("bad constraint index %q (have 1..%d)", ref, len(ids))
+		}
+		return ids[n-1], nil
+	}
+	return 0, fmt.Errorf("no constraint named %q", ref)
 }
 
 func fail(format string, args ...interface{}) {

@@ -8,10 +8,25 @@
 // of the missing tuples. See README.md for a quickstart, the package map,
 // and the experiment index.
 //
+// Constraint sets are dynamic: the constraint layer is a versioned, mutable
+// core.Store supporting Add, Remove and Replace, with cheap copy-on-write
+// Snapshot()s. Every mutation bumps the store's epoch; an Engine (and every
+// BoundBatch worker) binds to one snapshot for its lifetime, so concurrent
+// writers never perturb in-flight queries, and Engine.Rebind moves to the
+// latest snapshot while keeping the decomposition cache warm. The cache
+// invalidates by scope, not by flushing: an entry survives a mutation
+// whenever no touched predicate box overlaps the entry's
+// pushdown-normalized region on the schema lattice, which makes the
+// mutate→rebound cycle far cheaper than rebuilding the engine (see
+// BenchmarkIncrementalUpdate). Closure of the constraint set over the
+// domain (Definition 3.2) is tracked incrementally across mutations by
+// sat.Incremental.
+//
 // The root package carries module documentation and the per-figure
 // benchmarks (bench_test.go); the implementation lives under internal/:
 //
-//   - internal/core — the predicate-constraint framework (Sections 3-4)
+//   - internal/core — the predicate-constraint framework: versioned Store,
+//     snapshots, the bounding Engine (Sections 3-4)
 //   - internal/cells, internal/sat — cell decomposition and its SAT oracle
 //   - internal/lp, internal/milp — simplex and branch-and-bound solvers
 //   - internal/join — fractional-edge-cover join bounds (Section 5)

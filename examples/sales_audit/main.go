@@ -93,24 +93,25 @@ func main() {
 	// uses finance's 999.99 — each cell gets its tightest applicable bound.
 
 	// What-if: the catalog team was wrong and Chicago stocked a 4999.99
-	// item. Swap the constraint and re-run — contingency analysis is just
-	// editing the constraint set.
-	whatIf := core.NewSet(schema)
-	pcs := set.PCs()
-	for i, pc := range pcs {
-		if i == 2 {
-			pc = core.MustPC(
-				predicate.NewBuilder(schema).Eq("branch", chicago).Build(),
-				map[string]domain.Interval{"price": domain.NewInterval(0, 4999.99)},
-				0, 100000)
-		}
-		whatIf.MustAdd(pc)
+	// item. Contingency analysis is just editing the constraint store: swap
+	// the catalog constraint in place and rebind. The original engine stays
+	// pinned to its snapshot, so both worlds can be compared side by side.
+	catalogID := set.IDs()[2]
+	if err := set.Replace(catalogID, core.MustPC(
+		predicate.NewBuilder(schema).Eq("branch", chicago).Build(),
+		map[string]domain.Interval{"price": domain.NewInterval(0, 4999.99)},
+		0, 100000)); err != nil {
+		log.Fatal(err)
 	}
-	engine2 := core.NewEngine(whatIf, nil, core.Options{})
+	engine2 := engine.Rebind()
 	total2, err := engine2.Sum("price", outage)
 	if err != nil {
 		log.Fatal(err)
 	}
+	baseline, err := engine.Sum("price", outage) // pinned pre-edit snapshot
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nwhat-if (Chicago ceiling 4999.99): SUM upper bound %.2f -> %.2f\n",
-		total.Hi, total2.Hi)
+		baseline.Hi, total2.Hi)
 }

@@ -77,17 +77,23 @@ type Options struct {
 // ErrTooManyCells is returned when MaxCells is exceeded.
 var ErrTooManyCells = fmt.Errorf("cells: decomposition exceeded MaxCells")
 
-// PushdownKey returns a canonical key for the pushdown-normalized query
-// region: the pushdown box clipped to the schema domain, rendered bit-exactly.
-// Two pushdown predicates with the same clipped box yield the same key, and
-// Decompose (and everything derived from it) produces identical results for
-// them, so the key is safe to use for caching decompositions. A nil pushdown
-// normalizes to the full domain.
-func PushdownKey(schema *domain.Schema, pushdown *predicate.P) string {
+// PushdownBox returns the pushdown-normalized query region: the schema
+// domain clipped by the pushdown predicate's box (the full domain when nil).
+// This is the box Decompose intersects every satisfiability check with, and
+// the box scoped cache invalidation tests mutated predicates against: a
+// predicate box that does not overlap it on the schema lattice is dropped
+// from the branching set, so it cannot influence the decomposition.
+func PushdownBox(schema *domain.Schema, pushdown *predicate.P) domain.Box {
 	b := schema.FullBox()
 	if pushdown != nil {
 		b = b.Intersect(pushdown.Box())
 	}
+	return b
+}
+
+// BoxKey renders a box bit-exactly as a string, suitable as a cache key:
+// two boxes yield the same key iff they have identical float64 endpoints.
+func BoxKey(b domain.Box) string {
 	var sb strings.Builder
 	sb.Grow(len(b) * 34)
 	for _, iv := range b {
@@ -97,6 +103,15 @@ func PushdownKey(schema *domain.Schema, pushdown *predicate.P) string {
 		sb.WriteByte(';')
 	}
 	return sb.String()
+}
+
+// PushdownKey returns a canonical key for the pushdown-normalized query
+// region: BoxKey(PushdownBox(schema, pushdown)). Two pushdown predicates
+// with the same clipped box yield the same key, and Decompose (and
+// everything derived from it) produces identical results for them, so the
+// key is safe to use for caching decompositions.
+func PushdownKey(schema *domain.Schema, pushdown *predicate.P) string {
+	return BoxKey(PushdownBox(schema, pushdown))
 }
 
 // Cell is one satisfiable region of the decomposition: the set of points

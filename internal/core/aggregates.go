@@ -15,7 +15,7 @@ func emptyRange() Range {
 }
 
 func (e *Engine) useFast() bool {
-	return !e.opts.DisableFastPath && e.set.Disjoint() &&
+	return !e.opts.DisableFastPath && e.snap.Disjoint() &&
 		e.opts.Cells.EarlyStopLayer == 0
 }
 
@@ -57,7 +57,7 @@ func (e *Engine) Sum(attr string, where *predicate.P) (Range, error) {
 	sc := e.acquireCtx()
 	defer e.releaseCtx(sc)
 	mopts := e.milpOpts()
-	ai := e.set.Schema().MustIndex(attr)
+	ai := e.snap.Schema().MustIndex(attr)
 	u := cp.upperVec(ai)
 	l := cp.lowerVec(ai)
 
@@ -119,7 +119,7 @@ func (e *Engine) Avg(attr string, where *predicate.P) (Range, error) {
 		r.SATChecks = cp.satChecks
 		return r, nil
 	}
-	ai := e.set.Schema().MustIndex(attr)
+	ai := e.snap.Schema().MustIndex(attr)
 	u := cp.upperVec(ai)
 	l := cp.lowerVec(ai)
 
@@ -222,7 +222,7 @@ func (e *Engine) minMax(attr string, where *predicate.P, isMax bool) (Range, err
 	sc := e.acquireCtx()
 	defer e.releaseCtx(sc)
 	mopts := e.milpOpts()
-	ai := e.set.Schema().MustIndex(attr)
+	ai := e.snap.Schema().MustIndex(attr)
 	u := cp.upperVec(ai)
 	l := cp.lowerVec(ai)
 

@@ -154,21 +154,23 @@ func TestDecompositionCacheIdenticalRanges(t *testing.T) {
 			t.Errorf("query %d (%v %v): cached %+v != uncached %+v", i, q.Agg, q.Where, rc, ru)
 		}
 	}
-	hits, misses := cached.CacheStats()
-	if hits == 0 {
-		t.Errorf("workload with repeated regions produced no cache hits (misses=%d)", misses)
+	st := cached.CacheStats()
+	if st.Hits == 0 {
+		t.Errorf("workload with repeated regions produced no cache hits (misses=%d)", st.Misses)
 	}
-	if h, m := uncached.CacheStats(); h != 0 || m != 0 {
-		t.Errorf("disabled cache reported activity: hits=%d misses=%d", h, m)
+	if ust := uncached.CacheStats(); ust != (CacheStats{}) {
+		t.Errorf("disabled cache reported activity: %+v", ust)
 	}
 }
 
-// TestCacheInvalidatedBySetAdd checks that adding a constraint after the
-// engine decomposed (and cached) a region flushes the cache: the next Bound
-// must reflect the new constraint, not the stale decomposition.
-func TestCacheInvalidatedBySetAdd(t *testing.T) {
+// TestSnapshotIsolationAndRebind checks the snapshot contract around store
+// mutations: an engine keeps answering from the snapshot it bound (adding a
+// constraint afterwards must NOT change its results — no stale-cache reads,
+// no torn reads), while a rebound engine sees the new constraint and must
+// not serve the old region's cached decomposition for the changed region.
+func TestSnapshotIsolationAndRebind(t *testing.T) {
 	s := salesSchema()
-	set := NewSet(s)
+	set := NewStore(s)
 	set.MustAdd(
 		MustPC(predicate.NewBuilder(s).Range("utc", 0, 12).Build(),
 			map[string]domain.Interval{"price": domain.NewInterval(0, 40)}, 0, 9),
@@ -182,13 +184,60 @@ func TestCacheInvalidatedBySetAdd(t *testing.T) {
 	}
 	set.MustAdd(MustPC(predicate.NewBuilder(s).Range("utc", 21, 30).Build(),
 		map[string]domain.Interval{"price": domain.NewInterval(0, 10)}, 3, 5))
-	after, err := e.Count(nil)
+	// The old engine is pinned to its snapshot.
+	pinned, err := e.Count(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned != before {
+		t.Errorf("snapshot-bound COUNT changed after Add: %v -> %v", before, pinned)
+	}
+	// A rebound engine reflects the mutation (and must not reuse the cached
+	// full-domain decomposition, which the new predicate overlaps).
+	re := e.Rebind()
+	after, err := re.Count(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if after.Hi != before.Hi+5 || after.Lo != before.Lo+3 {
-		t.Errorf("COUNT after Add = %v, want [%g, %g] (stale cache?)",
+		t.Errorf("COUNT after Add+Rebind = %v, want [%g, %g] (stale cache?)",
 			after, before.Lo+3, before.Hi+5)
+	}
+	if st := re.CacheStats(); st.Invalidated == 0 {
+		t.Errorf("mutation overlapping a cached region reported no invalidation: %+v", st)
+	}
+}
+
+// TestDecompCacheEvictionAdmitsNewRegions checks the cache does not lock
+// out fresh regions once full: with capacity 2 and a drifting 4-region
+// workload, later regions must still produce hits on their second pass.
+func TestDecompCacheEvictionAdmitsNewRegions(t *testing.T) {
+	set := overlappingSet(t)
+	s := set.Schema()
+	e := NewEngine(set, nil, Options{DisableFastPath: true, DecompCacheSize: 2})
+	regions := []*predicate.P{
+		predicate.NewBuilder(s).Range("utc", 0, 6).Build(),
+		predicate.NewBuilder(s).Range("utc", 7, 13).Build(),
+		predicate.NewBuilder(s).Range("utc", 14, 20).Build(),
+		predicate.NewBuilder(s).Range("utc", 21, 27).Build(),
+	}
+	// Fill past capacity, then revisit the LAST region twice: if full
+	// inserts were refused, region 3 could never enter the cache.
+	for _, where := range regions {
+		if _, err := e.Count(where); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := e.CacheStats()
+	if _, err := e.Count(regions[3]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Count(regions[3]); err != nil {
+		t.Fatal(err)
+	}
+	after := e.CacheStats()
+	if after.Hits == before.Hits {
+		t.Errorf("region beyond capacity never became cacheable: before=%+v after=%+v", before, after)
 	}
 }
 

@@ -21,13 +21,13 @@ type djCell struct {
 // disjointCells extracts the per-PC cells overlapping the query. attrIdx < 0
 // means no aggregate attribute (COUNT).
 func (e *Engine) disjointCells(attrIdx int, where *predicate.P) []djCell {
-	schema := e.set.Schema()
+	schema := e.snap.Schema()
 	var whereBox domain.Box
 	if where != nil {
 		whereBox = where.Box()
 	}
-	out := make([]djCell, 0, e.set.Len())
-	for _, pc := range e.set.PCs() {
+	out := make([]djCell, 0, e.snap.Len())
+	for _, pc := range e.snap.pcs {
 		region := pc.Pred.Box()
 		if whereBox != nil {
 			region = region.Intersect(whereBox)
@@ -66,7 +66,7 @@ func (e *Engine) fastCount(where *predicate.P) Range {
 }
 
 func (e *Engine) fastSum(attr string, where *predicate.P) Range {
-	ai := e.set.Schema().MustIndex(attr)
+	ai := e.snap.Schema().MustIndex(attr)
 	cs := e.disjointCells(ai, where)
 	r := Range{LoExact: true, HiExact: true, Cells: len(cs)}
 	for _, c := range cs {
@@ -90,7 +90,7 @@ func (e *Engine) fastSum(attr string, where *predicate.P) Range {
 }
 
 func (e *Engine) fastAvg(attr string, where *predicate.P) Range {
-	ai := e.set.Schema().MustIndex(attr)
+	ai := e.snap.Schema().MustIndex(attr)
 	cs := e.disjointCells(ai, where)
 	usable := cs[:0:0]
 	for _, c := range cs {
@@ -161,7 +161,7 @@ func (e *Engine) fastAvg(attr string, where *predicate.P) Range {
 }
 
 func (e *Engine) fastMinMax(attr string, where *predicate.P, isMax bool) Range {
-	ai := e.set.Schema().MustIndex(attr)
+	ai := e.snap.Schema().MustIndex(attr)
 	cs := e.disjointCells(ai, where)
 	usable := cs[:0:0]
 	for _, c := range cs {

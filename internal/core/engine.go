@@ -103,9 +103,13 @@ type Options struct {
 	// query to re-run DFS+SAT even when another query already decomposed the
 	// same pushdown-normalized region.
 	DisableDecompCache bool
-	// DecompCacheSize caps the number of cached decompositions
-	// (0 = DefaultDecompCacheSize). Once full, new regions are decomposed
-	// but not retained, keeping memory bounded and results deterministic.
+	// DecompCacheSize caps the number of cached query regions
+	// (0 = DefaultDecompCacheSize). Each region may hold up to two
+	// epoch-interval entries — the store frontier's and a snapshot-pinned
+	// reader's — so resident decompositions are bounded by twice this value.
+	// Once full, inserting a new region evicts an arbitrary resident one,
+	// keeping memory bounded; eviction can only cost recomputation, never
+	// change a result.
 	DecompCacheSize int
 	// Reference routes every optimized hot-path layer to its preserved
 	// pre-optimization implementation: the recursive SAT search, the
@@ -120,36 +124,64 @@ type Options struct {
 // Options.DecompCacheSize is zero.
 const DefaultDecompCacheSize = 1024
 
-// Engine computes hard aggregate ranges for one constraint set. An engine is
-// safe for concurrent use: Bound may be called from many goroutines, and
-// BoundBatch fans a whole workload out across workers.
+// Engine computes hard aggregate ranges for one constraint-store snapshot.
+// An engine binds to the snapshot for its lifetime: concurrent Store writers
+// never perturb its results, and everything it computes is bit-identical to
+// a freshly built engine over the same PC multiset. An engine is safe for
+// concurrent use: Bound may be called from many goroutines, and BoundBatch
+// fans a whole workload out across workers (each bound to the same
+// snapshot).
 type Engine struct {
-	set    *Set
+	snap   *Snapshot
 	solver *sat.Solver
 	opts   Options
 	cache  *decompCache // nil when DisableDecompCache is set
 	// ctxPool recycles per-query solve contexts (LP tableau arenas plus a
 	// reusable problem shell), so the two-direction × relax-retry pattern and
-	// the feasibility/threshold searches stop reallocating the LP.
-	ctxPool sync.Pool // of *solveCtx
+	// the feasibility/threshold searches stop reallocating the LP. Solve
+	// contexts carry no constraint-derived state, so the pool is shared
+	// across batch workers and across epochs after Rebind — pooling survives
+	// store mutations instead of being keyed away per epoch.
+	ctxPool *sync.Pool // of *solveCtx
 }
 
-// NewEngine builds an engine over the set. A fresh SAT solver is created if
-// solver is nil.
-func NewEngine(set *Set, solver *sat.Solver, opts Options) *Engine {
+// NewEngine builds an engine bound to the store's current snapshot. A fresh
+// SAT solver is created if solver is nil. Mutations to the store after this
+// call are invisible to the engine; use Rebind to bind a successor engine to
+// the store's latest state while keeping the decomposition cache warm.
+func NewEngine(set *Store, solver *sat.Solver, opts Options) *Engine {
+	return NewEngineAt(set.Snapshot(), solver, opts)
+}
+
+// NewEngineAt builds an engine bound to a specific snapshot.
+func NewEngineAt(snap *Snapshot, solver *sat.Solver, opts Options) *Engine {
 	if solver == nil {
-		solver = sat.New(set.Schema())
+		solver = sat.New(snap.Schema())
 		solver.UseReference(opts.Reference)
 	}
-	e := &Engine{set: set, solver: solver, opts: opts}
+	e := &Engine{snap: snap, solver: solver, opts: opts, ctxPool: &sync.Pool{}}
 	if !opts.DisableDecompCache {
 		size := opts.DecompCacheSize
 		if size <= 0 {
 			size = DefaultDecompCacheSize
 		}
-		e.cache = newDecompCache(size)
+		e.cache = newDecompCache(size, snap.Store())
 	}
 	return e
+}
+
+// Rebind returns an engine bound to the store's current snapshot, sharing
+// this engine's SAT solver, options, solve-context pool, and decomposition
+// cache. Cached decompositions whose regions were untouched by the
+// intervening mutations stay live (scoped invalidation — see decompCache),
+// which is what makes mutate→rebound much cheaper than building a fresh
+// engine. If the store has not changed, the receiver itself is returned.
+func (e *Engine) Rebind() *Engine {
+	snap := e.snap.Store().Snapshot()
+	if snap == e.snap {
+		return e
+	}
+	return &Engine{snap: snap, solver: e.solver, opts: e.opts, cache: e.cache, ctxPool: e.ctxPool}
 }
 
 // solveCtx is one query's solve workspace: an LP context (tableau arenas)
@@ -198,8 +230,8 @@ func (e *Engine) milpOpts() milp.Options {
 	return m
 }
 
-// Set returns the engine's constraint set.
-func (e *Engine) Set() *Set { return e.set }
+// Snapshot returns the store snapshot the engine is bound to.
+func (e *Engine) Snapshot() *Snapshot { return e.snap }
 
 // Solver returns the engine's SAT solver (for stats inspection).
 func (e *Engine) Solver() *sat.Solver { return e.solver }
@@ -255,11 +287,11 @@ type cellProblem struct {
 // reports the SAT checks spent when the decomposition was first computed.
 func (e *Engine) decompose(where *predicate.P) (*cellProblem, error) {
 	var key string
-	var version uint64
+	var base domain.Box
 	if e.cache != nil {
-		key = cells.PushdownKey(e.set.Schema(), where)
-		version = e.set.Version()
-		if cp, ok := e.cache.get(key, version); ok {
+		base = cells.PushdownBox(e.snap.Schema(), where)
+		key = cells.BoxKey(base)
+		if cp, ok := e.cache.get(key, e.snap.epoch); ok {
 			return cp, nil
 		}
 	}
@@ -268,7 +300,7 @@ func (e *Engine) decompose(where *predicate.P) (*cellProblem, error) {
 		return nil, err
 	}
 	if e.cache != nil {
-		e.cache.put(key, cp, version)
+		e.cache.put(key, base, cp, e.snap.epoch)
 	}
 	return cp, nil
 }
@@ -276,20 +308,20 @@ func (e *Engine) decompose(where *predicate.P) (*cellProblem, error) {
 func (e *Engine) decomposeUncached(where *predicate.P) (*cellProblem, error) {
 	opts := e.opts.Cells
 	opts.Pushdown = where
-	res, err := cells.Decompose(e.solver, e.set.Predicates(), opts)
+	res, err := cells.Decompose(e.solver, e.snap.Predicates(), opts)
 	if err != nil {
 		return nil, err
 	}
 	cp := &cellProblem{
-		schema:  e.set.Schema(),
+		schema:  e.snap.Schema(),
 		cells:   res.Cells,
 		cellsOf: make(map[int][]int),
 		kLo:     make(map[int]float64),
 		kHi:     make(map[int]float64),
 	}
 	cp.satChecks = res.Checks
-	cp.valueBoxes = make([]domain.Box, e.set.Len())
-	for j, pc := range e.set.PCs() {
+	cp.valueBoxes = make([]domain.Box, e.snap.Len())
+	for j, pc := range e.snap.pcs {
 		cp.valueBoxes[j] = pc.Values
 	}
 	for i, c := range res.Cells {
@@ -301,7 +333,7 @@ func (e *Engine) decomposeUncached(where *predicate.P) (*cellProblem, error) {
 	if where != nil {
 		whereBox = where.Box()
 	}
-	for j, pc := range e.set.PCs() {
+	for j, pc := range e.snap.pcs {
 		if len(cp.cellsOf[j]) == 0 {
 			continue // dropped by pushdown or fully pruned
 		}
@@ -317,8 +349,8 @@ func (e *Engine) decomposeUncached(where *predicate.P) (*cellProblem, error) {
 		cp.kLo[j] = lo
 	}
 	cp.capHi = make([]float64, len(cp.cells))
-	khiVec := make([]float64, e.set.Len())
-	for j, pc := range e.set.PCs() {
+	khiVec := make([]float64, e.snap.Len())
+	for j, pc := range e.snap.pcs {
 		khiVec[j] = float64(pc.KHi)
 	}
 	for i := range cp.cells {

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pcbound/internal/domain"
+	"pcbound/internal/predicate"
+)
+
+// groupStore builds a small overlapping store for the GROUP BY edge cases:
+// constraints live on branches 0 and 1 only, with overlapping utc windows so
+// the general decomposition path runs.
+func groupStore(t *testing.T) *Store {
+	t.Helper()
+	s := salesSchema()
+	store := NewStore(s)
+	store.MustAdd(
+		MustPC(predicate.NewBuilder(s).Eq("branch", 0).Range("utc", 0, 20).Build(),
+			map[string]domain.Interval{"price": domain.NewInterval(1, 100)}, 1, 5),
+		MustPC(predicate.NewBuilder(s).Range("branch", 0, 1).Range("utc", 10, 30).Build(),
+			map[string]domain.Interval{"price": domain.NewInterval(2, 200)}, 0, 4),
+	)
+	return store
+}
+
+// TestGroupByEmptyGroupList checks the degenerate union: no groups in, no
+// results out, no error — for every aggregate.
+func TestGroupByEmptyGroupList(t *testing.T) {
+	e := NewEngine(groupStore(t), nil, Options{})
+	for _, agg := range []Agg{Count, Sum, Avg, Min, Max} {
+		out, err := e.GroupBy(Query{Agg: agg, Attr: "price"}, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", agg, err)
+		}
+		if len(out) != 0 {
+			t.Errorf("%v: empty group list produced %d results", agg, len(out))
+		}
+		out, err = e.GroupBy(Query{Agg: agg, Attr: "price"}, []*predicate.P{})
+		if err != nil || len(out) != 0 {
+			t.Errorf("%v: empty slice produced (%d results, %v)", agg, len(out), err)
+		}
+	}
+}
+
+// TestGroupByUnsatisfiableGroup checks a group whose region is unsatisfiable
+// under the store's schema lattice (an integral attribute constrained to an
+// integer-free window): every aggregate must return a well-defined
+// empty/zero range rather than erroring.
+func TestGroupByUnsatisfiableGroup(t *testing.T) {
+	store := groupStore(t)
+	s := store.Schema()
+	e := NewEngine(store, nil, Options{})
+	// branch strictly between 0 and 1: no lattice point satisfies it.
+	hollow := predicate.NewBuilder(s).Range("branch", 0.2, 0.8).Build()
+	groups := []*predicate.P{hollow}
+
+	cnt, err := e.GroupBy(Query{Agg: Count}, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt[0].Range.Lo != 0 || cnt[0].Range.Hi != 0 {
+		t.Errorf("COUNT over unsatisfiable group = %v, want [0, 0]", cnt[0].Range)
+	}
+	for _, agg := range []Agg{Avg, Min, Max} {
+		out, err := e.GroupBy(Query{Agg: agg, Attr: "price"}, groups)
+		if err != nil {
+			t.Fatalf("%v: %v", agg, err)
+		}
+		r := out[0].Range
+		if r.Lo <= r.Hi {
+			t.Errorf("%v over unsatisfiable group = %v, want an empty (Lo > Hi) range", agg, r)
+		}
+		if !r.MaybeEmpty {
+			t.Errorf("%v over unsatisfiable group not flagged MaybeEmpty: %+v", agg, r)
+		}
+	}
+	sum, err := e.GroupBy(Query{Agg: Sum, Attr: "price"}, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum[0].Range.Lo != 0 || sum[0].Range.Hi != 0 {
+		t.Errorf("SUM over unsatisfiable group = %v, want [0, 0]", sum[0].Range)
+	}
+}
+
+// TestGroupByGroupMissingEveryPC checks a satisfiable group whose region no
+// predicate-constraint touches: zero rows can exist there, so COUNT/SUM pin
+// to zero and AVG/MIN/MAX are undefined-empty.
+func TestGroupByGroupMissingEveryPC(t *testing.T) {
+	store := groupStore(t)
+	s := store.Schema()
+	e := NewEngine(store, nil, Options{})
+	// branch 2 is satisfiable but carries no constraints; with closure absent
+	// the framework still answers (bounds hold for instances covered by S).
+	uncovered := predicate.NewBuilder(s).Eq("branch", 2).Build()
+
+	out, err := e.GroupBy(Query{Agg: Count}, []*predicate.P{uncovered})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Range.Lo != 0 || out[0].Range.Hi != 0 {
+		t.Errorf("COUNT over uncovered group = %v, want [0, 0]", out[0].Range)
+	}
+	for _, agg := range []Agg{Avg, Min, Max} {
+		res, err := e.GroupBy(Query{Agg: agg, Attr: "price"}, []*predicate.P{uncovered})
+		if err != nil {
+			t.Fatalf("%v: %v", agg, err)
+		}
+		if r := res[0].Range; r.Lo <= r.Hi {
+			t.Errorf("%v over uncovered group = %v, want empty", agg, r)
+		}
+	}
+}
+
+// TestAvgEdgeCases exercises AVG against the store states the binary search
+// must survive: an empty store, a store whose every group is optional
+// (kLo=0, MaybeEmpty), and a store where the query region admits exactly one
+// forced cell (degenerate bisection interval).
+func TestAvgEdgeCases(t *testing.T) {
+	s := salesSchema()
+
+	// Empty store: no cells at all.
+	empty := NewStore(s)
+	e := NewEngine(empty, nil, Options{DisableFastPath: true})
+	r, err := e.Avg("price", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Lo <= r.Hi || !r.MaybeEmpty {
+		t.Errorf("AVG over empty store = %+v, want empty range", r)
+	}
+
+	// All-optional constraints: range defined, MaybeEmpty set.
+	opt := NewStore(s)
+	opt.MustAdd(
+		MustPC(predicate.NewBuilder(s).Range("utc", 0, 12).Build(),
+			map[string]domain.Interval{"price": domain.NewInterval(10, 40)}, 0, 9),
+		MustPC(predicate.NewBuilder(s).Range("utc", 5, 20).Build(),
+			map[string]domain.Interval{"price": domain.NewInterval(20, 60)}, 0, 7),
+	)
+	e = NewEngine(opt, nil, Options{DisableFastPath: true})
+	r, err = e.Avg("price", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.MaybeEmpty {
+		t.Errorf("all-optional AVG not MaybeEmpty: %+v", r)
+	}
+	if r.Lo < 10-1e-6 || r.Hi > 60+1e-6 || r.Lo > r.Hi {
+		t.Errorf("AVG range %v outside value hull [10, 60]", r)
+	}
+
+	// Degenerate: a single point-valued forced constraint. The average of
+	// any non-empty instance is exactly that value.
+	point := NewStore(s)
+	point.MustAdd(MustPC(predicate.NewBuilder(s).Range("utc", 3, 3).Build(),
+		map[string]domain.Interval{"price": domain.NewInterval(25, 25)}, 2, 2))
+	e = NewEngine(point, nil, Options{DisableFastPath: true})
+	r, err = e.Avg("price", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Lo-25) > 1e-6 || math.Abs(r.Hi-25) > 1e-6 {
+		t.Errorf("point-valued AVG = %v, want [25, 25]", r)
+	}
+	if r.MaybeEmpty {
+		t.Errorf("forced constraint still MaybeEmpty: %+v", r)
+	}
+}
+
+// TestGroupByAcrossMutations ties GROUP BY to the store lifecycle: group
+// results against a snapshot stay frozen, a rebind sees the mutation.
+func TestGroupByAcrossMutations(t *testing.T) {
+	store := groupStore(t)
+	s := store.Schema()
+	e := NewEngine(store, nil, Options{})
+	groups := []*predicate.P{
+		predicate.NewBuilder(s).Eq("branch", 0).Build(),
+		predicate.NewBuilder(s).Eq("branch", 1).Build(),
+	}
+	before, err := e.GroupBy(Query{Agg: Count}, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tighten branch 1 with a new forced constraint.
+	store.MustAdd(MustPC(predicate.NewBuilder(s).Eq("branch", 1).Range("utc", 0, 5).Build(),
+		map[string]domain.Interval{"price": domain.NewInterval(1, 10)}, 2, 3))
+
+	pinned, err := e.GroupBy(Query{Agg: Count}, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if pinned[i].Range != before[i].Range {
+			t.Errorf("pinned group %d drifted: %+v -> %+v", i, before[i].Range, pinned[i].Range)
+		}
+	}
+	after, err := e.Rebind().GroupBy(Query{Agg: Count}, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after[1].Range.Lo < before[1].Range.Lo+2 {
+		t.Errorf("rebound group 1 = %+v, want lower bound raised by the forced constraint (before %+v)",
+			after[1].Range, before[1].Range)
+	}
+}

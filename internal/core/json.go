@@ -104,25 +104,48 @@ func DecodeSet(raw []byte) (*Set, *domain.Schema, error) {
 	schema := domain.NewSchema(attrs...)
 	set := NewSet(schema)
 	for i, c := range spec.Constraints {
-		b := predicate.NewBuilder(schema)
-		for name, rng := range c.Predicate {
-			if _, ok := schema.Index(name); !ok {
-				return nil, nil, fmt.Errorf("core: constraint %d: unknown predicate attribute %q", i, name)
-			}
-			b.Range(name, rng[0], rng[1])
-		}
-		values := map[string]domain.Interval{}
-		for name, rng := range c.Values {
-			values[name] = domain.NewInterval(rng[0], rng[1])
-		}
-		pc, err := NewPC(b.Build(), values, c.KLo, c.KHi)
+		pc, err := decodePC(schema, c)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: constraint %d: %w", i, err)
 		}
-		pc.Name = c.Name
 		if err := set.Add(pc); err != nil {
 			return nil, nil, fmt.Errorf("core: constraint %d: %w", i, err)
 		}
 	}
 	return set, schema, nil
+}
+
+// decodePC materializes one serialized constraint against a schema. Its own
+// error messages carry no "core:" prefix — the callers supply the context
+// ("core: constraint %d: ..." in DecodeSet).
+func decodePC(schema *domain.Schema, c PCJSON) (PC, error) {
+	b := predicate.NewBuilder(schema)
+	for name, rng := range c.Predicate {
+		if _, ok := schema.Index(name); !ok {
+			return PC{}, fmt.Errorf("unknown predicate attribute %q", name)
+		}
+		b.Range(name, rng[0], rng[1])
+	}
+	values := map[string]domain.Interval{}
+	for name, rng := range c.Values {
+		values[name] = domain.NewInterval(rng[0], rng[1])
+	}
+	pc, err := NewPC(b.Build(), values, c.KLo, c.KHi)
+	if err != nil {
+		return PC{}, err
+	}
+	pc.Name = c.Name
+	return pc, nil
+}
+
+// DecodePC parses a single PCJSON document (as used in the "constraints"
+// array of a spec) into a constraint over an existing schema. cmd/pcrange's
+// mutate-and-rebound script mode uses it to stream constraints into a live
+// Store.
+func DecodePC(schema *domain.Schema, raw []byte) (PC, error) {
+	var c PCJSON
+	if err := json.Unmarshal(raw, &c); err != nil {
+		return PC{}, fmt.Errorf("core: parsing constraint: %w", err)
+	}
+	return decodePC(schema, c)
 }

@@ -17,7 +17,6 @@ func specFixture() *Set {
 		MustPC(predicate.NewBuilder(s).Range("utc", 10, 13).Build(),
 			map[string]domain.Interval{"price": domain.NewInterval(0, 999.99)}, 2, 100),
 	)
-	set.PCs()[0].Name = ""
 	return set
 }
 

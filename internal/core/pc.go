@@ -7,22 +7,22 @@
 // A predicate-constraint π = (ψ, ν, κ) states: every missing row satisfying
 // the predicate ψ has attribute values inside the value constraint ν, and
 // the number of such rows lies in the frequency window κ = [klo, khi]
-// (Definition 3.1). A Set of such constraints, closed over the domain
+// (Definition 3.1). A Store of such constraints, closed over the domain
 // (Definition 3.2), determines a computable min/max range for SUM, COUNT,
-// AVG, MIN and MAX queries; Engine computes those ranges via cell
-// decomposition and mixed-integer programming (Section 4).
+// AVG, MIN and MAX queries; an Engine, bound to one of the store's
+// copy-on-write Snapshots, computes those ranges via cell decomposition and
+// mixed-integer programming (Section 4). The store is mutable and versioned
+// (Add/Remove/Replace bump an epoch); engine-side caches invalidate by
+// region scope rather than flushing, so constraint churn keeps unrelated
+// cached work alive (see store.go and batch.go).
 package core
 
 import (
 	"errors"
 	"fmt"
-	"math"
-	"sync"
-	"sync/atomic"
 
 	"pcbound/internal/domain"
 	"pcbound/internal/predicate"
-	"pcbound/internal/sat"
 )
 
 // PC is a single predicate-constraint π = (ψ, ν, κ).
@@ -103,167 +103,7 @@ func (pc PC) SatisfiedBy(rows []domain.Row) error {
 	return nil
 }
 
-// Set is a predicate-constraint set S = {π₁, …, πₙ} over one schema.
-// A fully-built set is safe for concurrent readers (Engine.Bound,
-// Engine.BoundBatch); Add must not race with readers.
-type Set struct {
-	schema *domain.Schema
-	pcs    []PC
-
-	// cached disjointness analysis (lazily computed, invalidated by Add).
-	// Guarded by disjointMu so concurrent Bound calls may trigger it safely.
-	disjointMu    sync.Mutex
-	disjointKnown bool
-	disjoint      bool
-
-	// version counts mutations; engine-side caches use it to drop entries
-	// derived from an older state of the set.
-	version atomic.Uint64
-}
-
-// Version returns a counter that increases on every successful Add. Caches
-// keyed on the set's contents compare versions to detect staleness.
-func (s *Set) Version() uint64 { return s.version.Load() }
-
-// NewSet creates an empty constraint set over the schema.
-func NewSet(schema *domain.Schema) *Set { return &Set{schema: schema} }
-
-// Add appends predicate-constraints to the set.
-func (s *Set) Add(pcs ...PC) error {
-	for _, pc := range pcs {
-		if pc.Pred == nil {
-			return errors.New("core: predicate-constraint with nil predicate")
-		}
-		if pc.Pred.Schema() != s.schema {
-			return errors.New("core: predicate-constraint over a different schema")
-		}
-		if len(pc.Values) != s.schema.Len() {
-			return fmt.Errorf("core: value box has %d dims, schema has %d", len(pc.Values), s.schema.Len())
-		}
-		if pc.KLo < 0 || pc.KLo > pc.KHi {
-			return fmt.Errorf("core: invalid frequency window [%d, %d]", pc.KLo, pc.KHi)
-		}
-		s.pcs = append(s.pcs, pc)
-	}
-	s.disjointMu.Lock()
-	s.disjointKnown = false
-	s.disjointMu.Unlock()
-	s.version.Add(1)
-	return nil
-}
-
-// MustAdd is Add that panics on error.
-func (s *Set) MustAdd(pcs ...PC) {
-	if err := s.Add(pcs...); err != nil {
-		panic(err)
-	}
-}
-
-// Schema returns the set's schema.
-func (s *Set) Schema() *domain.Schema { return s.schema }
-
-// Len returns the number of constraints.
-func (s *Set) Len() int { return len(s.pcs) }
-
-// PCs returns the constraints (shared slice; treat as read-only).
-func (s *Set) PCs() []PC { return s.pcs }
-
-// Predicates returns the ψ of each constraint, in order.
-func (s *Set) Predicates() []*predicate.P {
-	out := make([]*predicate.P, len(s.pcs))
-	for i, pc := range s.pcs {
-		out[i] = pc.Pred
-	}
-	return out
-}
-
-// Closed reports whether the set is closed over the schema domain
-// (Definition 3.2): every point of the domain satisfies at least one
-// predicate. Closure is required for the ranges to bound all missing-data
-// instances.
-func (s *Set) Closed(solver *sat.Solver) bool {
-	neg := make([]domain.Box, len(s.pcs))
-	for i, pc := range s.pcs {
-		neg[i] = pc.Pred.Box()
-	}
-	// Closed iff (domain \ ∪ψᵢ) is empty.
-	return !solver.SatBoxes(s.schema.FullBox(), neg)
-}
-
-// Uncovered returns a witness point of the domain not covered by any
-// predicate, if the set is not closed.
-func (s *Set) Uncovered(solver *sat.Solver) (domain.Row, bool) {
-	neg := make([]domain.Box, len(s.pcs))
-	for i, pc := range s.pcs {
-		neg[i] = pc.Pred.Box()
-	}
-	boxes := solver.RemainderBoxes(s.schema.FullBox(), neg)
-	if len(boxes) == 0 {
-		return nil, false
-	}
-	return boxes[0].Representative(s.schema), true
-}
-
-// Validate checks every constraint against a historical relation instance,
-// returning one error per violated constraint. This implements the paper's
-// "constraints are efficiently testable on historical data" property: a user
-// can verify that proposed PCs held in the past before trusting them for
-// contingency analysis.
-func (s *Set) Validate(rows []domain.Row) []error {
-	var errs []error
-	for _, pc := range s.pcs {
-		if err := pc.SatisfiedBy(rows); err != nil {
-			errs = append(errs, err)
-		}
-	}
-	return errs
-}
-
-// Disjoint reports whether all predicates are pairwise non-overlapping on
-// the schema lattice. Disjoint sets qualify for the greedy fast path
-// (Section 4.2 "Faster Algorithm in Special Cases", evaluated in Figure 8).
-func (s *Set) Disjoint() bool {
-	s.disjointMu.Lock()
-	defer s.disjointMu.Unlock()
-	if s.disjointKnown {
-		return s.disjoint
-	}
-	s.disjointKnown = true
-	s.disjoint = true
-	boxes := make([]domain.Box, len(s.pcs))
-	for i, pc := range s.pcs {
-		boxes[i] = pc.Pred.Box()
-	}
-	for i := 0; i < len(boxes) && s.disjoint; i++ {
-		for j := i + 1; j < len(boxes); j++ {
-			if !boxes[i].Intersect(boxes[j]).EmptyFor(s.schema) {
-				s.disjoint = false
-				break
-			}
-		}
-	}
-	return s.disjoint
-}
-
-// TotalKLo returns the sum of frequency lower bounds — the minimum number of
-// missing rows any valid instance must contain (only exact for disjoint
-// sets; for overlapping sets it is an upper bound on that minimum).
-func (s *Set) TotalKLo() int {
-	t := 0
-	for _, pc := range s.pcs {
-		t += pc.KLo
-	}
-	return t
-}
-
-// MaxAbsValue returns the largest absolute value the named attribute can
-// take under any constraint (used to scale AVG binary searches).
-func (s *Set) MaxAbsValue(attr string) float64 {
-	i := s.schema.MustIndex(attr)
-	m := 0.0
-	for _, pc := range s.pcs {
-		m = math.Max(m, math.Abs(pc.Values[i].Lo))
-		m = math.Max(m, math.Abs(pc.Values[i].Hi))
-	}
-	return m
-}
+// The constraint container lives in store.go: Store is the versioned
+// mutable predicate-constraint store (S = {π₁, …, πₙ} plus Add/Remove/
+// Replace), and Snapshot is the immutable copy-on-write view engines bind
+// to. Set/NewSet remain there as compatibility aliases.

@@ -1,0 +1,597 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"pcbound/internal/domain"
+	"pcbound/internal/predicate"
+	"pcbound/internal/sat"
+)
+
+// This file implements the versioned, mutable constraint store and its
+// copy-on-write snapshots.
+//
+// Contingency analysis is dynamic: analysts add, tighten, and retract
+// predicate-constraints as they learn more about the missing data. The Store
+// supports Add, Remove, and Replace under a single writer lock, while
+// Snapshot() hands out cheap immutable views. An Engine (and every worker in
+// its BoundBatch pool) binds to one snapshot for its lifetime, so concurrent
+// writers never perturb in-flight queries, and results computed against a
+// snapshot are bit-identical to a freshly built engine over the same PC
+// multiset.
+//
+// Versioning model:
+//
+//   - Every successful mutating call bumps the store epoch by one and
+//     records the predicate boxes it touched in a bounded mutation log.
+//   - A snapshot is pinned to the epoch it was taken at. Snapshots are
+//     copy-on-write: taking one is O(1); the next mutation copies the PC
+//     slice once so the snapshot's view stays frozen.
+//   - Engine-side decomposition caches consult the mutation log to decide,
+//     per cached region, whether any mutation between two epochs could have
+//     changed that region's decomposition (scoped invalidation — see
+//     decompCache in batch.go).
+//
+// The closure check (Definition 3.2) is maintained incrementally: the store
+// keeps a sat.Incremental tracker of the uncovered remainder of the domain
+// and applies predicate adds/removes to it as deltas instead of re-solving
+// from scratch; Snapshot.Closed is the stateless reference implementation
+// the tracker is differentially tested against.
+
+// PCID is a stable handle for one constraint in a Store. It survives
+// mutations of other constraints: Replace keeps the id, Remove retires it.
+type PCID uint64
+
+// Store is a versioned, mutable predicate-constraint store over one schema.
+// All methods are safe for concurrent use; readers that need a stable view
+// across multiple calls should take a Snapshot.
+type Store struct {
+	schema *domain.Schema
+
+	// mu guards the fields below. Read-mostly accessors (Epoch, Len, Get,
+	// and the cache's mutation-log checks) take the read side, so cache
+	// revalidation bursts after a mutation do not serialize against each
+	// other — only against writers, which is inherent.
+	mu     sync.RWMutex
+	pcs    []PC
+	ids    []PCID
+	shared bool // pcs/ids are aliased by the cached snapshot
+	epoch  uint64
+	nextID PCID
+	snap   *Snapshot // cached snapshot of the current state (nil until asked)
+
+	// log records, per epoch, the predicate boxes touched by that mutation;
+	// it covers epochs (logFloor, epoch]. Bounded: once trimmed, scoped cache
+	// validation over the trimmed range degrades to conservative invalidation.
+	log      []mutRecord
+	logFloor uint64
+
+	// Closure tracking is decoupled from mu so the (potentially expensive)
+	// SAT work in Closed/Uncovered never blocks the serving path: mutators
+	// only enqueue small delta records under opsMu; the tracker itself is
+	// built lazily and brought up to date under closureMu when queried.
+	opsMu       sync.Mutex
+	closureOps  []closureOp
+	opsOverflow bool // queue was capped; next query rebuilds from a snapshot
+
+	closureMu     sync.Mutex
+	closure       *sat.Incremental
+	closureSolver *sat.Solver
+	closureEpoch  uint64 // store epoch the tracker reflects
+}
+
+// closureOp is one queued mutation delta for the closure tracker.
+type closureOp struct {
+	epoch uint64
+	kind  opKind
+	id    PCID
+	box   domain.Box // add/replace only
+}
+
+type opKind uint8
+
+const (
+	opAdd opKind = iota
+	opRemove
+	opReplace
+)
+
+// maxClosureOps bounds the pending-delta queue when Closed is never called;
+// past it the queue is dropped and the next query rebuilds from a snapshot.
+const maxClosureOps = 4096
+
+// mutRecord is one mutation's imprint: the epoch it produced and the
+// predicate boxes of every constraint it added, removed, or replaced (both
+// the old and the new box for Replace).
+type mutRecord struct {
+	epoch uint64
+	boxes []domain.Box
+}
+
+// maxMutLog bounds the mutation log. Cache entries older than the log window
+// are invalidated conservatively rather than revalidated.
+const maxMutLog = 512
+
+// NewStore creates an empty constraint store over the schema.
+func NewStore(schema *domain.Schema) *Store { return &Store{schema: schema} }
+
+// Schema returns the store's schema.
+func (s *Store) Schema() *domain.Schema { return s.schema }
+
+// Epoch returns the store's mutation counter: it increases by one on every
+// successful Add, Remove, or Replace call.
+func (s *Store) Epoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
+// Version is an alias of Epoch, kept for callers of the pre-Store API.
+func (s *Store) Version() uint64 { return s.Epoch() }
+
+// Len returns the number of constraints.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pcs)
+}
+
+// clonePC returns a copy of the constraint that shares no mutable state
+// with the original. Pred is immutable by API (predicate.P has no setters
+// and Box() returns a clone), so sharing the pointer is safe; Values is a
+// raw box slice and must be cloned on both ingest and egress, or a caller
+// mutating it would silently corrupt the store, every outstanding snapshot,
+// and every cached decomposition referencing it.
+func clonePC(pc PC) PC {
+	pc.Values = pc.Values.Clone()
+	return pc
+}
+
+// clonePCs deep-copies a constraint slice (see clonePC).
+func clonePCs(pcs []PC) []PC {
+	out := make([]PC, len(pcs))
+	for i, pc := range pcs {
+		out[i] = clonePC(pc)
+	}
+	return out
+}
+
+// validatePC checks a constraint against the store's schema.
+func (s *Store) validatePC(pc PC) error {
+	if pc.Pred == nil {
+		return errors.New("core: predicate-constraint with nil predicate")
+	}
+	if pc.Pred.Schema() != s.schema {
+		return errors.New("core: predicate-constraint over a different schema")
+	}
+	if len(pc.Values) != s.schema.Len() {
+		return fmt.Errorf("core: value box has %d dims, schema has %d", len(pc.Values), s.schema.Len())
+	}
+	if pc.KLo < 0 || pc.KLo > pc.KHi {
+		return fmt.Errorf("core: invalid frequency window [%d, %d]", pc.KLo, pc.KHi)
+	}
+	return nil
+}
+
+// detachLocked makes the store sole owner of its PC slices (copying them if a
+// snapshot aliases them) and drops the cached snapshot. Callers must hold mu
+// and must be about to mutate.
+func (s *Store) detachLocked() {
+	if s.shared {
+		s.pcs = append([]PC(nil), s.pcs...)
+		s.ids = append([]PCID(nil), s.ids...)
+		s.shared = false
+	}
+	s.snap = nil
+}
+
+// commitLocked finishes a mutation: bumps the epoch and appends the touched
+// boxes to the mutation log.
+func (s *Store) commitLocked(boxes []domain.Box) {
+	s.epoch++
+	s.log = append(s.log, mutRecord{epoch: s.epoch, boxes: boxes})
+	if len(s.log) > maxMutLog {
+		drop := len(s.log) - maxMutLog
+		s.logFloor = s.log[drop-1].epoch
+		s.log = append(s.log[:0], s.log[drop:]...)
+	}
+}
+
+// recordClosureOps enqueues closure deltas for the epoch just committed.
+// Cheap by design (no SAT work): the tracker catches up lazily on the next
+// Closed/Uncovered call. Callers hold mu; lock order is mu → opsMu.
+func (s *Store) recordClosureOps(ops ...closureOp) {
+	s.opsMu.Lock()
+	if len(s.closureOps)+len(ops) > maxClosureOps {
+		s.closureOps = nil
+		s.opsOverflow = true
+	} else {
+		s.closureOps = append(s.closureOps, ops...)
+	}
+	s.opsMu.Unlock()
+}
+
+// Add appends predicate-constraints to the store (one epoch bump for the
+// whole call).
+func (s *Store) Add(pcs ...PC) error {
+	_, err := s.AddPCs(pcs...)
+	return err
+}
+
+// AddPCs appends predicate-constraints and returns their stable ids.
+func (s *Store) AddPCs(pcs ...PC) ([]PCID, error) {
+	if len(pcs) == 0 {
+		return nil, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, pc := range pcs {
+		if err := s.validatePC(pc); err != nil {
+			return nil, err
+		}
+	}
+	s.detachLocked()
+	ids := make([]PCID, len(pcs))
+	boxes := make([]domain.Box, len(pcs))
+	for i, pc := range pcs {
+		s.nextID++
+		ids[i] = s.nextID
+		s.pcs = append(s.pcs, clonePC(pc))
+		s.ids = append(s.ids, s.nextID)
+		boxes[i] = pc.Pred.Box()
+	}
+	s.commitLocked(boxes)
+	ops := make([]closureOp, len(ids))
+	for i, id := range ids {
+		ops[i] = closureOp{epoch: s.epoch, kind: opAdd, id: id, box: boxes[i]}
+	}
+	s.recordClosureOps(ops...)
+	return ids, nil
+}
+
+// MustAdd is Add that panics on error.
+func (s *Store) MustAdd(pcs ...PC) {
+	if err := s.Add(pcs...); err != nil {
+		panic(err)
+	}
+}
+
+// indexOfLocked returns the position of id, or -1.
+func (s *Store) indexOfLocked(id PCID) int {
+	for i, got := range s.ids {
+		if got == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Remove retracts the constraint with the given id.
+func (s *Store) Remove(id PCID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := s.indexOfLocked(id)
+	if i < 0 {
+		return fmt.Errorf("core: no constraint with id %d", id)
+	}
+	box := s.pcs[i].Pred.Box()
+	s.detachLocked()
+	s.pcs = append(s.pcs[:i], s.pcs[i+1:]...)
+	s.ids = append(s.ids[:i], s.ids[i+1:]...)
+	s.commitLocked([]domain.Box{box})
+	s.recordClosureOps(closureOp{epoch: s.epoch, kind: opRemove, id: id})
+	return nil
+}
+
+// Replace swaps the constraint with the given id for a new one, keeping the
+// id and the position (typical for tightening a constraint in place).
+func (s *Store) Replace(id PCID, pc PC) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := s.indexOfLocked(id)
+	if i < 0 {
+		return fmt.Errorf("core: no constraint with id %d", id)
+	}
+	if err := s.validatePC(pc); err != nil {
+		return err
+	}
+	oldBox := s.pcs[i].Pred.Box()
+	newBox := pc.Pred.Box()
+	s.detachLocked()
+	s.pcs[i] = clonePC(pc)
+	s.commitLocked([]domain.Box{oldBox, newBox})
+	s.recordClosureOps(closureOp{epoch: s.epoch, kind: opReplace, id: id, box: newBox})
+	return nil
+}
+
+// Get returns a copy of the constraint with the given id (mutating the
+// returned PC never affects the store).
+func (s *Store) Get(id PCID) (PC, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if i := s.indexOfLocked(id); i >= 0 {
+		return clonePC(s.pcs[i]), true
+	}
+	return PC{}, false
+}
+
+// Snapshot returns an immutable view of the store's current state. Snapshots
+// are copy-on-write: taking one is O(1) and repeated calls between mutations
+// return the same object; the first mutation afterwards copies the PC slice
+// once, so outstanding snapshots are never perturbed.
+func (s *Store) Snapshot() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.snap == nil {
+		s.snap = &Snapshot{
+			store:  s,
+			schema: s.schema,
+			pcs:    s.pcs,
+			ids:    s.ids,
+			epoch:  s.epoch,
+		}
+		s.shared = true
+	}
+	return s.snap
+}
+
+// unchangedWithin reports whether no mutation with epoch in (from, to]
+// touched a predicate box overlapping base on the schema lattice. It returns
+// false conservatively when the mutation log no longer reaches back to from.
+func (s *Store) unchangedWithin(base domain.Box, from, to uint64) bool {
+	if from > to {
+		from, to = to, from
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if from < s.logFloor {
+		return false
+	}
+	// The log is epoch-sorted and append-only: binary-search the start of
+	// the (from, to] window instead of scanning from the front.
+	i := sort.Search(len(s.log), func(i int) bool { return s.log[i].epoch > from })
+	for ; i < len(s.log) && s.log[i].epoch <= to; i++ {
+		for _, b := range s.log[i].boxes {
+			if !base.Intersect(b).EmptyFor(s.schema) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// syncClosure brings the incremental closure tracker up to date. Callers
+// hold closureMu (never mu), so the SAT work here cannot block writers,
+// Snapshot/Rebind, or the cache's mutation-log checks. Lock order:
+// closureMu → {mu (via Snapshot), opsMu}; mutators take mu → opsMu; the
+// graph is acyclic.
+func (s *Store) syncClosure(solver *sat.Solver) {
+	s.opsMu.Lock()
+	ops := s.closureOps
+	s.closureOps = nil
+	overflow := s.opsOverflow
+	s.opsOverflow = false
+	s.opsMu.Unlock()
+
+	if s.closure == nil || s.closureSolver != solver || overflow {
+		// Rebuild from a snapshot taken AFTER draining the queue: the drained
+		// ops are all covered by the snapshot, and any op racing in between
+		// stays queued — the epoch guard below skips it next time if the
+		// snapshot already includes it.
+		snap := s.Snapshot()
+		s.closure = sat.NewIncremental(solver, s.schema.FullBox())
+		s.closureSolver = solver
+		for i, pc := range snap.pcs {
+			s.closure.Add(uint64(snap.ids[i]), pc.Pred.Box())
+		}
+		s.closureEpoch = snap.epoch
+		return
+	}
+	for _, op := range ops {
+		if op.epoch <= s.closureEpoch {
+			continue // already reflected by an earlier rebuild
+		}
+		switch op.kind {
+		case opAdd:
+			s.closure.Add(uint64(op.id), op.box)
+		case opRemove:
+			s.closure.Remove(uint64(op.id))
+		case opReplace:
+			s.closure.Replace(uint64(op.id), op.box)
+		}
+	}
+	if n := len(ops); n > 0 && ops[n-1].epoch > s.closureEpoch {
+		s.closureEpoch = ops[n-1].epoch
+	}
+}
+
+// Closed reports whether the store is closed over the schema domain
+// (Definition 3.2): every point of the domain satisfies at least one
+// predicate. The check is maintained incrementally across mutations (see
+// sat.Incremental); Snapshot.Closed is the stateless reference it is
+// differentially tested against. The answer reflects every mutation that
+// completed before the call.
+func (s *Store) Closed(solver *sat.Solver) bool {
+	s.closureMu.Lock()
+	defer s.closureMu.Unlock()
+	s.syncClosure(solver)
+	return s.closure.Covered()
+}
+
+// Uncovered returns a witness point of the domain not covered by any
+// predicate, if the store is not closed.
+func (s *Store) Uncovered(solver *sat.Solver) (domain.Row, bool) {
+	s.closureMu.Lock()
+	defer s.closureMu.Unlock()
+	s.syncClosure(solver)
+	return s.closure.Witness()
+}
+
+// PCs returns a copy of the current constraints. Callers may mutate the
+// returned slice freely; the store's own state is never exposed.
+func (s *Store) PCs() []PC { return s.Snapshot().PCs() }
+
+// IDs returns the stable ids of the current constraints, positionally
+// aligned with PCs().
+func (s *Store) IDs() []PCID { return s.Snapshot().IDs() }
+
+// Predicates returns the ψ of each constraint, in order.
+func (s *Store) Predicates() []*predicate.P { return s.Snapshot().Predicates() }
+
+// Validate checks every constraint against a historical relation instance,
+// returning one error per violated constraint.
+func (s *Store) Validate(rows []domain.Row) []error { return s.Snapshot().Validate(rows) }
+
+// Disjoint reports whether all predicates are pairwise non-overlapping on
+// the schema lattice (the greedy fast-path qualification, Section 4.2).
+func (s *Store) Disjoint() bool { return s.Snapshot().Disjoint() }
+
+// TotalKLo returns the sum of frequency lower bounds.
+func (s *Store) TotalKLo() int { return s.Snapshot().TotalKLo() }
+
+// MaxAbsValue returns the largest absolute value the named attribute can
+// take under any constraint.
+func (s *Store) MaxAbsValue(attr string) float64 { return s.Snapshot().MaxAbsValue(attr) }
+
+// Set is the pre-refactor name of the constraint store; prefer Store in new
+// code. The alias keeps existing call sites compiling; the semantics differ
+// in one way from the old append-only Set: engines bind to a Snapshot at
+// construction time, so mutations after NewEngine are only visible through
+// Engine.Rebind (or a new engine).
+type Set = Store
+
+// NewSet creates an empty constraint store over the schema (the
+// pre-refactor name of NewStore; prefer NewStore in new code).
+func NewSet(schema *domain.Schema) *Store { return NewStore(schema) }
+
+// Snapshot is an immutable view of a Store at one epoch. It is safe for
+// unlimited concurrent readers; all derived analyses (disjointness, bounds,
+// decompositions) are pure functions of its contents.
+type Snapshot struct {
+	store  *Store
+	schema *domain.Schema
+	pcs    []PC
+	ids    []PCID
+	epoch  uint64
+
+	disjointOnce sync.Once
+	disjoint     bool
+}
+
+// Store returns the store this snapshot was taken from.
+func (sn *Snapshot) Store() *Store { return sn.store }
+
+// Epoch returns the store epoch the snapshot is pinned to.
+func (sn *Snapshot) Epoch() uint64 { return sn.epoch }
+
+// Schema returns the snapshot's schema.
+func (sn *Snapshot) Schema() *domain.Schema { return sn.schema }
+
+// Len returns the number of constraints.
+func (sn *Snapshot) Len() int { return len(sn.pcs) }
+
+// PCs returns a deep copy of the constraints (value boxes included), so the
+// snapshot's own view stays immutable no matter what callers do with the
+// copy. Predicates are shared: predicate.P is immutable by API.
+func (sn *Snapshot) PCs() []PC { return clonePCs(sn.pcs) }
+
+// IDs returns the constraints' stable ids, positionally aligned with PCs().
+func (sn *Snapshot) IDs() []PCID { return append([]PCID(nil), sn.ids...) }
+
+// Predicates returns the ψ of each constraint, in order.
+func (sn *Snapshot) Predicates() []*predicate.P {
+	out := make([]*predicate.P, len(sn.pcs))
+	for i, pc := range sn.pcs {
+		out[i] = pc.Pred
+	}
+	return out
+}
+
+// Closed reports whether the snapshot is closed over the schema domain. This
+// is the stateless reference implementation: it re-solves coverage from
+// scratch (the store-level incremental tracker is tested against it).
+func (sn *Snapshot) Closed(solver *sat.Solver) bool {
+	neg := make([]domain.Box, len(sn.pcs))
+	for i, pc := range sn.pcs {
+		neg[i] = pc.Pred.Box()
+	}
+	// Closed iff (domain \ ∪ψᵢ) is empty.
+	return !solver.SatBoxes(sn.schema.FullBox(), neg)
+}
+
+// Uncovered returns a witness point of the domain not covered by any
+// predicate, if the snapshot is not closed.
+func (sn *Snapshot) Uncovered(solver *sat.Solver) (domain.Row, bool) {
+	neg := make([]domain.Box, len(sn.pcs))
+	for i, pc := range sn.pcs {
+		neg[i] = pc.Pred.Box()
+	}
+	boxes := solver.RemainderBoxes(sn.schema.FullBox(), neg)
+	if len(boxes) == 0 {
+		return nil, false
+	}
+	return boxes[0].Representative(sn.schema), true
+}
+
+// Validate checks every constraint against a historical relation instance,
+// returning one error per violated constraint. This implements the paper's
+// "constraints are efficiently testable on historical data" property.
+func (sn *Snapshot) Validate(rows []domain.Row) []error {
+	var errs []error
+	for _, pc := range sn.pcs {
+		if err := pc.SatisfiedBy(rows); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errs
+}
+
+// Disjoint reports whether all predicates are pairwise non-overlapping on
+// the schema lattice. Disjoint snapshots qualify for the greedy fast path
+// (Section 4.2 "Faster Algorithm in Special Cases"). Computed lazily, once
+// per snapshot.
+func (sn *Snapshot) Disjoint() bool {
+	sn.disjointOnce.Do(func() {
+		sn.disjoint = true
+		boxes := make([]domain.Box, len(sn.pcs))
+		for i, pc := range sn.pcs {
+			boxes[i] = pc.Pred.Box()
+		}
+		for i := 0; i < len(boxes) && sn.disjoint; i++ {
+			for j := i + 1; j < len(boxes); j++ {
+				if !boxes[i].Intersect(boxes[j]).EmptyFor(sn.schema) {
+					sn.disjoint = false
+					break
+				}
+			}
+		}
+	})
+	return sn.disjoint
+}
+
+// TotalKLo returns the sum of frequency lower bounds — the minimum number of
+// missing rows any valid instance must contain (only exact for disjoint
+// snapshots; for overlapping ones it is an upper bound on that minimum).
+func (sn *Snapshot) TotalKLo() int {
+	t := 0
+	for _, pc := range sn.pcs {
+		t += pc.KLo
+	}
+	return t
+}
+
+// MaxAbsValue returns the largest absolute value the named attribute can
+// take under any constraint (used to scale AVG binary searches).
+func (sn *Snapshot) MaxAbsValue(attr string) float64 {
+	i := sn.schema.MustIndex(attr)
+	m := 0.0
+	for _, pc := range sn.pcs {
+		m = math.Max(m, math.Abs(pc.Values[i].Lo))
+		m = math.Max(m, math.Abs(pc.Values[i].Hi))
+	}
+	return m
+}
