@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# serve_e2e.sh — the end-to-end serving gauntlet CI runs (and developers can
+# run locally: `bash ci/serve_e2e.sh`). It builds pcserved with the race
+# detector, boots it on the sample spec, asserts the snapshot/epoch serving
+# semantics with curl, hammers it with pcload (closed-loop bound/batch/mutate
+# mix plus a bit-identity verification phase against a local engine), and
+# finishes with a graceful-shutdown drain of an in-flight batch.
+#
+# Any non-2xx response (other than pcload-accounted 429 backpressure), any
+# mismatched range, or a dropped in-flight request fails the script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR="127.0.0.1:${PCSERVED_PORT:-18091}"
+BASE="http://$ADDR"
+SPEC=cmd/pcserved/testdata/sample_spec.json
+BIN=./bin
+LOG=pcserved-e2e.log
+
+command -v jq >/dev/null || { echo "serve_e2e: jq is required" >&2; exit 1; }
+
+echo "== build (pcserved under -race, pcload plain)"
+mkdir -p "$BIN"
+go build -race -o "$BIN/pcserved" ./cmd/pcserved
+go build -o "$BIN/pcload" ./cmd/pcload
+go build -o "$BIN/pcrange" ./cmd/pcrange
+
+cleanup() {
+  if [[ -n "${SERVER_PID:-}" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+}
+trap cleanup EXIT
+
+echo "== boot pcserved on $ADDR"
+GORACE="halt_on_error=1" "$BIN/pcserved" -addr "$ADDR" -spec "$SPEC" >"$LOG" 2>&1 &
+SERVER_PID=$!
+for i in $(seq 100); do
+  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { echo "pcserved died at boot:"; cat "$LOG"; exit 1; }
+  sleep 0.1
+done
+curl -fsS "$BASE/healthz" | jq -e '.status == "ok"' >/dev/null
+
+post() { curl -fsS -X POST -H 'Content-Type: application/json' -d "$2" "$BASE$1"; }
+
+echo "== serving semantics: bound -> mutate -> rebound sees new epoch, pinned snapshot does not"
+Q='{"query":{"agg":"SUM","attr":"price","where":{"utc":[6,14]}}}'
+R0=$(post /v1/bound "$Q")
+E0=$(jq -r .epoch <<<"$R0")
+
+# Cross-check the served range against a direct engine bound on the same
+# spec via pcrange. pcrange prints %g (6 significant digits), so this check
+# uses a 1e-6 relative tolerance; the *bitwise* identity check against a
+# direct Engine.Bound runs inside `pcload -verify` below, over the full
+# wire encoding.
+SERVED_RANGE=$(jq -c '[.range.lo, .range.hi]' <<<"$R0")
+DIRECT_RANGE=$("$BIN/pcrange" -spec "$SPEC" -agg SUM -attr price -where "utc:6:14" | sed -n 's/^SUM range: \(\[.*\]\)$/\1/p')
+[[ -n "$DIRECT_RANGE" ]] || { echo "could not parse pcrange output" >&2; exit 1; }
+jq -ne --argjson a "$SERVED_RANGE" --argjson b "$DIRECT_RANGE" '
+  def abs: if . < 0 then -. else . end;
+  [0,1] | all(. as $i |
+    (($a[$i] - $b[$i]) | abs) <= 1e-6 * ([($a[$i]|abs), ($b[$i]|abs), 1] | max))' >/dev/null \
+  || { echo "served range $SERVED_RANGE != direct engine range $DIRECT_RANGE" >&2; exit 1; }
+echo "   bound at epoch $E0: $SERVED_RANGE (matches direct engine)"
+
+ADD=$(post /v1/store/add '{"constraints":[{"name":"surge","predicate":{"utc":[7,10]},"values":{"price":[100,400]},"klo":2,"khi":6}]}')
+E1=$(jq -r .epoch <<<"$ADD")
+ID=$(jq -r '.ids[0]' <<<"$ADD")
+[[ "$E1" -gt "$E0" ]] || { echo "mutation did not advance the epoch ($E0 -> $E1)" >&2; exit 1; }
+
+R1=$(post /v1/bound "$Q")
+[[ "$(jq -r .epoch <<<"$R1")" == "$E1" ]] || { echo "rebound did not see epoch $E1: $R1" >&2; exit 1; }
+jq -e --argjson r0 "$(jq .range <<<"$R0")" '.range != $r0' <<<"$R1" >/dev/null \
+  || { echo "rebound range identical despite new constraint: $R1" >&2; exit 1; }
+
+RP=$(post /v1/bound "$(jq -c --argjson e "$E0" '. + {epoch: $e}' <<<"$Q")")
+[[ "$(jq -r .epoch <<<"$RP")" == "$E0" ]] || { echo "pinned read not at epoch $E0: $RP" >&2; exit 1; }
+jq -e --argjson r0 "$(jq .range <<<"$R0")" '.range == $r0' <<<"$RP" >/dev/null \
+  || { echo "pinned range differs from original: $RP vs $R0" >&2; exit 1; }
+echo "   mutate -> epoch $E1, rebound moved, pinned read at $E0 bit-identical"
+
+post /v1/store/remove "{\"id\":$ID}" >/dev/null
+
+echo "== pcload gauntlet (verify phase + concurrent bound/batch/mutate)"
+"$BIN/pcload" -addr "$BASE" -quick
+
+echo "== error surface"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"query":{"agg":"MEDIAN"}}' "$BASE/v1/bound")
+[[ "$CODE" == 400 ]] || { echo "bad aggregate returned $CODE, want 400" >&2; exit 1; }
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"query":{"agg":"COUNT"},"epoch":999999}' "$BASE/v1/bound")
+[[ "$CODE" == 410 ]] || { echo "unretained epoch returned $CODE, want 410" >&2; exit 1; }
+
+echo "== metrics surface"
+METRICS=$(curl -fsS "$BASE/metrics")
+for metric in pcserved_store_epoch pcserved_cache_hits_total 'pcserved_requests_total{endpoint="bound",code="200"}' 'pcserved_request_seconds{endpoint="batch",quantile="0.99"}'; do
+  grep -qF "$metric" <<<"$METRICS" || { echo "metrics missing $metric" >&2; exit 1; }
+done
+
+echo "== graceful shutdown drains an in-flight batch"
+BATCH=$(jq -nc '{queries: [range(200) | {agg: "SUM", attr: "price", where: {utc: [(. % 12), ((. % 12) + 6)]}}], parallelism: 1}')
+DRAIN_OUT=$(mktemp)
+curl -fsS -X POST -d "$BATCH" "$BASE/v1/batch" >"$DRAIN_OUT" &
+CURL_PID=$!
+sleep 0.3
+kill -TERM "$SERVER_PID"
+wait "$CURL_PID" || { echo "in-flight batch was dropped during shutdown" >&2; cat "$LOG"; exit 1; }
+jq -e '.ranges | length == 200' "$DRAIN_OUT" >/dev/null \
+  || { echo "drained batch response incomplete: $(head -c 200 "$DRAIN_OUT")" >&2; exit 1; }
+wait "$SERVER_PID" || { echo "pcserved exited non-zero after drain:" >&2; cat "$LOG"; exit 1; }
+SERVER_PID=""
+grep -q "drained cleanly" "$LOG" || { echo "no clean-drain log line:" >&2; cat "$LOG"; exit 1; }
+rm -f "$DRAIN_OUT"
+
+echo "serve-e2e: all checks passed"

@@ -25,6 +25,12 @@ import (
 )
 
 func main() {
+	// All work happens in run so its defers — the profile flushes in
+	// particular — execute on every exit path; os.Exit here would skip them.
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		exp        = flag.String("exp", "all", "experiment id (fig1, fig3, …, table2) or 'all'")
 		rows       = flag.Int("rows", 0, "dataset rows (0 = default)")
@@ -43,34 +49,43 @@ func main() {
 		for _, name := range experiments.Names() {
 			fmt.Printf("%-8s %s\n", name, experiments.Title(name))
 		}
-		return
+		return 0
 	}
 
+	// Both profile files are created before any experiment work, so a bad
+	// path fails in milliseconds instead of after a paper-scale run; and
+	// both are flushed/closed on every exit path, so even a failing run
+	// leaves a usable profile of the work done so far.
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pcbench: cpuprofile: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
 			fmt.Fprintf(os.Stderr, "pcbench: cpuprofile: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		defer pprof.StopCPUProfile()
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "pcbench: cpuprofile: %v\n", err)
+			}
+		}()
 	}
 	if *memprofile != "" {
-		// Report failures without os.Exit: exiting inside this deferred func
-		// would skip the CPU-profile flush registered above.
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcbench: memprofile: %v\n", err)
+			return 1
+		}
 		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "pcbench: memprofile: %v\n", err)
-				return
-			}
-			defer f.Close()
 			runtime.GC() // settle the heap so the profile reflects live data
 			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "pcbench: memprofile: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
 				fmt.Fprintf(os.Stderr, "pcbench: memprofile: %v\n", err)
 			}
 		}()
@@ -103,9 +118,10 @@ func main() {
 		res, err := experiments.Run(name, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pcbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("== %s: %s (%s)\n\n%s\n", res.Name, res.Title,
 			time.Since(start).Round(time.Millisecond), res.Table)
 	}
+	return 0
 }

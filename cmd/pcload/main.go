@@ -1,0 +1,522 @@
+// Command pcload is a closed-loop load generator for pcserved: a fixed pool
+// of workers, each waiting for its response before issuing the next request,
+// driving a configurable mix of single bounds, batches, and store mutations.
+// It reports throughput and p50/p99 latency per operation and exits non-zero
+// on any hard failure (non-2xx other than 429 backpressure, or a response
+// that fails verification).
+//
+// Before the load phase it can verify serving correctness end to end: it
+// fetches the store spec (GET /v1/store), rebuilds the same constraint set
+// locally with the library, and checks that snapshot-pinned HTTP reads
+// return bit-identical ranges to a direct Engine.Bound on the same
+// constraint state — the serving layer must add transport, not error.
+//
+// Usage:
+//
+//	pcload -addr http://127.0.0.1:8080                  # 10s, 8 workers
+//	pcload -addr http://127.0.0.1:8080 -quick           # 2s CI smoke
+//	pcload -duration 30s -concurrency 32 \
+//	       -mix bound=6,batch=2,mutate=2 -verify 100
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"pcbound/internal/core"
+	"pcbound/internal/domain"
+	"pcbound/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:8080", "pcserved base URL")
+		duration    = flag.Duration("duration", 10*time.Second, "load phase duration")
+		concurrency = flag.Int("concurrency", 8, "closed-loop workers")
+		mix         = flag.String("mix", "bound=6,batch=2,mutate=2", "operation weights, e.g. bound=6,batch=2,mutate=2")
+		batchSize   = flag.Int("batch-size", 8, "queries per batch request")
+		verifyN     = flag.Int("verify", 50, "pinned-read queries to verify bit-identical against a local engine before the load phase (0 = skip)")
+		seed        = flag.Int64("seed", 1, "random seed")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		quick       = flag.Bool("quick", false, "CI smoke configuration: -duration 2s -concurrency 4 -verify 25")
+	)
+	flag.Parse()
+	if *quick {
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["duration"] {
+			*duration = 2 * time.Second
+		}
+		if !set["concurrency"] {
+			*concurrency = 4
+		}
+		if !set["verify"] {
+			*verifyN = 25
+		}
+	}
+	if *concurrency < 1 || *batchSize < 1 {
+		fail("concurrency and batch-size must be >= 1")
+	}
+	weights, err := parseMix(*mix)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	base := strings.TrimRight(*addr, "/")
+
+	st, err := fetchStore(client, base)
+	if err != nil {
+		fail("fetching %s/v1/store: %v", base, err)
+	}
+	schema, err := schemaOf(st)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("pcload: target %s — %d constraints, epoch %d, %d attributes\n",
+		base, len(st.Constraints), st.Epoch, schema.Len())
+
+	if *verifyN > 0 {
+		if err := verifyPinned(client, base, st, schema, *verifyN, *seed); err != nil {
+			fail("verification: %v", err)
+		}
+		fmt.Printf("pcload: verified %d pinned reads bit-identical to a local engine at epoch %d\n", *verifyN, st.Epoch)
+	}
+
+	stats := runLoad(client, base, schema, loadConfig{
+		duration:    *duration,
+		concurrency: *concurrency,
+		weights:     weights,
+		batchSize:   *batchSize,
+		seed:        *seed,
+	})
+	stats.report(os.Stdout, *duration)
+	if stats.hardErrors() > 0 {
+		os.Exit(1)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pcload: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// parseMix parses "bound=6,batch=2,mutate=2" into weights.
+func parseMix(s string) (map[string]int, error) {
+	w := map[string]int{"bound": 0, "batch": 0, "mutate": 0}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad mix entry %q (want op=weight)", part)
+		}
+		if _, known := w[name]; !known {
+			return nil, fmt.Errorf("unknown op %q in mix (want bound, batch, mutate)", name)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad weight in %q", part)
+		}
+		w[name] = n
+	}
+	if w["bound"]+w["batch"]+w["mutate"] == 0 {
+		return nil, fmt.Errorf("mix %q has zero total weight", s)
+	}
+	return w, nil
+}
+
+func fetchStore(client *http.Client, base string) (*server.StoreResponse, error) {
+	resp, err := client.Get(base + "/v1/store")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d (%s)", resp.StatusCode, raw)
+	}
+	var st server.StoreResponse
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// schemaOf rebuilds the schema a /v1/store response describes.
+func schemaOf(st *server.StoreResponse) (*domain.Schema, error) {
+	raw, err := json.Marshal(core.SpecJSON{Schema: st.Schema})
+	if err != nil {
+		return nil, err
+	}
+	_, schema, err := core.DecodeSet(raw)
+	if err != nil {
+		return nil, fmt.Errorf("rebuilding schema: %w", err)
+	}
+	return schema, nil
+}
+
+// verifyPinned rebuilds the fetched constraint state locally and checks that
+// pinned HTTP reads are bit-identical to direct engine bounds over it.
+func verifyPinned(client *http.Client, base string, st *server.StoreResponse, schema *domain.Schema, n int, seed int64) error {
+	raw, err := json.Marshal(core.SpecJSON{Schema: st.Schema, Constraints: st.Constraints})
+	if err != nil {
+		return err
+	}
+	local, _, err := core.DecodeSet(raw)
+	if err != nil {
+		return fmt.Errorf("rebuilding store: %w", err)
+	}
+	engine := core.NewEngine(local, nil, core.Options{})
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		// The query is drawn once per i, outside the retry loop, so the
+		// verified sequence is reproducible from -seed no matter how many
+		// 429s the server interleaves.
+		qj := randomQuery(rng, schema)
+		var resp server.BoundResponse
+		var code int
+		var body []byte
+		var err error
+		for {
+			code, body, err = postJSON(client, base+"/v1/bound",
+				server.BoundRequest{Query: qj, Epoch: &st.Epoch}, &resp)
+			if err != nil {
+				return err
+			}
+			if code != http.StatusTooManyRequests {
+				break
+			}
+			time.Sleep(50 * time.Millisecond) // backpressure; retry the same query
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("query %d (%+v): status %d (%s) — pinned epoch %d may have been evicted; rerun verification against a fresh server", i, qj, code, body, st.Epoch)
+		}
+		q, err := core.QueryFromJSON(schema, qj)
+		if err != nil {
+			return fmt.Errorf("query %d: %v", i, err)
+		}
+		want, err := engine.Bound(q)
+		if err != nil {
+			return fmt.Errorf("query %d: local bound: %v", i, err)
+		}
+		got := resp.Range.Range()
+		if math.Float64bits(got.Lo) != math.Float64bits(want.Lo) ||
+			math.Float64bits(got.Hi) != math.Float64bits(want.Hi) ||
+			got.LoExact != want.LoExact || got.HiExact != want.HiExact ||
+			got.MaybeEmpty != want.MaybeEmpty || got.Reconciled != want.Reconciled {
+			return fmt.Errorf("query %d (%+v): served range %+v != local range %+v", i, qj, got, want)
+		}
+	}
+	return nil
+}
+
+type loadConfig struct {
+	duration    time.Duration
+	concurrency int
+	weights     map[string]int
+	batchSize   int
+	seed        int64
+}
+
+// opStats aggregates one operation type's outcomes across all workers.
+type opStats struct {
+	ok        int
+	throttled int
+	errors    []string
+	latencies []time.Duration
+}
+
+type loadStats struct {
+	ops map[string]*opStats
+}
+
+func (s *loadStats) hardErrors() int {
+	n := 0
+	for _, op := range s.ops {
+		n += len(op.errors)
+	}
+	return n
+}
+
+func (s *loadStats) report(w io.Writer, d time.Duration) {
+	total, throttled, failed := 0, 0, 0
+	for _, op := range s.ops {
+		total += op.ok + op.throttled + len(op.errors)
+		throttled += op.throttled
+		failed += len(op.errors)
+	}
+	fmt.Fprintf(w, "pcload: %d requests in %v (%.1f req/s), %d failed, %d throttled (429)\n",
+		total, d, float64(total)/d.Seconds(), failed, throttled)
+	for _, name := range []string{"bound", "batch", "mutate"} {
+		op := s.ops[name]
+		lat := append([]time.Duration(nil), op.latencies...)
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		p50, p99 := quantileDur(lat, 0.5), quantileDur(lat, 0.99)
+		fmt.Fprintf(w, "  %-6s %6d ok  %4d throttled  %3d failed  p50 %8v  p99 %8v\n",
+			name, op.ok, op.throttled, len(op.errors), p50.Round(10*time.Microsecond), p99.Round(10*time.Microsecond))
+	}
+	shown := 0
+	for _, name := range []string{"bound", "batch", "mutate"} {
+		for _, msg := range s.ops[name].errors {
+			if shown == 5 {
+				fmt.Fprintf(w, "  … more errors elided\n")
+				return
+			}
+			fmt.Fprintf(w, "  ERROR %s: %s\n", name, msg)
+			shown++
+		}
+	}
+}
+
+func quantileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// runLoad drives the closed-loop phase: each worker owns a deterministic
+// RNG, a stack of constraint ids it added (so mutations clean up after
+// themselves and the store size stays bounded), and merges its stats on
+// exit.
+func runLoad(client *http.Client, base string, schema *domain.Schema, cfg loadConfig) *loadStats {
+	deadline := time.Now().Add(cfg.duration)
+	results := make([]*loadStats, cfg.concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = loadWorker(client, base, schema, cfg, w, deadline)
+		}(w)
+	}
+	wg.Wait()
+	merged := &loadStats{ops: map[string]*opStats{
+		"bound": {}, "batch": {}, "mutate": {},
+	}}
+	for _, r := range results {
+		for name, op := range r.ops {
+			m := merged.ops[name]
+			m.ok += op.ok
+			m.throttled += op.throttled
+			m.errors = append(m.errors, op.errors...)
+			m.latencies = append(m.latencies, op.latencies...)
+		}
+	}
+	return merged
+}
+
+func loadWorker(client *http.Client, base string, schema *domain.Schema, cfg loadConfig, w int, deadline time.Time) *loadStats {
+	rng := rand.New(rand.NewSource(cfg.seed + int64(w)*7919))
+	stats := &loadStats{ops: map[string]*opStats{
+		"bound": {}, "batch": {}, "mutate": {},
+	}}
+	wTotal := cfg.weights["bound"] + cfg.weights["batch"] + cfg.weights["mutate"]
+	var myIDs []uint64
+	for time.Now().Before(deadline) {
+		pick := rng.Intn(wTotal)
+		var name string
+		switch {
+		case pick < cfg.weights["bound"]:
+			name = "bound"
+		case pick < cfg.weights["bound"]+cfg.weights["batch"]:
+			name = "batch"
+		default:
+			name = "mutate"
+		}
+		op := stats.ops[name]
+		start := time.Now()
+		code, errMsg := doOp(client, base, schema, rng, name, cfg.batchSize, &myIDs)
+		elapsed := time.Since(start)
+		switch {
+		case errMsg != "":
+			op.errors = append(op.errors, errMsg)
+		case code == http.StatusTooManyRequests:
+			op.throttled++
+			time.Sleep(10 * time.Millisecond) // honor backpressure
+		default:
+			op.ok++
+			op.latencies = append(op.latencies, elapsed)
+		}
+	}
+	// Leave the store as found: retract this worker's surviving additions.
+	for _, id := range myIDs {
+		_, _, _ = postJSON(client, base+"/v1/store/remove", server.RemoveRequest{ID: id}, nil)
+	}
+	return stats
+}
+
+// doOp issues one operation. It returns the status code and, for hard
+// failures (transport errors, unexpected statuses, malformed bodies), a
+// non-empty error message. 429 is backpressure, not failure.
+func doOp(client *http.Client, base string, schema *domain.Schema, rng *rand.Rand, name string, batchSize int, myIDs *[]uint64) (int, string) {
+	switch name {
+	case "bound":
+		var resp server.BoundResponse
+		code, body, err := postJSON(client, base+"/v1/bound",
+			server.BoundRequest{Query: randomQuery(rng, schema)}, &resp)
+		return checkQueryResp(code, body, err, 1, []server.RangeJSON{resp.Range})
+	case "batch":
+		queries := make([]core.QueryJSON, batchSize)
+		for i := range queries {
+			queries[i] = randomQuery(rng, schema)
+		}
+		var resp server.BatchResponse
+		code, body, err := postJSON(client, base+"/v1/batch",
+			server.BatchRequest{Queries: queries}, &resp)
+		return checkQueryResp(code, body, err, batchSize, resp.Ranges)
+	default: // mutate
+		// Alternate between growing and shrinking so the store size hovers
+		// around its boot state instead of drifting.
+		if len(*myIDs) > 0 && rng.Intn(2) == 0 {
+			id := (*myIDs)[0]
+			code, body, err := postJSON(client, base+"/v1/store/remove", server.RemoveRequest{ID: id}, nil)
+			if code == http.StatusOK {
+				// Pop only once the server confirms: a failed remove keeps
+				// the id queued for the end-of-run cleanup.
+				*myIDs = (*myIDs)[1:]
+			}
+			if err != nil {
+				return 0, err.Error()
+			}
+			if code != http.StatusOK && code != http.StatusTooManyRequests {
+				return code, fmt.Sprintf("remove id %d: status %d (%s)", id, code, body)
+			}
+			return code, ""
+		}
+		var resp server.AddResponse
+		code, body, err := postJSON(client, base+"/v1/store/add",
+			server.AddRequest{Constraints: []core.PCJSON{randomConstraint(rng, schema)}}, &resp)
+		if err != nil {
+			return 0, err.Error()
+		}
+		if code == http.StatusOK {
+			*myIDs = append(*myIDs, resp.IDs...)
+			return code, ""
+		}
+		if code == http.StatusTooManyRequests {
+			return code, ""
+		}
+		return code, fmt.Sprintf("add: status %d (%s)", code, body)
+	}
+}
+
+func checkQueryResp(code int, body []byte, err error, wantRanges int, ranges []server.RangeJSON) (int, string) {
+	if err != nil {
+		return 0, err.Error()
+	}
+	if code == http.StatusTooManyRequests {
+		return code, ""
+	}
+	if code != http.StatusOK {
+		return code, fmt.Sprintf("status %d (%s)", code, body)
+	}
+	if len(ranges) != wantRanges {
+		return code, fmt.Sprintf("%d ranges in response, want %d", len(ranges), wantRanges)
+	}
+	for i, r := range ranges {
+		lo, hi := float64(r.Lo), float64(r.Hi)
+		if math.IsNaN(lo) || math.IsNaN(hi) {
+			return code, fmt.Sprintf("range %d is NaN: %+v", i, r)
+		}
+		// lo > hi is the legitimate "no instance matches" marker; anything
+		// else must be an ordered interval.
+	}
+	return code, ""
+}
+
+func postJSON(client *http.Client, url string, req, out any) (int, []byte, error) {
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, out); err != nil {
+			return resp.StatusCode, body, fmt.Errorf("decoding %s response: %w (%s)", url, err, body)
+		}
+	}
+	return resp.StatusCode, body, nil
+}
+
+// randomQuery draws an aggregate query: any of the five aggregates, over the
+// full domain or a random region on one or two attributes.
+func randomQuery(rng *rand.Rand, schema *domain.Schema) core.QueryJSON {
+	aggs := []string{"COUNT", "SUM", "AVG", "MIN", "MAX"}
+	qj := core.QueryJSON{Agg: aggs[rng.Intn(len(aggs))]}
+	if qj.Agg != "COUNT" {
+		qj.Attr = schema.Attr(rng.Intn(schema.Len())).Name
+	}
+	for _, i := range pickAttrs(rng, schema.Len(), rng.Intn(3)) {
+		if qj.Where == nil {
+			qj.Where = map[string][2]float64{}
+		}
+		a := schema.Attr(i)
+		qj.Where[a.Name] = randomSubrange(rng, a)
+	}
+	return qj
+}
+
+// randomConstraint draws a constraint over a random region: a value window
+// on one attribute and a small frequency window. Adding it can only narrow
+// coverage gaps, so a closed store stays closed under load.
+func randomConstraint(rng *rand.Rand, schema *domain.Schema) core.PCJSON {
+	pj := core.PCJSON{
+		Name:      fmt.Sprintf("load-%d", rng.Int63()),
+		Predicate: map[string][2]float64{},
+		Values:    map[string][2]float64{},
+	}
+	for _, i := range pickAttrs(rng, schema.Len(), 1+rng.Intn(2)) {
+		a := schema.Attr(i)
+		pj.Predicate[a.Name] = randomSubrange(rng, a)
+	}
+	va := schema.Attr(rng.Intn(schema.Len()))
+	pj.Values[va.Name] = randomSubrange(rng, va)
+	pj.KLo = rng.Intn(3)
+	pj.KHi = pj.KLo + rng.Intn(5)
+	return pj
+}
+
+// pickAttrs draws up to n distinct attribute indices.
+func pickAttrs(rng *rand.Rand, total, n int) []int {
+	if n > total {
+		n = total
+	}
+	perm := rng.Perm(total)
+	return perm[:n]
+}
+
+// randomSubrange draws a non-empty subrange of an attribute's domain,
+// snapped to integers for integral attributes.
+func randomSubrange(rng *rand.Rand, a domain.Attr) [2]float64 {
+	span := a.Domain.Hi - a.Domain.Lo
+	lo := a.Domain.Lo + rng.Float64()*span*0.8
+	hi := lo + rng.Float64()*(a.Domain.Hi-lo)
+	if a.Kind == domain.Integral {
+		lo, hi = math.Floor(lo), math.Ceil(hi)
+	}
+	return [2]float64{lo, hi}
+}

@@ -172,39 +172,22 @@ func parseQueries(schema *domain.Schema, aggList, attr, where string) ([]core.Qu
 	var queries []core.Query
 	var labels []string
 	for _, name := range strings.Split(aggList, ",") {
-		name = strings.ToUpper(strings.TrimSpace(name))
-		aggKind, ok := parseAgg(name)
+		// ParseAgg normalizes case and whitespace itself.
+		aggKind, ok := core.ParseAgg(name)
 		if !ok {
-			return nil, nil, fmt.Errorf("unknown aggregate %q (want COUNT, SUM, AVG, MIN or MAX)", name)
+			return nil, nil, fmt.Errorf("unknown aggregate %q (want COUNT, SUM, AVG, MIN or MAX)", strings.TrimSpace(name))
 		}
 		if aggKind != core.Count && (attr == "" || attr == "-") {
-			return nil, nil, fmt.Errorf("-attr is required for %s", name)
+			return nil, nil, fmt.Errorf("-attr is required for %s", aggKind)
 		}
 		q := core.Query{Agg: aggKind, Where: wherePred}
 		if aggKind != core.Count {
 			q.Attr = attr
 		}
 		queries = append(queries, q)
-		labels = append(labels, name)
+		labels = append(labels, aggKind.String())
 	}
 	return queries, labels, nil
-}
-
-func parseAgg(name string) (core.Agg, bool) {
-	switch name {
-	case "COUNT":
-		return core.Count, true
-	case "SUM":
-		return core.Sum, true
-	case "AVG":
-		return core.Avg, true
-	case "MIN":
-		return core.Min, true
-	case "MAX":
-		return core.Max, true
-	default:
-		return 0, false
-	}
 }
 
 // parseWhere parses "attr:lo:hi,attr:lo:hi" into a predicate, validating

@@ -1,0 +1,116 @@
+// Command pcserved serves hard aggregate ranges over HTTP: a thin,
+// consistency-preserving layer over the versioned constraint Store and its
+// snapshot-bound Engines (see internal/server for the API contract).
+//
+// Usage:
+//
+//	pcserved -spec constraints.json                  # serve on :8080
+//	pcserved -spec constraints.json -addr :9000 \
+//	         -max-inflight 64 -retain-epochs 16
+//
+// Endpoints:
+//
+//	POST /v1/bound          one aggregate query        {"query":{"agg":"SUM","attr":"price"},"epoch":3}
+//	POST /v1/batch          a query batch fanned out over the worker pool
+//	POST /v1/store/add      add constraints            → {"ids":[…],"epoch":N}
+//	POST /v1/store/remove   retract a constraint by id → {"epoch":N}
+//	POST /v1/store/replace  swap a constraint in place → {"epoch":N}
+//	GET  /v1/store          snapshot spec + ids + epoch (DecodeSet-compatible)
+//	GET  /healthz           liveness; 503 once draining
+//	GET  /metrics           Prometheus text: latency quantiles, epoch, cache
+//
+// Reads are pinned to a store snapshot (the latest by default, an older
+// retained one via "epoch"), so concurrent mutations never perturb an
+// in-flight or pinned query. SIGINT/SIGTERM begin a graceful drain:
+// /healthz flips to 503, new connections stop, in-flight bounds finish.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pcbound/internal/core"
+	"pcbound/internal/sat"
+	"pcbound/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		specPath    = flag.String("spec", "", "path to the boot constraint spec JSON (required; may contain zero constraints)")
+		maxInflight = flag.Int("max-inflight", 0, "max concurrently executing bound/batch requests before 429 (0 = 4x GOMAXPROCS)")
+		retain      = flag.Int("retain-epochs", 0, "snapshot epochs kept servable for pinned reads (0 = default)")
+		maxPar      = flag.Int("max-parallel", 0, "ceiling (and default) for a batch request's worker fan-out (0 = GOMAXPROCS)")
+		maxBatch    = flag.Int("max-batch", 0, "max queries per /v1/batch request (0 = default)")
+		shutdownT   = flag.Duration("shutdown-timeout", 30*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM")
+		cacheSize   = flag.Int("decomp-cache", 0, "decomposition cache regions (0 = default)")
+	)
+	flag.Parse()
+	if *specPath == "" {
+		fmt.Fprintln(os.Stderr, "pcserved: missing -spec")
+		os.Exit(1)
+	}
+	raw, err := os.ReadFile(*specPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcserved: %v\n", err)
+		os.Exit(1)
+	}
+	store, schema, err := core.DecodeSet(raw)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcserved: %v\n", err)
+		os.Exit(1)
+	}
+
+	solver := sat.New(schema)
+	if !store.Closed(solver) {
+		if w, ok := store.Uncovered(solver); ok {
+			log.Printf("warning: constraint set is not closed (e.g. %v is uncovered); served bounds hold only if no missing row falls outside all predicates", w)
+		}
+	}
+
+	s := server.New(store, solver, server.Config{
+		MaxInflight:    *maxInflight,
+		RetainEpochs:   *retain,
+		MaxParallelism: *maxPar,
+		MaxBatch:       *maxBatch,
+		Engine:         core.Options{DecompCacheSize: *cacheSize},
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("pcserved: serving %d constraints (epoch %d) on %s", store.Len(), store.Epoch(), *addr)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		// ListenAndServe never returns nil.
+		log.Fatalf("pcserved: %v", err)
+	case sig := <-sigCh:
+		log.Printf("pcserved: %v: draining (timeout %v)", sig, *shutdownT)
+	}
+
+	s.StartDraining()
+	ctx, cancel := context.WithTimeout(context.Background(), *shutdownT)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatalf("pcserved: drain incomplete: %v", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("pcserved: %v", err)
+	}
+	log.Printf("pcserved: drained cleanly (epoch %d)", store.Epoch())
+}

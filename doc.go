@@ -22,6 +22,20 @@
 // domain (Definition 3.2) is tracked incrementally across mutations by
 // sat.Incremental.
 //
+// The stack also serves over the network: cmd/pcserved exposes bound/batch
+// queries and store mutations as an HTTP JSON API (internal/server), where
+// every read request is pinned to a store snapshot — the latest by default,
+// or, via the request's epoch field, an older retained one, answered
+// bit-identically to the original read no matter how the store has moved
+// since. Engines come from a rebind-on-demand pool sharing one solver,
+// solve-context pool, and decomposition cache across requests; overload is
+// shed with 429 backpressure rather than unbounded queueing; and shutdown
+// drains in-flight bounds (core.BoundBatchCtx skips only queries that have
+// not started). cmd/pcload closed-loop-drives the API with a configurable
+// bound/batch/mutate mix, reporting throughput and tail latency, and can
+// verify served ranges bitwise against a local engine rebuilt from
+// GET /v1/store.
+//
 // The root package carries module documentation and the per-figure
 // benchmarks (bench_test.go); the implementation lives under internal/:
 //

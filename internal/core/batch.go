@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -34,6 +35,17 @@ type BatchOptions struct {
 // attempted, and the error of the lowest-indexed failing query (if any) is
 // returned alongside the partial results, whose failed entries are zero.
 func (e *Engine) BoundBatch(queries []Query, opts BatchOptions) ([]Range, error) {
+	return e.BoundBatchCtx(context.Background(), queries, opts)
+}
+
+// BoundBatchCtx is BoundBatch with cooperative cancellation: once ctx is
+// done, queries that have not started are skipped (their results stay zero
+// and their per-query error is ctx's error), while bounds already in flight
+// run to completion — a Bound is never abandoned half-way, which is what
+// lets a serving layer drain gracefully. Cancellation granularity is one
+// query: the first error returned is the lowest-indexed failing query's,
+// which may be the context error when cancellation cut the batch short.
+func (e *Engine) BoundBatchCtx(ctx context.Context, queries []Query, opts BatchOptions) ([]Range, error) {
 	n := len(queries)
 	if n == 0 {
 		return nil, nil
@@ -49,12 +61,20 @@ func (e *Engine) BoundBatch(queries []Query, opts BatchOptions) ([]Range, error)
 	errs := make([]error, n)
 	if par == 1 {
 		for i, q := range queries {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
 			results[i], errs[i] = e.Bound(q)
 		}
 		return results, firstError(errs)
 	}
 	workers := make([]*Engine, par)
 	parallel.For(n, par, func(w, i int) {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
 		we := workers[w]
 		if we == nil {
 			we = e.workerClone()

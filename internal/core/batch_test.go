@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 
@@ -296,5 +298,78 @@ func TestSolverStatsFoldedAfterBatch(t *testing.T) {
 	// parallel run can only do at least as much attributed work, never less.
 	if got.Checks < want.Checks {
 		t.Errorf("parallel solver stats lost work: %d checks < sequential %d", got.Checks, want.Checks)
+	}
+}
+
+// TestBoundBatchCtxCancel checks cooperative cancellation: a pre-cancelled
+// context bounds nothing, returns the context error, and leaves every result
+// zero — at sequential and parallel fan-out alike.
+func TestBoundBatchCtxCancel(t *testing.T) {
+	set := overlappingSet(t)
+	queries := batchWorkload(set.Schema())
+	for _, par := range []int{1, 4} {
+		e := NewEngine(set, nil, Options{})
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		results, err := e.BoundBatchCtx(ctx, queries, BatchOptions{Parallelism: par})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("par=%d: err = %v, want context.Canceled", par, err)
+		}
+		for i, r := range results {
+			if r != (Range{}) {
+				t.Fatalf("par=%d: result %d = %v after pre-cancelled batch", par, i, r)
+			}
+		}
+	}
+}
+
+// TestBoundBatchCtxBackground checks that the context-free path is untouched:
+// BoundBatch must stay bit-identical to BoundBatchCtx with a live context.
+func TestBoundBatchCtxBackground(t *testing.T) {
+	set := overlappingSet(t)
+	queries := batchWorkload(set.Schema())
+	e := NewEngine(set, nil, Options{})
+	want, err := e.BoundBatch(queries, BatchOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.BoundBatchCtx(context.Background(), queries, BatchOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("query %d: %v vs %v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestBoundBatchCtxMidwayCancel cancels while a parallel batch is in flight:
+// the batch must return promptly with the context error and partial results,
+// and every completed Range must still be bit-identical to the sequential
+// reference (an in-flight bound is finished, never corrupted).
+func TestBoundBatchCtxMidwayCancel(t *testing.T) {
+	set := overlappingSet(t)
+	queries := batchWorkload(set.Schema())
+	ref := NewEngine(set, nil, Options{DisableDecompCache: true})
+	want := make([]Range, len(queries))
+	for i, q := range queries {
+		r, err := ref.Bound(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+	e := NewEngine(set, nil, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	go cancel() // races with the batch: some queries may finish, some not
+	results, err := e.BoundBatchCtx(ctx, queries, BatchOptions{Parallelism: 4})
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	for i, r := range results {
+		if r != (Range{}) && r != want[i] {
+			t.Fatalf("query %d: completed result %v differs from reference %v", i, r, want[i])
+		}
 	}
 }

@@ -4,15 +4,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"strings"
 
 	"pcbound/internal/domain"
 	"pcbound/internal/predicate"
 )
 
-// This file implements a JSON wire format for schemas and constraint sets,
-// so contingency assumptions can be "checked, versioned, and tested just
-// like any other analysis code" (Section 1). cmd/pcrange consumes the same
-// format.
+// This file implements a JSON wire format for schemas, constraint sets, and
+// aggregate queries, so contingency assumptions can be "checked, versioned,
+// and tested just like any other analysis code" (Section 1). cmd/pcrange
+// consumes the same format, and internal/server speaks it over HTTP — one
+// encoding for files, scripts, and the network.
 
 // SpecJSON is the serialized form of a schema plus constraint set.
 type SpecJSON struct {
@@ -40,9 +42,37 @@ type PCJSON struct {
 	KHi       int                   `json:"khi"`
 }
 
-// EncodeSet serializes the set (with its schema) to JSON.
-func EncodeSet(set *Set) ([]byte, error) {
-	schema := set.Schema()
+// EncodePC serializes one constraint against its schema. Predicate and value
+// entries are emitted only for attributes narrower than the domain, matching
+// what DecodePC/PCFromJSON reconstruct — encode→decode round-trips to an
+// identical constraint.
+func EncodePC(schema *domain.Schema, pc PC) PCJSON {
+	pj := PCJSON{
+		Name:      pc.Name,
+		Predicate: map[string][2]float64{},
+		Values:    map[string][2]float64{},
+		KLo:       pc.KLo,
+		KHi:       pc.KHi,
+	}
+	box := pc.Pred.Box()
+	for i := 0; i < schema.Len(); i++ {
+		a := schema.Attr(i)
+		if box[i] != a.Domain {
+			pj.Predicate[a.Name] = [2]float64{box[i].Lo, box[i].Hi}
+		}
+		if pc.Values[i] != a.Domain {
+			pj.Values[a.Name] = [2]float64{pc.Values[i].Lo, pc.Values[i].Hi}
+		}
+	}
+	return pj
+}
+
+// Spec serializes the snapshot's schema and constraints. Unlike encoding the
+// store directly, the result is consistent with the snapshot's epoch — the
+// serving layer uses it to hand clients a frozen view they can rebuild
+// bit-identically with DecodeSet.
+func (sn *Snapshot) Spec() SpecJSON {
+	schema := sn.Schema()
 	spec := SpecJSON{}
 	for i := 0; i < schema.Len(); i++ {
 		a := schema.Attr(i)
@@ -54,27 +84,15 @@ func EncodeSet(set *Set) ([]byte, error) {
 			Name: a.Name, Kind: kind, Min: a.Domain.Lo, Max: a.Domain.Hi,
 		})
 	}
-	for _, pc := range set.PCs() {
-		pj := PCJSON{
-			Name:      pc.Name,
-			Predicate: map[string][2]float64{},
-			Values:    map[string][2]float64{},
-			KLo:       pc.KLo,
-			KHi:       pc.KHi,
-		}
-		box := pc.Pred.Box()
-		for i := 0; i < schema.Len(); i++ {
-			a := schema.Attr(i)
-			if box[i] != a.Domain {
-				pj.Predicate[a.Name] = [2]float64{box[i].Lo, box[i].Hi}
-			}
-			if pc.Values[i] != a.Domain {
-				pj.Values[a.Name] = [2]float64{pc.Values[i].Lo, pc.Values[i].Hi}
-			}
-		}
-		spec.Constraints = append(spec.Constraints, pj)
+	for _, pc := range sn.pcs {
+		spec.Constraints = append(spec.Constraints, EncodePC(schema, pc))
 	}
-	return json.MarshalIndent(spec, "", "  ")
+	return spec
+}
+
+// EncodeSet serializes the set (with its schema) to JSON.
+func EncodeSet(set *Set) ([]byte, error) {
+	return json.MarshalIndent(set.Snapshot().Spec(), "", "  ")
 }
 
 // DecodeSet parses a SpecJSON document into a fresh schema and set.
@@ -104,7 +122,7 @@ func DecodeSet(raw []byte) (*Set, *domain.Schema, error) {
 	schema := domain.NewSchema(attrs...)
 	set := NewSet(schema)
 	for i, c := range spec.Constraints {
-		pc, err := decodePC(schema, c)
+		pc, err := PCFromJSON(schema, c)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: constraint %d: %w", i, err)
 		}
@@ -115,10 +133,10 @@ func DecodeSet(raw []byte) (*Set, *domain.Schema, error) {
 	return set, schema, nil
 }
 
-// decodePC materializes one serialized constraint against a schema. Its own
-// error messages carry no "core:" prefix — the callers supply the context
-// ("core: constraint %d: ..." in DecodeSet).
-func decodePC(schema *domain.Schema, c PCJSON) (PC, error) {
+// PCFromJSON materializes one already-parsed PCJSON against a schema. Its
+// error messages carry no "core:" prefix — callers supply the context
+// ("core: constraint %d: ..." in DecodeSet, a 400 body in the HTTP layer).
+func PCFromJSON(schema *domain.Schema, c PCJSON) (PC, error) {
 	b := predicate.NewBuilder(schema)
 	for name, rng := range c.Predicate {
 		if _, ok := schema.Index(name); !ok {
@@ -147,5 +165,92 @@ func DecodePC(schema *domain.Schema, raw []byte) (PC, error) {
 	if err := json.Unmarshal(raw, &c); err != nil {
 		return PC{}, fmt.Errorf("core: parsing constraint: %w", err)
 	}
-	return decodePC(schema, c)
+	return PCFromJSON(schema, c)
+}
+
+// QueryJSON serializes one aggregate query. Where maps attribute name to
+// [lo, hi]; attributes absent from the map are unconstrained, and an empty
+// (or absent) map means no predicate.
+type QueryJSON struct {
+	Agg   string                `json:"agg"`
+	Attr  string                `json:"attr,omitempty"`
+	Where map[string][2]float64 `json:"where,omitempty"`
+}
+
+// ParseAgg resolves an aggregate name (case-insensitively) to its Agg.
+func ParseAgg(name string) (Agg, bool) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "COUNT":
+		return Count, true
+	case "SUM":
+		return Sum, true
+	case "AVG":
+		return Avg, true
+	case "MIN":
+		return Min, true
+	case "MAX":
+		return Max, true
+	default:
+		return 0, false
+	}
+}
+
+// QueryFromJSON materializes a wire query against a schema, validating the
+// aggregate name, the aggregated attribute, and every where-clause attribute
+// up front so the serving layer can turn any mistake into a 400 before
+// engine work starts. Attr is ignored (and may be empty) for COUNT.
+func QueryFromJSON(schema *domain.Schema, qj QueryJSON) (Query, error) {
+	agg, ok := ParseAgg(qj.Agg)
+	if !ok {
+		return Query{}, fmt.Errorf("unknown aggregate %q (want COUNT, SUM, AVG, MIN or MAX)", qj.Agg)
+	}
+	q := Query{Agg: agg}
+	if agg != Count {
+		if qj.Attr == "" {
+			return Query{}, fmt.Errorf("aggregate %s needs an attr", agg)
+		}
+		if _, ok := schema.Index(qj.Attr); !ok {
+			return Query{}, fmt.Errorf("unknown attribute %q (schema has %s)",
+				qj.Attr, strings.Join(schema.Names(), ", "))
+		}
+		q.Attr = qj.Attr
+	}
+	if len(qj.Where) > 0 {
+		b := predicate.NewBuilder(schema)
+		for name, rng := range qj.Where {
+			if _, ok := schema.Index(name); !ok {
+				return Query{}, fmt.Errorf("unknown where attribute %q (schema has %s)",
+					name, strings.Join(schema.Names(), ", "))
+			}
+			if math.IsNaN(rng[0]) || math.IsNaN(rng[1]) {
+				return Query{}, fmt.Errorf("NaN bound in where clause for %q", name)
+			}
+			b.Range(name, rng[0], rng[1])
+		}
+		q.Where = b.Build()
+	}
+	return q, nil
+}
+
+// QueryToJSON serializes a query in the form QueryFromJSON accepts. Where
+// entries are emitted only for attributes the predicate narrows below the
+// domain (the same convention EncodePC uses for ψ).
+func QueryToJSON(schema *domain.Schema, q Query) QueryJSON {
+	qj := QueryJSON{Agg: q.Agg.String()}
+	if q.Agg != Count {
+		qj.Attr = q.Attr
+	}
+	if q.Where != nil {
+		box := q.Where.Box()
+		for i := 0; i < schema.Len(); i++ {
+			a := schema.Attr(i)
+			if box[i] != a.Domain {
+				if qj.Where == nil {
+					qj.Where = map[string][2]float64{}
+				}
+				qj.Where[a.Name] = [2]float64{box[i].Lo, box[i].Hi}
+			}
+		}
+	}
+	return qj
 }

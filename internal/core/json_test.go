@@ -1,6 +1,8 @@
 package core
 
 import (
+	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 
@@ -148,5 +150,127 @@ func TestGroupBy(t *testing.T) {
 	}
 	if out2[0].Range.Hi != 500 {
 		t.Errorf("group SUM upper = %v, want 500", out2[0].Range.Hi)
+	}
+}
+
+// TestQueryJSONRoundTrip table-drives encode→decode over every aggregate and
+// a mix of predicates: the reconstructed Query must be semantically identical
+// (same aggregate, attribute, and predicate box).
+func TestQueryJSONRoundTrip(t *testing.T) {
+	s := salesSchema()
+	cases := []struct {
+		name string
+		q    Query
+	}{
+		{"count no where", Query{Agg: Count}},
+		{"sum full", Query{Agg: Sum, Attr: "price"}},
+		{"avg one-dim", Query{Agg: Avg, Attr: "price",
+			Where: predicate.NewBuilder(s).Range("utc", 11, 12).Build()}},
+		{"min two-dim", Query{Agg: Min, Attr: "price",
+			Where: predicate.NewBuilder(s).Range("utc", 0, 5).Eq("branch", 1).Build()}},
+		{"max point", Query{Agg: Max, Attr: "utc",
+			Where: predicate.NewBuilder(s).Eq("utc", 7).Build()}},
+		{"count where", Query{Agg: Count,
+			Where: predicate.NewBuilder(s).Range("price", 9.99, 200.5).Build()}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			qj := QueryToJSON(s, tc.q)
+			raw, err := json.Marshal(qj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back QueryJSON
+			if err := json.Unmarshal(raw, &back); err != nil {
+				t.Fatal(err)
+			}
+			got, err := QueryFromJSON(s, back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Agg != tc.q.Agg || got.Attr != tc.q.Attr {
+				t.Fatalf("round trip gave %v/%q, want %v/%q", got.Agg, got.Attr, tc.q.Agg, tc.q.Attr)
+			}
+			switch {
+			case tc.q.Where == nil:
+				if got.Where != nil {
+					t.Fatalf("round trip grew a predicate: %v", got.Where)
+				}
+			case got.Where == nil:
+				t.Fatalf("round trip lost the predicate %v", tc.q.Where)
+			default:
+				wb, gb := tc.q.Where.Box(), got.Where.Box()
+				for d := range wb {
+					if wb[d] != gb[d] {
+						t.Fatalf("dim %d: %v vs %v", d, wb[d], gb[d])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestQueryFromJSONErrors checks every validation the HTTP layer relies on
+// to produce a 400 before engine work starts.
+func TestQueryFromJSONErrors(t *testing.T) {
+	s := salesSchema()
+	cases := []struct {
+		name string
+		qj   QueryJSON
+		want string
+	}{
+		{"unknown agg", QueryJSON{Agg: "MEDIAN"}, "unknown aggregate"},
+		{"empty agg", QueryJSON{}, "unknown aggregate"},
+		{"missing attr", QueryJSON{Agg: "SUM"}, "needs an attr"},
+		{"unknown attr", QueryJSON{Agg: "SUM", Attr: "weight"}, "unknown attribute"},
+		{"unknown where attr", QueryJSON{Agg: "COUNT",
+			Where: map[string][2]float64{"weight": {0, 1}}}, "unknown where attribute"},
+		{"nan where bound", QueryJSON{Agg: "COUNT",
+			Where: map[string][2]float64{"utc": {math.NaN(), 3}}}, "NaN bound"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := QueryFromJSON(s, tc.qj)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseAgg checks the case-insensitive aggregate-name mapping shared by
+// pcrange and the HTTP wire format.
+func TestParseAgg(t *testing.T) {
+	for name, want := range map[string]Agg{
+		"COUNT": Count, "sum": Sum, " Avg ": Avg, "min": Min, "MAX": Max,
+	} {
+		got, ok := ParseAgg(name)
+		if !ok || got != want {
+			t.Errorf("ParseAgg(%q) = %v, %v; want %v, true", name, got, ok, want)
+		}
+	}
+	if _, ok := ParseAgg("median"); ok {
+		t.Error("ParseAgg accepted MEDIAN")
+	}
+}
+
+// TestEncodePCRoundTrip checks the exported per-constraint encoder against
+// PCFromJSON on a constraint with mixed narrowed/unconstrained attributes.
+func TestEncodePCRoundTrip(t *testing.T) {
+	set := specFixture()
+	s := set.Schema()
+	for i, pc := range set.PCs() {
+		back, err := PCFromJSON(s, EncodePC(s, pc))
+		if err != nil {
+			t.Fatalf("constraint %d: %v", i, err)
+		}
+		if back.KLo != pc.KLo || back.KHi != pc.KHi || back.Name != pc.Name {
+			t.Fatalf("constraint %d: %v vs %v", i, back, pc)
+		}
+		for d := range pc.Values {
+			if back.Values[d] != pc.Values[d] || back.Pred.Box()[d] != pc.Pred.Box()[d] {
+				t.Fatalf("constraint %d dim %d differs", i, d)
+			}
+		}
 	}
 }

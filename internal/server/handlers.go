@@ -1,0 +1,382 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"pcbound/internal/core"
+	"pcbound/internal/sat"
+)
+
+// Config tunes a Server. The zero value is serviceable.
+type Config struct {
+	// MaxInflight bounds in-flight query work in weighted units: a single
+	// bound weighs 1, a batch weighs its worker fan-out, so the limit caps
+	// concurrent solver work rather than request count. Excess requests get
+	// 429. <= 0 means 4×GOMAXPROCS — enough to keep every core busy, small
+	// enough that overload turns into backpressure instead of memory growth.
+	MaxInflight int
+	// RetainEpochs caps the snapshot-pinned engines kept for old epochs
+	// (<= 0 means DefaultRetainEpochs). The latest engine always counts as
+	// one of them.
+	RetainEpochs int
+	// MaxParallelism caps a batch request's worker fan-out (and is the
+	// default when a request leaves Parallelism at 0). <= 0 means
+	// GOMAXPROCS.
+	MaxParallelism int
+	// MaxBatch caps the queries accepted in one /v1/batch request
+	// (<= 0 means 4096).
+	MaxBatch int
+	// Engine configures the engines the pool creates (cache size, MILP
+	// options…).
+	Engine core.Options
+}
+
+// maxBodyBytes bounds request bodies; a constraint batch some orders of
+// magnitude beyond realistic use is a client bug, not a workload.
+const maxBodyBytes = 8 << 20
+
+// Server serves the pcserved HTTP API over one Store. Create with New,
+// mount via Handler, and call StartDraining before http.Server.Shutdown so
+// health checks report the drain.
+type Server struct {
+	store *core.Store
+	pool  *enginePool
+	lim   *limiter
+	met   *metrics
+	// mutMu serializes this server's mutations so each response reports
+	// exactly the epoch its mutation produced, and so that epoch's engine is
+	// registered in the pool before the next mutation can commit — which is
+	// what makes the documented mutate → pinned-read chain race-free for
+	// HTTP clients. Library-level writers sharing the store bypass this, so
+	// pcserved must be the store's only writer.
+	mutMu sync.Mutex
+	// closure is the solver backing /v1/store closure checks, separate from
+	// the engine pool's solver lineage only so closure SAT work never skews
+	// the serving-path solver statistics exported at /metrics. (Solvers are
+	// safe for concurrent use.)
+	closure  *sat.Solver
+	maxPar   int
+	maxBatch int
+	draining atomic.Bool
+	mux      *http.ServeMux
+}
+
+// New builds a server over the store. The solver seeds the pool's engine
+// lineage (nil for a fresh one).
+func New(store *core.Store, solver *sat.Solver, cfg Config) *Server {
+	maxInflight := cfg.MaxInflight
+	if maxInflight <= 0 {
+		maxInflight = 4 * runtime.GOMAXPROCS(0)
+	}
+	maxPar := cfg.MaxParallelism
+	if maxPar <= 0 {
+		maxPar = runtime.GOMAXPROCS(0)
+	}
+	maxBatch := cfg.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = 4096
+	}
+	s := &Server{
+		store:    store,
+		pool:     newEnginePool(store, solver, cfg.Engine, cfg.RetainEpochs),
+		lim:      newLimiter(maxInflight),
+		met:      newMetrics(),
+		closure:  sat.New(store.Schema()),
+		maxPar:   maxPar,
+		maxBatch: maxBatch,
+	}
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/bound", s.instrument("bound", s.limited(s.handleBound)))
+	mux.Handle("POST /v1/batch", s.instrument("batch", s.handleBatch)) // self-admits by fan-out weight
+	mux.Handle("POST /v1/store/add", s.instrument("store_add", s.handleAdd))
+	mux.Handle("POST /v1/store/remove", s.instrument("store_remove", s.handleRemove))
+	mux.Handle("POST /v1/store/replace", s.instrument("store_replace", s.handleReplace))
+	mux.Handle("GET /v1/store", s.instrument("store_get", s.handleStore))
+	mux.Handle("GET /healthz", http.HandlerFunc(s.handleHealth))
+	mux.Handle("GET /metrics", http.HandlerFunc(s.handleMetrics))
+	s.mux = mux
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// StartDraining flips /healthz to 503 so load balancers stop routing here
+// while http.Server.Shutdown lets in-flight requests finish.
+func (s *Server) StartDraining() { s.draining.Store(true) }
+
+// writeJSON serializes v with a status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, ErrorResponse{Error: msg})
+}
+
+// decodeBody parses a JSON request body into v, with a size cap. Returns
+// false after writing the 400 (or 413) response.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("parsing request body: %v", err))
+		return false
+	}
+	return true
+}
+
+// engineFor resolves the engine a read request runs against: the latest
+// snapshot by default, a retained pinned one when the request names an
+// epoch. Returns nil after writing the 410 response.
+func (s *Server) engineFor(w http.ResponseWriter, epoch *uint64) *core.Engine {
+	if epoch == nil {
+		return s.pool.Latest()
+	}
+	e, err := s.pool.At(*epoch)
+	if err != nil {
+		writeError(w, http.StatusGone, err.Error())
+		return nil
+	}
+	return e
+}
+
+func (s *Server) handleBound(w http.ResponseWriter, r *http.Request) {
+	var req BoundRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	q, err := core.QueryFromJSON(s.store.Schema(), req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	e := s.engineFor(w, req.Epoch)
+	if e == nil {
+		return
+	}
+	rng, err := e.Bound(q)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, BoundResponse{Range: RangeToJSON(rng), Epoch: e.Snapshot().Epoch()})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "batch has no queries")
+		return
+	}
+	if len(req.Queries) > s.maxBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch has %d queries, cap is %d", len(req.Queries), s.maxBatch))
+		return
+	}
+	if req.Parallelism < -1 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("parallelism must be >= -1, got %d", req.Parallelism))
+		return
+	}
+	queries := make([]core.Query, len(req.Queries))
+	for i, qj := range req.Queries {
+		q, err := core.QueryFromJSON(s.store.Schema(), qj)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("query %d: %v", i, err))
+			return
+		}
+		queries[i] = q
+	}
+	par := req.Parallelism
+	switch {
+	case par == 0:
+		par = s.maxPar
+	case par < 0 || par > s.maxPar:
+		par = s.maxPar
+	}
+	if par > len(req.Queries) {
+		par = len(req.Queries)
+	}
+	// Admission is weighted by the batch's actual worker fan-out, so the
+	// limiter bounds concurrent solver work rather than request count — a
+	// flood of wide batches sheds load instead of multiplying threads.
+	granted, ok := s.lim.tryAcquire(par)
+	if !ok {
+		s.rejectOverCapacity(w)
+		return
+	}
+	defer s.lim.release(granted)
+	e := s.engineFor(w, req.Epoch)
+	if e == nil {
+		return
+	}
+	// The request context cancels when the client disconnects: queries not
+	// yet started are skipped (there is nobody to read their ranges), while
+	// in-flight bounds complete — that, plus http.Server.Shutdown waiting on
+	// active handlers, is what makes shutdown drain instead of drop.
+	ranges, err := e.BoundBatchCtx(r.Context(), queries, core.BatchOptions{Parallelism: par})
+	if err != nil {
+		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
+			return // client went away; nothing to report
+		}
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	out := make([]RangeJSON, len(ranges))
+	for i, rng := range ranges {
+		out[i] = RangeToJSON(rng)
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Ranges: out, Epoch: e.Snapshot().Epoch()})
+}
+
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	var req AddRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Constraints) == 0 {
+		writeError(w, http.StatusBadRequest, "add has no constraints")
+		return
+	}
+	pcs := make([]core.PC, len(req.Constraints))
+	for i, cj := range req.Constraints {
+		pc, err := core.PCFromJSON(s.store.Schema(), cj)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("constraint %d: %v", i, err))
+			return
+		}
+		pcs[i] = pc
+	}
+	s.mutMu.Lock()
+	ids, err := s.store.AddPCs(pcs...)
+	if err != nil {
+		s.mutMu.Unlock()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	epoch := s.commitEpochLocked()
+	s.mutMu.Unlock()
+	out := make([]uint64, len(ids))
+	for i, id := range ids {
+		out[i] = uint64(id)
+	}
+	writeJSON(w, http.StatusOK, AddResponse{IDs: out, Epoch: epoch})
+}
+
+// commitEpochLocked finishes a mutation made under mutMu: it binds (and
+// thereby retains) an engine at the store's new frontier and returns that
+// epoch. Because mutMu is still held, no later HTTP mutation can have
+// advanced the store, so the returned epoch is exactly the one the caller's
+// mutation produced — and it is pinnable from this moment on.
+func (s *Server) commitEpochLocked() uint64 {
+	return s.pool.Latest().Snapshot().Epoch()
+}
+
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	var req RemoveRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	s.mutMu.Lock()
+	if err := s.store.Remove(core.PCID(req.ID)); err != nil {
+		s.mutMu.Unlock()
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	epoch := s.commitEpochLocked()
+	s.mutMu.Unlock()
+	writeJSON(w, http.StatusOK, MutateResponse{Epoch: epoch})
+}
+
+func (s *Server) handleReplace(w http.ResponseWriter, r *http.Request) {
+	var req ReplaceRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	pc, err := core.PCFromJSON(s.store.Schema(), req.Constraint)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// The constraint decoded against the store's own schema, so a Replace
+	// failure can only be a missing id.
+	s.mutMu.Lock()
+	if err := s.store.Replace(core.PCID(req.ID), pc); err != nil {
+		s.mutMu.Unlock()
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	epoch := s.commitEpochLocked()
+	s.mutMu.Unlock()
+	writeJSON(w, http.StatusOK, MutateResponse{Epoch: epoch})
+}
+
+func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
+	// mutMu keeps the snapshot and the closure answer at the same epoch:
+	// pcserved is the store's only writer (see mutMu), so with mutations
+	// excluded, Store.Closed — incremental, far cheaper than a per-request
+	// stateless re-solve — describes exactly the snapshot taken here.
+	s.mutMu.Lock()
+	snap := s.store.Snapshot()
+	closed := s.store.Closed(s.closure)
+	s.mutMu.Unlock()
+	spec := snap.Spec()
+	ids := snap.IDs()
+	out := make([]uint64, len(ids))
+	for i, id := range ids {
+		out[i] = uint64(id)
+	}
+	writeJSON(w, http.StatusOK, StoreResponse{
+		Schema:      spec.Schema,
+		Constraints: spec.Constraints,
+		IDs:         out,
+		Epoch:       snap.Epoch(),
+		Closed:      closed,
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{Status: "ok", Epoch: s.store.Epoch(), Constraints: s.store.Len()}
+	code := http.StatusOK
+	if s.draining.Load() {
+		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	e := s.pool.Current()
+	cs := e.CacheStats()
+	ss := e.Solver().Stats()
+	fmt.Fprintf(w, "pcserved_store_epoch %d\n", s.store.Epoch())
+	fmt.Fprintf(w, "pcserved_store_constraints %d\n", s.store.Len())
+	fmt.Fprintf(w, "pcserved_retained_epochs %d\n", len(s.pool.Epochs()))
+	fmt.Fprintf(w, "pcserved_inflight_queries %d\n", s.lim.inflight())
+	fmt.Fprintf(w, "pcserved_inflight_capacity %d\n", s.lim.capacity())
+	fmt.Fprintf(w, "pcserved_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(w, "pcserved_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(w, "pcserved_cache_retained_total %d\n", cs.Retained)
+	fmt.Fprintf(w, "pcserved_cache_invalidated_total %d\n", cs.Invalidated)
+	fmt.Fprintf(w, "pcserved_sat_checks_total %d\n", ss.Checks)
+	fmt.Fprintf(w, "pcserved_sat_nodes_total %d\n", ss.Nodes)
+	s.met.writeTo(w)
+}

@@ -1,0 +1,257 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// limiter is the admission controller: a weighted counting semaphore over
+// in-flight query work. A single bound weighs 1; a batch weighs its worker
+// fan-out, so admitting requests bounds actual concurrent solver work, not
+// just request count. Acquisition never blocks — when the server is
+// saturated the request is rejected immediately with 429 so the client can
+// back off, instead of queueing without bound and turning overload into
+// latency collapse.
+type limiter struct {
+	mu   sync.Mutex
+	used int
+	cap  int
+}
+
+func newLimiter(n int) *limiter {
+	return &limiter{cap: n}
+}
+
+// tryAcquire reserves n units of capacity (clamped to the total, so a
+// full-width batch is admittable on an idle server). It returns the granted
+// weight — which the caller must pass back to release — and whether the
+// reservation succeeded.
+func (l *limiter) tryAcquire(n int) (int, bool) {
+	if n > l.cap {
+		n = l.cap
+	}
+	if n < 1 {
+		n = 1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.used+n > l.cap {
+		return 0, false
+	}
+	l.used += n
+	return n, true
+}
+
+func (l *limiter) release(n int) {
+	l.mu.Lock()
+	l.used -= n
+	l.mu.Unlock()
+}
+
+func (l *limiter) inflight() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.used
+}
+
+func (l *limiter) capacity() int { return l.cap }
+
+// latencyBuckets are the histogram upper bounds in seconds (an implicit
+// +Inf bucket catches the rest). Exponential-ish from 100µs to 10s: bound
+// queries on small stores land in the first few buckets, heavy batches and
+// cold decompositions in the middle, so p50/p99 interpolation stays sane at
+// both ends.
+var latencyBuckets = [numLatencyBuckets]float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+const numLatencyBuckets = 16
+
+// histogram is a fixed-bucket latency histogram. Quantiles are estimated by
+// linear interpolation inside the containing bucket — coarse but bounded
+// memory, which is what a serving loop wants.
+type histogram struct {
+	mu      sync.Mutex
+	buckets [numLatencyBuckets + 1]int64
+	count   int64
+	sum     float64
+}
+
+func (h *histogram) observe(seconds float64) {
+	i := sort.SearchFloat64s(latencyBuckets[:], seconds)
+	h.mu.Lock()
+	h.buckets[i]++
+	h.count++
+	h.sum += seconds
+	h.mu.Unlock()
+}
+
+// quantile returns the estimated q-quantile in seconds (0 when empty). The
+// overflow bucket reports the last finite bound — a floor, not an estimate.
+func (h *histogram) quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	rank := q * float64(h.count)
+	var cum int64
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i == len(latencyBuckets) {
+				return latencyBuckets[len(latencyBuckets)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = latencyBuckets[i-1]
+			}
+			hi := latencyBuckets[i]
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return latencyBuckets[len(latencyBuckets)-1]
+}
+
+func (h *histogram) snapshot() (count int64, sum float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count, h.sum
+}
+
+// endpointMetrics aggregates one endpoint's request counts (by status code)
+// and latency distribution.
+type endpointMetrics struct {
+	mu    sync.Mutex
+	codes map[int]int64
+	lat   histogram
+}
+
+// metrics is the server-wide registry. Endpoints register lazily on first
+// request; /metrics renders everything in deterministic (sorted) order.
+type metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointMetrics
+	rejected  atomic.Int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{endpoints: make(map[string]*endpointMetrics)}
+}
+
+func (m *metrics) endpoint(name string) *endpointMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	em := m.endpoints[name]
+	if em == nil {
+		em = &endpointMetrics{codes: make(map[int]int64)}
+		m.endpoints[name] = em
+	}
+	return em
+}
+
+func (m *metrics) observe(name string, code int, d time.Duration) {
+	em := m.endpoint(name)
+	em.mu.Lock()
+	em.codes[code]++
+	em.mu.Unlock()
+	if code == http.StatusTooManyRequests {
+		// Rejections are near-instant by design; folding them into the
+		// latency histogram would make p50/p99 look *better* during an
+		// overload event. They are visible via the per-code counter and
+		// pcserved_rejected_total instead.
+		return
+	}
+	em.lat.observe(d.Seconds())
+}
+
+// writeTo renders the registry in Prometheus text format.
+func (m *metrics) writeTo(w io.Writer) {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	m.mu.Unlock()
+	sort.Strings(names)
+	fmt.Fprintf(w, "pcserved_rejected_total %d\n", m.rejected.Load())
+	for _, name := range names {
+		em := m.endpoint(name)
+		em.mu.Lock()
+		codes := make([]int, 0, len(em.codes))
+		for code := range em.codes {
+			codes = append(codes, code)
+		}
+		sort.Ints(codes)
+		for _, code := range codes {
+			fmt.Fprintf(w, "pcserved_requests_total{endpoint=%q,code=\"%d\"} %d\n", name, code, em.codes[code])
+		}
+		em.mu.Unlock()
+		count, sum := em.lat.snapshot()
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			fmt.Fprintf(w, "pcserved_request_seconds{endpoint=%q,quantile=\"%g\"} %g\n", name, q, em.lat.quantile(q))
+		}
+		fmt.Fprintf(w, "pcserved_request_seconds_sum{endpoint=%q} %g\n", name, sum)
+		fmt.Fprintf(w, "pcserved_request_seconds_count{endpoint=%q} %d\n", name, count)
+	}
+}
+
+// statusRecorder captures the status code a handler writes, for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-endpoint request/latency accounting.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		s.met.observe(name, rec.code, time.Since(start))
+	})
+}
+
+// limited wraps a single-query handler with weight-1 admission control;
+// /v1/batch acquires its own fan-out-weighted admission after parsing the
+// request (see handleBatch). Saturated servers reject with 429 +
+// Retry-After instead of queueing unboundedly.
+func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		granted, ok := s.lim.tryAcquire(1)
+		if !ok {
+			s.rejectOverCapacity(w)
+			return
+		}
+		defer s.lim.release(granted)
+		h(w, r)
+	}
+}
+
+// rejectOverCapacity writes the standard 429 backpressure response.
+func (s *Server) rejectOverCapacity(w http.ResponseWriter) {
+	s.met.rejected.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests,
+		fmt.Sprintf("server at capacity (%d units of in-flight query work); retry later", s.lim.capacity()))
+}

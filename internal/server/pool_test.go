@@ -1,0 +1,92 @@
+package server
+
+import (
+	"errors"
+	"testing"
+
+	"pcbound/internal/core"
+)
+
+// TestPoolRebindOnDemand checks that Latest only rebinds when the store
+// moved, and that the whole pool stays one Rebind lineage (shared cache:
+// CacheStats from any engine reflect the lineage's counters).
+func TestPoolRebindOnDemand(t *testing.T) {
+	store := testStore(t)
+	p := newEnginePool(store, nil, core.Options{}, 4)
+	e0 := p.Latest()
+	if again := p.Latest(); again != e0 {
+		t.Fatal("Latest rebound without a mutation")
+	}
+	mutateStore(t, store)
+	e1 := p.Latest()
+	if e1 == e0 {
+		t.Fatal("Latest did not rebind after a mutation")
+	}
+	if e1.Snapshot().Epoch() != store.Epoch() {
+		t.Fatalf("latest engine at epoch %d, store at %d", e1.Snapshot().Epoch(), store.Epoch())
+	}
+}
+
+// TestPoolPinnedEpochs checks retention: epochs a request bound stay
+// servable until the cap evicts them, oldest first.
+func TestPoolPinnedEpochs(t *testing.T) {
+	store := testStore(t)
+	p := newEnginePool(store, nil, core.Options{}, 2)
+	e0 := p.Latest()
+	epoch0 := e0.Snapshot().Epoch()
+	mutateStore(t, store)
+	if _, err := p.At(store.Epoch()); err != nil {
+		// At must roll forward on its own: the mutation's epoch is pinnable
+		// even though no unpinned read happened in between.
+		t.Fatalf("At(current) after mutation: %v", err)
+	}
+	if got, err := p.At(epoch0); err != nil || got != e0 {
+		t.Fatalf("At(%d) = %v, %v; want the original engine", epoch0, got, err)
+	}
+	// A second mutation overflows retain=2: epoch0 must be evicted.
+	mutateStore(t, store)
+	if _, err := p.At(store.Epoch()); err != nil {
+		t.Fatalf("At(current): %v", err)
+	}
+	if _, err := p.At(epoch0); !errors.Is(err, ErrEpochNotRetained) {
+		t.Fatalf("At(evicted epoch %d) err = %v, want ErrEpochNotRetained", epoch0, err)
+	}
+	// Epochs never snapshotted by any request are not retained either.
+	if _, err := p.At(999); !errors.Is(err, ErrEpochNotRetained) {
+		t.Fatalf("At(999) err = %v, want ErrEpochNotRetained", err)
+	}
+}
+
+// TestPoolPinnedResultsStable is the serving-layer version of the snapshot
+// guarantee: after mutations, a pinned engine must return bit-identical
+// ranges to what it returned before the store moved.
+func TestPoolPinnedResultsStable(t *testing.T) {
+	store := testStore(t)
+	p := newEnginePool(store, nil, core.Options{}, 4)
+	e0 := p.Latest()
+	epoch0 := e0.Snapshot().Epoch()
+	q := core.Query{Agg: core.Sum, Attr: "price"}
+	before, err := e0.Bound(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutateStore(t, store)
+	latest, err2 := p.Latest().Bound(q)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if latest == before {
+		t.Fatal("mutation did not change the latest SUM range; fixture too weak")
+	}
+	pinned, err := p.At(epoch0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := pinned.Bound(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before {
+		t.Fatalf("pinned range moved: %v vs %v", after, before)
+	}
+}

@@ -1,0 +1,203 @@
+// Package server implements pcserved's HTTP JSON API over a core.Store and
+// its engines: hard aggregate ranges as a network service.
+//
+// The serving contract mirrors the library's snapshot semantics. Every read
+// request (/v1/bound, /v1/batch) is pinned to one Store snapshot: either the
+// latest (the default) or, via the request's "epoch" field, an older
+// snapshot the server still retains — so an auditor can keep re-asking
+// questions of a frozen constraint state while writers mutate the store
+// underneath. Mutations (/v1/store/add|remove|replace) return the stable
+// PCIDs they touched and the store epoch they produced. Engines come from a
+// rebind-on-demand pool that shares one SAT solver lineage, solve-context
+// pool, and scoped decomposition cache across all requests and epochs, so a
+// mutate→rebound cycle keeps unrelated cached decompositions live.
+//
+// Production posture: admission control bounds in-flight query requests
+// (excess load is rejected with 429 + Retry-After rather than queued without
+// bound), /metrics exposes per-endpoint latency quantiles and store/cache
+// counters in Prometheus text format, /healthz flips to 503 once draining
+// begins, and shutdown drains in-flight bounds (an accepted request always
+// completes; see core.BoundBatchCtx for the cancellation granularity).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"pcbound/internal/core"
+)
+
+// Wire types. Constraints ride core.PCJSON and queries core.QueryJSON — the
+// same encoding used by spec files and pcrange scripts (internal/core's
+// json.go), so a spec checked into version control can be POSTed verbatim.
+
+// Num is a float64 that also round-trips the non-finite values JSON numbers
+// cannot carry: ±Inf and NaN are encoded as the strings "+Inf", "-Inf" and
+// "NaN". Finite values use the standard shortest round-trip encoding, so
+// decoding reproduces the exact bits — the serving layer's ranges are
+// bit-identical to the engine's, not approximately equal.
+type Num float64
+
+// MarshalJSON implements json.Marshaler.
+func (n Num) MarshalJSON() ([]byte, error) {
+	f := float64(n)
+	switch {
+	case math.IsInf(f, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(f, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(f):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(f)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (n *Num) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "+Inf", "Inf":
+			*n = Num(math.Inf(1))
+		case "-Inf":
+			*n = Num(math.Inf(-1))
+		case "NaN":
+			*n = Num(math.NaN())
+		default:
+			return fmt.Errorf("server: invalid numeric string %q", s)
+		}
+		return nil
+	}
+	var f float64
+	if err := json.Unmarshal(b, &f); err != nil {
+		return err
+	}
+	*n = Num(f)
+	return nil
+}
+
+// RangeJSON serializes a core.Range.
+type RangeJSON struct {
+	Lo         Num   `json:"lo"`
+	Hi         Num   `json:"hi"`
+	LoExact    bool  `json:"lo_exact,omitempty"`
+	HiExact    bool  `json:"hi_exact,omitempty"`
+	MaybeEmpty bool  `json:"maybe_empty,omitempty"`
+	Reconciled bool  `json:"reconciled,omitempty"`
+	Cells      int   `json:"cells,omitempty"`
+	SATChecks  int64 `json:"sat_checks,omitempty"`
+}
+
+// RangeToJSON converts an engine range to its wire form.
+func RangeToJSON(r core.Range) RangeJSON {
+	return RangeJSON{
+		Lo:         Num(r.Lo),
+		Hi:         Num(r.Hi),
+		LoExact:    r.LoExact,
+		HiExact:    r.HiExact,
+		MaybeEmpty: r.MaybeEmpty,
+		Reconciled: r.Reconciled,
+		Cells:      r.Cells,
+		SATChecks:  r.SATChecks,
+	}
+}
+
+// Range converts back to the engine type.
+func (rj RangeJSON) Range() core.Range {
+	return core.Range{
+		Lo:         float64(rj.Lo),
+		Hi:         float64(rj.Hi),
+		LoExact:    rj.LoExact,
+		HiExact:    rj.HiExact,
+		MaybeEmpty: rj.MaybeEmpty,
+		Reconciled: rj.Reconciled,
+		Cells:      rj.Cells,
+		SATChecks:  rj.SATChecks,
+	}
+}
+
+// BoundRequest is the body of POST /v1/bound. A nil Epoch reads the store's
+// latest snapshot; a non-nil Epoch pins the read to that retained snapshot
+// (410 Gone if the server no longer retains it).
+type BoundRequest struct {
+	Query core.QueryJSON `json:"query"`
+	Epoch *uint64        `json:"epoch,omitempty"`
+}
+
+// BoundResponse reports the range and the snapshot epoch that produced it.
+type BoundResponse struct {
+	Range RangeJSON `json:"range"`
+	Epoch uint64    `json:"epoch"`
+}
+
+// BatchRequest is the body of POST /v1/batch. Parallelism limits the worker
+// fan-out for this batch: 0 uses the server default, -1 all cores; values
+// are clamped to the server's configured ceiling.
+type BatchRequest struct {
+	Queries     []core.QueryJSON `json:"queries"`
+	Epoch       *uint64          `json:"epoch,omitempty"`
+	Parallelism int              `json:"parallelism,omitempty"`
+}
+
+// BatchResponse reports one range per query, in request order.
+type BatchResponse struct {
+	Ranges []RangeJSON `json:"ranges"`
+	Epoch  uint64      `json:"epoch"`
+}
+
+// AddRequest is the body of POST /v1/store/add.
+type AddRequest struct {
+	Constraints []core.PCJSON `json:"constraints"`
+}
+
+// AddResponse reports the stable ids assigned to the added constraints
+// (in request order) and the store epoch the mutation produced.
+type AddResponse struct {
+	IDs   []uint64 `json:"ids"`
+	Epoch uint64   `json:"epoch"`
+}
+
+// RemoveRequest is the body of POST /v1/store/remove.
+type RemoveRequest struct {
+	ID uint64 `json:"id"`
+}
+
+// ReplaceRequest is the body of POST /v1/store/replace: the constraint with
+// the given stable id is swapped in place (id and position survive).
+type ReplaceRequest struct {
+	ID         uint64      `json:"id"`
+	Constraint core.PCJSON `json:"constraint"`
+}
+
+// MutateResponse reports the store epoch a remove/replace produced.
+type MutateResponse struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// StoreResponse is the body of GET /v1/store: a spec-file-compatible view of
+// one snapshot (DecodeSet on Schema+Constraints rebuilds the exact constraint
+// multiset) plus the stable ids, positionally aligned with Constraints, and
+// the snapshot's epoch.
+type StoreResponse struct {
+	Schema      []core.AttrJSON `json:"schema"`
+	Constraints []core.PCJSON   `json:"constraints"`
+	IDs         []uint64        `json:"ids"`
+	Epoch       uint64          `json:"epoch"`
+	Closed      bool            `json:"closed"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status      string `json:"status"` // "ok" or "draining"
+	Epoch       uint64 `json:"epoch"`
+	Constraints int    `json:"constraints"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
