@@ -22,6 +22,7 @@ import (
 	"pcbound/internal/pcgen"
 	"pcbound/internal/predicate"
 	"pcbound/internal/sat"
+	"pcbound/internal/sched"
 	"pcbound/internal/workload"
 )
 
@@ -584,6 +585,102 @@ func BenchmarkIncrementalUpdate(b *testing.B) {
 		b.ReportMetric(float64(rebTotal)/float64(incTotal), "speedup")
 		b.ReportMetric(float64(retained)/float64(b.N), "retained_entries/op")
 		b.ReportMetric(float64(len(queries)), "queries")
+	})
+}
+
+// --- Intra-query parallelism benchmarks (PR 5) ---
+
+// intraQueryStore is the single-huge-query scenario shared with
+// `pcbench -bench intraquery` (see experiments.IntraQueryScenario).
+func intraQueryStore() (*core.Store, core.Query) {
+	return experiments.IntraQueryScenario()
+}
+
+// BenchmarkIntraQuery measures one MILP-heavy query bounded (a) on the
+// sequential reference path (cells solved one at a time on the calling
+// goroutine) and (b) with its per-cell solves fanned out over the shared
+// cost-ordered scheduler. Both paths run with the cell-bound cache disabled
+// so the timing isolates scheduling, not memoization; the cached
+// sub-benchmark then shows the warm cell-cache path skipping the MILPs
+// entirely. The speedup sub-benchmark verifies the two Ranges are
+// bit-identical every iteration and reports the wall-clock ratio — the
+// intra-query parallel speedup, ~1x on a single-core host and rising with
+// cores (the per-cell tasks are independent MILPs).
+func BenchmarkIntraQuery(b *testing.B) {
+	par := runtime.GOMAXPROCS(0)
+	if par < 4 {
+		par = 4
+	}
+	seqOpts := core.Options{SequentialCells: true, DisableCellCache: true, DisableFastPath: true}
+
+	b.Run("seq", func(b *testing.B) {
+		b.ReportAllocs()
+		store, q := intraQueryStore()
+		engine := core.NewEngine(store, nil, seqOpts)
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Bound(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("sched-par%d", par), func(b *testing.B) {
+		b.ReportAllocs()
+		store, q := intraQueryStore()
+		sch := sched.New(par)
+		defer sch.Close()
+		engine := core.NewEngine(store, nil, core.Options{
+			Scheduler: sch, DisableCellCache: true, DisableFastPath: true,
+		})
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Bound(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cellcache-warm", func(b *testing.B) {
+		b.ReportAllocs()
+		store, q := intraQueryStore()
+		engine := core.NewEngine(store, nil, core.Options{DisableFastPath: true})
+		if _, err := engine.Bound(q); err != nil {
+			b.Fatal(err) // warm the cell cache before timing
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Bound(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("speedup", func(b *testing.B) {
+		store, q := intraQueryStore()
+		seqEngine := core.NewEngine(store, nil, seqOpts)
+		sch := sched.New(par)
+		defer sch.Close()
+		parEngine := core.NewEngine(store, nil, core.Options{
+			Scheduler: sch, DisableCellCache: true, DisableFastPath: true,
+		})
+		var seqTotal, parTotal time.Duration
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			want, err := seqEngine.Bound(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			seqTotal += time.Since(start)
+
+			start = time.Now()
+			got, err := parEngine.Bound(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			parTotal += time.Since(start)
+
+			if got != want {
+				b.Fatalf("scheduler range %+v != sequential range %+v", got, want)
+			}
+		}
+		b.ReportMetric(float64(seqTotal)/float64(parTotal), "speedup")
+		b.ReportMetric(float64(par), "workers")
 	})
 }
 

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# bench_guard.sh BASELINE.json CURRENT.json [TOLERANCE]
+#
+# Compares a pcbench -json report against the previous run's artifact and
+# emits a GitHub Actions ::warning for every benchmark whose ns/op regressed
+# beyond the tolerance factor (default 2.5x — generous on purpose: CI
+# runners are noisy and this guard exists to flag order-of-magnitude
+# regressions, not jitter). It never fails the job, and on the first run
+# (no baseline yet) it just says so.
+set -euo pipefail
+
+baseline="${1:?usage: bench_guard.sh baseline.json current.json [tolerance]}"
+current="${2:?usage: bench_guard.sh baseline.json current.json [tolerance]}"
+tolerance="${3:-2.5}"
+
+if [ ! -f "$current" ]; then
+  echo "bench_guard: current report $current missing" >&2
+  exit 1
+fi
+if [ ! -f "$baseline" ]; then
+  echo "bench_guard: no baseline yet ($baseline) — first run, nothing to compare"
+  exit 0
+fi
+
+jq -r '.results[] | "\(.name) \(.ns_per_op)"' "$baseline" | sort > /tmp/bench_base.txt
+jq -r '.results[] | "\(.name) \(.ns_per_op)"' "$current" | sort > /tmp/bench_cur.txt
+
+regressions=0
+while read -r name cur_ns; do
+  base_ns=$(awk -v n="$name" '$1 == n { print $2 }' /tmp/bench_base.txt)
+  if [ -z "$base_ns" ]; then
+    echo "bench_guard: $name is new (no baseline entry)"
+    continue
+  fi
+  ratio=$(awk -v c="$cur_ns" -v b="$base_ns" 'BEGIN { if (b > 0) printf "%.2f", c / b; else print "0" }')
+  over=$(awk -v r="$ratio" -v t="$tolerance" 'BEGIN { print (r > t) ? 1 : 0 }')
+  if [ "$over" = "1" ]; then
+    echo "::warning title=bench regression::$name: $cur_ns ns/op vs baseline $base_ns ns/op (${ratio}x, tolerance ${tolerance}x)"
+    regressions=$((regressions + 1))
+  else
+    echo "bench_guard: $name ok (${ratio}x of baseline)"
+  fi
+done < /tmp/bench_cur.txt
+
+echo "bench_guard: $regressions regression(s) beyond ${tolerance}x (warnings only; job not failed)"

@@ -1,0 +1,154 @@
+package main
+
+// The -bench mode: an in-binary micro-benchmark suite with machine-readable
+// output, so the perf trajectory across PRs lives in committed JSON
+// (BENCH_PR5.json) and CI artifacts instead of scrollback. testing.Benchmark
+// gives the same adaptive iteration logic as `go test -bench`.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"pcbound/internal/core"
+	"pcbound/internal/experiments"
+	"pcbound/internal/sched"
+)
+
+// BenchResult is one benchmark's machine-readable outcome.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// SpeedupVsReference is reference ns/op divided by this row's ns/op,
+	// where the reference is the suite's sequential configuration (1.0 for
+	// the reference row itself).
+	SpeedupVsReference float64 `json:"speedup_vs_reference"`
+}
+
+// BenchReport is the top-level JSON document -json writes.
+type BenchReport struct {
+	Suite      string        `json:"suite"`
+	GoVersion  string        `json:"go"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Results    []BenchResult `json:"results"`
+}
+
+// runBenchSuite runs the named suite and returns an exit code. When
+// jsonPath is non-empty the report is also written there.
+func runBenchSuite(suite, jsonPath string) int {
+	if suite != "intraquery" {
+		fmt.Fprintf(os.Stderr, "pcbench: unknown bench suite %q (available: intraquery)\n", suite)
+		return 1
+	}
+	report, err := runIntraQuerySuite()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcbench: %v\n", err)
+		return 1
+	}
+	fmt.Printf("== bench %s (GOMAXPROCS=%d, %s)\n\n", report.Suite, report.GOMAXPROCS, report.GoVersion)
+	for _, r := range report.Results {
+		fmt.Printf("%-28s %10d iters  %14.0f ns/op  %8d allocs/op  %6.2fx vs reference\n",
+			r.Name, r.Iters, r.NsPerOp, r.AllocsPerOp, r.SpeedupVsReference)
+	}
+	if jsonPath != "" {
+		raw, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcbench: encoding report: %v\n", err)
+			return 1
+		}
+		raw = append(raw, '\n')
+		if err := os.WriteFile(jsonPath, raw, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "pcbench: writing %s: %v\n", jsonPath, err)
+			return 1
+		}
+		fmt.Printf("\nwrote %s\n", jsonPath)
+	}
+	return 0
+}
+
+// runIntraQuerySuite benchmarks one MILP-heavy query on the sequential
+// reference path, on the shared scheduler, and on a warm cell-bound cache,
+// verifying along the way that all three produce bit-identical Ranges.
+func runIntraQuerySuite() (*BenchReport, error) {
+	store, q := experiments.IntraQueryScenario()
+	par := runtime.GOMAXPROCS(0)
+	seqOpts := core.Options{SequentialCells: true, DisableCellCache: true, DisableFastPath: true}
+	sch := sched.New(par)
+	defer sch.Close()
+	schedOpts := core.Options{Scheduler: sch, DisableCellCache: true, DisableFastPath: true}
+	cacheOpts := core.Options{Scheduler: sch, DisableFastPath: true}
+
+	// Bit-identity first: the benchmark numbers are only comparable if the
+	// three paths agree bit-for-bit on the answer.
+	want, err := core.NewEngine(store, nil, seqOpts).Bound(q)
+	if err != nil {
+		return nil, err
+	}
+	for name, opts := range map[string]core.Options{"scheduler": schedOpts, "cell-cache": cacheOpts} {
+		got, err := core.NewEngine(store, nil, opts).Bound(q)
+		if err != nil {
+			return nil, err
+		}
+		if got != want {
+			return nil, fmt.Errorf("%s path range %+v != sequential %+v", name, got, want)
+		}
+	}
+
+	bench := func(name string, engine *core.Engine, warm bool) (BenchResult, error) {
+		if warm {
+			if _, err := engine.Bound(q); err != nil {
+				return BenchResult{}, err
+			}
+		}
+		var benchErr error
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Bound(q); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if benchErr != nil {
+			return BenchResult{}, benchErr
+		}
+		return BenchResult{
+			Name:        name,
+			Iters:       res.N,
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}, nil
+	}
+
+	report := &BenchReport{Suite: "intraquery", GoVersion: runtime.Version(), GOMAXPROCS: par}
+	rows := []struct {
+		name string
+		opts core.Options
+		warm bool
+	}{
+		{"intraquery/seq", seqOpts, false},
+		{fmt.Sprintf("intraquery/sched-par%d", par), schedOpts, false},
+		{"intraquery/cellcache-warm", cacheOpts, true},
+	}
+	for _, row := range rows {
+		r, err := bench(row.name, core.NewEngine(store, nil, row.opts), row.warm)
+		if err != nil {
+			return nil, err
+		}
+		report.Results = append(report.Results, r)
+	}
+	ref := report.Results[0].NsPerOp
+	for i := range report.Results {
+		if ns := report.Results[i].NsPerOp; ns > 0 {
+			report.Results[i].SpeedupVsReference = ref / ns
+		}
+	}
+	return report, nil
+}

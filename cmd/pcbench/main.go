@@ -10,6 +10,8 @@
 //	        -pcs 2000 -rows 200000    # full paper-scale run
 //	pcbench -exp fig8 -parallel -1    # fan query bounding over all cores
 //	pcbench -exp fig8 -cpuprofile cpu.out -memprofile mem.out
+//	pcbench -bench intraquery -json BENCH_PR5.json
+//	                                  # micro-benchmark suite + JSON report
 //	pcbench -list                     # enumerate experiments
 package main
 
@@ -42,8 +44,14 @@ func run() int {
 		parallel   = flag.Int("parallel", 0, "worker goroutines for query bounding (0 or 1 = sequential, -1 = GOMAXPROCS)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
+		bench      = flag.String("bench", "", "run a micro-benchmark suite instead of an experiment (available: intraquery)")
+		jsonOut    = flag.String("json", "", "write machine-readable benchmark results (name, iters, ns/op, allocs/op, speedup vs reference) to this file; implies -bench intraquery")
 	)
 	flag.Parse()
+
+	if *jsonOut != "" && *bench == "" {
+		*bench = "intraquery"
+	}
 
 	if *list {
 		for _, name := range experiments.Names() {
@@ -89,6 +97,13 @@ func run() int {
 				fmt.Fprintf(os.Stderr, "pcbench: memprofile: %v\n", err)
 			}
 		}()
+	}
+
+	// The bench suite dispatches after the profile flags are armed (above),
+	// so -bench runs are profilable like any experiment; the deferred
+	// flushes fire on this return.
+	if *bench != "" {
+		return runBenchSuite(*bench, *jsonOut)
 	}
 
 	par := *parallel

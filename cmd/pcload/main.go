@@ -103,8 +103,49 @@ func main() {
 		seed:        *seed,
 	})
 	stats.report(os.Stdout, *duration)
+	reportServerMetrics(client, base, os.Stdout)
 	if stats.hardErrors() > 0 {
 		os.Exit(1)
+	}
+}
+
+// reportServerMetrics scrapes /metrics after the load phase and surfaces the
+// server-side intra-query picture: the shared scheduler's queue depth and
+// task counters, and the cell-bound cache hit rate. Absent counters (an
+// older server) are skipped rather than failing the run — the load result
+// stands on its own.
+func reportServerMetrics(client *http.Client, base string, w io.Writer) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		fmt.Fprintf(w, "pcload: metrics scrape failed: %v\n", err)
+		return
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(w, "pcload: metrics scrape failed: status %d\n", resp.StatusCode)
+		return
+	}
+	vals := map[string]float64{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		if v, err := strconv.ParseFloat(fields[1], 64); err == nil {
+			vals[fields[0]] = v
+		}
+	}
+	if tasks, ok := vals["pcserved_sched_tasks_total"]; ok {
+		fmt.Fprintf(w, "pcload: server scheduler: %d workers, queue depth %.0f (max %.0f), %.0f cell tasks (%.0f run by waiting callers)\n",
+			int(vals["pcserved_sched_workers"]), vals["pcserved_sched_queue_depth"],
+			vals["pcserved_sched_queue_depth_max"], tasks, vals["pcserved_sched_caller_tasks_total"])
+	}
+	hits, hok := vals["pcserved_cellcache_hits_total"]
+	misses, mok := vals["pcserved_cellcache_misses_total"]
+	if hok && mok && hits+misses > 0 {
+		fmt.Fprintf(w, "pcload: server cell cache: %.1f%% hit rate (%.0f hits / %.0f misses)\n",
+			100*hits/(hits+misses), hits, misses)
 	}
 }
 
@@ -265,9 +306,10 @@ func (s *loadStats) report(w io.Writer, d time.Duration) {
 		op := s.ops[name]
 		lat := append([]time.Duration(nil), op.latencies...)
 		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-		p50, p99 := quantileDur(lat, 0.5), quantileDur(lat, 0.99)
-		fmt.Fprintf(w, "  %-6s %6d ok  %4d throttled  %3d failed  p50 %8v  p99 %8v\n",
-			name, op.ok, op.throttled, len(op.errors), p50.Round(10*time.Microsecond), p99.Round(10*time.Microsecond))
+		p50, p90, p99 := quantileDur(lat, 0.5), quantileDur(lat, 0.9), quantileDur(lat, 0.99)
+		fmt.Fprintf(w, "  %-6s %6d ok  %4d throttled  %3d failed  p50 %8v  p90 %8v  p99 %8v\n",
+			name, op.ok, op.throttled, len(op.errors),
+			p50.Round(10*time.Microsecond), p90.Round(10*time.Microsecond), p99.Round(10*time.Microsecond))
 	}
 	shown := 0
 	for _, name := range []string{"bound", "batch", "mutate"} {

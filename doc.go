@@ -22,6 +22,23 @@
 // domain (Definition 3.2) is tracked incrementally across mutations by
 // sat.Incremental.
 //
+// Within one query, the unit of scheduled solver work is a cell solve, not
+// the query: per-cell feasibility MILPs, the two directional solves, AVG's
+// bisection searches and MIN/MAX threshold probes are dispatched
+// cost-ordered (most constraint-coupled cells first, against skew) on a
+// shared work scheduler (internal/sched) fed by every in-flight query of
+// every engine pointed at it, so one MILP-heavy query fans out across cores
+// instead of pegging one. Results land in index-addressed slots and reduce
+// in fixed cell order, making ranges bit-identical to the sequential path
+// (core.Options.SequentialCells) at any parallelism. On top of it, an
+// epoch-scoped per-cell bound cache memoizes cell-solve results under
+// content signatures (cell signature + aggregate + attribute + solver
+// options) with the same epoch-interval validity and scoped invalidation
+// as the decomposition cache — repeated and overlapping traffic, and
+// group-by groups sharing cell structure, skip LP/MILP entirely
+// (see BenchmarkIntraQuery and the committed BENCH_PR5.json; reproduce
+// with `go run ./cmd/pcbench -bench intraquery -json BENCH_PR5.json`).
+//
 // The stack also serves over the network: cmd/pcserved exposes bound/batch
 // queries and store mutations as an HTTP JSON API (internal/server), where
 // every read request is pinned to a store snapshot — the latest by default,
@@ -42,6 +59,7 @@
 //   - internal/core — the predicate-constraint framework: versioned Store,
 //     snapshots, the bounding Engine (Sections 3-4)
 //   - internal/cells, internal/sat — cell decomposition and its SAT oracle
+//   - internal/sched — the shared cost-ordered cell-solve scheduler
 //   - internal/lp, internal/milp — simplex and branch-and-bound solvers
 //   - internal/join — fractional-edge-cover join bounds (Section 5)
 //   - internal/baselines, internal/pcgen, internal/data, internal/workload,

@@ -2,11 +2,25 @@ package core
 
 import (
 	"math"
+	"slices"
 	"sort"
 
+	"pcbound/internal/domain"
 	"pcbound/internal/milp"
 	"pcbound/internal/predicate"
+	"pcbound/internal/sched"
 )
+
+// This file computes the five aggregate bounds over a cell decomposition.
+// Since the intra-query parallelism rework, the unit of solver work is a
+// *cell solve task*, not a query: per-cell feasibility checks, the two
+// directional MILPs, AVG's bisection searches, and MIN/MAX threshold probes
+// are routed through a cellRunner, which dispatches them on the engine's
+// shared cost-ordered scheduler (internal/sched) and consults the
+// epoch-scoped cell-bound cache (cellcache.go) first. Every task writes an
+// index-addressed slot and every reduction below runs in fixed cell order,
+// so results are bit-identical to the sequential path at any parallelism —
+// the differential tests in intraquery_test.go pin exactly that.
 
 // emptyRange is the range of an aggregate with no possible value (no rows
 // can exist in the query region). Lo > Hi so Contains is always false.
@@ -17,6 +31,198 @@ func emptyRange() Range {
 func (e *Engine) useFast() bool {
 	return !e.opts.DisableFastPath && e.snap.Disjoint() &&
 		e.opts.Cells.EarlyStopLayer == 0
+}
+
+// cellRunner coordinates one query's cell-level solve tasks: scheduling,
+// caching, and caller-side deterministic reduction. It is cheap to build
+// (no allocation beyond the struct) and lives for one aggregate call.
+type cellRunner struct {
+	e     *Engine
+	cp    *cellProblem
+	sc    *solveCtx
+	mopts milp.Options
+}
+
+func (e *Engine) newRunner(cp *cellProblem, sc *solveCtx) cellRunner {
+	return cellRunner{e: e, cp: cp, sc: sc, mopts: e.milpOpts()}
+}
+
+// seq reports whether tasks run inline on the caller (the sequential
+// reference path: Options.SequentialCells or Options.Reference).
+func (r *cellRunner) seq() bool { return r.e.sched == nil }
+
+// taskCtx returns the solve context for a scheduler workspace, creating a
+// worker-local one on first use. Solve contexts carry no constraint- or
+// engine-derived state, so one context serves tasks from any engine, and
+// which context runs a solve never changes its result bits.
+func taskCtx(ws *sched.Workspace) *solveCtx {
+	if sc, ok := ws.Local.(*solveCtx); ok {
+		return sc
+	}
+	sc := &solveCtx{}
+	ws.Local = sc
+	return sc
+}
+
+// callerWS wraps the caller's own solve context as its helping workspace.
+func (r *cellRunner) callerWS() *sched.Workspace {
+	return &sched.Workspace{Local: r.sc}
+}
+
+// cellCost estimates a per-cell task's MILP heaviness for skew-aware
+// dispatch: cells active in more constraints couple more rows into the
+// solve and branch deeper. Costs only order dispatch; they never affect
+// results.
+func (cp *cellProblem) cellCost(i int) float64 {
+	return float64(1 + len(cp.cells[i].Active))
+}
+
+// problemCost is the dispatch cost of a whole-problem solve.
+func (cp *cellProblem) problemCost() float64 {
+	return float64(1 + len(cp.cells) + len(cp.consIdx))
+}
+
+// cellFeas fills out[i], for every i in idx, with "cell i can host at least
+// one row" (feasible with minOne=i): the skew-relevant per-cell MILP. Cached
+// results are used first; misses run as scheduled tasks. out is
+// index-addressed, so callers reduce deterministically whatever the
+// completion order.
+func (r *cellRunner) cellFeas(idx []int, out []bool) {
+	if len(idx) == 0 {
+		return
+	}
+	e, cp := r.e, r.cp
+	cc := e.cellCache
+	miss := idx
+	var keys []string
+	var bases []domain.Box
+	if cc != nil {
+		miss = make([]int, 0, len(idx))
+		keys = make([]string, len(cp.cells))
+		bases = make([]domain.Box, len(cp.cells))
+		for _, i := range idx {
+			key, base := cp.cellFeasKey(i, e.optsSig)
+			if v, ok := cc.get(key, e.snap.epoch); ok {
+				out[i] = v.(bool)
+				continue
+			}
+			keys[i], bases[i] = key, base
+			miss = append(miss, i)
+		}
+	}
+	if len(miss) == 0 {
+		return
+	}
+	// decided tracks budget-independence per solve: an undecided verdict (a
+	// false from node-budget exhaustion) reflects the whole problem, so it
+	// may ride a problem-scoped key but must never enter a cell-scoped key
+	// another problem could hit (the verdicts could legitimately differ).
+	var decided []bool
+	if cc != nil {
+		decided = make([]bool, len(cp.cells))
+	}
+	run := func(sc *solveCtx, i int) {
+		ok, dec := cp.feasibleStatus(sc, nil, false, i, r.mopts)
+		out[i] = ok
+		if decided != nil {
+			decided[i] = dec
+		}
+	}
+	if r.seq() || len(miss) == 1 {
+		for _, i := range miss {
+			run(r.sc, i)
+		}
+	} else {
+		g := e.sched.NewGroup()
+		for _, i := range miss {
+			i := i
+			g.Submit(cp.cellCost(i), func(ws *sched.Workspace) { run(taskCtx(ws), i) })
+		}
+		g.Wait(r.callerWS())
+	}
+	if cc != nil {
+		for _, i := range miss {
+			if cp.coupled || decided[i] {
+				cc.put(keys[i], bases[i], out[i], e.snap.epoch)
+			}
+		}
+	}
+}
+
+// probFeas is the whole-problem feasibility check (can any allocation
+// satisfy the constraints, optionally with at least one row), cached
+// problem-scoped.
+func (r *cellRunner) probFeas(atLeastOne bool) bool {
+	e, cp := r.e, r.cp
+	cc := e.cellCache
+	var key string
+	var base domain.Box
+	if cc != nil {
+		tag := "pf0"
+		if atLeastOne {
+			tag = "pf1"
+		}
+		key, base = cp.problemKey(tag, e.optsSig)
+		if v, ok := cc.get(key, e.snap.epoch); ok {
+			return v.(bool)
+		}
+	}
+	ok := cp.feasible(r.sc, nil, atLeastOne, -1, r.mopts)
+	if cc != nil {
+		cc.put(key, base, ok, e.snap.epoch)
+	}
+	return ok
+}
+
+// solvePair runs the two directional whole-problem MILPs (maximize objHi,
+// minimize objLo) as concurrent tasks, cached problem-scoped under tag
+// (which must encode the aggregate and attribute shaping the objectives).
+func (r *cellRunner) solvePair(tag string, objHi, objLo []float64, atLeastOne bool) (up, lo solveResult) {
+	e, cp := r.e, r.cp
+	cc := e.cellCache
+	var hiKey, loKey string
+	var base domain.Box
+	haveHi, haveLo := false, false
+	if cc != nil {
+		hiKey, base = cp.problemKey("d+"+tag, e.optsSig)
+		loKey, _ = cp.problemKey("d-"+tag, e.optsSig)
+		if v, ok := cc.get(hiKey, e.snap.epoch); ok {
+			up, haveHi = v.(solveResult), true
+		}
+		if v, ok := cc.get(loKey, e.snap.epoch); ok {
+			lo, haveLo = v.(solveResult), true
+		}
+	}
+	switch {
+	case haveHi && haveLo:
+		return up, lo
+	case r.seq() || haveHi || haveLo:
+		if !haveHi {
+			up = cp.solve(r.sc, objHi, true, nil, atLeastOne, r.mopts)
+		}
+		if !haveLo {
+			lo = cp.solve(r.sc, objLo, false, nil, atLeastOne, r.mopts)
+		}
+	default:
+		g := e.sched.NewGroup()
+		cost := cp.problemCost()
+		g.Submit(cost, func(ws *sched.Workspace) {
+			up = cp.solve(taskCtx(ws), objHi, true, nil, atLeastOne, r.mopts)
+		})
+		g.Submit(cost, func(ws *sched.Workspace) {
+			lo = cp.solve(taskCtx(ws), objLo, false, nil, atLeastOne, r.mopts)
+		})
+		g.Wait(r.callerWS())
+	}
+	if cc != nil {
+		if !haveHi {
+			cc.put(hiKey, base, up, e.snap.epoch)
+		}
+		if !haveLo {
+			cc.put(loKey, base, lo, e.snap.epoch)
+		}
+	}
+	return up, lo
 }
 
 // Count bounds COUNT(*) over the missing rows satisfying where.
@@ -34,10 +240,9 @@ func (e *Engine) Count(where *predicate.P) (Range, error) {
 	}
 	sc := e.acquireCtx()
 	defer e.releaseCtx(sc)
-	mopts := e.milpOpts()
+	rn := e.newRunner(cp, sc)
 	obj := cp.ones()
-	up := cp.solve(sc, obj, true, nil, false, mopts)
-	lo := cp.solve(sc, obj, false, nil, false, mopts)
+	up, lo := rn.solvePair("COUNT", obj, obj, false)
 	return cp.newRange(lo, up), nil
 }
 
@@ -56,31 +261,41 @@ func (e *Engine) Sum(attr string, where *predicate.P) (Range, error) {
 	}
 	sc := e.acquireCtx()
 	defer e.releaseCtx(sc)
-	mopts := e.milpOpts()
+	rn := e.newRunner(cp, sc)
 	ai := e.snap.Schema().MustIndex(attr)
 	u := cp.upperVec(ai)
 	l := cp.lowerVec(ai)
 
 	// Cells with an unbounded value range make the corresponding endpoint
-	// infinite iff a row can actually be placed there.
-	hiInf, loInf := false, false
+	// infinite iff a row can actually be placed there — one per-cell
+	// feasibility task per such cell.
+	var infIdx []int
 	for i := range cp.cells {
-		if math.IsInf(u[i], 1) {
-			if cp.feasible(sc, nil, false, i, mopts) {
-				hiInf = true
-			}
-			u[i] = 0 // unreachable cell: coefficient irrelevant
+		if math.IsInf(u[i], 1) || math.IsInf(l[i], -1) {
+			infIdx = append(infIdx, i)
 		}
-		if math.IsInf(l[i], -1) {
-			if cp.feasible(sc, nil, false, i, mopts) {
-				loInf = true
+	}
+	hiInf, loInf := false, false
+	if len(infIdx) > 0 {
+		reach := make([]bool, len(cp.cells))
+		rn.cellFeas(infIdx, reach)
+		for _, i := range infIdx {
+			if math.IsInf(u[i], 1) {
+				if reach[i] {
+					hiInf = true
+				}
+				u[i] = 0 // unreachable cell: coefficient irrelevant
 			}
-			l[i] = 0
+			if math.IsInf(l[i], -1) {
+				if reach[i] {
+					loInf = true
+				}
+				l[i] = 0
+			}
 		}
 	}
 
-	up := cp.solve(sc, u, true, nil, false, mopts)
-	lo := cp.solve(sc, l, false, nil, false, mopts)
+	up, lo := rn.solvePair("SUM:"+attr, u, l, false)
 	r := cp.newRange(lo, up)
 	if hiInf {
 		r.Hi = math.Inf(1)
@@ -113,8 +328,8 @@ func (e *Engine) Avg(attr string, where *predicate.P) (Range, error) {
 	}
 	sc := e.acquireCtx()
 	defer e.releaseCtx(sc)
-	mopts := e.milpOpts()
-	if !cp.feasible(sc, nil, true, -1, mopts) {
+	rn := e.newRunner(cp, sc)
+	if !rn.probFeas(true) {
 		r := emptyRange()
 		r.SATChecks = cp.satChecks
 		return r, nil
@@ -134,29 +349,83 @@ func (e *Engine) Avg(attr string, where *predicate.P) (Range, error) {
 		r.Lo, r.Hi = lo0, hi0
 		return r, nil
 	}
-
-	// One shared objective buffer serves every bisection probe: each probe
-	// overwrites all entries, and cp.solve copies the objective into the LP.
-	obj := make([]float64, len(u))
-	// Upper: sup{r : max Σ (U_i - r)·x_i >= 0 over allocations with >=1 row}.
-	r.Hi = binarySearchAvg(lo0, hi0, func(mid float64) bool {
-		for i := range u {
-			obj[i] = u[i] - mid
-		}
-		sol := cp.solve(sc, obj, true, nil, true, mopts)
-		// sol.bound >= optimum: "< 0" proves mid is unachievable.
-		return sol.feasible && sol.bound >= 0
-	}, true)
-	// Lower: inf{r : min Σ (L_i - r)·x_i <= 0 over allocations with >=1 row}.
-	r.Lo = binarySearchAvg(lo0, hi0, func(mid float64) bool {
-		for i := range l {
-			obj[i] = l[i] - mid
-		}
-		sol := cp.solve(sc, obj, false, nil, true, mopts)
-		// sol.bound <= optimum: "> 0" proves avg <= mid is impossible.
-		return sol.feasible && sol.bound <= 0
-	}, false)
+	r.Hi, r.Lo = rn.avgEndpoints(attr, u, l, lo0, hi0)
 	return r, nil
+}
+
+// avgEndpoints runs the two AVG bisection searches — each a sequential
+// chain of parametric MILP probes, but independent of the other — as two
+// concurrent tasks, cached problem-scoped per attribute.
+func (r *cellRunner) avgEndpoints(attr string, u, l []float64, lo0, hi0 float64) (hiE, loE float64) {
+	e, cp := r.e, r.cp
+	mopts := r.mopts
+	cc := e.cellCache
+	var hiKey, loKey string
+	var base domain.Box
+	haveHi, haveLo := false, false
+	if cc != nil {
+		hiKey, base = cp.problemKey("a+"+attr, e.optsSig)
+		loKey, _ = cp.problemKey("a-"+attr, e.optsSig)
+		if v, ok := cc.get(hiKey, e.snap.epoch); ok {
+			hiE, haveHi = v.(float64), true
+		}
+		if v, ok := cc.get(loKey, e.snap.epoch); ok {
+			loE, haveLo = v.(float64), true
+		}
+	}
+	// Each search owns its objective buffer: a probe overwrites every entry
+	// and cp.solve copies the objective into the LP, so per-search buffers
+	// are bit-identical to the old shared one — and safe to run concurrently.
+	runHi := func(sc *solveCtx) float64 {
+		obj := make([]float64, len(u))
+		// Upper: sup{r : max Σ (U_i - r)·x_i >= 0 over allocations with >=1 row}.
+		return binarySearchAvg(lo0, hi0, func(mid float64) bool {
+			for i := range u {
+				obj[i] = u[i] - mid
+			}
+			sol := cp.solve(sc, obj, true, nil, true, mopts)
+			// sol.bound >= optimum: "< 0" proves mid is unachievable.
+			return sol.feasible && sol.bound >= 0
+		}, true)
+	}
+	runLo := func(sc *solveCtx) float64 {
+		obj := make([]float64, len(l))
+		// Lower: inf{r : min Σ (L_i - r)·x_i <= 0 over allocations with >=1 row}.
+		return binarySearchAvg(lo0, hi0, func(mid float64) bool {
+			for i := range l {
+				obj[i] = l[i] - mid
+			}
+			sol := cp.solve(sc, obj, false, nil, true, mopts)
+			// sol.bound <= optimum: "> 0" proves avg <= mid is impossible.
+			return sol.feasible && sol.bound <= 0
+		}, false)
+	}
+	switch {
+	case haveHi && haveLo:
+		return hiE, loE
+	case r.seq() || haveHi || haveLo:
+		if !haveHi {
+			hiE = runHi(r.sc)
+		}
+		if !haveLo {
+			loE = runLo(r.sc)
+		}
+	default:
+		g := e.sched.NewGroup()
+		cost := cp.problemCost() * 8 // a search issues ~60 probe solves
+		g.Submit(cost, func(ws *sched.Workspace) { hiE = runHi(taskCtx(ws)) })
+		g.Submit(cost, func(ws *sched.Workspace) { loE = runLo(taskCtx(ws)) })
+		g.Wait(r.callerWS())
+	}
+	if cc != nil {
+		if !haveHi {
+			cc.put(hiKey, base, hiE, e.snap.epoch)
+		}
+		if !haveLo {
+			cc.put(loKey, base, loE, e.snap.epoch)
+		}
+	}
+	return hiE, loE
 }
 
 // binarySearchAvg searches [lo, hi]. For the upper endpoint (searchSup),
@@ -221,16 +490,18 @@ func (e *Engine) minMax(attr string, where *predicate.P, isMax bool) (Range, err
 	}
 	sc := e.acquireCtx()
 	defer e.releaseCtx(sc)
-	mopts := e.milpOpts()
+	rn := e.newRunner(cp, sc)
 	ai := e.snap.Schema().MustIndex(attr)
 	u := cp.upperVec(ai)
 	l := cp.lowerVec(ai)
 
-	// Reachable cells: those that can host at least one row.
+	// Reachable cells: those that can host at least one row. One
+	// independent MILP per cell — the dominant per-cell fan-out of the
+	// whole engine, and the reduction below runs in fixed index order.
 	reach := make([]bool, len(cp.cells))
+	rn.cellFeas(cp.idxAll, reach)
 	any := false
 	for i := range cp.cells {
-		reach[i] = cp.feasible(sc, nil, false, i, mopts)
 		any = any || reach[i]
 	}
 	if !any {
@@ -251,7 +522,7 @@ func (e *Engine) minMax(attr string, where *predicate.P, isMax bool) (Range, err
 		}
 		// Lo: minimize the largest lower-value among used cells. Search
 		// thresholds ascending; the first feasible restriction wins.
-		r.Lo = thresholdSearch(sc, cp, l, mopts, true)
+		r.Lo = rn.thresholdSearch("t+"+attr, l, true)
 	} else {
 		r.Lo = math.Inf(1)
 		for i := range cp.cells {
@@ -259,7 +530,7 @@ func (e *Engine) minMax(attr string, where *predicate.P, isMax bool) (Range, err
 				r.Lo = math.Min(r.Lo, l[i])
 			}
 		}
-		r.Hi = thresholdSearch(sc, cp, u, mopts, false)
+		r.Hi = rn.thresholdSearch("t-"+attr, u, false)
 	}
 	return r, nil
 }
@@ -267,21 +538,89 @@ func (e *Engine) minMax(attr string, where *predicate.P, isMax bool) (Range, err
 // thresholdSearch finds, for MAX (ascending=true), the smallest t such that
 // an allocation using only cells with vals[i] <= t (and >= 1 row) is
 // feasible; for MIN it finds the largest t over cells with vals[i] >= t.
-func thresholdSearch(sc *solveCtx, cp *cellProblem, vals []float64, mopts milp.Options, ascending bool) float64 {
+//
+// The sequential reference walks thresholds in order and stops at the first
+// feasible one. The scheduler path evaluates thresholds in waves sized to
+// the scheduler width: every probe is an independent restricted MILP, and
+// the answer — the first feasible threshold in order — is identical
+// whichever probes actually ran, so results stay bit-identical while at
+// most one wave of extra probes is spent. The final threshold is cached
+// problem-scoped under tag (direction + attribute).
+func (r *cellRunner) thresholdSearch(tag string, vals []float64, ascending bool) float64 {
+	e, cp := r.e, r.cp
+	cc := e.cellCache
+	var key string
+	var base domain.Box
+	if cc != nil {
+		key, base = cp.problemKey(tag, e.optsSig)
+		if v, ok := cc.get(key, e.snap.epoch); ok {
+			return v.(float64)
+		}
+	}
+	t := r.thresholdSearchUncached(vals, ascending)
+	if cc != nil {
+		cc.put(key, base, t, e.snap.epoch)
+	}
+	return t
+}
+
+func (r *cellRunner) thresholdSearchUncached(vals []float64, ascending bool) float64 {
+	cp := r.cp
 	uniq := append([]float64(nil), vals...)
 	sort.Float64s(uniq)
+	// Deduplicate: decompositions routinely give many cells the same
+	// attribute bound, and each duplicate would cost a full MILP probe (a
+	// whole wave of them on the scheduler path). The first feasible
+	// threshold VALUE is unchanged, so results are bit-identical.
+	uniq = slices.Compact(uniq)
 	if !ascending {
 		for i, j := 0, len(uniq)-1; i < j; i, j = i+1, j-1 {
 			uniq[i], uniq[j] = uniq[j], uniq[i]
 		}
 	}
-	forbid := make([]bool, len(vals))
-	for _, t := range uniq {
+	probe := func(sc *solveCtx, t float64, forbid []bool) bool {
 		for i, v := range vals {
 			forbid[i] = (ascending && v > t) || (!ascending && v < t)
 		}
-		if cp.feasible(sc, forbid, true, -1, mopts) {
-			return t
+		return cp.feasible(sc, forbid, true, -1, r.mopts)
+	}
+	width := 1
+	if !r.seq() {
+		width = r.e.sched.Workers() + 1
+	}
+	if width <= 1 {
+		forbid := make([]bool, len(vals))
+		for _, t := range uniq {
+			if probe(r.sc, t, forbid) {
+				return t
+			}
+		}
+	} else {
+		feas := make([]bool, len(uniq))
+		for w0 := 0; w0 < len(uniq); w0 += width {
+			end := w0 + width
+			if end > len(uniq) {
+				end = len(uniq)
+			}
+			if end-w0 == 1 {
+				forbid := make([]bool, len(vals))
+				feas[w0] = probe(r.sc, uniq[w0], forbid)
+			} else {
+				g := r.e.sched.NewGroup()
+				for k := w0; k < end; k++ {
+					k := k
+					g.Submit(cp.problemCost(), func(ws *sched.Workspace) {
+						forbid := make([]bool, len(vals))
+						feas[k] = probe(taskCtx(ws), uniq[k], forbid)
+					})
+				}
+				g.Wait(r.callerWS())
+			}
+			for k := w0; k < end; k++ {
+				if feas[k] {
+					return uniq[k]
+				}
+			}
 		}
 	}
 	// Every restriction infeasible: the unrestricted extremum is the only

@@ -3,8 +3,6 @@ package core
 import (
 	"context"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"pcbound/internal/domain"
 	"pcbound/internal/parallel"
@@ -91,11 +89,14 @@ func (e *Engine) BoundBatchCtx(ctx context.Context, queries []Query, opts BatchO
 }
 
 // workerClone returns an engine view for one batch worker: same snapshot,
-// options, decomposition cache and solve-context pool, but a private
-// SAT-solver clone so per-worker solver work is attributable without
-// contending on shared counters.
+// options, decomposition cache, cell-bound cache, scheduler and
+// solve-context pool, but a private SAT-solver clone so per-worker solver
+// work is attributable without contending on shared counters.
 func (e *Engine) workerClone() *Engine {
-	return &Engine{snap: e.snap, solver: e.solver.Clone(), opts: e.opts, cache: e.cache, ctxPool: e.ctxPool}
+	return &Engine{
+		snap: e.snap, solver: e.solver.Clone(), opts: e.opts, cache: e.cache,
+		cellCache: e.cellCache, sched: e.sched, optsSig: e.optsSig, ctxPool: e.ctxPool,
+	}
 }
 
 func firstError(errs []error) error {
@@ -134,186 +135,40 @@ func (e *Engine) CacheStats() CacheStats {
 	if e.cache == nil {
 		return CacheStats{}
 	}
-	return CacheStats{
-		Hits:        e.cache.hits.Load(),
-		Misses:      e.cache.misses.Load(),
-		Retained:    e.cache.retained.Load(),
-		Invalidated: e.cache.invalidated.Load(),
+	return e.cache.ec.stats()
+}
+
+// CellCacheStats returns the per-cell bound cache's counters (see
+// cellcache.go). Like the decomposition cache, it is shared across Rebind
+// generations, so the counters cover the whole engine lineage.
+func (e *Engine) CellCacheStats() CacheStats {
+	if e.cellCache == nil {
+		return CacheStats{}
 	}
+	return e.cellCache.ec.stats()
 }
-
-// cacheEntry is one cached decomposition together with the epoch interval
-// [lo, hi] over which it is known valid. base is the pushdown-normalized
-// region the entry was decomposed for; validity extends across a mutation
-// exactly when no touched predicate box overlaps base (the same lattice
-// overlap test Decompose uses to drop predicates from the branching set, so
-// "no overlap" means a fresh decomposition would see the identical kept
-// predicate sequence and produce bit-identical cells).
-type cacheEntry struct {
-	cp     *cellProblem
-	base   domain.Box
-	lo, hi uint64 // guarded by decompCache.mu
-	// used is the cache's logical clock at the entry's last hit, so per-key
-	// eviction can drop the least-recently-used interval instead of
-	// starving a still-active snapshot-pinned reader.
-	used atomic.Int64
-}
-
-// maxEntriesPerKey bounds the epoch-interval entries kept per region key:
-// one for the store's frontier plus one for an engine pinned to an older
-// snapshot (the auditor pattern), so neither starves the other out of the
-// cache when the region was mutated in between.
-const maxEntriesPerKey = 2
 
 // decompCache memoizes cell decompositions by pushdown-normalized region
-// key. Entries are immutable cellProblems shared by all readers and all
-// engines in a Rebind lineage. Store mutations do NOT flush the cache:
-// get() consults the store's mutation log and retains every entry whose
-// region no mutation touched (scoped invalidation), extending its validity
-// interval; only entries overlapping a changed predicate box are dropped.
-// Each key holds up to maxEntriesPerKey disjoint validity intervals, so a
-// frontier engine and a snapshot-pinned one can both stay cached across a
-// mutation that touched the region. When two goroutines race to decompose
-// the same region, both compute it (the result is identical either way) and
-// one insertion wins; this keeps the fast path lock-cheap without a per-key
-// singleflight.
-type decompCache struct {
-	store   *Store
-	mu      sync.RWMutex
-	entries map[string][]*cacheEntry
-	max     int
-	clock   atomic.Int64 // logical time for LRU stamps
-
-	hits, misses, retained, invalidated atomic.Int64
-}
+// key, on the shared epoch-interval mechanism (epochcache.go): values are
+// immutable *cellProblems shared by all readers and all engines in a Rebind
+// lineage, each entry's base box is the pushdown-normalized query region,
+// and validity extends across mutations that touch no predicate box
+// overlapping it — a fresh decomposition would then see the identical kept
+// predicate sequence and produce bit-identical cells.
+type decompCache struct{ ec *epochCache }
 
 func newDecompCache(max int, store *Store) *decompCache {
-	return &decompCache{store: store, entries: make(map[string][]*cacheEntry), max: max}
+	return &decompCache{ec: newEpochCache(max, store)}
 }
 
 func (c *decompCache) get(key string, epoch uint64) (*cellProblem, bool) {
-	// Direct containment: the steady-state hit path, allocation-free.
-	c.mu.RLock()
-	ens := c.entries[key]
-	for _, en := range ens {
-		if epoch >= en.lo && epoch <= en.hi {
-			cp := en.cp
-			en.used.Store(c.clock.Add(1))
-			c.mu.RUnlock()
-			c.hits.Add(1)
-			return cp, true
-		}
+	v, ok := c.ec.get(key, epoch)
+	if !ok {
+		return nil, false
 	}
-	// No direct hit: snapshot the intervals for the extension decisions,
-	// which run without the lock (they consult the store's mutation log).
-	type view struct {
-		en     *cacheEntry
-		lo, hi uint64
-	}
-	views := make([]view, len(ens))
-	for i, en := range ens {
-		views[i] = view{en, en.lo, en.hi}
-	}
-	c.mu.RUnlock()
-	// Forward extension from the entry ending closest below epoch.
-	var fwd *view
-	for i := range views {
-		if views[i].hi < epoch && (fwd == nil || views[i].hi > fwd.hi) {
-			fwd = &views[i]
-		}
-	}
-	if fwd != nil {
-		if c.store.unchangedWithin(fwd.en.base, fwd.hi, epoch) {
-			c.extend(key, fwd.en, epoch, true)
-			fwd.en.used.Store(c.clock.Add(1))
-			c.retained.Add(1)
-			c.hits.Add(1)
-			return fwd.en.cp, true
-		}
-		// A mutation touched this region after the entry's validity window.
-		// The entry is stale for this epoch but still exact over its own
-		// [lo, hi] interval, so keep it for snapshot-pinned engines; the
-		// per-key cap bounds accumulation when the frontier repopulates.
-		c.invalidated.Add(1)
-	}
-	// Backward extension: an engine bound to an older snapshot probing an
-	// entry created later. If nothing touching the region happened in
-	// between, the decomposition is the same and validity extends backwards.
-	var bwd *view
-	for i := range views {
-		if views[i].lo > epoch && (bwd == nil || views[i].lo < bwd.lo) {
-			bwd = &views[i]
-		}
-	}
-	if bwd != nil && c.store.unchangedWithin(bwd.en.base, epoch, bwd.lo) {
-		c.extend(key, bwd.en, epoch, false)
-		bwd.en.used.Store(c.clock.Add(1))
-		c.retained.Add(1)
-		c.hits.Add(1)
-		return bwd.en.cp, true
-	}
-	c.misses.Add(1)
-	return nil, false
-}
-
-// extend widens an entry's validity interval to include epoch, unless the
-// entry was concurrently evicted.
-func (c *decompCache) extend(key string, en *cacheEntry, epoch uint64, forward bool) {
-	c.mu.Lock()
-	for _, cur := range c.entries[key] {
-		if cur == en {
-			if forward && en.hi < epoch {
-				en.hi = epoch
-			} else if !forward && en.lo > epoch {
-				en.lo = epoch
-			}
-			break
-		}
-	}
-	c.mu.Unlock()
+	return v.(*cellProblem), true
 }
 
 func (c *decompCache) put(key string, base domain.Box, cp *cellProblem, epoch uint64) {
-	en := &cacheEntry{cp: cp, base: base, lo: epoch, hi: epoch}
-	en.used.Store(c.clock.Add(1))
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ens := c.entries[key]
-	for _, cur := range ens {
-		if epoch >= cur.lo && epoch <= cur.hi {
-			return // a racer already covers this epoch
-		}
-	}
-	if len(ens) == 0 && len(c.entries) >= c.max {
-		// At capacity, evict an arbitrary key (map iteration order) rather
-		// than refusing the insert: entries survive mutations, so a workload
-		// whose region set drifts past the capacity would otherwise lock the
-		// cache into regions it never queries again. Eviction can only cost
-		// a recomputation, never change a result.
-		for victim := range c.entries {
-			delete(c.entries, victim)
-			break
-		}
-	}
-	ens = append(ens, en)
-	if len(ens) > maxEntriesPerKey {
-		// Drop the least-recently-used resident interval, but never the
-		// entry just inserted — evicting the newcomer would permanently
-		// starve the engine that computed it. LRU (rather than smallest-hi)
-		// keeps a long-lived snapshot-pinned reader's entry alive across
-		// frontier churn: a dead old frontier interval is untouched since
-		// its last repopulation, while the pinned reader re-stamps its entry
-		// on every hit.
-		low := -1
-		for i, cur := range ens {
-			if cur == en {
-				continue
-			}
-			if low < 0 || cur.used.Load() < ens[low].used.Load() {
-				low = i
-			}
-		}
-		ens = append(ens[:low], ens[low+1:]...)
-	}
-	c.entries[key] = ens
+	c.ec.put(key, base, cp, epoch)
 }

@@ -12,6 +12,7 @@ import (
 	"pcbound/internal/milp"
 	"pcbound/internal/predicate"
 	"pcbound/internal/sat"
+	"pcbound/internal/sched"
 )
 
 // Agg identifies an aggregate function.
@@ -53,6 +54,19 @@ type Query struct {
 	Agg   Agg
 	Attr  string       // aggregated attribute; ignored for COUNT
 	Where *predicate.P // nil means no predicate
+}
+
+// String renders the query SQL-ishly for error messages and logs, e.g.
+// "SUM(price) WHERE region=[0,10]".
+func (q Query) String() string {
+	attr := q.Attr
+	if q.Agg == Count && attr == "" {
+		attr = "*"
+	}
+	if q.Where == nil {
+		return fmt.Sprintf("%s(%s)", q.Agg, attr)
+	}
+	return fmt.Sprintf("%s(%s) WHERE %s", q.Agg, attr, q.Where)
 }
 
 // Range is a hard result range: the aggregate of every missing-data instance
@@ -111,10 +125,35 @@ type Options struct {
 	// keeping memory bounded; eviction can only cost recomputation, never
 	// change a result.
 	DecompCacheSize int
+	// Scheduler supplies the shared cell-solve scheduler for intra-query
+	// parallelism: per-cell LP/MILP tasks from every in-flight query on this
+	// engine (and every other engine sharing the scheduler, e.g. a server
+	// pool) are dispatched cost-ordered across one worker pool, so a single
+	// MILP-heavy query fans its cells out instead of pegging one core. nil
+	// uses the process-wide sched.Shared() scheduler. Results are
+	// bit-identical to the sequential path at any worker count: tasks write
+	// index-addressed slots and every reduction runs in fixed cell order.
+	Scheduler *sched.Scheduler
+	// SequentialCells disables intra-query parallelism: cell solves run
+	// inline on the calling goroutine in index order. This is the reference
+	// path the differential tests pin the scheduler path against; results
+	// are bit-identical either way.
+	SequentialCells bool
+	// DisableCellCache turns off the epoch-scoped per-cell bound cache,
+	// forcing every query to re-run its cell-level LP/MILP solves even when
+	// an earlier query (or group-by group) already solved content-identical
+	// cells. See cellcache.go.
+	DisableCellCache bool
+	// CellCacheSize caps the number of cached cell-solve keys
+	// (0 = DefaultCellCacheSize). Entries are small scalar results; like the
+	// decomposition cache, each key may hold up to two epoch-interval
+	// entries and eviction only ever costs recomputation.
+	CellCacheSize int
 	// Reference routes every optimized hot-path layer to its preserved
 	// pre-optimization implementation: the recursive SAT search, the
-	// clone-per-child branch-and-bound, and per-solve LP assembly. Results
-	// are bit-identical to the default configuration; the flag exists for
+	// clone-per-child branch-and-bound, and per-solve LP assembly, with
+	// sequential cell solving and no cell-bound cache. Results are
+	// bit-identical to the default configuration; the flag exists for
 	// differential testing and benchmarking (see BenchmarkHotPath). It only
 	// takes effect for solvers the engine creates itself (pass solver=nil).
 	Reference bool
@@ -136,6 +175,17 @@ type Engine struct {
 	solver *sat.Solver
 	opts   Options
 	cache  *decompCache // nil when DisableDecompCache is set
+	// cellCache memoizes cell-solve results (per-cell feasibility,
+	// directional solves, search endpoints) with epoch-interval validity;
+	// nil when DisableCellCache or Reference is set. Shared across the
+	// Rebind lineage like the decomposition cache.
+	cellCache *cellBoundCache
+	// sched dispatches per-cell solve tasks; nil runs cells sequentially
+	// (SequentialCells or Reference).
+	sched *sched.Scheduler
+	// optsSig tags cell-cache keys with the solver options that can shape a
+	// solve result, so entries can never alias across configurations.
+	optsSig string
 	// ctxPool recycles per-query solve contexts (LP tableau arenas plus a
 	// reusable problem shell), so the two-direction × relax-retry pattern and
 	// the feasibility/threshold searches stop reallocating the LP. Solve
@@ -167,6 +217,20 @@ func NewEngineAt(snap *Snapshot, solver *sat.Solver, opts Options) *Engine {
 		}
 		e.cache = newDecompCache(size, snap.Store())
 	}
+	if !opts.DisableCellCache && !opts.Reference {
+		size := opts.CellCacheSize
+		if size <= 0 {
+			size = DefaultCellCacheSize
+		}
+		e.cellCache = newCellBoundCache(size, snap.Store())
+		e.optsSig = milpOptsSig(opts.MILP)
+	}
+	if !opts.SequentialCells && !opts.Reference {
+		e.sched = opts.Scheduler
+		if e.sched == nil {
+			e.sched = sched.Shared()
+		}
+	}
 	return e
 }
 
@@ -181,13 +245,21 @@ func (e *Engine) Rebind() *Engine {
 	if snap == e.snap {
 		return e
 	}
-	return &Engine{snap: snap, solver: e.solver, opts: e.opts, cache: e.cache, ctxPool: e.ctxPool}
+	return &Engine{
+		snap: snap, solver: e.solver, opts: e.opts, cache: e.cache,
+		cellCache: e.cellCache, sched: e.sched, optsSig: e.optsSig, ctxPool: e.ctxPool,
+	}
 }
 
-// solveCtx is one query's solve workspace: an LP context (tableau arenas)
-// and a problem shell rebuilt row-set by row-set via cellProblem.buildInto.
+// solveCtx is one executor's solve workspace: an LP context (tableau
+// arenas), a branch-and-bound workspace (node queue and path scratch), and
+// a problem shell rebuilt row-set by row-set via cellProblem.buildInto. It
+// carries no constraint- or engine-derived state, so contexts are freely
+// shared across queries, epochs, and engines: one lives per scheduler
+// worker (sched.Workspace.Local), and callers pool theirs via ctxPool.
 type solveCtx struct {
 	lp    lp.Context
+	work  milp.Workspace
 	prob  lp.Problem
 	zeros []float64
 }
@@ -222,10 +294,12 @@ func (e *Engine) releaseCtx(sc *solveCtx) {
 }
 
 // milpOpts returns the per-query MILP options with the engine-level
-// reference flag applied.
+// reference flag applied. The per-executor Ctx/Work are attached at solve
+// time from whichever solve context runs the task.
 func (e *Engine) milpOpts() milp.Options {
 	m := e.opts.MILP
 	m.Ctx = nil
+	m.Work = nil
 	m.Reference = e.opts.Reference
 	return m
 }
@@ -235,6 +309,10 @@ func (e *Engine) Snapshot() *Snapshot { return e.snap }
 
 // Solver returns the engine's SAT solver (for stats inspection).
 func (e *Engine) Solver() *sat.Solver { return e.solver }
+
+// Scheduler returns the cell-solve scheduler the engine dispatches to, or
+// nil when cell solves run sequentially (SequentialCells or Reference).
+func (e *Engine) Scheduler() *sched.Scheduler { return e.sched }
 
 // Bound dispatches on the aggregate kind.
 func (e *Engine) Bound(q Query) (Range, error) {
@@ -250,7 +328,10 @@ func (e *Engine) Bound(q Query) (Range, error) {
 	case Max:
 		return e.Max(q.Attr, q.Where)
 	default:
-		return Range{}, fmt.Errorf("core: unknown aggregate %v", q.Agg)
+		// Name the whole query, not just the aggregate code: this error
+		// surfaces as a serving-layer 400, and "unknown aggregate Agg(7)"
+		// alone gives the client nothing to find the offending request by.
+		return Range{}, fmt.Errorf("core: unknown aggregate %v in query %s (want COUNT, SUM, AVG, MIN or MAX)", q.Agg, q)
 	}
 }
 
@@ -277,6 +358,16 @@ type cellProblem struct {
 	onesVal []float64
 	idxAll  []int
 
+	// base is the pushdown-normalized query region this problem was
+	// decomposed for, and baseKey its bit-exact string form (nil/"" when no
+	// cache needs them); they anchor problem-scoped cell-cache keys and
+	// their epoch validity. coupled records whether any active frequency
+	// lower bound survived pushdown — when false, per-cell feasibility is a
+	// cell-local fact and cacheable across problems (see cellcache.go).
+	base    domain.Box
+	baseKey string
+	coupled bool
+
 	satChecks int64
 }
 
@@ -288,9 +379,11 @@ type cellProblem struct {
 func (e *Engine) decompose(where *predicate.P) (*cellProblem, error) {
 	var key string
 	var base domain.Box
-	if e.cache != nil {
+	if e.cache != nil || e.cellCache != nil {
 		base = cells.PushdownBox(e.snap.Schema(), where)
 		key = cells.BoxKey(base)
+	}
+	if e.cache != nil {
 		if cp, ok := e.cache.get(key, e.snap.epoch); ok {
 			return cp, nil
 		}
@@ -299,6 +392,7 @@ func (e *Engine) decompose(where *predicate.P) (*cellProblem, error) {
 	if err != nil {
 		return nil, err
 	}
+	cp.base, cp.baseKey = base, key
 	if e.cache != nil {
 		e.cache.put(key, base, cp, e.snap.epoch)
 	}
@@ -347,6 +441,9 @@ func (e *Engine) decomposeUncached(where *predicate.P) (*cellProblem, error) {
 			lo = 0
 		}
 		cp.kLo[j] = lo
+		if lo > 0 {
+			cp.coupled = true
+		}
 	}
 	cp.capHi = make([]float64, len(cp.cells))
 	khiVec := make([]float64, e.snap.Len())
@@ -478,6 +575,7 @@ func (cp *cellProblem) solve(sc *solveCtx, obj []float64, maximize bool, forbidZ
 		if sc != nil {
 			p = cp.buildInto(sc, obj, maximize, forbidZero, atLeastOne, relax)
 			mopts.Ctx = &sc.lp
+			mopts.Work = &sc.work
 		} else {
 			p = cp.buildLP(obj, maximize, forbidZero, atLeastOne, relax)
 		}
@@ -508,6 +606,18 @@ func (cp *cellProblem) solve(sc *solveCtx, obj []float64, maximize bool, forbidZ
 // feasible reports whether any allocation satisfies the constraints with the
 // given cell restrictions.
 func (cp *cellProblem) feasible(sc *solveCtx, forbidZero []bool, atLeastOne bool, minOne int, mopts milp.Options) bool {
+	ok, _ := cp.feasibleStatus(sc, forbidZero, atLeastOne, minOne, mopts)
+	return ok
+}
+
+// feasibleStatus is feasible plus whether the verdict is budget-independent.
+// A true verdict always is (an incumbent or proven-optimal solution exists),
+// as is a false from a proven-infeasible relaxation; a false from a
+// BoundOnly exit — node budget exhausted with no incumbent found — depends
+// on how much of the search tree the budget covered, which depends on the
+// WHOLE problem. Undecided verdicts must not be cached under cell-scoped
+// keys shared by other problems (see cellcache.go).
+func (cp *cellProblem) feasibleStatus(sc *solveCtx, forbidZero []bool, atLeastOne bool, minOne int, mopts milp.Options) (ok, decided bool) {
 	var p *lp.Problem
 	if sc != nil {
 		zeros := sc.zeroObj(len(cp.cells))
@@ -516,6 +626,7 @@ func (cp *cellProblem) feasible(sc *solveCtx, forbidZero []bool, atLeastOne bool
 			_ = p.PushRow(cp.idxAll[minOne:minOne+1], cp.onesVal[:1], lp.GE, 1)
 		}
 		mopts.Ctx = &sc.lp
+		mopts.Work = &sc.work
 	} else {
 		obj := make([]float64, len(cp.cells))
 		p = cp.buildLP(obj, true, forbidZero, atLeastOne, false)
@@ -524,7 +635,9 @@ func (cp *cellProblem) feasible(sc *solveCtx, forbidZero []bool, atLeastOne bool
 		}
 	}
 	sol := milp.SolveMax(milp.Problem{LP: p}, mopts)
-	return sol.Status == milp.Optimal || sol.Status == milp.Feasible
+	ok = sol.Status == milp.Optimal || sol.Status == milp.Feasible
+	decided = ok || sol.Status == milp.Infeasible
+	return ok, decided
 }
 
 // mayBeEmpty reports whether the zero allocation is feasible (no forced

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pcbound/internal/domain"
+)
+
+// This file implements the epoch-interval cache mechanism shared by the
+// decomposition cache (decompCache in batch.go) and the per-cell bound cache
+// (cellcache.go). Both memoize pure functions of a region of the constraint
+// store: entries carry the region box they were computed over plus the epoch
+// interval [lo, hi] they are known valid for, and validity extends across
+// store mutations whose predicate boxes do not overlap the region (scoped
+// invalidation, consulting the store's bounded mutation log). The cached
+// value type is opaque here; each wrapper documents what it stores and why a
+// hit is bit-identical to recomputation.
+
+// epochEntry is one cached value together with the epoch interval [lo, hi]
+// over which it is known valid. base is the region the value was computed
+// over; validity extends across a mutation exactly when no touched predicate
+// box overlaps base on the schema lattice (the same overlap test Decompose
+// uses to drop predicates from the branching set, so "no overlap" means a
+// fresh computation would see the identical inputs and produce a
+// bit-identical value).
+type epochEntry struct {
+	val    any
+	base   domain.Box
+	lo, hi uint64 // guarded by epochCache.mu
+	// used is the cache's logical clock at the entry's last hit, so per-key
+	// eviction can drop the least-recently-used interval instead of
+	// starving a still-active snapshot-pinned reader.
+	used atomic.Int64
+}
+
+// maxEntriesPerKey bounds the epoch-interval entries kept per key: one for
+// the store's frontier plus one for an engine pinned to an older snapshot
+// (the auditor pattern), so neither starves the other out of the cache when
+// the region was mutated in between.
+const maxEntriesPerKey = 2
+
+// epochCache memoizes values by string key with epoch-interval validity.
+// Entries are immutable values shared by all readers and all engines in a
+// Rebind lineage. Store mutations do NOT flush the cache: get() consults the
+// store's mutation log and retains every entry whose region no mutation
+// touched (scoped invalidation), extending its validity interval; only
+// entries overlapping a changed predicate box are dropped from consideration
+// for the new epoch. Each key holds up to maxEntriesPerKey disjoint validity
+// intervals, so a frontier engine and a snapshot-pinned one can both stay
+// cached across a mutation that touched the region. When two goroutines race
+// to compute the same key, both compute it (the result is identical either
+// way) and one insertion wins; this keeps the fast path lock-cheap without a
+// per-key singleflight.
+type epochCache struct {
+	store   *Store
+	mu      sync.RWMutex
+	entries map[string][]*epochEntry
+	max     int
+	clock   atomic.Int64 // logical time for LRU stamps
+
+	hits, misses, retained, invalidated atomic.Int64
+}
+
+func newEpochCache(max int, store *Store) *epochCache {
+	return &epochCache{store: store, entries: make(map[string][]*epochEntry), max: max}
+}
+
+func (c *epochCache) get(key string, epoch uint64) (any, bool) {
+	// Direct containment: the steady-state hit path, allocation-free.
+	c.mu.RLock()
+	ens := c.entries[key]
+	for _, en := range ens {
+		if epoch >= en.lo && epoch <= en.hi {
+			val := en.val
+			en.used.Store(c.clock.Add(1))
+			c.mu.RUnlock()
+			c.hits.Add(1)
+			return val, true
+		}
+	}
+	// No direct hit: snapshot the intervals for the extension decisions,
+	// which run without the lock (they consult the store's mutation log).
+	type view struct {
+		en     *epochEntry
+		lo, hi uint64
+	}
+	views := make([]view, len(ens))
+	for i, en := range ens {
+		views[i] = view{en, en.lo, en.hi}
+	}
+	c.mu.RUnlock()
+	// Forward extension from the entry ending closest below epoch.
+	var fwd *view
+	for i := range views {
+		if views[i].hi < epoch && (fwd == nil || views[i].hi > fwd.hi) {
+			fwd = &views[i]
+		}
+	}
+	if fwd != nil {
+		if c.store.unchangedWithin(fwd.en.base, fwd.hi, epoch) {
+			c.extend(key, fwd.en, epoch, true)
+			fwd.en.used.Store(c.clock.Add(1))
+			c.retained.Add(1)
+			c.hits.Add(1)
+			return fwd.en.val, true
+		}
+		// A mutation touched this region after the entry's validity window.
+		// The entry is stale for this epoch but still exact over its own
+		// [lo, hi] interval, so keep it for snapshot-pinned engines; the
+		// per-key cap bounds accumulation when the frontier repopulates.
+		c.invalidated.Add(1)
+	}
+	// Backward extension: an engine bound to an older snapshot probing an
+	// entry created later. If nothing touching the region happened in
+	// between, the value is the same and validity extends backwards.
+	var bwd *view
+	for i := range views {
+		if views[i].lo > epoch && (bwd == nil || views[i].lo < bwd.lo) {
+			bwd = &views[i]
+		}
+	}
+	if bwd != nil && c.store.unchangedWithin(bwd.en.base, epoch, bwd.lo) {
+		c.extend(key, bwd.en, epoch, false)
+		bwd.en.used.Store(c.clock.Add(1))
+		c.retained.Add(1)
+		c.hits.Add(1)
+		return bwd.en.val, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// extend widens an entry's validity interval to include epoch, unless the
+// entry was concurrently evicted.
+func (c *epochCache) extend(key string, en *epochEntry, epoch uint64, forward bool) {
+	c.mu.Lock()
+	for _, cur := range c.entries[key] {
+		if cur == en {
+			if forward && en.hi < epoch {
+				en.hi = epoch
+			} else if !forward && en.lo > epoch {
+				en.lo = epoch
+			}
+			break
+		}
+	}
+	c.mu.Unlock()
+}
+
+func (c *epochCache) put(key string, base domain.Box, val any, epoch uint64) {
+	en := &epochEntry{val: val, base: base, lo: epoch, hi: epoch}
+	en.used.Store(c.clock.Add(1))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ens := c.entries[key]
+	for _, cur := range ens {
+		if epoch >= cur.lo && epoch <= cur.hi {
+			return // a racer already covers this epoch
+		}
+	}
+	if len(ens) == 0 && len(c.entries) >= c.max {
+		// At capacity, evict an arbitrary key (map iteration order) rather
+		// than refusing the insert: entries survive mutations, so a workload
+		// whose region set drifts past the capacity would otherwise lock the
+		// cache into regions it never queries again. Eviction can only cost
+		// a recomputation, never change a result.
+		for victim := range c.entries {
+			delete(c.entries, victim)
+			break
+		}
+	}
+	ens = append(ens, en)
+	if len(ens) > maxEntriesPerKey {
+		// Drop the least-recently-used resident interval, but never the
+		// entry just inserted — evicting the newcomer would permanently
+		// starve the engine that computed it. LRU (rather than smallest-hi)
+		// keeps a long-lived snapshot-pinned reader's entry alive across
+		// frontier churn: a dead old frontier interval is untouched since
+		// its last repopulation, while the pinned reader re-stamps its entry
+		// on every hit.
+		low := -1
+		for i, cur := range ens {
+			if cur == en {
+				continue
+			}
+			if low < 0 || cur.used.Load() < ens[low].used.Load() {
+				low = i
+			}
+		}
+		ens = append(ens[:low], ens[low+1:]...)
+	}
+	c.entries[key] = ens
+}
+
+// stats exports the cache's counters in the shared CacheStats shape.
+func (c *epochCache) stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Retained:    c.retained.Load(),
+		Invalidated: c.invalidated.Load(),
+	}
+}

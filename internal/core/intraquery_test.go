@@ -1,0 +1,321 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"pcbound/internal/domain"
+	"pcbound/internal/predicate"
+	"pcbound/internal/sched"
+)
+
+// These tests pin the intra-query parallelism contract: Range results from
+// the scheduler path (per-cell tasks fanned out over a shared cost-ordered
+// scheduler, cell-bound cache on) are bit-identical to the sequential
+// reference path (SequentialCells, no cell cache) at every parallelism
+// level, for all five aggregates and for group-by.
+
+// schedWorkerCounts are the scheduler widths the differential tests sweep:
+// caller-only (parallelism 1), one worker (parallelism 2), and NumCPU.
+func schedWorkerCounts() []int {
+	counts := []int{0, 1}
+	if n := runtime.NumCPU(); n > 1 {
+		counts = append(counts, n)
+	} else {
+		counts = append(counts, 4) // oversubscribed on 1 CPU: interleaving still must not matter
+	}
+	return counts
+}
+
+// coupledSet is overlappingSet: its frequency lower bounds survive pushdown
+// for wide queries, exercising the problem-scoped (coupled) cache keys.
+// uncoupledSet has kLo=0 everywhere, exercising the cell-scoped keys.
+func uncoupledSet(t testing.TB) *Set {
+	t.Helper()
+	s := salesSchema()
+	set := NewSet(s)
+	set.MustAdd(
+		MustPC(predicate.NewBuilder(s).Range("utc", 0, 12).Build(),
+			map[string]domain.Interval{"price": domain.NewInterval(1, 40)}, 0, 9),
+		MustPC(predicate.NewBuilder(s).Range("utc", 5, 20).Build(),
+			map[string]domain.Interval{"price": domain.NewInterval(3, 60)}, 0, 7),
+		MustPC(predicate.NewBuilder(s).Range("utc", 10, 30).Build(),
+			map[string]domain.Interval{"price": domain.NewInterval(0, 25)}, 0, 5),
+		MustPC(predicate.NewBuilder(s).Range("branch", 1, 2).Build(),
+			map[string]domain.Interval{"price": domain.NewInterval(10, 100)}, 0, 6),
+	)
+	return set
+}
+
+// TestIntraQueryBitIdentical: for every aggregate and a mix of regions, the
+// scheduler path at parallelism 1, 2, and NumCPU returns Ranges
+// bit-identical to the sequential reference — cold and again warm (second
+// pass served by the cell-bound cache).
+func TestIntraQueryBitIdentical(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		set  func(testing.TB) *Set
+	}{{"coupled", overlappingSet}, {"uncoupled", uncoupledSet}} {
+		t.Run(mk.name, func(t *testing.T) {
+			set := mk.set(t)
+			queries := batchWorkload(set.Schema())
+			ref := NewEngine(set, nil, Options{
+				DisableFastPath: true, SequentialCells: true, DisableCellCache: true,
+			})
+			want := make([]Range, len(queries))
+			for i, q := range queries {
+				var err error
+				want[i], err = ref.Bound(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, workers := range schedWorkerCounts() {
+				t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
+					sch := sched.New(workers)
+					defer sch.Close()
+					eng := NewEngine(set, nil, Options{DisableFastPath: true, Scheduler: sch})
+					for pass := 0; pass < 2; pass++ {
+						for i, q := range queries {
+							got, err := eng.Bound(q)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if got != want[i] {
+								t.Fatalf("pass %d query %d (%s): scheduler range %+v != sequential %+v",
+									pass, i, q, got, want[i])
+							}
+						}
+					}
+					if pass2 := eng.CellCacheStats(); pass2.Hits == 0 {
+						t.Fatalf("second pass produced no cell-cache hits: %+v", pass2)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestGroupByBitIdenticalAndShared: group-by over the scheduler+cache path
+// matches per-group sequential bounds bit-identically, and groups slicing an
+// unconstrained attribute share cell-scoped cache entries (hits despite
+// distinct group regions).
+func TestGroupByBitIdenticalAndShared(t *testing.T) {
+	set := uncoupledSet(t)
+	s := set.Schema()
+	// Groups slice the aggregated attribute; the constraints' predicates
+	// live on utc/branch, so every group sees the same active sets and
+	// frequency windows — the cell-scoped sharing case.
+	var groups []*predicate.P
+	for g := 0; g < 6; g++ {
+		groups = append(groups, predicate.NewBuilder(s).
+			Range("price", float64(g*100), float64(g*100+99)).Build())
+	}
+	q := Query{Agg: Min, Attr: "price",
+		Where: predicate.NewBuilder(s).Range("utc", 2, 18).Build()}
+
+	ref := NewEngine(set, nil, Options{
+		DisableFastPath: true, SequentialCells: true, DisableCellCache: true,
+	})
+	want, err := ref.GroupBy(q, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sch := sched.New(2)
+	defer sch.Close()
+	eng := NewEngine(set, nil, Options{DisableFastPath: true, Scheduler: sch})
+	got, err := eng.GroupBy(q, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i].Range != want[i].Range {
+			t.Fatalf("group %d: scheduler range %+v != sequential %+v", i, got[i].Range, want[i].Range)
+		}
+	}
+	cs := eng.CellCacheStats()
+	if cs.Hits == 0 {
+		t.Fatalf("groups over shared cells produced no cell-cache hits: %+v", cs)
+	}
+}
+
+// TestUnknownAggregateErrorNamesQuery: the Bound error for an out-of-range
+// aggregate identifies the whole query, not just the aggregate code.
+func TestUnknownAggregateErrorNamesQuery(t *testing.T) {
+	set := overlappingSet(t)
+	eng := NewEngine(set, nil, Options{})
+	where := predicate.NewBuilder(set.Schema()).Range("utc", 1, 4).Build()
+	_, err := eng.Bound(Query{Agg: Agg(42), Attr: "price", Where: where})
+	if err == nil {
+		t.Fatal("Bound accepted an unknown aggregate")
+	}
+	for _, frag := range []string{"Agg(42)", "price", "utc", "COUNT, SUM, AVG, MIN or MAX"} {
+		if !contains(err.Error(), frag) {
+			t.Fatalf("error %q does not mention %q", err, frag)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCellCacheMutateReboundDifferential is the randomized correctness
+// gauntlet for the epoch-scoped cell-bound cache: a store mutates through
+// random add/remove/replace epochs while one warm engine lineage (Rebind,
+// shared cell cache) keeps answering a fixed workload; after every epoch
+// each Range must be bit-identical to a cold sequential engine built from
+// scratch on the same store state.
+func TestCellCacheMutateReboundDifferential(t *testing.T) {
+	s := salesSchema()
+	rng := rand.New(rand.NewSource(7))
+	store := NewStore(s)
+	newPC := func() PC {
+		lo := rng.Float64() * 20
+		w := 4 + rng.Float64()*12
+		vlo := rng.Float64() * 50
+		return MustPC(
+			predicate.NewBuilder(s).Range("utc", lo, lo+w).Build(),
+			map[string]domain.Interval{"price": domain.NewInterval(vlo, vlo+10+rng.Float64()*40)},
+			rng.Intn(2), 2+rng.Intn(6),
+		)
+	}
+	var pcs []PC
+	for i := 0; i < 8; i++ {
+		pcs = append(pcs, newPC())
+	}
+	ids, err := store.AddPCs(pcs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := batchWorkload(s)
+	sch := sched.New(2)
+	defer sch.Close()
+	warm := NewEngine(store, nil, Options{DisableFastPath: true, Scheduler: sch})
+
+	for epoch := 0; epoch < 12; epoch++ {
+		switch op := rng.Intn(3); {
+		case op == 0 || len(ids) < 4:
+			got, err := store.AddPCs(newPC())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, got...)
+		case op == 1:
+			k := rng.Intn(len(ids))
+			if err := store.Remove(ids[k]); err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids[:k], ids[k+1:]...)
+		default:
+			k := rng.Intn(len(ids))
+			if err := store.Replace(ids[k], newPC()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		warm = warm.Rebind()
+		cold := NewEngine(store, nil, Options{
+			DisableFastPath: true, SequentialCells: true,
+			DisableCellCache: true, DisableDecompCache: true,
+		})
+		for i, q := range queries {
+			got, err := warm.Bound(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := cold.Bound(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("epoch %d query %d (%s): warm cached range %+v != cold range %+v",
+					epoch, i, q, got, want)
+			}
+		}
+	}
+	cs := warm.CellCacheStats()
+	if cs.Hits == 0 {
+		t.Fatalf("mutate→rebound run produced no cell-cache hits: %+v", cs)
+	}
+	if cs.Retained == 0 {
+		t.Fatalf("scoped invalidation never retained an entry across epochs: %+v", cs)
+	}
+}
+
+// TestCellSigDifferentiates is the collision test on the cell signature
+// key: constraint sets that differ only in value boxes, only in frequency
+// windows, or only in verification status must produce different cell
+// signatures — sharing across any of those differences could alias a
+// future cell-local solve. Identical content must produce identical
+// signatures (that equality is what group-by sharing rides on).
+func TestCellSigDifferentiates(t *testing.T) {
+	s := salesSchema()
+	build := func(vhi float64, khi int) *cellProblem {
+		set := NewSet(s)
+		set.MustAdd(MustPC(
+			predicate.NewBuilder(s).Range("utc", 0, 10).Build(),
+			map[string]domain.Interval{"price": domain.NewInterval(0, vhi)}, 0, khi,
+		))
+		eng := NewEngine(set, nil, Options{DisableFastPath: true})
+		cp, err := eng.decompose(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cp.cells) == 0 {
+			t.Fatal("no cells")
+		}
+		return cp
+	}
+	base := build(50, 5)
+	sameContent := build(50, 5)
+	diffValues := build(60, 5)
+	diffWindow := build(50, 4)
+
+	if got, want := sameContent.cellSig(0), base.cellSig(0); got != want {
+		t.Fatalf("identical content produced different signatures:\n%q\n%q", got, want)
+	}
+	if got := diffValues.cellSig(0); got == base.cellSig(0) {
+		t.Fatalf("value-box change did not change the signature: %q", got)
+	}
+	if got := diffWindow.cellSig(0); got == base.cellSig(0) {
+		t.Fatalf("frequency-window change did not change the signature: %q", got)
+	}
+
+	// Verified flag: an early-stopped (unverified) cell must never share
+	// with a verified one.
+	set := NewSet(s)
+	set.MustAdd(
+		MustPC(predicate.NewBuilder(s).Range("utc", 0, 10).Build(),
+			map[string]domain.Interval{"price": domain.NewInterval(0, 50)}, 0, 5),
+		MustPC(predicate.NewBuilder(s).Range("utc", 5, 15).Build(),
+			map[string]domain.Interval{"price": domain.NewInterval(0, 50)}, 0, 5),
+	)
+	opts := Options{DisableFastPath: true}
+	opts.Cells.EarlyStopLayer = 1
+	es := NewEngine(set, nil, opts)
+	cpES, err := es.decompose(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundUnverified := false
+	for i := range cpES.cells {
+		if !cpES.cells[i].Verified {
+			foundUnverified = true
+			if sig := cpES.cellSig(i); sig[0] != 'u' {
+				t.Fatalf("unverified cell signature %q does not lead with the unverified marker", sig)
+			}
+		}
+	}
+	if !foundUnverified {
+		t.Skip("early stopping produced no unverified cell in this configuration")
+	}
+}

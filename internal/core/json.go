@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"pcbound/internal/domain"
@@ -175,6 +176,38 @@ type QueryJSON struct {
 	Agg   string                `json:"agg"`
 	Attr  string                `json:"attr,omitempty"`
 	Where map[string][2]float64 `json:"where,omitempty"`
+}
+
+// String renders the wire query compactly for error messages — the serving
+// layer includes it in 400 bodies so a client log line identifies the
+// offending request (agg, attr, and where clause) without correlation work.
+// Where attributes are listed in sorted order so the rendering is stable.
+func (qj QueryJSON) String() string {
+	var sb strings.Builder
+	sb.WriteString(qj.Agg)
+	sb.WriteByte('(')
+	if qj.Attr == "" {
+		sb.WriteByte('*')
+	} else {
+		sb.WriteString(qj.Attr)
+	}
+	sb.WriteByte(')')
+	if len(qj.Where) > 0 {
+		names := make([]string, 0, len(qj.Where))
+		for name := range qj.Where {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		sb.WriteString(" WHERE ")
+		for i, name := range names {
+			if i > 0 {
+				sb.WriteString(" AND ")
+			}
+			rng := qj.Where[name]
+			fmt.Fprintf(&sb, "%s in [%g, %g]", name, rng[0], rng[1])
+		}
+	}
+	return sb.String()
 }
 
 // ParseAgg resolves an aggregate name (case-insensitively) to its Agg.

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"pcbound/internal/core"
+	"pcbound/internal/domain"
+	"pcbound/internal/predicate"
+)
+
+// IntraQueryScenario builds the single-huge-query benchmark workload shared
+// by BenchmarkIntraQuery (bench_test.go) and `pcbench -bench intraquery`:
+// one store of heavily overlapping constraint chains with active frequency
+// lower bounds — so per-cell feasibility is a genuinely coupled MILP, not a
+// cap check — and one wide MIN query whose decomposition yields dozens of
+// cells. The per-cell reachability solves are the skewed, independently
+// schedulable unit the shared scheduler (internal/sched) exists for.
+func IntraQueryScenario() (*core.Store, core.Query) {
+	schema := domain.NewSchema(
+		domain.Attr{Name: "x", Kind: domain.Integral, Domain: domain.NewInterval(0, 79)},
+		domain.Attr{Name: "v", Kind: domain.Continuous, Domain: domain.NewInterval(0, 100)},
+	)
+	store := core.NewStore(schema)
+	var pcs []core.PC
+	for i := 0; i < 26; i++ {
+		lo := float64(3 * i)
+		pcs = append(pcs, core.MustPC(
+			predicate.NewBuilder(schema).Range("x", lo, lo+11).Build(),
+			map[string]domain.Interval{"v": domain.NewInterval(float64(i%5)*5, 45+float64(i%7)*7)},
+			1+i%2, 5+i%4,
+		))
+	}
+	if err := store.Add(pcs...); err != nil {
+		panic(err)
+	}
+	q := core.Query{Agg: core.Min, Attr: "v",
+		Where: predicate.NewBuilder(schema).Range("x", 0, 70).Build()}
+	return store, q
+}

@@ -57,6 +57,12 @@ type Options struct {
 	// Ctx optionally supplies a reusable LP solve context (one per worker);
 	// nil allocates a private one per Solve call.
 	Ctx *lp.Context
+	// Work optionally supplies reusable branch-and-bound scratch (node
+	// queue and path-materialization buffers). Like Ctx it is per-executor
+	// state: one per scheduler worker / solve context, never shared between
+	// concurrent solves. Reuse changes no arithmetic — results are
+	// bit-identical with or without it.
+	Work *Workspace
 	// Reference forces the original clone-per-child, solve-twice
 	// branch-and-bound (reference.go). It exists for differential testing
 	// and benchmarking; results are bit-identical to the default path.
@@ -152,6 +158,24 @@ func (q *nodeQueue) Pop() interface{} {
 	return it
 }
 
+// Workspace holds branch-and-bound scratch reused across Solve calls: the
+// open-node queue's backing array and the root-first path buffer node
+// materialization walks. The zero value is ready to use. A Workspace is not
+// safe for concurrent use; pool one per executor alongside its lp.Context.
+type Workspace struct {
+	queue nodeQueue
+	path  []*branchRow
+}
+
+// reset returns the workspace's buffers emptied for a fresh search. solve
+// also clears node references on exit (see its defer), so a pooled idle
+// workspace holds only empty backing arrays; the clear here is defensive.
+func (w *Workspace) reset() (*nodeQueue, []*branchRow) {
+	clear(w.queue)
+	w.queue = w.queue[:0]
+	return &w.queue, w.path[:0]
+}
+
 // SolveMax solves a maximization MILP.
 func SolveMax(p Problem, opts Options) Solution { return solve(p, opts, true) }
 
@@ -200,15 +224,28 @@ func solve(p Problem, opts Options, maximize bool) Solution {
 		root.basis = cx.Basis()
 	}
 
+	work := opts.Work
+	if work == nil {
+		work = &Workspace{}
+	}
+	openQueue, pathBuf := work.reset()
 	var (
-		best      []float64
-		bestObj   = math.Inf(-1) // in maximization orientation
-		haveBest  bool
-		nodes     int
-		openQueue = &nodeQueue{}
-		pathBuf   []*branchRow // materialization scratch (root-first ordering)
+		best     []float64
+		bestObj  = math.Inf(-1) // in maximization orientation
+		haveBest bool
+		nodes    int
 	)
 	heap.Init(openQueue)
+	defer func() {
+		// Hand the (possibly grown) buffers back for the next search, and
+		// drop every node reference now: a pooled workspace may sit idle
+		// indefinitely, and leftover open nodes pin solution vectors and
+		// warm-start bases. (The final bound scan above runs before this.)
+		clear(work.queue)
+		work.queue = work.queue[:0]
+		clear(pathBuf[:cap(pathBuf)])
+		work.path = pathBuf[:0]
+	}()
 
 	// solveNode materializes the node path onto the shared base LP, solves
 	// the relaxation (warm-started from the parent basis when enabled), and

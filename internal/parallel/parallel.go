@@ -1,6 +1,13 @@
 // Package parallel provides the small work-distribution primitive shared by
 // the batch-bounding engine and the experiment harness: a fixed pool of
 // workers draining indexed tasks from an atomic counter.
+//
+// It is the coarse-grained, query-level counterpart of internal/sched: For
+// fans a fixed index space over private workers and has no ordering or
+// sharing, which suits homogeneous per-query work (BoundBatch, experiment
+// sweeps). Work *within* a query — per-cell LP/MILP solves with heavy skew,
+// fed by many queries at once — goes through sched's shared cost-ordered
+// scheduler instead.
 package parallel
 
 import (

@@ -1,0 +1,330 @@
+// Package sched implements the shared cell-solve scheduler: the unit of
+// scheduled work in the bounding engine is one LP/MILP task (typically a
+// single decomposition cell's solve), not a whole query.
+//
+// Motivation (skew): parallelizing only *across* queries leaves a single
+// MILP-heavy query pegging one core while the rest idle — the classic
+// straggler problem in parallel query processing. Here every in-flight query
+// (and every engine sharing the scheduler, e.g. all engines in a server
+// pool) feeds its per-cell tasks into one shared queue, and the scheduler
+// dispatches them cost-ordered: the costliest tasks (widest, most
+// constraint-coupled cells) start first, so a skewed cell distribution
+// finishes in near-balanced time instead of serializing behind the heaviest
+// cell (greedy longest-processing-time scheduling).
+//
+// Execution model:
+//
+//   - A fixed pool of worker goroutines drains a global max-cost heap. An
+//     idle worker steals the globally costliest pending task no matter which
+//     query submitted it.
+//   - The submitting goroutine does not idle while it waits: Group.Wait
+//     runs the caller's own still-pending tasks (costliest first), stealing
+//     them back from the shared queue, and only blocks when every one of its
+//     tasks is already executing elsewhere. With zero workers the caller
+//     simply runs its whole group inline — that is the parallelism-1
+//     configuration the differential tests pin against.
+//   - Each executor (worker or waiting caller) owns a Workspace whose Local
+//     field caches consumer scratch (the engine stores its LP solve context
+//     there), so tasks get warm per-executor LP/MILP arenas without any
+//     cross-task locking.
+//
+// Determinism: the scheduler never aggregates results itself. Tasks write
+// into caller-owned, index-addressed slots, and the caller reduces them in
+// a fixed order after Wait returns — so results are bit-identical to the
+// sequential path at any worker count and under any interleaving.
+package sched
+
+import (
+	"container/heap"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workspace is one executor's scratch space. Local caches an arbitrary
+// consumer value (e.g. a reusable LP solve context) across every task this
+// executor runs; tasks on the same Workspace run strictly sequentially, so
+// Local needs no locking.
+type Workspace struct {
+	// Local is consumer-owned per-executor state; nil until a task sets it.
+	Local any
+}
+
+// task is one schedulable unit of work.
+type task struct {
+	cost  float64
+	seq   uint64 // submission order; FIFO tiebreak among equal costs
+	run   func(*Workspace)
+	g     *Group
+	index int // heap index; -1 once removed from the heap
+	taken atomic.Bool
+}
+
+// taskHeap is a max-heap by cost (submission order breaks ties).
+type taskHeap []*task
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].cost != h[j].cost {
+		return h[i].cost > h[j].cost
+	}
+	return h[i].seq < h[j].seq
+}
+func (h taskHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *taskHeap) Push(x any) {
+	t := x.(*task)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *taskHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// Scheduler is a shared cost-ordered task pool. One Scheduler is meant to be
+// shared by every engine in a process (or server pool): tasks from all
+// in-flight queries compete in one queue, so total solver concurrency is
+// bounded by the worker count plus the number of waiting callers regardless
+// of how many queries are in flight.
+type Scheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	heap    taskHeap
+	seq     uint64
+	workers int
+	closed  bool
+
+	depth     atomic.Int64 // submitted, not yet started
+	maxDepth  atomic.Int64
+	executed  atomic.Int64
+	callerRan atomic.Int64
+}
+
+// New creates a scheduler with the given number of background workers.
+// workers may be 0: tasks then run only on goroutines blocked in Group.Wait
+// (strictly sequential per group — the reference configuration). Call Close
+// when a non-shared scheduler is no longer needed.
+func New(workers int) *Scheduler {
+	if workers < 0 {
+		workers = 0
+	}
+	s := &Scheduler{workers: workers}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+var (
+	sharedOnce sync.Once
+	shared     *Scheduler
+)
+
+// Shared returns the process-wide scheduler, created on first use with
+// GOMAXPROCS workers. Engines default to it, so every engine in the process
+// feeds one queue; it is never closed.
+func Shared() *Scheduler {
+	sharedOnce.Do(func() { shared = New(runtime.GOMAXPROCS(0)) })
+	return shared
+}
+
+// Workers returns the scheduler's background worker count.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// Close stops the background workers after the queue drains. Groups with
+// un-run tasks still complete (their waiting callers run them). Close is for
+// test- or tool-local schedulers; the Shared scheduler lives for the process.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Stats is a point-in-time snapshot of scheduler activity.
+type Stats struct {
+	// Workers is the background worker count.
+	Workers int
+	// QueueDepth is the number of submitted tasks not yet started.
+	QueueDepth int64
+	// MaxQueueDepth is the high-water mark of QueueDepth.
+	MaxQueueDepth int64
+	// Executed counts tasks completed (by workers and callers).
+	Executed int64
+	// CallerRan counts tasks a waiting caller stole back and ran itself.
+	CallerRan int64
+}
+
+// Stats returns current counters.
+func (s *Scheduler) Stats() Stats {
+	return Stats{
+		Workers:       s.workers,
+		QueueDepth:    s.depth.Load(),
+		MaxQueueDepth: s.maxDepth.Load(),
+		Executed:      s.executed.Load(),
+		CallerRan:     s.callerRan.Load(),
+	}
+}
+
+func (s *Scheduler) worker() {
+	ws := &Workspace{}
+	for {
+		s.mu.Lock()
+		for len(s.heap) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.heap) == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		t := heap.Pop(&s.heap).(*task)
+		s.mu.Unlock()
+		// A waiting caller may have stolen the task back between our pop and
+		// this claim; exactly one claimant runs it.
+		if !t.taken.CompareAndSwap(false, true) {
+			continue
+		}
+		s.depth.Add(-1)
+		t.g.runTask(t, ws, false)
+	}
+}
+
+// Group collects the tasks of one logical operation (one query's cell
+// solves). All Submits must precede Wait; a Group is not reusable.
+type Group struct {
+	s         *Scheduler
+	mu        sync.Mutex
+	own       []*task
+	submitted int
+	panicVal  any // first task panic, re-raised from Wait (guarded by mu)
+	panicked  bool
+	remaining atomic.Int64
+	done      chan struct{}
+}
+
+// NewGroup creates an empty task group.
+func (s *Scheduler) NewGroup() *Group {
+	return &Group{s: s, done: make(chan struct{})}
+}
+
+// Submit adds one task. cost orders dispatch: across all groups on the
+// scheduler, higher-cost tasks start first. fn must not call Wait (tasks
+// never block on the scheduler) and must confine its effects to
+// caller-owned slots for deterministic reduction.
+func (g *Group) Submit(cost float64, fn func(*Workspace)) {
+	t := &task{cost: cost, run: fn, g: g, index: -1}
+	g.remaining.Add(1)
+	g.mu.Lock()
+	g.own = append(g.own, t)
+	g.submitted++
+	g.mu.Unlock()
+
+	s := g.s
+	s.mu.Lock()
+	t.seq = s.seq
+	s.seq++
+	heap.Push(&s.heap, t)
+	s.mu.Unlock()
+	d := s.depth.Add(1)
+	for {
+		m := s.maxDepth.Load()
+		if d <= m || s.maxDepth.CompareAndSwap(m, d) {
+			break
+		}
+	}
+	s.cond.Signal()
+}
+
+// Wait runs the group to completion. The caller first steals back and runs
+// its own still-pending tasks (costliest first) on ws — pass a Workspace
+// wrapping the caller's scratch, or nil for a fresh one — then blocks until
+// tasks claimed by other executors finish. On return every task has
+// completed, and all their writes are visible to the caller.
+//
+// A panic inside a task is recovered on whichever executor ran it and
+// re-raised here, on the submitting goroutine: a poisoned solve kills its
+// own query (where, in a server, the per-request recover contains it), not
+// the shared worker pool or the whole process. The original panic value is
+// preserved; the original stack is in the worker's recover frame, not the
+// re-raise.
+func (g *Group) Wait(ws *Workspace) {
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	g.mu.Lock()
+	own := make([]*task, len(g.own))
+	copy(own, g.own)
+	submitted := g.submitted
+	g.mu.Unlock()
+	if submitted == 0 {
+		return
+	}
+	// Costliest-first over our own tasks, mirroring the global dispatch
+	// order so the caller attacks its skewed cells first too.
+	for i := 1; i < len(own); i++ {
+		for j := i; j > 0 && own[j].cost > own[j-1].cost; j-- {
+			own[j], own[j-1] = own[j-1], own[j]
+		}
+	}
+	s := g.s
+	for _, t := range own {
+		if t.taken.Load() {
+			continue
+		}
+		// Remove from the shared heap first so an idle worker doesn't pop a
+		// task we are about to claim (cheap under the same lock either way).
+		s.mu.Lock()
+		if t.index >= 0 {
+			heap.Remove(&s.heap, t.index)
+		}
+		s.mu.Unlock()
+		if !t.taken.CompareAndSwap(false, true) {
+			continue
+		}
+		s.depth.Add(-1)
+		t.g.runTask(t, ws, true)
+	}
+	<-g.done
+	g.mu.Lock()
+	p, panicked := g.panicVal, g.panicked
+	g.mu.Unlock()
+	if panicked {
+		panic(p)
+	}
+}
+
+// runTask executes a claimed task and accounts its completion. The closing
+// of done is what publishes every task's writes to the waiting caller. A
+// panicking task is recovered (workers must survive any query's failure)
+// and its panic value parked on the group for Wait to re-raise.
+func (g *Group) runTask(t *task, ws *Workspace, byCaller bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			g.mu.Lock()
+			if !g.panicked {
+				g.panicked = true
+				g.panicVal = p
+			}
+			g.mu.Unlock()
+		}
+		s := g.s
+		s.executed.Add(1)
+		if byCaller {
+			s.callerRan.Add(1)
+		}
+		if g.remaining.Add(-1) == 0 {
+			close(g.done)
+		}
+	}()
+	t.run(ws)
+}

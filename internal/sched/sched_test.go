@@ -1,0 +1,200 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCallerOnly: with zero workers every task runs inline on the waiting
+// caller, costliest first — the parallelism-1 reference configuration.
+func TestCallerOnly(t *testing.T) {
+	s := New(0)
+	defer s.Close()
+	g := s.NewGroup()
+	var order []float64
+	for _, c := range []float64{1, 5, 3, 4, 2} {
+		c := c
+		g.Submit(c, func(ws *Workspace) { order = append(order, c) })
+	}
+	g.Wait(nil)
+	want := []float64{5, 4, 3, 2, 1}
+	if len(order) != len(want) {
+		t.Fatalf("ran %d tasks, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("execution order %v, want cost-descending %v", order, want)
+		}
+	}
+	st := s.Stats()
+	if st.Executed != 5 || st.CallerRan != 5 || st.QueueDepth != 0 {
+		t.Fatalf("stats %+v, want 5 executed, 5 caller-ran, empty queue", st)
+	}
+}
+
+// TestEmptyGroup: Wait on a group with no tasks returns immediately.
+func TestEmptyGroup(t *testing.T) {
+	s := New(1)
+	defer s.Close()
+	s.NewGroup().Wait(nil)
+}
+
+// TestSlotDeterminism: index-addressed slots receive exactly their task's
+// result regardless of worker count and interleaving.
+func TestSlotDeterminism(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8} {
+		s := New(workers)
+		const n = 200
+		out := make([]int, n)
+		g := s.NewGroup()
+		for i := 0; i < n; i++ {
+			i := i
+			g.Submit(float64(i%7), func(ws *Workspace) { out[i] = i * i })
+		}
+		g.Wait(nil)
+		for i := 0; i < n; i++ {
+			if out[i] != i*i {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, out[i], i*i)
+			}
+		}
+		s.Close()
+	}
+}
+
+// TestWorkspaceLocalsAreExecutorPrivate: Local values are never shared
+// between concurrently running tasks.
+func TestWorkspaceLocalsAreExecutorPrivate(t *testing.T) {
+	s := New(4)
+	defer s.Close()
+	type local struct{ inUse atomic.Bool }
+	var created atomic.Int64
+	g := s.NewGroup()
+	for i := 0; i < 500; i++ {
+		g.Submit(1, func(ws *Workspace) {
+			l, ok := ws.Local.(*local)
+			if !ok {
+				l = &local{}
+				ws.Local = l
+				created.Add(1)
+			}
+			if !l.inUse.CompareAndSwap(false, true) {
+				t.Error("workspace local used by two tasks at once")
+				return
+			}
+			defer l.inUse.Store(false)
+			runtime.Gosched() // widen the overlap window
+		})
+	}
+	g.Wait(nil)
+	// 4 workers + 1 caller is the executor ceiling for one group.
+	if c := created.Load(); c < 1 || c > 5 {
+		t.Fatalf("created %d locals, want 1..5", c)
+	}
+}
+
+// TestSharedAcrossGroups: many concurrent groups on one scheduler all
+// complete, and steals (worker-run tasks from any group) happen.
+func TestSharedAcrossGroups(t *testing.T) {
+	s := New(2)
+	defer s.Close()
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for gi := 0; gi < 8; gi++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g := s.NewGroup()
+			for i := 0; i < 50; i++ {
+				g.Submit(float64(i), func(ws *Workspace) { total.Add(1) })
+			}
+			g.Wait(nil)
+		}()
+	}
+	wg.Wait()
+	if total.Load() != 8*50 {
+		t.Fatalf("ran %d tasks, want %d", total.Load(), 8*50)
+	}
+	st := s.Stats()
+	if st.Executed != 8*50 {
+		t.Fatalf("executed %d, want %d", st.Executed, 8*50)
+	}
+	if st.QueueDepth != 0 {
+		t.Fatalf("queue depth %d after all groups done, want 0", st.QueueDepth)
+	}
+	if st.MaxQueueDepth == 0 {
+		t.Fatalf("max queue depth never rose above 0")
+	}
+}
+
+// TestCallerWorkspacePassthrough: the caller's own scratch is used for
+// caller-run tasks.
+func TestCallerWorkspacePassthrough(t *testing.T) {
+	s := New(0)
+	defer s.Close()
+	g := s.NewGroup()
+	marker := "caller-scratch"
+	seen := ""
+	g.Submit(1, func(ws *Workspace) { seen, _ = ws.Local.(string) })
+	g.Wait(&Workspace{Local: marker})
+	if seen != marker {
+		t.Fatalf("task saw Local %q, want the caller workspace %q", seen, marker)
+	}
+}
+
+func TestShared(t *testing.T) {
+	a, b := Shared(), Shared()
+	if a != b {
+		t.Fatal("Shared() returned two schedulers")
+	}
+	if a.Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("shared workers = %d, want GOMAXPROCS = %d", a.Workers(), runtime.GOMAXPROCS(0))
+	}
+	g := a.NewGroup()
+	ran := false
+	g.Submit(1, func(ws *Workspace) { ran = true })
+	g.Wait(nil)
+	if !ran {
+		t.Fatal("shared scheduler did not run the task")
+	}
+}
+
+// TestPanicPropagation: a panicking task never kills a worker or the
+// process — it is recovered and re-raised from Wait on the submitting
+// goroutine, and the scheduler keeps serving other groups afterwards.
+func TestPanicPropagation(t *testing.T) {
+	s := New(2)
+	defer s.Close()
+	g := s.NewGroup()
+	var ran atomic.Int64
+	for i := 0; i < 20; i++ {
+		i := i
+		g.Submit(float64(i), func(ws *Workspace) {
+			if i == 7 {
+				panic("poisoned solve")
+			}
+			ran.Add(1)
+		})
+	}
+	func() {
+		defer func() {
+			if p := recover(); p != "poisoned solve" {
+				t.Errorf("Wait re-raised %v, want the task's panic value", p)
+			}
+		}()
+		g.Wait(nil)
+		t.Error("Wait returned instead of re-raising the task panic")
+	}()
+	if got := ran.Load(); got != 19 {
+		t.Fatalf("%d non-panicking tasks ran, want 19", got)
+	}
+	// The pool must still be alive for later groups.
+	g2 := s.NewGroup()
+	ok := false
+	g2.Submit(1, func(ws *Workspace) { ok = true })
+	g2.Wait(nil)
+	if !ok {
+		t.Fatal("scheduler dead after a task panic")
+	}
+}

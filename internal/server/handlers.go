@@ -161,7 +161,9 @@ func (s *Server) handleBound(w http.ResponseWriter, r *http.Request) {
 	}
 	q, err := core.QueryFromJSON(s.store.Schema(), req.Query)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		// Echo the query back: 400s must be actionable from the client's
+		// log alone, not require request/response correlation.
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("query %s: %v", req.Query, err))
 		return
 	}
 	e := s.engineFor(w, req.Epoch)
@@ -199,7 +201,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, qj := range req.Queries {
 		q, err := core.QueryFromJSON(s.store.Schema(), qj)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("query %d: %v", i, err))
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("query %d (%s): %v", i, qj, err))
 			return
 		}
 		queries[i] = q
@@ -366,6 +368,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	e := s.pool.Current()
 	cs := e.CacheStats()
+	ccs := e.CellCacheStats()
 	ss := e.Solver().Stats()
 	fmt.Fprintf(w, "pcserved_store_epoch %d\n", s.store.Epoch())
 	fmt.Fprintf(w, "pcserved_store_constraints %d\n", s.store.Len())
@@ -376,6 +379,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "pcserved_cache_misses_total %d\n", cs.Misses)
 	fmt.Fprintf(w, "pcserved_cache_retained_total %d\n", cs.Retained)
 	fmt.Fprintf(w, "pcserved_cache_invalidated_total %d\n", cs.Invalidated)
+	fmt.Fprintf(w, "pcserved_cellcache_hits_total %d\n", ccs.Hits)
+	fmt.Fprintf(w, "pcserved_cellcache_misses_total %d\n", ccs.Misses)
+	fmt.Fprintf(w, "pcserved_cellcache_retained_total %d\n", ccs.Retained)
+	fmt.Fprintf(w, "pcserved_cellcache_invalidated_total %d\n", ccs.Invalidated)
+	if sch := e.Scheduler(); sch != nil {
+		// The scheduler is shared by every engine in the pool (and any other
+		// engine in the process pointed at it): one queue, so queue depth is
+		// the live intra-query backlog across all in-flight requests.
+		st := sch.Stats()
+		fmt.Fprintf(w, "pcserved_sched_workers %d\n", st.Workers)
+		fmt.Fprintf(w, "pcserved_sched_queue_depth %d\n", st.QueueDepth)
+		fmt.Fprintf(w, "pcserved_sched_queue_depth_max %d\n", st.MaxQueueDepth)
+		fmt.Fprintf(w, "pcserved_sched_tasks_total %d\n", st.Executed)
+		fmt.Fprintf(w, "pcserved_sched_caller_tasks_total %d\n", st.CallerRan)
+	}
 	fmt.Fprintf(w, "pcserved_sat_checks_total %d\n", ss.Checks)
 	fmt.Fprintf(w, "pcserved_sat_nodes_total %d\n", ss.Nodes)
 	s.met.writeTo(w)

@@ -587,3 +587,75 @@ func TestMetricsEndpoint(t *testing.T) {
 		}
 	}
 }
+
+// TestBound400NamesQuery is the wire-layer regression test for actionable
+// /v1/bound errors: a 400 body must identify the query that caused it —
+// aggregate, attribute, and where clause — not just the validation failure.
+func TestBound400NamesQuery(t *testing.T) {
+	store := testStore(t)
+	ts := newTestServer(t, store, Config{})
+	code, raw := doJSON(t, "POST", ts.URL+"/v1/bound", BoundRequest{
+		Query: core.QueryJSON{Agg: "MEDIAN", Attr: "price",
+			Where: map[string][2]float64{"utc": {3, 9}}},
+	}, nil)
+	if code != 400 {
+		t.Fatalf("status %d, want 400 (body %s)", code, raw)
+	}
+	body := string(raw)
+	for _, want := range []string{"MEDIAN", "price", "utc in [3, 9]", "unknown aggregate"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("400 body %q does not identify the query (missing %q)", body, want)
+		}
+	}
+	// Same contract for batch entries: the failing query's index and body.
+	code, raw = doJSON(t, "POST", ts.URL+"/v1/batch", BatchRequest{
+		Queries: []core.QueryJSON{{Agg: "COUNT"}, {Agg: "NOPE", Attr: "price"}},
+	}, nil)
+	if code != 400 {
+		t.Fatalf("batch status %d, want 400 (body %s)", code, raw)
+	}
+	for _, want := range []string{"query 1", "NOPE(price)"} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("batch 400 body %q missing %q", raw, want)
+		}
+	}
+}
+
+// TestMetricsSchedulerAndCellCache: /metrics exports the shared scheduler's
+// counters and the cell-bound cache's hit/miss counters, and repeated
+// traffic actually hits the cell cache.
+func TestMetricsSchedulerAndCellCache(t *testing.T) {
+	store := testStore(t)
+	ts := newTestServer(t, store, Config{})
+	q := core.QueryJSON{Agg: "MIN", Attr: "price", Where: map[string][2]float64{"utc": {0, 12}}}
+	for i := 0; i < 3; i++ {
+		if code, raw := doJSON(t, "POST", ts.URL+"/v1/bound", BoundRequest{Query: q}, nil); code != 200 {
+			t.Fatalf("bound: %d (%s)", code, raw)
+		}
+	}
+	code, raw := doJSON(t, "GET", ts.URL+"/metrics", nil, nil)
+	if code != 200 {
+		t.Fatalf("metrics: %d", code)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"pcserved_sched_workers ",
+		"pcserved_sched_queue_depth ",
+		"pcserved_sched_tasks_total ",
+		"pcserved_cellcache_hits_total ",
+		"pcserved_cellcache_misses_total ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, body)
+		}
+	}
+	var hits int64
+	for _, line := range strings.Split(body, "\n") {
+		if n, err := fmt.Sscanf(line, "pcserved_cellcache_hits_total %d", &hits); n == 1 && err == nil {
+			break
+		}
+	}
+	if hits == 0 {
+		t.Errorf("repeated MIN traffic produced no cell-cache hits:\n%s", body)
+	}
+}
