@@ -22,24 +22,27 @@ if [ ! -f "$baseline" ]; then
   exit 0
 fi
 
-jq -r '.results[] | "\(.name) \(.ns_per_op)"' "$baseline" | sort > /tmp/bench_base.txt
-jq -r '.results[] | "\(.name) \(.ns_per_op)"' "$current" | sort > /tmp/bench_cur.txt
+base_txt=$(mktemp)
+cur_txt=$(mktemp)
+trap 'rm -f "$base_txt" "$cur_txt"' EXIT
+jq -r '.results[] | "\(.name) \(.ns_per_op)"' "$baseline" | sort > "$base_txt"
+jq -r '.results[] | "\(.name) \(.ns_per_op)"' "$current" | sort > "$cur_txt"
 
 regressions=0
 while read -r name cur_ns; do
-  base_ns=$(awk -v n="$name" '$1 == n { print $2 }' /tmp/bench_base.txt)
+  base_ns=$(awk -v n="$name" '$1 == n { print $2 }' "$base_txt")
   if [ -z "$base_ns" ]; then
     echo "bench_guard: $name is new (no baseline entry)"
     continue
   fi
   ratio=$(awk -v c="$cur_ns" -v b="$base_ns" 'BEGIN { if (b > 0) printf "%.2f", c / b; else print "0" }')
-  over=$(awk -v r="$ratio" -v t="$tolerance" 'BEGIN { print (r > t) ? 1 : 0 }')
+  over=$(awk -v r="$ratio" -v t="$tolerance" 'BEGIN { if (r > t) print 1; else print 0 }')
   if [ "$over" = "1" ]; then
     echo "::warning title=bench regression::$name: $cur_ns ns/op vs baseline $base_ns ns/op (${ratio}x, tolerance ${tolerance}x)"
     regressions=$((regressions + 1))
   else
     echo "bench_guard: $name ok (${ratio}x of baseline)"
   fi
-done < /tmp/bench_cur.txt
+done < "$cur_txt"
 
 echo "bench_guard: $regressions regression(s) beyond ${tolerance}x (warnings only; job not failed)"

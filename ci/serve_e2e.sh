@@ -10,7 +10,7 @@
 # mismatched range, or a dropped in-flight request fails the script.
 set -euo pipefail
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 ADDR="127.0.0.1:${PCSERVED_PORT:-18091}"
 BASE="http://$ADDR"
@@ -37,7 +37,7 @@ trap cleanup EXIT
 echo "== boot pcserved on $ADDR"
 GORACE="halt_on_error=1" "$BIN/pcserved" -addr "$ADDR" -spec "$SPEC" >"$LOG" 2>&1 &
 SERVER_PID=$!
-for i in $(seq 100); do
+for _ in $(seq 100); do
   curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
   kill -0 "$SERVER_PID" 2>/dev/null || { echo "pcserved died at boot:"; cat "$LOG"; exit 1; }
   sleep 0.1

@@ -1,0 +1,53 @@
+// Command pcvet is the repo's invariant checker: a static-analysis suite
+// enforcing bit-identical determinism (no map-order leaks into
+// reductions), snapshot immutability (no writes through frozen state),
+// lock discipline (`// guarded by mu` annotations), and request-context
+// propagation in the serving layer.
+//
+// Two invocation modes:
+//
+//	go vet -vettool=$(which pcvet) ./...   # vettool protocol (CI)
+//	pcvet ./...                            # standalone driver
+//
+// Both exit 0 when clean, non-zero on findings. Deliberate exceptions are
+// suppressed in source with `//pcvet:ignore <analyzer> <justification>`;
+// the justification is mandatory and checked.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pcbound/internal/analysis"
+	"pcbound/internal/analysis/registry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	analyzers := registry.Analyzers()
+	if code, handled := analysis.VetTool("pcvet", args, analyzers); handled {
+		return code
+	}
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcvet:", err)
+		return 1
+	}
+	diags, res, err := analysis.RunPackages(dir, analyzers, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcvet:", err)
+		return 1
+	}
+	res.Print(os.Stderr)
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

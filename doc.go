@@ -53,6 +53,17 @@
 // verify served ranges bitwise against a local engine rebuilt from
 // GET /v1/store.
 //
+// Those invariants are machine-checked: cmd/pcvet is a custom static
+// analysis suite (internal/analysis) that CI runs over the whole module
+// via `go vet -vettool`. Its four analyzers enforce that map iteration
+// order never reaches a bit-identical reduction (determinism), that
+// nothing writes through a Snapshot or cached decomposition after
+// construction (snapmut), that fields annotated `// guarded by mu` are
+// only touched with the mutex held (lockcheck), and that the serving
+// layer threads request contexts into the solver (ctxflow). Deliberate
+// exceptions carry a //pcvet:ignore comment with a mandatory
+// justification. See the README's "Correctness tooling" section.
+//
 // The root package carries module documentation and the per-figure
 // benchmarks (bench_test.go); the implementation lives under internal/:
 //

@@ -1,0 +1,149 @@
+// Package analysis is a dependency-free re-implementation of the slice of
+// golang.org/x/tools/go/analysis that pcvet needs: an Analyzer/Pass/Diagnostic
+// vocabulary, a package loader built on `go list -export`, a standalone
+// driver, and the `go vet -vettool` unitchecker protocol. It exists because
+// this module deliberately has no third-party dependencies; the API mirrors
+// the x/tools shapes closely enough that the analyzers under
+// internal/analysis/... would port to the real framework mechanically.
+//
+// The analyzers themselves (determinism, snapmut, lockcheck, ctxflow) encode
+// the repo's correctness conventions — bit-identical bounds at any
+// parallelism, copy-on-write snapshot immutability, and mutex discipline —
+// as machine-checked rules. See each analyzer's Doc for what it enforces,
+// and the README "Correctness tooling" section for how to run and suppress.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name is the analyzer's command-line name (also the name used in
+	// //pcvet:ignore comments).
+	Name string
+	// Doc is a one-paragraph description of what the analyzer reports.
+	Doc string
+	// Scope lists import-path prefixes the analyzer applies to; nil means
+	// every package. The driver applies the filter (tests that call Run
+	// directly bypass it).
+	Scope []string
+	// SkipTests excludes _test.go files from the analysis.
+	SkipTests bool
+	// Run executes the check over one package and reports findings via
+	// pass.Report/Reportf.
+	Run func(pass *Pass) error
+}
+
+// InScope reports whether the analyzer applies to a package path. Test
+// variants ("pkg [pkg.test]") match their base package's scope.
+func (a *Analyzer) InScope(path string) bool {
+	if len(a.Scope) == 0 {
+		return true
+	}
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	for _, p := range a.Scope {
+		if path == p || strings.HasPrefix(path, p+"/") || strings.HasPrefix(path, p+"_test") {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Report records a finding.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	p.diagnostics = append(p.diagnostics, d)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// IsTestFile reports whether pos is in a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// RunAnalyzers applies the analyzers to one type-checked package (scope
+// filter and SkipTests applied, //pcvet:ignore suppressions honored) and
+// returns the surviving diagnostics sorted by position.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	sup := scanSuppressions(fset, files)
+	for _, a := range analyzers {
+		if !a.InScope(pkg.Path()) {
+			continue
+		}
+		pfiles := files
+		if a.SkipTests {
+			pfiles = nil
+			for _, f := range files {
+				if !strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+					pfiles = append(pfiles, f)
+				}
+			}
+		}
+		pass := &Pass{Analyzer: a, Fset: fset, Files: pfiles, Pkg: pkg, TypesInfo: info}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		for _, d := range pass.diagnostics {
+			if sup.suppressed(fset.Position(d.Pos), a.Name) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	out = append(out, sup.malformed...)
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// NewTypesInfo returns a types.Info with every map analyzers consult.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}

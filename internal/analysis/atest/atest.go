@@ -1,0 +1,134 @@
+// Package atest is the fixture harness for pcvet analyzers, the
+// offline analogue of golang.org/x/tools/go/analysis/analysistest: a
+// testdata directory holds a self-contained Go module of fixture
+// packages, expected diagnostics are written as `// want "regexp"`
+// comments on the offending line, and Run asserts an exact match — every
+// want satisfied, no diagnostic unexpected.
+//
+// Fixtures run through the same Load → RunAnalyzers stack as the real
+// drivers, so scope filters, test-file skipping, and //pcvet:ignore
+// suppressions are exercised too: a fixture module named `pcbound` can
+// stand in for the repo when an analyzer's scope names repo packages.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pcbound/internal/analysis"
+)
+
+// want is one expected diagnostic.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads every package in the fixture module rooted at dir and checks
+// the analyzer's diagnostics against the module's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading fixtures in %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages in %s", dir)
+	}
+	for _, p := range pkgs {
+		wants := collectWants(t, p.Fset, p.Files)
+		diags, err := analysis.RunAnalyzers(p.Fset, p.Files, p.Types, p.Info, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("%s: %v", p.ImportPath, err)
+		}
+		for _, d := range diags {
+			pos := p.Fset.Position(d.Pos)
+			if !claim(wants, pos.Filename, pos.Line, d.Message) {
+				t.Errorf("%s: unexpected diagnostic: %s: %s", pos, d.Analyzer, d.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+// claim marks the first unmatched want on the diagnostic's line whose
+// regexp matches the message.
+func claim(wants []*want, file string, line int, message string) bool {
+	for _, w := range wants {
+		if w.matched || w.file != file || w.line != line {
+			continue
+		}
+		if w.re.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses `// want "regexp" ...` comments. The expectation
+// applies to the line the comment starts on; multiple quoted regexps on
+// one comment expect multiple diagnostics.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var out []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				res, err := parseWantPatterns(text)
+				if err != nil {
+					t.Fatalf("%s: bad want comment: %v", pos, err)
+				}
+				for _, re := range res {
+					out = append(out, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parseWantPatterns reads the sequence of Go-quoted regexps after "want".
+func parseWantPatterns(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+		lit, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, err
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, re)
+		s = s[len(q):]
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment with no patterns")
+	}
+	return out, nil
+}

@@ -1,0 +1,145 @@
+// Package ctxflow keeps request cancellation wired through the serving
+// layer. The server's contract is that an abandoned request stops
+// consuming solver time: handlers must thread their *http.Request context
+// into the engine via the Ctx entry points (BoundCtx, BoundBatchCtx), not
+// call the context-free variants or mint a fresh context.Background().
+//
+// Within pcbound/internal/server the analyzer reports:
+//
+//   - calls to (*core.Engine).Bound or (*core.Engine).BoundBatch — the
+//     context-free variants run the solver to completion even after the
+//     client has hung up; use BoundCtx / BoundBatchCtx
+//   - calls to context.Background() or context.TODO() inside a function
+//     that already has a context.Context or *http.Request parameter —
+//     minting a root context there severs the cancellation chain
+//
+// Both patterns are exact (method identity and parameter types come from
+// the type checker), so the only false positives are deliberate
+// detachments — background work that must outlive the request — which
+// carry a //pcvet:ignore ctxflow <why> suppression.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pcbound/internal/analysis"
+)
+
+// Analyzer is the context-propagation check, scoped to the serving layer
+// (the only place a request context originates).
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "flags serving-layer code that drops the request context: calls to the context-free " +
+		"Engine.Bound/BoundBatch, or context.Background()/TODO() in functions that already have a context",
+	Scope:     []string{"pcbound/internal/server"},
+	SkipTests: true,
+	Run:       run,
+}
+
+// engineMethods maps context-free engine entry points to their
+// context-threading replacements.
+var engineMethods = map[string]string{
+	"Bound":      "BoundCtx",
+	"BoundBatch": "BoundBatchCtx",
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			hasCtx := hasContextParam(pass, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if repl, ok := engineCall(pass, sel); ok {
+					pass.Reportf(call.Pos(), "%s runs the solver detached from the request context; use %s so client disconnects cancel the work", sel.Sel.Name, repl)
+					return true
+				}
+				if hasCtx && isContextRoot(pass, sel) {
+					pass.Reportf(call.Pos(), "context.%s() severs the cancellation chain in a function that already has a context; thread the existing one (or //pcvet:ignore ctxflow <why> for deliberately detached work)", sel.Sel.Name)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// engineCall reports whether sel denotes a context-free (*core.Engine)
+// entry point, returning the Ctx replacement name.
+func engineCall(pass *analysis.Pass, sel *ast.SelectorExpr) (string, bool) {
+	repl, ok := engineMethods[sel.Sel.Name]
+	if !ok {
+		return "", false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return "", false
+	}
+	recv := s.Recv()
+	if p, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "pcbound/internal/core" || obj.Name() != "Engine" {
+		return "", false
+	}
+	return repl, true
+}
+
+// isContextRoot reports whether sel is context.Background or context.TODO.
+func isContextRoot(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "Background" && sel.Sel.Name != "TODO" {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.TypesInfo.ObjectOf(pkg).(*types.PkgName)
+	return ok && pkgName.Imported().Path() == "context"
+}
+
+// hasContextParam reports whether the function has a context.Context or
+// *http.Request parameter (either carries the request's cancellation).
+func hasContextParam(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, fld := range fd.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(fld.Type)
+		if t == nil {
+			continue
+		}
+		if isNamed(t, "context", "Context") {
+			return true
+		}
+		if p, ok := t.Underlying().(*types.Pointer); ok && isNamed(p.Elem(), "net/http", "Request") {
+			return true
+		}
+	}
+	return false
+}
+
+func isNamed(t types.Type, pkgPath, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"pcbound/internal/analysis/atest"
+	"pcbound/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	atest.Run(t, ctxflow.Analyzer, "testdata")
+}

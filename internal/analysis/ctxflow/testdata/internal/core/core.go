@@ -1,0 +1,32 @@
+// Package core is a minimal stand-in for the repo's engine: the fixture
+// module is also named pcbound, so this package's import path — and the
+// Engine method set — match what the ctxflow analyzer keys on.
+package core
+
+import "context"
+
+type Range struct{ Lo, Hi float64 }
+
+type Query struct{}
+
+type BatchOptions struct{}
+
+type Engine struct{}
+
+func (e *Engine) Bound(q Query) (Range, error) { return Range{}, nil }
+
+func (e *Engine) BoundCtx(ctx context.Context, q Query) (Range, error) {
+	if err := ctx.Err(); err != nil {
+		return Range{}, err
+	}
+	return e.Bound(q)
+}
+
+func (e *Engine) BoundBatch(qs []Query, o BatchOptions) ([]Range, error) { return nil, nil }
+
+func (e *Engine) BoundBatchCtx(ctx context.Context, qs []Query, o BatchOptions) ([]Range, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.BoundBatch(qs, o)
+}

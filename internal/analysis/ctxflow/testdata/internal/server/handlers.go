@@ -1,0 +1,54 @@
+// Package server is the ctxflow fixture: handler-shaped functions that
+// drop, thread, or deliberately detach the request context.
+package server
+
+import (
+	"context"
+	"net/http"
+
+	"pcbound/internal/core"
+)
+
+func handleBound(w http.ResponseWriter, r *http.Request, e *core.Engine) {
+	_, _ = e.Bound(core.Query{}) // want `Bound runs the solver detached from the request context; use BoundCtx`
+}
+
+func handleBatch(w http.ResponseWriter, r *http.Request, e *core.Engine) {
+	_, _ = e.BoundBatch(nil, core.BatchOptions{}) // want `BoundBatch runs the solver detached from the request context; use BoundBatchCtx`
+}
+
+func handleGood(w http.ResponseWriter, r *http.Request, e *core.Engine) {
+	_, _ = e.BoundCtx(r.Context(), core.Query{})
+}
+
+func mintsRoot(ctx context.Context, e *core.Engine) {
+	ctx2 := context.Background() // want `context.Background\(\) severs the cancellation chain`
+	_, _ = e.BoundCtx(ctx2, core.Query{})
+}
+
+func mintsTODO(r *http.Request, e *core.Engine) {
+	_, _ = e.BoundCtx(context.TODO(), core.Query{}) // want `context.TODO\(\) severs the cancellation chain`
+}
+
+// noCtxParam has no request context to thread, so a root context is the
+// only option and is not reported.
+func noCtxParam(e *core.Engine) {
+	_, _ = e.BoundCtx(context.Background(), core.Query{})
+}
+
+// warmup is deliberately detached background work: suppressed with a
+// justification.
+func warmup(ctx context.Context, e *core.Engine) {
+	//pcvet:ignore ctxflow warmup outlives the request by design
+	go e.BoundCtx(context.Background(), core.Query{})
+}
+
+// fake proves method identity matters: a same-named method on another
+// type is not the engine entry point.
+type fake struct{}
+
+func (fake) Bound(q core.Query) (core.Range, error) { return core.Range{}, nil }
+
+func usesFake(r *http.Request, f fake) {
+	_, _ = f.Bound(core.Query{})
+}

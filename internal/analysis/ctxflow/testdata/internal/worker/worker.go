@@ -1,0 +1,9 @@
+// Package worker is outside the ctxflow scope (pcbound/internal/server):
+// batch tooling may call the context-free entry points.
+package worker
+
+import "pcbound/internal/core"
+
+func RunAll(e *core.Engine, qs []core.Query) ([]core.Range, error) {
+	return e.BoundBatch(qs, core.BatchOptions{})
+}

@@ -1,0 +1,165 @@
+// Package determinism flags map iteration in bit-identity-sensitive
+// packages. The engine's contract — pinned by differential tests at every
+// layer — is that a bound is bit-identical at any parallelism and across
+// cache hits; a `range` over a map whose iteration order leaks into a
+// reduction, an emitted response, or a constructed constraint breaks that
+// silently and only on some runs.
+//
+// The analyzer reports every `for ... range m` where m is map-typed,
+// except the one idiom that is deterministic by construction: a loop whose
+// body only collects the keys (or values) into a slice that is sorted
+// before any other use:
+//
+//	keys := make([]string, 0, len(m))
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Strings(keys)
+//
+// Deliberately order-independent loops (pure map→map copies, counting,
+// eviction victim choice) carry a //pcvet:ignore determinism <why>
+// suppression instead, so every exception is visible and justified.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pcbound/internal/analysis"
+)
+
+// Analyzer is the determinism check. Its scope is the packages whose
+// output feeds bit-identical reductions: the core engine (cell reductions,
+// constraint construction), the shared scheduler (result merges), and the
+// serving layer (response assembly).
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "flags range-over-map in bit-identity-sensitive packages unless keys are collected and sorted first; " +
+		"map iteration order must never reach a reduction, response, or constraint build",
+	Scope:     []string{"pcbound/internal/core", "pcbound/internal/sched", "pcbound/internal/server"},
+	SkipTests: true,
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, stmt := range block.List {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				t := pass.TypesInfo.TypeOf(rs.X)
+				if t == nil {
+					continue
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				if sortedCollectIdiom(pass, rs, block.List[i+1:]) {
+					continue
+				}
+				pass.Reportf(rs.Range, "iteration over map %s has nondeterministic order; collect and sort the keys first, or annotate a deliberately order-independent loop with //pcvet:ignore determinism <why>", types.ExprString(rs.X))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sortedCollectIdiom reports whether the range statement is the
+// collect-then-sort idiom: its body is exactly one append of the iteration
+// variable into a slice, and the first later statement that uses that
+// slice sorts it.
+func sortedCollectIdiom(pass *analysis.Pass, rs *ast.RangeStmt, rest []ast.Stmt) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	dst, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	if arg0, ok := call.Args[0].(*ast.Ident); !ok || arg0.Name != dst.Name {
+		return false
+	}
+	// The appended element must be the loop's key or value variable.
+	elem, ok := call.Args[1].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if !isIdent(rs.Key, elem.Name) && !isIdent(rs.Value, elem.Name) {
+		return false
+	}
+	dstObj := pass.TypesInfo.ObjectOf(dst)
+	if dstObj == nil {
+		return false
+	}
+	// Scan forward: statements that do not mention the slice are skipped;
+	// the first one that does must sort it.
+	for _, stmt := range rest {
+		if !usesObject(pass, stmt, dstObj) {
+			continue
+		}
+		return isSortOf(pass, stmt, dstObj)
+	}
+	return false
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+// usesObject reports whether the statement references the object.
+func usesObject(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isSortOf reports whether the statement is a sort/slices call whose first
+// argument is the object (sort.Strings(keys), sort.Slice(keys, ...),
+// slices.Sort(keys), sort.Sort(byX(keys)), ...).
+func isSortOf(pass *analysis.Pass, stmt ast.Stmt, obj types.Object) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if pkgName, ok := pass.TypesInfo.ObjectOf(pkg).(*types.PkgName); !ok ||
+		(pkgName.Imported().Path() != "sort" && pkgName.Imported().Path() != "slices") {
+		return false
+	}
+	return usesObject(pass, call.Args[0], obj)
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"pcbound/internal/analysis/atest"
+	"pcbound/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	atest.Run(t, determinism.Analyzer, "testdata")
+}

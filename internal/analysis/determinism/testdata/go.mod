@@ -1,0 +1,3 @@
+module pcbound
+
+go 1.24

@@ -1,0 +1,73 @@
+// Package core is a determinism fixture standing in for the repo's
+// pcbound/internal/core: in scope for the analyzer. The cases mirror real
+// patterns — a reduction over map values (the bug class), the
+// collect-then-sort idiom (exempt), and a justified suppression.
+package core
+
+import "sort"
+
+// reduceValues mirrors folding cell bounds out of a map: iteration order
+// reaches the floating-point reduction, so runs disagree in the last ulp.
+func reduceValues(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `iteration over map m has nondeterministic order`
+		sum += v
+	}
+	return sum
+}
+
+// firstError mirrors validation loops that return the first bad entry:
+// which error wins depends on map order.
+func firstError(values map[string]int) string {
+	for name, v := range values { // want `iteration over map values has nondeterministic order`
+		if v < 0 {
+			return name
+		}
+	}
+	return ""
+}
+
+// keysSorted is the sanctioned idiom: collect, then sort before any use.
+func keysSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// keysSortedLater is the idiom with unrelated statements between the
+// collection and the sort (they do not touch the slice, so they are
+// skipped when scanning for the sort call).
+func keysSortedLater(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	n := len(m)
+	_ = n
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// keysEscapingUnsorted collects keys but lets them escape before sorting:
+// still a violation.
+func keysEscapingUnsorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `iteration over map m has nondeterministic order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// countAll is genuinely order-independent, so it carries a justified
+// suppression instead of a sort.
+func countAll(m map[string]int) int {
+	n := 0
+	//pcvet:ignore determinism pure count; order cannot affect the result
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,16 @@
+// Test files are excluded by the analyzer's SkipTests: the loop below
+// would be a violation in non-test code but produces no diagnostic here.
+package core
+
+import "testing"
+
+func TestHelperMayRangeMaps(t *testing.T) {
+	m := map[string]int{"a": 1, "b": 2}
+	n := 0
+	for range m {
+		n++
+	}
+	if n != 2 {
+		t.Fatal(n)
+	}
+}

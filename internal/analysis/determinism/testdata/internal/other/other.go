@@ -1,0 +1,11 @@
+// Package other is outside the determinism analyzer's scope: map ranges
+// here are not reported.
+package other
+
+func Sum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+)
+
+// RunPackages loads the packages matching patterns under dir and applies
+// the analyzers (scope-filtered, suppressions honored). It returns every
+// surviving diagnostic, position-sorted within each package.
+func RunPackages(dir string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, *Result, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &Result{}
+	var out []Diagnostic
+	for _, p := range pkgs {
+		res.Packages++
+		ds, err := RunAnalyzers(p.Fset, p.Files, p.Types, p.Info, analyzers)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", p.ImportPath, err)
+		}
+		for _, d := range ds {
+			out = append(out, d)
+			res.Findings = append(res.Findings, Finding{
+				Position: p.Fset.Position(d.Pos).String(),
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+	}
+	return out, res, nil
+}
+
+// Finding is a rendered diagnostic (position as file:line:col).
+type Finding struct {
+	Position string
+	Analyzer string
+	Message  string
+}
+
+// Result summarizes a standalone run.
+type Result struct {
+	Packages int
+	Findings []Finding
+}
+
+// Print writes findings in the conventional file:line:col: message form.
+func (r *Result) Print(w io.Writer) {
+	for _, f := range r.Findings {
+		fmt.Fprintf(w, "%s: %s: %s\n", f.Position, f.Analyzer, f.Message)
+	}
+}

@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// This file loads and type-checks packages without golang.org/x/tools:
+// `go list -test -export -deps -json` enumerates the dependency closure
+// (test variants included) and materializes gc export data for every
+// package, the targets are parsed from source, and a gc-importer backed by
+// the export-file map resolves their imports. It is the standalone-driver
+// analogue of what the go command hands a vettool per package (see
+// vettool.go).
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	DepOnly    bool
+	ForTest    string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load type-checks the packages matching patterns, resolved relative to
+// dir (a module root or any directory inside one). Test variants are
+// loaded in place of their base package, so _test.go files (in-package and
+// external) are analyzed too.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	fields := "ImportPath,Dir,Name,Export,DepOnly,ForTest,GoFiles,ImportMap,Error"
+	args := append([]string{"list", "-e", "-test", "-export", "-deps", "-json=" + fields}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var roots []*listPackage
+	exports := make(map[string]string)
+	augmented := make(map[string]bool) // base packages shadowed by a test variant
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("parsing go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if lp.DepOnly || lp.Name == "" || len(lp.GoFiles) == 0 {
+			continue
+		}
+		if strings.HasSuffix(lp.ImportPath, ".test") {
+			continue // generated test main
+		}
+		if lp.ForTest != "" && !strings.HasSuffix(lp.ImportPath, "_test ["+lp.ForTest+".test]") {
+			augmented[lp.ForTest] = true
+		}
+		p := lp
+		roots = append(roots, &p)
+	}
+
+	fset := token.NewFileSet()
+	baseImp := newExportImporter(fset, exports, nil)
+	var pkgs []*Package
+	for _, t := range roots {
+		if t.ForTest == "" && augmented[t.ImportPath] {
+			continue // the test variant supersedes it (same files and more)
+		}
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		imp := baseImp
+		if len(t.ImportMap) > 0 {
+			imp = newExportImporter(fset, exports, t.ImportMap)
+		}
+		p, err := checkFiles(fset, t.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		p.Dir = t.Dir
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// checkFiles parses and type-checks one package from source files.
+func checkFiles(fset *token.FileSet, importPath string, filenames []string, imp types.Importer) (*Package, error) {
+	return checkFilesConfig(fset, importPath, filenames, types.Config{Importer: imp})
+}
+
+// checkFilesConfig is checkFiles with an explicit type-checker config
+// (the vettool path sets the language version from the vet config).
+func checkFilesConfig(fset *token.FileSet, importPath string, filenames []string, conf types.Config) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := NewTypesInfo()
+	// The bracketed test-variant import path is not a valid package path
+	// for go/types; check under the base path.
+	checkPath := importPath
+	if i := strings.IndexByte(checkPath, ' '); i >= 0 {
+		checkPath = checkPath[:i]
+	}
+	tpkg, err := conf.Check(checkPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// newExportImporter returns an importer that resolves packages from gc
+// export data files (as produced by `go list -export` or handed over in a
+// vet config's PackageFile map). importMap, when non-nil, redirects source
+// import paths first (the vet-config/ test-variant indirection).
+func newExportImporter(fset *token.FileSet, exports map[string]string, importMap map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if importMap != nil {
+			if mapped, ok := importMap[path]; ok {
+				path = mapped
+			}
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// ModuleRoot walks up from dir to the enclosing go.mod directory.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,555 @@
+// Package lockcheck enforces the repo's `// guarded by mu` field
+// annotations: a field whose declaration carries the comment may only be
+// accessed while the named sibling mutex is held.
+//
+// The analysis is lexical, not a full happens-before proof — exactly the
+// level the annotations themselves live at. For every function it walks
+// the statement list in source order, tracking a held-count per
+// (base-expression, mutex) pair:
+//
+//   - x.mu.Lock() / x.mu.RLock() raise the count; Unlock/RUnlock lower it
+//   - defer x.mu.Unlock() keeps the lock held to the end of the function
+//   - a branch whose body terminates (the `if cond { x.mu.Unlock();
+//     return }` early-exit) does not leak its lock-state changes into the
+//     fall-through path; branches that merge keep the minimum held count
+//     (conservative: a path that might not hold the lock flags the access)
+//   - loop bodies are analyzed with a copy of the entry state and assumed
+//     balanced
+//   - function literals are analyzed as separate functions with no locks
+//     held (a deferred or escaping closure runs who-knows-when)
+//
+// Three exemptions express caller-held locks and construction:
+// functions whose name ends in "Locked" (the repo's convention for
+// call-with-lock-held helpers), functions annotated //pcvet:locked
+// <mutex> (callers hold that mutex; used where the name predates the
+// convention), and values constructed in the same function by composite
+// literal (not yet shared, so not yet subject to locking).
+//
+// Guards that name anything other than a sync.Mutex/RWMutex field of the
+// same struct (e.g. "guarded by epochCache.mu" on another type's field)
+// are outside the lexical model and are ignored.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"pcbound/internal/analysis"
+)
+
+// Analyzer is the lock-discipline check. Marker-driven, so it runs over
+// every package.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc: "flags accesses to fields annotated `// guarded by <mu>` outside a region where the " +
+		"named sibling mutex is held (lexical analysis; `Locked` name suffix and //pcvet:locked <mu> mark caller-held locks)",
+	Run: run,
+}
+
+var (
+	guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+	lockedRe  = regexp.MustCompile(`pcvet:locked\s+([A-Za-z_][A-Za-z0-9_]*)`)
+)
+
+// guardInfo maps a struct field object to the name of the sibling mutex
+// field guarding it.
+type guardInfo map[types.Object]string
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	c := &checker{pass: pass, guards: guards}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			c.local = locallyConstructed(pass, fd.Body)
+			state := lockState{}
+			for _, mu := range heldByAnnotation(fd) {
+				state[wildcardBase+"."+mu] = 1
+			}
+			c.walkStmts(fd.Body.List, state)
+		}
+	}
+	return nil
+}
+
+// wildcardBase marks mutexes held by annotation regardless of the base
+// expression ("//pcvet:locked mu" applies to any receiver path).
+const wildcardBase = "*"
+
+// lockState maps "baseExpr.mutexField" to a held count.
+type lockState map[string]int
+
+func (s lockState) clone() lockState {
+	c := make(lockState, len(s))
+	for k, v := range s { //pcvet:ignore determinism copying a counter map; order cannot affect the result
+		c[k] = v
+	}
+	return c
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	guards guardInfo
+	local  map[types.Object]bool
+}
+
+// walkStmts processes statements in order, mutating state in place.
+func (c *checker) walkStmts(stmts []ast.Stmt, state lockState) {
+	for _, stmt := range stmts {
+		c.walkStmt(stmt, state)
+	}
+}
+
+func (c *checker) walkStmt(stmt ast.Stmt, state lockState) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		c.checkExpr(s.X, state)
+		c.applyLockCall(s.X, state)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.checkExpr(e, state)
+		}
+		for _, e := range s.Lhs {
+			c.checkExpr(e, state)
+		}
+	case *ast.IncDecStmt:
+		c.checkExpr(s.X, state)
+	case *ast.DeclStmt:
+		c.checkExpr(s, state)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.checkExpr(e, state)
+		}
+	case *ast.SendStmt:
+		c.checkExpr(s.Chan, state)
+		c.checkExpr(s.Value, state)
+	case *ast.DeferStmt:
+		// defer x.mu.Unlock() keeps the lock held to function end: no
+		// state change. Any other deferred call's arguments are evaluated
+		// now; its body (a FuncLit) runs later with no locks held.
+		if _, _, _, ok := lockCall(c.pass, s.Call); ok {
+			break
+		}
+		c.checkDetached(s.Call, state)
+	case *ast.GoStmt:
+		c.checkDetached(s.Call, state)
+	case *ast.LabeledStmt:
+		c.walkStmt(s.Stmt, state)
+	case *ast.BlockStmt:
+		c.walkStmts(s.List, state)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, state)
+		}
+		c.checkExpr(s.Cond, state)
+		bodyState := state.clone()
+		c.walkStmts(s.Body.List, bodyState)
+		elseState := state.clone()
+		if s.Else != nil {
+			c.walkStmt(s.Else, elseState)
+		}
+		mergeBranches(state, []branch{
+			{bodyState, terminates(s.Body)},
+			{elseState, s.Else != nil && stmtTerminates(s.Else)},
+		})
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, state)
+		}
+		if s.Cond != nil {
+			c.checkExpr(s.Cond, state)
+		}
+		body := state.clone()
+		c.walkStmts(s.Body.List, body)
+		if s.Post != nil {
+			c.walkStmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		c.checkExpr(s.X, state)
+		body := state.clone()
+		c.walkStmts(s.Body.List, body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, state)
+		}
+		if s.Tag != nil {
+			c.checkExpr(s.Tag, state)
+		}
+		c.walkCases(s.Body, state)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, state)
+		}
+		c.walkStmt(s.Assign, state)
+		c.walkCases(s.Body, state)
+	case *ast.SelectStmt:
+		c.walkCases(s.Body, state)
+	}
+}
+
+type branch struct {
+	state      lockState
+	terminates bool
+}
+
+// mergeBranches folds branch end-states back into state: terminating
+// branches are excluded (their changes never reach the fall-through), and
+// surviving branches merge with per-key minimum (held only if held on
+// every path).
+func mergeBranches(state lockState, branches []branch) {
+	live := branches[:0]
+	for _, b := range branches {
+		if !b.terminates {
+			live = append(live, b)
+		}
+	}
+	if len(live) == 0 {
+		return // all paths terminate; fall-through is unreachable
+	}
+	keys := map[string]bool{}
+	for k := range state { //pcvet:ignore determinism merging count maps; order cannot affect the result
+		keys[k] = true
+	}
+	for _, b := range live {
+		for k := range b.state { //pcvet:ignore determinism merging count maps; order cannot affect the result
+			keys[k] = true
+		}
+	}
+	for k := range keys { //pcvet:ignore determinism merging count maps; order cannot affect the result
+		minHeld := -1
+		for _, b := range live {
+			if h := b.state[k]; minHeld < 0 || h < minHeld {
+				minHeld = h
+			}
+		}
+		if minHeld <= 0 {
+			delete(state, k)
+		} else {
+			state[k] = minHeld
+		}
+	}
+}
+
+func (c *checker) walkCases(body *ast.BlockStmt, state lockState) {
+	var branches []branch
+	hasDefault := false
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				c.checkExpr(e, state)
+			}
+			if cl.List == nil {
+				hasDefault = true
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				c.walkStmt(cl.Comm, state)
+			} else {
+				hasDefault = true
+			}
+			stmts = cl.Body
+		}
+		bs := state.clone()
+		c.walkStmts(stmts, bs)
+		branches = append(branches, branch{bs, blockTerminates(stmts)})
+	}
+	if !hasDefault {
+		// Without a default, falling past every case is possible with the
+		// entry state intact.
+		branches = append(branches, branch{state.clone(), false})
+	}
+	if len(branches) > 0 {
+		mergeBranches(state, branches)
+	}
+}
+
+// terminates reports whether a block always transfers control away.
+func terminates(b *ast.BlockStmt) bool { return blockTerminates(b.List) }
+
+func blockTerminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	return stmtTerminates(stmts[len(stmts)-1])
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return blockTerminates(s.List)
+	case *ast.IfStmt:
+		if s.Else == nil {
+			return false
+		}
+		return terminates(s.Body) && stmtTerminates(s.Else)
+	}
+	return false
+}
+
+// applyLockCall updates state for x.mu.Lock()-shaped expression statements.
+func (c *checker) applyLockCall(e ast.Expr, state lockState) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	base, mu, op, ok := lockCall(c.pass, call)
+	if !ok {
+		return
+	}
+	key := base + "." + mu
+	switch op {
+	case "Lock", "RLock":
+		state[key]++
+	case "Unlock", "RUnlock":
+		if state[key] > 0 {
+			state[key]--
+		}
+	}
+}
+
+// lockCall recognizes <base>.<mutexField>.(Lock|Unlock|RLock|RUnlock)()
+// and returns the base expression string, mutex field name, and operation.
+func lockCall(pass *analysis.Pass, call *ast.CallExpr) (base, mu, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", "", false
+	}
+	op = sel.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", "", false
+	}
+	if !isSyncLocker(pass.TypesInfo.TypeOf(sel.X)) {
+		return "", "", "", false
+	}
+	muSel, isSel := sel.X.(*ast.SelectorExpr)
+	if !isSel {
+		// A bare local mutex (var mu sync.Mutex; mu.Lock()) guards nothing
+		// annotated, but track it anyway under an empty base.
+		if id, isID := sel.X.(*ast.Ident); isID {
+			return "", id.Name, op, true
+		}
+		return "", "", "", false
+	}
+	return types.ExprString(muSel.X), muSel.Sel.Name, op, true
+}
+
+func isSyncLocker(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// checkExpr reports guarded-field accesses in e that occur while the
+// guarding mutex is not held. A function literal in ordinary expression
+// position inherits the current lock state: it either runs during the
+// enclosing expression (sort.Search's probe under RLock) or is stored —
+// and the stored-then-detached cases (go, defer) are walked separately
+// with no locks held (see checkDetached).
+func (c *checker) checkExpr(n ast.Node, state lockState) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.walkStmts(n.Body.List, state.clone())
+			return false
+		case *ast.SelectorExpr:
+			c.checkSelector(n, state)
+		}
+		return true
+	})
+}
+
+// checkDetached is checkExpr for go/defer call sites: arguments are
+// evaluated now (current state), but a function-literal body runs later,
+// when no lexically-held lock can be assumed.
+func (c *checker) checkDetached(call *ast.CallExpr, state lockState) {
+	for _, arg := range call.Args {
+		c.checkExpr(arg, state)
+	}
+	if fl, ok := call.Fun.(*ast.FuncLit); ok {
+		c.walkStmts(fl.Body.List, lockState{})
+		return
+	}
+	c.checkExpr(call.Fun, state)
+}
+
+func (c *checker) checkSelector(sel *ast.SelectorExpr, state lockState) {
+	s, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	mu, guarded := c.guards[s.Obj()]
+	if !guarded {
+		return
+	}
+	base := types.ExprString(sel.X)
+	if state[base+"."+mu] > 0 || state[wildcardBase+"."+mu] > 0 {
+		return
+	}
+	if root, ok := rootIdent(sel.X); ok && c.local[c.pass.TypesInfo.ObjectOf(root)] {
+		return
+	}
+	c.pass.Reportf(sel.Pos(), "access to %s.%s, guarded by %s, without %s.%s held (lexically); hold the lock, name the helper *Locked, or annotate the caller-held lock with //pcvet:locked %s", base, sel.Sel.Name, mu, base, mu, mu)
+}
+
+// collectGuards parses `guarded by <field>` comments on struct fields,
+// keeping only guards that name a sync.Mutex/RWMutex field of the same
+// struct.
+func collectGuards(pass *analysis.Pass) guardInfo {
+	guards := guardInfo{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			mutexes := map[string]bool{}
+			for _, fld := range st.Fields.List {
+				if isSyncLocker(pass.TypesInfo.TypeOf(fld.Type)) {
+					for _, name := range fld.Names {
+						mutexes[name.Name] = true
+					}
+				}
+			}
+			for _, fld := range st.Fields.List {
+				mu := guardName(fld)
+				if mu == "" || !mutexes[mu] {
+					continue
+				}
+				for _, name := range fld.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guards[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardName extracts the mutex name from a field's doc or trailing comment.
+func guardName(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if m := guardedRe.FindStringSubmatch(c.Text); m != nil {
+				return m[1]
+			}
+		}
+	}
+	return ""
+}
+
+// heldByAnnotation parses //pcvet:locked <mutex> lines in the function's
+// doc comment: the named mutexes are treated as held throughout.
+func heldByAnnotation(fd *ast.FuncDecl) []string {
+	if fd.Doc == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range fd.Doc.List {
+		for _, m := range lockedRe.FindAllStringSubmatch(c.Text, -1) {
+			out = append(out, m[1])
+		}
+	}
+	return out
+}
+
+// locallyConstructed collects objects assigned from composite literals or
+// new(T) in this function: values still being built, not yet shared, so
+// not yet subject to lock discipline.
+func locallyConstructed(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isConstruction(pass, rhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// rootIdent unwraps selectors/indexes/parens to the base identifier.
+func rootIdent(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, true
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+func isConstruction(pass *analysis.Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, ok := e.X.(*ast.CompositeLit)
+		return ok && e.Op == token.AND
+	case *ast.CallExpr:
+		if fn, ok := e.Fun.(*ast.Ident); ok {
+			if b, ok := pass.TypesInfo.ObjectOf(fn).(*types.Builtin); ok && b.Name() == "new" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"pcbound/internal/analysis/atest"
+	"pcbound/internal/analysis/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	atest.Run(t, lockcheck.Analyzer, "testdata")
+}

@@ -1,0 +1,131 @@
+// Package lock is the lockcheck fixture: `// guarded by mu` fields, the
+// repo's lock idioms (defer unlock, early-exit unlock, *Locked helpers,
+// //pcvet:locked callers, inline closures under a held lock), and the
+// violations each of them prevents.
+package lock
+
+import (
+	"sort"
+	"sync"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int            // guarded by mu
+	m  map[string]int // guarded by mu
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) incDefer() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) bad() int {
+	return c.n // want `access to c.n, guarded by mu`
+}
+
+func (c *counter) badAfterUnlock() {
+	c.mu.Lock()
+	c.n = 1
+	c.mu.Unlock()
+	c.n = 2 // want `access to c.n, guarded by mu`
+}
+
+// earlyExit is the unlock-and-return idiom: the terminating branch's
+// unlock does not leak into the fall-through path.
+func (c *counter) earlyExit(stop bool) {
+	c.mu.Lock()
+	if stop {
+		c.mu.Unlock()
+		return
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// branchUnlock merges a path that released the lock: the access below is
+// unprotected on that path.
+func (c *counter) branchUnlock(flaky bool) {
+	c.mu.Lock()
+	if flaky {
+		c.mu.Unlock()
+	}
+	c.n++ // want `access to c.n, guarded by mu`
+	if !flaky {
+		c.mu.Unlock()
+	}
+}
+
+// incLocked: the *Locked suffix marks a caller-holds-the-lock helper.
+func (c *counter) incLocked() {
+	c.n++
+}
+
+// syncInner mirrors Store.syncClosure: callers hold mu, the name predates
+// the *Locked convention, so the annotation carries the contract.
+//
+//pcvet:locked mu
+func (c *counter) syncInner() {
+	c.n++
+}
+
+// search: a function literal in ordinary expression position runs under
+// the lock held at the call site (the sort.Search probe idiom).
+func (c *counter) search(keys []string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return sort.Search(len(keys), func(i int) bool { return c.m[keys[i]] > 0 })
+}
+
+// goDetached: a goroutine body cannot assume the spawner's lock.
+func (c *counter) goDetached() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `access to c.n, guarded by mu`
+	}()
+}
+
+// deferredBody: a deferred closure runs after the function returns; it
+// must take the lock itself (as sched's runTask panic handler does).
+func (c *counter) deferredBody() {
+	defer func() {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}()
+}
+
+// newCounter populates a value under construction: exempt.
+func newCounter() *counter {
+	c := &counter{m: make(map[string]int)}
+	c.n = 1
+	return c
+}
+
+// table exercises the read side of an RWMutex.
+type table struct {
+	mu   sync.RWMutex
+	rows []int // guarded by mu
+}
+
+func (t *table) size() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+func (t *table) sizeBad() int {
+	return len(t.rows) // want `access to t.rows, guarded by mu`
+}
+
+func (t *table) rowsLocked() []int {
+	return t.rows
+}

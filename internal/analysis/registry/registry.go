@@ -1,0 +1,22 @@
+// Package registry is the single list of pcvet's analyzers, shared by the
+// cmd/pcvet binary and the self-check test that asserts the suite runs
+// clean over this repository.
+package registry
+
+import (
+	"pcbound/internal/analysis"
+	"pcbound/internal/analysis/ctxflow"
+	"pcbound/internal/analysis/determinism"
+	"pcbound/internal/analysis/lockcheck"
+	"pcbound/internal/analysis/snapmut"
+)
+
+// Analyzers returns the full pcvet suite in report order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxflow.Analyzer,
+		determinism.Analyzer,
+		lockcheck.Analyzer,
+		snapmut.Analyzer,
+	}
+}

@@ -1,0 +1,35 @@
+package registry_test
+
+import (
+	"testing"
+
+	"pcbound/internal/analysis"
+	"pcbound/internal/analysis/registry"
+)
+
+// TestPcvetCleanOnRepo runs the full analyzer suite over this repository:
+// the tree must stay free of findings, with every deliberate exception
+// carrying a justified //pcvet:ignore. A failure here reads exactly like
+// the CI pcvet job's output.
+func TestPcvetCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, res, err := analysis.RunPackages(root, registry.Analyzers(), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packages == 0 {
+		t.Fatal("loaded no packages")
+	}
+	for _, f := range res.Findings {
+		t.Errorf("%s: %s: %s", f.Position, f.Analyzer, f.Message)
+	}
+	if len(diags) > 0 {
+		t.Errorf("pcvet reported %d finding(s); fix them or add a justified //pcvet:ignore", len(diags))
+	}
+}

@@ -1,0 +1,328 @@
+// Package snapmut enforces snapshot/cache-value immutability: no write,
+// append, or delete may touch a slice or map reachable from a value of a
+// type marked immutable, outside that value's construction. This is the
+// static generalization of the append-aliasing hazard PR 2 found in the
+// cells DFS by luck — an append through a shared backing array silently
+// corrupts every snapshot and cached decomposition aliasing it.
+//
+// A type opts in with a marker line in its doc comment:
+//
+//	// pcvet:immutable
+//	type Snapshot struct { ... }
+//
+// For marked types the analyzer reports:
+//
+//   - assignments through a slice/map field: sn.pcs[i] = v, sn.m[k] = v
+//   - whole-field assignment of a slice/map field: sn.pcs = x
+//   - delete(sn.m, k)
+//   - append whose first argument aliases a marked field: append(sn.pcs,
+//     ...), append(sn.pcs[:i], ...) — even when the result is assigned
+//     elsewhere, appending may write into the shared backing array
+//
+// Two exemptions express "during construction": values created in the
+// same function by a composite literal (or new) may be populated freely,
+// and a function annotated //pcvet:mutator <Type> is a sanctioned
+// construction/mutation site (none exist today; the annotation is for
+// future Store-internal machinery).
+//
+// Scalar fields are not covered: lazily computed once-guarded scalars
+// (Snapshot.disjoint) are safe to write under their own synchronization.
+package snapmut
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"pcbound/internal/analysis"
+)
+
+// Analyzer is the snapshot-immutability check. Marker-driven, so it runs
+// over every package.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapmut",
+	Doc: "flags writes, appends, and deletes to slice/map state reachable from a type marked " +
+		"// pcvet:immutable outside its construction (the append-aliasing bug class)",
+	Run: run,
+}
+
+var mutatorRe = regexp.MustCompile(`pcvet:mutator\s+(\w+)`)
+
+func run(pass *analysis.Pass) error {
+	immutable := markedTypes(pass)
+	if len(immutable) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			exempt := mutatorExemptions(fd)
+			local := locallyConstructed(pass, fd)
+			check := func(base ast.Expr, pos ast.Node, what, field string) {
+				name, ok := immutableInChain(pass, immutable, base)
+				if !ok {
+					return
+				}
+				if exempt[name] {
+					return
+				}
+				if root, ok := rootIdent(base); ok && local[pass.TypesInfo.ObjectOf(root)] {
+					return
+				}
+				pass.Reportf(pos.Pos(), "%s %s.%s mutates immutable type %s outside construction; copy first or move the write into the owning constructor", what, types.ExprString(base), field, name)
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						checkWrite(pass, check, lhs)
+					}
+				case *ast.IncDecStmt:
+					checkWrite(pass, check, n.X)
+				case *ast.CallExpr:
+					checkCall(pass, check, n)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkWrite inspects one assignment target.
+func checkWrite(pass *analysis.Pass, check func(ast.Expr, ast.Node, string, string), lhs ast.Expr) {
+	switch lhs := lhs.(type) {
+	case *ast.IndexExpr:
+		// sn.pcs[i] = v / sn.m[k] = v — the indexed expression must reach
+		// a field of a marked type.
+		if sel, field, ok := fieldSelector(pass, lhs.X); ok {
+			check(sel.X, lhs, "indexed write to", field)
+		}
+	case *ast.SelectorExpr:
+		// sn.pcs = v — only slice/map fields are frozen.
+		if sel, field, ok := fieldSelector(pass, lhs); ok && sliceOrMap(pass.TypesInfo.TypeOf(lhs)) {
+			check(sel.X, lhs, "assignment to", field)
+		}
+	case *ast.StarExpr:
+		checkWrite(pass, check, lhs.X)
+	}
+}
+
+// checkCall flags delete(sn.m, k) and append(sn.pcs..., ...).
+func checkCall(pass *analysis.Pass, check func(ast.Expr, ast.Node, string, string), call *ast.CallExpr) {
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if b, ok := pass.TypesInfo.ObjectOf(fn).(*types.Builtin); !ok || (b.Name() != "delete" && b.Name() != "append") {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	arg := call.Args[0]
+	// Unwrap slicing: append(sn.pcs[:i], ...) aliases the same array.
+	for {
+		if sl, ok := arg.(*ast.SliceExpr); ok {
+			arg = sl.X
+			continue
+		}
+		break
+	}
+	if sel, field, ok := fieldSelector(pass, arg); ok {
+		verb := "delete from"
+		if fn.Name == "append" {
+			verb = "append to"
+		}
+		check(sel.X, call, verb, field)
+	}
+}
+
+// fieldSelector reports whether e is a selector denoting a struct field,
+// returning the selector and field name.
+func fieldSelector(pass *analysis.Pass, e ast.Expr) (*ast.SelectorExpr, string, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, "", false
+	}
+	return sel, sel.Sel.Name, true
+}
+
+// immutableInChain walks the selector/index chain (sn.sub.m → sn.sub →
+// sn) and reports whether any step's type is a marked type: state reached
+// THROUGH an immutable value is frozen too.
+func immutableInChain(pass *analysis.Pass, immutable map[*types.TypeName]bool, e ast.Expr) (string, bool) {
+	for {
+		if name, ok := immutableBase(pass, immutable, e); ok {
+			return name, true
+		}
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return "", false
+		}
+	}
+}
+
+// immutableBase reports whether the expression's type (pointers stripped)
+// is one of the marked named types, returning its name.
+func immutableBase(pass *analysis.Pass, immutable map[*types.TypeName]bool, e ast.Expr) (string, bool) {
+	t := pass.TypesInfo.TypeOf(e)
+	for t != nil {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	if immutable[named.Obj()] {
+		return named.Obj().Name(), true
+	}
+	return "", false
+}
+
+// rootIdent unwraps selectors/indexes/parens to the base identifier.
+func rootIdent(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, true
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+func sliceOrMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// markedTypes collects the package's types whose doc comment carries the
+// pcvet:immutable marker.
+func markedTypes(pass *analysis.Pass) map[*types.TypeName]bool {
+	out := make(map[*types.TypeName]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !hasMarker(gd.Doc, "pcvet:immutable") && !hasMarker(ts.Doc, "pcvet:immutable") && !hasMarker(ts.Comment, "pcvet:immutable") {
+					continue
+				}
+				if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+					out[tn] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func hasMarker(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.Contains(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// mutatorExemptions parses //pcvet:mutator <Type> annotations on the
+// function's doc comment.
+func mutatorExemptions(fd *ast.FuncDecl) map[string]bool {
+	out := make(map[string]bool)
+	if fd.Doc == nil {
+		return out
+	}
+	for _, c := range fd.Doc.List {
+		for _, m := range mutatorRe.FindAllStringSubmatch(c.Text, -1) {
+			out[m[1]] = true
+		}
+	}
+	return out
+}
+
+// locallyConstructed collects objects assigned from a composite literal,
+// &composite, or new(T) anywhere in the function: values this function is
+// still building, which it may populate freely.
+func locallyConstructed(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isConstruction(pass, rhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isConstruction(pass *analysis.Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, ok := e.X.(*ast.CompositeLit)
+		return ok && e.Op.String() == "&"
+	case *ast.CallExpr:
+		if fn, ok := e.Fun.(*ast.Ident); ok {
+			if b, ok := pass.TypesInfo.ObjectOf(fn).(*types.Builtin); ok && b.Name() == "new" {
+				return true
+			}
+		}
+	}
+	return false
+}

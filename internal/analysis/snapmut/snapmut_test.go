@@ -1,0 +1,12 @@
+package snapmut_test
+
+import (
+	"testing"
+
+	"pcbound/internal/analysis/atest"
+	"pcbound/internal/analysis/snapmut"
+)
+
+func TestSnapmut(t *testing.T) {
+	atest.Run(t, snapmut.Analyzer, "testdata")
+}

@@ -1,0 +1,94 @@
+// Package snap is the snapmut fixture. Snapshot mirrors core.Snapshot:
+// slices and maps hanging off it are frozen after construction; the cases
+// cover the PR-2 append-aliasing bug class, nested reachability, and the
+// construction/copy idioms that must stay legal.
+package snap
+
+// Snapshot is a frozen view.
+//
+// pcvet:immutable
+type Snapshot struct {
+	pcs   []int
+	ids   []string
+	meta  map[string]int
+	sub   inner
+	epoch uint64
+}
+
+type inner struct {
+	cells []int
+}
+
+func mutateIndexed(sn *Snapshot) {
+	sn.pcs[0] = 1 // want `indexed write to sn.pcs mutates immutable type Snapshot`
+}
+
+func mutateField(sn *Snapshot) {
+	sn.pcs = nil // want `assignment to sn.pcs mutates immutable type Snapshot`
+}
+
+func mutateMap(sn *Snapshot) {
+	sn.meta["k"] = 1 // want `indexed write to sn.meta mutates immutable type Snapshot`
+}
+
+func deleteKey(sn *Snapshot) {
+	delete(sn.meta, "k") // want `delete from sn.meta mutates immutable type Snapshot`
+}
+
+// appendAliased is the append-aliasing hazard: even with the result
+// assigned elsewhere, the append may write into the shared backing array.
+func appendAliased(sn *Snapshot) []int {
+	return append(sn.pcs, 9) // want `append to sn.pcs mutates immutable type Snapshot`
+}
+
+// appendSliced aliases the same array through a slice expression.
+func appendSliced(sn *Snapshot) []int {
+	return append(sn.pcs[:1], 9) // want `append to sn.pcs mutates immutable type Snapshot`
+}
+
+// mutateNested reaches mutable-looking state through an immutable value:
+// frozen too.
+func mutateNested(sn *Snapshot) {
+	sn.sub.cells[0] = 1 // want `indexed write to sn.sub.cells mutates immutable type Snapshot`
+}
+
+// scalar fields are not covered (lazily computed once-guarded scalars are
+// written under their own synchronization).
+func setEpoch(sn *Snapshot) {
+	sn.epoch = 7
+}
+
+// reading is always fine.
+func read(sn *Snapshot) int {
+	return sn.pcs[0] + sn.meta["k"]
+}
+
+// copyIDs is the sanctioned copy idiom: append into a fresh slice.
+func copyIDs(sn *Snapshot) []string {
+	return append([]string(nil), sn.ids...)
+}
+
+// build populates a value it constructed itself: exempt.
+func build() *Snapshot {
+	sn := &Snapshot{meta: make(map[string]int)}
+	sn.pcs = []int{1}
+	sn.pcs[0] = 2
+	sn.meta["k"] = 3
+	return sn
+}
+
+// refresh is a sanctioned mutation site via annotation.
+//
+//pcvet:mutator Snapshot
+func refresh(sn *Snapshot) {
+	sn.meta["hits"]++
+}
+
+// unmarked types are untouched by the analyzer.
+type scratch struct {
+	buf []int
+}
+
+func grow(s *scratch) {
+	s.buf = append(s.buf, 1)
+}

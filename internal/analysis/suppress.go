@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression comments silence one analyzer at one site:
+//
+//	//pcvet:ignore <analyzer> <justification>
+//
+// The comment applies to its own source line when trailing a statement, or
+// to the next line when it stands alone. <analyzer> may be a single name or
+// "all". The justification is mandatory: a suppression without one is itself
+// reported, so every deliberate exception in the tree carries its reason.
+
+const ignorePrefix = "pcvet:ignore"
+
+// suppression is one parsed //pcvet:ignore comment.
+type suppression struct {
+	analyzer string
+	line     int // line the suppression applies to
+}
+
+type suppressions struct {
+	byFile    map[string][]suppression
+	malformed []Diagnostic
+}
+
+func scanSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{byFile: make(map[string][]suppression)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					s.malformed = append(s.malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "pcvet",
+						Message:  "malformed suppression: want //pcvet:ignore <analyzer> <justification>",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				line := pos.Line
+				// A comment on its own line suppresses the next line; a
+				// trailing comment suppresses its own.
+				if ownLine(fset, f, c) {
+					line++
+				}
+				s.byFile[pos.Filename] = append(s.byFile[pos.Filename], suppression{
+					analyzer: fields[0],
+					line:     line,
+				})
+			}
+		}
+	}
+	return s
+}
+
+// ownLine reports whether the comment is the first token on its line.
+func ownLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	pos := fset.Position(c.Pos())
+	first := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !first {
+			return false
+		}
+		if n.End() <= c.Pos() && fset.Position(n.End()).Line == pos.Line {
+			switch n.(type) {
+			case *ast.File, *ast.GenDecl, *ast.FuncDecl, *ast.BlockStmt,
+				*ast.StructType, *ast.FieldList, *ast.InterfaceType:
+				return true // containers may span the line without occupying it
+			default:
+				first = false
+				return false
+			}
+		}
+		return true
+	})
+	return first
+}
+
+func (s *suppressions) suppressed(pos token.Position, analyzer string) bool {
+	for _, sup := range s.byFile[pos.Filename] {
+		if sup.line == pos.Line && (sup.analyzer == analyzer || sup.analyzer == "all") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, *suppressions) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, scanSuppressions(fset, []*ast.File{f})
+}
+
+func TestSuppressionTrailingAppliesToOwnLine(t *testing.T) {
+	fset, sup := parseOne(t, `package p
+
+func f(m map[string]int) {
+	for range m { //pcvet:ignore determinism justified here
+	}
+}
+`)
+	pos := token.Position{Filename: "x.go", Line: 4}
+	if !sup.suppressed(pos, "determinism") {
+		t.Error("trailing suppression did not apply to its own line")
+	}
+	if sup.suppressed(pos, "snapmut") {
+		t.Error("suppression leaked to a different analyzer")
+	}
+	if sup.suppressed(token.Position{Filename: "x.go", Line: 5}, "determinism") {
+		t.Error("trailing suppression leaked to the next line")
+	}
+	_ = fset
+}
+
+func TestSuppressionStandaloneAppliesToNextLine(t *testing.T) {
+	_, sup := parseOne(t, `package p
+
+func f(m map[string]int) {
+	//pcvet:ignore all justified here
+	for range m {
+	}
+}
+`)
+	if !sup.suppressed(token.Position{Filename: "x.go", Line: 5}, "determinism") {
+		t.Error("standalone suppression did not apply to the next line")
+	}
+	if sup.suppressed(token.Position{Filename: "x.go", Line: 4}, "determinism") {
+		t.Error("standalone suppression applied to its own (comment) line")
+	}
+}
+
+func TestSuppressionWithoutJustificationIsMalformed(t *testing.T) {
+	_, sup := parseOne(t, `package p
+
+func f(m map[string]int) {
+	//pcvet:ignore determinism
+	for range m {
+	}
+}
+`)
+	if len(sup.malformed) != 1 {
+		t.Fatalf("malformed count = %d, want 1", len(sup.malformed))
+	}
+	if !strings.Contains(sup.malformed[0].Message, "malformed suppression") {
+		t.Errorf("unexpected message %q", sup.malformed[0].Message)
+	}
+	// A malformed suppression must not silence anything.
+	if sup.suppressed(token.Position{Filename: "x.go", Line: 5}, "determinism") {
+		t.Error("malformed suppression still suppressed the next line")
+	}
+}

@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// This file implements the `go vet -vettool=` protocol (the shape
+// golang.org/x/tools/go/analysis/unitchecker implements): the go command
+// probes the tool with -V=full (version for the build cache) and -flags
+// (supported flags), then invokes it once per package with the path to a
+// JSON config file ending in .cfg describing the parsed package and the
+// export data of its dependency closure. Diagnostics go to stderr and exit
+// code 2 signals findings; facts (.vetx) files are written empty since none
+// of pcvet's analyzers export facts.
+
+// vetConfig mirrors the go command's vet config JSON.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetTool runs the vettool protocol when the command line matches one of
+// its invocation shapes, returning (exitCode, true); otherwise it returns
+// (0, false) and the caller should treat the arguments as package patterns
+// for the standalone driver.
+func VetTool(progname string, args []string, analyzers []*Analyzer) (int, bool) {
+	jsonOut := false
+	rest := args[:0:0]
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			if err := printVersion(); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+				return 1, true
+			}
+			return 0, true
+		case a == "-flags" || a == "--flags":
+			printFlagDefs(analyzers)
+			return 0, true
+		case a == "-json" || a == "--json":
+			jsonOut = true
+		default:
+			rest = append(rest, a)
+		}
+	}
+	if len(rest) != 1 || !strings.HasSuffix(rest[0], ".cfg") {
+		return 0, false
+	}
+	code, err := runVetCfg(rest[0], analyzers, jsonOut)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		return 1, true
+	}
+	return code, true
+}
+
+// printVersion emits the exact -V=full line the go command's buildID
+// parser expects from a vettool: "<progname> version devel
+// comments-go-here buildID=<hash>", with the hash covering the tool binary
+// so the build cache invalidates vet results when the tool changes.
+func printVersion() error {
+	exe := os.Args[0]
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, string(h.Sum(nil)))
+	return nil
+}
+
+// printFlagDefs emits the JSON flag-definition list the go command uses to
+// validate flags passed through `go vet -vettool`.
+func printFlagDefs(analyzers []*Analyzer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	defs := []jsonFlag{{Name: "json", Bool: true, Usage: "emit JSON output"}}
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		defs = append(defs, jsonFlag{Name: a.Name, Bool: true, Usage: doc})
+	}
+	data, _ := json.MarshalIndent(defs, "", "\t")
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// runVetCfg analyzes the single package a vet config describes.
+func runVetCfg(cfgFile string, analyzers []*Analyzer, jsonOut bool) (int, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 0, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing vet config %s: %v", cfgFile, err)
+	}
+	// Facts output must exist even though pcvet exports none: the go
+	// command records it as the action's output.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil // dependency visited only to produce facts
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, cfg.PackageFile, cfg.ImportMap)
+	pkg, err := checkFilesConfig(fset, cfg.ImportPath, cfg.GoFiles, types.Config{
+		Importer:  imp,
+		GoVersion: normalizeGoVersion(cfg.GoVersion),
+	})
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, err
+	}
+	diags, err := RunAnalyzers(fset, pkg.Files, pkg.Types, pkg.Info, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	if jsonOut {
+		printVetJSON(fset, cfg.ImportPath, diags)
+		return 0, nil
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// normalizeGoVersion maps the config's version string to the "go1.N" form
+// go/types accepts, dropping anything unparsable.
+func normalizeGoVersion(v string) string {
+	if strings.HasPrefix(v, "go1") {
+		return v
+	}
+	return ""
+}
+
+// printVetJSON emits diagnostics in the go vet -json shape.
+func printVetJSON(fset *token.FileSet, importPath string, diags []Diagnostic) {
+	type posDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := make(map[string][]posDiag)
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], posDiag{
+			Posn:    fset.Position(d.Pos).String(),
+			Message: d.Message,
+		})
+	}
+	out := map[string]map[string][]posDiag{importPath: byAnalyzer}
+	data, _ := json.MarshalIndent(out, "", "\t")
+	os.Stdout.Write(data)
+	fmt.Println()
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pcbound/internal/domain"
+	"pcbound/internal/predicate"
+)
+
+// These are the regression tests for the map-order leaks pcvet's
+// determinism analyzer caught in the JSON decode path and NewPC: when an
+// input names several bad attributes, which error wins was a function of
+// map iteration order, so the same bad request produced different 400
+// bodies on different runs. Attribute names are now visited sorted; the
+// loops run enough times that Go's per-run map-order randomization would
+// expose a regression.
+
+func detSchema() *domain.Schema {
+	return domain.NewSchema(
+		domain.Attr{Name: "utc", Kind: domain.Integral, Domain: domain.NewInterval(0, 23)},
+		domain.Attr{Name: "price", Kind: domain.Continuous, Domain: domain.NewInterval(0, 500)},
+	)
+}
+
+func TestPCFromJSONErrorSelectionDeterministic(t *testing.T) {
+	schema := detSchema()
+	c := PCJSON{
+		Predicate: map[string][2]float64{
+			"zebra": {0, 1}, "alpha": {0, 1}, "mid": {0, 1},
+		},
+		KHi: 1,
+	}
+	for i := 0; i < 50; i++ {
+		_, err := PCFromJSON(schema, c)
+		if err == nil {
+			t.Fatal("expected an unknown-attribute error")
+		}
+		if !strings.Contains(err.Error(), `"alpha"`) {
+			t.Fatalf("run %d: error picked %v; want the sorted-first attribute alpha", i, err)
+		}
+	}
+}
+
+func TestQueryFromJSONErrorSelectionDeterministic(t *testing.T) {
+	schema := detSchema()
+	qj := QueryJSON{
+		Agg: "COUNT",
+		Where: map[string][2]float64{
+			"zebra": {0, 1}, "alpha": {0, 1}, "mid": {0, 1},
+		},
+	}
+	for i := 0; i < 50; i++ {
+		_, err := QueryFromJSON(schema, qj)
+		if err == nil {
+			t.Fatal("expected an unknown-where-attribute error")
+		}
+		if !strings.Contains(err.Error(), `"alpha"`) {
+			t.Fatalf("run %d: error picked %v; want the sorted-first attribute alpha", i, err)
+		}
+	}
+}
+
+func TestNewPCErrorSelectionDeterministic(t *testing.T) {
+	schema := detSchema()
+	values := map[string]domain.Interval{
+		"zebra": domain.NewInterval(0, 1),
+		"alpha": domain.NewInterval(0, 1),
+	}
+	for i := 0; i < 50; i++ {
+		_, err := NewPC(predicate.True(schema), values, 0, 1)
+		if err == nil {
+			t.Fatal("expected an unknown-attribute error")
+		}
+		if !strings.Contains(err.Error(), `"alpha"`) {
+			t.Fatalf("run %d: error picked %v; want the sorted-first attribute alpha", i, err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -335,8 +336,23 @@ func (e *Engine) Bound(q Query) (Range, error) {
 	}
 }
 
+// BoundCtx is Bound with pre-flight cancellation: a query whose context is
+// already done is not started. Cancellation is checked at query
+// granularity, matching BoundBatchCtx — an in-flight bound runs to
+// completion so partial cell reductions never escape.
+func (e *Engine) BoundCtx(ctx context.Context, q Query) (Range, error) {
+	if err := ctx.Err(); err != nil {
+		return Range{}, err
+	}
+	return e.Bound(q)
+}
+
 // cellProblem is the optimization problem extracted from a decomposition:
 // one integer variable per cell, one frequency window per constraint.
+//
+// pcvet:immutable — a cellProblem is shared across queries and workers via
+// the decomposition cache; after decomposeUncached returns it, no slice or
+// map hanging off it may be written (enforced by the snapmut analyzer).
 type cellProblem struct {
 	schema *domain.Schema
 	cells  []cells.Cell
@@ -388,18 +404,17 @@ func (e *Engine) decompose(where *predicate.P) (*cellProblem, error) {
 			return cp, nil
 		}
 	}
-	cp, err := e.decomposeUncached(where)
+	cp, err := e.decomposeUncached(where, base, key)
 	if err != nil {
 		return nil, err
 	}
-	cp.base, cp.baseKey = base, key
 	if e.cache != nil {
 		e.cache.put(key, base, cp, e.snap.epoch)
 	}
 	return cp, nil
 }
 
-func (e *Engine) decomposeUncached(where *predicate.P) (*cellProblem, error) {
+func (e *Engine) decomposeUncached(where *predicate.P, base domain.Box, baseKey string) (*cellProblem, error) {
 	opts := e.opts.Cells
 	opts.Pushdown = where
 	res, err := cells.Decompose(e.solver, e.snap.Predicates(), opts)
@@ -412,6 +427,8 @@ func (e *Engine) decomposeUncached(where *predicate.P) (*cellProblem, error) {
 		cellsOf: make(map[int][]int),
 		kLo:     make(map[int]float64),
 		kHi:     make(map[int]float64),
+		base:    base,
+		baseKey: baseKey,
 	}
 	cp.satChecks = res.Checks
 	cp.valueBoxes = make([]domain.Box, e.snap.Len())

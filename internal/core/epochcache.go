@@ -165,6 +165,7 @@ func (c *epochCache) put(key string, base domain.Box, val any, epoch uint64) {
 		// whose region set drifts past the capacity would otherwise lock the
 		// cache into regions it never queries again. Eviction can only cost
 		// a recomputation, never change a result.
+		//pcvet:ignore determinism eviction victim choice is deliberately arbitrary; a miss costs a recompute, never a different bound
 		for victim := range c.entries {
 			delete(c.entries, victim)
 			break

@@ -139,13 +139,22 @@ func DecodeSet(raw []byte) (*Set, *domain.Schema, error) {
 // ("core: constraint %d: ..." in DecodeSet, a 400 body in the HTTP layer).
 func PCFromJSON(schema *domain.Schema, c PCJSON) (PC, error) {
 	b := predicate.NewBuilder(schema)
-	for name, rng := range c.Predicate {
+	// Iterate attribute names sorted: which unknown-attribute error wins,
+	// and the builder's clause order, must not depend on map order.
+	names := make([]string, 0, len(c.Predicate))
+	for name := range c.Predicate {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rng := c.Predicate[name]
 		if _, ok := schema.Index(name); !ok {
 			return PC{}, fmt.Errorf("unknown predicate attribute %q", name)
 		}
 		b.Range(name, rng[0], rng[1])
 	}
 	values := map[string]domain.Interval{}
+	//pcvet:ignore determinism map-to-map rebuild; per-key writes are independent, so order cannot reach the result
 	for name, rng := range c.Values {
 		values[name] = domain.NewInterval(rng[0], rng[1])
 	}
@@ -250,7 +259,15 @@ func QueryFromJSON(schema *domain.Schema, qj QueryJSON) (Query, error) {
 	}
 	if len(qj.Where) > 0 {
 		b := predicate.NewBuilder(schema)
-		for name, rng := range qj.Where {
+		// Sorted for the same reason as PCFromJSON: error selection and
+		// builder clause order must be independent of map iteration.
+		names := make([]string, 0, len(qj.Where))
+		for name := range qj.Where {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			rng := qj.Where[name]
 			if _, ok := schema.Index(name); !ok {
 				return Query{}, fmt.Errorf("unknown where attribute %q (schema has %s)",
 					name, strings.Join(schema.Names(), ", "))

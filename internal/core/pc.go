@@ -20,6 +20,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"pcbound/internal/domain"
 	"pcbound/internal/predicate"
@@ -52,7 +53,16 @@ func NewPC(pred *predicate.P, values map[string]domain.Interval, klo, khi int) (
 	}
 	s := pred.Schema()
 	vb := s.FullBox()
-	for name, iv := range values {
+	// Iterate names sorted: the per-slot intersections commute, but which
+	// unknown-attribute or empty-range error wins must not depend on map
+	// iteration order.
+	names := make([]string, 0, len(values))
+	for name := range values {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		iv := values[name]
 		i, ok := s.Index(name)
 		if !ok {
 			return PC{}, fmt.Errorf("core: value constraint on unknown attribute %q", name)

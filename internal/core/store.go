@@ -57,31 +57,31 @@ type Store struct {
 	// revalidation bursts after a mutation do not serialize against each
 	// other — only against writers, which is inherent.
 	mu     sync.RWMutex
-	pcs    []PC
-	ids    []PCID
-	shared bool // pcs/ids are aliased by the cached snapshot
-	epoch  uint64
-	nextID PCID
-	snap   *Snapshot // cached snapshot of the current state (nil until asked)
+	pcs    []PC      // guarded by mu
+	ids    []PCID    // guarded by mu
+	shared bool      // guarded by mu; pcs/ids are aliased by the cached snapshot
+	epoch  uint64    // guarded by mu
+	nextID PCID      // guarded by mu
+	snap   *Snapshot // guarded by mu; cached snapshot of the current state (nil until asked)
 
 	// log records, per epoch, the predicate boxes touched by that mutation;
 	// it covers epochs (logFloor, epoch]. Bounded: once trimmed, scoped cache
 	// validation over the trimmed range degrades to conservative invalidation.
-	log      []mutRecord
-	logFloor uint64
+	log      []mutRecord // guarded by mu
+	logFloor uint64      // guarded by mu
 
 	// Closure tracking is decoupled from mu so the (potentially expensive)
 	// SAT work in Closed/Uncovered never blocks the serving path: mutators
 	// only enqueue small delta records under opsMu; the tracker itself is
 	// built lazily and brought up to date under closureMu when queried.
 	opsMu       sync.Mutex
-	closureOps  []closureOp
-	opsOverflow bool // queue was capped; next query rebuilds from a snapshot
+	closureOps  []closureOp // guarded by opsMu
+	opsOverflow bool        // guarded by opsMu; queue was capped; next query rebuilds from a snapshot
 
 	closureMu     sync.Mutex
-	closure       *sat.Incremental
-	closureSolver *sat.Solver
-	closureEpoch  uint64 // store epoch the tracker reflects
+	closure       *sat.Incremental // guarded by closureMu
+	closureSolver *sat.Solver      // guarded by closureMu
+	closureEpoch  uint64           // guarded by closureMu; store epoch the tracker reflects
 }
 
 // closureOp is one queued mutation delta for the closure tracker.
@@ -369,6 +369,8 @@ func (s *Store) unchangedWithin(base domain.Box, from, to uint64) bool {
 // Snapshot/Rebind, or the cache's mutation-log checks. Lock order:
 // closureMu → {mu (via Snapshot), opsMu}; mutators take mu → opsMu; the
 // graph is acyclic.
+//
+//pcvet:locked closureMu
 func (s *Store) syncClosure(solver *sat.Solver) {
 	s.opsMu.Lock()
 	ops := s.closureOps
@@ -471,6 +473,9 @@ func NewSet(schema *domain.Schema) *Store { return NewStore(schema) }
 // Snapshot is an immutable view of a Store at one epoch. It is safe for
 // unlimited concurrent readers; all derived analyses (disjointness, bounds,
 // decompositions) are pure functions of its contents.
+//
+// pcvet:immutable — no slice or map reachable from a Snapshot may be
+// written after construction (enforced by the snapmut analyzer).
 type Snapshot struct {
 	store  *Store
 	schema *domain.Schema

@@ -98,10 +98,10 @@ func (h *taskHeap) Pop() any {
 type Scheduler struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	heap    taskHeap
-	seq     uint64
+	heap    taskHeap // guarded by mu
+	seq     uint64   // guarded by mu
 	workers int
-	closed  bool
+	closed  bool // guarded by mu
 
 	depth     atomic.Int64 // submitted, not yet started
 	maxDepth  atomic.Int64
@@ -204,10 +204,10 @@ func (s *Scheduler) worker() {
 type Group struct {
 	s         *Scheduler
 	mu        sync.Mutex
-	own       []*task
-	submitted int
-	panicVal  any // first task panic, re-raised from Wait (guarded by mu)
-	panicked  bool
+	own       []*task // guarded by mu
+	submitted int     // guarded by mu
+	panicVal  any     // guarded by mu; first task panic, re-raised from Wait
+	panicked  bool    // guarded by mu
 	remaining atomic.Int64
 	done      chan struct{}
 }

@@ -1,0 +1,30 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestBoundThreadsRequestContext is the regression test for the context
+// drop pcvet's ctxflow analyzer caught in handleBound: the handler called
+// the context-free Engine.Bound, so a client that hung up still paid for a
+// full solve. With the context threaded, an already-canceled request must
+// not start the solver.
+func TestBoundThreadsRequestContext(t *testing.T) {
+	s := New(testStore(t), nil, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("POST", "/v1/bound",
+		strings.NewReader(`{"query":{"agg":"SUM","attr":"price"}}`)).WithContext(ctx)
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code == 200 {
+		t.Fatalf("canceled request still solved: %d %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "context canceled") {
+		t.Fatalf("expected a context cancellation error, got: %d %s", rec.Code, rec.Body.String())
+	}
+}

@@ -170,7 +170,7 @@ func (s *Server) handleBound(w http.ResponseWriter, r *http.Request) {
 	if e == nil {
 		return
 	}
-	rng, err := e.Bound(q)
+	rng, err := e.BoundCtx(r.Context(), q)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return

@@ -19,7 +19,7 @@ import (
 // latency collapse.
 type limiter struct {
 	mu   sync.Mutex
-	used int
+	used int // guarded by mu
 	cap  int
 }
 
@@ -78,9 +78,9 @@ const numLatencyBuckets = 16
 // memory, which is what a serving loop wants.
 type histogram struct {
 	mu      sync.Mutex
-	buckets [numLatencyBuckets + 1]int64
-	count   int64
-	sum     float64
+	buckets [numLatencyBuckets + 1]int64 // guarded by mu
+	count   int64                        // guarded by mu
+	sum     float64                      // guarded by mu
 }
 
 func (h *histogram) observe(seconds float64) {
@@ -138,7 +138,7 @@ func (h *histogram) snapshot() (count int64, sum float64) {
 // and latency distribution.
 type endpointMetrics struct {
 	mu    sync.Mutex
-	codes map[int]int64
+	codes map[int]int64 // guarded by mu
 	lat   histogram
 }
 
@@ -146,7 +146,7 @@ type endpointMetrics struct {
 // request; /metrics renders everything in deterministic (sorted) order.
 type metrics struct {
 	mu        sync.Mutex
-	endpoints map[string]*endpointMetrics
+	endpoints map[string]*endpointMetrics // guarded by mu
 	rejected  atomic.Int64
 }
 

@@ -36,9 +36,9 @@ const DefaultRetainEpochs = 8
 // unaffected (snapshots are immutable), later pins get ErrEpochNotRetained.
 type enginePool struct {
 	mu      sync.Mutex
-	latest  *core.Engine
-	byEpoch map[uint64]*core.Engine
-	order   []uint64 // retained epochs, oldest first
+	latest  *core.Engine            // guarded by mu
+	byEpoch map[uint64]*core.Engine // guarded by mu
+	order   []uint64                // guarded by mu; retained epochs, oldest first
 	retain  int
 }
 
