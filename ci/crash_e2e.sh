@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# crash_e2e.sh — the crash-recovery gauntlet CI runs (and developers can run
+# locally: `bash ci/crash_e2e.sh`). It boots a real pcserved with a data
+# directory, SIGKILLs it under mutate-heavy pcload traffic, and proves the
+# durability contract three independent ways:
+#
+#   1. offline: pcwal verify/dump recover the directory read-only, even after
+#      garbage is appended to the newest segment (a synthetic torn tail);
+#   2. restart: a new pcserved replays the same directory and its /v1/store
+#      is byte-identical to the offline dump;
+#   3. serving: pcload's verify phase checks bounds from the recovered server
+#      are bit-identical to a local engine over the fetched constraint state.
+#
+# A final SIGTERM phase asserts the graceful path: what the drained server
+# last served is exactly what the directory recovers to.
+set -euo pipefail
+
+cd "$(dirname "$0")/.." || exit 1
+
+ADDR="127.0.0.1:${PCSERVED_PORT:-18093}"
+BASE="http://$ADDR"
+SPEC=cmd/pcserved/testdata/sample_spec.json
+BIN=./bin
+LOG=pcserved-crash.log
+DATA=$(mktemp -d)
+SERVER_PID=""
+
+command -v jq >/dev/null || { echo "crash_e2e: jq is required" >&2; exit 1; }
+
+cleanup() {
+  if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -9 "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$DATA"
+}
+trap cleanup EXIT
+
+echo "== build (pcserved under -race, pcload and pcwal plain)"
+mkdir -p "$BIN"
+go build -race -o "$BIN/pcserved" ./cmd/pcserved
+go build -o "$BIN/pcload" ./cmd/pcload
+go build -o "$BIN/pcwal" ./cmd/pcwal
+
+boot() {
+  GORACE="halt_on_error=1" "$BIN/pcserved" -addr "$ADDR" -spec "$SPEC" \
+    -data-dir "$DATA" -checkpoint-every 32 "$@" >>"$LOG" 2>&1 &
+  SERVER_PID=$!
+}
+
+wait_healthy() {
+  for _ in $(seq 150); do
+    if curl -fsS "$BASE/healthz" 2>/dev/null | jq -e '.status == "ok"' >/dev/null 2>&1; then
+      return 0
+    fi
+    kill -0 "$SERVER_PID" 2>/dev/null || { echo "pcserved died at boot:"; cat "$LOG"; exit 1; }
+    sleep 0.1
+  done
+  echo "pcserved never became healthy:"; cat "$LOG"; exit 1
+}
+
+echo "== phase 1: boot on a fresh data dir, verified warm-up load"
+boot
+wait_healthy
+curl -fsS "$BASE/healthz" | jq -e '.durability.mode == "always"' >/dev/null \
+  || { echo "healthz is missing the durability block" >&2; exit 1; }
+"$BIN/pcload" -addr "$BASE" -quick -seed 7
+
+echo "== phase 2: SIGKILL under mutate-heavy load"
+"$BIN/pcload" -addr "$BASE" -duration 15s -concurrency 8 \
+  -mix bound=2,batch=1,mutate=7 -verify 0 -seed 11 >pcload-crash.log 2>&1 &
+LOAD_PID=$!
+sleep 2
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+# The load generator's fate is not the assertion here — its retries are
+# pointed at a server that stays down — but it must not hang.
+kill "$LOAD_PID" 2>/dev/null || true
+wait "$LOAD_PID" 2>/dev/null || true
+
+echo "== phase 3: offline recovery, with a synthetic torn tail on top"
+"$BIN/pcwal" info "$DATA"
+NEWEST_SEG=$(ls "$DATA"/wal-*.log | sort | tail -1)
+printf '\x17\x00\x00' >>"$NEWEST_SEG" # a torn frame header: length field cut short
+"$BIN/pcwal" info "$DATA" | grep -q "torn tail" \
+  || { echo "pcwal info did not report the torn tail" >&2; exit 1; }
+"$BIN/pcwal" verify "$DATA"
+"$BIN/pcwal" dump "$DATA" >offline-dump.json
+KILL_EPOCH=$(jq -r .epoch offline-dump.json)
+echo "   offline recovery reached epoch $KILL_EPOCH"
+
+echo "== phase 4: restart on the crashed dir; served state must equal the offline dump byte-for-byte"
+boot
+wait_healthy
+grep -q "recovered epoch $KILL_EPOCH" "$LOG" \
+  || { echo "server log does not show recovery to epoch $KILL_EPOCH:" >&2; tail "$LOG" >&2; exit 1; }
+curl -fsS "$BASE/v1/store" >post-crash.json
+cmp offline-dump.json post-crash.json \
+  || { echo "recovered server state differs from offline recovery" >&2; exit 1; }
+curl -fsS "$BASE/healthz" | jq -e ".durability.recovered_epoch == $KILL_EPOCH" >/dev/null
+
+echo "== phase 5: recovered server serves bit-identical bounds under verified load"
+"$BIN/pcload" -addr "$BASE" -quick -seed 23
+
+echo "== phase 6: graceful SIGTERM drain loses nothing"
+curl -fsS "$BASE/v1/store" >pre-drain.json
+DRAIN_EPOCH=$(jq -r .epoch pre-drain.json)
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+grep -q "drained cleanly" "$LOG" || { echo "no clean drain in log:" >&2; tail "$LOG" >&2; exit 1; }
+"$BIN/pcwal" verify -epoch "$DRAIN_EPOCH" "$DATA"
+"$BIN/pcwal" dump "$DATA" >offline-drain.json
+cmp pre-drain.json offline-drain.json \
+  || { echo "drained state differs from what the directory recovers to" >&2; exit 1; }
+
+echo "== phase 7: one more boot to prove the parting checkpoint replays instantly"
+boot
+wait_healthy
+curl -fsS "$BASE/healthz" | jq -e '.durability.replayed_records == 0' >/dev/null \
+  || { echo "replay after a clean drain should be zero records (parting checkpoint)" >&2; exit 1; }
+curl -fsS "$BASE/v1/store" >post-drain.json
+cmp pre-drain.json post-drain.json \
+  || { echo "state changed across a clean drain + reboot" >&2; exit 1; }
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+rm -f offline-dump.json post-crash.json pre-drain.json offline-drain.json post-drain.json pcload-crash.log
+echo "crash_e2e: all phases passed (crash epoch $KILL_EPOCH, drain epoch $DRAIN_EPOCH)"

@@ -20,7 +20,6 @@
 package main
 
 import (
-	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -50,6 +49,7 @@ func main() {
 		verifyN     = flag.Int("verify", 50, "pinned-read queries to verify bit-identical against a local engine before the load phase (0 = skip)")
 		seed        = flag.Int64("seed", 1, "random seed")
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		retries     = flag.Int("retries", 8, "attempts per request for transient failures (429/503/connection errors); 1 disables retries")
 		quick       = flag.Bool("quick", false, "CI smoke configuration: -duration 2s -concurrency 4 -verify 25")
 	)
 	flag.Parse()
@@ -76,8 +76,9 @@ func main() {
 
 	client := &http.Client{Timeout: *timeout}
 	base := strings.TrimRight(*addr, "/")
+	r := newRetrier(client, *retries, *seed)
 
-	st, err := fetchStore(client, base)
+	st, err := fetchStore(r, base)
 	if err != nil {
 		fail("fetching %s/v1/store: %v", base, err)
 	}
@@ -89,13 +90,13 @@ func main() {
 		base, len(st.Constraints), st.Epoch, schema.Len())
 
 	if *verifyN > 0 {
-		if err := verifyPinned(client, base, st, schema, *verifyN, *seed); err != nil {
+		if err := verifyPinned(r, base, st, schema, *verifyN, *seed); err != nil {
 			fail("verification: %v", err)
 		}
 		fmt.Printf("pcload: verified %d pinned reads bit-identical to a local engine at epoch %d\n", *verifyN, st.Epoch)
 	}
 
-	stats := runLoad(client, base, schema, loadConfig{
+	stats := runLoad(r, base, schema, loadConfig{
 		duration:    *duration,
 		concurrency: *concurrency,
 		weights:     weights,
@@ -103,6 +104,7 @@ func main() {
 		seed:        *seed,
 	})
 	stats.report(os.Stdout, *duration)
+	r.summary(os.Stdout)
 	reportServerMetrics(client, base, os.Stdout)
 	if stats.hardErrors() > 0 {
 		os.Exit(1)
@@ -177,22 +179,16 @@ func parseMix(s string) (map[string]int, error) {
 	return w, nil
 }
 
-func fetchStore(client *http.Client, base string) (*server.StoreResponse, error) {
-	resp, err := client.Get(base + "/v1/store")
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("status %d (%s)", resp.StatusCode, raw)
-	}
+func fetchStore(r *retrier, base string) (*server.StoreResponse, error) {
+	// Retried like everything else: against a freshly restarted server this
+	// rides out the recovery gate's 503s until replay completes.
 	var st server.StoreResponse
-	if err := json.Unmarshal(raw, &st); err != nil {
+	code, raw, err := r.get(base+"/v1/store", &st)
+	if err != nil {
 		return nil, err
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("status %d (%s)", code, raw)
 	}
 	return &st, nil
 }
@@ -212,7 +208,7 @@ func schemaOf(st *server.StoreResponse) (*domain.Schema, error) {
 
 // verifyPinned rebuilds the fetched constraint state locally and checks that
 // pinned HTTP reads are bit-identical to direct engine bounds over it.
-func verifyPinned(client *http.Client, base string, st *server.StoreResponse, schema *domain.Schema, n int, seed int64) error {
+func verifyPinned(r *retrier, base string, st *server.StoreResponse, schema *domain.Schema, n int, seed int64) error {
 	raw, err := json.Marshal(core.SpecJSON{Schema: st.Schema, Constraints: st.Constraints})
 	if err != nil {
 		return err
@@ -224,24 +220,15 @@ func verifyPinned(client *http.Client, base string, st *server.StoreResponse, sc
 	engine := core.NewEngine(local, nil, core.Options{})
 	rng := rand.New(rand.NewSource(seed))
 	for i := 0; i < n; i++ {
-		// The query is drawn once per i, outside the retry loop, so the
-		// verified sequence is reproducible from -seed no matter how many
-		// 429s the server interleaves.
+		// The query is drawn once per i, so the verified sequence is
+		// reproducible from -seed no matter how many 429s the retrier
+		// absorbs along the way.
 		qj := randomQuery(rng, schema)
 		var resp server.BoundResponse
-		var code int
-		var body []byte
-		var err error
-		for {
-			code, body, err = postJSON(client, base+"/v1/bound",
-				server.BoundRequest{Query: qj, Epoch: &st.Epoch}, &resp)
-			if err != nil {
-				return err
-			}
-			if code != http.StatusTooManyRequests {
-				break
-			}
-			time.Sleep(50 * time.Millisecond) // backpressure; retry the same query
+		code, body, err := r.post(base+"/v1/bound",
+			server.BoundRequest{Query: qj, Epoch: &st.Epoch}, &resp)
+		if err != nil {
+			return err
 		}
 		if code != http.StatusOK {
 			return fmt.Errorf("query %d (%+v): status %d (%s) — pinned epoch %d may have been evicted; rerun verification against a fresh server", i, qj, code, body, st.Epoch)
@@ -336,7 +323,7 @@ func quantileDur(sorted []time.Duration, q float64) time.Duration {
 // RNG, a stack of constraint ids it added (so mutations clean up after
 // themselves and the store size stays bounded), and merges its stats on
 // exit.
-func runLoad(client *http.Client, base string, schema *domain.Schema, cfg loadConfig) *loadStats {
+func runLoad(r *retrier, base string, schema *domain.Schema, cfg loadConfig) *loadStats {
 	deadline := time.Now().Add(cfg.duration)
 	results := make([]*loadStats, cfg.concurrency)
 	var wg sync.WaitGroup
@@ -344,7 +331,7 @@ func runLoad(client *http.Client, base string, schema *domain.Schema, cfg loadCo
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			results[w] = loadWorker(client, base, schema, cfg, w, deadline)
+			results[w] = loadWorker(r, base, schema, cfg, w, deadline)
 		}(w)
 	}
 	wg.Wait()
@@ -363,7 +350,7 @@ func runLoad(client *http.Client, base string, schema *domain.Schema, cfg loadCo
 	return merged
 }
 
-func loadWorker(client *http.Client, base string, schema *domain.Schema, cfg loadConfig, w int, deadline time.Time) *loadStats {
+func loadWorker(r *retrier, base string, schema *domain.Schema, cfg loadConfig, w int, deadline time.Time) *loadStats {
 	rng := rand.New(rand.NewSource(cfg.seed + int64(w)*7919))
 	stats := &loadStats{ops: map[string]*opStats{
 		"bound": {}, "batch": {}, "mutate": {},
@@ -383,7 +370,7 @@ func loadWorker(client *http.Client, base string, schema *domain.Schema, cfg loa
 		}
 		op := stats.ops[name]
 		start := time.Now()
-		code, errMsg := doOp(client, base, schema, rng, name, cfg.batchSize, &myIDs)
+		code, errMsg := doOp(r, base, schema, rng, name, cfg.batchSize, &myIDs)
 		elapsed := time.Since(start)
 		switch {
 		case errMsg != "":
@@ -398,7 +385,7 @@ func loadWorker(client *http.Client, base string, schema *domain.Schema, cfg loa
 	}
 	// Leave the store as found: retract this worker's surviving additions.
 	for _, id := range myIDs {
-		_, _, _ = postJSON(client, base+"/v1/store/remove", server.RemoveRequest{ID: id}, nil)
+		_, _, _ = r.post(base+"/v1/store/remove", server.RemoveRequest{ID: id}, nil)
 	}
 	return stats
 }
@@ -406,11 +393,11 @@ func loadWorker(client *http.Client, base string, schema *domain.Schema, cfg loa
 // doOp issues one operation. It returns the status code and, for hard
 // failures (transport errors, unexpected statuses, malformed bodies), a
 // non-empty error message. 429 is backpressure, not failure.
-func doOp(client *http.Client, base string, schema *domain.Schema, rng *rand.Rand, name string, batchSize int, myIDs *[]uint64) (int, string) {
+func doOp(r *retrier, base string, schema *domain.Schema, rng *rand.Rand, name string, batchSize int, myIDs *[]uint64) (int, string) {
 	switch name {
 	case "bound":
 		var resp server.BoundResponse
-		code, body, err := postJSON(client, base+"/v1/bound",
+		code, body, err := r.post(base+"/v1/bound",
 			server.BoundRequest{Query: randomQuery(rng, schema)}, &resp)
 		return checkQueryResp(code, body, err, 1, []server.RangeJSON{resp.Range})
 	case "batch":
@@ -419,7 +406,7 @@ func doOp(client *http.Client, base string, schema *domain.Schema, rng *rand.Ran
 			queries[i] = randomQuery(rng, schema)
 		}
 		var resp server.BatchResponse
-		code, body, err := postJSON(client, base+"/v1/batch",
+		code, body, err := r.post(base+"/v1/batch",
 			server.BatchRequest{Queries: queries}, &resp)
 		return checkQueryResp(code, body, err, batchSize, resp.Ranges)
 	default: // mutate
@@ -427,7 +414,7 @@ func doOp(client *http.Client, base string, schema *domain.Schema, rng *rand.Ran
 		// around its boot state instead of drifting.
 		if len(*myIDs) > 0 && rng.Intn(2) == 0 {
 			id := (*myIDs)[0]
-			code, body, err := postJSON(client, base+"/v1/store/remove", server.RemoveRequest{ID: id}, nil)
+			code, body, err := r.post(base+"/v1/store/remove", server.RemoveRequest{ID: id}, nil)
 			if code == http.StatusOK {
 				// Pop only once the server confirms: a failed remove keeps
 				// the id queued for the end-of-run cleanup.
@@ -442,7 +429,7 @@ func doOp(client *http.Client, base string, schema *domain.Schema, rng *rand.Ran
 			return code, ""
 		}
 		var resp server.AddResponse
-		code, body, err := postJSON(client, base+"/v1/store/add",
+		code, body, err := r.post(base+"/v1/store/add",
 			server.AddRequest{Constraints: []core.PCJSON{randomConstraint(rng, schema)}}, &resp)
 		if err != nil {
 			return 0, err.Error()
@@ -480,28 +467,6 @@ func checkQueryResp(code int, body []byte, err error, wantRanges int, ranges []s
 		// else must be an ordered interval.
 	}
 	return code, ""
-}
-
-func postJSON(client *http.Client, url string, req, out any) (int, []byte, error) {
-	raw, err := json.Marshal(req)
-	if err != nil {
-		return 0, nil, err
-	}
-	resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
-	if err != nil {
-		return 0, nil, err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return resp.StatusCode, nil, err
-	}
-	if out != nil && resp.StatusCode == http.StatusOK {
-		if err := json.Unmarshal(body, out); err != nil {
-			return resp.StatusCode, body, fmt.Errorf("decoding %s response: %w (%s)", url, err, body)
-		}
-	}
-	return resp.StatusCode, body, nil
 }
 
 // randomQuery draws an aggregate query: any of the five aggregates, over the

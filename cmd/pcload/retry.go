@@ -1,0 +1,208 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// retrier issues HTTP requests with bounded retries: exponential backoff with
+// jitter for transient failures (429 backpressure, 503 recovery/drain windows,
+// connection-level errors), fatal errors surfaced immediately. A Retry-After
+// header, when the server sends one, overrides the computed backoff — the
+// server knows its own recovery timeline better than a client-side curve.
+//
+// This is what lets pcload ride through a pcserved restart: the crash
+// gauntlet SIGKILLs the server mid-load, and every worker's in-flight request
+// collapses into ECONNREFUSED/EOF until the replacement finishes replaying
+// its log (during which the recovery gate answers 503 + Retry-After).
+type retrier struct {
+	client   *http.Client
+	attempts int           // tries per request, first included
+	base     time.Duration // backoff before the first retry
+	max      time.Duration // backoff ceiling
+	sleep    func(time.Duration)
+
+	mu  sync.Mutex
+	rng *rand.Rand // guarded by mu; jitter only, no reproducibility contract
+
+	// Outcome counters for the end-of-run summary.
+	retried429       atomic.Int64
+	retried503       atomic.Int64
+	retriedTransport atomic.Int64
+	exhausted        atomic.Int64
+}
+
+func newRetrier(client *http.Client, attempts int, seed int64) *retrier {
+	if attempts < 1 {
+		attempts = 1
+	}
+	return &retrier{
+		client:   client,
+		attempts: attempts,
+		base:     25 * time.Millisecond,
+		max:      2 * time.Second,
+		sleep:    time.Sleep,
+		rng:      rand.New(rand.NewSource(seed ^ 0x5e3779b97f4a7c15)),
+	}
+}
+
+// post sends req as JSON and, on 200, decodes the body into out (when
+// non-nil). Returns the final status code and body; err is non-nil only for
+// hard failures (exhausted retries on transport errors, malformed responses,
+// marshalling bugs). A final 429/503 after exhausted retries is returned as
+// its status code, not an error — the caller classifies it.
+func (r *retrier) post(url string, req, out any) (int, []byte, error) {
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	return r.do(func() (*http.Response, error) {
+		return r.client.Post(url, "application/json", bytes.NewReader(raw))
+	}, url, out)
+}
+
+// get fetches url with the same retry policy as post.
+func (r *retrier) get(url string, out any) (int, []byte, error) {
+	return r.do(func() (*http.Response, error) {
+		return r.client.Get(url)
+	}, url, out)
+}
+
+func (r *retrier) do(send func() (*http.Response, error), url string, out any) (int, []byte, error) {
+	var (
+		lastCode int
+		lastBody []byte
+		lastErr  error
+	)
+	for attempt := 0; ; attempt++ {
+		resp, err := send()
+		if err != nil {
+			if !retriableErr(err) {
+				return 0, nil, err
+			}
+			lastCode, lastBody, lastErr = 0, nil, err
+			if attempt+1 >= r.attempts {
+				r.exhausted.Add(1)
+				return 0, nil, fmt.Errorf("%d attempts: %w", r.attempts, err)
+			}
+			r.retriedTransport.Add(1)
+			r.sleep(r.backoff(attempt, 0))
+			continue
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			// A response torn mid-body (server killed while writing) is a
+			// transport failure, not a protocol one.
+			if !retriableErr(rerr) {
+				return resp.StatusCode, nil, rerr
+			}
+			lastCode, lastBody, lastErr = 0, nil, rerr
+			if attempt+1 >= r.attempts {
+				r.exhausted.Add(1)
+				return 0, nil, fmt.Errorf("%d attempts: %w", r.attempts, rerr)
+			}
+			r.retriedTransport.Add(1)
+			r.sleep(r.backoff(attempt, 0))
+			continue
+		}
+		lastCode, lastBody, lastErr = resp.StatusCode, body, nil
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			if attempt+1 >= r.attempts {
+				r.exhausted.Add(1)
+				return lastCode, lastBody, lastErr
+			}
+			if resp.StatusCode == http.StatusTooManyRequests {
+				r.retried429.Add(1)
+			} else {
+				r.retried503.Add(1)
+			}
+			r.sleep(r.backoff(attempt, retryAfter(resp.Header)))
+			continue
+		case http.StatusOK:
+			if out != nil {
+				if err := json.Unmarshal(body, out); err != nil {
+					return resp.StatusCode, body, fmt.Errorf("decoding %s response: %w (%s)", url, err, body)
+				}
+			}
+			return resp.StatusCode, body, nil
+		default:
+			// 4xx/5xx outside the transient pair: a client bug or a server
+			// state no amount of retrying fixes (410 evicted epoch, 400 bad
+			// request). Surface it once, immediately.
+			return resp.StatusCode, body, nil
+		}
+	}
+}
+
+// backoff computes the pause before retry number attempt+1: exponential from
+// r.base with full jitter on the upper half, capped at r.max — except when
+// the server named its own delay via Retry-After, which wins if longer.
+func (r *retrier) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := r.base << attempt
+	if d > r.max || d <= 0 { // <= 0: shift overflow
+		d = r.max
+	}
+	r.mu.Lock()
+	jittered := d/2 + time.Duration(r.rng.Int63n(int64(d/2)+1))
+	r.mu.Unlock()
+	if retryAfter > jittered {
+		return retryAfter
+	}
+	return jittered
+}
+
+// retryAfter parses a Retry-After header: delay-seconds or an HTTP-date.
+// Returns 0 when absent or unparseable.
+func retryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// retriableErr classifies a transport error: true for the failures a server
+// restart or overload produces (refused/reset connections, torn responses,
+// timeouts), false for everything else (bad URLs, canceled contexts, TLS
+// misconfiguration) where a retry would just repeat the bug.
+func retriableErr(err error) bool {
+	switch {
+	case errors.Is(err, syscall.ECONNREFUSED),
+		errors.Is(err, syscall.ECONNRESET),
+		errors.Is(err, syscall.EPIPE),
+		errors.Is(err, io.EOF),
+		errors.Is(err, io.ErrUnexpectedEOF):
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// summary prints the retry accounting for the run; one line, always, so a
+// zero-retry run is distinguishable from a run that never reported.
+func (r *retrier) summary(w io.Writer) {
+	fmt.Fprintf(w, "pcload: retries: %d on 429, %d on 503, %d transport; %d requests exhausted all %d attempts\n",
+		r.retried429.Load(), r.retried503.Load(), r.retriedTransport.Load(),
+		r.exhausted.Load(), r.attempts)
+}

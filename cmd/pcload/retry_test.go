@@ -1,0 +1,168 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// testRetrier returns a retrier whose sleeps are recorded instead of taken.
+func testRetrier(attempts int) (*retrier, *[]time.Duration) {
+	var slept []time.Duration
+	r := newRetrier(&http.Client{Timeout: 5 * time.Second}, attempts, 1)
+	r.sleep = func(d time.Duration) { slept = append(slept, d) }
+	return r, &slept
+}
+
+func TestRetryTransientThenSuccess(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.WriteHeader(http.StatusServiceUnavailable)
+		case 2:
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+		default:
+			fmt.Fprintln(w, `{"epoch":7}`)
+		}
+	}))
+	defer ts.Close()
+
+	r, slept := testRetrier(5)
+	var out struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	code, _, err := r.post(ts.URL, map[string]int{"x": 1}, &out)
+	if err != nil || code != http.StatusOK || out.Epoch != 7 {
+		t.Fatalf("got code %d, epoch %d, err %v", code, out.Epoch, err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+	if r.retried503.Load() != 1 || r.retried429.Load() != 1 || r.exhausted.Load() != 0 {
+		t.Fatalf("counters: 503=%d 429=%d exhausted=%d", r.retried503.Load(), r.retried429.Load(), r.exhausted.Load())
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(*slept))
+	}
+}
+
+func TestRetryExhaustionSurfacesFinalStatus(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	r, slept := testRetrier(3)
+	code, _, err := r.post(ts.URL, nil, nil)
+	if err != nil {
+		t.Fatalf("a final 503 is a status, not an error: %v", err)
+	}
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("code %d, want 503", code)
+	}
+	if r.exhausted.Load() != 1 || len(*slept) != 2 {
+		t.Fatalf("exhausted=%d slept=%d, want 1 and 2", r.exhausted.Load(), len(*slept))
+	}
+}
+
+func TestFatalStatusNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	r, slept := testRetrier(5)
+	code, _, err := r.post(ts.URL, nil, nil)
+	if err != nil || code != http.StatusBadRequest {
+		t.Fatalf("got code %d err %v, want immediate 400", code, err)
+	}
+	if calls.Load() != 1 || len(*slept) != 0 {
+		t.Fatalf("400 was retried: %d calls, %d sleeps", calls.Load(), len(*slept))
+	}
+}
+
+func TestRetryConnectionRefused(t *testing.T) {
+	// Grab a port that is then closed again: connecting must ECONNREFUSED.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://" + ln.Addr().String()
+	ln.Close()
+
+	r, slept := testRetrier(4)
+	_, _, err = r.post(dead, nil, nil)
+	if err == nil {
+		t.Fatal("post to a closed port succeeded")
+	}
+	if r.retriedTransport.Load() != 3 || r.exhausted.Load() != 1 {
+		t.Fatalf("transport=%d exhausted=%d, want 3 and 1 (err %v)", r.retriedTransport.Load(), r.exhausted.Load(), err)
+	}
+	if len(*slept) != 3 {
+		t.Fatalf("slept %d times, want 3", len(*slept))
+	}
+}
+
+func TestRetryAfterOverridesBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	r, slept := testRetrier(2)
+	if code, _, err := r.post(ts.URL, nil, nil); err != nil || code != http.StatusTooManyRequests {
+		t.Fatalf("code %d err %v", code, err)
+	}
+	if len(*slept) != 1 || (*slept)[0] != 30*time.Second {
+		t.Fatalf("slept %v, want exactly the server's 30s Retry-After", *slept)
+	}
+}
+
+func TestBackoffBounds(t *testing.T) {
+	r, _ := testRetrier(10)
+	for attempt := 0; attempt < 40; attempt++ {
+		lo := r.base << attempt
+		if lo > r.max || lo <= 0 {
+			lo = r.max
+		}
+		for i := 0; i < 20; i++ {
+			d := r.backoff(attempt, 0)
+			if d < lo/2 || d > lo {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, lo/2, lo)
+			}
+		}
+	}
+	if d := r.backoff(0, time.Minute); d != time.Minute {
+		t.Fatalf("Retry-After 1m gave %v", d)
+	}
+}
+
+func TestRetriableErrClassification(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want bool
+	}{
+		{syscall.ECONNREFUSED, true},
+		{fmt.Errorf("post: %w", syscall.ECONNRESET), true},
+		{io.ErrUnexpectedEOF, true},
+		{io.EOF, true},
+		{errors.New("no such host"), false},
+		{fmt.Errorf("unsupported protocol scheme %q", "htp"), false},
+	} {
+		if got := retriableErr(tc.err); got != tc.want {
+			t.Errorf("retriableErr(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}

@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	pcserved -spec constraints.json                  # serve on :8080
-//	pcserved -spec constraints.json -addr :9000 \
-//	         -max-inflight 64 -retain-epochs 16
+//	pcserved -spec constraints.json                  # serve on :8080, in-memory only
+//	pcserved -spec constraints.json -data-dir /var/lib/pcbound \
+//	         -fsync-mode always -checkpoint-every 1024
 //
 // Endpoints:
 //
@@ -16,13 +16,21 @@
 //	POST /v1/store/remove   retract a constraint by id → {"epoch":N}
 //	POST /v1/store/replace  swap a constraint in place → {"epoch":N}
 //	GET  /v1/store          snapshot spec + ids + epoch (DecodeSet-compatible)
-//	GET  /healthz           liveness; 503 once draining
-//	GET  /metrics           Prometheus text: latency quantiles, epoch, cache
+//	GET  /healthz           liveness; 503 while recovering, wedged, or draining
+//	GET  /metrics           Prometheus text: latency quantiles, epoch, cache, wal_*
 //
 // Reads are pinned to a store snapshot (the latest by default, an older
 // retained one via "epoch"), so concurrent mutations never perturb an
 // in-flight or pinned query. SIGINT/SIGTERM begin a graceful drain:
 // /healthz flips to 503, new connections stop, in-flight bounds finish.
+//
+// With -data-dir the store is crash-safe: every mutation is appended to a
+// write-ahead log and acknowledged only once durable per -fsync-mode, the
+// log is truncated by periodic checkpoints, and a restart replays the tail
+// to a bit-identical store. The listener binds before recovery, answering
+// "recovering" on /healthz and 503 elsewhere until replay completes; on
+// disk state takes precedence over -spec, which then only seeds an empty
+// directory.
 package main
 
 import (
@@ -31,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -38,14 +47,20 @@ import (
 	"time"
 
 	"pcbound/internal/core"
+	"pcbound/internal/domain"
 	"pcbound/internal/sat"
 	"pcbound/internal/server"
+	"pcbound/internal/wal"
 )
 
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
-		specPath    = flag.String("spec", "", "path to the boot constraint spec JSON (required; may contain zero constraints)")
+		specPath    = flag.String("spec", "", "path to the boot constraint spec JSON (required without -data-dir; with it, seeds an empty data dir)")
+		dataDir     = flag.String("data-dir", "", "directory for the write-ahead log and checkpoints (empty = in-memory only, state is lost on restart)")
+		fsyncMode   = flag.String("fsync-mode", "always", "when a mutation ack is durable: always (fsync first) or none (OS cache; survives SIGKILL, not power loss)")
+		ckptEvery   = flag.Int("checkpoint-every", 1024, "mutations between snapshot checkpoints (and log truncations); 0 disables")
+		walWindow   = flag.Duration("wal-window", time.Millisecond, "group-commit window: how long a flush waits to batch concurrent mutations into one fsync")
 		maxInflight = flag.Int("max-inflight", 0, "max concurrently executing bound/batch requests before 429 (0 = 4x GOMAXPROCS)")
 		retain      = flag.Int("retain-epochs", 0, "snapshot epochs kept servable for pinned reads (0 = default)")
 		maxPar      = flag.Int("max-parallel", 0, "ceiling (and default) for a batch request's worker fan-out (0 = GOMAXPROCS)")
@@ -54,19 +69,72 @@ func main() {
 		cacheSize   = flag.Int("decomp-cache", 0, "decomposition cache regions (0 = default)")
 	)
 	flag.Parse()
-	if *specPath == "" {
-		fmt.Fprintln(os.Stderr, "pcserved: missing -spec")
+	if *specPath == "" && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "pcserved: missing -spec (or -data-dir with existing state)")
 		os.Exit(1)
 	}
-	raw, err := os.ReadFile(*specPath)
+	mode, err := wal.ParseMode(*fsyncMode)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pcserved: %v\n", err)
 		os.Exit(1)
 	}
-	store, schema, err := core.DecodeSet(raw)
+
+	var boot *core.Store
+	if *specPath != "" {
+		raw, err := os.ReadFile(*specPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcserved: %v\n", err)
+			os.Exit(1)
+		}
+		if boot, _, err = core.DecodeSet(raw); err != nil {
+			fmt.Fprintf(os.Stderr, "pcserved: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	// Bind before recovery: orchestrators see "recovering" instead of a
+	// connection refused, and traffic gets an honest 503 + Retry-After.
+	gate := &server.RecoveryGate{}
+	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pcserved: %v\n", err)
-		os.Exit(1)
+		log.Fatalf("pcserved: %v", err)
+	}
+	srv := &http.Server{Handler: gate, ReadHeaderTimeout: 5 * time.Second}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	var (
+		store  *core.Store
+		schema *domain.Schema
+		dur    *wal.Manager
+	)
+	if *dataDir != "" {
+		start := time.Now()
+		dur, err = wal.Open(wal.Options{
+			Dir:             *dataDir,
+			Mode:            mode,
+			Window:          *walWindow,
+			CheckpointEvery: *ckptEvery,
+			Boot:            boot,
+		})
+		if err != nil {
+			log.Fatalf("pcserved: recovery: %v", err)
+		}
+		store, schema = dur.Store(), dur.Schema()
+		info := dur.Info()
+		if info.BootIgnored {
+			log.Printf("pcserved: %s has state (epoch %d); ignoring -spec", *dataDir, info.Epoch)
+		}
+		if info.TornTail {
+			log.Printf("pcserved: healed a torn record at the log tail")
+		}
+		if info.SkippedCheckpoints > 0 {
+			log.Printf("pcserved: skipped %d unreadable checkpoint(s)", info.SkippedCheckpoints)
+		}
+		log.Printf("pcserved: recovered epoch %d (checkpoint %d + %d records, %d segments) in %v",
+			info.Epoch, info.CheckpointEpoch, info.Replayed, info.Segments, time.Since(start).Round(time.Millisecond))
+	} else {
+		store, schema = boot, boot.Schema()
 	}
 
 	solver := sat.New(schema)
@@ -82,22 +150,16 @@ func main() {
 		MaxParallelism: *maxPar,
 		MaxBatch:       *maxBatch,
 		Engine:         core.Options{DecompCacheSize: *cacheSize},
+		Durability:     dur,
 	})
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           s.Handler(),
-		ReadHeaderTimeout: 5 * time.Second,
-	}
-
-	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
+	gate.Activate(s.Handler())
 	log.Printf("pcserved: serving %d constraints (epoch %d) on %s", store.Len(), store.Epoch(), *addr)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
-		// ListenAndServe never returns nil.
+		// Serve never returns nil.
 		log.Fatalf("pcserved: %v", err)
 	case sig := <-sigCh:
 		log.Printf("pcserved: %v: draining (timeout %v)", sig, *shutdownT)
@@ -111,6 +173,16 @@ func main() {
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("pcserved: %v", err)
+	}
+	if dur != nil {
+		// A parting checkpoint makes the next boot's replay near-instant; the
+		// log alone is already sufficient, so failure here only costs time.
+		if err := dur.Checkpoint(); err != nil && dur.Err() == nil {
+			log.Printf("pcserved: final checkpoint failed: %v", err)
+		}
+		if err := dur.Close(); err != nil {
+			log.Printf("pcserved: closing wal: %v", err)
+		}
 	}
 	log.Printf("pcserved: drained cleanly (epoch %d)", store.Epoch())
 }

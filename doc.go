@@ -53,6 +53,19 @@
 // verify served ranges bitwise against a local engine rebuilt from
 // GET /v1/store.
 //
+// With a data directory, the served store is crash-safe (internal/wal):
+// every mutation is appended to a CRC-framed write-ahead log before it is
+// acknowledged — concurrent commits coalescing into one fsync under a
+// group-commit window — and periodic snapshot checkpoints truncate the log
+// behind them. Recovery loads the newest readable checkpoint, replays the
+// tail, truncates away a torn final record, and restores the epoch counter
+// and stable PCIDs exactly: a restarted server is bit-identical to one that
+// never crashed, a property the tests enforce by simulating a crash at
+// every filesystem operation of a workload over an injectable in-memory
+// filesystem, and CI re-proves on a real server by SIGKILLing it under
+// load (ci/crash_e2e.sh). cmd/pcwal inspects a data directory offline,
+// read-only.
+//
 // Those invariants are machine-checked: cmd/pcvet is a custom static
 // analysis suite (internal/analysis) that CI runs over the whole module
 // via `go vet -vettool`. Its four analyzers enforce that map iteration

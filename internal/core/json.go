@@ -96,31 +96,41 @@ func EncodeSet(set *Set) ([]byte, error) {
 	return json.MarshalIndent(set.Snapshot().Spec(), "", "  ")
 }
 
-// DecodeSet parses a SpecJSON document into a fresh schema and set.
-func DecodeSet(raw []byte) (*Set, *domain.Schema, error) {
-	var spec SpecJSON
-	if err := json.Unmarshal(raw, &spec); err != nil {
-		return nil, nil, fmt.Errorf("core: parsing spec: %w", err)
+// SchemaFromJSON materializes a schema from its wire form. The durability
+// layer uses it to rebuild the schema recorded in a checkpoint without
+// replaying any constraints.
+func SchemaFromJSON(attrs []AttrJSON) (*domain.Schema, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("core: spec has no schema")
 	}
-	if len(spec.Schema) == 0 {
-		return nil, nil, fmt.Errorf("core: spec has no schema")
-	}
-	attrs := make([]domain.Attr, len(spec.Schema))
-	for i, a := range spec.Schema {
+	out := make([]domain.Attr, len(attrs))
+	for i, a := range attrs {
 		kind := domain.Continuous
 		switch a.Kind {
 		case "integral", "int", "integer", "categorical":
 			kind = domain.Integral
 		case "continuous", "float", "":
 		default:
-			return nil, nil, fmt.Errorf("core: unknown kind %q for attribute %q", a.Kind, a.Name)
+			return nil, fmt.Errorf("core: unknown kind %q for attribute %q", a.Kind, a.Name)
 		}
 		if a.Min > a.Max || math.IsNaN(a.Min) || math.IsNaN(a.Max) {
-			return nil, nil, fmt.Errorf("core: invalid domain [%g, %g] for attribute %q", a.Min, a.Max, a.Name)
+			return nil, fmt.Errorf("core: invalid domain [%g, %g] for attribute %q", a.Min, a.Max, a.Name)
 		}
-		attrs[i] = domain.Attr{Name: a.Name, Kind: kind, Domain: domain.NewInterval(a.Min, a.Max)}
+		out[i] = domain.Attr{Name: a.Name, Kind: kind, Domain: domain.NewInterval(a.Min, a.Max)}
 	}
-	schema := domain.NewSchema(attrs...)
+	return domain.NewSchema(out...), nil
+}
+
+// DecodeSet parses a SpecJSON document into a fresh schema and set.
+func DecodeSet(raw []byte) (*Set, *domain.Schema, error) {
+	var spec SpecJSON
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return nil, nil, fmt.Errorf("core: parsing spec: %w", err)
+	}
+	schema, err := SchemaFromJSON(spec.Schema)
+	if err != nil {
+		return nil, nil, err
+	}
 	set := NewSet(schema)
 	for i, c := range spec.Constraints {
 		pc, err := PCFromJSON(schema, c)

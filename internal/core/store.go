@@ -57,12 +57,13 @@ type Store struct {
 	// revalidation bursts after a mutation do not serialize against each
 	// other — only against writers, which is inherent.
 	mu     sync.RWMutex
-	pcs    []PC      // guarded by mu
-	ids    []PCID    // guarded by mu
-	shared bool      // guarded by mu; pcs/ids are aliased by the cached snapshot
-	epoch  uint64    // guarded by mu
-	nextID PCID      // guarded by mu
-	snap   *Snapshot // guarded by mu; cached snapshot of the current state (nil until asked)
+	pcs    []PC       // guarded by mu
+	ids    []PCID     // guarded by mu
+	shared bool       // guarded by mu; pcs/ids are aliased by the cached snapshot
+	epoch  uint64     // guarded by mu
+	nextID PCID       // guarded by mu
+	snap   *Snapshot  // guarded by mu; cached snapshot of the current state (nil until asked)
+	hook   CommitHook // guarded by mu; fired after every committed mutation
 
 	// log records, per epoch, the predicate boxes touched by that mutation;
 	// it covers epochs (logFloor, epoch]. Bounded: once trimmed, scoped cache
@@ -115,6 +116,63 @@ type mutRecord struct {
 // maxMutLog bounds the mutation log. Cache entries older than the log window
 // are invalidated conservatively rather than revalidated.
 const maxMutLog = 512
+
+// MutKind discriminates replayable mutation records.
+type MutKind uint8
+
+const (
+	// MutAdd records an AddPCs call: PCs are the added constraints, IDs the
+	// stable ids they were assigned, positionally aligned.
+	MutAdd MutKind = iota + 1
+	// MutRemove records a Remove call: IDs holds the one retired id.
+	MutRemove
+	// MutReplace records a Replace call: IDs holds the kept id, PCs the one
+	// new constraint.
+	MutReplace
+)
+
+func (k MutKind) String() string {
+	switch k {
+	case MutAdd:
+		return "add"
+	case MutRemove:
+		return "remove"
+	case MutReplace:
+		return "replace"
+	default:
+		return fmt.Sprintf("MutKind(%d)", int(k))
+	}
+}
+
+// MutationRecord is the replayable description of one committed mutation:
+// the epoch it produced, and enough payload to reproduce the exact same
+// store transition — including id assignment — via ApplyRecord. A store
+// rebuilt by replaying a record stream onto the pre-stream state is
+// bit-identical (same PCs, ids, epoch, and future id allocation) to the
+// store that emitted it; the durability layer (internal/wal) is built on
+// exactly this property.
+type MutationRecord struct {
+	Epoch uint64
+	Kind  MutKind
+	IDs   []PCID // MutAdd: assigned ids (aligned with PCs); otherwise one id
+	PCs   []PC   // MutAdd: added constraints; MutReplace: the new constraint
+}
+
+// CommitHook observes committed mutations. It is called synchronously under
+// the store's write lock, immediately after the mutation commits and before
+// the mutating call returns, so invocations are strictly ordered by epoch.
+// Implementations must be fast and must not call back into the store; the
+// record's slices are the hook's to keep (they alias nothing store-owned).
+type CommitHook func(rec MutationRecord)
+
+// SetCommitHook registers the hook fired on every committed mutation (nil
+// unregisters). Replays via ApplyRecord do not fire it — the hook sees only
+// new mutations, which is what a write-ahead log wants.
+func (s *Store) SetCommitHook(h CommitHook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hook = h
+}
 
 // NewStore creates an empty constraint store over the schema.
 func NewStore(schema *domain.Schema) *Store { return &Store{schema: schema} }
@@ -234,14 +292,29 @@ func (s *Store) AddPCs(pcs ...PC) ([]PCID, error) {
 			return nil, err
 		}
 	}
-	s.detachLocked()
 	ids := make([]PCID, len(pcs))
-	boxes := make([]domain.Box, len(pcs))
-	for i, pc := range pcs {
+	for i := range pcs {
 		s.nextID++
 		ids[i] = s.nextID
+	}
+	s.applyAddLocked(pcs, ids)
+	s.fireHookLocked(MutAdd, ids, pcs)
+	return ids, nil
+}
+
+// applyAddLocked appends validated constraints under the given ids and
+// commits the epoch bump. Shared by AddPCs (fresh ids) and ApplyRecord
+// (replayed ids); the id allocator's high-water mark follows the largest id
+// seen either way.
+func (s *Store) applyAddLocked(pcs []PC, ids []PCID) {
+	s.detachLocked()
+	boxes := make([]domain.Box, len(pcs))
+	for i, pc := range pcs {
 		s.pcs = append(s.pcs, clonePC(pc))
-		s.ids = append(s.ids, s.nextID)
+		s.ids = append(s.ids, ids[i])
+		if ids[i] > s.nextID {
+			s.nextID = ids[i]
+		}
 		boxes[i] = pc.Pred.Box()
 	}
 	s.commitLocked(boxes)
@@ -250,7 +323,20 @@ func (s *Store) AddPCs(pcs ...PC) ([]PCID, error) {
 		ops[i] = closureOp{epoch: s.epoch, kind: opAdd, id: id, box: boxes[i]}
 	}
 	s.recordClosureOps(ops...)
-	return ids, nil
+}
+
+// fireHookLocked hands the commit hook its mutation record (see CommitHook).
+// The payload is deep-copied so the hook may keep it without aliasing either
+// the caller's or the store's state.
+func (s *Store) fireHookLocked(kind MutKind, ids []PCID, pcs []PC) {
+	if s.hook == nil {
+		return
+	}
+	rec := MutationRecord{Epoch: s.epoch, Kind: kind, IDs: append([]PCID(nil), ids...)}
+	if len(pcs) > 0 {
+		rec.PCs = clonePCs(pcs)
+	}
+	s.hook(rec)
 }
 
 // MustAdd is Add that panics on error.
@@ -278,13 +364,20 @@ func (s *Store) Remove(id PCID) error {
 	if i < 0 {
 		return fmt.Errorf("core: no constraint with id %d", id)
 	}
+	s.applyRemoveLocked(i, id)
+	s.fireHookLocked(MutRemove, []PCID{id}, nil)
+	return nil
+}
+
+// applyRemoveLocked retracts the constraint at index i (holding id) and
+// commits the epoch bump. Shared by Remove and ApplyRecord.
+func (s *Store) applyRemoveLocked(i int, id PCID) {
 	box := s.pcs[i].Pred.Box()
 	s.detachLocked()
 	s.pcs = append(s.pcs[:i], s.pcs[i+1:]...)
 	s.ids = append(s.ids[:i], s.ids[i+1:]...)
 	s.commitLocked([]domain.Box{box})
 	s.recordClosureOps(closureOp{epoch: s.epoch, kind: opRemove, id: id})
-	return nil
 }
 
 // Replace swaps the constraint with the given id for a new one, keeping the
@@ -299,13 +392,118 @@ func (s *Store) Replace(id PCID, pc PC) error {
 	if err := s.validatePC(pc); err != nil {
 		return err
 	}
+	s.applyReplaceLocked(i, id, pc)
+	s.fireHookLocked(MutReplace, []PCID{id}, []PC{pc})
+	return nil
+}
+
+// applyReplaceLocked swaps the constraint at index i (holding id) for the
+// validated pc and commits the epoch bump. Shared by Replace and ApplyRecord.
+func (s *Store) applyReplaceLocked(i int, id PCID, pc PC) {
 	oldBox := s.pcs[i].Pred.Box()
 	newBox := pc.Pred.Box()
 	s.detachLocked()
 	s.pcs[i] = clonePC(pc)
 	s.commitLocked([]domain.Box{oldBox, newBox})
 	s.recordClosureOps(closureOp{epoch: s.epoch, kind: opReplace, id: id, box: newBox})
+}
+
+// ApplyRecord replays one previously recorded mutation onto the store,
+// reproducing the exact transition the record describes: the same
+// constraints, the same stable ids, the same epoch, and the same future id
+// allocation. Records must be applied in order — rec.Epoch must be exactly
+// the store's epoch plus one — and must be consistent with the store (adds
+// must not collide with live ids, removes and replaces must resolve). The
+// commit hook is not fired: replay reconstructs history, it does not make
+// new history.
+func (s *Store) ApplyRecord(rec MutationRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec.Epoch != s.epoch+1 {
+		return fmt.Errorf("core: replay gap: record epoch %d does not follow store epoch %d", rec.Epoch, s.epoch)
+	}
+	switch rec.Kind {
+	case MutAdd:
+		if len(rec.PCs) == 0 || len(rec.IDs) != len(rec.PCs) {
+			return fmt.Errorf("core: malformed add record at epoch %d: %d ids for %d constraints", rec.Epoch, len(rec.IDs), len(rec.PCs))
+		}
+		for _, pc := range rec.PCs {
+			if err := s.validatePC(pc); err != nil {
+				return fmt.Errorf("core: add record at epoch %d: %w", rec.Epoch, err)
+			}
+		}
+		for i, id := range rec.IDs {
+			if id == 0 {
+				return fmt.Errorf("core: add record at epoch %d assigns id 0", rec.Epoch)
+			}
+			if s.indexOfLocked(id) >= 0 {
+				return fmt.Errorf("core: add record at epoch %d reuses live id %d", rec.Epoch, id)
+			}
+			for _, prev := range rec.IDs[:i] {
+				if prev == id {
+					return fmt.Errorf("core: add record at epoch %d assigns id %d twice", rec.Epoch, id)
+				}
+			}
+		}
+		s.applyAddLocked(rec.PCs, rec.IDs)
+	case MutRemove:
+		if len(rec.IDs) != 1 || len(rec.PCs) != 0 {
+			return fmt.Errorf("core: malformed remove record at epoch %d", rec.Epoch)
+		}
+		i := s.indexOfLocked(rec.IDs[0])
+		if i < 0 {
+			return fmt.Errorf("core: remove record at epoch %d names unknown id %d", rec.Epoch, rec.IDs[0])
+		}
+		s.applyRemoveLocked(i, rec.IDs[0])
+	case MutReplace:
+		if len(rec.IDs) != 1 || len(rec.PCs) != 1 {
+			return fmt.Errorf("core: malformed replace record at epoch %d", rec.Epoch)
+		}
+		i := s.indexOfLocked(rec.IDs[0])
+		if i < 0 {
+			return fmt.Errorf("core: replace record at epoch %d names unknown id %d", rec.Epoch, rec.IDs[0])
+		}
+		if err := s.validatePC(rec.PCs[0]); err != nil {
+			return fmt.Errorf("core: replace record at epoch %d: %w", rec.Epoch, err)
+		}
+		s.applyReplaceLocked(i, rec.IDs[0], rec.PCs[0])
+	default:
+		return fmt.Errorf("core: unknown mutation kind %d at epoch %d", rec.Kind, rec.Epoch)
+	}
 	return nil
+}
+
+// RestoreStore rebuilds a store from externally captured state: the
+// constraint multiset with its stable ids, the epoch counter, and the id
+// allocator's high-water mark — exactly what a durability checkpoint
+// persists (see internal/wal). The restored store numbers epochs and ids
+// exactly where the captured store would have, so applying the same
+// mutations to both yields bit-identical stores. Its mutation log starts
+// empty with the floor at the restored epoch, so engine caches revalidate
+// conservatively across the restore boundary rather than trusting a window
+// the restored store cannot vouch for.
+func RestoreStore(schema *domain.Schema, pcs []PC, ids []PCID, epoch uint64, nextID PCID) (*Store, error) {
+	if len(pcs) != len(ids) {
+		return nil, fmt.Errorf("core: restore has %d constraints but %d ids", len(pcs), len(ids))
+	}
+	s := &Store{schema: schema, epoch: epoch, nextID: nextID, logFloor: epoch}
+	seen := make(map[PCID]bool, len(ids))
+	for i, pc := range pcs {
+		if err := s.validatePC(pc); err != nil {
+			return nil, fmt.Errorf("core: restore constraint %d: %w", i, err)
+		}
+		id := ids[i]
+		if id == 0 || id > nextID {
+			return nil, fmt.Errorf("core: restore constraint %d: id %d outside allocator high-water %d", i, id, nextID)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("core: restore constraint %d: duplicate id %d", i, id)
+		}
+		seen[id] = true
+	}
+	s.pcs = clonePCs(pcs)
+	s.ids = append([]PCID(nil), ids...)
+	return s, nil
 }
 
 // Get returns a copy of the constraint with the given id (mutating the
@@ -333,6 +531,7 @@ func (s *Store) Snapshot() *Snapshot {
 			pcs:    s.pcs,
 			ids:    s.ids,
 			epoch:  s.epoch,
+			nextID: s.nextID,
 		}
 		s.shared = true
 	}
@@ -482,6 +681,7 @@ type Snapshot struct {
 	pcs    []PC
 	ids    []PCID
 	epoch  uint64
+	nextID PCID
 
 	disjointOnce sync.Once
 	disjoint     bool
@@ -492,6 +692,13 @@ func (sn *Snapshot) Store() *Store { return sn.store }
 
 // Epoch returns the store epoch the snapshot is pinned to.
 func (sn *Snapshot) Epoch() uint64 { return sn.epoch }
+
+// NextID returns the id allocator's high-water mark at the snapshot's epoch:
+// the largest PCID the store had ever assigned. Checkpoint/restore needs it
+// (RestoreStore) so a restored store assigns future ids exactly as the
+// captured one would have — removing the constraint with the highest id
+// leaves the high-water mark above any live id.
+func (sn *Snapshot) NextID() PCID { return sn.nextID }
 
 // Schema returns the snapshot's schema.
 func (sn *Snapshot) Schema() *domain.Schema { return sn.schema }

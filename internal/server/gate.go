@@ -1,0 +1,35 @@
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// RecoveryGate lets pcserved bind its listener and answer health checks
+// while WAL recovery is still replaying. Until Activate is called every
+// request — mutations and reads alike, since neither has a store to run
+// against yet — gets a 503 with Retry-After, and /healthz reports
+// "recovering" so orchestrators can tell a replaying server from a dead
+// one. Activate atomically swaps in the real server's handler.
+type RecoveryGate struct {
+	inner atomic.Pointer[http.Handler]
+}
+
+// Activate routes all subsequent requests to h. Call it once, after
+// recovery completes and the Server is built.
+func (g *RecoveryGate) Activate(h http.Handler) {
+	g.inner.Store(&h)
+}
+
+func (g *RecoveryGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h := g.inner.Load(); h != nil {
+		(*h).ServeHTTP(w, r)
+		return
+	}
+	if r.Method == http.MethodGet && r.URL.Path == "/healthz" {
+		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "recovering"})
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, "recovering: replaying write-ahead log")
+}

@@ -11,6 +11,7 @@ import (
 
 	"pcbound/internal/core"
 	"pcbound/internal/sat"
+	"pcbound/internal/wal"
 )
 
 // Config tunes a Server. The zero value is serviceable.
@@ -35,6 +36,11 @@ type Config struct {
 	// Engine configures the engines the pool creates (cache size, MILP
 	// options…).
 	Engine core.Options
+	// Durability, when set, gates every mutation ack on the WAL: the
+	// response is written only after the mutation's epoch is durable per the
+	// manager's fsync mode. A wedged log (failed write or fsync) turns all
+	// further mutations into 503s while reads keep serving.
+	Durability *wal.Manager
 }
 
 // maxBodyBytes bounds request bodies; a constraint batch some orders of
@@ -61,6 +67,7 @@ type Server struct {
 	// the serving-path solver statistics exported at /metrics. (Solvers are
 	// safe for concurrent use.)
 	closure  *sat.Solver
+	dur      *wal.Manager // nil when running without durability
 	maxPar   int
 	maxBatch int
 	draining atomic.Bool
@@ -88,6 +95,7 @@ func New(store *core.Store, solver *sat.Solver, cfg Config) *Server {
 		lim:      newLimiter(maxInflight),
 		met:      newMetrics(),
 		closure:  sat.New(store.Schema()),
+		dur:      cfg.Durability,
 		maxPar:   maxPar,
 		maxBatch: maxBatch,
 	}
@@ -248,9 +256,44 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, BatchResponse{Ranges: out, Epoch: e.Snapshot().Epoch()})
 }
 
+// mutationAllowed rejects mutations up front while the WAL is wedged: once
+// a write or fsync has failed, disk can no longer be trusted to record what
+// we acknowledge, so the store is read-only until an operator restarts the
+// process (recovery reopens from what is actually durable).
+func (s *Server) mutationAllowed(w http.ResponseWriter) bool {
+	if s.dur == nil {
+		return true
+	}
+	if err := s.dur.Err(); err != nil {
+		writeError(w, http.StatusServiceUnavailable, fmt.Sprintf("durability wedged, mutations disabled: %v", err))
+		return false
+	}
+	return true
+}
+
+// ackDurable holds a mutation's 200 until its epoch is durable. It runs
+// after mutMu is released — group commit batches the fsync across every
+// mutation that landed meanwhile, so holding the mutation lock here would
+// serialize exactly the work the window exists to coalesce. On failure the
+// client gets a 503 and must treat the mutation as not applied: the wedge
+// blocks all later mutations, and restart-recovery replays only the log.
+func (s *Server) ackDurable(w http.ResponseWriter, epoch uint64) bool {
+	if s.dur == nil {
+		return true
+	}
+	if err := s.dur.WaitDurable(epoch); err != nil {
+		writeError(w, http.StatusServiceUnavailable, fmt.Sprintf("mutation not durable: %v", err))
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	var req AddRequest
 	if !decodeBody(w, r, &req) {
+		return
+	}
+	if !s.mutationAllowed(w) {
 		return
 	}
 	if len(req.Constraints) == 0 {
@@ -275,6 +318,9 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	}
 	epoch := s.commitEpochLocked()
 	s.mutMu.Unlock()
+	if !s.ackDurable(w, epoch) {
+		return
+	}
 	out := make([]uint64, len(ids))
 	for i, id := range ids {
 		out[i] = uint64(id)
@@ -296,6 +342,9 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	if !s.mutationAllowed(w) {
+		return
+	}
 	s.mutMu.Lock()
 	if err := s.store.Remove(core.PCID(req.ID)); err != nil {
 		s.mutMu.Unlock()
@@ -304,6 +353,9 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 	}
 	epoch := s.commitEpochLocked()
 	s.mutMu.Unlock()
+	if !s.ackDurable(w, epoch) {
+		return
+	}
 	writeJSON(w, http.StatusOK, MutateResponse{Epoch: epoch})
 }
 
@@ -317,6 +369,9 @@ func (s *Server) handleReplace(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if !s.mutationAllowed(w) {
+		return
+	}
 	// The constraint decoded against the store's own schema, so a Replace
 	// failure can only be a missing id.
 	s.mutMu.Lock()
@@ -327,6 +382,9 @@ func (s *Server) handleReplace(w http.ResponseWriter, r *http.Request) {
 	}
 	epoch := s.commitEpochLocked()
 	s.mutMu.Unlock()
+	if !s.ackDurable(w, epoch) {
+		return
+	}
 	writeJSON(w, http.StatusOK, MutateResponse{Epoch: epoch})
 }
 
@@ -357,6 +415,24 @@ func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	resp := HealthResponse{Status: "ok", Epoch: s.store.Epoch(), Constraints: s.store.Len()}
 	code := http.StatusOK
+	if s.dur != nil {
+		info := s.dur.Info()
+		met := s.dur.Metrics()
+		resp.Durability = &DurabilityJSON{
+			Mode:               s.dur.Mode().String(),
+			DurableEpoch:       met.DurableEpoch,
+			CheckpointEpoch:    info.CheckpointEpoch,
+			RecoveredEpoch:     info.Epoch,
+			ReplayedRecords:    info.Replayed,
+			TornTailHealed:     info.TornTail,
+			SkippedCheckpoints: info.SkippedCheckpoints,
+			Wedged:             met.Wedged,
+		}
+		if met.Wedged {
+			resp.Status = "wedged"
+			code = http.StatusServiceUnavailable
+		}
+	}
 	if s.draining.Load() {
 		resp.Status = "draining"
 		code = http.StatusServiceUnavailable
@@ -396,5 +472,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprintf(w, "pcserved_sat_checks_total %d\n", ss.Checks)
 	fmt.Fprintf(w, "pcserved_sat_nodes_total %d\n", ss.Nodes)
+	if s.dur != nil {
+		wm := s.dur.Metrics()
+		fmt.Fprintf(w, "wal_appends_total %d\n", wm.Appends)
+		fmt.Fprintf(w, "wal_flushes_total %d\n", wm.Flushes)
+		fmt.Fprintf(w, "wal_fsyncs_total %d\n", wm.Fsyncs)
+		fmt.Fprintf(w, "wal_rotations_total %d\n", wm.Rotations)
+		fmt.Fprintf(w, "wal_bytes_written_total %d\n", wm.BytesWritten)
+		fmt.Fprintf(w, "wal_checkpoints_total %d\n", wm.Checkpoints)
+		fmt.Fprintf(w, "wal_checkpoint_failures_total %d\n", wm.CheckpointFailures)
+		fmt.Fprintf(w, "wal_durable_epoch %d\n", wm.DurableEpoch)
+		fmt.Fprintf(w, "wal_segment_start_epoch %d\n", wm.SegmentStart)
+		fmt.Fprintf(w, "wal_last_checkpoint_epoch %d\n", wm.LastCheckpointEpoch)
+		fmt.Fprintf(w, "wal_replayed_records_total %d\n", wm.Replayed)
+		wedged := 0
+		if wm.Wedged {
+			wedged = 1
+		}
+		fmt.Fprintf(w, "wal_wedged %d\n", wedged)
+	}
 	s.met.writeTo(w)
 }

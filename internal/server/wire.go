@@ -192,9 +192,33 @@ type StoreResponse struct {
 
 // HealthResponse is the body of GET /healthz.
 type HealthResponse struct {
-	Status      string `json:"status"` // "ok" or "draining"
-	Epoch       uint64 `json:"epoch"`
-	Constraints int    `json:"constraints"`
+	Status      string          `json:"status"` // "ok", "recovering", "wedged" or "draining"
+	Epoch       uint64          `json:"epoch"`
+	Constraints int             `json:"constraints"`
+	Durability  *DurabilityJSON `json:"durability,omitempty"`
+}
+
+// DurabilityJSON reports WAL and recovery state on /healthz when the server
+// runs with a data directory.
+type DurabilityJSON struct {
+	// Mode is the ack contract: "always" (fsync before ack) or "none".
+	Mode string `json:"mode"`
+	// DurableEpoch is the highest epoch durable per the mode.
+	DurableEpoch uint64 `json:"durable_epoch"`
+	// CheckpointEpoch is the checkpoint this process recovered from.
+	CheckpointEpoch uint64 `json:"checkpoint_epoch"`
+	// RecoveredEpoch is the epoch reached after replaying the log tail.
+	RecoveredEpoch uint64 `json:"recovered_epoch"`
+	// ReplayedRecords counts log records replayed on top of the checkpoint.
+	ReplayedRecords int `json:"replayed_records"`
+	// TornTailHealed reports that recovery found (and truncated away) a
+	// partial final record — the expected residue of a crash mid-append.
+	TornTailHealed bool `json:"torn_tail_healed,omitempty"`
+	// SkippedCheckpoints counts corrupt checkpoints recovery fell past.
+	SkippedCheckpoints int `json:"skipped_checkpoints,omitempty"`
+	// Wedged means a write or fsync failed: mutations are disabled until
+	// restart, reads still serve.
+	Wedged bool `json:"wedged,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

@@ -1,0 +1,193 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pcbound/internal/core"
+	"pcbound/internal/domain"
+)
+
+// Checkpoints are full snapshots of the store at one epoch, written so log
+// segments below that epoch can be deleted. A checkpoint file is the
+// checkpoint magic plus a single frame holding checkpointJSON. It is written
+// to a temporary name, synced, then renamed into place — readers never see a
+// partially written checkpoint under its final name (a torn or bit-flipped
+// one still fails the frame CRC, and recovery falls back to the previous
+// checkpoint while earlier segments survive until the new one is durable).
+//
+// File naming inside the data directory:
+//
+//	wal-<start>.log    log segment holding records with epochs > start
+//	ckpt-<epoch>.ckpt  checkpoint of the store at exactly <epoch>
+//	ckpt-<epoch>.tmp   checkpoint being written (ignored, cleaned at open)
+//
+// Numbers are zero-padded to fixed width so lexical directory order is
+// numeric order.
+
+// checkpointJSON is the frame payload of a checkpoint file.
+type checkpointJSON struct {
+	Epoch  uint64        `json:"epoch"`
+	NextID uint64        `json:"next_id"`
+	IDs    []uint64      `json:"ids"`
+	Spec   core.SpecJSON `json:"spec"`
+}
+
+const numWidth = 20 // enough for any uint64
+
+func segmentName(start uint64) string {
+	return fmt.Sprintf("wal-%0*d.log", numWidth, start)
+}
+
+func checkpointName(epoch uint64) string {
+	return fmt.Sprintf("ckpt-%0*d.ckpt", numWidth, epoch)
+}
+
+func checkpointTmpName(epoch uint64) string {
+	return fmt.Sprintf("ckpt-%0*d.tmp", numWidth, epoch)
+}
+
+// parseName classifies a data-directory entry. kind is "segment", "ckpt",
+// "tmp", or "" for unrelated files.
+func parseName(name string) (kind string, num uint64) {
+	var prefix, suffix string
+	switch {
+	case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+		kind, prefix, suffix = "segment", "wal-", ".log"
+	case strings.HasPrefix(name, "ckpt-") && strings.HasSuffix(name, ".ckpt"):
+		kind, prefix, suffix = "ckpt", "ckpt-", ".ckpt"
+	case strings.HasPrefix(name, "ckpt-") && strings.HasSuffix(name, ".tmp"):
+		kind, prefix, suffix = "tmp", "ckpt-", ".tmp"
+	default:
+		return "", 0
+	}
+	digits := name[len(prefix) : len(name)-len(suffix)]
+	n, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return "", 0
+	}
+	return kind, n
+}
+
+// dirListing is the parsed, numerically sorted contents of a data directory.
+type dirListing struct {
+	segments    []uint64 // segment start epochs, ascending
+	checkpoints []uint64 // checkpoint epochs, ascending
+	tmps        []uint64 // leftover checkpoint temporaries
+}
+
+func listDir(fsys FS, dir string) (dirListing, error) {
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return dirListing{}, fmt.Errorf("wal: listing %s: %w", dir, err)
+	}
+	var l dirListing
+	for _, name := range names {
+		switch kind, n := parseName(name); kind {
+		case "segment":
+			l.segments = append(l.segments, n)
+		case "ckpt":
+			l.checkpoints = append(l.checkpoints, n)
+		case "tmp":
+			l.tmps = append(l.tmps, n)
+		}
+	}
+	sort.Slice(l.segments, func(i, j int) bool { return l.segments[i] < l.segments[j] })
+	sort.Slice(l.checkpoints, func(i, j int) bool { return l.checkpoints[i] < l.checkpoints[j] })
+	return l, nil
+}
+
+// writeCheckpoint persists a snapshot as checkpoint <epoch> via the
+// tmp+sync+rename+syncdir dance. The caller deletes superseded files.
+func writeCheckpoint(fsys FS, dir string, sn *core.Snapshot) error {
+	ids := sn.IDs()
+	cj := checkpointJSON{
+		Epoch:  sn.Epoch(),
+		NextID: uint64(sn.NextID()),
+		IDs:    make([]uint64, len(ids)),
+		Spec:   sn.Spec(),
+	}
+	for i, id := range ids {
+		cj.IDs[i] = uint64(id)
+	}
+	payload, err := json.Marshal(cj)
+	if err != nil {
+		return fmt.Errorf("wal: encoding checkpoint %d: %w", cj.Epoch, err)
+	}
+	buf := append([]byte(checkpointMagic), appendFrame(nil, payload)...)
+
+	tmp := dir + "/" + checkpointTmpName(cj.Epoch)
+	final := dir + "/" + checkpointName(cj.Epoch)
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: creating checkpoint: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: writing checkpoint %d: %w", cj.Epoch, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: syncing checkpoint %d: %w", cj.Epoch, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: closing checkpoint %d: %w", cj.Epoch, err)
+	}
+	if err := fsys.Rename(tmp, final); err != nil {
+		return fmt.Errorf("wal: publishing checkpoint %d: %w", cj.Epoch, err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("wal: syncing dir after checkpoint %d: %w", cj.Epoch, err)
+	}
+	return nil
+}
+
+// readCheckpoint loads and validates checkpoint <epoch>, rebuilding the
+// store state it froze. Any framing, checksum, or semantic failure is an
+// error — the caller falls back to an older checkpoint.
+func readCheckpoint(fsys FS, dir string, epoch uint64) (*core.Store, *domain.Schema, error) {
+	data, err := fsys.ReadFile(dir + "/" + checkpointName(epoch))
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: reading checkpoint %d: %w", epoch, err)
+	}
+	res, err := scanFile(data, checkpointMagic)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: checkpoint %d: %w", epoch, err)
+	}
+	if res.torn || len(res.payloads) != 1 {
+		return nil, nil, fmt.Errorf("wal: checkpoint %d: torn or malformed (%d frames)", epoch, len(res.payloads))
+	}
+	var cj checkpointJSON
+	if err := json.Unmarshal(res.payloads[0], &cj); err != nil {
+		return nil, nil, fmt.Errorf("wal: parsing checkpoint %d: %w", epoch, err)
+	}
+	if cj.Epoch != epoch {
+		return nil, nil, fmt.Errorf("wal: checkpoint file %d records epoch %d", epoch, cj.Epoch)
+	}
+	if len(cj.IDs) != len(cj.Spec.Constraints) {
+		return nil, nil, fmt.Errorf("wal: checkpoint %d: %d ids for %d constraints",
+			epoch, len(cj.IDs), len(cj.Spec.Constraints))
+	}
+	schema, err := core.SchemaFromJSON(cj.Spec.Schema)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: checkpoint %d: %w", epoch, err)
+	}
+	pcs := make([]core.PC, len(cj.Spec.Constraints))
+	ids := make([]core.PCID, len(cj.IDs))
+	for i, pj := range cj.Spec.Constraints {
+		pc, err := core.PCFromJSON(schema, pj)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: checkpoint %d constraint %d: %w", epoch, i, err)
+		}
+		pcs[i] = pc
+		ids[i] = core.PCID(cj.IDs[i])
+	}
+	store, err := core.RestoreStore(schema, pcs, ids, cj.Epoch, core.PCID(cj.NextID))
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: checkpoint %d: %w", epoch, err)
+	}
+	return store, schema, nil
+}

@@ -1,0 +1,283 @@
+package wal
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"pcbound/internal/core"
+	"pcbound/internal/domain"
+	"pcbound/internal/predicate"
+)
+
+// TestCrashPointDifferential is the acceptance differential for the
+// durability layer: one deterministic mutation workload (including periodic
+// checkpoints) is run to completion once to count filesystem operations,
+// then re-run with a machine crash injected at EVERY mutating-op boundary —
+// cycling torn-tail lengths so interrupted writes and fsyncs leave partial
+// frames on disk. After each crash, recovery from the durable image must
+// produce a store that is bit-identical (epoch, PCIDs, constraint floats)
+// to the never-crashed reference at the recovered epoch, must never lose an
+// acknowledged mutation, and must answer a fixed query battery with
+// bit-identical bounds.
+func TestCrashPointDifferential(t *testing.T) {
+	s := testSchema()
+	boot := buildBoot(t, s)
+	bootLive := len(boot.Snapshot().IDs())
+	script := makeScript(rand.New(rand.NewSource(20260808)), s, 30, bootLive)
+
+	// Reference trajectory: the same script on a plain store, with every
+	// mutation record captured so any epoch's state can be rebuilt.
+	refBoot := buildBoot(t, s)
+	refBootSn := refBoot.Snapshot()
+	var recs []core.MutationRecord
+	refBoot.SetCommitHook(func(rec core.MutationRecord) { recs = append(recs, rec) })
+	refIDs := append([]core.PCID(nil), refBootSn.IDs()...)
+	var err error
+	for _, op := range script {
+		if refIDs, err = applyOp(refBoot, refIDs, op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refBoot.SetCommitHook(nil)
+	finalEpoch := refBoot.Epoch()
+
+	refCache := map[uint64]*core.Store{finalEpoch: refBoot}
+	refAt := func(epoch uint64) *core.Store {
+		if st, ok := refCache[epoch]; ok {
+			return st
+		}
+		st, err := core.RestoreStore(s, refBootSn.PCs(), refBootSn.IDs(), refBootSn.Epoch(), refBootSn.NextID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range recs {
+			if rec.Epoch > epoch {
+				break
+			}
+			if err := st.ApplyRecord(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if st.Epoch() != epoch {
+			t.Fatalf("reference has no epoch %d (reached %d)", epoch, st.Epoch())
+		}
+		refCache[epoch] = st
+		return st
+	}
+
+	queries := crashBattery(s)
+	boundCache := map[uint64][]core.Range{}
+	refBoundsAt := func(epoch uint64) []core.Range {
+		if b, ok := boundCache[epoch]; ok {
+			return b
+		}
+		b := batteryBounds(t, refAt(epoch), queries)
+		boundCache[epoch] = b
+		return b
+	}
+
+	// runWorkload replays the scripted server life against fs, stopping at
+	// the first durability failure. Returns the highest acknowledged epoch.
+	runWorkload := func(fs *MemFS) (acked uint64, err error) {
+		m, err := openTestManager(t, fs, buildBoot(t, s), 7, SyncAlways)
+		if err != nil {
+			return 0, err
+		}
+		store := m.Store()
+		acked = store.Epoch()
+		ids := append([]core.PCID(nil), store.Snapshot().IDs()...)
+		for _, op := range script {
+			if ids, err = applyOp(store, ids, op); err != nil {
+				return acked, err
+			}
+			if err := m.WaitDurable(store.Epoch()); err != nil {
+				return acked, err
+			}
+			acked = store.Epoch()
+		}
+		return acked, m.Close()
+	}
+
+	// Dry run: count the workload's mutating filesystem ops.
+	dry := NewMemFS()
+	acked, err := runWorkload(dry)
+	if err != nil {
+		t.Fatalf("dry run: %v", err)
+	}
+	if acked != finalEpoch {
+		t.Fatalf("dry run acked %d, reference reached %d", acked, finalEpoch)
+	}
+	total := dry.Ops()
+	if total < 50 {
+		t.Fatalf("workload too small to be interesting: %d ops", total)
+	}
+
+	stride := 1
+	if testing.Short() {
+		stride = 9
+	}
+	torn := []int{0, 1, 13}
+	for n := 1; n <= total; n += stride {
+		fs := NewMemFS()
+		fs.CrashAt(n, torn[n%len(torn)])
+		acked, _ := runWorkload(fs) // the error is the crash itself
+
+		img := fs.DurableImage()
+		m, err := openTestManager(t, img, buildBoot(t, s), 0, SyncAlways)
+		if err != nil {
+			t.Fatalf("crash at op %d: recovery failed: %v", n, err)
+		}
+		got := m.Store()
+		epoch := got.Epoch()
+		if epoch < acked {
+			t.Fatalf("crash at op %d: recovered epoch %d lost acked mutations (acked %d)", n, epoch, acked)
+		}
+		if epoch > finalEpoch {
+			t.Fatalf("crash at op %d: recovered epoch %d past reference %d", n, epoch, finalEpoch)
+		}
+		requireSameStore(t, "crash", refAt(epoch), got)
+
+		want := refBoundsAt(epoch)
+		if gotB := batteryBounds(t, got, queries); !sameRanges(want, gotB) {
+			t.Fatalf("crash at op %d: bounds differ at epoch %d\nwant %+v\ngot  %+v", n, epoch, want, gotB)
+		}
+		if err := m.Close(); err != nil {
+			t.Fatalf("crash at op %d: closing recovered manager: %v", n, err)
+		}
+	}
+}
+
+// TestCrashDuringRecovery layers a second crash on top of the first: the
+// healing pass (truncate, temp cleanup, fresh segment) is itself
+// interrupted at every boundary, and recovery from THAT image must still
+// reach a consistent state — recovery must be idempotent.
+func TestCrashDuringRecovery(t *testing.T) {
+	s := testSchema()
+	boot := buildBoot(t, s)
+	bootLive := len(boot.Snapshot().IDs())
+	script := makeScript(rand.New(rand.NewSource(31)), s, 12, bootLive)
+
+	// Build a crashed image: a healthy mid-run state plus the debris a
+	// crash leaves behind — a torn record on the last segment and a
+	// checkpoint temporary — so healing has real work to interrupt.
+	fs := NewMemFS()
+	var err error
+	m, err := openTestManager(t, fs, buildBoot(t, s), 5, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := m.Store()
+	ids := append([]core.PCID(nil), store.Snapshot().IDs()...)
+	for _, op := range script {
+		if ids, err = applyOp(store, ids, op); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.WaitDurable(store.Epoch()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = m.Close()
+	crashed := fs.DurableImage()
+	l, err := listDir(crashed, "data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := crashed.OpenAppend("data/" + segmentName(l.segments[len(l.segments)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seg.Write([]byte{0x07, 0x00, 0x00}); err != nil { // partial frame header
+		t.Fatal(err)
+	}
+	if err := seg.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	tmp, err := crashed.Create("data/" + checkpointTmpName(999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tmp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := crashed.SyncDir("data"); err != nil {
+		t.Fatal(err)
+	}
+
+	// First recovery, interrupted at every op boundary.
+	probe := crashed.ProcessImage()
+	if _, err := openTestManager(t, probe, nil, 0, SyncAlways); err != nil {
+		t.Fatal(err)
+	}
+	healOps := probe.Ops()
+	if healOps < 2 {
+		t.Fatalf("healing performed only %d ops; the image was not dirty enough", healOps)
+	}
+
+	wantStore, _, err := Recover("data", crashed.ProcessImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= healOps; n++ {
+		img := crashed.ProcessImage()
+		img.CrashAt(n, n%7)
+		if _, err := openTestManager(t, img, nil, 0, SyncAlways); err == nil {
+			// The crash landed after all healing writes; nothing to retry.
+			continue
+		} else if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("heal crash at %d: unexpected error: %v", n, err)
+		}
+		final, err := openTestManager(t, img.DurableImage(), nil, 0, SyncAlways)
+		if err != nil {
+			t.Fatalf("heal crash at %d: second recovery failed: %v", n, err)
+		}
+		requireSameStore(t, "second recovery", wantStore, final.Store())
+		final.Close()
+	}
+}
+
+// crashBattery is the fixed query battery the differential compares bounds
+// on: every aggregate, over a touched and an untouched region.
+func crashBattery(s *domain.Schema) []core.Query {
+	regions := []*predicate.P{
+		nil,
+		predicate.NewBuilder(s).Range("utc", 4, 18).Build(),
+	}
+	var qs []core.Query
+	for _, where := range regions {
+		for _, agg := range []core.Agg{core.Count, core.Sum, core.Avg} {
+			qs = append(qs, core.Query{Agg: agg, Attr: "price", Where: where})
+		}
+	}
+	return qs
+}
+
+func batteryBounds(t *testing.T, store *core.Store, queries []core.Query) []core.Range {
+	t.Helper()
+	e := core.NewEngine(store, nil, core.Options{})
+	out := make([]core.Range, len(queries))
+	for i, q := range queries {
+		r, err := e.Bound(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = r
+	}
+	return out
+}
+
+func sameRanges(a, b []core.Range) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i].Lo) != math.Float64bits(b[i].Lo) ||
+			math.Float64bits(a[i].Hi) != math.Float64bits(b[i].Hi) ||
+			a[i].LoExact != b[i].LoExact || a[i].HiExact != b[i].HiExact ||
+			a[i].MaybeEmpty != b[i].MaybeEmpty {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,89 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// On-disk framing shared by log segments and checkpoints.
+//
+// A file is a magic header followed by frames. Each frame is:
+//
+//	u32 LE payload length | u32 LE CRC-32C of payload | payload bytes
+//
+// A frame is valid only if the full payload is present and its checksum
+// matches. Scanning stops at the first invalid frame: in the last log
+// segment that is a torn tail from a crash mid-append (expected, healed by
+// truncation); anywhere else it is corruption.
+
+const (
+	// segmentMagic opens every log segment.
+	segmentMagic = "PCWAL1\n\x00"
+	// checkpointMagic opens every checkpoint file.
+	checkpointMagic = "PCCKPT1\x00"
+
+	frameHeaderLen = 8
+	// maxFrameLen bounds a single payload so a corrupt length field cannot
+	// drive a giant allocation during recovery.
+	maxFrameLen = 64 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame appends one framed payload to buf.
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// scanResult reports one file scan. Payloads alias the scanned data.
+type scanResult struct {
+	payloads [][]byte
+	// validLen is the byte offset just past the last valid frame (including
+	// the magic header). Bytes beyond it are torn or corrupt.
+	validLen int64
+	// torn is true when trailing bytes past validLen failed to parse.
+	torn bool
+}
+
+// scanFile validates a file's magic header and walks its frames until the
+// first invalid one. It only errors when the header itself is wrong — a
+// file that never got its full magic written (crash during creation) is
+// reported as torn-at-zero rather than an error, because the caller decides
+// whether a torn file is tolerable (last segment) or fatal (anything else).
+func scanFile(data []byte, magic string) (scanResult, error) {
+	if len(data) < len(magic) {
+		// Short header: torn during file creation.
+		return scanResult{validLen: 0, torn: len(data) > 0}, nil
+	}
+	if string(data[:len(magic)]) != magic {
+		return scanResult{}, fmt.Errorf("wal: bad magic %q", data[:len(magic)])
+	}
+	res := scanResult{validLen: int64(len(magic))}
+	off := len(magic)
+	for off < len(data) {
+		if off+frameHeaderLen > len(data) {
+			res.torn = true
+			return res, nil
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n > maxFrameLen || off+frameHeaderLen+n > len(data) {
+			res.torn = true
+			return res, nil
+		}
+		payload := data[off+frameHeaderLen : off+frameHeaderLen+n]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			res.torn = true
+			return res, nil
+		}
+		res.payloads = append(res.payloads, payload)
+		off += frameHeaderLen + n
+		res.validLen = int64(off)
+	}
+	return res, nil
+}

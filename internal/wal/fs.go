@@ -1,0 +1,120 @@
+// Package wal is the durability layer under core.Store: a write-ahead log
+// of mutation records appended before any mutation is acknowledged, periodic
+// snapshot checkpoints with log truncation, and a recovery path that replays
+// the log tail onto the latest checkpoint to a bit-identical store.
+//
+// Everything talks to the filesystem and the clock through the small FS and
+// Clock interfaces below, so the fault-injection harness (MemFS) can crash
+// the "machine" at any operation boundary, tear the final record, or flip
+// bits — and the recovery tests can prove bit-identity under all of it.
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// File is the writable handle the log and checkpoint writers use. Writes go
+// to the OS cache; Sync forces them to stable storage.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the handful of filesystem operations durability needs. Paths
+// are slash-separated and interpreted relative to the implementation's root.
+//
+// The POSIX subtleties the interface preserves: creating or renaming a file
+// makes it durable only after SyncDir on its parent directory, and Sync on a
+// file persists its contents but not its directory entry.
+type FS interface {
+	// MkdirAll creates the directory (and parents) if absent.
+	MkdirAll(path string) error
+	// ReadDir lists the names of directory entries, sorted.
+	ReadDir(path string) ([]string, error)
+	// ReadFile reads a whole file.
+	ReadFile(path string) ([]byte, error)
+	// Create opens a new truncated file for writing.
+	Create(path string) (File, error)
+	// OpenAppend opens a file for appending, creating it if absent.
+	OpenAppend(path string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(path string) error
+	// Truncate shortens a file to size bytes.
+	Truncate(path string, size int64) error
+	// SyncDir fsyncs a directory, persisting entry creations/renames/removes.
+	SyncDir(path string) error
+}
+
+// Clock abstracts sleeping so tests can run the group-commit window without
+// real time passing.
+type Clock interface {
+	Sleep(d time.Duration)
+}
+
+// OSFS is the production FS over the real filesystem, rooted at a directory.
+type OSFS struct {
+	Root string
+}
+
+func (o OSFS) join(path string) string { return filepath.Join(o.Root, filepath.FromSlash(path)) }
+
+func (o OSFS) MkdirAll(path string) error { return os.MkdirAll(o.join(path), 0o755) }
+
+func (o OSFS) ReadDir(path string) ([]string, error) {
+	ents, err := os.ReadDir(o.join(path))
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (o OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(o.join(path)) }
+
+func (o OSFS) Create(path string) (File, error) {
+	return os.OpenFile(o.join(path), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (o OSFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(o.join(path), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+func (o OSFS) Rename(oldpath, newpath string) error {
+	return os.Rename(o.join(oldpath), o.join(newpath))
+}
+
+func (o OSFS) Remove(path string) error { return os.Remove(o.join(path)) }
+
+func (o OSFS) Truncate(path string, size int64) error { return os.Truncate(o.join(path), size) }
+
+func (o OSFS) SyncDir(path string) error {
+	d, err := os.Open(o.join(path))
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("wal: sync dir %s: %w", path, serr)
+	}
+	return cerr
+}
+
+// realClock is the production Clock.
+type realClock struct{}
+
+func (realClock) Sleep(d time.Duration) { time.Sleep(d) }

@@ -1,0 +1,311 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Mode selects what an acknowledged mutation survives.
+type Mode int
+
+const (
+	// SyncAlways fsyncs before acknowledging: an acked mutation survives a
+	// machine crash (power loss), subject to the group-commit window
+	// batching concurrent acks into one fsync.
+	SyncAlways Mode = iota
+	// SyncNone acknowledges after write(2) reaches the OS cache: an acked
+	// mutation survives a process kill (SIGKILL) but not a machine crash.
+	SyncNone
+)
+
+// ParseMode resolves a -fsync-mode flag value.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "none":
+		return SyncNone, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown fsync mode %q (want always or none)", s)
+	}
+}
+
+func (m Mode) String() string {
+	if m == SyncNone {
+		return "none"
+	}
+	return "always"
+}
+
+// errClosed wedges a cleanly closed log so stray appends fail loudly.
+var errClosed = errors.New("wal: log closed")
+
+// Log is the append side of one WAL: a current segment file plus
+// leader-based group commit. Mutation commit hooks stage encoded frames
+// under mu (they run under the store's lock and must not block on disk);
+// WaitDurable callers elect a flush leader that writes and fsyncs the whole
+// staged batch while later arrivals pile more on. Any write or fsync
+// failure wedges the log permanently — the in-memory store may then be
+// ahead of disk, so the serving layer must stop acknowledging mutations
+// (Err reports the wedge) until a restart re-opens from what is durable.
+type Log struct {
+	fs     FS
+	clock  Clock
+	dir    string
+	mode   Mode
+	window time.Duration // group-commit window; leader sleeps this long before flushing
+
+	mu   sync.Mutex
+	cond *sync.Cond // signaled on flush completion and wedge
+
+	staged      []byte // guarded by mu — encoded frames not yet handed to a flush
+	stagedEpoch uint64 // guarded by mu — highest epoch ever staged
+	durable     uint64 // guarded by mu — highest epoch durable per mode
+	flushing    bool   // guarded by mu — a flush leader is running
+	err         error  // guarded by mu — sticky wedge
+	f           File   // guarded by mu — current segment (leaders write via a copy taken under mu)
+	segStart    uint64 // guarded by mu — current segment's start epoch
+
+	appends   uint64 // guarded by mu
+	flushes   uint64 // guarded by mu
+	fsyncs    uint64 // guarded by mu
+	rotations uint64 // guarded by mu
+	bytes     uint64 // guarded by mu
+}
+
+// newLog opens the segment wal-<segStart>.log for appending. lastEpoch is
+// the recovered store epoch — the next record must carry lastEpoch+1.
+func newLog(fsys FS, clock Clock, dir string, mode Mode, window time.Duration, segStart, lastEpoch uint64) (*Log, error) {
+	f, err := fsys.OpenAppend(dir + "/" + segmentName(segStart))
+	if err != nil {
+		return nil, fmt.Errorf("wal: opening segment %d: %w", segStart, err)
+	}
+	l := &Log{
+		fs: fsys, clock: clock, dir: dir, mode: mode, window: window,
+		f: f, segStart: segStart, stagedEpoch: lastEpoch, durable: lastEpoch,
+	}
+	l.cond = sync.NewCond(&l.mu)
+	return l, nil
+}
+
+// createSegment creates wal-<start>.log with its magic header. In SyncAlways
+// mode the header and the directory entry are made durable before return.
+func createSegment(fsys FS, dir string, start uint64, mode Mode) (File, error) {
+	f, err := fsys.Create(dir + "/" + segmentName(start))
+	if err != nil {
+		return nil, fmt.Errorf("wal: creating segment %d: %w", start, err)
+	}
+	if _, err := f.Write([]byte(segmentMagic)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: writing segment %d header: %w", start, err)
+	}
+	if mode == SyncAlways {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: syncing segment %d header: %w", start, err)
+		}
+		if err := fsys.SyncDir(dir); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// Append stages one encoded record payload. It never touches the disk —
+// commit hooks call it under the store's mutex, and the epoch order of
+// those calls is exactly the store's commit order. Appending to a wedged
+// log is dropped: the wedge already guarantees no ack will be issued.
+func (l *Log) Append(epoch uint64, payload []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return
+	}
+	l.staged = appendFrame(l.staged, payload)
+	l.stagedEpoch = epoch
+	l.appends++
+}
+
+// WaitDurable blocks until every record up to epoch is durable per the
+// configured mode, electing this goroutine flush leader if none is running.
+// Returns the sticky wedge error if the log has failed.
+func (l *Log) WaitDurable(epoch uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.err != nil {
+			return l.err
+		}
+		if l.durable >= epoch {
+			return nil
+		}
+		if l.flushing {
+			l.cond.Wait()
+			continue
+		}
+		l.leadFlushLocked()
+	}
+}
+
+// leadFlushLocked runs one group-commit round as the elected leader. Called
+// with mu held; releases it during the window sleep and the disk write so
+// appenders keep staging and the next batch accumulates.
+func (l *Log) leadFlushLocked() {
+	l.flushing = true
+	if l.window > 0 {
+		l.mu.Unlock()
+		l.clock.Sleep(l.window)
+		l.mu.Lock()
+	}
+	buf, top, f := l.staged, l.stagedEpoch, l.f
+	l.staged = nil
+	l.mu.Unlock()
+
+	var err error
+	synced := false
+	if len(buf) > 0 {
+		if _, err = f.Write(buf); err == nil && l.mode == SyncAlways {
+			err = f.Sync()
+			synced = err == nil
+		}
+	}
+
+	l.mu.Lock()
+	l.flushing = false
+	l.flushes++
+	if synced {
+		l.fsyncs++
+	}
+	if err != nil {
+		l.err = fmt.Errorf("wal: flush to epoch %d: %w", top, err)
+	} else {
+		l.bytes += uint64(len(buf))
+		if top > l.durable {
+			l.durable = top
+		}
+	}
+	l.cond.Broadcast()
+}
+
+// Rotate drains and closes the current segment and opens a fresh one. It
+// returns the boundary epoch R: the old segment holds epochs up to R, the
+// new segment (wal-<R>.log) holds epochs > R. The checkpoint path rotates
+// FIRST, then snapshots, so the checkpoint epoch C is always >= R and
+// deleting segments with start < R never loses records beyond C.
+func (l *Log) Rotate() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.flushing {
+		l.cond.Wait()
+	}
+	if l.err != nil {
+		return 0, l.err
+	}
+	// Drain staged frames into the old segment. No leader can start (mu is
+	// held and flushing is false) and hooks only stage, so writing under mu
+	// here is race-free.
+	if len(l.staged) > 0 {
+		if _, err := l.f.Write(l.staged); err != nil {
+			return 0, l.failLocked(fmt.Errorf("wal: rotate drain: %w", err))
+		}
+		l.bytes += uint64(len(l.staged))
+		l.staged = nil
+	}
+	if l.mode == SyncAlways {
+		if err := l.f.Sync(); err != nil {
+			return 0, l.failLocked(fmt.Errorf("wal: rotate sync: %w", err))
+		}
+		l.fsyncs++
+	}
+	if err := l.f.Close(); err != nil {
+		return 0, l.failLocked(fmt.Errorf("wal: rotate close: %w", err))
+	}
+	boundary := l.stagedEpoch
+	f, err := createSegment(l.fs, l.dir, boundary, l.mode)
+	if err != nil {
+		return 0, l.failLocked(err)
+	}
+	l.f = f
+	l.segStart = boundary
+	l.durable = boundary
+	l.rotations++
+	return boundary, nil
+}
+
+// failLocked wedges the log and wakes every waiter. Returns the wedge.
+func (l *Log) failLocked(err error) error {
+	l.err = err
+	l.cond.Broadcast()
+	return err
+}
+
+// Wedge injects a sticky failure from outside the flush path (e.g. a
+// record that failed to encode). No-op if already wedged.
+func (l *Log) Wedge(err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err == nil {
+		l.err = err
+		l.cond.Broadcast()
+	}
+}
+
+// Err reports the sticky wedge, if any.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Close drains staged frames, syncs per mode, and closes the segment. The
+// log is unusable afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.flushing {
+		l.cond.Wait()
+	}
+	if l.err != nil {
+		l.f.Close()
+		return l.err
+	}
+	if len(l.staged) > 0 {
+		if _, err := l.f.Write(l.staged); err != nil {
+			l.f.Close()
+			return l.failLocked(fmt.Errorf("wal: close drain: %w", err))
+		}
+		l.bytes += uint64(len(l.staged))
+		l.staged = nil
+	}
+	if l.mode == SyncAlways {
+		if err := l.f.Sync(); err != nil {
+			l.f.Close()
+			return l.failLocked(fmt.Errorf("wal: close sync: %w", err))
+		}
+		l.fsyncs++
+	}
+	if err := l.f.Close(); err != nil {
+		return l.failLocked(fmt.Errorf("wal: close: %w", err))
+	}
+	l.err = errClosed
+	return nil
+}
+
+// logStats is a consistent snapshot of the log counters for /metrics.
+type logStats struct {
+	appends, flushes, fsyncs, rotations, bytes uint64
+	durable, segStart                          uint64
+}
+
+func (l *Log) stats() logStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return logStats{
+		appends: l.appends, flushes: l.flushes, fsyncs: l.fsyncs,
+		rotations: l.rotations, bytes: l.bytes,
+		durable: l.durable, segStart: l.segStart,
+	}
+}

@@ -1,0 +1,398 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pcbound/internal/core"
+	"pcbound/internal/domain"
+)
+
+// Options configures a Manager.
+type Options struct {
+	// Dir is the data directory (created if absent). Required.
+	Dir string
+	// FS defaults to the real filesystem (OSFS). Tests inject MemFS.
+	FS FS
+	// Clock defaults to the real clock. Drives the group-commit window.
+	Clock Clock
+	// Mode selects the ack durability contract (fsync vs OS cache).
+	Mode Mode
+	// Window is the group-commit window: how long a flush leader waits for
+	// concurrent mutations to pile on before one write+fsync covers all.
+	Window time.Duration
+	// CheckpointEvery takes a checkpoint (and truncates the log) after this
+	// many committed mutations. 0 disables automatic checkpoints.
+	CheckpointEvery int
+	// Boot is adopted as the initial store when Dir holds no prior state.
+	// It is ignored — with a warning left to the caller via Info.BootIgnored
+	// — when the directory already has a checkpoint or segments.
+	Boot *core.Store
+}
+
+// Info describes what recovery found and did.
+type Info struct {
+	// CheckpointEpoch is the checkpoint recovery started from.
+	CheckpointEpoch uint64
+	// Epoch is the recovered store epoch after replaying the tail.
+	Epoch uint64
+	// Replayed counts log records applied on top of the checkpoint.
+	Replayed int
+	// Segments counts log segments scanned.
+	Segments int
+	// TornTail reports a partial final record (or torn segment header) at
+	// the log tail — expected after a crash mid-append, healed by Open.
+	TornTail bool
+	// SkippedCheckpoints counts unreadable checkpoints passed over before
+	// one decoded cleanly.
+	SkippedCheckpoints int
+	// BootIgnored is set when Options.Boot was supplied but the directory
+	// already held state, which took precedence.
+	BootIgnored bool
+}
+
+// Metrics is a consistent snapshot of WAL counters for /metrics.
+type Metrics struct {
+	Appends, Flushes, Fsyncs, Rotations, BytesWritten uint64
+	DurableEpoch, SegmentStart                        uint64
+	Checkpoints, CheckpointFailures                   uint64
+	LastCheckpointEpoch                               uint64
+	Replayed                                          uint64
+	Wedged                                            bool
+}
+
+// errEmpty distinguishes a fresh data directory during recovery.
+var errEmpty = errors.New("wal: empty data directory")
+
+// Manager owns one data directory: it recovers the store from it, hooks the
+// store's commit stream into the log, and takes checkpoints. One Manager
+// per directory; concurrent use of its methods is safe.
+type Manager struct {
+	fsys   FS
+	dir    string
+	log    *Log
+	store  *core.Store
+	schema *domain.Schema
+	info   Info
+
+	ckptMu sync.Mutex // serializes Checkpoint end to end
+
+	mu              sync.Mutex
+	checkpointEvery int    // guarded by mu
+	mutsSince       int    // guarded by mu — commits since the last checkpoint
+	ckptCount       uint64 // guarded by mu
+	ckptFailures    uint64 // guarded by mu
+	lastCkptEpoch   uint64 // guarded by mu
+}
+
+// Open recovers the data directory (healing torn tails and leftover
+// temporaries), opens the log for appending, and attaches the commit hook
+// to the recovered store. On a fresh directory it adopts Options.Boot,
+// writing its state as checkpoint zero-point before any mutation can be
+// acknowledged.
+func Open(opts Options) (*Manager, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("wal: Options.Dir is required")
+	}
+	fsys, clock := opts.FS, opts.Clock
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	if clock == nil {
+		clock = realClock{}
+	}
+	if err := fsys.MkdirAll(opts.Dir); err != nil {
+		return nil, fmt.Errorf("wal: creating %s: %w", opts.Dir, err)
+	}
+
+	store, schema, info, segs, err := recoverDir(fsys, opts.Dir, true)
+	switch {
+	case errors.Is(err, errEmpty):
+		if opts.Boot == nil {
+			return nil, fmt.Errorf("wal: %s is empty and no boot store was supplied", opts.Dir)
+		}
+		store = opts.Boot
+		sn := store.Snapshot()
+		schema = sn.Schema()
+		info = Info{CheckpointEpoch: sn.Epoch(), Epoch: sn.Epoch()}
+		// Checkpoint before segment: recovery tolerates a checkpoint with no
+		// segments (it creates one), but not segments with no checkpoint.
+		if err := writeCheckpoint(fsys, opts.Dir, sn); err != nil {
+			return nil, err
+		}
+		segs = nil
+	case err != nil:
+		return nil, err
+	default:
+		info.BootIgnored = opts.Boot != nil
+	}
+
+	epoch := store.Epoch()
+	segStart := epoch
+	if n := len(segs); n > 0 {
+		segStart = segs[n-1]
+	} else {
+		f, err := createSegment(fsys, opts.Dir, epoch, opts.Mode)
+		if err != nil {
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, fmt.Errorf("wal: closing fresh segment: %w", err)
+		}
+	}
+
+	l, err := newLog(fsys, clock, opts.Dir, opts.Mode, opts.Window, segStart, epoch)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		fsys: fsys, dir: opts.Dir, log: l, store: store, schema: schema,
+		info: info, checkpointEvery: opts.CheckpointEvery,
+		lastCkptEpoch: info.CheckpointEpoch,
+	}
+	store.SetCommitHook(m.onCommit)
+	return m, nil
+}
+
+// Recover replays a data directory read-only — no healing, no truncation,
+// no hook — and returns the recovered store. cmd/pcwal uses it to inspect
+// or verify a log, possibly while a server is restarting on it.
+func Recover(dir string, fsys FS) (*core.Store, Info, error) {
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	store, _, info, _, err := recoverDir(fsys, dir, false)
+	if err != nil {
+		return nil, Info{}, err
+	}
+	return store, info, nil
+}
+
+// recoverDir loads the newest readable checkpoint and replays the segment
+// chain on top. With heal set it also removes checkpoint temporaries,
+// truncates a torn final segment to its last valid frame, and removes a
+// final segment whose header never fully made it to disk. Returns the
+// surviving segment start epochs in ascending order.
+func recoverDir(fsys FS, dir string, heal bool) (*core.Store, *domain.Schema, Info, []uint64, error) {
+	l, err := listDir(fsys, dir)
+	if err != nil {
+		return nil, nil, Info{}, nil, err
+	}
+	if heal {
+		for _, n := range l.tmps {
+			if err := fsys.Remove(dir + "/" + checkpointTmpName(n)); err != nil {
+				return nil, nil, Info{}, nil, fmt.Errorf("wal: removing checkpoint temp %d: %w", n, err)
+			}
+		}
+	}
+	if len(l.checkpoints) == 0 && len(l.segments) == 0 {
+		return nil, nil, Info{}, nil, errEmpty
+	}
+
+	// Newest checkpoint that decodes wins. A torn or bit-flipped one is
+	// skipped: its predecessor is still on disk together with every segment
+	// it needs, because supersession deletes happen only after the newer
+	// checkpoint is durable.
+	var (
+		store  *core.Store
+		schema *domain.Schema
+		info   Info
+	)
+	var ckptErr error
+	for i := len(l.checkpoints) - 1; i >= 0; i-- {
+		c := l.checkpoints[i]
+		store, schema, ckptErr = readCheckpoint(fsys, dir, c)
+		if ckptErr == nil {
+			info.CheckpointEpoch = c
+			break
+		}
+		info.SkippedCheckpoints++
+	}
+	if store == nil {
+		if ckptErr == nil {
+			ckptErr = errors.New("segments present but no checkpoint")
+		}
+		return nil, nil, Info{}, nil, fmt.Errorf("wal: no usable checkpoint in %s: %w", dir, ckptErr)
+	}
+
+	segs := l.segments
+	for i, start := range segs {
+		last := i == len(segs)-1
+		name := segmentName(start)
+		if start > store.Epoch() {
+			return nil, nil, Info{}, nil, fmt.Errorf(
+				"wal: segment gap: %s starts past recovered epoch %d", name, store.Epoch())
+		}
+		data, err := fsys.ReadFile(dir + "/" + name)
+		if err != nil {
+			return nil, nil, Info{}, nil, fmt.Errorf("wal: reading %s: %w", name, err)
+		}
+		res, err := scanFile(data, segmentMagic)
+		if err != nil {
+			return nil, nil, Info{}, nil, fmt.Errorf("wal: %s: %w", name, err)
+		}
+		if res.torn && !last {
+			return nil, nil, Info{}, nil, fmt.Errorf("wal: %s: torn record before the final segment", name)
+		}
+		info.Segments++
+		for _, payload := range res.payloads {
+			rec, err := decodeRecord(schema, payload)
+			if err != nil {
+				return nil, nil, Info{}, nil, fmt.Errorf("wal: %s: %w", name, err)
+			}
+			if rec.Epoch <= store.Epoch() {
+				continue // covered by the checkpoint
+			}
+			if err := store.ApplyRecord(rec); err != nil {
+				return nil, nil, Info{}, nil, fmt.Errorf("wal: %s: %w", name, err)
+			}
+			info.Replayed++
+		}
+		if res.torn {
+			info.TornTail = true
+			if heal {
+				if res.validLen < int64(len(segmentMagic)) {
+					// The header itself is partial: the segment was being
+					// created when the crash hit and holds no records.
+					if err := fsys.Remove(dir + "/" + name); err != nil {
+						return nil, nil, Info{}, nil, fmt.Errorf("wal: removing torn %s: %w", name, err)
+					}
+					segs = segs[:i]
+				} else if err := fsys.Truncate(dir+"/"+name, res.validLen); err != nil {
+					return nil, nil, Info{}, nil, fmt.Errorf("wal: healing %s: %w", name, err)
+				}
+			}
+		}
+	}
+	info.Epoch = store.Epoch()
+	return store, schema, info, segs, nil
+}
+
+// onCommit is the store commit hook: it runs under the store's mutex, so it
+// only encodes and stages — flushing happens on WaitDurable callers.
+func (m *Manager) onCommit(rec core.MutationRecord) {
+	payload, err := encodeRecord(m.schema, rec)
+	if err != nil {
+		// Unencodable records cannot happen for store-validated mutations;
+		// wedge rather than silently diverge disk from memory.
+		m.log.Wedge(err)
+		return
+	}
+	m.log.Append(rec.Epoch, payload)
+	m.mu.Lock()
+	m.mutsSince++
+	m.mu.Unlock()
+}
+
+// Store returns the recovered (live) store.
+func (m *Manager) Store() *core.Store { return m.store }
+
+// Schema returns the recovered schema.
+func (m *Manager) Schema() *domain.Schema { return m.schema }
+
+// Info returns what recovery found.
+func (m *Manager) Info() Info { return m.info }
+
+// Mode returns the configured ack durability contract.
+func (m *Manager) Mode() Mode { return m.log.mode }
+
+// Err reports the sticky log wedge, if any. While wedged the in-memory
+// store may be ahead of disk; the serving layer must refuse mutations.
+func (m *Manager) Err() error { return m.log.Err() }
+
+// WaitDurable blocks until the given epoch is durable per the configured
+// mode, then takes an automatic checkpoint if one is due. Mutation acks
+// gate on it: a mutation whose WaitDurable fails was never acknowledged.
+func (m *Manager) WaitDurable(epoch uint64) error {
+	if err := m.log.WaitDurable(epoch); err != nil {
+		return err
+	}
+	if m.checkpointDue() {
+		// The mutation is durable either way; a failed checkpoint only
+		// delays truncation and is reported via metrics.
+		_ = m.Checkpoint()
+	}
+	return nil
+}
+
+func (m *Manager) checkpointDue() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.checkpointEvery <= 0 || m.mutsSince < m.checkpointEvery {
+		return false
+	}
+	m.mutsSince = 0
+	return true
+}
+
+// Checkpoint rotates the log, snapshots the store, persists the snapshot as
+// a checkpoint, and deletes superseded segments and checkpoints. The order
+// matters: rotating first pins the boundary R, and only segments strictly
+// below R are deleted — every record past the checkpoint's epoch lives in
+// wal-<R>.log or later, so recovery always has a complete chain.
+func (m *Manager) Checkpoint() error {
+	m.ckptMu.Lock()
+	defer m.ckptMu.Unlock()
+	boundary, err := m.log.Rotate()
+	if err != nil {
+		m.noteCheckpoint(0, err)
+		return err
+	}
+	sn := m.store.Snapshot() // taken after Rotate, so sn.Epoch() >= boundary
+	if err := writeCheckpoint(m.fsys, m.dir, sn); err != nil {
+		m.noteCheckpoint(0, err)
+		return err
+	}
+	// Best-effort cleanup: a leftover file never confuses recovery, it only
+	// wastes space, so cleanup failures don't fail the checkpoint.
+	if l, err := listDir(m.fsys, m.dir); err == nil {
+		for _, s := range l.segments {
+			if s < boundary {
+				_ = m.fsys.Remove(m.dir + "/" + segmentName(s))
+			}
+		}
+		for _, c := range l.checkpoints {
+			if c < sn.Epoch() {
+				_ = m.fsys.Remove(m.dir + "/" + checkpointName(c))
+			}
+		}
+	}
+	m.noteCheckpoint(sn.Epoch(), nil)
+	return nil
+}
+
+func (m *Manager) noteCheckpoint(epoch uint64, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err != nil {
+		m.ckptFailures++
+		return
+	}
+	m.ckptCount++
+	m.lastCkptEpoch = epoch
+}
+
+// Metrics returns a consistent snapshot of the WAL counters.
+func (m *Manager) Metrics() Metrics {
+	ls := m.log.stats()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Metrics{
+		Appends: ls.appends, Flushes: ls.flushes, Fsyncs: ls.fsyncs,
+		Rotations: ls.rotations, BytesWritten: ls.bytes,
+		DurableEpoch: ls.durable, SegmentStart: ls.segStart,
+		Checkpoints: m.ckptCount, CheckpointFailures: m.ckptFailures,
+		LastCheckpointEpoch: m.lastCkptEpoch,
+		Replayed:            uint64(m.info.Replayed),
+		Wedged:              m.log.Err() != nil,
+	}
+}
+
+// Close detaches the commit hook and closes the log, draining staged
+// records first. The Manager is unusable afterwards.
+func (m *Manager) Close() error {
+	m.store.SetCommitHook(nil)
+	return m.log.Close()
+}

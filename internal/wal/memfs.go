@@ -1,0 +1,338 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MemFS is the fault-injection filesystem behind the crash tests. It models
+// the two layers a real crash distinguishes:
+//
+//   - the cached state: what the process (and the OS page cache) sees —
+//     every completed write, create, rename, remove;
+//   - the durable state: what survives power loss — file contents as of the
+//     last Sync, directory entries as of the last SyncDir.
+//
+// ProcessImage returns the cached state (what a SIGKILL leaves: the OS
+// cache survives the process). DurableImage returns the durable state (what
+// a machine crash leaves), including torn tails when the crash interrupts a
+// write or fsync mid-flight.
+//
+// Fault injection: every mutating operation increments an op counter.
+// CrashAt(n) makes op n and everything after fail with ErrCrashed — the
+// crash-point differential test sweeps n across a whole workload. SetOpHook
+// intercepts ops for targeted failures (fail the Nth fsync, error a
+// specific rename) without crashing the filesystem.
+type MemFS struct {
+	mu      sync.Mutex
+	files   map[string]*memFile // guarded by mu — cached namespace
+	durable map[string]*memFile // guarded by mu — dirent-durable namespace
+	dirs    map[string]bool     // guarded by mu
+	ops     int                 // guarded by mu — mutating ops so far
+	hook    func(Op) error      // guarded by mu
+	crashAt int                 // guarded by mu — 0 disables
+	tornLen int                 // guarded by mu — bytes of in-flight data a crashing write/sync still lands
+	crashed bool                // guarded by mu
+}
+
+// memFile's fields are protected by the owning MemFS's mu.
+type memFile struct {
+	cached []byte
+	synced []byte
+}
+
+// Op describes one mutating filesystem operation, for SetOpHook.
+type Op struct {
+	N    int // 1-based running index of mutating ops
+	Kind string
+	Path string
+}
+
+// ErrCrashed is returned by every mutating op at and after the crash point.
+var ErrCrashed = errors.New("memfs: machine crashed")
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		files:   map[string]*memFile{},
+		durable: map[string]*memFile{},
+		dirs:    map[string]bool{},
+	}
+}
+
+// CrashAt arms a crash at mutating op n (1-based): that op and every later
+// one fail with ErrCrashed. tornLen is how many bytes of the interrupted
+// write or fsync still reach their destination — the torn-tail generator.
+func (m *MemFS) CrashAt(n, tornLen int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashAt = n
+	m.tornLen = tornLen
+}
+
+// SetOpHook installs an interceptor consulted before each mutating op; a
+// non-nil return fails that op with the hook's error.
+func (m *MemFS) SetOpHook(h func(Op) error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.hook = h
+}
+
+// Ops reports how many mutating ops have run.
+func (m *MemFS) Ops() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops
+}
+
+// stepLocked gates one mutating op; the caller holds m.mu. first reports
+// whether this op is the one that tripped the crash (its in-flight data may
+// partially land, per tornLen).
+func (m *MemFS) stepLocked(kind, path string) (first bool, err error) {
+	if m.crashed {
+		return false, ErrCrashed
+	}
+	m.ops++
+	if m.crashAt > 0 && m.ops >= m.crashAt {
+		m.crashed = true
+		return true, ErrCrashed
+	}
+	if m.hook != nil {
+		if err := m.hook(Op{N: m.ops, Kind: kind, Path: path}); err != nil {
+			return false, err
+		}
+	}
+	return false, nil
+}
+
+func (m *MemFS) MkdirAll(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	m.dirs[path] = true
+	return nil
+}
+
+func (m *MemFS) ReadDir(path string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix := path + "/"
+	var names []string
+	for name := range m.files {
+		if rest, ok := strings.CutPrefix(name, prefix); ok && !strings.Contains(rest, "/") {
+			names = append(names, rest)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) ReadFile(path string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: path, Err: fs.ErrNotExist}
+	}
+	return append([]byte(nil), f.cached...), nil
+}
+
+func (m *MemFS) Create(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := m.stepLocked("create", path); err != nil {
+		return nil, err
+	}
+	f := &memFile{}
+	m.files[path] = f
+	return &memHandle{fs: m, path: path, f: f}, nil
+}
+
+func (m *MemFS) OpenAppend(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		if _, err := m.stepLocked("append-create", path); err != nil {
+			return nil, err
+		}
+		f = &memFile{}
+		m.files[path] = f
+	}
+	return &memHandle{fs: m, path: path, f: f}, nil
+}
+
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := m.stepLocked("rename", oldpath); err != nil {
+		return err
+	}
+	f, ok := m.files[oldpath]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
+	}
+	delete(m.files, oldpath)
+	m.files[newpath] = f
+	return nil
+}
+
+func (m *MemFS) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := m.stepLocked("remove", path); err != nil {
+		return err
+	}
+	if _, ok := m.files[path]; !ok {
+		return &fs.PathError{Op: "remove", Path: path, Err: fs.ErrNotExist}
+	}
+	delete(m.files, path)
+	return nil
+}
+
+func (m *MemFS) Truncate(path string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := m.stepLocked("truncate", path); err != nil {
+		return err
+	}
+	f, ok := m.files[path]
+	if !ok {
+		return &fs.PathError{Op: "truncate", Path: path, Err: fs.ErrNotExist}
+	}
+	if int64(len(f.cached)) > size {
+		f.cached = f.cached[:size]
+	}
+	return nil
+}
+
+// SyncDir commits the cached namespace of one directory to the durable
+// namespace: creations, renames, and removals in that directory survive a
+// machine crash only after this.
+func (m *MemFS) SyncDir(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := m.stepLocked("syncdir", path); err != nil {
+		return err
+	}
+	prefix := path + "/"
+	for name := range m.durable {
+		if strings.HasPrefix(name, prefix) {
+			if _, ok := m.files[name]; !ok {
+				delete(m.durable, name)
+			}
+		}
+	}
+	for name, f := range m.files {
+		if strings.HasPrefix(name, prefix) {
+			m.durable[name] = f
+		}
+	}
+	return nil
+}
+
+// Corrupt flips one bit in both the cached and durable content of a file —
+// the bit-rot injector for checkpoint/segment corruption tests.
+func (m *MemFS) Corrupt(path string, off int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		return &fs.PathError{Op: "corrupt", Path: path, Err: fs.ErrNotExist}
+	}
+	if off < 0 || off >= int64(len(f.cached)) {
+		return fmt.Errorf("memfs: corrupt %s: offset %d out of range", path, off)
+	}
+	f.cached[off] ^= 0x40
+	if off < int64(len(f.synced)) {
+		f.synced[off] ^= 0x40
+	}
+	return nil
+}
+
+// DurableImage returns a fresh MemFS holding only what survives a machine
+// crash right now: dirent-durable names with their last-synced contents.
+func (m *MemFS) DurableImage() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := NewMemFS()
+	out.mu.Lock()
+	defer out.mu.Unlock()
+	for name, f := range m.durable {
+		c := append([]byte(nil), f.synced...)
+		nf := &memFile{cached: c, synced: append([]byte(nil), c...)}
+		out.files[name] = nf
+		out.durable[name] = nf
+	}
+	for d := range m.dirs {
+		out.dirs[d] = true
+	}
+	return out
+}
+
+// ProcessImage returns a fresh MemFS holding what survives a process kill:
+// the full cached state (the OS outlives the process and will flush it).
+func (m *MemFS) ProcessImage() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := NewMemFS()
+	out.mu.Lock()
+	defer out.mu.Unlock()
+	for name, f := range m.files {
+		c := append([]byte(nil), f.cached...)
+		nf := &memFile{cached: c, synced: append([]byte(nil), c...)}
+		out.files[name] = nf
+		out.durable[name] = nf
+	}
+	for d := range m.dirs {
+		out.dirs[d] = true
+	}
+	return out
+}
+
+// memHandle is an open MemFS file. Field access goes through fs.mu.
+type memHandle struct {
+	fs   *MemFS
+	path string
+	f    *memFile
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	first, err := h.fs.stepLocked("write", h.path)
+	if err != nil {
+		if first && h.fs.tornLen > 0 {
+			k := min(h.fs.tornLen, len(p))
+			h.f.cached = append(h.f.cached, p[:k]...)
+		}
+		return 0, err
+	}
+	h.f.cached = append(h.f.cached, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	first, err := h.fs.stepLocked("sync", h.path)
+	if err != nil {
+		if first && h.fs.tornLen > 0 && len(h.f.cached) > len(h.f.synced) {
+			// The interrupted fsync persisted a prefix of the unsynced data.
+			pending := h.f.cached[len(h.f.synced):]
+			k := min(h.fs.tornLen, len(pending))
+			h.f.synced = append(h.f.synced, pending[:k]...)
+		}
+		return err
+	}
+	h.f.synced = append(h.f.synced[:0], h.f.cached...)
+	return nil
+}
+
+func (h *memHandle) Close() error { return nil }

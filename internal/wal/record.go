@@ -1,0 +1,70 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pcbound/internal/core"
+	"pcbound/internal/domain"
+)
+
+// recordJSON is the payload of one log frame: exactly one committed Store
+// mutation. IDs carry the PCIDs the primary assigned, so replay reproduces
+// id allocation bit-identically (core.ApplyRecord enforces it).
+type recordJSON struct {
+	Epoch uint64        `json:"epoch"`
+	Kind  string        `json:"kind"` // "add" | "remove" | "replace"
+	IDs   []uint64      `json:"ids"`
+	PCs   []core.PCJSON `json:"pcs,omitempty"`
+}
+
+// encodeRecord serializes a mutation record for appending to the log.
+func encodeRecord(schema *domain.Schema, rec core.MutationRecord) ([]byte, error) {
+	switch rec.Kind {
+	case core.MutAdd, core.MutRemove, core.MutReplace:
+	default:
+		return nil, fmt.Errorf("wal: unencodable mutation kind %d", rec.Kind)
+	}
+	rj := recordJSON{
+		Epoch: rec.Epoch,
+		Kind:  rec.Kind.String(),
+		IDs:   make([]uint64, len(rec.IDs)),
+	}
+	for i, id := range rec.IDs {
+		rj.IDs[i] = uint64(id)
+	}
+	for _, pc := range rec.PCs {
+		rj.PCs = append(rj.PCs, core.EncodePC(schema, pc))
+	}
+	return json.Marshal(rj)
+}
+
+// decodeRecord parses one log frame payload back into a mutation record.
+func decodeRecord(schema *domain.Schema, payload []byte) (core.MutationRecord, error) {
+	var rj recordJSON
+	if err := json.Unmarshal(payload, &rj); err != nil {
+		return core.MutationRecord{}, fmt.Errorf("wal: parsing record: %w", err)
+	}
+	rec := core.MutationRecord{Epoch: rj.Epoch, IDs: make([]core.PCID, len(rj.IDs))}
+	switch rj.Kind {
+	case "add":
+		rec.Kind = core.MutAdd
+	case "remove":
+		rec.Kind = core.MutRemove
+	case "replace":
+		rec.Kind = core.MutReplace
+	default:
+		return core.MutationRecord{}, fmt.Errorf("wal: record epoch %d: unknown kind %q", rj.Epoch, rj.Kind)
+	}
+	for i, id := range rj.IDs {
+		rec.IDs[i] = core.PCID(id)
+	}
+	for i, pj := range rj.PCs {
+		pc, err := core.PCFromJSON(schema, pj)
+		if err != nil {
+			return core.MutationRecord{}, fmt.Errorf("wal: record epoch %d constraint %d: %w", rj.Epoch, i, err)
+		}
+		rec.PCs = append(rec.PCs, pc)
+	}
+	return rec, nil
+}

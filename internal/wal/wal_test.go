@@ -1,0 +1,487 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"time"
+
+	"pcbound/internal/core"
+	"pcbound/internal/domain"
+	"pcbound/internal/predicate"
+)
+
+// Test fixtures: the same sales schema and random-constraint shape the core
+// differential tests use, so the crash tests exercise familiar stores.
+
+func testSchema() *domain.Schema {
+	return domain.NewSchema(
+		domain.Attr{Name: "utc", Kind: domain.Integral, Domain: domain.NewInterval(0, 30)},
+		domain.Attr{Name: "branch", Kind: domain.Integral, Domain: domain.NewInterval(0, 2)},
+		domain.Attr{Name: "price", Kind: domain.Continuous, Domain: domain.NewInterval(0, 1000)},
+	)
+}
+
+func testPC(rng *rand.Rand, s *domain.Schema) core.PC {
+	uLo := rng.Intn(28)
+	uHi := uLo + 1 + rng.Intn(30-uLo)
+	b := predicate.NewBuilder(s).Range("utc", float64(uLo), float64(uHi))
+	if rng.Intn(2) == 0 {
+		bLo := rng.Intn(2)
+		b = b.Range("branch", float64(bLo), float64(bLo+rng.Intn(3-bLo)))
+	}
+	vLo := rng.Float64() * 20
+	vHi := vLo + 1 + rng.Float64()*80
+	kLo := rng.Intn(4)
+	kHi := kLo + rng.Intn(12)
+	return core.MustPC(b.Build(), map[string]domain.Interval{"price": domain.NewInterval(vLo, vHi)}, kLo, kHi)
+}
+
+// buildBoot makes the deterministic boot store every test run starts from.
+func buildBoot(t *testing.T, s *domain.Schema) *core.Store {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	store := core.NewStore(s)
+	for i := 0; i < 3; i++ {
+		if _, err := store.AddPCs(testPC(rng, s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return store
+}
+
+// scriptOp is one pre-generated mutation; a script applies identically to
+// any store that starts from the same state, which is what lets the crash
+// sweep compare a crashed-and-recovered run against a never-crashed one.
+type scriptOp struct {
+	kind core.MutKind
+	pcs  []core.PC
+	pick int // index into the live-id list, modulo its length
+}
+
+func makeScript(rng *rand.Rand, s *domain.Schema, n, bootLive int) []scriptOp {
+	live := bootLive
+	ops := make([]scriptOp, 0, n)
+	for len(ops) < n {
+		switch k := rng.Intn(4); {
+		case k <= 1 || live < 3: // add 1-2
+			count := 1 + rng.Intn(2)
+			pcs := make([]core.PC, count)
+			for i := range pcs {
+				pcs[i] = testPC(rng, s)
+			}
+			ops = append(ops, scriptOp{kind: core.MutAdd, pcs: pcs})
+			live += count
+		case k == 2:
+			ops = append(ops, scriptOp{kind: core.MutRemove, pick: rng.Intn(1 << 30)})
+			live--
+		default:
+			ops = append(ops, scriptOp{kind: core.MutReplace, pick: rng.Intn(1 << 30), pcs: []core.PC{testPC(rng, s)}})
+		}
+	}
+	return ops
+}
+
+func applyOp(store *core.Store, ids []core.PCID, op scriptOp) ([]core.PCID, error) {
+	switch op.kind {
+	case core.MutAdd:
+		got, err := store.AddPCs(op.pcs...)
+		if err != nil {
+			return ids, err
+		}
+		return append(ids, got...), nil
+	case core.MutRemove:
+		i := op.pick % len(ids)
+		if err := store.Remove(ids[i]); err != nil {
+			return ids, err
+		}
+		return append(ids[:i], ids[i+1:]...), nil
+	default:
+		if err := store.Replace(ids[op.pick%len(ids)], op.pcs[0]); err != nil {
+			return ids, err
+		}
+		return ids, nil
+	}
+}
+
+// storeFingerprint renders everything recovery must reproduce bit-identically
+// — epoch, id allocator, stable ids, and the full constraint set with floats
+// at exact round-trip precision — as comparable bytes.
+func storeFingerprint(t *testing.T, store *core.Store) []byte {
+	t.Helper()
+	sn := store.Snapshot()
+	blob, err := json.Marshal(struct {
+		Epoch  uint64
+		NextID core.PCID
+		IDs    []core.PCID
+		Spec   core.SpecJSON
+	}{sn.Epoch(), sn.NextID(), sn.IDs(), sn.Spec()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+func requireSameStore(t *testing.T, label string, want, got *core.Store) {
+	t.Helper()
+	w, g := storeFingerprint(t, want), storeFingerprint(t, got)
+	if !bytes.Equal(w, g) {
+		t.Fatalf("%s: stores differ\nwant %s\ngot  %s", label, w, g)
+	}
+}
+
+// openTestManager opens a Manager over fs with the test defaults.
+func openTestManager(t *testing.T, fs *MemFS, boot *core.Store, checkpointEvery int, mode Mode) (*Manager, error) {
+	t.Helper()
+	return Open(Options{
+		Dir: "data", FS: fs, Mode: mode,
+		CheckpointEvery: checkpointEvery, Boot: boot,
+	})
+}
+
+// TestManagerRoundTrip drives mutations through a Manager, closes it, and
+// reopens the directory: the recovered store must be bit-identical.
+func TestManagerRoundTrip(t *testing.T) {
+	s := testSchema()
+	fs := NewMemFS()
+	m, err := openTestManager(t, fs, buildBoot(t, s), 6, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := m.Store()
+	ids := append([]core.PCID(nil), store.Snapshot().IDs()...)
+	rng := rand.New(rand.NewSource(1))
+	for _, op := range makeScript(rng, s, 25, len(ids)) {
+		if ids, err = applyOp(store, ids, op); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.WaitDurable(store.Epoch()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	met := m.Metrics()
+	if met.Appends == 0 || met.Fsyncs == 0 || met.Checkpoints == 0 {
+		t.Fatalf("expected activity in metrics, got %+v", met)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := openTestManager(t, fs, nil, 0, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	requireSameStore(t, "reopen", store, m2.Store())
+	if info := m2.Info(); info.Epoch != store.Epoch() {
+		t.Fatalf("info epoch %d, store epoch %d", info.Epoch, store.Epoch())
+	}
+}
+
+// TestBootIgnoredWhenDirHasState pins the precedence rule: on-disk state
+// wins over the -spec boot store, and Info says so.
+func TestBootIgnoredWhenDirHasState(t *testing.T) {
+	s := testSchema()
+	fs := NewMemFS()
+	m, err := openTestManager(t, fs, buildBoot(t, s), 0, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := m.Store()
+	ids := append([]core.PCID(nil), store.Snapshot().IDs()...)
+	rng := rand.New(rand.NewSource(2))
+	for _, op := range makeScript(rng, s, 5, len(ids)) {
+		if ids, err = applyOp(store, ids, op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.WaitDurable(store.Epoch()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	other := core.NewStore(s) // different, would-be boot store
+	m2, err := openTestManager(t, fs, other, 0, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if !m2.Info().BootIgnored {
+		t.Fatal("expected BootIgnored")
+	}
+	if m2.Store() == other {
+		t.Fatal("boot store adopted over on-disk state")
+	}
+	requireSameStore(t, "disk precedence", store, m2.Store())
+}
+
+// TestFsyncFailureWedges injects an fsync error mid-run: the failing
+// mutation's WaitDurable must error, the wedge must be sticky, and recovery
+// from the durable image must land on a consistent prefix.
+func TestFsyncFailureWedges(t *testing.T) {
+	s := testSchema()
+	fs := NewMemFS()
+	m, err := openTestManager(t, fs, buildBoot(t, s), 0, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := m.Store()
+	ids := append([]core.PCID(nil), store.Snapshot().IDs()...)
+	rng := rand.New(rand.NewSource(3))
+	script := makeScript(rng, s, 10, len(ids))
+	for _, op := range script[:5] {
+		if ids, err = applyOp(store, ids, op); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.WaitDurable(store.Epoch()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	acked := store.Epoch()
+
+	injected := errInjected()
+	fs.SetOpHook(func(op Op) error {
+		if op.Kind == "sync" {
+			return injected
+		}
+		return nil
+	})
+	if ids, err = applyOp(store, ids, script[5]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WaitDurable(store.Epoch()); err == nil {
+		t.Fatal("WaitDurable succeeded past an fsync failure")
+	}
+	if m.Err() == nil {
+		t.Fatal("wedge not sticky")
+	}
+	fs.SetOpHook(nil)
+	if err := m.WaitDurable(store.Epoch()); err == nil {
+		t.Fatal("wedge cleared itself")
+	}
+	if !m.Metrics().Wedged {
+		t.Fatal("metrics do not report the wedge")
+	}
+
+	m2, err := openTestManager(t, fs.DurableImage(), nil, 0, SyncAlways)
+	if err != nil {
+		t.Fatalf("recovery after wedge: %v", err)
+	}
+	defer m2.Close()
+	if got := m2.Store().Epoch(); got != acked {
+		t.Fatalf("recovered epoch %d, want last acked %d", got, acked)
+	}
+}
+
+func errInjected() error { return &injectedErr{} }
+
+type injectedErr struct{}
+
+func (*injectedErr) Error() string { return "injected fault" }
+
+// TestCheckpointFallback corrupts the newest checkpoint while its
+// predecessor and the full segment chain are still on disk (cleanup was
+// made to fail): recovery must skip the bad checkpoint and still reach the
+// exact head state.
+func TestCheckpointFallback(t *testing.T) {
+	s := testSchema()
+	fs := NewMemFS()
+	m, err := openTestManager(t, fs, buildBoot(t, s), 0, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := m.Store()
+	ids := append([]core.PCID(nil), store.Snapshot().IDs()...)
+	rng := rand.New(rand.NewSource(4))
+	for _, op := range makeScript(rng, s, 12, len(ids)) {
+		if ids, err = applyOp(store, ids, op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.WaitDurable(store.Epoch()); err != nil {
+		t.Fatal(err)
+	}
+	// Fail every Remove so the superseded checkpoint and segments survive.
+	fs.SetOpHook(func(op Op) error {
+		if op.Kind == "remove" {
+			return errInjected()
+		}
+		return nil
+	})
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetOpHook(nil)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := listDir(fs, "data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.checkpoints) < 2 {
+		t.Fatalf("want >= 2 checkpoints on disk, got %v", l.checkpoints)
+	}
+	newest := l.checkpoints[len(l.checkpoints)-1]
+	if err := fs.Corrupt("data/"+checkpointName(newest), int64(len(checkpointMagic))+20); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := openTestManager(t, fs, nil, 0, SyncAlways)
+	if err != nil {
+		t.Fatalf("recovery with corrupt newest checkpoint: %v", err)
+	}
+	defer m2.Close()
+	if m2.Info().SkippedCheckpoints != 1 {
+		t.Fatalf("skipped %d checkpoints, want 1", m2.Info().SkippedCheckpoints)
+	}
+	requireSameStore(t, "fallback", store, m2.Store())
+}
+
+// TestCorruptOnlyCheckpointFails pins the refusal path: when the one
+// checkpoint is corrupt and segments below it are gone, recovery must error
+// rather than serve wrong data.
+func TestCorruptOnlyCheckpointFails(t *testing.T) {
+	s := testSchema()
+	fs := NewMemFS()
+	m, err := openTestManager(t, fs, buildBoot(t, s), 0, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err := listDir(fs, "data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Corrupt("data/"+checkpointName(l.checkpoints[0]), int64(len(checkpointMagic))+4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openTestManager(t, fs, nil, 0, SyncAlways); err == nil {
+		t.Fatal("recovery accepted a corrupt sole checkpoint")
+	}
+}
+
+// TestProcessKillSyncNone pins the SyncNone contract: everything written
+// (acked) before a SIGKILL survives in the OS cache image, even though
+// nothing was fsynced.
+func TestProcessKillSyncNone(t *testing.T) {
+	s := testSchema()
+	fs := NewMemFS()
+	m, err := openTestManager(t, fs, buildBoot(t, s), 0, SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := m.Store()
+	ids := append([]core.PCID(nil), store.Snapshot().IDs()...)
+	rng := rand.New(rand.NewSource(5))
+	for _, op := range makeScript(rng, s, 15, len(ids)) {
+		if ids, err = applyOp(store, ids, op); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.WaitDurable(store.Epoch()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := m.Metrics().Fsyncs; n != 0 {
+		t.Fatalf("SyncNone ran %d fsyncs", n)
+	}
+	// No Close: the process is killed here.
+	m2, err := openTestManager(t, fs.ProcessImage(), nil, 0, SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	requireSameStore(t, "sigkill", store, m2.Store())
+}
+
+// TestReadOnlyRecover checks cmd/pcwal's path: Recover yields the same
+// store as Open but performs no healing writes.
+func TestReadOnlyRecover(t *testing.T) {
+	s := testSchema()
+	fs := NewMemFS()
+	m, err := openTestManager(t, fs, buildBoot(t, s), 5, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := m.Store()
+	ids := append([]core.PCID(nil), store.Snapshot().IDs()...)
+	rng := rand.New(rand.NewSource(6))
+	for _, op := range makeScript(rng, s, 20, len(ids)) {
+		if ids, err = applyOp(store, ids, op); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.WaitDurable(store.Epoch()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	img := fs.ProcessImage()
+	before := img.Ops()
+	recovered, info, err := Recover("data", img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Ops() != before {
+		t.Fatalf("read-only Recover performed %d mutating ops", img.Ops()-before)
+	}
+	if info.Epoch != store.Epoch() {
+		t.Fatalf("recovered epoch %d, want %d", info.Epoch, store.Epoch())
+	}
+	requireSameStore(t, "read-only", store, recovered)
+}
+
+// TestGroupCommitConcurrent races many writers through WaitDurable under a
+// real group-commit window; the race detector patrols the leader handoff,
+// and recovery must see every acked mutation.
+func TestGroupCommitConcurrent(t *testing.T) {
+	s := testSchema()
+	fs := NewMemFS()
+	m, err := Open(Options{
+		Dir: "data", FS: fs, Mode: SyncAlways, Window: 500 * time.Microsecond,
+		Boot: buildBoot(t, s),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := m.Store()
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < 12; i++ {
+				if _, err := store.AddPCs(testPC(rng, s)); err != nil {
+					done <- err
+					return
+				}
+				if err := m.WaitDurable(store.Epoch()); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := openTestManager(t, fs.DurableImage(), nil, 0, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	requireSameStore(t, "concurrent", store, m2.Store())
+}
