@@ -3,8 +3,12 @@
 # run locally: `bash ci/serve_e2e.sh`). It builds pcserved with the race
 # detector, boots it on the sample spec, asserts the snapshot/epoch serving
 # semantics with curl, hammers it with pcload (closed-loop bound/batch/mutate
-# mix plus a bit-identity verification phase against a local engine), and
-# finishes with a graceful-shutdown drain of an in-flight batch.
+# mix plus a verification phase that checks bit-identity against a local
+# engine and summary-tier responses against the exact range), asserts
+# degrade-before-shed on a saturated single-slot instance (tier-opted reads
+# are answered from the summary tier with 200 + precision "summary"; exact
+# reads still shed with 429), and finishes with a graceful-shutdown drain of
+# an in-flight batch.
 #
 # Any non-2xx response (other than pcload-accounted 429 backpressure), any
 # mismatched range, or a dropped in-flight request fails the script.
@@ -27,10 +31,12 @@ go build -o "$BIN/pcload" ./cmd/pcload
 go build -o "$BIN/pcrange" ./cmd/pcrange
 
 cleanup() {
-  if [[ -n "${SERVER_PID:-}" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
-    kill "$SERVER_PID" 2>/dev/null || true
-    wait "$SERVER_PID" 2>/dev/null || true
-  fi
+  for pid in "${SERVER_PID:-}" "${SAT_PID:-}"; do
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+      kill "$pid" 2>/dev/null || true
+      wait "$pid" 2>/dev/null || true
+    fi
+  done
 }
 trap cleanup EXIT
 
@@ -87,6 +93,9 @@ post /v1/store/remove "{\"id\":$ID}" >/dev/null
 echo "== pcload gauntlet (verify phase + concurrent bound/batch/mutate)"
 "$BIN/pcload" -addr "$BASE" -quick
 
+echo "== pcload gauntlet (skewed, tier-opted: auto precision under a width budget)"
+"$BIN/pcload" -addr "$BASE" -quick -verify 0 -skew 1.2 -precision auto -max-width 250
+
 echo "== error surface"
 CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"query":{"agg":"MEDIAN"}}' "$BASE/v1/bound")
 [[ "$CODE" == 400 ]] || { echo "bad aggregate returned $CODE, want 400" >&2; exit 1; }
@@ -98,6 +107,59 @@ METRICS=$(curl -fsS "$BASE/metrics")
 for metric in pcserved_store_epoch pcserved_cache_hits_total 'pcserved_requests_total{endpoint="bound",code="200"}' 'pcserved_request_seconds{endpoint="batch",quantile="0.99"}'; do
   grep -qF "$metric" <<<"$METRICS" || { echo "metrics missing $metric" >&2; exit 1; }
 done
+
+echo "== degrade-before-shed: saturation answers tier-opted reads from the summary tier"
+# A second instance with a single admission slot, occupied by a long batch in
+# the background, makes saturation deterministic: while the batch holds the
+# slot, a width-budgeted bound must come back 200 + precision "summary" (no
+# solver work, sound outer interval) and an exact-only bound must 429.
+SAT_ADDR="127.0.0.1:$(( ${PCSERVED_PORT:-18091} + 1 ))"
+SAT_BASE="http://$SAT_ADDR"
+SAT_LOG=pcserved-e2e-sat.log
+GORACE="halt_on_error=1" "$BIN/pcserved" -addr "$SAT_ADDR" -spec "$SPEC" -max-inflight 1 >"$SAT_LOG" 2>&1 &
+SAT_PID=$!
+for _ in $(seq 100); do
+  curl -fsS "$SAT_BASE/healthz" >/dev/null 2>&1 && break
+  kill -0 "$SAT_PID" 2>/dev/null || { echo "saturation pcserved died at boot:"; cat "$SAT_LOG"; exit 1; }
+  sleep 0.1
+done
+
+# The slot-holding batch races the probes (a warm cache can finish it in
+# milliseconds), so the probe pair retries with a fresh batch until one
+# attempt observes true saturation. pcserved_tier_degraded_total is the
+# ground truth that the summary answer came from the degrade path, not from
+# a normally admitted auto-tier request.
+# Every query gets its own price window so neither the decomposition cache
+# nor the cell-bound cache can collapse the batch to microseconds — the
+# slot stays held long enough for both probes.
+SAT_BATCH=$(jq -nc '{queries: [range(1500) | {agg: "SUM", attr: "price", where: {price: [(. * 0.1), (. * 0.1 + 53.7)], utc: [(. % 12), ((. % 12) + 6)]}}], parallelism: 1}')
+SAT_OK=""
+for attempt in $(seq 10); do
+  curl -fsS -X POST -d "$SAT_BATCH" "$SAT_BASE/v1/batch" >/dev/null &
+  SAT_CURL=$!
+  sleep 0.1
+
+  DEGRADED=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d '{"query":{"agg":"SUM","attr":"price","where":{"utc":[6,14]}},"max_width":1e15}' "$SAT_BASE/v1/bound")
+  jq -e '.precision == "summary" and (.range.lo <= .range.hi)' <<<"$DEGRADED" >/dev/null \
+    || { echo "tier-opted bound on the single-slot server answered: $DEGRADED" >&2; exit 1; }
+  CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+    -d '{"query":{"agg":"SUM","attr":"price","where":{"utc":[6,14]}}}' "$SAT_BASE/v1/bound")
+
+  wait "$SAT_CURL" || { echo "saturation batch failed" >&2; cat "$SAT_LOG"; exit 1; }
+  DEG_COUNT=$(curl -fsS "$SAT_BASE/metrics" | awk '$1 == "pcserved_tier_degraded_total" { print $2 }')
+  if [[ "$CODE" == 429 && "${DEG_COUNT:-0}" -ge 1 ]]; then
+    SAT_OK=1
+    break
+  fi
+  echo "   attempt $attempt: batch drained before the probes (exact probe $CODE, degraded_total ${DEG_COUNT:-0}); retrying"
+done
+[[ -n "$SAT_OK" ]] || { echo "never observed saturation in 10 attempts" >&2; exit 1; }
+echo "   degraded summary answer served under saturation; exact-only sheds 429 (degraded_total=$DEG_COUNT)"
+kill -TERM "$SAT_PID"
+wait "$SAT_PID" || { echo "saturation pcserved exited non-zero:" >&2; cat "$SAT_LOG"; exit 1; }
+SAT_PID=""
+rm -f "$SAT_LOG"
 
 echo "== graceful shutdown drains an in-flight batch"
 BATCH=$(jq -nc '{queries: [range(200) | {agg: "SUM", attr: "price", where: {utc: [(. % 12), ((. % 12) + 6)]}}], parallelism: 1}')

@@ -38,21 +38,76 @@ type BenchReport struct {
 	Results    []BenchResult `json:"results"`
 }
 
-// runBenchSuite runs the named suite and returns an exit code. When
-// jsonPath is non-empty the report is also written there.
-func runBenchSuite(suite, jsonPath string) int {
-	if suite != "intraquery" {
-		fmt.Fprintf(os.Stderr, "pcbench: unknown bench suite %q (available: intraquery)\n", suite)
+// suiteOrder fixes the order suites run in under "all"; suiteRunners maps
+// each name to its implementation. A runner benches under whatever
+// GOMAXPROCS is current, so -sweep can rerun it per parallelism level.
+var suiteOrder = []string{"intraquery", "tiered"}
+
+var suiteRunners = map[string]func() (*BenchReport, error){
+	"intraquery": runIntraQuerySuite,
+	"tiered":     runTieredSuite,
+}
+
+// sweepLevels returns the GOMAXPROCS ladder {1, 2, 4, NumCPU} (deduplicated,
+// ascending). On a small host the ladder still exercises >NumCPU levels:
+// GOMAXPROCS above the core count is legal and shows the scheduler's
+// oversubscription behavior rather than being skipped.
+func sweepLevels() []int {
+	levels := []int{1, 2, 4}
+	n := runtime.NumCPU()
+	switch {
+	case n > 4:
+		levels = append(levels, n)
+	case n == 3:
+		levels = []int{1, 2, 3, 4}
+	}
+	return levels
+}
+
+// runBenchSuite runs the named suite (or all of them), optionally swept
+// across GOMAXPROCS levels, and returns an exit code. When jsonPath is
+// non-empty the merged report is also written there.
+func runBenchSuite(suite, jsonPath string, sweep bool) int {
+	var names []string
+	if suite == "all" {
+		names = suiteOrder
+	} else if _, ok := suiteRunners[suite]; ok {
+		names = []string{suite}
+	} else {
+		fmt.Fprintf(os.Stderr, "pcbench: unknown bench suite %q (available: intraquery, tiered, all)\n", suite)
 		return 1
 	}
-	report, err := runIntraQuerySuite()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "pcbench: %v\n", err)
-		return 1
+	levels := []int{runtime.GOMAXPROCS(0)}
+	if sweep {
+		levels = sweepLevels()
 	}
+
+	// The report's GOMAXPROCS is the widest level benched; per-level rows
+	// are distinguished by the @pN suffix a sweep appends.
+	report := &BenchReport{Suite: suite, GoVersion: runtime.Version(), GOMAXPROCS: levels[len(levels)-1]}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, p := range levels {
+		runtime.GOMAXPROCS(p)
+		for _, name := range names {
+			sub, err := suiteRunners[name]()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pcbench: %s: %v\n", name, err)
+				return 1
+			}
+			for _, r := range sub.Results {
+				if sweep {
+					r.Name = fmt.Sprintf("%s@p%d", r.Name, p)
+				}
+				report.Results = append(report.Results, r)
+			}
+		}
+	}
+	runtime.GOMAXPROCS(prev)
+
 	fmt.Printf("== bench %s (GOMAXPROCS=%d, %s)\n\n", report.Suite, report.GOMAXPROCS, report.GoVersion)
 	for _, r := range report.Results {
-		fmt.Printf("%-28s %10d iters  %14.0f ns/op  %8d allocs/op  %6.2fx vs reference\n",
+		fmt.Printf("%-32s %10d iters  %14.0f ns/op  %8d allocs/op  %8.2fx vs reference\n",
 			r.Name, r.Iters, r.NsPerOp, r.AllocsPerOp, r.SpeedupVsReference)
 	}
 	if jsonPath != "" {
@@ -143,6 +198,101 @@ func runIntraQuerySuite() (*BenchReport, error) {
 			return nil, err
 		}
 		report.Results = append(report.Results, r)
+	}
+	ref := report.Results[0].NsPerOp
+	for i := range report.Results {
+		if ns := report.Results[i].NsPerOp; ns > 0 {
+			report.Results[i].SpeedupVsReference = ref / ns
+		}
+	}
+	return report, nil
+}
+
+// runTieredSuite benchmarks the tiered-precision split on one MILP-heavy
+// query: a cold exact solve (every cache disabled, so each iteration pays
+// the full decomposition + solver cost — the reference row), a warm exact
+// solve, and the summary tier (sound outer interval, no solver work). The
+// summary row's speedup_vs_reference is the headline tiering win; before
+// benching, the suite verifies the summary interval contains the exact
+// range and that the exact path is bit-identical with and without the
+// overlay attached.
+func runTieredSuite() (*BenchReport, error) {
+	store, q := experiments.IntraQueryScenario()
+	ov := core.AttachSummary(store)
+	defer ov.Detach()
+
+	coldOpts := core.Options{
+		SequentialCells: true, DisableCellCache: true,
+		DisableDecompCache: true, DisableFastPath: true,
+	}
+	exact, err := core.NewEngine(store, nil, coldOpts).Bound(q)
+	if err != nil {
+		return nil, err
+	}
+	tiered := core.NewEngine(store, nil, core.Options{Summary: ov})
+	plain, err := core.NewEngine(store, nil, core.Options{}).Bound(q)
+	if err != nil {
+		return nil, err
+	}
+	viaTier, prec, err := tiered.BoundTiered(q, core.TierSpec{Mode: core.TierExact})
+	if err != nil {
+		return nil, err
+	}
+	if prec != core.PrecisionExact || viaTier != plain {
+		return nil, fmt.Errorf("exact path changed under the overlay: %+v (%v) != %+v", viaTier, prec, plain)
+	}
+	sum, prec, err := tiered.BoundTiered(q, core.TierSpec{Mode: core.TierForceSummary})
+	if err != nil {
+		return nil, err
+	}
+	if prec != core.PrecisionSummary {
+		return nil, fmt.Errorf("summary tier refused the scenario query")
+	}
+	if sum.Lo > exact.Lo || sum.Hi < exact.Hi {
+		return nil, fmt.Errorf("summary [%v,%v] does not contain exact [%v,%v]", sum.Lo, sum.Hi, exact.Lo, exact.Hi)
+	}
+
+	report := &BenchReport{Suite: "tiered", GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	coldEngine := core.NewEngine(store, nil, coldOpts)
+	warmEngine := core.NewEngine(store, nil, core.Options{DisableFastPath: true})
+	if _, err := warmEngine.Bound(q); err != nil { // prime the caches
+		return nil, err
+	}
+	rows := []struct {
+		name string
+		run  func() error
+	}{
+		{"tiered/exact-cold", func() error { _, err := coldEngine.Bound(q); return err }},
+		{"tiered/exact-warm", func() error { _, err := warmEngine.Bound(q); return err }},
+		{"tiered/summary", func() error {
+			r, p, err := tiered.BoundTiered(q, core.TierSpec{Mode: core.TierForceSummary})
+			if err == nil && (p != core.PrecisionSummary || r.Lo > exact.Lo || r.Hi < exact.Hi) {
+				return fmt.Errorf("summary answer regressed mid-benchmark: %+v (%v)", r, p)
+			}
+			return err
+		}},
+	}
+	for _, row := range rows {
+		var benchErr error
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := row.run(); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if benchErr != nil {
+			return nil, benchErr
+		}
+		report.Results = append(report.Results, BenchResult{
+			Name:        row.name,
+			Iters:       res.N,
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		})
 	}
 	ref := report.Results[0].NsPerOp
 	for i := range report.Results {

@@ -12,6 +12,8 @@
 //	pcbench -exp fig8 -cpuprofile cpu.out -memprofile mem.out
 //	pcbench -bench intraquery -json BENCH_PR5.json
 //	                                  # micro-benchmark suite + JSON report
+//	pcbench -bench all -sweep -json BENCH_PR8.json
+//	                                  # every suite at GOMAXPROCS 1/2/4/N
 //	pcbench -list                     # enumerate experiments
 package main
 
@@ -44,13 +46,14 @@ func run() int {
 		parallel   = flag.Int("parallel", 0, "worker goroutines for query bounding (0 or 1 = sequential, -1 = GOMAXPROCS)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
-		bench      = flag.String("bench", "", "run a micro-benchmark suite instead of an experiment (available: intraquery)")
-		jsonOut    = flag.String("json", "", "write machine-readable benchmark results (name, iters, ns/op, allocs/op, speedup vs reference) to this file; implies -bench intraquery")
+		bench      = flag.String("bench", "", "run a micro-benchmark suite instead of an experiment (available: intraquery, tiered, all)")
+		sweep      = flag.Bool("sweep", false, "rerun the -bench suite at GOMAXPROCS 1, 2, 4 and NumCPU, suffixing result names with @pN")
+		jsonOut    = flag.String("json", "", "write machine-readable benchmark results (name, iters, ns/op, allocs/op, speedup vs reference) to this file; implies -bench all")
 	)
 	flag.Parse()
 
-	if *jsonOut != "" && *bench == "" {
-		*bench = "intraquery"
+	if (*jsonOut != "" || *sweep) && *bench == "" {
+		*bench = "all"
 	}
 
 	if *list {
@@ -103,7 +106,7 @@ func run() int {
 	// so -bench runs are profilable like any experiment; the deferred
 	// flushes fire on this return.
 	if *bench != "" {
-		return runBenchSuite(*bench, *jsonOut)
+		return runBenchSuite(*bench, *jsonOut, *sweep)
 	}
 
 	par := *parallel

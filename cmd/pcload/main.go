@@ -9,7 +9,16 @@
 // fetches the store spec (GET /v1/store), rebuilds the same constraint set
 // locally with the library, and checks that snapshot-pinned HTTP reads
 // return bit-identical ranges to a direct Engine.Bound on the same
-// constraint state — the serving layer must add transport, not error.
+// constraint state — the serving layer must add transport, not error. The
+// same phase cross-checks the tiered-precision contract: forced-summary
+// reads of the same queries must return supersets of the local exact range.
+//
+// -precision/-max-width opt the load phase's queries into tiered serving;
+// the summary then reports the served precision mix (how many queries the
+// summary tier answered vs. the exact solver). -skew draws query regions
+// and mutation targets from a zipf distribution instead of uniformly, so
+// hot-spot workloads (where the same decompositions are hit repeatedly and
+// mutations chase the queries) can be generated alongside uniform ones.
 //
 // Usage:
 //
@@ -17,6 +26,7 @@
 //	pcload -addr http://127.0.0.1:8080 -quick           # 2s CI smoke
 //	pcload -duration 30s -concurrency 32 \
 //	       -mix bound=6,batch=2,mutate=2 -verify 100
+//	pcload -skew 1.2 -precision auto -max-width 500     # skewed, tier-opted
 package main
 
 import (
@@ -51,6 +61,9 @@ func main() {
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 		retries     = flag.Int("retries", 8, "attempts per request for transient failures (429/503/connection errors); 1 disables retries")
 		quick       = flag.Bool("quick", false, "CI smoke configuration: -duration 2s -concurrency 4 -verify 25")
+		skew        = flag.Float64("skew", 0, "zipf skew for query regions and mutation targets (0 = uniform; larger = hotter hot spot)")
+		precision   = flag.String("precision", "", "tier request field on bound/batch: exact, auto or summary (empty = omit)")
+		maxWidth    = flag.Float64("max-width", -1, "tier width budget on bound/batch; implies auto when -precision is empty (negative = omit)")
 	)
 	flag.Parse()
 	if *quick {
@@ -68,6 +81,19 @@ func main() {
 	}
 	if *concurrency < 1 || *batchSize < 1 {
 		fail("concurrency and batch-size must be >= 1")
+	}
+	if *skew < 0 {
+		fail("-skew must be >= 0")
+	}
+	switch *precision {
+	case "", "exact", "auto", "summary":
+	default:
+		fail("-precision must be exact, auto or summary")
+	}
+	var budget *server.Num
+	if *maxWidth >= 0 {
+		n := server.Num(*maxWidth)
+		budget = &n
 	}
 	weights, err := parseMix(*mix)
 	if err != nil {
@@ -90,10 +116,13 @@ func main() {
 		base, len(st.Constraints), st.Epoch, schema.Len())
 
 	if *verifyN > 0 {
-		if err := verifyPinned(r, base, st, schema, *verifyN, *seed); err != nil {
+		summaries, err := verifyPinned(r, base, st, schema, *verifyN, *seed)
+		if err != nil {
 			fail("verification: %v", err)
 		}
 		fmt.Printf("pcload: verified %d pinned reads bit-identical to a local engine at epoch %d\n", *verifyN, st.Epoch)
+		fmt.Printf("pcload: verified %d summary-tier responses are supersets of the local exact range (%d escalated or untiered)\n",
+			summaries, *verifyN-summaries)
 	}
 
 	stats := runLoad(r, base, schema, loadConfig{
@@ -102,6 +131,9 @@ func main() {
 		weights:     weights,
 		batchSize:   *batchSize,
 		seed:        *seed,
+		skew:        *skew,
+		precision:   *precision,
+		maxWidth:    budget,
 	})
 	stats.report(os.Stdout, *duration)
 	r.summary(os.Stdout)
@@ -207,49 +239,79 @@ func schemaOf(st *server.StoreResponse) (*domain.Schema, error) {
 }
 
 // verifyPinned rebuilds the fetched constraint state locally and checks that
-// pinned HTTP reads are bit-identical to direct engine bounds over it.
-func verifyPinned(r *retrier, base string, st *server.StoreResponse, schema *domain.Schema, n int, seed int64) error {
+// pinned HTTP reads are bit-identical to direct engine bounds over it, and
+// that forced-summary reads of the same queries are supersets of the local
+// exact range (the summary tier's soundness contract, checked end to end).
+// It returns how many queries the summary tier actually answered — the tier
+// only exists at the store frontier, so a concurrent writer moving the epoch
+// past the pinned snapshot makes the server escalate to exact; those count
+// as escalations, not failures.
+func verifyPinned(r *retrier, base string, st *server.StoreResponse, schema *domain.Schema, n int, seed int64) (int, error) {
 	raw, err := json.Marshal(core.SpecJSON{Schema: st.Schema, Constraints: st.Constraints})
 	if err != nil {
-		return err
+		return 0, err
 	}
 	local, _, err := core.DecodeSet(raw)
 	if err != nil {
-		return fmt.Errorf("rebuilding store: %w", err)
+		return 0, fmt.Errorf("rebuilding store: %w", err)
 	}
 	engine := core.NewEngine(local, nil, core.Options{})
-	rng := rand.New(rand.NewSource(seed))
+	p := newPicker(rand.New(rand.NewSource(seed)), 0) // uniform: verify covers the whole domain
+	summaries := 0
 	for i := 0; i < n; i++ {
 		// The query is drawn once per i, so the verified sequence is
 		// reproducible from -seed no matter how many 429s the retrier
 		// absorbs along the way.
-		qj := randomQuery(rng, schema)
+		qj := randomQuery(p, schema)
 		var resp server.BoundResponse
 		code, body, err := r.post(base+"/v1/bound",
 			server.BoundRequest{Query: qj, Epoch: &st.Epoch}, &resp)
 		if err != nil {
-			return err
+			return summaries, err
 		}
 		if code != http.StatusOK {
-			return fmt.Errorf("query %d (%+v): status %d (%s) — pinned epoch %d may have been evicted; rerun verification against a fresh server", i, qj, code, body, st.Epoch)
+			return summaries, fmt.Errorf("query %d (%+v): status %d (%s) — pinned epoch %d may have been evicted; rerun verification against a fresh server", i, qj, code, body, st.Epoch)
 		}
 		q, err := core.QueryFromJSON(schema, qj)
 		if err != nil {
-			return fmt.Errorf("query %d: %v", i, err)
+			return summaries, fmt.Errorf("query %d: %v", i, err)
 		}
 		want, err := engine.Bound(q)
 		if err != nil {
-			return fmt.Errorf("query %d: local bound: %v", i, err)
+			return summaries, fmt.Errorf("query %d: local bound: %v", i, err)
 		}
 		got := resp.Range.Range()
 		if math.Float64bits(got.Lo) != math.Float64bits(want.Lo) ||
 			math.Float64bits(got.Hi) != math.Float64bits(want.Hi) ||
 			got.LoExact != want.LoExact || got.HiExact != want.HiExact ||
 			got.MaybeEmpty != want.MaybeEmpty || got.Reconciled != want.Reconciled {
-			return fmt.Errorf("query %d (%+v): served range %+v != local range %+v", i, qj, got, want)
+			return summaries, fmt.Errorf("query %d (%+v): served range %+v != local range %+v", i, qj, got, want)
 		}
+
+		var sresp server.BoundResponse
+		code, body, err = r.post(base+"/v1/bound",
+			server.BoundRequest{Query: qj, Epoch: &st.Epoch, Precision: "summary"}, &sresp)
+		if err != nil {
+			return summaries, err
+		}
+		if code != http.StatusOK {
+			return summaries, fmt.Errorf("query %d (%+v): forced summary: status %d (%s)", i, qj, code, body)
+		}
+		if sresp.Precision != "summary" {
+			continue // escalated (pinned epoch behind the frontier) or pre-tiering server
+		}
+		sum := sresp.Range.Range()
+		// An empty exact range (lo > hi) is contained in anything.
+		if want.Lo <= want.Hi && (sum.Lo > want.Lo || sum.Hi < want.Hi) {
+			return summaries, fmt.Errorf("query %d (%+v): summary range [%v,%v] is not a superset of exact [%v,%v]",
+				i, qj, sum.Lo, sum.Hi, want.Lo, want.Hi)
+		}
+		if !sum.MaybeEmpty && want.MaybeEmpty {
+			return summaries, fmt.Errorf("query %d (%+v): summary claims a certainly non-empty instance set, exact disagrees", i, qj)
+		}
+		summaries++
 	}
-	return nil
+	return summaries, nil
 }
 
 type loadConfig struct {
@@ -258,6 +320,39 @@ type loadConfig struct {
 	weights     map[string]int
 	batchSize   int
 	seed        int64
+	skew        float64
+	precision   string
+	maxWidth    *server.Num
+}
+
+// skewBuckets is the resolution of the zipf hot spot: the domain of every
+// attribute is split into this many equal slices and a zipf draw picks the
+// slice a region starts in (slice 0 hottest).
+const skewBuckets = 64
+
+// picker draws query/mutation regions: uniformly, or zipf-skewed toward the
+// low end of every attribute's domain so queries and mutations concentrate
+// on the same hot spot.
+type picker struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+func newPicker(rng *rand.Rand, skew float64) *picker {
+	p := &picker{rng: rng}
+	if skew > 0 {
+		// rand.NewZipf needs s > 1; the flag's 0 = uniform, so shift by 1.
+		p.zipf = rand.NewZipf(rng, 1+skew, 1, skewBuckets-1)
+	}
+	return p
+}
+
+// start draws the fractional position (in [0,1)) where a region begins.
+func (p *picker) start() float64 {
+	if p.zipf == nil {
+		return p.rng.Float64()
+	}
+	return (float64(p.zipf.Uint64()) + p.rng.Float64()) / skewBuckets
 }
 
 // opStats aggregates one operation type's outcomes across all workers.
@@ -270,6 +365,9 @@ type opStats struct {
 
 type loadStats struct {
 	ops map[string]*opStats
+	// served counts queries by the precision tag of their response ("exact"
+	// or "summary"); empty tags (a pre-tiering server) are not counted.
+	served map[string]int
 }
 
 func (s *loadStats) hardErrors() int {
@@ -289,6 +387,10 @@ func (s *loadStats) report(w io.Writer, d time.Duration) {
 	}
 	fmt.Fprintf(w, "pcload: %d requests in %v (%.1f req/s), %d failed, %d throttled (429)\n",
 		total, d, float64(total)/d.Seconds(), failed, throttled)
+	if tagged := s.served["exact"] + s.served["summary"]; tagged > 0 {
+		fmt.Fprintf(w, "pcload: served precision mix: %d exact, %d summary (%.1f%% summary)\n",
+			s.served["exact"], s.served["summary"], 100*float64(s.served["summary"])/float64(tagged))
+	}
 	for _, name := range []string{"bound", "batch", "mutate"} {
 		op := s.ops[name]
 		lat := append([]time.Duration(nil), op.latencies...)
@@ -337,7 +439,7 @@ func runLoad(r *retrier, base string, schema *domain.Schema, cfg loadConfig) *lo
 	wg.Wait()
 	merged := &loadStats{ops: map[string]*opStats{
 		"bound": {}, "batch": {}, "mutate": {},
-	}}
+	}, served: map[string]int{}}
 	for _, r := range results {
 		for name, op := range r.ops {
 			m := merged.ops[name]
@@ -346,19 +448,22 @@ func runLoad(r *retrier, base string, schema *domain.Schema, cfg loadConfig) *lo
 			m.errors = append(m.errors, op.errors...)
 			m.latencies = append(m.latencies, op.latencies...)
 		}
+		for tag, n := range r.served {
+			merged.served[tag] += n
+		}
 	}
 	return merged
 }
 
 func loadWorker(r *retrier, base string, schema *domain.Schema, cfg loadConfig, w int, deadline time.Time) *loadStats {
-	rng := rand.New(rand.NewSource(cfg.seed + int64(w)*7919))
+	p := newPicker(rand.New(rand.NewSource(cfg.seed+int64(w)*7919)), cfg.skew)
 	stats := &loadStats{ops: map[string]*opStats{
 		"bound": {}, "batch": {}, "mutate": {},
-	}}
+	}, served: map[string]int{}}
 	wTotal := cfg.weights["bound"] + cfg.weights["batch"] + cfg.weights["mutate"]
 	var myIDs []uint64
 	for time.Now().Before(deadline) {
-		pick := rng.Intn(wTotal)
+		pick := p.rng.Intn(wTotal)
 		var name string
 		switch {
 		case pick < cfg.weights["bound"]:
@@ -370,7 +475,7 @@ func loadWorker(r *retrier, base string, schema *domain.Schema, cfg loadConfig, 
 		}
 		op := stats.ops[name]
 		start := time.Now()
-		code, errMsg := doOp(r, base, schema, rng, name, cfg.batchSize, &myIDs)
+		code, errMsg := doOp(r, base, schema, p, name, cfg, &myIDs, stats.served)
 		elapsed := time.Since(start)
 		switch {
 		case errMsg != "":
@@ -392,23 +497,35 @@ func loadWorker(r *retrier, base string, schema *domain.Schema, cfg loadConfig, 
 
 // doOp issues one operation. It returns the status code and, for hard
 // failures (transport errors, unexpected statuses, malformed bodies), a
-// non-empty error message. 429 is backpressure, not failure.
-func doOp(r *retrier, base string, schema *domain.Schema, rng *rand.Rand, name string, batchSize int, myIDs *[]uint64) (int, string) {
+// non-empty error message. 429 is backpressure, not failure. Precision tags
+// on successful query responses are tallied into served.
+func doOp(r *retrier, base string, schema *domain.Schema, p *picker, name string, cfg loadConfig, myIDs *[]uint64, served map[string]int) (int, string) {
+	rng := p.rng
 	switch name {
 	case "bound":
 		var resp server.BoundResponse
 		code, body, err := r.post(base+"/v1/bound",
-			server.BoundRequest{Query: randomQuery(rng, schema)}, &resp)
+			server.BoundRequest{Query: randomQuery(p, schema), Precision: cfg.precision, MaxWidth: cfg.maxWidth}, &resp)
+		if err == nil && code == http.StatusOK && resp.Precision != "" {
+			served[resp.Precision]++
+		}
 		return checkQueryResp(code, body, err, 1, []server.RangeJSON{resp.Range})
 	case "batch":
-		queries := make([]core.QueryJSON, batchSize)
+		queries := make([]core.QueryJSON, cfg.batchSize)
 		for i := range queries {
-			queries[i] = randomQuery(rng, schema)
+			queries[i] = randomQuery(p, schema)
 		}
 		var resp server.BatchResponse
 		code, body, err := r.post(base+"/v1/batch",
-			server.BatchRequest{Queries: queries}, &resp)
-		return checkQueryResp(code, body, err, batchSize, resp.Ranges)
+			server.BatchRequest{Queries: queries, Precision: cfg.precision, MaxWidth: cfg.maxWidth}, &resp)
+		if err == nil && code == http.StatusOK {
+			for _, tag := range resp.Precisions {
+				if tag != "" {
+					served[tag]++
+				}
+			}
+		}
+		return checkQueryResp(code, body, err, cfg.batchSize, resp.Ranges)
 	default: // mutate
 		// Alternate between growing and shrinking so the store size hovers
 		// around its boot state instead of drifting.
@@ -430,7 +547,7 @@ func doOp(r *retrier, base string, schema *domain.Schema, rng *rand.Rand, name s
 		}
 		var resp server.AddResponse
 		code, body, err := r.post(base+"/v1/store/add",
-			server.AddRequest{Constraints: []core.PCJSON{randomConstraint(rng, schema)}}, &resp)
+			server.AddRequest{Constraints: []core.PCJSON{randomConstraint(p, schema)}}, &resp)
 		if err != nil {
 			return 0, err.Error()
 		}
@@ -470,8 +587,9 @@ func checkQueryResp(code int, body []byte, err error, wantRanges int, ranges []s
 }
 
 // randomQuery draws an aggregate query: any of the five aggregates, over the
-// full domain or a random region on one or two attributes.
-func randomQuery(rng *rand.Rand, schema *domain.Schema) core.QueryJSON {
+// full domain or a region (skew-aware) on one or two attributes.
+func randomQuery(p *picker, schema *domain.Schema) core.QueryJSON {
+	rng := p.rng
 	aggs := []string{"COUNT", "SUM", "AVG", "MIN", "MAX"}
 	qj := core.QueryJSON{Agg: aggs[rng.Intn(len(aggs))]}
 	if qj.Agg != "COUNT" {
@@ -482,15 +600,16 @@ func randomQuery(rng *rand.Rand, schema *domain.Schema) core.QueryJSON {
 			qj.Where = map[string][2]float64{}
 		}
 		a := schema.Attr(i)
-		qj.Where[a.Name] = randomSubrange(rng, a)
+		qj.Where[a.Name] = randomSubrange(p, a)
 	}
 	return qj
 }
 
-// randomConstraint draws a constraint over a random region: a value window
-// on one attribute and a small frequency window. Adding it can only narrow
-// coverage gaps, so a closed store stays closed under load.
-func randomConstraint(rng *rand.Rand, schema *domain.Schema) core.PCJSON {
+// randomConstraint draws a constraint over a random (skew-aware) region: a
+// value window on one attribute and a small frequency window. Adding it can
+// only narrow coverage gaps, so a closed store stays closed under load.
+func randomConstraint(p *picker, schema *domain.Schema) core.PCJSON {
+	rng := p.rng
 	pj := core.PCJSON{
 		Name:      fmt.Sprintf("load-%d", rng.Int63()),
 		Predicate: map[string][2]float64{},
@@ -498,10 +617,10 @@ func randomConstraint(rng *rand.Rand, schema *domain.Schema) core.PCJSON {
 	}
 	for _, i := range pickAttrs(rng, schema.Len(), 1+rng.Intn(2)) {
 		a := schema.Attr(i)
-		pj.Predicate[a.Name] = randomSubrange(rng, a)
+		pj.Predicate[a.Name] = randomSubrange(p, a)
 	}
 	va := schema.Attr(rng.Intn(schema.Len()))
-	pj.Values[va.Name] = randomSubrange(rng, va)
+	pj.Values[va.Name] = randomSubrange(p, va)
 	pj.KLo = rng.Intn(3)
 	pj.KHi = pj.KLo + rng.Intn(5)
 	return pj
@@ -517,11 +636,13 @@ func pickAttrs(rng *rand.Rand, total, n int) []int {
 }
 
 // randomSubrange draws a non-empty subrange of an attribute's domain,
-// snapped to integers for integral attributes.
-func randomSubrange(rng *rand.Rand, a domain.Attr) [2]float64 {
+// snapped to integers for integral attributes. Under -skew the start
+// position is zipf-distributed, so regions pile onto the low end of the
+// domain.
+func randomSubrange(p *picker, a domain.Attr) [2]float64 {
 	span := a.Domain.Hi - a.Domain.Lo
-	lo := a.Domain.Lo + rng.Float64()*span*0.8
-	hi := lo + rng.Float64()*(a.Domain.Hi-lo)
+	lo := a.Domain.Lo + p.start()*span*0.8
+	hi := lo + p.rng.Float64()*(a.Domain.Hi-lo)
 	if a.Kind == domain.Integral {
 		lo, hi = math.Floor(lo), math.Ceil(hi)
 	}

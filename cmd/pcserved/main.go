@@ -21,7 +21,13 @@
 //
 // Reads are pinned to a store snapshot (the latest by default, an older
 // retained one via "epoch"), so concurrent mutations never perturb an
-// in-flight or pinned query. SIGINT/SIGTERM begin a graceful drain:
+// in-flight or pinned query. Reads may also opt into tiered precision:
+// "precision"/"max_width" request fields answer from a summary tier of
+// per-constraint sketches (sound outer intervals in microseconds) when the
+// loose interval fits the width budget, escalating to the exact solver
+// otherwise; at capacity, tier-opted requests degrade to summary answers
+// before any 429 is issued (-no-summary turns the tier off).
+// SIGINT/SIGTERM begin a graceful drain:
 // /healthz flips to 503, new connections stop, in-flight bounds finish.
 //
 // With -data-dir the store is crash-safe: every mutation is appended to a
@@ -67,6 +73,7 @@ func main() {
 		maxBatch    = flag.Int("max-batch", 0, "max queries per /v1/batch request (0 = default)")
 		shutdownT   = flag.Duration("shutdown-timeout", 30*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM")
 		cacheSize   = flag.Int("decomp-cache", 0, "decomposition cache regions (0 = default)")
+		noSummary   = flag.Bool("no-summary", false, "disable the tiered-precision summary overlay: precision/max_width requests always escalate to exact, saturation always sheds with 429")
 	)
 	flag.Parse()
 	if *specPath == "" && *dataDir == "" {
@@ -151,6 +158,7 @@ func main() {
 		MaxBatch:       *maxBatch,
 		Engine:         core.Options{DecompCacheSize: *cacheSize},
 		Durability:     dur,
+		DisableSummary: *noSummary,
 	})
 	gate.Activate(s.Handler())
 	log.Printf("pcserved: serving %d constraints (epoch %d) on %s", store.Len(), store.Epoch(), *addr)

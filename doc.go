@@ -39,14 +39,31 @@
 // (see BenchmarkIntraQuery and the committed BENCH_PR5.json; reproduce
 // with `go run ./cmd/pcbench -bench intraquery -json BENCH_PR5.json`).
 //
+// Above the exact solver sits a tiered-precision summary layer
+// (internal/summary, attached by core.AttachSummary): per-constraint
+// sketches — predicate boxes, clipped value hulls, frequency totals and a
+// pairwise-disjointness certificate — maintained incrementally from the
+// same mutation stream the WAL consumes, answering any of the five
+// aggregates with a sound outer interval in O(constraints·dims) without
+// touching LP/MILP. Summary intervals always contain the exact range
+// (enforced by a randomized soundness differential and per-finding ulp
+// widening of float sums), the exact path is bit-identical with or without
+// the overlay, and core.BoundTiered escalates summary→exact under a
+// caller-chosen width budget (see the tiered suite in the committed
+// BENCH_PR8.json: the summary tier answers a MILP-heavy query three
+// orders of magnitude faster than a cold exact solve).
+//
 // The stack also serves over the network: cmd/pcserved exposes bound/batch
 // queries and store mutations as an HTTP JSON API (internal/server), where
 // every read request is pinned to a store snapshot — the latest by default,
 // or, via the request's epoch field, an older retained one, answered
 // bit-identically to the original read no matter how the store has moved
 // since. Engines come from a rebind-on-demand pool sharing one solver,
-// solve-context pool, and decomposition cache across requests; overload is
-// shed with 429 backpressure rather than unbounded queueing; and shutdown
+// solve-context pool, and decomposition cache across requests; reads may
+// opt into tiered precision ("precision"/"max_width" request fields, every
+// response tagged with the tier that answered); overload degrades
+// tier-opted requests to summary answers before anything is shed with 429
+// backpressure rather than unbounded queueing; and shutdown
 // drains in-flight bounds (core.BoundBatchCtx skips only queries that have
 // not started). cmd/pcload closed-loop-drives the API with a configurable
 // bound/batch/mutate mix, reporting throughput and tail latency, and can

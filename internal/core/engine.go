@@ -158,6 +158,13 @@ type Options struct {
 	// differential testing and benchmarking (see BenchmarkHotPath). It only
 	// takes effect for solvers the engine creates itself (pass solver=nil).
 	Reference bool
+	// Summary supplies the tiered-precision overlay (see AttachSummary):
+	// sound O(dims) interval answers maintained from the store's mutation
+	// stream, with escalation to the exact path when the loose interval
+	// exceeds a width budget. nil disables the summary tier. The overlay is
+	// a strict overlay — every exact-path entry point (Bound, BoundBatch,
+	// BoundTiered with TierExact, …) is bit-identical with or without it.
+	Summary *SummaryOverlay
 }
 
 // DefaultDecompCacheSize is the decomposition-cache capacity used when

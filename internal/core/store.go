@@ -64,6 +64,10 @@ type Store struct {
 	nextID PCID       // guarded by mu
 	snap   *Snapshot  // guarded by mu; cached snapshot of the current state (nil until asked)
 	hook   CommitHook // guarded by mu; fired after every committed mutation
+	// hooks are additional commit observers (AddCommitHook), fired after the
+	// primary hook in registration order. Removed hooks leave a nil slot so
+	// registration order — and therefore firing order — is stable.
+	hooks []CommitHook // guarded by mu
 
 	// log records, per epoch, the predicate boxes touched by that mutation;
 	// it covers epochs (logFloor, epoch]. Bounded: once trimmed, scoped cache
@@ -172,6 +176,31 @@ func (s *Store) SetCommitHook(h CommitHook) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.hook = h
+}
+
+// AddCommitHook registers an additional commit observer alongside the
+// primary hook (SetCommitHook, owned by the WAL). Observers fire after the
+// primary hook, in registration order, under the same CommitHook contract:
+// synchronously under the store's write lock, with a private deep copy of
+// the record. The returned function unregisters the observer; it is safe to
+// call more than once.
+func (s *Store) AddCommitHook(h CommitHook) (remove func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addCommitHookLocked(h)
+}
+
+// addCommitHookLocked is AddCommitHook for callers already holding mu, so a
+// observer can snapshot the store's current state and start observing with
+// no mutation slipping between the two.
+func (s *Store) addCommitHookLocked(h CommitHook) (remove func()) {
+	i := len(s.hooks)
+	s.hooks = append(s.hooks, h)
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.hooks[i] = nil
+	}
 }
 
 // NewStore creates an empty constraint store over the schema.
@@ -329,14 +358,23 @@ func (s *Store) applyAddLocked(pcs []PC, ids []PCID) {
 // The payload is deep-copied so the hook may keep it without aliasing either
 // the caller's or the store's state.
 func (s *Store) fireHookLocked(kind MutKind, ids []PCID, pcs []PC) {
-	if s.hook == nil {
-		return
+	record := func() MutationRecord {
+		rec := MutationRecord{Epoch: s.epoch, Kind: kind, IDs: append([]PCID(nil), ids...)}
+		if len(pcs) > 0 {
+			rec.PCs = clonePCs(pcs)
+		}
+		return rec
 	}
-	rec := MutationRecord{Epoch: s.epoch, Kind: kind, IDs: append([]PCID(nil), ids...)}
-	if len(pcs) > 0 {
-		rec.PCs = clonePCs(pcs)
+	if s.hook != nil {
+		s.hook(record())
 	}
-	s.hook(rec)
+	for _, h := range s.hooks {
+		if h != nil {
+			// Each observer gets its own copy: the record's slices are the
+			// hook's to keep, so they cannot be shared between hooks.
+			h(record())
+		}
+	}
 }
 
 // MustAdd is Add that panics on error.

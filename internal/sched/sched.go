@@ -214,7 +214,14 @@ type Group struct {
 
 // NewGroup creates an empty task group.
 func (s *Scheduler) NewGroup() *Group {
-	return &Group{s: s, done: make(chan struct{})}
+	g := &Group{s: s, done: make(chan struct{})}
+	// The submission-phase hold: workers race the submitting goroutine, so
+	// without it a fast worker could drain the first task to remaining==0 —
+	// closing done — while the caller is still submitting, and the next
+	// completion would close done a second time. Wait releases it once
+	// submission is over.
+	g.remaining.Store(1)
+	return g
 }
 
 // Submit adds one task. cost orders dispatch: across all groups on the
@@ -293,6 +300,11 @@ func (g *Group) Wait(ws *Workspace) {
 		}
 		s.depth.Add(-1)
 		t.g.runTask(t, ws, true)
+	}
+	// Release the submission-phase hold (see NewGroup). If every task has
+	// already finished, the group is complete and the close falls to us.
+	if g.remaining.Add(-1) == 0 {
+		close(g.done)
 	}
 	<-g.done
 	g.mu.Lock()

@@ -198,3 +198,27 @@ func TestPanicPropagation(t *testing.T) {
 		t.Fatal("scheduler dead after a task panic")
 	}
 }
+
+// TestSubmitRacesCompletion: workers drain tasks concurrently with the
+// submitting goroutine, so the group's first tasks can complete before the
+// later Submits happen. The group must not treat that transient
+// all-done-so-far state as completion (it used to close its done channel
+// then, and the next completion closed it again — "close of closed
+// channel"). Tiny tasks, many rounds, and an oversubscribed worker pool
+// make the interleaving likely; yield amplifies it further.
+func TestSubmitRacesCompletion(t *testing.T) {
+	s := New(8)
+	defer s.Close()
+	for round := 0; round < 200; round++ {
+		g := s.NewGroup()
+		var ran atomic.Int64
+		for i := 0; i < 20; i++ {
+			g.Submit(1, func(ws *Workspace) { ran.Add(1) })
+			runtime.Gosched() // let a worker finish this task before the next Submit
+		}
+		g.Wait(nil)
+		if got := ran.Load(); got != 20 {
+			t.Fatalf("round %d: %d tasks ran, want 20", round, got)
+		}
+	}
+}

@@ -41,6 +41,10 @@ type Config struct {
 	// manager's fsync mode. A wedged log (failed write or fsync) turns all
 	// further mutations into 503s while reads keep serving.
 	Durability *wal.Manager
+	// DisableSummary turns off the tiered-precision overlay: requests with
+	// precision/max_width fields always escalate to the exact path, and the
+	// degrade-before-shed mode is unavailable (saturation always 429s).
+	DisableSummary bool
 }
 
 // maxBodyBytes bounds request bodies; a constraint batch some orders of
@@ -72,6 +76,10 @@ type Server struct {
 	maxBatch int
 	draining atomic.Bool
 	mux      *http.ServeMux
+	// tier is the summary overlay every pooled engine shares (nil when
+	// Config.DisableSummary); tmet counts tier outcomes for /metrics.
+	tier *core.SummaryOverlay
+	tmet tierMetrics
 }
 
 // New builds a server over the store. The solver seeds the pool's engine
@@ -89,6 +97,13 @@ func New(store *core.Store, solver *sat.Solver, cfg Config) *Server {
 	if maxBatch <= 0 {
 		maxBatch = 4096
 	}
+	// The summary overlay rides Options.Summary into every engine the pool
+	// creates, so tiered answers and escalations share one tier per store.
+	var tier *core.SummaryOverlay
+	if !cfg.DisableSummary {
+		tier = core.AttachSummary(store)
+		cfg.Engine.Summary = tier
+	}
 	s := &Server{
 		store:    store,
 		pool:     newEnginePool(store, solver, cfg.Engine, cfg.RetainEpochs),
@@ -98,10 +113,14 @@ func New(store *core.Store, solver *sat.Solver, cfg Config) *Server {
 		dur:      cfg.Durability,
 		maxPar:   maxPar,
 		maxBatch: maxBatch,
+		tier:     tier,
 	}
 	mux := http.NewServeMux()
-	mux.Handle("POST /v1/bound", s.instrument("bound", s.limited(s.handleBound)))
-	mux.Handle("POST /v1/batch", s.instrument("batch", s.handleBatch)) // self-admits by fan-out weight
+	// Both query endpoints self-admit after parsing: admission must see the
+	// request's tier opt-in to degrade over-capacity load to summary
+	// answers instead of shedding it (see handleBound).
+	mux.Handle("POST /v1/bound", s.instrument("bound", s.handleBound))
+	mux.Handle("POST /v1/batch", s.instrument("batch", s.handleBatch))
 	mux.Handle("POST /v1/store/add", s.instrument("store_add", s.handleAdd))
 	mux.Handle("POST /v1/store/remove", s.instrument("store_remove", s.handleRemove))
 	mux.Handle("POST /v1/store/replace", s.instrument("store_replace", s.handleReplace))
@@ -167,6 +186,11 @@ func (s *Server) handleBound(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	spec, err := tierSpecOf(req.Precision, req.MaxWidth)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	q, err := core.QueryFromJSON(s.store.Schema(), req.Query)
 	if err != nil {
 		// Echo the query back: 400s must be actionable from the client's
@@ -178,12 +202,40 @@ func (s *Server) handleBound(w http.ResponseWriter, r *http.Request) {
 	if e == nil {
 		return
 	}
-	rng, err := e.BoundCtx(r.Context(), q)
+	granted, ok := s.lim.tryAcquire(1)
+	if !ok {
+		// Degrade before shed: a tier-opted request at capacity is answered
+		// from the summary tier — sound, tagged, and solver-free, so it
+		// costs none of the capacity the limiter is protecting. 429 is the
+		// last resort for exact-only requests (or when no summary exists,
+		// e.g. a pinned epoch).
+		if spec.Mode != core.TierExact {
+			if rng, ok := e.BoundSummary(q); ok {
+				s.tmet.degraded.Add(1)
+				s.tmet.summaryServed.Add(1)
+				writeJSON(w, http.StatusOK, BoundResponse{
+					Range:     RangeToJSON(rng),
+					Epoch:     e.Snapshot().Epoch(),
+					Precision: core.PrecisionSummary.String(),
+				})
+				return
+			}
+		}
+		s.rejectOverCapacity(w)
+		return
+	}
+	defer s.lim.release(granted)
+	rng, prec, err := e.BoundTieredCtx(r.Context(), q, spec)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, BoundResponse{Range: RangeToJSON(rng), Epoch: e.Snapshot().Epoch()})
+	s.tmet.observe(spec, prec, rng)
+	writeJSON(w, http.StatusOK, BoundResponse{
+		Range:     RangeToJSON(rng),
+		Epoch:     e.Snapshot().Epoch(),
+		Precision: prec.String(),
+	})
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -205,6 +257,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("parallelism must be >= -1, got %d", req.Parallelism))
 		return
 	}
+	spec, err := tierSpecOf(req.Precision, req.MaxWidth)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	queries := make([]core.Query, len(req.Queries))
 	for i, qj := range req.Queries {
 		q, err := core.QueryFromJSON(s.store.Schema(), qj)
@@ -224,24 +281,42 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if par > len(req.Queries) {
 		par = len(req.Queries)
 	}
+	e := s.engineFor(w, req.Epoch)
+	if e == nil {
+		return
+	}
 	// Admission is weighted by the batch's actual worker fan-out, so the
 	// limiter bounds concurrent solver work rather than request count — a
 	// flood of wide batches sheds load instead of multiplying threads.
 	granted, ok := s.lim.tryAcquire(par)
 	if !ok {
+		// Degrade before shed, batch form: a tier-opted batch at capacity
+		// is served if the summary tier can answer every query (a partial
+		// batch would silently mix budget-respecting and degraded entries
+		// with no way to retry just the degraded half).
+		if spec.Mode != core.TierExact {
+			if out, ok := s.summaryBatch(e, queries); ok {
+				s.tmet.degraded.Add(1)
+				s.tmet.summaryServed.Add(int64(len(queries)))
+				precisions := make([]string, len(queries))
+				for i := range precisions {
+					precisions[i] = core.PrecisionSummary.String()
+				}
+				writeJSON(w, http.StatusOK, BatchResponse{
+					Ranges: out, Epoch: e.Snapshot().Epoch(), Precisions: precisions,
+				})
+				return
+			}
+		}
 		s.rejectOverCapacity(w)
 		return
 	}
 	defer s.lim.release(granted)
-	e := s.engineFor(w, req.Epoch)
-	if e == nil {
-		return
-	}
 	// The request context cancels when the client disconnects: queries not
 	// yet started are skipped (there is nobody to read their ranges), while
 	// in-flight bounds complete — that, plus http.Server.Shutdown waiting on
 	// active handlers, is what makes shutdown drain instead of drop.
-	ranges, err := e.BoundBatchCtx(r.Context(), queries, core.BatchOptions{Parallelism: par})
+	ranges, precs, err := e.BoundBatchTieredCtx(r.Context(), queries, spec, core.BatchOptions{Parallelism: par})
 	if err != nil {
 		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
 			return // client went away; nothing to report
@@ -250,10 +325,29 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := make([]RangeJSON, len(ranges))
+	precisions := make([]string, len(ranges))
 	for i, rng := range ranges {
 		out[i] = RangeToJSON(rng)
+		precisions[i] = precs[i].String()
+		s.tmet.observe(spec, precs[i], rng)
 	}
-	writeJSON(w, http.StatusOK, BatchResponse{Ranges: out, Epoch: e.Snapshot().Epoch()})
+	writeJSON(w, http.StatusOK, BatchResponse{
+		Ranges: out, Epoch: e.Snapshot().Epoch(), Precisions: precisions,
+	})
+}
+
+// summaryBatch answers every query from the summary tier, or reports it
+// cannot (ok=false leaves admission control to shed the batch).
+func (s *Server) summaryBatch(e *core.Engine, queries []core.Query) ([]RangeJSON, bool) {
+	out := make([]RangeJSON, len(queries))
+	for i, q := range queries {
+		rng, ok := e.BoundSummary(q)
+		if !ok {
+			return nil, false
+		}
+		out[i] = RangeToJSON(rng)
+	}
+	return out, true
 }
 
 // mutationAllowed rejects mutations up front while the WAL is wedged: once
@@ -472,6 +566,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprintf(w, "pcserved_sat_checks_total %d\n", ss.Checks)
 	fmt.Fprintf(w, "pcserved_sat_nodes_total %d\n", ss.Nodes)
+	fmt.Fprintf(w, "pcserved_tier_summary_served_total %d\n", s.tmet.summaryServed.Load())
+	fmt.Fprintf(w, "pcserved_tier_exact_served_total %d\n", s.tmet.exactServed.Load())
+	fmt.Fprintf(w, "pcserved_tier_escalated_total %d\n", s.tmet.escalated.Load())
+	fmt.Fprintf(w, "pcserved_tier_escalated_cells_total %d\n", s.tmet.escalatedCells.Load())
+	fmt.Fprintf(w, "pcserved_tier_degraded_total %d\n", s.tmet.degraded.Load())
+	if s.tier != nil {
+		ts := s.tier.Stats()
+		disjoint := 0
+		if ts.Disjoint {
+			disjoint = 1
+		}
+		fmt.Fprintf(w, "pcserved_tier_summary_entries %d\n", ts.Entries)
+		fmt.Fprintf(w, "pcserved_tier_summary_epoch %d\n", ts.Epoch)
+		fmt.Fprintf(w, "pcserved_tier_summary_mutations_total %d\n", ts.Mutations)
+		fmt.Fprintf(w, "pcserved_tier_summary_overlap_pairs %d\n", ts.OverlapPairs)
+		fmt.Fprintf(w, "pcserved_tier_summary_disjoint %d\n", disjoint)
+		fmt.Fprintf(w, "pcserved_tier_summary_evals_total %d\n", ts.Evals)
+		fmt.Fprintf(w, "pcserved_tier_summary_sketch_evals_total %d\n", ts.SketchEvals)
+	}
 	if s.dur != nil {
 		wm := s.dur.Metrics()
 		fmt.Fprintf(w, "wal_appends_total %d\n", wm.Appends)

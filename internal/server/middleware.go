@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"pcbound/internal/core"
 )
 
 // limiter is the admission controller: a weighted counting semaphore over
@@ -232,19 +234,35 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
 	})
 }
 
-// limited wraps a single-query handler with weight-1 admission control;
-// /v1/batch acquires its own fan-out-weighted admission after parsing the
-// request (see handleBatch). Saturated servers reject with 429 +
-// Retry-After instead of queueing unboundedly.
-func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		granted, ok := s.lim.tryAcquire(1)
-		if !ok {
-			s.rejectOverCapacity(w)
-			return
-		}
-		defer s.lim.release(granted)
-		h(w, r)
+// tierMetrics counts tiered-precision serving outcomes at query
+// granularity (a batch moves the counters once per query).
+type tierMetrics struct {
+	// summaryServed counts queries answered from the summary tier,
+	// including degraded ones.
+	summaryServed atomic.Int64
+	// exactServed counts queries answered from the exact path.
+	exactServed atomic.Int64
+	// escalated counts tier-opted queries whose summary interval missed
+	// the width budget (or had no summary answer) and fell through to the
+	// exact path; escalatedCells accumulates the decomposition cells those
+	// escalations solved.
+	escalated      atomic.Int64
+	escalatedCells atomic.Int64
+	// degraded counts requests answered from the summary tier because
+	// admission control was at capacity (degrade-before-shed activations).
+	degraded atomic.Int64
+}
+
+// observe records one admitted query's outcome under the requested spec.
+func (t *tierMetrics) observe(spec core.TierSpec, prec core.Precision, rng core.Range) {
+	if prec == core.PrecisionSummary {
+		t.summaryServed.Add(1)
+		return
+	}
+	t.exactServed.Add(1)
+	if spec.Mode != core.TierExact {
+		t.escalated.Add(1)
+		t.escalatedCells.Add(int64(rng.Cells))
 	}
 }
 

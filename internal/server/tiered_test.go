@@ -1,0 +1,261 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pcbound/internal/core"
+)
+
+func numPtr(v float64) *Num {
+	n := Num(v)
+	return &n
+}
+
+// TestBoundTieredTagging: precision/max_width select the tier, responses
+// tag the tier that answered, summary answers contain the exact range, and
+// requests without tier fields keep getting bit-identical exact answers
+// tagged "exact".
+func TestBoundTieredTagging(t *testing.T) {
+	store := testStore(t)
+	ts := newTestServer(t, store, Config{})
+	ref := core.NewEngine(store, nil, core.Options{})
+	for i, qj := range testQueries() {
+		q, err := core.QueryFromJSON(store.Schema(), qj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := ref.Bound(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Default: exact, bit-identical, tagged.
+		var resp BoundResponse
+		code, raw := doJSON(t, "POST", ts.URL+"/v1/bound", BoundRequest{Query: qj}, &resp)
+		if code != http.StatusOK {
+			t.Fatalf("query %d: %d %s", i, code, raw)
+		}
+		if resp.Precision != "exact" || resp.Range.Range() != exact {
+			t.Fatalf("query %d: default response %+v not tagged exact/bit-identical to %+v", i, resp, exact)
+		}
+
+		// Forced summary: tagged, sound.
+		code, raw = doJSON(t, "POST", ts.URL+"/v1/bound",
+			BoundRequest{Query: qj, Precision: "summary"}, &resp)
+		if code != http.StatusOK {
+			t.Fatalf("query %d forced summary: %d %s", i, code, raw)
+		}
+		if resp.Precision != "summary" {
+			t.Fatalf("query %d: forced summary answered %q", i, resp.Precision)
+		}
+		sr := resp.Range.Range()
+		if sr.Lo > exact.Lo || sr.Hi < exact.Hi {
+			t.Fatalf("query %d: summary [%v,%v] does not contain exact [%v,%v]",
+				i, sr.Lo, sr.Hi, exact.Lo, exact.Hi)
+		}
+		if !sr.MaybeEmpty && exact.MaybeEmpty {
+			t.Fatalf("query %d: summary claims non-empty, exact may be empty", i)
+		}
+
+		// An infinite budget (bare max_width implies auto) fits everything
+		// finite; a zero budget escalates anything with real width.
+		code, _ = doJSON(t, "POST", ts.URL+"/v1/bound",
+			BoundRequest{Query: qj, Precision: "auto", MaxWidth: numPtr(0)}, &resp)
+		if code != http.StatusOK {
+			t.Fatalf("query %d auto/0: %d", i, code)
+		}
+		if sr.Lo <= sr.Hi && sr.Hi-sr.Lo > 0 {
+			if resp.Precision != "exact" || resp.Range.Range() != exact {
+				t.Fatalf("query %d: zero budget served %q range %+v, want exact %+v",
+					i, resp.Precision, resp.Range.Range(), exact)
+			}
+		}
+	}
+}
+
+// TestTierSpecValidation: malformed tier fields are 400s, not silent
+// fallbacks.
+func TestTierSpecValidation(t *testing.T) {
+	ts := newTestServer(t, testStore(t), Config{})
+	q := core.QueryJSON{Agg: "COUNT"}
+	code, raw := doJSON(t, "POST", ts.URL+"/v1/bound", BoundRequest{Query: q, Precision: "fuzzy"}, nil)
+	if code != http.StatusBadRequest || !strings.Contains(string(raw), "invalid precision") {
+		t.Fatalf("bad precision: %d %s", code, raw)
+	}
+	code, raw = doJSON(t, "POST", ts.URL+"/v1/bound",
+		BoundRequest{Query: q, MaxWidth: numPtr(-1)}, nil)
+	if code != http.StatusBadRequest || !strings.Contains(string(raw), "max_width") {
+		t.Fatalf("negative budget: %d %s", code, raw)
+	}
+	code, raw = doJSON(t, "POST", ts.URL+"/v1/batch",
+		BatchRequest{Queries: testQueries(), Precision: "fuzzy"}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad batch precision: %d %s", code, raw)
+	}
+}
+
+// TestBatchTieredPrecisions: batch responses carry a positionally aligned
+// precision per query; exact entries are bit-identical to an untiered
+// batch and summary entries contain them.
+func TestBatchTieredPrecisions(t *testing.T) {
+	store := testStore(t)
+	ts := newTestServer(t, store, Config{})
+	queries := testQueries()
+
+	var base BatchResponse
+	code, raw := doJSON(t, "POST", ts.URL+"/v1/batch", BatchRequest{Queries: queries}, &base)
+	if code != http.StatusOK {
+		t.Fatalf("plain batch: %d %s", code, raw)
+	}
+	if len(base.Precisions) != len(queries) {
+		t.Fatalf("plain batch precisions: %v", base.Precisions)
+	}
+	for i, p := range base.Precisions {
+		if p != "exact" {
+			t.Fatalf("plain batch query %d tagged %q", i, p)
+		}
+	}
+
+	var sum BatchResponse
+	code, raw = doJSON(t, "POST", ts.URL+"/v1/batch",
+		BatchRequest{Queries: queries, Precision: "summary"}, &sum)
+	if code != http.StatusOK {
+		t.Fatalf("summary batch: %d %s", code, raw)
+	}
+	for i := range queries {
+		if sum.Precisions[i] != "summary" {
+			t.Fatalf("summary batch query %d tagged %q", i, sum.Precisions[i])
+		}
+		sr, er := sum.Ranges[i].Range(), base.Ranges[i].Range()
+		if sr.Lo > er.Lo || sr.Hi < er.Hi {
+			t.Fatalf("summary batch query %d: [%v,%v] does not contain [%v,%v]",
+				i, sr.Lo, sr.Hi, er.Lo, er.Hi)
+		}
+	}
+}
+
+// TestDegradeBeforeShed is the saturation contract: with the limiter full,
+// tier-opted requests are answered from the summary tier with 200 +
+// precision "summary", while exact-only requests still get the 429 last
+// resort. Draining the limiter restores exact serving.
+func TestDegradeBeforeShed(t *testing.T) {
+	store := testStore(t)
+	srv := New(store, nil, Config{MaxInflight: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Saturate: occupy the limiter's only unit.
+	granted, ok := srv.lim.tryAcquire(1)
+	if !ok {
+		t.Fatal("fresh limiter refused")
+	}
+
+	q := core.QueryJSON{Agg: "SUM", Attr: "price"}
+	var resp BoundResponse
+	code, raw := doJSON(t, "POST", ts.URL+"/v1/bound",
+		BoundRequest{Query: q, MaxWidth: numPtr(1e9)}, &resp)
+	if code != http.StatusOK || resp.Precision != "summary" {
+		t.Fatalf("saturated tier-opted bound: %d %s (want 200 summary)", code, raw)
+	}
+	code, _ = doJSON(t, "POST", ts.URL+"/v1/bound", BoundRequest{Query: q}, nil)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("saturated exact bound: %d, want 429", code)
+	}
+
+	var bresp BatchResponse
+	code, raw = doJSON(t, "POST", ts.URL+"/v1/batch",
+		BatchRequest{Queries: testQueries(), Precision: "summary"}, &bresp)
+	if code != http.StatusOK {
+		t.Fatalf("saturated tier-opted batch: %d %s", code, raw)
+	}
+	for i, p := range bresp.Precisions {
+		if p != "summary" {
+			t.Fatalf("degraded batch query %d tagged %q", i, p)
+		}
+	}
+	code, _ = doJSON(t, "POST", ts.URL+"/v1/batch", BatchRequest{Queries: testQueries()}, nil)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("saturated exact batch: %d, want 429", code)
+	}
+
+	// A pinned read behind the frontier has no summary at that epoch: even
+	// tier-opted it must shed rather than serve a wrong-epoch answer.
+	pinned := store.Epoch()
+	mutateStore(t, store)
+	code, _ = doJSON(t, "POST", ts.URL+"/v1/bound",
+		BoundRequest{Query: q, Epoch: &pinned, Precision: "summary"}, nil)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("saturated pinned bound: %d, want 429", code)
+	}
+
+	if got := srv.tmet.degraded.Load(); got < 2 {
+		t.Fatalf("degrade activations: %d, want >= 2", got)
+	}
+
+	srv.lim.release(granted)
+	code, _ = doJSON(t, "POST", ts.URL+"/v1/bound", BoundRequest{Query: q}, &resp)
+	if code != http.StatusOK || resp.Precision != "exact" {
+		t.Fatalf("drained bound: %d %q, want 200 exact", code, resp.Precision)
+	}
+}
+
+// TestDisableSummary: with the overlay disabled, tier-opted requests
+// silently escalate to exact answers and saturation always sheds.
+func TestDisableSummary(t *testing.T) {
+	store := testStore(t)
+	srv := New(store, nil, Config{MaxInflight: 1, DisableSummary: true})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	q := core.QueryJSON{Agg: "COUNT"}
+	var resp BoundResponse
+	code, _ := doJSON(t, "POST", ts.URL+"/v1/bound", BoundRequest{Query: q, Precision: "summary"}, &resp)
+	if code != http.StatusOK || resp.Precision != "exact" {
+		t.Fatalf("tier-opted bound without overlay: %d %q, want 200 exact", code, resp.Precision)
+	}
+	granted, _ := srv.lim.tryAcquire(1)
+	defer srv.lim.release(granted)
+	code, _ = doJSON(t, "POST", ts.URL+"/v1/bound", BoundRequest{Query: q, MaxWidth: numPtr(1e9)}, nil)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("saturated bound without overlay: %d, want 429", code)
+	}
+}
+
+// TestMetricsTierSurface: the pcserved_tier_* family is exported and moves
+// with traffic.
+func TestMetricsTierSurface(t *testing.T) {
+	store := testStore(t)
+	ts := newTestServer(t, store, Config{})
+	q := core.QueryJSON{Agg: "SUM", Attr: "price"}
+	for _, req := range []BoundRequest{
+		{Query: q, Precision: "summary"},
+		{Query: q, Precision: "auto", MaxWidth: numPtr(0)},
+		{Query: q},
+	} {
+		if code, raw := doJSON(t, "POST", ts.URL+"/v1/bound", req, nil); code != http.StatusOK {
+			t.Fatalf("bound: %d %s", code, raw)
+		}
+	}
+	code, raw := doJSON(t, "GET", ts.URL+"/metrics", nil, nil)
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	body := string(raw)
+	for _, frag := range []string{
+		"pcserved_tier_summary_served_total 1",
+		"pcserved_tier_escalated_total 1",
+		"pcserved_tier_exact_served_total 2",
+		"pcserved_tier_degraded_total 0",
+		"pcserved_tier_summary_entries 4",
+		"pcserved_tier_summary_disjoint 0",
+		"pcserved_tier_summary_evals_total",
+		"pcserved_tier_escalated_cells_total",
+	} {
+		if !strings.Contains(body, frag) {
+			t.Fatalf("metrics missing %q in:\n%s", frag, body)
+		}
+	}
+}

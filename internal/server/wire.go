@@ -12,12 +12,24 @@
 // pool, and scoped decomposition cache across all requests and epochs, so a
 // mutate→rebound cycle keeps unrelated cached decompositions live.
 //
+// Tiered precision: reads may carry "precision" ("exact", "auto" or
+// "summary") and "max_width" fields. "auto" answers from the store's summary
+// tier (core.AttachSummary — sound outer intervals in microseconds, no
+// solver work) whenever the loose interval fits the width budget, and
+// escalates to the exact path otherwise; every response tags which tier
+// produced it. The exact path stays bit-identical to a server without the
+// tier.
+//
 // Production posture: admission control bounds in-flight query requests
 // (excess load is rejected with 429 + Retry-After rather than queued without
-// bound), /metrics exposes per-endpoint latency quantiles and store/cache
-// counters in Prometheus text format, /healthz flips to 503 once draining
-// begins, and shutdown drains in-flight bounds (an accepted request always
-// completes; see core.BoundBatchCtx for the cancellation granularity).
+// bound), with a degrade mode in between: tier-opted requests that would be
+// rejected at capacity are answered from the summary tier instead — sound,
+// tagged "summary", no solver work — so 429 is the last resort, not the
+// overload behavior. /metrics exposes per-endpoint latency quantiles,
+// store/cache and tier counters in Prometheus text format, /healthz flips to
+// 503 once draining begins, and shutdown drains in-flight bounds (an
+// accepted request always completes; see core.BoundBatchCtx for the
+// cancellation granularity).
 package server
 
 import (
@@ -123,30 +135,77 @@ func (rj RangeJSON) Range() core.Range {
 // BoundRequest is the body of POST /v1/bound. A nil Epoch reads the store's
 // latest snapshot; a non-nil Epoch pins the read to that retained snapshot
 // (410 Gone if the server no longer retains it).
+//
+// Precision and MaxWidth select the tiered-precision policy. Precision may
+// be "exact" (default: the full solver, bit-identical to pre-tiering
+// responses), "auto" (answer from the summary tier when its sound-but-loose
+// interval is no wider than MaxWidth, escalate to exact otherwise), or
+// "summary" (always prefer the summary tier). Setting MaxWidth alone
+// implies "auto". Tier-opted requests also opt into degrade-before-shed: at
+// capacity the server answers them from the summary tier instead of 429.
 type BoundRequest struct {
-	Query core.QueryJSON `json:"query"`
-	Epoch *uint64        `json:"epoch,omitempty"`
+	Query     core.QueryJSON `json:"query"`
+	Epoch     *uint64        `json:"epoch,omitempty"`
+	Precision string         `json:"precision,omitempty"`
+	MaxWidth  *Num           `json:"max_width,omitempty"`
 }
 
-// BoundResponse reports the range and the snapshot epoch that produced it.
+// BoundResponse reports the range, the snapshot epoch that produced it, and
+// which tier answered: "exact" or "summary" (a sound outer interval).
 type BoundResponse struct {
-	Range RangeJSON `json:"range"`
-	Epoch uint64    `json:"epoch"`
+	Range     RangeJSON `json:"range"`
+	Epoch     uint64    `json:"epoch"`
+	Precision string    `json:"precision"`
 }
 
 // BatchRequest is the body of POST /v1/batch. Parallelism limits the worker
 // fan-out for this batch: 0 uses the server default, -1 all cores; values
-// are clamped to the server's configured ceiling.
+// are clamped to the server's configured ceiling. Precision/MaxWidth apply
+// the tiered-precision policy (see BoundRequest) to every query in the
+// batch; each query escalates independently.
 type BatchRequest struct {
 	Queries     []core.QueryJSON `json:"queries"`
 	Epoch       *uint64          `json:"epoch,omitempty"`
 	Parallelism int              `json:"parallelism,omitempty"`
+	Precision   string           `json:"precision,omitempty"`
+	MaxWidth    *Num             `json:"max_width,omitempty"`
 }
 
-// BatchResponse reports one range per query, in request order.
+// BatchResponse reports one range per query, in request order. Precisions
+// is positionally aligned with Ranges and tags the tier that answered each
+// query.
 type BatchResponse struct {
-	Ranges []RangeJSON `json:"ranges"`
-	Epoch  uint64      `json:"epoch"`
+	Ranges     []RangeJSON `json:"ranges"`
+	Epoch      uint64      `json:"epoch"`
+	Precisions []string    `json:"precisions"`
+}
+
+// tierSpecOf parses a request's precision/max_width pair into the engine's
+// tiering policy. A bare max_width implies "auto"; an explicit "exact"
+// ignores the budget.
+func tierSpecOf(precision string, maxWidth *Num) (core.TierSpec, error) {
+	var spec core.TierSpec
+	switch precision {
+	case "", "exact":
+		spec.Mode = core.TierExact
+	case "auto":
+		spec.Mode = core.TierAuto
+	case "summary":
+		spec.Mode = core.TierForceSummary
+	default:
+		return spec, fmt.Errorf("invalid precision %q (want \"exact\", \"auto\" or \"summary\")", precision)
+	}
+	if maxWidth != nil {
+		w := float64(*maxWidth)
+		if math.IsNaN(w) || w < 0 {
+			return spec, fmt.Errorf("invalid max_width %v (want a width >= 0)", w)
+		}
+		spec.MaxWidth = w
+		if precision == "" {
+			spec.Mode = core.TierAuto
+		}
+	}
+	return spec, nil
 }
 
 // AddRequest is the body of POST /v1/store/add.
