@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
 # bench_guard.sh BASELINE.json CURRENT.json [TOLERANCE]
 #
-# Compares a pcbench -json report against the previous run's artifact and
-# emits a GitHub Actions ::warning for every benchmark whose ns/op regressed
-# beyond the tolerance factor (default 2.5x — generous on purpose: CI
-# runners are noisy and this guard exists to flag order-of-magnitude
-# regressions, not jitter). It never fails the job, and on the first run
-# (no baseline yet) it just says so.
+# Compares a pcbench -json report against the previous run's artifact.
+# Benchmarks in the summary-tier suite (names under the `tiered/` prefix)
+# FAIL the job when their ns/op regresses beyond the tolerance factor
+# (default 2.5x): the summary tier's whole reason to exist is answering in
+# microseconds, so an order-of-magnitude regression there is a contract
+# break, not jitter. Every other suite (the exact solver paths, whose
+# latency is dominated by SAT/MILP work and far noisier on shared runners)
+# stays warn-only: a ::warning annotation, never a red X.
+#
+# On the first run (no baseline yet) it just says so.
 set -euo pipefail
 
 baseline="${1:?usage: bench_guard.sh baseline.json current.json [tolerance]}"
@@ -28,7 +32,8 @@ trap 'rm -f "$base_txt" "$cur_txt"' EXIT
 jq -r '.results[] | "\(.name) \(.ns_per_op)"' "$baseline" | sort > "$base_txt"
 jq -r '.results[] | "\(.name) \(.ns_per_op)"' "$current" | sort > "$cur_txt"
 
-regressions=0
+warnings=0
+failures=0
 while read -r name cur_ns; do
   base_ns=$(awk -v n="$name" '$1 == n { print $2 }' "$base_txt")
   if [ -z "$base_ns" ]; then
@@ -38,11 +43,23 @@ while read -r name cur_ns; do
   ratio=$(awk -v c="$cur_ns" -v b="$base_ns" 'BEGIN { if (b > 0) printf "%.2f", c / b; else print "0" }')
   over=$(awk -v r="$ratio" -v t="$tolerance" 'BEGIN { if (r > t) print 1; else print 0 }')
   if [ "$over" = "1" ]; then
-    echo "::warning title=bench regression::$name: $cur_ns ns/op vs baseline $base_ns ns/op (${ratio}x, tolerance ${tolerance}x)"
-    regressions=$((regressions + 1))
+    case "$name" in
+      tiered/*)
+        echo "::error title=bench regression (summary tier)::$name: $cur_ns ns/op vs baseline $base_ns ns/op (${ratio}x, tolerance ${tolerance}x)"
+        failures=$((failures + 1))
+        ;;
+      *)
+        echo "::warning title=bench regression::$name: $cur_ns ns/op vs baseline $base_ns ns/op (${ratio}x, tolerance ${tolerance}x)"
+        warnings=$((warnings + 1))
+        ;;
+    esac
   else
     echo "bench_guard: $name ok (${ratio}x of baseline)"
   fi
 done < "$cur_txt"
 
-echo "bench_guard: $regressions regression(s) beyond ${tolerance}x (warnings only; job not failed)"
+echo "bench_guard: $failures summary-tier failure(s), $warnings warning(s) beyond ${tolerance}x"
+if [ "$failures" -gt 0 ]; then
+  echo "bench_guard: tiered/ suite regressed beyond ${tolerance}x — failing the job" >&2
+  exit 1
+fi

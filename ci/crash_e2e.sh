@@ -16,52 +16,35 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.." || exit 1
+# shellcheck source=ci/lib.sh
+source ci/lib.sh
 
 ADDR="127.0.0.1:${PCSERVED_PORT:-18093}"
 BASE="http://$ADDR"
 SPEC=cmd/pcserved/testdata/sample_spec.json
-BIN=./bin
 LOG=pcserved-crash.log
 DATA=$(mktemp -d)
 SERVER_PID=""
 
-command -v jq >/dev/null || { echo "crash_e2e: jq is required" >&2; exit 1; }
+e2e_require jq curl
 
-cleanup() {
-  if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
-    kill -9 "$SERVER_PID" 2>/dev/null || true
-    wait "$SERVER_PID" 2>/dev/null || true
-  fi
+cleanup_hook() {
   rm -rf "$DATA"
 }
-trap cleanup EXIT
 
 echo "== build (pcserved under -race, pcload and pcwal plain)"
-mkdir -p "$BIN"
-go build -race -o "$BIN/pcserved" ./cmd/pcserved
-go build -o "$BIN/pcload" ./cmd/pcload
-go build -o "$BIN/pcwal" ./cmd/pcwal
+e2e_build -race pcserved
+e2e_build pcload pcwal
 
 boot() {
-  GORACE="halt_on_error=1" "$BIN/pcserved" -addr "$ADDR" -spec "$SPEC" \
-    -data-dir "$DATA" -checkpoint-every 32 "$@" >>"$LOG" 2>&1 &
-  SERVER_PID=$!
-}
-
-wait_healthy() {
-  for _ in $(seq 150); do
-    if curl -fsS "$BASE/healthz" 2>/dev/null | jq -e '.status == "ok"' >/dev/null 2>&1; then
-      return 0
-    fi
-    kill -0 "$SERVER_PID" 2>/dev/null || { echo "pcserved died at boot:"; cat "$LOG"; exit 1; }
-    sleep 0.1
-  done
-  echo "pcserved never became healthy:"; cat "$LOG"; exit 1
+  spawn_pcserved "$LOG" -addr "$ADDR" -spec "$SPEC" \
+    -data-dir "$DATA" -checkpoint-every 32 "$@"
+  SERVER_PID=$SPAWNED_PID
 }
 
 echo "== phase 1: boot on a fresh data dir, verified warm-up load"
 boot
-wait_healthy
+wait_healthy "$BASE" "$SERVER_PID" "$LOG"
 curl -fsS "$BASE/healthz" | jq -e '.durability.mode == "always"' >/dev/null \
   || { echo "healthz is missing the durability block" >&2; exit 1; }
 "$BIN/pcload" -addr "$BASE" -quick -seed 7
@@ -71,8 +54,7 @@ echo "== phase 2: SIGKILL under mutate-heavy load"
   -mix bound=2,batch=1,mutate=7 -verify 0 -seed 11 >pcload-crash.log 2>&1 &
 LOAD_PID=$!
 sleep 2
-kill -9 "$SERVER_PID"
-wait "$SERVER_PID" 2>/dev/null || true
+kill_server "$SERVER_PID"
 SERVER_PID=""
 # The load generator's fate is not the assertion here — its retries are
 # pointed at a server that stays down — but it must not hang.
@@ -92,7 +74,7 @@ echo "   offline recovery reached epoch $KILL_EPOCH"
 
 echo "== phase 4: restart on the crashed dir; served state must equal the offline dump byte-for-byte"
 boot
-wait_healthy
+wait_healthy "$BASE" "$SERVER_PID" "$LOG"
 grep -q "recovered epoch $KILL_EPOCH" "$LOG" \
   || { echo "server log does not show recovery to epoch $KILL_EPOCH:" >&2; tail "$LOG" >&2; exit 1; }
 curl -fsS "$BASE/v1/store" >post-crash.json
@@ -106,8 +88,7 @@ echo "== phase 5: recovered server serves bit-identical bounds under verified lo
 echo "== phase 6: graceful SIGTERM drain loses nothing"
 curl -fsS "$BASE/v1/store" >pre-drain.json
 DRAIN_EPOCH=$(jq -r .epoch pre-drain.json)
-kill "$SERVER_PID"
-wait "$SERVER_PID" 2>/dev/null || true
+stop_server "$SERVER_PID" || { echo "pcserved exited non-zero on drain:" >&2; tail "$LOG" >&2; exit 1; }
 SERVER_PID=""
 grep -q "drained cleanly" "$LOG" || { echo "no clean drain in log:" >&2; tail "$LOG" >&2; exit 1; }
 "$BIN/pcwal" verify -epoch "$DRAIN_EPOCH" "$DATA"
@@ -117,14 +98,13 @@ cmp pre-drain.json offline-drain.json \
 
 echo "== phase 7: one more boot to prove the parting checkpoint replays instantly"
 boot
-wait_healthy
+wait_healthy "$BASE" "$SERVER_PID" "$LOG"
 curl -fsS "$BASE/healthz" | jq -e '.durability.replayed_records == 0' >/dev/null \
   || { echo "replay after a clean drain should be zero records (parting checkpoint)" >&2; exit 1; }
 curl -fsS "$BASE/v1/store" >post-drain.json
 cmp pre-drain.json post-drain.json \
   || { echo "state changed across a clean drain + reboot" >&2; exit 1; }
-kill "$SERVER_PID"
-wait "$SERVER_PID" 2>/dev/null || true
+stop_server "$SERVER_PID" || true
 SERVER_PID=""
 
 rm -f offline-dump.json post-crash.json pre-drain.json offline-drain.json post-drain.json pcload-crash.log

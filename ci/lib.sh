@@ -1,0 +1,99 @@
+# shellcheck shell=bash
+# ci/lib.sh — shared scaffolding for the e2e gauntlets (serve, crash, repl).
+# Source it from a script that has already cd'ed to the repo root:
+#
+#   source ci/lib.sh
+#
+# It provides binary builds into ./bin, pcserved spawn/await/stop helpers,
+# and an EXIT trap that SIGKILLs every server the script spawned — a failing
+# assertion can never leak a stray pcserved holding a port for the next run.
+# A script that needs extra teardown (temp dirs, scratch files) defines
+# cleanup_hook(); it runs before the kill sweep.
+
+BIN=./bin
+E2E_PIDS=()
+
+# e2e_require TOOL... — fail fast when a host tool the gauntlet needs is
+# missing, with the script's own name in the message.
+e2e_require() {
+  local tool
+  for tool in "$@"; do
+    command -v "$tool" >/dev/null || { echo "${0##*/}: $tool is required" >&2; exit 1; }
+  done
+}
+
+# e2e_build [-race] CMD... — build ./cmd/CMD into $BIN/CMD.
+e2e_build() {
+  local flags=()
+  if [[ "${1:-}" == "-race" ]]; then
+    flags+=(-race)
+    shift
+  fi
+  mkdir -p "$BIN"
+  local cmd
+  for cmd in "$@"; do
+    go build "${flags[@]}" -o "$BIN/$cmd" "./cmd/$cmd"
+  done
+}
+
+# spawn_pcserved LOG ARGS... — start $BIN/pcserved in the background with the
+# race detector halting on its first report, appending output to LOG. Sets
+# SPAWNED_PID and registers it for the EXIT kill sweep.
+spawn_pcserved() {
+  local log="$1"
+  shift
+  GORACE="halt_on_error=1" "$BIN/pcserved" "$@" >>"$log" 2>&1 &
+  SPAWNED_PID=$!
+  E2E_PIDS+=("$SPAWNED_PID")
+}
+
+# wait_healthy BASE PID LOG — poll BASE/healthz until .status == "ok" (15s),
+# failing fast with the server log if the process dies first.
+wait_healthy() {
+  local base="$1" pid="$2" log="$3"
+  local _i
+  for _i in $(seq 150); do
+    if curl -fsS "$base/healthz" 2>/dev/null | jq -e '.status == "ok"' >/dev/null 2>&1; then
+      return 0
+    fi
+    kill -0 "$pid" 2>/dev/null || { echo "server on $base died at boot:" >&2; cat "$log" >&2; exit 1; }
+    sleep 0.1
+  done
+  echo "server on $base never became healthy:" >&2
+  cat "$log" >&2
+  exit 1
+}
+
+# stop_server PID — graceful SIGTERM, then wait; propagates the exit status
+# so callers can assert a clean drain.
+stop_server() {
+  local pid="$1"
+  kill -TERM "$pid" 2>/dev/null || true
+  wait "$pid"
+}
+
+# kill_server PID — SIGKILL and reap, for crash phases and teardown.
+kill_server() {
+  local pid="$1"
+  kill -9 "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+}
+
+# post BASE PATH JSON — POST a JSON body, failing the script on non-2xx.
+post() {
+  curl -fsS -X POST -H 'Content-Type: application/json' -d "$3" "$1$2"
+}
+
+e2e_cleanup() {
+  if declare -F cleanup_hook >/dev/null; then
+    cleanup_hook
+  fi
+  local pid
+  for pid in ${E2E_PIDS[@]+"${E2E_PIDS[@]}"}; do
+    if kill -0 "$pid" 2>/dev/null; then
+      kill -9 "$pid" 2>/dev/null || true
+      wait "$pid" 2>/dev/null || true
+    fi
+  done
+}
+trap e2e_cleanup EXIT

@@ -1,0 +1,185 @@
+#!/usr/bin/env bash
+# repl_e2e.sh — the replication gauntlet CI runs (and developers can run
+# locally: `bash ci/repl_e2e.sh`). It boots a primary pcserved with a data
+# directory and a read-only follower tailing the primary's WAL over the
+# /v1/wal HTTP endpoints, then proves the log-shipping contract end to end:
+#
+#   1. the follower bootstraps from the primary's checkpoint and reports
+#      role "follower" (mutations on it get 503 + the primary's address);
+#   2. under a mutate-heavy pcload with reads fanned to the replica, pinned
+#      reads are bit-identical across nodes (pcload -target ... -verify) and
+#      the replication lag drains to zero afterwards, with /v1/store
+#      byte-identical across nodes at the shared frontier;
+#   3. SIGKILLing the primary mid-stream leaves the follower serving a
+#      durable prefix (its frontier never exceeds what offline recovery of
+#      the primary's directory reaches);
+#   4. restarting the primary on the same directory lets the tail resume and
+#      reconverge byte-for-byte; restarting the follower re-bootstraps and
+#      reconverges the same way.
+#
+# The primary runs with -checkpoint-every 0: periodic checkpoints truncate
+# the log, and a follower lagging past a truncation can only re-bootstrap —
+# this gauntlet pins the streaming path, so truncation stays out of frame
+# (the fell-behind path is covered by unit tests in internal/wal).
+set -euo pipefail
+
+cd "$(dirname "$0")/.." || exit 1
+# shellcheck source=ci/lib.sh
+source ci/lib.sh
+
+P_ADDR="127.0.0.1:${PCSERVED_PORT:-18095}"
+R_ADDR="127.0.0.1:$(( ${PCSERVED_PORT:-18095} + 1 ))"
+P_BASE="http://$P_ADDR"
+R_BASE="http://$R_ADDR"
+SPEC=cmd/pcserved/testdata/sample_spec.json
+P_LOG=pcserved-repl-primary.log
+R_LOG=pcserved-repl-follower.log
+DATA=$(mktemp -d)
+P_PID=""
+R_PID=""
+
+e2e_require jq curl
+
+cleanup_hook() {
+  rm -rf "$DATA"
+  rm -f repl-primary-store.json repl-replica-store.json repl-durable.json \
+    repl-pin-primary.json repl-pin-replica.json pcload-repl.log
+}
+
+boot_primary() {
+  spawn_pcserved "$P_LOG" -addr "$P_ADDR" -spec "$SPEC" \
+    -data-dir "$DATA" -checkpoint-every 0
+  P_PID=$SPAWNED_PID
+}
+
+boot_follower() {
+  spawn_pcserved "$R_LOG" -addr "$R_ADDR" -follow "$P_BASE" \
+    -staleness-budget 10s
+  R_PID=$SPAWNED_PID
+}
+
+# wait_caught_up — poll until the follower's applied epoch equals the
+# primary's current epoch and the lag gauge reads zero.
+wait_caught_up() {
+  local p_epoch
+  p_epoch=$(curl -fsS "$P_BASE/healthz" | jq -r .epoch)
+  for _ in $(seq 300); do
+    local applied lag
+    applied=$(curl -fsS "$R_BASE/healthz" | jq -r .replication.applied_epoch)
+    lag=$(curl -fsS "$R_BASE/metrics" | awk '$1 == "pcserved_repl_lag_records" { print $2 }')
+    if [[ "$applied" -ge "$p_epoch" && "${lag:-1}" == 0 ]]; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "follower never caught up to primary epoch $p_epoch:" >&2
+  curl -fsS "$R_BASE/healthz" >&2 || true
+  echo >&2; tail "$R_LOG" >&2
+  exit 1
+}
+
+# require_stores_identical LABEL — /v1/store must be byte-identical across
+# the two nodes (both emit the same json.Encoder framing, so cmp is exact).
+require_stores_identical() {
+  curl -fsS "$P_BASE/v1/store" >repl-primary-store.json
+  curl -fsS "$R_BASE/v1/store" >repl-replica-store.json
+  cmp repl-primary-store.json repl-replica-store.json \
+    || { echo "$1: follower store differs from primary" >&2; exit 1; }
+}
+
+echo "== build (pcserved under -race, pcload and pcwal plain)"
+e2e_build -race pcserved
+e2e_build pcload pcwal
+
+echo "== phase 1: boot primary (data dir) and follower (-follow over HTTP)"
+boot_primary
+wait_healthy "$P_BASE" "$P_PID" "$P_LOG"
+curl -fsS "$P_BASE/healthz" | jq -e '.role == "primary"' >/dev/null \
+  || { echo "primary healthz does not report role primary" >&2; exit 1; }
+boot_follower
+wait_healthy "$R_BASE" "$R_PID" "$R_LOG"
+curl -fsS "$R_BASE/healthz" | jq -e '.role == "follower" and .replication.source != ""' >/dev/null \
+  || { echo "follower healthz does not report role follower" >&2; exit 1; }
+
+echo "== phase 2: mutations on the follower are rejected with the primary's address"
+CODE=$(curl -s -o repl-pin-replica.json -w '%{http_code}' -X POST \
+  -d '{"constraints":[{"name":"x","predicate":{},"values":{"price":[1,2]},"klo":0,"khi":1}]}' \
+  "$R_BASE/v1/store/add")
+[[ "$CODE" == 503 ]] || { echo "follower add returned $CODE, want 503" >&2; exit 1; }
+jq -e --arg p "$P_BASE" '.primary == $p' repl-pin-replica.json >/dev/null \
+  || { echo "follower rejection is missing the primary hint: $(cat repl-pin-replica.json)" >&2; exit 1; }
+
+echo "== phase 3: verified load with reads fanned to the replica"
+"$BIN/pcload" -target "$P_BASE,$R_BASE" -quick -seed 7
+wait_caught_up
+require_stores_identical "after verified load"
+
+echo "== phase 4: mutate-heavy stream, then drain the lag to zero"
+"$BIN/pcload" -target "$P_BASE,$R_BASE" -duration 8s -concurrency 8 \
+  -mix bound=2,batch=1,mutate=6 -verify 0 -seed 11
+wait_caught_up
+require_stores_identical "after mutate-heavy stream"
+
+echo "== phase 5: epoch-pinned bound is byte-identical across nodes"
+PIN_EPOCH=$(curl -fsS "$P_BASE/healthz" | jq -r .epoch)
+for Q in \
+  '{"agg":"SUM","attr":"price","where":{"utc":[6,14]}}' \
+  '{"agg":"COUNT"}' \
+  '{"agg":"AVG","attr":"price","where":{"branch":[1,3]}}'; do
+  BODY=$(jq -nc --argjson q "$Q" --argjson e "$PIN_EPOCH" '{query: $q, epoch: $e}')
+  post "$P_BASE" /v1/bound "$BODY" >repl-pin-primary.json
+  post "$R_BASE" /v1/bound "$BODY" >repl-pin-replica.json
+  cmp repl-pin-primary.json repl-pin-replica.json \
+    || { echo "pinned bound at epoch $PIN_EPOCH differs across nodes for $Q" >&2; exit 1; }
+done
+echo "   pinned bounds at epoch $PIN_EPOCH byte-identical on both nodes"
+
+echo "== phase 6: SIGKILL the primary mid-stream; the follower holds a durable prefix"
+"$BIN/pcload" -addr "$P_BASE" -duration 15s -concurrency 8 \
+  -mix bound=1,batch=1,mutate=8 -verify 0 -seed 13 >pcload-repl.log 2>&1 &
+LOAD_PID=$!
+sleep 2
+kill_server "$P_PID"
+P_PID=""
+kill "$LOAD_PID" 2>/dev/null || true
+wait "$LOAD_PID" 2>/dev/null || true
+
+# The follower keeps serving its frozen frontier while the primary is down.
+curl -fsS "$R_BASE/healthz" | jq -e '.status == "ok" and .role == "follower"' >/dev/null \
+  || { echo "follower unhealthy after primary SIGKILL" >&2; exit 1; }
+FOLLOWER_EPOCH=$(curl -fsS "$R_BASE/healthz" | jq -r .replication.applied_epoch)
+"$BIN/pcwal" verify "$DATA"
+"$BIN/pcwal" dump "$DATA" >repl-durable.json
+DURABLE_EPOCH=$(jq -r .epoch repl-durable.json)
+[[ "$FOLLOWER_EPOCH" -le "$DURABLE_EPOCH" ]] \
+  || { echo "follower frontier $FOLLOWER_EPOCH exceeds durable epoch $DURABLE_EPOCH: applied unacknowledged history" >&2; exit 1; }
+echo "   follower frontier $FOLLOWER_EPOCH <= durable epoch $DURABLE_EPOCH"
+
+echo "== phase 7: primary restarts on the same directory; the tail resumes and reconverges"
+boot_primary
+wait_healthy "$P_BASE" "$P_PID" "$P_LOG"
+wait_caught_up
+require_stores_identical "after primary restart"
+curl -fsS "$R_BASE/healthz" | jq -e '.replication.tail_restarts >= 1' >/dev/null \
+  || { echo "follower never counted a tail restart across the primary outage" >&2; exit 1; }
+
+echo "== phase 8: follower restart re-bootstraps and reconverges"
+kill_server "$R_PID"
+R_PID=""
+boot_follower
+wait_healthy "$R_BASE" "$R_PID" "$R_LOG"
+wait_caught_up
+require_stores_identical "after follower restart"
+
+echo "== phase 9: final verified pass (pinned reads bit-identical across nodes)"
+"$BIN/pcload" -target "$P_BASE,$R_BASE" -quick -verify 50 -seed 23
+LAG=$(curl -fsS "$R_BASE/metrics" | awk '$1 == "pcserved_repl_lag_records" { print $2 }')
+APPLIED=$(curl -fsS "$R_BASE/metrics" | awk '$1 == "pcserved_repl_applied_records_total" { print $2 }')
+[[ "${APPLIED:-0}" -gt 0 ]] || { echo "follower applied_records_total is $APPLIED" >&2; exit 1; }
+
+stop_server "$R_PID" || { echo "follower exited non-zero on drain:" >&2; tail "$R_LOG" >&2; exit 1; }
+R_PID=""
+stop_server "$P_PID" || { echo "primary exited non-zero on drain:" >&2; tail "$P_LOG" >&2; exit 1; }
+P_PID=""
+
+echo "repl_e2e: all phases passed (pinned epoch $PIN_EPOCH, crash frontier $FOLLOWER_EPOCH/$DURABLE_EPOCH, final lag ${LAG:-?}, $APPLIED records shipped)"

@@ -15,46 +15,28 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.." || exit 1
+# shellcheck source=ci/lib.sh
+source ci/lib.sh
 
 ADDR="127.0.0.1:${PCSERVED_PORT:-18091}"
 BASE="http://$ADDR"
 SPEC=cmd/pcserved/testdata/sample_spec.json
-BIN=./bin
 LOG=pcserved-e2e.log
 
-command -v jq >/dev/null || { echo "serve_e2e: jq is required" >&2; exit 1; }
+e2e_require jq curl
 
 echo "== build (pcserved under -race, pcload plain)"
-mkdir -p "$BIN"
-go build -race -o "$BIN/pcserved" ./cmd/pcserved
-go build -o "$BIN/pcload" ./cmd/pcload
-go build -o "$BIN/pcrange" ./cmd/pcrange
-
-cleanup() {
-  for pid in "${SERVER_PID:-}" "${SAT_PID:-}"; do
-    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
-      kill "$pid" 2>/dev/null || true
-      wait "$pid" 2>/dev/null || true
-    fi
-  done
-}
-trap cleanup EXIT
+e2e_build -race pcserved
+e2e_build pcload pcrange
 
 echo "== boot pcserved on $ADDR"
-GORACE="halt_on_error=1" "$BIN/pcserved" -addr "$ADDR" -spec "$SPEC" >"$LOG" 2>&1 &
-SERVER_PID=$!
-for _ in $(seq 100); do
-  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
-  kill -0 "$SERVER_PID" 2>/dev/null || { echo "pcserved died at boot:"; cat "$LOG"; exit 1; }
-  sleep 0.1
-done
-curl -fsS "$BASE/healthz" | jq -e '.status == "ok"' >/dev/null
-
-post() { curl -fsS -X POST -H 'Content-Type: application/json' -d "$2" "$BASE$1"; }
+spawn_pcserved "$LOG" -addr "$ADDR" -spec "$SPEC"
+SERVER_PID=$SPAWNED_PID
+wait_healthy "$BASE" "$SERVER_PID" "$LOG"
 
 echo "== serving semantics: bound -> mutate -> rebound sees new epoch, pinned snapshot does not"
 Q='{"query":{"agg":"SUM","attr":"price","where":{"utc":[6,14]}}}'
-R0=$(post /v1/bound "$Q")
+R0=$(post "$BASE" /v1/bound "$Q")
 E0=$(jq -r .epoch <<<"$R0")
 
 # Cross-check the served range against a direct engine bound on the same
@@ -72,23 +54,23 @@ jq -ne --argjson a "$SERVED_RANGE" --argjson b "$DIRECT_RANGE" '
   || { echo "served range $SERVED_RANGE != direct engine range $DIRECT_RANGE" >&2; exit 1; }
 echo "   bound at epoch $E0: $SERVED_RANGE (matches direct engine)"
 
-ADD=$(post /v1/store/add '{"constraints":[{"name":"surge","predicate":{"utc":[7,10]},"values":{"price":[100,400]},"klo":2,"khi":6}]}')
+ADD=$(post "$BASE" /v1/store/add '{"constraints":[{"name":"surge","predicate":{"utc":[7,10]},"values":{"price":[100,400]},"klo":2,"khi":6}]}')
 E1=$(jq -r .epoch <<<"$ADD")
 ID=$(jq -r '.ids[0]' <<<"$ADD")
 [[ "$E1" -gt "$E0" ]] || { echo "mutation did not advance the epoch ($E0 -> $E1)" >&2; exit 1; }
 
-R1=$(post /v1/bound "$Q")
+R1=$(post "$BASE" /v1/bound "$Q")
 [[ "$(jq -r .epoch <<<"$R1")" == "$E1" ]] || { echo "rebound did not see epoch $E1: $R1" >&2; exit 1; }
 jq -e --argjson r0 "$(jq .range <<<"$R0")" '.range != $r0' <<<"$R1" >/dev/null \
   || { echo "rebound range identical despite new constraint: $R1" >&2; exit 1; }
 
-RP=$(post /v1/bound "$(jq -c --argjson e "$E0" '. + {epoch: $e}' <<<"$Q")")
+RP=$(post "$BASE" /v1/bound "$(jq -c --argjson e "$E0" '. + {epoch: $e}' <<<"$Q")")
 [[ "$(jq -r .epoch <<<"$RP")" == "$E0" ]] || { echo "pinned read not at epoch $E0: $RP" >&2; exit 1; }
 jq -e --argjson r0 "$(jq .range <<<"$R0")" '.range == $r0' <<<"$RP" >/dev/null \
   || { echo "pinned range differs from original: $RP vs $R0" >&2; exit 1; }
 echo "   mutate -> epoch $E1, rebound moved, pinned read at $E0 bit-identical"
 
-post /v1/store/remove "{\"id\":$ID}" >/dev/null
+post "$BASE" /v1/store/remove "{\"id\":$ID}" >/dev/null
 
 echo "== pcload gauntlet (verify phase + concurrent bound/batch/mutate)"
 "$BIN/pcload" -addr "$BASE" -quick
@@ -116,13 +98,9 @@ echo "== degrade-before-shed: saturation answers tier-opted reads from the summa
 SAT_ADDR="127.0.0.1:$(( ${PCSERVED_PORT:-18091} + 1 ))"
 SAT_BASE="http://$SAT_ADDR"
 SAT_LOG=pcserved-e2e-sat.log
-GORACE="halt_on_error=1" "$BIN/pcserved" -addr "$SAT_ADDR" -spec "$SPEC" -max-inflight 1 >"$SAT_LOG" 2>&1 &
-SAT_PID=$!
-for _ in $(seq 100); do
-  curl -fsS "$SAT_BASE/healthz" >/dev/null 2>&1 && break
-  kill -0 "$SAT_PID" 2>/dev/null || { echo "saturation pcserved died at boot:"; cat "$SAT_LOG"; exit 1; }
-  sleep 0.1
-done
+spawn_pcserved "$SAT_LOG" -addr "$SAT_ADDR" -spec "$SPEC" -max-inflight 1
+SAT_PID=$SPAWNED_PID
+wait_healthy "$SAT_BASE" "$SAT_PID" "$SAT_LOG"
 
 # The slot-holding batch races the probes (a warm cache can finish it in
 # milliseconds), so the probe pair retries with a fresh batch until one
@@ -156,9 +134,7 @@ for attempt in $(seq 10); do
 done
 [[ -n "$SAT_OK" ]] || { echo "never observed saturation in 10 attempts" >&2; exit 1; }
 echo "   degraded summary answer served under saturation; exact-only sheds 429 (degraded_total=$DEG_COUNT)"
-kill -TERM "$SAT_PID"
-wait "$SAT_PID" || { echo "saturation pcserved exited non-zero:" >&2; cat "$SAT_LOG"; exit 1; }
-SAT_PID=""
+stop_server "$SAT_PID" || { echo "saturation pcserved exited non-zero:" >&2; cat "$SAT_LOG"; exit 1; }
 rm -f "$SAT_LOG"
 
 echo "== graceful shutdown drains an in-flight batch"
@@ -172,7 +148,6 @@ wait "$CURL_PID" || { echo "in-flight batch was dropped during shutdown" >&2; ca
 jq -e '.ranges | length == 200' "$DRAIN_OUT" >/dev/null \
   || { echo "drained batch response incomplete: $(head -c 200 "$DRAIN_OUT")" >&2; exit 1; }
 wait "$SERVER_PID" || { echo "pcserved exited non-zero after drain:" >&2; cat "$LOG"; exit 1; }
-SERVER_PID=""
 grep -q "drained cleanly" "$LOG" || { echo "no clean-drain log line:" >&2; cat "$LOG"; exit 1; }
 rm -f "$DRAIN_OUT"
 

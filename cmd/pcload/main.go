@@ -20,6 +20,14 @@
 // hot-spot workloads (where the same decompositions are hit repeatedly and
 // mutations chase the queries) can be generated alongside uniform ones.
 //
+// Against a replicated deployment, -target takes a comma-separated
+// primary[,replica,...] list: mutations go to the primary, reads fan out
+// across the replicas, and the -verify phase additionally posts every
+// pinned query to each replica and requires the answer bitwise identical to
+// the primary's — the end-to-end form of the replication bit-identity
+// guarantee (a replica still catching up holds the read until its tail
+// reaches the pinned epoch).
+//
 // Usage:
 //
 //	pcload -addr http://127.0.0.1:8080                  # 10s, 8 workers
@@ -27,6 +35,7 @@
 //	pcload -duration 30s -concurrency 32 \
 //	       -mix bound=6,batch=2,mutate=2 -verify 100
 //	pcload -skew 1.2 -precision auto -max-width 500     # skewed, tier-opted
+//	pcload -target http://primary:8080,http://replica:8081 -verify 50
 package main
 
 import (
@@ -52,6 +61,7 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", "http://127.0.0.1:8080", "pcserved base URL")
+		target      = flag.String("target", "", "comma-separated pcserved base URLs: primary[,replica,...] — mutations go to the primary, reads fan out across the replicas (overrides -addr)")
 		duration    = flag.Duration("duration", 10*time.Second, "load phase duration")
 		concurrency = flag.Int("concurrency", 8, "closed-loop workers")
 		mix         = flag.String("mix", "bound=6,batch=2,mutate=2", "operation weights, e.g. bound=6,batch=2,mutate=2")
@@ -101,7 +111,24 @@ func main() {
 	}
 
 	client := &http.Client{Timeout: *timeout}
+	// -target names a replication topology: the first URL takes mutations
+	// (and seeds verification), the rest serve reads. Without replicas every
+	// operation goes to the primary, exactly as -addr always worked.
+	var replicas []string
 	base := strings.TrimRight(*addr, "/")
+	if *target != "" {
+		parts := strings.Split(*target, ",")
+		base = strings.TrimRight(strings.TrimSpace(parts[0]), "/")
+		for _, p := range parts[1:] {
+			if p = strings.TrimRight(strings.TrimSpace(p), "/"); p != "" {
+				replicas = append(replicas, p)
+			}
+		}
+	}
+	readBases := replicas
+	if len(readBases) == 0 {
+		readBases = []string{base}
+	}
 	r := newRetrier(client, *retries, *seed)
 
 	st, err := fetchStore(r, base)
@@ -114,13 +141,19 @@ func main() {
 	}
 	fmt.Printf("pcload: target %s — %d constraints, epoch %d, %d attributes\n",
 		base, len(st.Constraints), st.Epoch, schema.Len())
+	if len(replicas) > 0 {
+		fmt.Printf("pcload: fanning reads across %d replica(s): %s\n", len(replicas), strings.Join(replicas, ", "))
+	}
 
 	if *verifyN > 0 {
-		summaries, err := verifyPinned(r, base, st, schema, *verifyN, *seed)
+		summaries, err := verifyPinned(r, base, replicas, st, schema, *verifyN, *seed)
 		if err != nil {
 			fail("verification: %v", err)
 		}
 		fmt.Printf("pcload: verified %d pinned reads bit-identical to a local engine at epoch %d\n", *verifyN, st.Epoch)
+		if len(replicas) > 0 {
+			fmt.Printf("pcload: verified %d pinned reads bit-identical across %d replica(s)\n", *verifyN, len(replicas))
+		}
 		fmt.Printf("pcload: verified %d summary-tier responses are supersets of the local exact range (%d escalated or untiered)\n",
 			summaries, *verifyN-summaries)
 	}
@@ -134,6 +167,7 @@ func main() {
 		skew:        *skew,
 		precision:   *precision,
 		maxWidth:    budget,
+		readBases:   readBases,
 	})
 	stats.report(os.Stdout, *duration)
 	r.summary(os.Stdout)
@@ -246,7 +280,14 @@ func schemaOf(st *server.StoreResponse) (*domain.Schema, error) {
 // only exists at the store frontier, so a concurrent writer moving the epoch
 // past the pinned snapshot makes the server escalate to exact; those count
 // as escalations, not failures.
-func verifyPinned(r *retrier, base string, st *server.StoreResponse, schema *domain.Schema, n int, seed int64) (int, error) {
+//
+// With replicas, every pinned query is also posted to each replica and
+// compared bitwise against the same local range: the epoch pin names one
+// immutable answer, so primary and follower must agree to the bit or
+// replication is broken. A follower still catching up holds the read until
+// its tail reaches the pinned epoch (the implied min_epoch gate), so this
+// check is exact even against a lagging replica.
+func verifyPinned(r *retrier, base string, replicas []string, st *server.StoreResponse, schema *domain.Schema, n int, seed int64) (int, error) {
 	raw, err := json.Marshal(core.SpecJSON{Schema: st.Schema, Constraints: st.Constraints})
 	if err != nil {
 		return 0, err
@@ -281,11 +322,26 @@ func verifyPinned(r *retrier, base string, st *server.StoreResponse, schema *dom
 			return summaries, fmt.Errorf("query %d: local bound: %v", i, err)
 		}
 		got := resp.Range.Range()
-		if math.Float64bits(got.Lo) != math.Float64bits(want.Lo) ||
-			math.Float64bits(got.Hi) != math.Float64bits(want.Hi) ||
-			got.LoExact != want.LoExact || got.HiExact != want.HiExact ||
-			got.MaybeEmpty != want.MaybeEmpty || got.Reconciled != want.Reconciled {
+		if !bitIdentical(got, want) {
 			return summaries, fmt.Errorf("query %d (%+v): served range %+v != local range %+v", i, qj, got, want)
+		}
+		for _, rep := range replicas {
+			var rresp server.BoundResponse
+			code, body, err := r.post(rep+"/v1/bound",
+				server.BoundRequest{Query: qj, Epoch: &st.Epoch}, &rresp)
+			if err != nil {
+				return summaries, fmt.Errorf("query %d: replica %s: %v", i, rep, err)
+			}
+			if code != http.StatusOK {
+				return summaries, fmt.Errorf("query %d (%+v): replica %s: status %d (%s) — its tail may not have reached epoch %d within the staleness budget", i, qj, rep, code, body, st.Epoch)
+			}
+			if rresp.Epoch != st.Epoch {
+				return summaries, fmt.Errorf("query %d: replica %s answered at epoch %d, pinned %d", i, rep, rresp.Epoch, st.Epoch)
+			}
+			if rgot := rresp.Range.Range(); !bitIdentical(rgot, want) {
+				return summaries, fmt.Errorf("query %d (%+v): replica %s range %+v != primary/local range %+v at epoch %d",
+					i, qj, rep, rgot, want, st.Epoch)
+			}
 		}
 
 		var sresp server.BoundResponse
@@ -314,6 +370,15 @@ func verifyPinned(r *retrier, base string, st *server.StoreResponse, schema *dom
 	return summaries, nil
 }
 
+// bitIdentical compares two ranges field by field, with the float endpoints
+// compared by their bit patterns (so -0 vs 0 or differing NaNs fail).
+func bitIdentical(got, want core.Range) bool {
+	return math.Float64bits(got.Lo) == math.Float64bits(want.Lo) &&
+		math.Float64bits(got.Hi) == math.Float64bits(want.Hi) &&
+		got.LoExact == want.LoExact && got.HiExact == want.HiExact &&
+		got.MaybeEmpty == want.MaybeEmpty && got.Reconciled == want.Reconciled
+}
+
 type loadConfig struct {
 	duration    time.Duration
 	concurrency int
@@ -323,6 +388,9 @@ type loadConfig struct {
 	skew        float64
 	precision   string
 	maxWidth    *server.Num
+	// readBases are the base URLs reads fan out across (the replicas under
+	// -target, or just the primary). Mutations always go to the primary.
+	readBases []string
 }
 
 // skewBuckets is the resolution of the zipf hot spot: the domain of every
@@ -501,10 +569,16 @@ func loadWorker(r *retrier, base string, schema *domain.Schema, cfg loadConfig, 
 // on successful query responses are tallied into served.
 func doOp(r *retrier, base string, schema *domain.Schema, p *picker, name string, cfg loadConfig, myIDs *[]uint64, served map[string]int) (int, string) {
 	rng := p.rng
+	// Reads fan out across the read targets (replicas under -target);
+	// mutations always go to base, the primary.
+	readBase := base
+	if len(cfg.readBases) > 0 {
+		readBase = cfg.readBases[rng.Intn(len(cfg.readBases))]
+	}
 	switch name {
 	case "bound":
 		var resp server.BoundResponse
-		code, body, err := r.post(base+"/v1/bound",
+		code, body, err := r.post(readBase+"/v1/bound",
 			server.BoundRequest{Query: randomQuery(p, schema), Precision: cfg.precision, MaxWidth: cfg.maxWidth}, &resp)
 		if err == nil && code == http.StatusOK && resp.Precision != "" {
 			served[resp.Precision]++
@@ -516,7 +590,7 @@ func doOp(r *retrier, base string, schema *domain.Schema, p *picker, name string
 			queries[i] = randomQuery(p, schema)
 		}
 		var resp server.BatchResponse
-		code, body, err := r.post(base+"/v1/batch",
+		code, body, err := r.post(readBase+"/v1/batch",
 			server.BatchRequest{Queries: queries, Precision: cfg.precision, MaxWidth: cfg.maxWidth}, &resp)
 		if err == nil && code == http.StatusOK {
 			for _, tag := range resp.Precisions {

@@ -37,6 +37,21 @@
 // "recovering" on /healthz and 503 elsewhere until replay completes; on
 // disk state takes precedence over -spec, which then only seeds an empty
 // directory.
+//
+// With -follow the process is a read-only log-shipping replica instead: it
+// bootstraps from the primary's newest checkpoint and tails its WAL — from
+// the directory itself (shared disk) or over the primary's /v1/wal
+// endpoints (a base URL) — applying each record in log order. Mutations are
+// rejected with 503 and a hint at the primary; reads serve the applied
+// frontier. Because both nodes replay the identical record stream onto
+// identical state, an epoch-pinned read answered by the follower is
+// bit-identical to the primary's answer at that epoch — the epoch pin, not
+// the node, names the result. Pinned and min_epoch reads ahead of the
+// frontier wait up to -staleness-budget for the tail, then 412;
+// summary-tier reads never wait, so degraded answers stay available while
+// a follower catches up. /healthz reports the role and lag, /metrics grows
+// pcserved_repl_* gauges, and a restarted follower re-bootstraps and
+// resumes the tail on its own.
 package main
 
 import (
@@ -49,6 +64,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -74,10 +90,18 @@ func main() {
 		shutdownT   = flag.Duration("shutdown-timeout", 30*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM")
 		cacheSize   = flag.Int("decomp-cache", 0, "decomposition cache regions (0 = default)")
 		noSummary   = flag.Bool("no-summary", false, "disable the tiered-precision summary overlay: precision/max_width requests always escalate to exact, saturation always sheds with 429")
+		follow      = flag.String("follow", "", "run as a read-only follower tailing a primary's WAL: a data directory (shared disk) or the primary's base URL (http://host:port)")
+		primaryHint = flag.String("primary", "", "advertised primary base URL returned with rejected mutations (defaults to -follow when it is a URL)")
+		staleness   = flag.Duration("staleness-budget", 2*time.Second, "follower: how long an epoch-pinned or min_epoch read waits for the tail to catch up before 412")
+		replPoll    = flag.Duration("repl-poll", 50*time.Millisecond, "follower: pause between polls when the tail is idle (directory sources; URL sources long-poll)")
 	)
 	flag.Parse()
-	if *specPath == "" && *dataDir == "" {
-		fmt.Fprintln(os.Stderr, "pcserved: missing -spec (or -data-dir with existing state)")
+	if *follow != "" && (*specPath != "" || *dataDir != "") {
+		fmt.Fprintln(os.Stderr, "pcserved: -follow is exclusive with -spec and -data-dir (a follower's state comes from the primary)")
+		os.Exit(1)
+	}
+	if *specPath == "" && *dataDir == "" && *follow == "" {
+		fmt.Fprintln(os.Stderr, "pcserved: missing -spec (or -data-dir with existing state, or -follow)")
 		os.Exit(1)
 	}
 	mode, err := wal.ParseMode(*fsyncMode)
@@ -114,7 +138,28 @@ func main() {
 		store  *core.Store
 		schema *domain.Schema
 		dur    *wal.Manager
+		tailer *wal.Tailer
 	)
+	if *follow != "" {
+		// Bootstrap from the primary's newest checkpoint. "No checkpoint
+		// yet" and connection failures are transient (the primary may still
+		// be coming up); terminal conditions are configuration problems.
+		tailer = wal.NewTailer(wal.SourceFor(*follow))
+		start := time.Now()
+		for {
+			store, schema, err = tailer.Bootstrap()
+			if err == nil {
+				break
+			}
+			if wal.IsTerminal(err) {
+				log.Fatalf("pcserved: follower bootstrap: %v", err)
+			}
+			log.Printf("pcserved: follower bootstrap: %v (retrying)", err)
+			time.Sleep(time.Second)
+		}
+		log.Printf("pcserved: follower bootstrapped at epoch %d from %s in %v",
+			store.Epoch(), *follow, time.Since(start).Round(time.Millisecond))
+	}
 	if *dataDir != "" {
 		start := time.Now()
 		dur, err = wal.Open(wal.Options{
@@ -140,7 +185,7 @@ func main() {
 		}
 		log.Printf("pcserved: recovered epoch %d (checkpoint %d + %d records, %d segments) in %v",
 			info.Epoch, info.CheckpointEpoch, info.Replayed, info.Segments, time.Since(start).Round(time.Millisecond))
-	} else {
+	} else if *follow == "" {
 		store, schema = boot, boot.Schema()
 	}
 
@@ -151,6 +196,14 @@ func main() {
 		}
 	}
 
+	var replica *server.Replica
+	if *follow != "" {
+		hint := *primaryHint
+		if hint == "" && strings.HasPrefix(*follow, "http") {
+			hint = *follow
+		}
+		replica = &server.Replica{Primary: hint, Source: *follow, StalenessBudget: *staleness}
+	}
 	s := server.New(store, solver, server.Config{
 		MaxInflight:    *maxInflight,
 		RetainEpochs:   *retain,
@@ -159,9 +212,17 @@ func main() {
 		Engine:         core.Options{DecompCacheSize: *cacheSize},
 		Durability:     dur,
 		DisableSummary: *noSummary,
+		Replica:        replica,
 	})
 	gate.Activate(s.Handler())
-	log.Printf("pcserved: serving %d constraints (epoch %d) on %s", store.Len(), store.Epoch(), *addr)
+	applyCtx, stopApply := context.WithCancel(context.Background())
+	defer stopApply()
+	if tailer != nil {
+		go followLoop(applyCtx, s, tailer, *replPoll)
+		log.Printf("pcserved: follower serving (epoch %d) on %s, tailing %s", store.Epoch(), *addr, *follow)
+	} else {
+		log.Printf("pcserved: serving %d constraints (epoch %d) on %s", store.Len(), store.Epoch(), *addr)
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -174,6 +235,7 @@ func main() {
 	}
 
 	s.StartDraining()
+	stopApply()
 	ctx, cancel := context.WithTimeout(context.Background(), *shutdownT)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
@@ -193,4 +255,67 @@ func main() {
 		}
 	}
 	log.Printf("pcserved: drained cleanly (epoch %d)", store.Epoch())
+}
+
+// walPollWait is how long a follower's segment fetch long-polls at the live
+// edge (URL sources; directory sources return immediately and the idle
+// pause paces them instead).
+const walPollWait = 10 * time.Second
+
+// followLoop drives a follower's replication tail: records stream from the
+// primary's log into the serving store in order until drain (ctx) or a
+// terminal fault. Transient source errors — the primary restarting, network
+// blips — are retried with backoff; terminal ones freeze the frontier and
+// flip /healthz to replication_failed.
+func followLoop(ctx context.Context, s *server.Server, t *wal.Tailer, idle time.Duration) {
+	if idle <= 0 {
+		idle = 50 * time.Millisecond
+	}
+	backoff := idle
+	for ctx.Err() == nil {
+		recs, err := t.Poll(walPollWait)
+		s.ObservePrimary(t.Frontier())
+		if err != nil {
+			if wal.IsTerminal(err) {
+				log.Printf("pcserved: replication halted: %v", err)
+				s.ReplicationFailed(err)
+				return
+			}
+			s.NoteTailRestart()
+			log.Printf("pcserved: tail error (will retry): %v", err)
+			if !sleepCtx(ctx, backoff) {
+				return
+			}
+			if backoff < 2*time.Second {
+				backoff *= 2
+			}
+			continue
+		}
+		backoff = idle
+		for _, rec := range recs {
+			if err := s.ApplyReplicated(rec); err != nil {
+				// The store refused a record the log vouched for: state and
+				// log disagree, which no retry can reconcile.
+				log.Printf("pcserved: replication halted: applying epoch %d: %v", rec.Epoch, err)
+				s.ReplicationFailed(err)
+				return
+			}
+		}
+		if len(recs) == 0 {
+			if !sleepCtx(ctx, idle) {
+				return
+			}
+		}
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
 }

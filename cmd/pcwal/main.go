@@ -12,6 +12,9 @@
 //	                               restart recovered bit-identically
 //	pcwal verify <dir>             exit 0 iff the directory recovers cleanly
 //	pcwal verify -epoch N <dir>    … and the recovered epoch is exactly N
+//	pcwal tail <dir|url>           follow the log live, printing one JSON line
+//	                               per committed record; -until-epoch N exits
+//	                               once the tail reaches epoch N (scriptable)
 //
 // A torn final record (the residue of a crash mid-append) is reported but is
 // not an error: recovery stops at the last intact frame, exactly as pcserved
@@ -23,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"pcbound/internal/sat"
 	"pcbound/internal/server"
@@ -45,6 +49,8 @@ func main() {
 		err = runDump(rest)
 	case "verify":
 		err = runVerify(rest)
+	case "tail":
+		err = runTail(rest)
 	default:
 		fmt.Fprintf(os.Stderr, "pcwal: unknown command %q\n", cmd)
 		usage()
@@ -57,7 +63,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage:\n  pcwal info <dir>\n  pcwal dump <dir>\n  pcwal verify [-epoch N] <dir>\n")
+	fmt.Fprintf(os.Stderr, "usage:\n  pcwal info <dir>\n  pcwal dump <dir>\n  pcwal verify [-epoch N] <dir>\n  pcwal tail [-until-epoch N] <dir|url>\n")
 }
 
 func dirArg(args []string) (string, error) {
@@ -136,5 +142,54 @@ func runVerify(args []string) error {
 	}
 	fmt.Printf("ok: epoch %d, %d constraints (checkpoint %d + %d records)\n",
 		store.Epoch(), store.Len(), info.CheckpointEpoch, info.Replayed)
+	return nil
+}
+
+// tailLine is one committed record as `pcwal tail` prints it.
+type tailLine struct {
+	Epoch uint64   `json:"epoch"`
+	Kind  string   `json:"kind"`
+	IDs   []uint64 `json:"ids"`
+}
+
+func runTail(args []string) error {
+	fs := flag.NewFlagSet("tail", flag.ExitOnError)
+	until := fs.Uint64("until-epoch", 0, "exit once the tail has reached this epoch (0 = follow forever)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one data directory or primary URL argument")
+	}
+	t := wal.NewTailer(wal.SourceFor(fs.Arg(0)))
+	store, _, err := t.Bootstrap()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "pcwal tail: bootstrapped at epoch %d\n", store.Epoch())
+	enc := json.NewEncoder(os.Stdout)
+	for *until == 0 || t.Applied() < *until {
+		recs, err := t.Poll(5 * time.Second)
+		if err != nil {
+			if wal.IsTerminal(err) {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "pcwal tail: %v (retrying)\n", err)
+			time.Sleep(200 * time.Millisecond)
+			continue
+		}
+		for _, rec := range recs {
+			line := tailLine{Epoch: rec.Epoch, Kind: rec.Kind.String(), IDs: make([]uint64, len(rec.IDs))}
+			for i, id := range rec.IDs {
+				line.IDs[i] = uint64(id)
+			}
+			if err := enc.Encode(line); err != nil {
+				return err
+			}
+		}
+		if len(recs) == 0 {
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
 	return nil
 }

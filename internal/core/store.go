@@ -358,23 +358,33 @@ func (s *Store) applyAddLocked(pcs []PC, ids []PCID) {
 // The payload is deep-copied so the hook may keep it without aliasing either
 // the caller's or the store's state.
 func (s *Store) fireHookLocked(kind MutKind, ids []PCID, pcs []PC) {
-	record := func() MutationRecord {
-		rec := MutationRecord{Epoch: s.epoch, Kind: kind, IDs: append([]PCID(nil), ids...)}
-		if len(pcs) > 0 {
-			rec.PCs = clonePCs(pcs)
-		}
-		return rec
-	}
 	if s.hook != nil {
-		s.hook(record())
+		s.hook(s.recordLocked(kind, ids, pcs))
 	}
+	s.fireObserversLocked(kind, ids, pcs)
+}
+
+// fireObserversLocked notifies the commit observers (AddCommitHook) without
+// touching the primary hook. Replication uses this directly: a follower's
+// derived state (the summary overlay) must track replicated commits, but
+// the primary hook is the WAL's — re-logging replayed history would fork it.
+func (s *Store) fireObserversLocked(kind MutKind, ids []PCID, pcs []PC) {
 	for _, h := range s.hooks {
 		if h != nil {
 			// Each observer gets its own copy: the record's slices are the
 			// hook's to keep, so they cannot be shared between hooks.
-			h(record())
+			h(s.recordLocked(kind, ids, pcs))
 		}
 	}
+}
+
+// recordLocked builds a deep-copied mutation record at the current epoch.
+func (s *Store) recordLocked(kind MutKind, ids []PCID, pcs []PC) MutationRecord {
+	rec := MutationRecord{Epoch: s.epoch, Kind: kind, IDs: append([]PCID(nil), ids...)}
+	if len(pcs) > 0 {
+		rec.PCs = clonePCs(pcs)
+	}
+	return rec
 }
 
 // MustAdd is Add that panics on error.
@@ -457,6 +467,27 @@ func (s *Store) applyReplaceLocked(i int, id PCID, pc PC) {
 func (s *Store) ApplyRecord(rec MutationRecord) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.applyRecordLocked(rec)
+}
+
+// ApplyReplicated applies one record shipped from a primary's log onto a
+// follower store. It validates and applies exactly like ApplyRecord, but
+// fires the commit observers (AddCommitHook) so derived state — the summary
+// overlay — tracks the replicated commit. The primary hook (SetCommitHook)
+// still does not fire: that hook belongs to a WAL manager, and a follower
+// must not re-log history it is receiving.
+func (s *Store) ApplyReplicated(rec MutationRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.applyRecordLocked(rec); err != nil {
+		return err
+	}
+	s.fireObserversLocked(rec.Kind, rec.IDs, rec.PCs)
+	return nil
+}
+
+// applyRecordLocked validates and applies one replay/replication record.
+func (s *Store) applyRecordLocked(rec MutationRecord) error {
 	if rec.Epoch != s.epoch+1 {
 		return fmt.Errorf("core: replay gap: record epoch %d does not follow store epoch %d", rec.Epoch, s.epoch)
 	}

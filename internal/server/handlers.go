@@ -45,6 +45,12 @@ type Config struct {
 	// precision/max_width fields always escalate to the exact path, and the
 	// degrade-before-shed mode is unavailable (saturation always 429s).
 	DisableSummary bool
+	// Replica, when set, runs this server as a read-only log-shipping
+	// follower (see Replica): mutations 503 with a primary hint, reads serve
+	// the applied frontier, and the owner feeds ApplyReplicated from a
+	// wal.Tailer. Mutually exclusive with Durability in practice — a
+	// follower's log lives on the primary.
+	Replica *Replica
 }
 
 // maxBodyBytes bounds request bodies; a constraint batch some orders of
@@ -80,6 +86,8 @@ type Server struct {
 	// Config.DisableSummary); tmet counts tier outcomes for /metrics.
 	tier *core.SummaryOverlay
 	tmet tierMetrics
+	// repl is the follower-mode replication state (nil on a primary).
+	repl *replState
 }
 
 // New builds a server over the store. The solver seeds the pool's engine
@@ -115,6 +123,9 @@ func New(store *core.Store, solver *sat.Solver, cfg Config) *Server {
 		maxBatch: maxBatch,
 		tier:     tier,
 	}
+	if cfg.Replica != nil {
+		s.repl = newReplState(*cfg.Replica, store.Epoch())
+	}
 	mux := http.NewServeMux()
 	// Both query endpoints self-admit after parsing: admission must see the
 	// request's tier opt-in to degrade over-capacity load to summary
@@ -127,6 +138,14 @@ func New(store *core.Store, solver *sat.Solver, cfg Config) *Server {
 	mux.Handle("GET /v1/store", s.instrument("store_get", s.handleStore))
 	mux.Handle("GET /healthz", http.HandlerFunc(s.handleHealth))
 	mux.Handle("GET /metrics", http.HandlerFunc(s.handleMetrics))
+	if cfg.Durability != nil {
+		// Log shipping: followers tail this node's WAL over HTTP. Like
+		// healthz/metrics these stay uninstrumented — a long-polled segment
+		// fetch parked at the live edge would swamp the latency quantiles.
+		mux.Handle("GET /v1/wal", http.HandlerFunc(s.handleWALList))
+		mux.Handle("GET /v1/wal/checkpoint/{epoch}", http.HandlerFunc(s.handleWALCheckpoint))
+		mux.Handle("GET /v1/wal/segment/{start}", http.HandlerFunc(s.handleWALSegment))
+	}
 	s.mux = mux
 	return s
 }
@@ -181,6 +200,44 @@ func (s *Server) engineFor(w http.ResponseWriter, epoch *uint64) *core.Engine {
 	return e
 }
 
+// gateMinEpoch enforces the read-your-writes gate before a read runs (see
+// BoundRequest.MinEpoch). On a follower a pinned epoch implies a min_epoch
+// of the same value, so a client can mutate on the primary and immediately
+// pin-read the result on a replica: the read waits for the tail (up to the
+// staleness budget) instead of 410ing on an epoch the replica has not
+// applied yet. Requests with no epoch demands — including force-summary
+// reads — never enter the gate, which is how summary answers stay available
+// while a follower catches up. Returns false after writing the 412.
+func (s *Server) gateMinEpoch(w http.ResponseWriter, r *http.Request, minEpoch, pinned *uint64) bool {
+	var target uint64
+	if minEpoch != nil {
+		target = *minEpoch
+	}
+	if s.repl != nil && pinned != nil && *pinned > target {
+		target = *pinned
+	}
+	if target == 0 {
+		return true
+	}
+	if s.repl == nil {
+		// A primary is the frontier: either it has reached the epoch or no
+		// amount of waiting here will produce it.
+		if cur := s.store.Epoch(); target > cur {
+			writeError(w, http.StatusPreconditionFailed,
+				fmt.Sprintf("min_epoch %d is ahead of the primary's epoch %d", target, cur))
+			return false
+		}
+		return true
+	}
+	if err := s.repl.await(r.Context(), target); err != nil {
+		s.repl.noteStaleReject()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusPreconditionFailed, err.Error())
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleBound(w http.ResponseWriter, r *http.Request) {
 	var req BoundRequest
 	if !decodeBody(w, r, &req) {
@@ -189,6 +246,9 @@ func (s *Server) handleBound(w http.ResponseWriter, r *http.Request) {
 	spec, err := tierSpecOf(req.Precision, req.MaxWidth)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if !s.gateMinEpoch(w, r, req.MinEpoch, req.Epoch) {
 		return
 	}
 	q, err := core.QueryFromJSON(s.store.Schema(), req.Query)
@@ -270,6 +330,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		queries[i] = q
+	}
+	if !s.gateMinEpoch(w, r, req.MinEpoch, req.Epoch) {
+		return
 	}
 	par := req.Parallelism
 	switch {
@@ -355,6 +418,16 @@ func (s *Server) summaryBatch(e *core.Engine, queries []core.Query) ([]RangeJSON
 // we acknowledge, so the store is read-only until an operator restarts the
 // process (recovery reopens from what is actually durable).
 func (s *Server) mutationAllowed(w http.ResponseWriter) bool {
+	if s.repl != nil {
+		// Followers are read-only: the log flows one way, so a local write
+		// would fork history the tail can never reconcile. The hint tells
+		// clients where writes go.
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{
+			Error:   "read-only replica: mutations must go to the primary",
+			Primary: s.repl.cfg.Primary,
+		})
+		return false
+	}
 	if s.dur == nil {
 		return true
 	}
@@ -507,8 +580,18 @@ func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	resp := HealthResponse{Status: "ok", Epoch: s.store.Epoch(), Constraints: s.store.Len()}
+	resp := HealthResponse{Status: "ok", Role: "primary", Epoch: s.store.Epoch(), Constraints: s.store.Len()}
 	code := http.StatusOK
+	if s.repl != nil {
+		resp.Role = "follower"
+		resp.Replication = s.replicationJSON()
+		if resp.Replication.Error != "" {
+			// The frozen frontier still serves, but balancers should stop
+			// preferring a replica that will never catch up again.
+			resp.Status = "replication_failed"
+			code = http.StatusServiceUnavailable
+		}
+	}
 	if s.dur != nil {
 		info := s.dur.Info()
 		met := s.dur.Metrics()
@@ -584,6 +667,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "pcserved_tier_summary_disjoint %d\n", disjoint)
 		fmt.Fprintf(w, "pcserved_tier_summary_evals_total %d\n", ts.Evals)
 		fmt.Fprintf(w, "pcserved_tier_summary_sketch_evals_total %d\n", ts.SketchEvals)
+	}
+	if s.repl != nil {
+		rj := s.replicationJSON()
+		wedged := 0
+		if rj.Error != "" {
+			wedged = 1
+		}
+		fmt.Fprintf(w, "pcserved_repl_applied_epoch %d\n", rj.AppliedEpoch)
+		fmt.Fprintf(w, "pcserved_repl_primary_epoch %d\n", rj.PrimaryEpoch)
+		fmt.Fprintf(w, "pcserved_repl_lag_records %d\n", rj.LagRecords)
+		fmt.Fprintf(w, "pcserved_repl_lag_seconds %g\n", rj.LagSeconds)
+		fmt.Fprintf(w, "pcserved_repl_applied_records_total %d\n", rj.AppliedRecords)
+		fmt.Fprintf(w, "pcserved_repl_tail_restarts_total %d\n", rj.TailRestarts)
+		fmt.Fprintf(w, "pcserved_repl_stale_rejects_total %d\n", rj.StaleRejects)
+		fmt.Fprintf(w, "pcserved_repl_wedged %d\n", wedged)
 	}
 	if s.dur != nil {
 		wm := s.dur.Metrics()

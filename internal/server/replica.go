@@ -1,0 +1,247 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pcbound/internal/core"
+)
+
+// Replica configures a server as a log-shipping follower: it has no WAL of
+// its own, applies the primary's records as they arrive (ApplyReplicated),
+// rejects mutations with a hint at the primary, and serves reads at its
+// applied frontier. Epoch-pinned and min_epoch reads behind that frontier
+// wait up to the staleness budget for the tail to catch up, then 412 — the
+// bridge that keeps a client's mutate-on-primary → pinned-read-on-replica
+// chain coherent without the replica ever inventing history.
+type Replica struct {
+	// Primary is the advertised primary base URL, returned alongside the 503
+	// a rejected mutation gets so clients can redirect.
+	Primary string
+	// Source describes where the tail reads from (a directory or the
+	// primary's URL); reporting only.
+	Source string
+	// StalenessBudget bounds how long an epoch-gated read waits for the tail
+	// to reach its target epoch before failing with 412. <= 0 means 2s.
+	StalenessBudget time.Duration
+}
+
+func (r Replica) budget() time.Duration {
+	if r.StalenessBudget <= 0 {
+		return 2 * time.Second
+	}
+	return r.StalenessBudget
+}
+
+// replState is a follower's replication progress, shared between the apply
+// loop (one goroutine feeding ApplyReplicated) and request handlers reading
+// or awaiting the frontier.
+type replState struct {
+	cfg Replica
+
+	mu sync.Mutex
+	// applied is the follower's frontier: the store epoch after the last
+	// replicated record. guarded by mu
+	applied uint64
+	// appliedAt is when applied last advanced. guarded by mu
+	appliedAt time.Time
+	// primary is the primary's last observed frontier epoch. guarded by mu
+	primary uint64
+	// records counts replicated records applied. guarded by mu
+	records uint64
+	// restarts counts tail restarts after transient source errors. guarded by mu
+	restarts uint64
+	// staleRejects counts reads that 412ed waiting for an epoch. guarded by mu
+	staleRejects uint64
+	// err, once set, marks replication permanently failed (the tail hit a
+	// terminal condition); epoch-gated reads fail fast. guarded by mu
+	err error
+	// ch is closed and remade each time applied advances (or err is set), so
+	// awaiters can select on progress with a timeout. guarded by mu
+	ch chan struct{}
+}
+
+func newReplState(cfg Replica, applied uint64) *replState {
+	return &replState{
+		cfg:       cfg,
+		applied:   applied,
+		appliedAt: time.Now(),
+		ch:        make(chan struct{}),
+	}
+}
+
+// wake closes and remakes the progress channel. Callers hold mu.
+func (rs *replState) wakeLocked() {
+	close(rs.ch)
+	rs.ch = make(chan struct{})
+}
+
+func (rs *replState) advance(epoch uint64) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.applied = epoch
+	rs.appliedAt = time.Now()
+	rs.records++
+	if epoch > rs.primary {
+		rs.primary = epoch
+	}
+	rs.wakeLocked()
+}
+
+func (rs *replState) observePrimary(frontier uint64) {
+	if frontier == 0 {
+		return
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if frontier > rs.primary {
+		rs.primary = frontier
+	}
+}
+
+func (rs *replState) noteRestart() {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.restarts++
+}
+
+func (rs *replState) noteStaleReject() {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.staleRejects++
+}
+
+func (rs *replState) fail(err error) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.err == nil {
+		rs.err = err
+		rs.wakeLocked()
+	}
+}
+
+// snapshot returns a consistent copy of the counters for health/metrics.
+func (rs *replState) snapshot() (applied, primary, records, restarts, staleRejects uint64, appliedAt time.Time, err error) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.applied, rs.primary, rs.records, rs.restarts, rs.staleRejects, rs.appliedAt, rs.err
+}
+
+// await blocks until the applied frontier reaches target, the staleness
+// budget runs out, replication fails, or ctx is done.
+func (rs *replState) await(ctx context.Context, target uint64) error {
+	deadline := time.Now().Add(rs.cfg.budget())
+	for {
+		rs.mu.Lock()
+		applied, err, ch := rs.applied, rs.err, rs.ch
+		rs.mu.Unlock()
+		if applied >= target {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("replication failed at epoch %d (want %d): %v", applied, target, err)
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return fmt.Errorf("replica frontier is epoch %d after waiting %s for epoch %d; retry or read the primary",
+				applied, rs.cfg.budget(), target)
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+			// Re-check once: the frontier may have advanced at the wire.
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		}
+	}
+}
+
+// errNotFollower guards the replication entry points on a non-replica server.
+var errNotFollower = errors.New("server: not configured as a follower")
+
+// ApplyReplicated applies one record shipped from the primary's log and
+// registers the resulting epoch as pinnable, exactly like a local mutation:
+// under mutMu the store advances and the new engine is bound before the
+// next record can commit, so the moment a replicated epoch is visible it is
+// also pinnable — the property the cross-node bit-identity check leans on.
+// Called by the follower's apply loop, in log order.
+func (s *Server) ApplyReplicated(rec core.MutationRecord) error {
+	if s.repl == nil {
+		return errNotFollower
+	}
+	s.mutMu.Lock()
+	if err := s.store.ApplyReplicated(rec); err != nil {
+		s.mutMu.Unlock()
+		return err
+	}
+	epoch := s.commitEpochLocked()
+	s.mutMu.Unlock()
+	s.repl.advance(epoch)
+	return nil
+}
+
+// ObservePrimary records the primary's frontier epoch as last seen by the
+// tail (lag is computed against it).
+func (s *Server) ObservePrimary(frontier uint64) {
+	if s.repl != nil {
+		s.repl.observePrimary(frontier)
+	}
+}
+
+// NoteTailRestart counts a transient tail failure the apply loop recovered
+// from by retrying.
+func (s *Server) NoteTailRestart() {
+	if s.repl != nil {
+		s.repl.noteRestart()
+	}
+}
+
+// ReplicationFailed marks replication permanently broken (the tail hit a
+// terminal condition: fell behind truncation, or the log diverged). The
+// follower keeps serving reads at its frozen frontier; epoch-gated reads
+// fail fast and /healthz flips to 503 so balancers stop preferring it.
+func (s *Server) ReplicationFailed(err error) {
+	if s.repl != nil {
+		s.repl.fail(err)
+	}
+}
+
+// AppliedEpoch returns the follower's applied frontier (reporting).
+func (s *Server) AppliedEpoch() uint64 {
+	if s.repl == nil {
+		return s.store.Epoch()
+	}
+	applied, _, _, _, _, _, _ := s.repl.snapshot()
+	return applied
+}
+
+// replicationJSON builds the healthz replication block. nil on primaries.
+func (s *Server) replicationJSON() *ReplicationJSON {
+	if s.repl == nil {
+		return nil
+	}
+	applied, primary, records, restarts, stale, appliedAt, err := s.repl.snapshot()
+	rj := &ReplicationJSON{
+		Primary:        s.repl.cfg.Primary,
+		Source:         s.repl.cfg.Source,
+		AppliedEpoch:   applied,
+		PrimaryEpoch:   primary,
+		AppliedRecords: records,
+		TailRestarts:   restarts,
+		StaleRejects:   stale,
+	}
+	if primary > applied {
+		rj.LagRecords = primary - applied
+		rj.LagSeconds = time.Since(appliedAt).Seconds()
+	}
+	if err != nil {
+		rj.Error = err.Error()
+	}
+	return rj
+}

@@ -1,0 +1,280 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pcbound/internal/core"
+	"pcbound/internal/domain"
+)
+
+var errTest = errors.New("wal: tailer fell behind the primary's log truncation (test)")
+
+// reship re-encodes a captured record's constraints against the follower's
+// schema instance — the same wire round-trip the WAL tailer performs, since
+// a store only accepts constraints built over its own schema.
+func reship(t *testing.T, rec core.MutationRecord, from, to *domain.Schema) core.MutationRecord {
+	t.Helper()
+	out := rec
+	out.PCs = make([]core.PC, len(rec.PCs))
+	for i, pc := range rec.PCs {
+		npc, err := core.PCFromJSON(to, core.EncodePC(from, pc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.PCs[i] = npc
+	}
+	return out
+}
+
+// newFollowerPair builds the replication test rig: a primary server and a
+// follower server over two independently-built but identical stores, with
+// the primary's commit records captured so the test can ship them to the
+// follower by hand — a deterministic stand-in for the WAL tail.
+func newFollowerPair(t *testing.T, cfg Replica) (primary *core.Store, pts *httptest.Server, follower *Server, fts *httptest.Server, recs func() []core.MutationRecord) {
+	t.Helper()
+	primary = testStore(t)
+	pts = newTestServer(t, primary, Config{})
+
+	var mu sync.Mutex
+	var captured []core.MutationRecord
+	primary.AddCommitHook(func(rec core.MutationRecord) {
+		mu.Lock()
+		defer mu.Unlock()
+		captured = append(captured, rec)
+	})
+
+	follower = New(testStore(t), nil, Config{Replica: &cfg})
+	fts = httptest.NewServer(follower.Handler())
+	t.Cleanup(fts.Close)
+	return primary, pts, follower, fts, func() []core.MutationRecord {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]core.MutationRecord(nil), captured...)
+	}
+}
+
+// TestFollowerRejectsMutations: every mutating endpoint on a follower is
+// refused with 503 and the primary's address, before any body validation —
+// a replica must never fork its replicated history.
+func TestFollowerRejectsMutations(t *testing.T) {
+	_, _, _, fts, _ := newFollowerPair(t, Replica{Primary: "http://primary.example:8080"})
+	for _, tc := range []struct {
+		path string
+		body any
+	}{
+		{"/v1/store/add", AddRequest{}},
+		{"/v1/store/remove", RemoveRequest{ID: 1}},
+		{"/v1/store/replace", ReplaceRequest{ID: 1}},
+	} {
+		var er ErrorResponse
+		code, raw := doJSON(t, "POST", fts.URL+tc.path, tc.body, nil)
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("%s on follower: code %d, want 503 (body %s)", tc.path, code, raw)
+		}
+		if err := json.Unmarshal(raw, &er); err != nil {
+			t.Fatalf("%s error body: %v", tc.path, err)
+		}
+		if er.Primary != "http://primary.example:8080" {
+			t.Fatalf("%s rejection primary hint %q, want the configured primary", tc.path, er.Primary)
+		}
+		if !strings.Contains(er.Error, "primary") {
+			t.Fatalf("%s rejection should point at the primary: %q", tc.path, er.Error)
+		}
+	}
+}
+
+// TestFollowerBitIdenticalAtSharedEpochs is the replication acceptance
+// criterion in miniature: after shipping the primary's records, an
+// epoch-pinned read answers byte-for-byte identically on both nodes, at
+// every shared epoch — the pin, not the node, names the result.
+func TestFollowerBitIdenticalAtSharedEpochs(t *testing.T) {
+	primary, pts, follower, fts, recs := newFollowerPair(t, Replica{Primary: "http://primary"})
+	boot := primary.Epoch()
+
+	// Mutate through the primary's API so it registers every epoch as
+	// pinnable, exactly as a real primary does.
+	for _, pc := range []core.PCJSON{
+		{Name: "evening", Predicate: map[string][2]float64{"utc": {18, 22}},
+			Values: map[string][2]float64{"price": {50, 450}}, KLo: 3, KHi: 9},
+		{Name: "late", Predicate: map[string][2]float64{"utc": {12, 16}},
+			Values: map[string][2]float64{"price": {30, 300}}, KLo: 1, KHi: 7},
+	} {
+		if code, raw := doJSON(t, "POST", pts.URL+"/v1/store/add",
+			AddRequest{Constraints: []core.PCJSON{pc}}, nil); code != http.StatusOK {
+			t.Fatalf("primary add: %d %s", code, raw)
+		}
+	}
+	for _, rec := range recs() {
+		if err := follower.ApplyReplicated(reship(t, rec, primary.Schema(), follower.store.Schema())); err != nil {
+			t.Fatalf("apply epoch %d: %v", rec.Epoch, err)
+		}
+	}
+
+	for epoch := boot; epoch <= primary.Epoch(); epoch++ {
+		e := epoch
+		for qi, q := range testQueries() {
+			req := BoundRequest{Query: q, Epoch: &e}
+			pcode, praw := doJSON(t, "POST", pts.URL+"/v1/bound", req, nil)
+			fcode, fraw := doJSON(t, "POST", fts.URL+"/v1/bound", req, nil)
+			if pcode != http.StatusOK || fcode != http.StatusOK {
+				t.Fatalf("epoch %d query %d: primary %d, follower %d (%s / %s)", e, qi, pcode, fcode, praw, fraw)
+			}
+			if !bytes.Equal(praw, fraw) {
+				t.Fatalf("epoch %d query %d: responses differ\nprimary  %s\nfollower %s", e, qi, praw, fraw)
+			}
+		}
+	}
+
+	var hr HealthResponse
+	if code, raw := doJSON(t, "GET", fts.URL+"/healthz", nil, &hr); code != http.StatusOK {
+		t.Fatalf("follower healthz: %d %s", code, raw)
+	}
+	if hr.Role != "follower" || hr.Replication == nil {
+		t.Fatalf("follower healthz role %q, replication %v", hr.Role, hr.Replication)
+	}
+	if hr.Replication.AppliedEpoch != primary.Epoch() || hr.Replication.LagRecords != 0 {
+		t.Fatalf("follower healthz: applied %d lag %d, want applied %d lag 0",
+			hr.Replication.AppliedEpoch, hr.Replication.LagRecords, primary.Epoch())
+	}
+	if hr.Replication.AppliedRecords != uint64(len(recs())) {
+		t.Fatalf("applied_records %d, want %d", hr.Replication.AppliedRecords, len(recs()))
+	}
+
+	resp, err := http.Get(fts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "pcserved_repl_lag_records 0") {
+		t.Fatalf("follower metrics missing zero lag gauge:\n%s", raw)
+	}
+}
+
+// TestFollowerMinEpochGate: a min_epoch read behind the frontier waits for
+// the tail; if the record arrives within the staleness budget the read runs
+// at (or past) the target, otherwise it fails with 412 and a Retry-After.
+func TestFollowerMinEpochGate(t *testing.T) {
+	primary, _, follower, fts, recs := newFollowerPair(t,
+		Replica{Primary: "http://primary", StalenessBudget: 250 * time.Millisecond})
+
+	// Budget expires first: 412.
+	want := primary.Epoch() + 1
+	req := BoundRequest{Query: testQueries()[0], MinEpoch: &want}
+	start := time.Now()
+	code, raw := doJSON(t, "POST", fts.URL+"/v1/bound", req, nil)
+	if code != http.StatusPreconditionFailed {
+		t.Fatalf("stale min_epoch: code %d, want 412 (body %s)", code, raw)
+	}
+	if waited := time.Since(start); waited < 200*time.Millisecond {
+		t.Fatalf("412 after %s: the gate must wait out the staleness budget first", waited)
+	}
+	var hr HealthResponse
+	doJSON(t, "GET", fts.URL+"/healthz", nil, &hr)
+	if hr.Replication.StaleRejects != 1 {
+		t.Fatalf("stale_rejects %d, want 1", hr.Replication.StaleRejects)
+	}
+
+	// The record arrives mid-wait: the read unblocks and serves >= target.
+	mutateStore(t, primary)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(50 * time.Millisecond)
+		if err := follower.ApplyReplicated(reship(t, recs()[0], primary.Schema(), follower.store.Schema())); err != nil {
+			t.Error(err)
+		}
+	}()
+	var br BoundResponse
+	code, raw = doJSON(t, "POST", fts.URL+"/v1/bound", req, &br)
+	<-done
+	if code != http.StatusOK {
+		t.Fatalf("min_epoch read after catch-up: code %d (body %s)", code, raw)
+	}
+	if br.Epoch < want {
+		t.Fatalf("gated read served epoch %d, want >= %d", br.Epoch, want)
+	}
+
+	// A pinned epoch ahead of the follower's frontier implies the same gate
+	// (and 412s once the budget runs out, rather than 410ing instantly).
+	ahead := primary.Epoch() + 5
+	code, raw = doJSON(t, "POST", fts.URL+"/v1/bound", BoundRequest{Query: testQueries()[0], Epoch: &ahead}, nil)
+	if code != http.StatusPreconditionFailed {
+		t.Fatalf("pinned-ahead read on follower: code %d, want 412 (body %s)", code, raw)
+	}
+}
+
+// TestPrimaryMinEpochImmediate: the primary IS the frontier, so a min_epoch
+// it has not reached can never be satisfied by waiting — 412 immediately.
+func TestPrimaryMinEpochImmediate(t *testing.T) {
+	store := testStore(t)
+	ts := newTestServer(t, store, Config{})
+	want := store.Epoch() + 1
+	start := time.Now()
+	code, raw := doJSON(t, "POST", ts.URL+"/v1/bound", BoundRequest{Query: testQueries()[0], MinEpoch: &want}, nil)
+	if code != http.StatusPreconditionFailed {
+		t.Fatalf("primary min_epoch ahead: code %d, want 412 (body %s)", code, raw)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("primary 412 took %s: must not wait", time.Since(start))
+	}
+
+	// A satisfiable min_epoch is a no-op.
+	now := store.Epoch()
+	code, _ = doJSON(t, "POST", ts.URL+"/v1/bound", BoundRequest{Query: testQueries()[0], MinEpoch: &now}, nil)
+	if code != http.StatusOK {
+		t.Fatalf("primary satisfiable min_epoch: code %d, want 200", code)
+	}
+}
+
+// TestFollowerReplicationFailure: a terminal tail error freezes the
+// follower at its frontier — plain reads keep serving, epoch-gated reads
+// fail fast, and /healthz flips to 503 replication_failed.
+func TestFollowerReplicationFailure(t *testing.T) {
+	primary, _, follower, fts, _ := newFollowerPair(t,
+		Replica{Primary: "http://primary", StalenessBudget: 10 * time.Second})
+	follower.ReplicationFailed(errTest)
+
+	code, _ := doJSON(t, "POST", fts.URL+"/v1/bound", BoundRequest{Query: testQueries()[0]}, nil)
+	if code != http.StatusOK {
+		t.Fatalf("plain read on failed follower: code %d, want 200 (frozen frontier still serves)", code)
+	}
+
+	want := primary.Epoch() + 1
+	start := time.Now()
+	code, raw := doJSON(t, "POST", fts.URL+"/v1/bound", BoundRequest{Query: testQueries()[0], MinEpoch: &want}, nil)
+	if code != http.StatusPreconditionFailed {
+		t.Fatalf("gated read on failed follower: code %d, want 412 (body %s)", code, raw)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("gated read waited %s despite failed replication: must fail fast", time.Since(start))
+	}
+
+	resp, err := http.Get(fts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hr HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || hr.Status != "replication_failed" {
+		t.Fatalf("failed follower healthz: %d %q, want 503 replication_failed", resp.StatusCode, hr.Status)
+	}
+	if hr.Replication.Error == "" {
+		t.Fatal("failed follower healthz must carry the tail error")
+	}
+}

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"strconv"
+	"time"
+
+	"pcbound/internal/wal"
+)
+
+// The primary's side of HTTP log shipping: /v1/wal endpoints exposing the
+// data directory read-only so followers can tail it from another host (see
+// internal/wal's HTTPSource for the client). Responses are the on-disk
+// bytes verbatim — the WAL's CRC framing travels with them, so a follower
+// validates an HTTP chunk exactly like a shared-disk read. Segments are
+// append-only and checkpoints rename-published, which is what makes serving
+// them without locks sound: a concurrent read sees a prefix or the
+// published file, both of which the tailer tolerates.
+
+// maxWALPoll caps how long one segment fetch may long-poll.
+const maxWALPoll = 30 * time.Second
+
+func (s *Server) walSource() wal.DirSource {
+	return wal.DirSource{FS: s.dur.FS(), Dir: s.dur.Dir()}
+}
+
+func (s *Server) handleWALList(w http.ResponseWriter, r *http.Request) {
+	l, err := s.walSource().List()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	lj := wal.ListingJSON{
+		Segments:     l.Segments,
+		Checkpoints:  l.Checkpoints,
+		Epoch:        s.store.Epoch(),
+		DurableEpoch: s.dur.Metrics().DurableEpoch,
+	}
+	if lj.Segments == nil {
+		lj.Segments = []uint64{}
+	}
+	if lj.Checkpoints == nil {
+		lj.Checkpoints = []uint64{}
+	}
+	writeJSON(w, http.StatusOK, lj)
+}
+
+func (s *Server) handleWALCheckpoint(w http.ResponseWriter, r *http.Request) {
+	epoch, err := strconv.ParseUint(r.PathValue("epoch"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid checkpoint epoch: %v", err))
+		return
+	}
+	data, err := s.walSource().ReadCheckpoint(epoch)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no checkpoint at epoch %d", epoch))
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// handleWALSegment serves segment bytes from a byte offset, long-polling up
+// to wait_ms for new bytes at the live edge so an idle follower costs one
+// open request instead of a poll storm. A sealed segment (rotation moved
+// the writer past it) returns immediately: it will never grow again.
+func (s *Server) handleWALSegment(w http.ResponseWriter, r *http.Request) {
+	start, err := strconv.ParseUint(r.PathValue("start"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid segment start: %v", err))
+		return
+	}
+	var off int64
+	if v := r.URL.Query().Get("off"); v != "" {
+		off, err = strconv.ParseInt(v, 10, 64)
+		if err != nil || off < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid offset %q", v))
+			return
+		}
+	}
+	var wait time.Duration
+	if v := r.URL.Query().Get("wait_ms"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || ms < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid wait_ms %q", v))
+			return
+		}
+		wait = time.Duration(ms) * time.Millisecond
+		if wait > maxWALPoll {
+			wait = maxWALPoll
+		}
+	}
+
+	src := s.walSource()
+	deadline := time.Now().Add(wait)
+	var chunk wal.SegmentChunk
+	for {
+		chunk, err = src.ReadSegment(start, off, 0)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			writeError(w, http.StatusNotFound, fmt.Sprintf("no segment starting at epoch %d", start))
+			return
+		case err != nil:
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		if len(chunk.Data) > 0 || time.Now().After(deadline) {
+			break
+		}
+		if s.dur.Metrics().SegmentStart != start {
+			// Sealed: the writer rotated past this segment, no byte will
+			// ever be appended to it — holding the poll open would only
+			// delay the follower's advance to the successor.
+			break
+		}
+		t := time.NewTimer(20 * time.Millisecond)
+		select {
+		case <-r.Context().Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+	}
+	w.Header().Set(wal.HeaderFrontierEpoch, strconv.FormatUint(s.store.Epoch(), 10))
+	w.Header().Set(wal.HeaderDurableEpoch, strconv.FormatUint(s.dur.Metrics().DurableEpoch, 10))
+	w.Header().Set(wal.HeaderSegmentSize, strconv.FormatInt(chunk.Size, 10))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(chunk.Data)
+}

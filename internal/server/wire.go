@@ -30,6 +30,19 @@
 // 503 once draining begins, and shutdown drains in-flight bounds (an
 // accepted request always completes; see core.BoundBatchCtx for the
 // cancellation granularity).
+//
+// Replication: a server constructed with Config.Replica is a read-only
+// follower. Mutations are refused with 503 plus the primary's address; the
+// replication driver feeds it durable WAL records through ApplyReplicated,
+// which commits them on the same path as recovery — so every applied epoch
+// is pinnable, and an epoch-pinned read on the follower is byte-identical
+// to the primary's at the same epoch. Reads default to the applied
+// frontier; a request carrying "min_epoch" waits (up to the staleness
+// budget) for the frontier to reach it, then 412s rather than answer
+// stale. A durable primary serves the other side of the link: /v1/wal
+// endpoints expose its checkpoints and segments, long-polling at the live
+// edge. /healthz gains a role and a replication block; /metrics gains
+// pcserved_repl_* gauges.
 package server
 
 import (
@@ -143,9 +156,17 @@ func (rj RangeJSON) Range() core.Range {
 // "summary" (always prefer the summary tier). Setting MaxWidth alone
 // implies "auto". Tier-opted requests also opt into degrade-before-shed: at
 // capacity the server answers them from the summary tier instead of 429.
+// MinEpoch is the read-your-writes gate for replicated reads: the request
+// does not run until the serving node's frontier has reached that epoch. On
+// a follower the request waits up to the staleness budget for the tail to
+// catch up (then 412 Precondition Failed); on a primary — which IS the
+// frontier — a min_epoch it has not reached is 412 immediately. A pinned
+// Epoch on a follower implies min_epoch of the same value, so pin-and-read
+// works against a replica that has not yet applied that epoch.
 type BoundRequest struct {
 	Query     core.QueryJSON `json:"query"`
 	Epoch     *uint64        `json:"epoch,omitempty"`
+	MinEpoch  *uint64        `json:"min_epoch,omitempty"`
 	Precision string         `json:"precision,omitempty"`
 	MaxWidth  *Num           `json:"max_width,omitempty"`
 }
@@ -166,6 +187,7 @@ type BoundResponse struct {
 type BatchRequest struct {
 	Queries     []core.QueryJSON `json:"queries"`
 	Epoch       *uint64          `json:"epoch,omitempty"`
+	MinEpoch    *uint64          `json:"min_epoch,omitempty"`
 	Parallelism int              `json:"parallelism,omitempty"`
 	Precision   string           `json:"precision,omitempty"`
 	MaxWidth    *Num             `json:"max_width,omitempty"`
@@ -251,10 +273,39 @@ type StoreResponse struct {
 
 // HealthResponse is the body of GET /healthz.
 type HealthResponse struct {
-	Status      string          `json:"status"` // "ok", "recovering", "wedged" or "draining"
-	Epoch       uint64          `json:"epoch"`
-	Constraints int             `json:"constraints"`
-	Durability  *DurabilityJSON `json:"durability,omitempty"`
+	Status      string           `json:"status"` // "ok", "recovering", "wedged", "draining" or "replication_failed"
+	Role        string           `json:"role"`   // "primary" or "follower"
+	Epoch       uint64           `json:"epoch"`
+	Constraints int              `json:"constraints"`
+	Durability  *DurabilityJSON  `json:"durability,omitempty"`
+	Replication *ReplicationJSON `json:"replication,omitempty"`
+}
+
+// ReplicationJSON reports a follower's tail progress on /healthz.
+type ReplicationJSON struct {
+	// Primary is the advertised primary base URL (also returned with
+	// rejected mutations).
+	Primary string `json:"primary,omitempty"`
+	// Source is where the tail reads the log from (directory or URL).
+	Source string `json:"source,omitempty"`
+	// AppliedEpoch is the follower's frontier: reads serve at this epoch.
+	AppliedEpoch uint64 `json:"applied_epoch"`
+	// PrimaryEpoch is the primary's frontier as last observed by the tail.
+	PrimaryEpoch uint64 `json:"primary_epoch"`
+	// LagRecords is PrimaryEpoch - AppliedEpoch (every record is one epoch),
+	// clamped at zero; LagSeconds is how long the frontier has been stuck
+	// while lagging (0 when caught up).
+	LagRecords uint64  `json:"lag_records"`
+	LagSeconds float64 `json:"lag_seconds"`
+	// AppliedRecords counts records applied since this process started.
+	AppliedRecords uint64 `json:"applied_records"`
+	// TailRestarts counts transient tail failures the apply loop retried.
+	TailRestarts uint64 `json:"tail_restarts"`
+	// StaleRejects counts epoch-gated reads that 412ed.
+	StaleRejects uint64 `json:"stale_rejects"`
+	// Error, when set, means replication failed terminally: the follower
+	// serves its frozen frontier but will not advance.
+	Error string `json:"error,omitempty"`
 }
 
 // DurabilityJSON reports WAL and recovery state on /healthz when the server
@@ -280,7 +331,9 @@ type DurabilityJSON struct {
 	Wedged bool `json:"wedged,omitempty"`
 }
 
-// ErrorResponse is the body of every non-2xx response.
+// ErrorResponse is the body of every non-2xx response. Primary is set on a
+// replica's mutation rejections: the base URL writes should go to.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error   string `json:"error"`
+	Primary string `json:"primary,omitempty"`
 }

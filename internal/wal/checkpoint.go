@@ -153,6 +153,13 @@ func readCheckpoint(fsys FS, dir string, epoch uint64) (*core.Store, *domain.Sch
 	if err != nil {
 		return nil, nil, fmt.Errorf("wal: reading checkpoint %d: %w", epoch, err)
 	}
+	return decodeCheckpoint(data, epoch)
+}
+
+// decodeCheckpoint validates raw checkpoint-file bytes (however they were
+// fetched — local read or a follower's HTTP pull) and rebuilds the store
+// state they froze.
+func decodeCheckpoint(data []byte, epoch uint64) (*core.Store, *domain.Schema, error) {
 	res, err := scanFile(data, checkpointMagic)
 	if err != nil {
 		return nil, nil, fmt.Errorf("wal: checkpoint %d: %w", epoch, err)

@@ -43,11 +43,45 @@ func appendFrame(buf, payload []byte) []byte {
 // scanResult reports one file scan. Payloads alias the scanned data.
 type scanResult struct {
 	payloads [][]byte
+	// ends[i] is the byte offset just past payloads[i]'s frame, so a
+	// resumable reader (the tailer) can commit its position frame by frame.
+	ends []int64
 	// validLen is the byte offset just past the last valid frame (including
 	// the magic header). Bytes beyond it are torn or corrupt.
 	validLen int64
 	// torn is true when trailing bytes past validLen failed to parse.
 	torn bool
+}
+
+// scanFrames walks frames in data — which must start at a frame boundary,
+// i.e. just past the magic header or past a previously validated frame —
+// until the first invalid one. Offsets in the result are relative to the
+// start of data.
+func scanFrames(data []byte) scanResult {
+	var res scanResult
+	off := 0
+	for off < len(data) {
+		if off+frameHeaderLen > len(data) {
+			res.torn = true
+			return res
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n > maxFrameLen || off+frameHeaderLen+n > len(data) {
+			res.torn = true
+			return res
+		}
+		payload := data[off+frameHeaderLen : off+frameHeaderLen+n]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			res.torn = true
+			return res
+		}
+		res.payloads = append(res.payloads, payload)
+		off += frameHeaderLen + n
+		res.ends = append(res.ends, int64(off))
+		res.validLen = int64(off)
+	}
+	return res
 }
 
 // scanFile validates a file's magic header and walks its frames until the
@@ -63,27 +97,10 @@ func scanFile(data []byte, magic string) (scanResult, error) {
 	if string(data[:len(magic)]) != magic {
 		return scanResult{}, fmt.Errorf("wal: bad magic %q", data[:len(magic)])
 	}
-	res := scanResult{validLen: int64(len(magic))}
-	off := len(magic)
-	for off < len(data) {
-		if off+frameHeaderLen > len(data) {
-			res.torn = true
-			return res, nil
-		}
-		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
-		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
-		if n > maxFrameLen || off+frameHeaderLen+n > len(data) {
-			res.torn = true
-			return res, nil
-		}
-		payload := data[off+frameHeaderLen : off+frameHeaderLen+n]
-		if crc32.Checksum(payload, castagnoli) != sum {
-			res.torn = true
-			return res, nil
-		}
-		res.payloads = append(res.payloads, payload)
-		off += frameHeaderLen + n
-		res.validLen = int64(off)
+	res := scanFrames(data[len(magic):])
+	res.validLen += int64(len(magic))
+	for i := range res.ends {
+		res.ends[i] += int64(len(magic))
 	}
 	return res, nil
 }

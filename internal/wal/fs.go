@@ -7,6 +7,13 @@
 // Clock interfaces below, so the fault-injection harness (MemFS) can crash
 // the "machine" at any operation boundary, tear the final record, or flip
 // bits — and the recovery tests can prove bit-identity under all of it.
+//
+// The same log doubles as the replication stream: Tailer incrementally
+// reads a live directory (or a primary's /v1/wal endpoints via HTTPSource)
+// — bootstrapping from the newest checkpoint, surfacing only durable,
+// fully-framed records, holding at a torn live edge until the group commit
+// completes, and advancing across sealed segments — so a follower applies
+// exactly the records recovery would replay, in the same order.
 package wal
 
 import (

@@ -1,0 +1,155 @@
+package wal
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The HTTP replication wire format, shared between the primary's /v1/wal
+// handlers (internal/server) and the follower-side HTTPSource here:
+//
+//	GET /v1/wal                          -> ListingJSON
+//	GET /v1/wal/checkpoint/{epoch}       -> raw checkpoint file bytes
+//	GET /v1/wal/segment/{start}?off=N&wait_ms=M
+//	                                     -> raw segment bytes from offset N,
+//	                                        long-polling up to M ms for new
+//	                                        bytes; headers carry the epochs
+//
+// Segment and checkpoint responses are the on-disk bytes verbatim — the
+// same CRC framing protects both transports, so a follower validates an
+// HTTP-fetched chunk exactly as it would a shared-disk read.
+
+// ListingJSON is the GET /v1/wal document a primary serves to followers.
+type ListingJSON struct {
+	Segments     []uint64 `json:"segments"`
+	Checkpoints  []uint64 `json:"checkpoints"`
+	Epoch        uint64   `json:"epoch"`
+	DurableEpoch uint64   `json:"durable_epoch"`
+}
+
+// Headers annotating /v1/wal segment responses.
+const (
+	HeaderFrontierEpoch = "X-Pcwal-Frontier-Epoch"
+	HeaderDurableEpoch  = "X-Pcwal-Durable-Epoch"
+	HeaderSegmentSize   = "X-Pcwal-Segment-Size"
+)
+
+// HTTPSource reads a primary's WAL over its /v1/wal endpoints, letting a
+// follower run on a separate host. Unlike DirSource it learns the primary's
+// frontier and durable epochs from every response, so the tailer holds back
+// records the primary has written but not yet acknowledged durable.
+type HTTPSource struct {
+	// Base is the primary's base URL, e.g. "http://primary:8080".
+	Base string
+	// Client defaults to a fresh client with no global timeout — segment
+	// fetches long-poll, so each request is bounded by a per-call context
+	// deadline instead.
+	Client *http.Client
+}
+
+// SourceFor returns the Source for a follow target: an http(s):// base URL
+// becomes an HTTPSource, anything else is a data directory on local disk.
+func SourceFor(target string) Source {
+	if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") {
+		return &HTTPSource{Base: strings.TrimRight(target, "/")}
+	}
+	return DirSource{Dir: target}
+}
+
+func (h *HTTPSource) client() *http.Client {
+	if h.Client != nil {
+		return h.Client
+	}
+	return &http.Client{}
+}
+
+// get issues one GET bounded by timeout and returns the body. A 404 is
+// reported as an error satisfying errors.Is(err, fs.ErrNotExist) so the
+// tailer's missing-file handling works across transports.
+func (h *HTTPSource) get(path string, timeout time.Duration) (*http.Response, []byte, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.Base+path, nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: building request for %s: %w", path, err)
+	}
+	resp, err := h.client().Do(req)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: fetching %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: reading %s: %w", path, err)
+	}
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		return nil, nil, fmt.Errorf("wal: %s: %w", path, fs.ErrNotExist)
+	case resp.StatusCode != http.StatusOK:
+		msg := strings.TrimSpace(string(body))
+		if len(msg) > 200 {
+			msg = msg[:200]
+		}
+		return nil, nil, fmt.Errorf("wal: %s: HTTP %d: %s", path, resp.StatusCode, msg)
+	}
+	return resp, body, nil
+}
+
+// List implements Source.
+func (h *HTTPSource) List() (Listing, error) {
+	_, body, err := h.get("/v1/wal", 30*time.Second)
+	if err != nil {
+		return Listing{}, err
+	}
+	var lj ListingJSON
+	if err := json.Unmarshal(body, &lj); err != nil {
+		return Listing{}, fmt.Errorf("wal: parsing /v1/wal listing: %w", err)
+	}
+	return Listing{
+		Segments:      lj.Segments,
+		Checkpoints:   lj.Checkpoints,
+		FrontierEpoch: lj.Epoch,
+		DurableEpoch:  lj.DurableEpoch,
+	}, nil
+}
+
+// ReadCheckpoint implements Source.
+func (h *HTTPSource) ReadCheckpoint(epoch uint64) ([]byte, error) {
+	_, body, err := h.get(fmt.Sprintf("/v1/wal/checkpoint/%d", epoch), 60*time.Second)
+	return body, err
+}
+
+// ReadSegment implements Source. The request long-polls: the primary holds
+// it open up to wait for bytes past off, so an idle tail costs one slow
+// request instead of a tight poll loop.
+func (h *HTTPSource) ReadSegment(start uint64, off int64, wait time.Duration) (SegmentChunk, error) {
+	path := fmt.Sprintf("/v1/wal/segment/%d?off=%d&wait_ms=%d", start, off, wait.Milliseconds())
+	resp, body, err := h.get(path, wait+30*time.Second)
+	if err != nil {
+		return SegmentChunk{}, err
+	}
+	chunk := SegmentChunk{Data: body, Size: off + int64(len(body))}
+	if v := resp.Header.Get(HeaderSegmentSize); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			chunk.Size = n
+		}
+	}
+	if v := resp.Header.Get(HeaderFrontierEpoch); v != "" {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			chunk.FrontierEpoch = n
+		}
+	}
+	if v := resp.Header.Get(HeaderDurableEpoch); v != "" {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			chunk.DurableEpoch = n
+		}
+	}
+	return chunk, nil
+}

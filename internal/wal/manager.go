@@ -292,6 +292,15 @@ func (m *Manager) Store() *core.Store { return m.store }
 // Schema returns the recovered schema.
 func (m *Manager) Schema() *domain.Schema { return m.schema }
 
+// Dir returns the data directory the manager owns.
+func (m *Manager) Dir() string { return m.dir }
+
+// FS returns the filesystem the manager reads and writes through. Together
+// with Dir it lets the serving layer expose the directory read-only to
+// followers (a DirSource over the same FS): segments are append-only and
+// checkpoints rename-published, so concurrent reads need no locking.
+func (m *Manager) FS() FS { return m.fsys }
+
 // Info returns what recovery found.
 func (m *Manager) Info() Info { return m.info }
 

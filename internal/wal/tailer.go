@@ -1,0 +1,399 @@
+package wal
+
+// Log shipping: a follower replays a primary's data directory as a live
+// stream. The Tailer below extends recovery's read-only replay (Recover)
+// into a resumable tail — bootstrap from the newest readable checkpoint,
+// then Poll for records as the primary appends them — over a Source that is
+// either the directory itself (shared disk) or the primary's /v1/wal HTTP
+// endpoints (separate hosts; see httpsource.go).
+//
+// The live edge is the hard part. The primary's flush leader may be
+// mid-write when a poll reads the segment, so a torn final frame is not
+// corruption — it is a record being group-committed right now, and the next
+// poll re-reads it completed. The tailer therefore never trusts bytes past
+// the last intact frame, never advances its committed offset past a frame
+// it has not surfaced, and treats "sealed" (a successor segment exists) as
+// the only state in which a short tail can be declared a real fault: sealed
+// segments never grow, so a handful of fresh re-reads separates a racing
+// rotation from actual damage.
+//
+// When the source reports the primary's durable epoch (the HTTP source
+// does), the tailer also refuses to surface records beyond it: a record
+// written but not yet fsynced was never acknowledged, and a follower must
+// not apply history the primary could still lose. On a shared-disk source
+// the durable horizon is unknown and the tailer streams written bytes —
+// the same contract as the primary's own SIGKILL tolerance.
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"time"
+
+	"pcbound/internal/core"
+	"pcbound/internal/domain"
+)
+
+// Terminal tailer errors. Everything else out of Poll (filesystem hiccups,
+// network failures from an HTTP source) is transient: the caller logs,
+// backs off, and polls again. These three mean the tail cannot continue.
+var (
+	// ErrFellBehind: the primary's checkpoint truncation removed records the
+	// follower had not applied yet. Re-bootstrap from a fresh checkpoint.
+	ErrFellBehind = errors.New("wal: tailer fell behind the primary's log truncation")
+	// ErrDiverged: the source's log contradicts what the tailer already
+	// applied (a segment shrank below the committed offset, a sealed segment
+	// stops short of its rotation boundary, a record fails to decode). After
+	// a primary lost acknowledged history — a machine crash under fsync-mode
+	// none — the follower's state is not a prefix of the primary's and must
+	// be rebuilt from scratch.
+	ErrDiverged = errors.New("wal: tailer diverged from the source log")
+)
+
+// IsTerminal reports whether a Poll or Bootstrap error is unrecoverable by
+// retrying: the follower must re-bootstrap (ErrFellBehind) or be rebuilt
+// (ErrDiverged) rather than keep polling.
+func IsTerminal(err error) bool {
+	return errors.Is(err, ErrFellBehind) || errors.Is(err, ErrDiverged)
+}
+
+// Listing is a Source's view of the primary's data directory, plus the
+// primary's epochs when the source knows them (zero = unknown).
+type Listing struct {
+	Segments      []uint64 // segment start epochs, ascending
+	Checkpoints   []uint64 // checkpoint epochs, ascending
+	FrontierEpoch uint64   // the primary store's current epoch
+	DurableEpoch  uint64   // the primary's durable epoch
+}
+
+// SegmentChunk is one ReadSegment result: the segment's bytes from the
+// requested offset, with the same optional epoch annotations as Listing.
+type SegmentChunk struct {
+	Data          []byte
+	Size          int64 // total segment size at read time
+	FrontierEpoch uint64
+	DurableEpoch  uint64
+}
+
+// Source abstracts where a follower reads the primary's WAL from. Reads
+// must be wrapped-ErrNotExist-transparent: a missing segment or checkpoint
+// surfaces as an error satisfying errors.Is(err, fs.ErrNotExist), which the
+// tailer distinguishes from transient failures.
+type Source interface {
+	List() (Listing, error)
+	// ReadCheckpoint returns the raw bytes of checkpoint <epoch>.
+	ReadCheckpoint(epoch uint64) ([]byte, error)
+	// ReadSegment returns segment <start>'s bytes from byte offset off. A
+	// source that can block (HTTP long-poll) waits up to wait for new bytes
+	// past off before returning an empty chunk; others return immediately.
+	ReadSegment(start uint64, off int64, wait time.Duration) (SegmentChunk, error)
+}
+
+// DirSource reads a primary's data directory in place: the follower shares
+// the disk (or a replica of it). Segments are append-only and checkpoints
+// rename-published, so lock-free concurrent reads see either a prefix or
+// the published file — exactly what the tailer's scanning tolerates.
+type DirSource struct {
+	// FS defaults to the real filesystem.
+	FS FS
+	// Dir is the primary's data directory.
+	Dir string
+}
+
+func (d DirSource) fsys() FS {
+	if d.FS == nil {
+		return OSFS{}
+	}
+	return d.FS
+}
+
+// List implements Source. A directory source cannot see the primary's
+// in-memory epochs; both report as unknown.
+func (d DirSource) List() (Listing, error) {
+	l, err := listDir(d.fsys(), d.Dir)
+	if err != nil {
+		return Listing{}, err
+	}
+	return Listing{Segments: l.segments, Checkpoints: l.checkpoints}, nil
+}
+
+// ReadCheckpoint implements Source.
+func (d DirSource) ReadCheckpoint(epoch uint64) ([]byte, error) {
+	return d.fsys().ReadFile(d.Dir + "/" + checkpointName(epoch))
+}
+
+// ReadSegment implements Source. It never blocks: a directory has no
+// notification primitive, so the caller's poll cadence is the wait.
+func (d DirSource) ReadSegment(start uint64, off int64, _ time.Duration) (SegmentChunk, error) {
+	data, err := d.fsys().ReadFile(d.Dir + "/" + segmentName(start))
+	if err != nil {
+		return SegmentChunk{}, err
+	}
+	chunk := SegmentChunk{Size: int64(len(data))}
+	if off >= 0 && off < int64(len(data)) {
+		chunk.Data = data[off:]
+	}
+	return chunk, nil
+}
+
+// tailerMaxStalls is how many consecutive no-progress re-reads of a sealed
+// segment the tailer tolerates before declaring it damaged. A sealed
+// segment never grows, so each re-read either completes the racing final
+// group commit or confirms the tail really is short.
+const tailerMaxStalls = 8
+
+// Tailer streams a primary's committed mutations in order: Bootstrap
+// restores the newest readable checkpoint, then each Poll returns the next
+// batch of records (possibly none) while tracking the segment chain across
+// rotations and checkpoint truncations. Methods must be called from one
+// goroutine; the returned records are the caller's to keep.
+type Tailer struct {
+	src    Source
+	schema *domain.Schema
+
+	segStart uint64 // current segment's start epoch
+	off      int64  // committed offset: just past the last surfaced frame
+	applied  uint64 // epoch of the last record Poll returned
+	frontier uint64 // primary's frontier epoch when known (monotone max)
+	durable  uint64 // primary's durable epoch when known (monotone max)
+	stalls   int    // consecutive no-progress polls on a sealed segment
+}
+
+// NewTailer returns a tailer over the source. Call Bootstrap before Poll.
+func NewTailer(src Source) *Tailer {
+	return &Tailer{src: src}
+}
+
+// Bootstrap restores the newest readable checkpoint from the source and
+// positions the tail so Poll streams every record past it. Like recovery,
+// unreadable checkpoints are skipped toward older ones. Safe to call again
+// to restart a fallen-behind tail from the primary's current checkpoint.
+func (t *Tailer) Bootstrap() (*core.Store, *domain.Schema, error) {
+	l, err := t.src.List()
+	if err != nil {
+		return nil, nil, err
+	}
+	t.noteEpochs(l.FrontierEpoch, l.DurableEpoch)
+	if len(l.Checkpoints) == 0 {
+		return nil, nil, errors.New("wal: source has no checkpoint to bootstrap a follower from")
+	}
+	var (
+		store   *core.Store
+		schema  *domain.Schema
+		ckpt    uint64
+		lastErr error
+	)
+	for i := len(l.Checkpoints) - 1; i >= 0; i-- {
+		c := l.Checkpoints[i]
+		data, err := t.src.ReadCheckpoint(c)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if store, schema, err = decodeCheckpoint(data, c); err == nil {
+			ckpt = c
+			break
+		}
+		lastErr = err
+		store = nil
+	}
+	if store == nil {
+		return nil, nil, fmt.Errorf("wal: no usable checkpoint at the source: %w", lastErr)
+	}
+
+	// Start at the newest segment that can contain records past the
+	// checkpoint: the largest start <= ckpt (segment wal-<s> holds epochs
+	// > s). Earlier records are skipped by the epoch filter in Poll.
+	pos, ok := uint64(0), false
+	for _, s := range l.Segments {
+		if s <= ckpt {
+			pos, ok = s, true
+		}
+	}
+	if !ok {
+		if len(l.Segments) > 0 {
+			return nil, nil, fmt.Errorf("%w: checkpoint %d decoded but the oldest segment starts at %d",
+				ErrFellBehind, ckpt, l.Segments[0])
+		}
+		// No segments yet (a checkpoint-only directory): poll where the
+		// primary will create one.
+		pos = ckpt
+	}
+	t.schema = schema
+	t.applied = ckpt
+	t.segStart, t.off, t.stalls = pos, 0, 0
+	return store, schema, nil
+}
+
+// Applied returns the epoch of the last record Poll surfaced (the
+// checkpoint epoch right after Bootstrap).
+func (t *Tailer) Applied() uint64 { return t.applied }
+
+// Frontier returns the primary's last known frontier epoch (0 when the
+// source cannot report it, e.g. a shared directory).
+func (t *Tailer) Frontier() uint64 { return t.frontier }
+
+// Durable returns the primary's last known durable epoch (0 when unknown).
+func (t *Tailer) Durable() uint64 { return t.durable }
+
+// Position returns the current segment start and committed byte offset —
+// diagnostics for logs and tests.
+func (t *Tailer) Position() (segment uint64, off int64) { return t.segStart, t.off }
+
+// Poll reads forward from the committed position and returns the next
+// records in epoch order (none when the tail is idle). wait is handed to
+// the source; a long-polling source blocks that long for new bytes. A nil
+// error with no records means "live edge, try again"; terminal conditions
+// wrap ErrFellBehind or ErrDiverged (see IsTerminal), anything else is
+// transient and polling may simply continue.
+func (t *Tailer) Poll(wait time.Duration) ([]core.MutationRecord, error) {
+	chunk, err := t.src.ReadSegment(t.segStart, t.off, wait)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, t.reposition()
+		}
+		return nil, err
+	}
+	t.noteEpochs(chunk.FrontierEpoch, chunk.DurableEpoch)
+	if chunk.Size < t.off {
+		return nil, fmt.Errorf("%w: %s is %d bytes, shorter than the %d already applied (the primary lost acknowledged history)",
+			ErrDiverged, segmentName(t.segStart), chunk.Size, t.off)
+	}
+	data := chunk.Data
+	base := t.off
+	if base == 0 {
+		// Fresh segment: the magic header must land before any frame. A
+		// short header is the file-creation race, not damage — unless the
+		// segment is sealed and stays short (settle decides).
+		if len(data) < len(segmentMagic) {
+			return nil, t.settle(false)
+		}
+		if string(data[:len(segmentMagic)]) != segmentMagic {
+			return nil, fmt.Errorf("%w: %s: bad magic", ErrDiverged, segmentName(t.segStart))
+		}
+		data = data[len(segmentMagic):]
+		base = int64(len(segmentMagic))
+	}
+
+	res := scanFrames(data)
+	var recs []core.MutationRecord
+	var consumed int64
+	heldBack := false
+	for i, payload := range res.payloads {
+		rec, err := decodeRecord(t.schema, payload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrDiverged, segmentName(t.segStart), err)
+		}
+		if rec.Epoch <= t.applied {
+			// Bootstrap overlap: the checkpoint already covers this record.
+			consumed = res.ends[i]
+			continue
+		}
+		if rec.Epoch != t.applied+1 {
+			return nil, fmt.Errorf("%w: %s: record epoch %d does not follow applied epoch %d",
+				ErrDiverged, segmentName(t.segStart), rec.Epoch, t.applied)
+		}
+		if t.durable != 0 && rec.Epoch > t.durable {
+			// Written but not yet acknowledged durable by the primary; hold
+			// it back — a follower must never apply history the primary
+			// could still lose. The frame is re-read once durable advances.
+			heldBack = true
+			break
+		}
+		recs = append(recs, rec)
+		t.applied = rec.Epoch
+		consumed = res.ends[i]
+	}
+	t.off = base + consumed
+	if len(recs) > 0 {
+		t.stalls = 0
+		return recs, nil
+	}
+	if heldBack {
+		t.stalls = 0
+		return nil, nil
+	}
+	drained := !res.torn && t.off == chunk.Size
+	return nil, t.settle(drained)
+}
+
+// settle decides what a no-progress poll means: a rotation to chase, a live
+// tail still being written, or — after repeated fresh re-reads of a sealed
+// segment — real damage. drained reports that every byte read so far parsed
+// and was consumed.
+func (t *Tailer) settle(drained bool) error {
+	l, err := t.src.List()
+	if err != nil {
+		return err
+	}
+	t.noteEpochs(l.FrontierEpoch, l.DurableEpoch)
+	next, sealed := uint64(0), false
+	for _, s := range l.Segments {
+		if s > t.segStart && (!sealed || s < next) {
+			next, sealed = s, true
+		}
+	}
+	if !sealed {
+		// Live edge: the writer just hasn't flushed more yet.
+		t.stalls = 0
+		return nil
+	}
+	if drained && t.applied == next {
+		// The rotation boundary is exactly the frontier we reached: this
+		// segment is fully applied, follow the chain.
+		t.segStart, t.off, t.stalls = next, 0, 0
+		return nil
+	}
+	// Sealed but short of its boundary. Either the poll raced the segment's
+	// final group commit (a re-read sees it completed) or the sealed bytes
+	// really are torn or gapped; sealed segments never grow, so a bounded
+	// number of re-reads decides which.
+	t.stalls++
+	if t.stalls > tailerMaxStalls {
+		return fmt.Errorf("%w: %s is sealed at rotation boundary %d but stops at applied epoch %d after %d re-reads",
+			ErrDiverged, segmentName(t.segStart), next, t.applied, t.stalls)
+	}
+	return nil
+}
+
+// reposition handles the current segment disappearing underneath the tail:
+// the primary's checkpoint truncated the log. If a surviving segment still
+// covers the next record we need, continue from it; otherwise the follower
+// has fallen behind the truncation horizon for good.
+func (t *Tailer) reposition() error {
+	l, err := t.src.List()
+	if err != nil {
+		return err
+	}
+	t.noteEpochs(l.FrontierEpoch, l.DurableEpoch)
+	pos, ok := uint64(0), false
+	for _, s := range l.Segments {
+		if s <= t.applied {
+			pos, ok = s, true
+		}
+	}
+	if !ok {
+		oldest := uint64(0)
+		if len(l.Segments) > 0 {
+			oldest = l.Segments[0]
+		}
+		return fmt.Errorf("%w: applied epoch %d but the oldest surviving segment starts at %d; re-bootstrap from a checkpoint",
+			ErrFellBehind, t.applied, oldest)
+	}
+	if pos == t.segStart {
+		// Still listed: the read raced a removal or the listing is stale.
+		// Transient; the next poll re-reads or re-lists.
+		return nil
+	}
+	t.segStart, t.off, t.stalls = pos, 0, 0
+	return nil
+}
+
+func (t *Tailer) noteEpochs(frontier, durable uint64) {
+	if frontier > t.frontier {
+		t.frontier = frontier
+	}
+	if durable > t.durable {
+		t.durable = durable
+	}
+}

@@ -1,0 +1,436 @@
+package wal
+
+import (
+	"errors"
+	"io/fs"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"pcbound/internal/core"
+)
+
+// drain polls the tailer until the follower store reaches the target epoch,
+// applying every surfaced record. It fails the test on any error — these
+// tests' tailers are never supposed to hit one while catching up.
+func drain(t *testing.T, tl *Tailer, follower *core.Store, target uint64) {
+	t.Helper()
+	for i := 0; follower.Epoch() < target; i++ {
+		if i > 10_000 {
+			t.Fatalf("no progress: follower stuck at epoch %d, want %d", follower.Epoch(), target)
+		}
+		recs, err := tl.Poll(0)
+		if err != nil {
+			t.Fatalf("poll at follower epoch %d: %v", follower.Epoch(), err)
+		}
+		for _, rec := range recs {
+			if err := follower.ApplyReplicated(rec); err != nil {
+				t.Fatalf("apply epoch %d: %v", rec.Epoch, err)
+			}
+		}
+	}
+}
+
+// TestTailerStreamsLiveMutations is the end-to-end shape of replication: a
+// follower bootstraps from the primary's checkpoint and keeps pace with a
+// scripted mutation stream, across checkpoints that rotate and truncate the
+// log underneath it. The follower that keeps up must end bit-identical.
+func TestTailerStreamsLiveMutations(t *testing.T) {
+	memfs := NewMemFS()
+	schema := testSchema()
+	boot := buildBoot(t, schema)
+	m, err := openTestManager(t, memfs, boot, 0, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary := m.Store()
+
+	tl := NewTailer(DirSource{FS: memfs, Dir: "data"})
+	follower, _, err := tl.Bootstrap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if follower.Epoch() != primary.Epoch() {
+		t.Fatalf("bootstrap at epoch %d, primary at %d", follower.Epoch(), primary.Epoch())
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	ids := append([]core.PCID(nil), primary.IDs()...)
+	for i, op := range makeScript(rng, schema, 60, len(ids)) {
+		if ids, err = applyOp(primary, ids, op); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.WaitDurable(primary.Epoch()); err != nil {
+			t.Fatal(err)
+		}
+		drain(t, tl, follower, primary.Epoch())
+		if i%13 == 12 {
+			// The follower is at parity, so the checkpoint's rotation and
+			// segment truncation land exactly at its frontier: the next poll
+			// repositions onto the fresh segment and keeps streaming.
+			if err := m.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	requireSameStore(t, "follower after live tail", primary, follower)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTailerTornFinalRecordMidRead reads a log whose final record is torn —
+// exactly what a poll racing the primary's group commit sees. The torn
+// frame must be held back without error, and the re-read after the append
+// completes must surface it.
+func TestTailerTornFinalRecordMidRead(t *testing.T) {
+	memfs := NewMemFS()
+	schema := testSchema()
+	m, err := openTestManager(t, memfs, buildBoot(t, schema), 0, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary := m.Store()
+	ids := append([]core.PCID(nil), primary.IDs()...)
+	rng := rand.New(rand.NewSource(11))
+	for _, op := range makeScript(rng, schema, 4, len(ids)) {
+		if ids, err = applyOp(primary, ids, op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.WaitDurable(primary.Epoch()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the final frame mid-payload: keep the full bytes, truncate the
+	// file to somewhere strictly inside the last record.
+	seg := "data/" + segmentName(3)
+	full, err := memfs.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scanFile(full, segmentMagic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(res.ends)
+	if n < 2 {
+		t.Fatalf("want at least 2 frames, got %d", n)
+	}
+	cut := res.ends[n-2] + (res.ends[n-1]-res.ends[n-2])/2
+	if err := memfs.Truncate(seg, cut); err != nil {
+		t.Fatal(err)
+	}
+
+	tl := NewTailer(DirSource{FS: memfs, Dir: "data"})
+	follower, _, err := tl.Bootstrap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mid-commit view: every intact record streams, the torn one does not,
+	// and repeated polls at the live edge stay error-free (a torn tail with
+	// no successor segment is a record in flight, not corruption).
+	drain(t, tl, follower, primary.Epoch()-1)
+	for i := 0; i < 2*tailerMaxStalls; i++ {
+		recs, err := tl.Poll(0)
+		if err != nil || len(recs) != 0 {
+			t.Fatalf("torn live edge: poll %d returned %d records, err %v", i, len(recs), err)
+		}
+	}
+
+	// The writer finishes the append; the next poll completes the stream.
+	f, err := memfs.OpenAppend(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(full[cut:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, tl, follower, primary.Epoch())
+	requireSameStore(t, "follower after torn-tail completion", primary, follower)
+}
+
+// TestTailerFallsBehindTruncation pins the other side of the checkpoint
+// contract: a follower that has NOT applied records the primary's
+// checkpoint truncates away is irrecoverably behind, and the tailer says so
+// with ErrFellBehind instead of streaming a gapped history.
+func TestTailerFallsBehindTruncation(t *testing.T) {
+	memfs := NewMemFS()
+	schema := testSchema()
+	m, err := openTestManager(t, memfs, buildBoot(t, schema), 0, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary := m.Store()
+
+	tl := NewTailer(DirSource{FS: memfs, Dir: "data"})
+	follower, _, err := tl.Bootstrap()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The primary commits and checkpoints while the follower never polls:
+	// the records between its frontier and the checkpoint are deleted with
+	// the old segment — the segment the tailer was still holding open.
+	ids := append([]core.PCID(nil), primary.IDs()...)
+	rng := rand.New(rand.NewSource(13))
+	for _, op := range makeScript(rng, schema, 5, len(ids)) {
+		if ids, err = applyOp(primary, ids, op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.WaitDurable(primary.Epoch()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = tl.Poll(0)
+	if !errors.Is(err, ErrFellBehind) {
+		t.Fatalf("poll after truncation: got %v, want ErrFellBehind", err)
+	}
+	if !IsTerminal(err) {
+		t.Fatalf("ErrFellBehind must be terminal")
+	}
+	if follower.Epoch() != 3 {
+		t.Fatalf("follower advanced to %d without records", follower.Epoch())
+	}
+}
+
+// fakeSource serves hand-held segment/checkpoint bytes, with full control
+// over the reported frontier and durable epochs — the live-edge states a
+// real directory only passes through for microseconds.
+type fakeSource struct {
+	segs     map[uint64][]byte
+	ckpts    map[uint64][]byte
+	frontier uint64
+	durable  uint64
+}
+
+func (f *fakeSource) List() (Listing, error) {
+	l := Listing{FrontierEpoch: f.frontier, DurableEpoch: f.durable}
+	for s := range f.segs {
+		l.Segments = append(l.Segments, s)
+	}
+	for c := range f.ckpts {
+		l.Checkpoints = append(l.Checkpoints, c)
+	}
+	sort.Slice(l.Segments, func(i, j int) bool { return l.Segments[i] < l.Segments[j] })
+	sort.Slice(l.Checkpoints, func(i, j int) bool { return l.Checkpoints[i] < l.Checkpoints[j] })
+	return l, nil
+}
+
+func (f *fakeSource) ReadCheckpoint(epoch uint64) ([]byte, error) {
+	data, ok := f.ckpts[epoch]
+	if !ok {
+		return nil, fs.ErrNotExist
+	}
+	return data, nil
+}
+
+func (f *fakeSource) ReadSegment(start uint64, off int64, _ time.Duration) (SegmentChunk, error) {
+	data, ok := f.segs[start]
+	if !ok {
+		return SegmentChunk{}, fs.ErrNotExist
+	}
+	chunk := SegmentChunk{Size: int64(len(data)), FrontierEpoch: f.frontier, DurableEpoch: f.durable}
+	if off >= 0 && off < int64(len(data)) {
+		chunk.Data = data[off:]
+	}
+	return chunk, nil
+}
+
+// buildFakeSource runs a real manager and captures its directory state as
+// it evolves: the boot checkpoint, the first segment's full bytes (read
+// before the rotation deletes it), and the post-rotation segment. The
+// result is a two-segment history 3 →(wal-3)→ rotEpoch →(wal-rot)→ end.
+func buildFakeSource(t *testing.T) (src *fakeSource, primary *core.Store, rotEpoch uint64) {
+	t.Helper()
+	memfs := NewMemFS()
+	schema := testSchema()
+	m, err := openTestManager(t, memfs, buildBoot(t, schema), 0, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary = m.Store()
+	src = &fakeSource{segs: map[uint64][]byte{}, ckpts: map[uint64][]byte{}}
+
+	ckpt, err := memfs.ReadFile("data/" + checkpointName(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.ckpts[3] = ckpt
+
+	ids := append([]core.PCID(nil), primary.IDs()...)
+	rng := rand.New(rand.NewSource(17))
+	for _, op := range makeScript(rng, schema, 4, len(ids)) {
+		if ids, err = applyOp(primary, ids, op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.WaitDurable(primary.Epoch()); err != nil {
+		t.Fatal(err)
+	}
+	seg3, err := memfs.ReadFile("data/" + segmentName(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.segs[3] = seg3
+
+	rotEpoch = primary.Epoch()
+	if err := m.Checkpoint(); err != nil { // rotates to wal-<rotEpoch>
+		t.Fatal(err)
+	}
+	for _, op := range makeScript(rng, schema, 3, len(ids)) {
+		if ids, err = applyOp(primary, ids, op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.WaitDurable(primary.Epoch()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segR, err := memfs.ReadFile("data/" + segmentName(rotEpoch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.segs[rotEpoch] = segR
+	src.frontier = primary.Epoch()
+	return src, primary, rotEpoch
+}
+
+// TestTailerAdvancesAcrossSealedSegment replays a history where the rotated
+// segment still exists (an HTTP source, or cleanup lagging): the tailer
+// must drain the sealed segment, notice the successor via the listing, and
+// advance without a byte of overlap or loss.
+func TestTailerAdvancesAcrossSealedSegment(t *testing.T) {
+	src, primary, _ := buildFakeSource(t)
+	tl := NewTailer(src)
+	follower, _, err := tl.Bootstrap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, tl, follower, primary.Epoch())
+	requireSameStore(t, "follower across sealed segment", primary, follower)
+	if tl.Frontier() != primary.Epoch() {
+		t.Fatalf("frontier %d, want %d", tl.Frontier(), primary.Epoch())
+	}
+}
+
+// TestTailerHoldsBackPastDurable: when the source reports the primary's
+// durable epoch, the tailer must not surface written-but-unacknowledged
+// records — a follower may never apply history the primary could lose.
+func TestTailerHoldsBackPastDurable(t *testing.T) {
+	src, primary, rotEpoch := buildFakeSource(t)
+	cap := rotEpoch - 1 // strictly inside the first segment
+	src.durable = cap
+	tl := NewTailer(src)
+	follower, _, err := tl.Bootstrap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, tl, follower, cap)
+	for i := 0; i < 2*tailerMaxStalls; i++ {
+		recs, err := tl.Poll(0)
+		if err != nil || len(recs) != 0 {
+			t.Fatalf("beyond durable cap: poll %d returned %d records, err %v", i, len(recs), err)
+		}
+	}
+	if follower.Epoch() != cap {
+		t.Fatalf("follower at %d, want durable cap %d", follower.Epoch(), cap)
+	}
+	src.durable = primary.Epoch()
+	drain(t, tl, follower, primary.Epoch())
+	requireSameStore(t, "follower after durable advance", primary, follower)
+}
+
+// TestTailerSealedShortSegmentDiverges: a sealed segment can never grow, so
+// one that stops short of its rotation boundary is damage, not a live edge
+// — after a bounded number of fresh re-reads the tailer must give up with
+// a terminal error instead of waiting forever.
+func TestTailerSealedShortSegmentDiverges(t *testing.T) {
+	src, _, rotEpoch := buildFakeSource(t)
+	full := src.segs[3]
+	res, err := scanFile(full, segmentMagic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.segs[3] = full[:res.ends[len(res.ends)-1]-3] // tear the sealed segment's last frame
+
+	tl := NewTailer(src)
+	follower, _, err := tl.Bootstrap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, tl, follower, rotEpoch-1)
+	var last error
+	for i := 0; i < 4*tailerMaxStalls && last == nil; i++ {
+		_, last = tl.Poll(0)
+	}
+	if !errors.Is(last, ErrDiverged) {
+		t.Fatalf("sealed short segment: got %v, want ErrDiverged", last)
+	}
+}
+
+// TestTailerShrunkSegmentDiverges: a segment shorter than what the tailer
+// already applied means the source lost acknowledged history (a primary
+// that came back from a machine crash under fsync-mode none).
+func TestTailerShrunkSegmentDiverges(t *testing.T) {
+	src, primary, _ := buildFakeSource(t)
+	tl := NewTailer(src)
+	follower, _, err := tl.Bootstrap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, tl, follower, primary.Epoch())
+	seg, off := tl.Position()
+	src.segs[seg] = src.segs[seg][:off-1]
+	if _, err := tl.Poll(0); !errors.Is(err, ErrDiverged) {
+		t.Fatalf("shrunk segment: got %v, want ErrDiverged", err)
+	}
+}
+
+// TestTailerBootstrapSkipsUnreadableCheckpoint: like recovery, bootstrap
+// falls past a corrupt newest checkpoint to an older readable one.
+func TestTailerBootstrapSkipsUnreadableCheckpoint(t *testing.T) {
+	src, primary, rotEpoch := buildFakeSource(t)
+	// Add a corrupt "newer" checkpoint above the good one at 3.
+	good := src.ckpts[3]
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-1] ^= 0x40
+	src.ckpts[rotEpoch] = bad
+
+	tl := NewTailer(src)
+	follower, _, err := tl.Bootstrap()
+	if err != nil {
+		t.Fatalf("bootstrap should fall back past the corrupt checkpoint: %v", err)
+	}
+	if follower.Epoch() != 3 {
+		t.Fatalf("bootstrapped at %d, want fallback checkpoint 3", follower.Epoch())
+	}
+	drain(t, tl, follower, primary.Epoch())
+	requireSameStore(t, "follower after checkpoint fallback", primary, follower)
+}
+
+// TestTailerBootstrapGapFails: a decodable checkpoint whose replay segments
+// are gone (newer checkpoints unreadable, old segments truncated) must be
+// ErrFellBehind, not a silent gap.
+func TestTailerBootstrapGapFails(t *testing.T) {
+	src, _, rotEpoch := buildFakeSource(t)
+	delete(src.segs, 3) // checkpoint 3 survives but its replay segment is gone
+	_ = rotEpoch
+	tl := NewTailer(src)
+	if _, _, err := tl.Bootstrap(); !errors.Is(err, ErrFellBehind) {
+		t.Fatalf("bootstrap over a gap: got %v, want ErrFellBehind", err)
+	}
+}
