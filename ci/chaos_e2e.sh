@@ -1,0 +1,292 @@
+#!/usr/bin/env bash
+# chaos_e2e.sh — the fleet-survival gauntlet CI runs (and developers can run
+# locally: `bash ci/chaos_e2e.sh`). It boots a full fleet — one pcrouter in
+# front of a durable primary and two HTTP-tailing followers — and proves that
+# the router, the lease-aware truncation, and the follower self-healing
+# together keep the fleet serving through every failure the design claims to
+# survive:
+#
+#   1. SIGKILLing a follower mid-load loses zero reads: the router ejects it
+#      on the first failure and fails the read over to a live backend, and
+#      the restarted follower rejoins and reconverges;
+#   2. SIGKILLing the primary leaves reads serving through the router while
+#      mutations fail fast with 503 + Retry-After + the primary's address
+#      (never retried — they are not idempotent); the restarted primary
+#      recovers from its log and the fleet reconverges;
+#   3. a SIGSTOPped (live-but-silent) follower's lease holds checkpoint
+#      truncation — visible in wal_* metrics, the /v1/wal listing, and
+#      `pcwal info` — until the -max-replica-lag cap overrides the hold;
+#      the follower, now truncated past, self-heals in place: same PID,
+#      re-bootstrap counted in /metrics, store byte-identical afterwards;
+#   4. a lease that stops heartbeating past -lease-expiry is expired and
+#      releases its hold on the log.
+#
+# Every load phase runs through the router, so the zero-failed-reads
+# assertions are the router's to earn, not pcload's retry layer alone.
+set -euo pipefail
+
+cd "$(dirname "$0")/.." || exit 1
+# shellcheck source=ci/lib.sh
+source ci/lib.sh
+
+PORT=${PCSERVED_PORT:-18110}
+RT_ADDR="127.0.0.1:$PORT"
+P_ADDR="127.0.0.1:$((PORT + 1))"
+F1_ADDR="127.0.0.1:$((PORT + 2))"
+F2_ADDR="127.0.0.1:$((PORT + 3))"
+RT_BASE="http://$RT_ADDR"
+P_BASE="http://$P_ADDR"
+F1_BASE="http://$F1_ADDR"
+F2_BASE="http://$F2_ADDR"
+SPEC=cmd/pcserved/testdata/sample_spec.json
+RT_LOG=pcrouter-chaos.log
+P_LOG=pcserved-chaos-primary.log
+F1_LOG=pcserved-chaos-f1.log
+F2_LOG=pcserved-chaos-f2.log
+DATA=$(mktemp -d)
+RT_PID="" P_PID="" F1_PID="" F2_PID=""
+
+e2e_require jq curl
+
+cleanup_hook() {
+  rm -rf "$DATA"
+  rm -f chaos-store-*.json chaos-mut.json pcload-chaos.log
+}
+
+# boot_primary [EXTRA...] — durable primary with aggressive checkpointing so
+# truncation pressure builds within seconds, and a lag cap the stalled
+# follower of phase 5 is pushed past.
+boot_primary() {
+  spawn_pcserved "$P_LOG" -addr "$P_ADDR" -spec "$SPEC" -data-dir "$DATA" \
+    -checkpoint-every 16 -max-replica-lag 64 "$@"
+  P_PID=$SPAWNED_PID
+}
+
+boot_follower() { # boot_follower ADDR LOG LEASE_ID -> SPAWNED_PID
+  spawn_pcserved "$2" -addr "$1" -follow "$P_BASE" -staleness-budget 10s \
+    -lease-id "$3"
+}
+
+# wait_router_healthy N — poll the router until exactly N backends are
+# healthy (and the router itself answers).
+wait_router_healthy() {
+  local want="$1"
+  for _ in $(seq 150); do
+    local got
+    got=$(curl -s "$RT_BASE/healthz" | jq -r '[.backends[] | select(.healthy)] | length' 2>/dev/null || echo "")
+    [[ "$got" == "$want" ]] && return 0
+    sleep 0.1
+  done
+  echo "router never reached $want healthy backends:" >&2
+  curl -s "$RT_BASE/healthz" >&2 || true
+  echo >&2; tail "$RT_LOG" >&2
+  exit 1
+}
+
+# wait_applied BASE — poll BASE until its applied frontier reaches the
+# primary's current epoch.
+wait_applied() {
+  local base="$1" p_epoch
+  p_epoch=$(curl -fsS "$P_BASE/healthz" | jq -r .epoch)
+  for _ in $(seq 300); do
+    local applied
+    applied=$(curl -s "$base/healthz" | jq -r '.replication.applied_epoch' 2>/dev/null || echo 0)
+    [[ "${applied:-0}" -ge "$p_epoch" ]] && return 0
+    sleep 0.1
+  done
+  echo "follower on $base never caught up to primary epoch $p_epoch:" >&2
+  curl -s "$base/healthz" >&2 || true
+  exit 1
+}
+
+# metric BASE NAME — scrape one /metrics value (empty when absent).
+metric() {
+  curl -fsS "$1/metrics" | awk -v n="$2" '$1 == n { print $2 }'
+}
+
+# add_n N PREFIX — N single-constraint mutations through the router, each
+# bumping the epoch by one; the controlled way to build truncation pressure.
+add_n() {
+  local i
+  for i in $(seq "$1"); do
+    post "$RT_BASE" /v1/store/add \
+      "{\"constraints\":[{\"name\":\"$2-$i\",\"predicate\":{},\"values\":{\"price\":[1,2]},\"klo\":0,\"khi\":1}]}" >/dev/null
+  done
+}
+
+# require_fleet_identical LABEL — GET /v1/store must be byte-identical on
+# all three nodes (same json.Encoder framing everywhere, so cmp is exact).
+require_fleet_identical() {
+  curl -fsS "$P_BASE/v1/store" >chaos-store-p.json
+  curl -fsS "$F1_BASE/v1/store" >chaos-store-f1.json
+  curl -fsS "$F2_BASE/v1/store" >chaos-store-f2.json
+  cmp chaos-store-p.json chaos-store-f1.json \
+    || { echo "$1: follower 1 store differs from primary" >&2; exit 1; }
+  cmp chaos-store-p.json chaos-store-f2.json \
+    || { echo "$1: follower 2 store differs from primary" >&2; exit 1; }
+}
+
+echo "== build (pcserved and pcrouter under -race, pcload and pcwal plain)"
+e2e_build -race pcserved pcrouter
+e2e_build pcload pcwal
+
+echo "== phase 1: boot the fleet — primary, two followers, router in front"
+boot_primary -lease-expiry 60s
+wait_healthy "$P_BASE" "$P_PID" "$P_LOG"
+boot_follower "$F1_ADDR" "$F1_LOG" chaos-f1; F1_PID=$SPAWNED_PID
+boot_follower "$F2_ADDR" "$F2_LOG" chaos-f2; F2_PID=$SPAWNED_PID
+wait_healthy "$F1_BASE" "$F1_PID" "$F1_LOG"
+wait_healthy "$F2_BASE" "$F2_PID" "$F2_LOG"
+spawn_bin "$RT_LOG" pcrouter -addr "$RT_ADDR" -primary "$P_BASE" \
+  -replica "$F1_BASE" -replica "$F2_BASE" \
+  -check-interval 100ms -check-timeout 1s -probe-backoff-max 1s
+RT_PID=$SPAWNED_PID
+wait_healthy "$RT_BASE" "$RT_PID" "$RT_LOG"
+wait_router_healthy 3
+
+# A read through the router names the backend that served it, and a mutation
+# lands on the primary (its epoch advances).
+curl -fsS -D - -o /dev/null -X POST -H 'Content-Type: application/json' \
+  -d '{"query":{"agg":"COUNT"}}' "$RT_BASE/v1/bound" | grep -qi '^X-Pcrouter-Backend:' \
+  || { echo "routed read is missing the X-Pcrouter-Backend header" >&2; exit 1; }
+E0=$(curl -fsS "$P_BASE/healthz" | jq -r .epoch)
+add_n 1 smoke
+E1=$(curl -fsS "$P_BASE/healthz" | jq -r .epoch)
+[[ "$E1" -gt "$E0" ]] || { echo "mutation through the router never reached the primary" >&2; exit 1; }
+
+echo "== phase 2: verified pcload through the router; reads land on followers"
+"$BIN/pcload" -addr "$RT_BASE" -quick -seed 31
+wait_applied "$F1_BASE"
+wait_applied "$F2_BASE"
+F1_ROUTED=$(metric "$RT_BASE" "pcrouter_backend_routed_total{backend=\"$F1_BASE\"}")
+F2_ROUTED=$(metric "$RT_BASE" "pcrouter_backend_routed_total{backend=\"$F2_BASE\"}")
+[[ "${F1_ROUTED:-0}" -gt 0 && "${F2_ROUTED:-0}" -gt 0 ]] \
+  || { echo "router never balanced reads across both followers (f1=$F1_ROUTED f2=$F2_ROUTED)" >&2; exit 1; }
+require_fleet_identical "after verified load"
+
+echo "== phase 3: SIGKILL follower 1 mid-load — zero failed reads via the router"
+"$BIN/pcload" -addr "$RT_BASE" -duration 8s -concurrency 8 \
+  -mix bound=6,batch=2,mutate=2 -verify 0 -seed 33 >pcload-chaos.log 2>&1 &
+LOAD_PID=$!
+sleep 2
+kill_server "$F1_PID"
+F1_PID=""
+if ! wait "$LOAD_PID"; then
+  echo "pcload reported hard failures while a follower died under it:" >&2
+  cat pcload-chaos.log >&2
+  exit 1
+fi
+grep -q ', 0 failed,' pcload-chaos.log \
+  || { echo "load summary shows failed reads:" >&2; cat pcload-chaos.log >&2; exit 1; }
+wait_router_healthy 2
+curl -fsS "$RT_BASE/healthz" | jq -e '.status == "ok"' >/dev/null \
+  || { echo "router not ok with one follower down" >&2; exit 1; }
+RETRIES=$(metric "$RT_BASE" pcrouter_read_retries_total)
+echo "   zero failed reads; router failed over $RETRIES read(s) around the dead follower"
+
+boot_follower "$F1_ADDR" "$F1_LOG" chaos-f1; F1_PID=$SPAWNED_PID
+wait_healthy "$F1_BASE" "$F1_PID" "$F1_LOG"
+wait_applied "$F1_BASE"
+wait_router_healthy 3
+
+echo "== phase 4: SIGKILL the primary — mutations fail fast, reads keep serving"
+kill_server "$P_PID"
+P_PID=""
+for _ in $(seq 150); do
+  curl -s "$RT_BASE/healthz" | jq -e '.status == "degraded"' >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS "$RT_BASE/healthz" | jq -e '.status == "degraded"' >/dev/null \
+  || { echo "router never reported degraded with the primary dead" >&2; exit 1; }
+CODE=$(curl -s -o chaos-mut.json -D chaos-mut-headers.txt -w '%{http_code}' -X POST \
+  -H 'Content-Type: application/json' \
+  -d '{"constraints":[{"name":"downed","predicate":{},"values":{"price":[1,2]},"klo":0,"khi":1}]}' \
+  "$RT_BASE/v1/store/add")
+[[ "$CODE" == 503 ]] || { echo "mutation with primary down returned $CODE, want 503" >&2; exit 1; }
+grep -qi '^Retry-After:' chaos-mut-headers.txt \
+  || { echo "fail-fast mutation rejection is missing Retry-After" >&2; exit 1; }
+jq -e --arg p "$P_BASE" '.primary == $p' chaos-mut.json >/dev/null \
+  || { echo "fail-fast rejection is missing the primary hint: $(cat chaos-mut.json)" >&2; exit 1; }
+rm -f chaos-mut-headers.txt
+for _ in $(seq 20); do
+  post "$RT_BASE" /v1/bound '{"query":{"agg":"COUNT"}}' >/dev/null
+done
+echo "   20/20 reads served through the router with the primary dead"
+
+boot_primary -lease-expiry 60s
+wait_healthy "$P_BASE" "$P_PID" "$P_LOG"
+wait_router_healthy 3
+add_n 1 revived
+wait_applied "$F1_BASE"
+wait_applied "$F2_BASE"
+require_fleet_identical "after primary crash and restart"
+
+echo "== phase 5: SIGSTOP follower 1 — its lease holds truncation, the lag cap overrides, it self-heals in place"
+STALL_EPOCH=$(curl -fsS "$F1_BASE/healthz" | jq -r '.replication.applied_epoch')
+kill -STOP "$F1_PID"
+add_n 40 hold
+HELD=$(metric "$P_BASE" wal_truncations_held_total)
+HELD_SEGS=$(metric "$P_BASE" wal_held_segments)
+[[ "${HELD:-0}" -ge 1 && "${HELD_SEGS:-0}" -ge 1 ]] \
+  || { echo "stalled lease did not hold truncation (held=$HELD segments=$HELD_SEGS)" >&2; exit 1; }
+curl -fsS "$P_BASE/v1/wal" | jq -e '[.leases[]?.id] | index("chaos-f1") != null' >/dev/null \
+  || { echo "/v1/wal listing does not show the chaos-f1 lease" >&2; exit 1; }
+# Capture before grepping: `pcwal | grep -q` would die of SIGPIPE under
+# pipefail when grep exits at the first match.
+INFO=$("$BIN/pcwal" info "$DATA")
+grep -q 'chaos-f1' <<<"$INFO" \
+  || { echo "pcwal info does not show the chaos-f1 lease:" >&2; echo "$INFO" >&2; exit 1; }
+echo "   lease chaos-f1 (acked $STALL_EPOCH) held $HELD_SEGS segment(s) across $HELD checkpoint(s)"
+
+add_n 80 cap
+kill -CONT "$F1_PID"
+for _ in $(seq 300); do
+  RB=$(metric "$F1_BASE" pcserved_repl_rebootstraps_total || echo "")
+  [[ "${RB:-0}" -ge 1 ]] && break
+  sleep 0.1
+done
+[[ "${RB:-0}" -ge 1 ]] \
+  || { echo "follower 1 never re-bootstrapped after being truncated past:" >&2; tail "$F1_LOG" >&2; exit 1; }
+kill -0 "$F1_PID" || { echo "follower 1 is gone — self-healing must not need a restart" >&2; exit 1; }
+curl -fsS "$F1_BASE/healthz" | jq -e '.replication.rebootstraps >= 1' >/dev/null \
+  || { echo "follower 1 healthz does not count the re-bootstrap" >&2; exit 1; }
+wait_applied "$F1_BASE"
+wait_applied "$F2_BASE"
+require_fleet_identical "after in-place re-bootstrap"
+echo "   follower 1 (pid $F1_PID, unchanged) re-bootstrapped in place and reconverged byte-identically"
+
+echo "== phase 6: a silent lease expires past -lease-expiry and releases the log"
+stop_server "$P_PID" || { echo "primary exited non-zero on drain:" >&2; tail "$P_LOG" >&2; exit 1; }
+boot_primary -lease-expiry 2s
+wait_healthy "$P_BASE" "$P_PID" "$P_LOG"
+wait_router_healthy 3
+add_n 1 reattach
+wait_applied "$F1_BASE"
+wait_applied "$F2_BASE"
+kill -STOP "$F2_PID"
+sleep 3
+add_n 20 expire
+EXPIRED=$(metric "$P_BASE" wal_lease_expirations_total)
+[[ "${EXPIRED:-0}" -ge 1 ]] \
+  || { echo "silent lease never expired (wal_lease_expirations_total=$EXPIRED)" >&2; exit 1; }
+kill -CONT "$F2_PID"
+wait_applied "$F2_BASE"
+echo "   lease expired after 2s of silence ($EXPIRED expiration(s)); follower 2 recovered on SIGCONT"
+
+echo "== phase 7: final verified pass and clean drains"
+"$BIN/pcload" -addr "$RT_BASE" -quick -seed 41
+wait_applied "$F1_BASE"
+wait_applied "$F2_BASE"
+require_fleet_identical "final"
+FINAL_RB=$(metric "$F1_BASE" pcserved_repl_rebootstraps_total)
+
+stop_server "$RT_PID" || { echo "router exited non-zero on drain:" >&2; tail "$RT_LOG" >&2; exit 1; }
+RT_PID=""
+stop_server "$F1_PID" || { echo "follower 1 exited non-zero on drain:" >&2; tail "$F1_LOG" >&2; exit 1; }
+F1_PID=""
+stop_server "$F2_PID" || { echo "follower 2 exited non-zero on drain:" >&2; tail "$F2_LOG" >&2; exit 1; }
+F2_PID=""
+stop_server "$P_PID" || { echo "primary exited non-zero on drain:" >&2; tail "$P_LOG" >&2; exit 1; }
+P_PID=""
+
+echo "chaos_e2e: all phases passed (router retries $RETRIES, truncation holds $HELD, re-bootstraps $FINAL_RB, lease expirations $EXPIRED)"

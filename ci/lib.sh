@@ -36,15 +36,22 @@ e2e_build() {
   done
 }
 
-# spawn_pcserved LOG ARGS... — start $BIN/pcserved in the background with the
-# race detector halting on its first report, appending output to LOG. Sets
+# spawn_bin LOG CMD ARGS... — start $BIN/CMD in the background with the race
+# detector halting on its first report, appending output to LOG. Sets
 # SPAWNED_PID and registers it for the EXIT kill sweep.
+spawn_bin() {
+  local log="$1" cmd="$2"
+  shift 2
+  GORACE="halt_on_error=1" "$BIN/$cmd" "$@" >>"$log" 2>&1 &
+  SPAWNED_PID=$!
+  E2E_PIDS+=("$SPAWNED_PID")
+}
+
+# spawn_pcserved LOG ARGS... — spawn_bin specialised to the server.
 spawn_pcserved() {
   local log="$1"
   shift
-  GORACE="halt_on_error=1" "$BIN/pcserved" "$@" >>"$log" 2>&1 &
-  SPAWNED_PID=$!
-  E2E_PIDS+=("$SPAWNED_PID")
+  spawn_bin "$log" pcserved "$@"
 }
 
 # wait_healthy BASE PID LOG — poll BASE/healthz until .status == "ok" (15s),

@@ -39,6 +39,7 @@ type retrier struct {
 	// Outcome counters for the end-of-run summary.
 	retried429       atomic.Int64
 	retried503       atomic.Int64
+	retried412       atomic.Int64
 	retriedTransport atomic.Int64
 	exhausted        atomic.Int64
 }
@@ -119,15 +120,22 @@ func (r *retrier) do(send func() (*http.Response, error), url string, out any) (
 		}
 		lastCode, lastBody, lastErr = resp.StatusCode, body, nil
 		switch resp.StatusCode {
-		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusPreconditionFailed:
+			// 412 joins the transient set for replicated fleets: a min_epoch
+			// read that outran a follower's tail (or briefly outran the
+			// primary behind a router) succeeds on a later attempt once the
+			// frontier catches up — same backoff, same Retry-After override.
 			if attempt+1 >= r.attempts {
 				r.exhausted.Add(1)
 				return lastCode, lastBody, lastErr
 			}
-			if resp.StatusCode == http.StatusTooManyRequests {
+			switch resp.StatusCode {
+			case http.StatusTooManyRequests:
 				r.retried429.Add(1)
-			} else {
+			case http.StatusServiceUnavailable:
 				r.retried503.Add(1)
+			default:
+				r.retried412.Add(1)
 			}
 			r.sleep(r.backoff(attempt, retryAfter(resp.Header)))
 			continue
@@ -202,7 +210,7 @@ func retriableErr(err error) bool {
 // summary prints the retry accounting for the run; one line, always, so a
 // zero-retry run is distinguishable from a run that never reported.
 func (r *retrier) summary(w io.Writer) {
-	fmt.Fprintf(w, "pcload: retries: %d on 429, %d on 503, %d transport; %d requests exhausted all %d attempts\n",
-		r.retried429.Load(), r.retried503.Load(), r.retriedTransport.Load(),
+	fmt.Fprintf(w, "pcload: retries: %d on 429, %d on 503, %d on 412, %d transport; %d requests exhausted all %d attempts\n",
+		r.retried429.Load(), r.retried503.Load(), r.retried412.Load(), r.retriedTransport.Load(),
 		r.exhausted.Load(), r.attempts)
 }

@@ -55,6 +55,38 @@ func TestRetryTransientThenSuccess(t *testing.T) {
 	}
 }
 
+// TestRetry412StaleReplica: a 412 (min_epoch ahead of a replica's frontier)
+// is transient in a replicated fleet — the read is retried with the same
+// jittered backoff, honoring the server's Retry-After, and counted in its
+// own bucket for the summary's per-status breakdown.
+func TestRetry412StaleReplica(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusPreconditionFailed)
+			return
+		}
+		fmt.Fprintln(w, `{"epoch":9}`)
+	}))
+	defer ts.Close()
+
+	r, slept := testRetrier(5)
+	var out struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	code, _, err := r.post(ts.URL, map[string]int{"min_epoch": 9}, &out)
+	if err != nil || code != http.StatusOK || out.Epoch != 9 {
+		t.Fatalf("got code %d, epoch %d, err %v", code, out.Epoch, err)
+	}
+	if r.retried412.Load() != 2 || r.exhausted.Load() != 0 {
+		t.Fatalf("counters: 412=%d exhausted=%d, want 2 and 0", r.retried412.Load(), r.exhausted.Load())
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(*slept))
+	}
+}
+
 func TestRetryExhaustionSurfacesFinalStatus(t *testing.T) {
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		w.WriteHeader(http.StatusServiceUnavailable)

@@ -1,0 +1,106 @@
+// Command pcrouter is the failover front door for a pcserved fleet: one
+// address clients point at, behind which mutations always reach the primary
+// and reads load-balance across every healthy backend (see internal/router
+// for the routing policy).
+//
+// Usage:
+//
+//	pcrouter -primary http://primary:8080 \
+//	         -replica http://f1:8081 -replica http://f2:8082
+//
+// Mutations (POST /v1/store/*) are forwarded to the primary and never
+// retried; when the primary is unhealthy they fail fast with 503, a
+// Retry-After, and the primary's address in the error body. Reads
+// (POST /v1/bound, /v1/batch) prefer followers — balanced by in-flight
+// load — honoring each request's epoch/min_epoch against the follower
+// frontiers tracked from health polls, and fail over to another backend on
+// connection errors or gateway-class 5xxs. Backends that fail are ejected
+// and re-probed on a jittered exponential backoff. GET /healthz reports
+// per-backend state ("degraded" = reads serve but mutations cannot);
+// GET /metrics exports pcrouter_* counters. SIGINT/SIGTERM drain in-flight
+// requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pcbound/internal/router"
+)
+
+// replicaList collects repeated -replica flags (comma-separation works too).
+type replicaList []string
+
+func (r *replicaList) String() string { return strings.Join(*r, ",") }
+
+func (r *replicaList) Set(v string) error {
+	for _, u := range strings.Split(v, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			*r = append(*r, u)
+		}
+	}
+	return nil
+}
+
+func main() {
+	var replicas replicaList
+	var (
+		addr       = flag.String("addr", ":8079", "listen address")
+		primary    = flag.String("primary", "", "primary pcserved base URL (required; mutations route here)")
+		checkEvery = flag.Duration("check-interval", 500*time.Millisecond, "health-poll period for healthy backends")
+		checkTO    = flag.Duration("check-timeout", 2*time.Second, "timeout for one health probe")
+		maxBackoff = flag.Duration("probe-backoff-max", 8*time.Second, "cap on the re-probe backoff for ejected backends")
+		shutdownT  = flag.Duration("shutdown-timeout", 30*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM")
+	)
+	flag.Var(&replicas, "replica", "follower base URL (repeatable, or comma-separated)")
+	flag.Parse()
+	if *primary == "" {
+		fmt.Fprintln(os.Stderr, "pcrouter: missing -primary")
+		os.Exit(1)
+	}
+
+	r, err := router.New(router.Options{
+		Primary:         *primary,
+		Replicas:        replicas,
+		CheckInterval:   *checkEvery,
+		CheckTimeout:    *checkTO,
+		MaxProbeBackoff: *maxBackoff,
+		Logf:            log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("pcrouter: %v", err)
+	}
+	defer r.Close()
+	srv := &http.Server{Addr: *addr, Handler: r.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("pcrouter: routing %d backend(s) (primary %s) on %s", 1+len(replicas), *primary, *addr)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatalf("pcrouter: %v", err)
+	case sig := <-sigCh:
+		log.Printf("pcrouter: %v: draining (timeout %v)", sig, *shutdownT)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *shutdownT)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatalf("pcrouter: drain incomplete: %v", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("pcrouter: %v", err)
+	}
+	log.Print("pcrouter: drained cleanly")
+}

@@ -52,6 +52,19 @@
 // a follower catches up. /healthz reports the role and lag, /metrics grows
 // pcserved_repl_* gauges, and a restarted follower re-bootstraps and
 // resumes the tail on its own.
+//
+// Replication is lease-aware in both directions. A follower names a replica
+// lease (-lease-id, defaulting to hostname + listen address) and heartbeats
+// it on every tailing request, so the primary's checkpoint truncation holds
+// the segments each live lease still needs; on the primary, -lease-expiry
+// bounds how long a silent lease holds the log and -max-replica-lag caps
+// how far a live-but-slow one may pin it. A follower that is truncated past
+// anyway self-heals: the tail re-bootstraps from the primary's newest
+// checkpoint and atomically swaps the rebuilt store behind the serving
+// path — in-flight pinned reads finish bit-identically on the old snapshots,
+// new pins into the discarded lineage answer 410, and the recovery is
+// counted in /healthz (rebootstraps) and /metrics
+// (pcserved_repl_rebootstraps_total) — no restart, no operator.
 package main
 
 import (
@@ -94,6 +107,9 @@ func main() {
 		primaryHint = flag.String("primary", "", "advertised primary base URL returned with rejected mutations (defaults to -follow when it is a URL)")
 		staleness   = flag.Duration("staleness-budget", 2*time.Second, "follower: how long an epoch-pinned or min_epoch read waits for the tail to catch up before 412")
 		replPoll    = flag.Duration("repl-poll", 50*time.Millisecond, "follower: pause between polls when the tail is idle (directory sources; URL sources long-poll)")
+		leaseID     = flag.String("lease-id", "", "follower: replica lease name heartbeated to the primary so truncation holds segments this follower still needs (default: hostname + listen address)")
+		leaseExpiry = flag.Duration("lease-expiry", 0, "primary: drop a replica lease after this long without a heartbeat (0 = 30s default)")
+		maxLag      = flag.Uint64("max-replica-lag", 0, "primary: stop holding truncation for a live lease more than this many epochs behind the frontier (0 = hold without limit)")
 	)
 	flag.Parse()
 	if *follow != "" && (*specPath != "" || *dataDir != "") {
@@ -145,6 +161,18 @@ func main() {
 		// yet" and connection failures are transient (the primary may still
 		// be coming up); terminal conditions are configuration problems.
 		tailer = wal.NewTailer(wal.SourceFor(*follow))
+		// The lease protects this follower from the moment its first
+		// bootstrap request lands: every tailing request doubles as a
+		// heartbeat, so the primary's truncation holds our segments.
+		id := *leaseID
+		if id == "" {
+			host, _ := os.Hostname()
+			if host == "" {
+				host = "follower"
+			}
+			id = host + *addr
+		}
+		tailer.SetLease(id)
 		start := time.Now()
 		for {
 			store, schema, err = tailer.Bootstrap()
@@ -168,6 +196,8 @@ func main() {
 			Window:          *walWindow,
 			CheckpointEvery: *ckptEvery,
 			Boot:            boot,
+			LeaseExpiry:     *leaseExpiry,
+			MaxReplicaLag:   *maxLag,
 		})
 		if err != nil {
 			log.Fatalf("pcserved: recovery: %v", err)
@@ -265,8 +295,10 @@ const walPollWait = 10 * time.Second
 // followLoop drives a follower's replication tail: records stream from the
 // primary's log into the serving store in order until drain (ctx) or a
 // terminal fault. Transient source errors — the primary restarting, network
-// blips — are retried with backoff; terminal ones freeze the frontier and
-// flip /healthz to replication_failed.
+// blips — are retried with backoff. Falling behind the primary's truncation
+// self-heals: the loop re-bootstraps from the newest checkpoint and swaps
+// the serving state in place. Other terminal faults (a diverged log) freeze
+// the frontier and flip /healthz to replication_failed.
 func followLoop(ctx context.Context, s *server.Server, t *wal.Tailer, idle time.Duration) {
 	if idle <= 0 {
 		idle = 50 * time.Millisecond
@@ -276,6 +308,14 @@ func followLoop(ctx context.Context, s *server.Server, t *wal.Tailer, idle time.
 		recs, err := t.Poll(walPollWait)
 		s.ObservePrimary(t.Frontier())
 		if err != nil {
+			if errors.Is(err, wal.ErrFellBehind) {
+				log.Printf("pcserved: tail fell behind the primary's truncation; re-bootstrapping from the newest checkpoint")
+				if !rebootstrap(ctx, s, t) {
+					return
+				}
+				backoff = idle
+				continue
+			}
 			if wal.IsTerminal(err) {
 				log.Printf("pcserved: replication halted: %v", err)
 				s.ReplicationFailed(err)
@@ -307,6 +347,37 @@ func followLoop(ctx context.Context, s *server.Server, t *wal.Tailer, idle time.
 			}
 		}
 	}
+}
+
+// rebootstrap recovers a fallen-behind follower without a restart: it
+// re-runs Bootstrap against the source (the tailer repositions itself at the
+// newest checkpoint) and swaps the rebuilt store into the server. Transient
+// bootstrap errors retry forever — the serving store keeps answering at its
+// frozen frontier meanwhile — so only a terminal fault (or drain) gives up.
+// Returns true when the tail may resume polling.
+func rebootstrap(ctx context.Context, s *server.Server, t *wal.Tailer) bool {
+	for ctx.Err() == nil {
+		store, schema, err := t.Bootstrap()
+		if err == nil {
+			if err := s.Rebootstrap(store, sat.New(schema)); err != nil {
+				log.Printf("pcserved: replication halted: %v", err)
+				s.ReplicationFailed(err)
+				return false
+			}
+			log.Printf("pcserved: follower re-bootstrapped at epoch %d", store.Epoch())
+			return true
+		}
+		if wal.IsTerminal(err) {
+			log.Printf("pcserved: replication halted: re-bootstrap: %v", err)
+			s.ReplicationFailed(err)
+			return false
+		}
+		log.Printf("pcserved: re-bootstrap: %v (retrying)", err)
+		if !sleepCtx(ctx, time.Second) {
+			return false
+		}
+	}
+	return false
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) bool {

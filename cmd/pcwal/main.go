@@ -5,7 +5,9 @@
 //
 // Usage:
 //
-//	pcwal info <dir>               recovery summary: checkpoint, replay, epoch
+//	pcwal info <dir>               recovery summary: checkpoint, replay, epoch,
+//	                               plus the replica leases recorded at the last
+//	                               checkpoint and the segments they pin
 //	pcwal dump <dir>               recovered store as JSON, byte-identical to
 //	                               what a server booted from <dir> serves on
 //	                               GET /v1/store — diff the two to prove a
@@ -93,7 +95,32 @@ func runInfo(args []string) error {
 	if info.SkippedCheckpoints > 0 {
 		fmt.Printf("skipped checkpoints: %d (unreadable)\n", info.SkippedCheckpoints)
 	}
+	printLeases(dir)
 	return nil
+}
+
+// printLeases reports the replica leases the primary's last checkpoint
+// persisted to leases.json, and which on-disk segment each one pins against
+// truncation. Absence of the file just means no lease-aware checkpoint has
+// run; it is not an error.
+func printLeases(dir string) {
+	leases, err := wal.ReadLeaseFile(nil, dir)
+	if err != nil || len(leases) == 0 {
+		return
+	}
+	listing, err := wal.DirSource{Dir: dir}.List()
+	if err != nil {
+		return
+	}
+	fmt.Printf("replica leases:      %d (as of the last checkpoint)\n", len(leases))
+	for _, l := range leases {
+		pin := "behind the oldest segment (needs re-bootstrap)"
+		if start, ok := wal.PinnedSegment(listing.Segments, l.Acked); ok {
+			pin = fmt.Sprintf("pins segment %d", start)
+		}
+		fmt.Printf("  %-20s acked %d, %s, heartbeat %.1fs before the checkpoint\n",
+			l.ID, l.Acked, pin, l.AgeSeconds)
+	}
 }
 
 func runDump(args []string) error {

@@ -83,6 +83,27 @@
 // load (ci/crash_e2e.sh). cmd/pcwal inspects a data directory offline,
 // read-only.
 //
+// The same log replicates: a pcserved started with -follow bootstraps from
+// the primary's newest checkpoint and tails its WAL (wal.Tailer, over
+// /v1/wal HTTP endpoints or a shared directory), applying the identical
+// record stream recovery replays — so an epoch-pinned read on a follower is
+// bit-identical to the primary's at that epoch. Truncation and tailing meet
+// in a lease contract: every tailing request heartbeats the follower's
+// replica lease with the epoch it has applied, checkpoint truncation holds
+// every segment a live lease still needs, and two primary-side bounds —
+// lease expiry for silent followers, a max-replica-lag cap for hopelessly
+// slow ones — keep any single follower from pinning the log forever. A
+// follower truncated past those bounds self-heals in place: the tail
+// re-bootstraps from the newest checkpoint and atomically swaps the rebuilt
+// store behind the serving path (in-flight pinned reads finish on their old
+// snapshots, new pins into the discarded lineage answer 410, the event is
+// counted in /metrics). cmd/pcrouter fronts such a fleet with one address:
+// mutations forward to the primary and fail fast when it is down, reads
+// balance across followers honoring each request's epoch pin against
+// health-tracked frontiers and fail over on backend errors
+// (internal/router). CI drills the whole story on real processes with
+// SIGKILL, SIGSTOP and forced truncation (ci/repl_e2e.sh, ci/chaos_e2e.sh).
+//
 // Those invariants are machine-checked: cmd/pcvet is a custom static
 // analysis suite (internal/analysis) that CI runs over the whole module
 // via `go vet -vettool`. Its four analyzers enforce that map iteration

@@ -1,0 +1,623 @@
+// Package router implements pcrouter's failover front door for a
+// primary+follower pcserved fleet: one address clients point at, behind
+// which mutations always reach the primary and reads load-balance across
+// every healthy backend without violating the fleet's consistency contract.
+//
+// The router is deliberately thin — it holds no constraint state and makes
+// no consistency promises of its own. Correctness comes from routing around
+// the backends' honest answers:
+//
+//   - Mutations (POST /v1/store/*) go to the primary, full stop. When the
+//     primary is unhealthy they fail fast with 503, a Retry-After, and the
+//     primary's address in the structured error — never a silent retry that
+//     could double-apply a non-idempotent write.
+//   - Reads (POST /v1/bound, /v1/batch) are idempotent against a pinned
+//     snapshot, so they balance across followers first (power-of-two-choices
+//     on in-flight load), keeping the primary's capacity for writes. A
+//     request with epoch/min_epoch demands is routed to a follower whose
+//     applied frontier — tracked from health polls — already covers it,
+//     falling back to the primary, and only then to a lagging follower
+//     (whose own staleness gate waits or 412s honestly).
+//   - A connection error or 5xx from one backend ejects it and the read
+//     retries transparently on another; the client sees one answer.
+//   - Ejected backends are re-probed on an exponential backoff with jitter
+//     and rejoin the pool the moment /healthz says ok again.
+//
+// GET /v1/store prefers the primary (its snapshot is the frontier) but
+// serves from any healthy backend when the primary is down. The router's own
+// /healthz reports per-backend state; /metrics exports routed counts,
+// retries, and ejections.
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures a Router. Primary is required.
+type Options struct {
+	// Primary is the primary pcserved's base URL (mutations go here).
+	Primary string
+	// Replicas are follower base URLs reads balance across.
+	Replicas []string
+	// CheckInterval is the health-poll period for healthy backends
+	// (<= 0 means 500ms).
+	CheckInterval time.Duration
+	// CheckTimeout bounds one health probe (<= 0 means 2s).
+	CheckTimeout time.Duration
+	// MaxProbeBackoff caps the probe backoff for ejected backends
+	// (<= 0 means 8s).
+	MaxProbeBackoff time.Duration
+	// Client issues proxied requests and health probes. Defaults to a fresh
+	// client with no global timeout: proxied reads are bounded by the
+	// client's own request context, probes by CheckTimeout.
+	Client *http.Client
+	// Logf, when set, receives routing events (ejections, recoveries).
+	Logf func(format string, args ...any)
+}
+
+// maxBodyBytes mirrors the backend's request-body cap; a body the backend
+// would reject anyway is not worth buffering here.
+const maxBodyBytes = 8 << 20
+
+// backend is one routed pcserved instance and its tracked health.
+type backend struct {
+	url     string
+	primary bool
+
+	mu      sync.Mutex
+	healthy bool // guarded by mu
+	// epoch is the backend's serving frontier as of the last successful
+	// probe (a follower's applied epoch; the primary's store epoch). It can
+	// trail reality by up to one poll interval, which is why epoch-qualified
+	// routing falls back to the primary rather than 412ing here. guarded by mu
+	epoch uint64
+	role  string // guarded by mu
+	// fails counts consecutive probe failures, driving the backoff. guarded by mu
+	fails int
+	// ejections counts healthy→unhealthy transitions. guarded by mu
+	ejections uint64
+	lastErr   string // guarded by mu
+
+	inflight atomic.Int64
+	routed   atomic.Uint64
+}
+
+// qualified reports whether the backend is healthy and its tracked frontier
+// covers target (target 0 qualifies any healthy backend).
+func (b *backend) qualified(target uint64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.healthy && b.epoch >= target
+}
+
+func (b *backend) isHealthy() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.healthy
+}
+
+// markUp records a successful probe.
+func (b *backend) markUp(role string, epoch uint64) (recovered bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	recovered = !b.healthy && b.fails > 0
+	b.healthy = true
+	b.fails = 0
+	b.role = role
+	b.epoch = epoch
+	b.lastErr = ""
+	return recovered
+}
+
+// markDown records a failed probe (or a request-path failure when suspect)
+// and returns the consecutive failure count. ejected is true on the
+// healthy→unhealthy transition.
+func (b *backend) markDown(err error) (fails int, ejected bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.healthy {
+		b.healthy = false
+		b.ejections++
+		ejected = true
+	}
+	b.fails++
+	if err != nil {
+		b.lastErr = err.Error()
+	}
+	return b.fails, ejected
+}
+
+// BackendStatus is one backend's state in the router's /healthz document.
+type BackendStatus struct {
+	URL       string `json:"url"`
+	Role      string `json:"role,omitempty"`
+	Primary   bool   `json:"primary"`
+	Healthy   bool   `json:"healthy"`
+	Epoch     uint64 `json:"epoch"`
+	Inflight  int64  `json:"inflight"`
+	Routed    uint64 `json:"routed"`
+	Ejections uint64 `json:"ejections"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+func (b *backend) status() BackendStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BackendStatus{
+		URL: b.url, Role: b.role, Primary: b.primary,
+		Healthy: b.healthy, Epoch: b.epoch,
+		Inflight: b.inflight.Load(), Routed: b.routed.Load(),
+		Ejections: b.ejections, LastError: b.lastErr,
+	}
+}
+
+// HealthResponse is the router's own /healthz document.
+type HealthResponse struct {
+	// Status is "ok" (all roles available), "degraded" (reads serve but the
+	// primary is down, so mutations fail fast), or "unavailable".
+	Status   string          `json:"status"`
+	Backends []BackendStatus `json:"backends"`
+}
+
+// Router routes one fleet. Create with New, mount Handler, Close to stop
+// the health loops.
+type Router struct {
+	opts     Options
+	client   *http.Client
+	primary  *backend
+	backends []*backend // primary first, then replicas
+	mux      *http.ServeMux
+
+	stop    chan struct{}
+	stopped sync.WaitGroup
+
+	reads     atomic.Uint64
+	mutations atomic.Uint64
+	retries   atomic.Uint64
+	noBackend atomic.Uint64
+}
+
+// New builds a router and starts its health loops.
+func New(opts Options) (*Router, error) {
+	if opts.Primary == "" {
+		return nil, errors.New("router: no primary configured")
+	}
+	if opts.CheckInterval <= 0 {
+		opts.CheckInterval = 500 * time.Millisecond
+	}
+	if opts.CheckTimeout <= 0 {
+		opts.CheckTimeout = 2 * time.Second
+	}
+	if opts.MaxProbeBackoff <= 0 {
+		opts.MaxProbeBackoff = 8 * time.Second
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	r := &Router{opts: opts, client: client, stop: make(chan struct{})}
+	r.primary = &backend{url: trimSlash(opts.Primary), primary: true}
+	r.backends = append(r.backends, r.primary)
+	for _, u := range opts.Replicas {
+		if u == "" {
+			continue
+		}
+		r.backends = append(r.backends, &backend{url: trimSlash(u)})
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/bound", r.handleRead)
+	mux.HandleFunc("POST /v1/batch", r.handleRead)
+	mux.HandleFunc("GET /v1/store", r.handleStoreGet)
+	mux.HandleFunc("POST /v1/store/add", r.handleMutation)
+	mux.HandleFunc("POST /v1/store/remove", r.handleMutation)
+	mux.HandleFunc("POST /v1/store/replace", r.handleMutation)
+	mux.HandleFunc("GET /healthz", r.handleHealth)
+	mux.HandleFunc("GET /metrics", r.handleMetrics)
+	r.mux = mux
+	for _, b := range r.backends {
+		r.stopped.Add(1)
+		go r.healthLoop(b)
+	}
+	return r, nil
+}
+
+func trimSlash(u string) string {
+	for len(u) > 0 && u[len(u)-1] == '/' {
+		u = u[:len(u)-1]
+	}
+	return u
+}
+
+// Handler returns the router's HTTP handler.
+func (r *Router) Handler() http.Handler { return r.mux }
+
+// Close stops the health loops. In-flight proxied requests finish.
+func (r *Router) Close() {
+	close(r.stop)
+	r.stopped.Wait()
+}
+
+// Snapshot returns every backend's tracked state, primary first.
+func (r *Router) Snapshot() []BackendStatus {
+	out := make([]BackendStatus, len(r.backends))
+	for i, b := range r.backends {
+		out[i] = b.status()
+	}
+	return out
+}
+
+func (r *Router) logf(format string, args ...any) {
+	if r.opts.Logf != nil {
+		r.opts.Logf(format, args...)
+	}
+}
+
+// backendHealth is the slice of a backend's /healthz the router reads.
+type backendHealth struct {
+	Status      string `json:"status"`
+	Role        string `json:"role"`
+	Epoch       uint64 `json:"epoch"`
+	Replication *struct {
+		AppliedEpoch uint64 `json:"applied_epoch"`
+	} `json:"replication"`
+}
+
+// probe checks one backend's health and updates its tracked state.
+func (r *Router) probe(b *backend) {
+	req, err := http.NewRequest(http.MethodGet, b.url+"/healthz", nil)
+	if err != nil {
+		b.markDown(err)
+		return
+	}
+	client := *r.client
+	client.Timeout = r.opts.CheckTimeout
+	resp, err := client.Do(req)
+	if err != nil {
+		if _, ejected := b.markDown(err); ejected {
+			r.logf("router: ejecting %s: %v", b.url, err)
+		}
+		return
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		err := fmt.Errorf("healthz: HTTP %d", resp.StatusCode)
+		if _, ejected := b.markDown(err); ejected {
+			r.logf("router: ejecting %s: %v", b.url, err)
+		}
+		return
+	}
+	var h backendHealth
+	if err := json.Unmarshal(body, &h); err != nil {
+		if _, ejected := b.markDown(fmt.Errorf("healthz: %w", err)); ejected {
+			r.logf("router: ejecting %s: %v", b.url, err)
+		}
+		return
+	}
+	epoch := h.Epoch
+	if h.Replication != nil && h.Replication.AppliedEpoch > epoch {
+		epoch = h.Replication.AppliedEpoch
+	}
+	if b.markUp(h.Role, epoch) {
+		r.logf("router: %s healthy again (role %s, epoch %d)", b.url, h.Role, epoch)
+	}
+}
+
+// healthLoop probes one backend forever: every CheckInterval while healthy,
+// on an exponential backoff with full jitter on the upper half while
+// ejected — so a flapping fleet's probes spread out instead of synchronizing
+// into thundering herds.
+func (r *Router) healthLoop(b *backend) {
+	defer r.stopped.Done()
+	for {
+		r.probe(b)
+		delay := r.opts.CheckInterval
+		b.mu.Lock()
+		fails := b.fails
+		b.mu.Unlock()
+		if fails > 0 {
+			shift := fails
+			if shift > 5 {
+				shift = 5
+			}
+			delay = r.opts.CheckInterval << shift
+			if delay > r.opts.MaxProbeBackoff {
+				delay = r.opts.MaxProbeBackoff
+			}
+			delay = delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+		}
+		select {
+		case <-r.stop:
+			return
+		case <-time.After(delay):
+		}
+	}
+}
+
+// epochDemand is the slice of a read body naming its consistency demands.
+type epochDemand struct {
+	Epoch    *uint64 `json:"epoch"`
+	MinEpoch *uint64 `json:"min_epoch"`
+}
+
+func (d epochDemand) target() uint64 {
+	var t uint64
+	if d.MinEpoch != nil {
+		t = *d.MinEpoch
+	}
+	if d.Epoch != nil && *d.Epoch > t {
+		t = *d.Epoch
+	}
+	return t
+}
+
+// pick chooses the next read backend: qualified followers first (p2c on
+// in-flight load), then the healthy primary, then lagging-but-healthy
+// followers whose own staleness gate answers honestly. tried excludes
+// backends this request already failed on. primaryFirst flips the order for
+// frontier-affine reads (GET /v1/store).
+func (r *Router) pick(target uint64, tried map[*backend]bool, primaryFirst bool) *backend {
+	if primaryFirst && !tried[r.primary] && r.primary.isHealthy() {
+		return r.primary
+	}
+	var qualified, lagging []*backend
+	for _, b := range r.backends {
+		if b.primary || tried[b] {
+			continue
+		}
+		switch {
+		case b.qualified(target):
+			qualified = append(qualified, b)
+		case b.isHealthy():
+			lagging = append(lagging, b)
+		}
+	}
+	if b := p2c(qualified); b != nil {
+		return b
+	}
+	if !tried[r.primary] && r.primary.isHealthy() {
+		return r.primary
+	}
+	return p2c(lagging)
+}
+
+// p2c is power-of-two-choices: sample two candidates, take the one with
+// less in-flight work. Cheap, and it sidesteps the stampede a strict
+// least-loaded policy causes when every router instance agrees on the
+// "least loaded" backend.
+func p2c(cands []*backend) *backend {
+	switch len(cands) {
+	case 0:
+		return nil
+	case 1:
+		return cands[0]
+	}
+	i := rand.Intn(len(cands))
+	j := rand.Intn(len(cands) - 1)
+	if j >= i {
+		j++
+	}
+	if cands[j].inflight.Load() < cands[i].inflight.Load() {
+		return cands[j]
+	}
+	return cands[i]
+}
+
+// forward proxies one request (with a replayable body) to a backend and
+// returns the response with its body fully read.
+func (r *Router) forward(req *http.Request, b *backend, body []byte) (*http.Response, []byte, error) {
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
+	out, err := http.NewRequestWithContext(req.Context(), req.Method, b.url+req.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	if ct := req.Header.Get("Content-Type"); ct != "" {
+		out.Header.Set("Content-Type", ct)
+	}
+	resp, err := r.client.Do(out)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	rb, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, rb, nil
+}
+
+// writeProxied relays a backend response to the client, tagging which
+// backend answered.
+func writeProxied(w http.ResponseWriter, resp *http.Response, body []byte, b *backend) {
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.Header().Set("X-Pcrouter-Backend", b.url)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(body)
+}
+
+// errorJSON is the router's own error document, shaped like the backends'
+// (an "error" string plus an optional "primary" hint) so clients need one
+// decoder.
+type errorJSON struct {
+	Error   string `json:"error"`
+	Primary string `json:"primary,omitempty"`
+}
+
+func writeRouterError(w http.ResponseWriter, code int, e errorJSON) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", "1")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(e)
+}
+
+// retryableRead reports whether a read should fail over to another backend:
+// transport errors and gateway-ish 5xxs mean this backend can't serve, not
+// that the request is bad. Everything else (including 412 and 429) is the
+// backend's honest answer and passes through.
+func retryableRead(resp *http.Response, err error) bool {
+	if err != nil {
+		return true
+	}
+	switch resp.StatusCode {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+func (r *Router) handleRead(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxBodyBytes))
+	if err != nil {
+		writeRouterError(w, http.StatusRequestEntityTooLarge, errorJSON{Error: err.Error()})
+		return
+	}
+	var d epochDemand
+	// A malformed body routes like an unpinned read; the backend owns the 400.
+	_ = json.Unmarshal(body, &d)
+	r.serveRead(w, req, body, d.target(), false)
+}
+
+func (r *Router) handleStoreGet(w http.ResponseWriter, req *http.Request) {
+	// The primary's snapshot is the frontier; prefer it, but a follower's
+	// snapshot is a consistent (if slightly stale) fallback when the
+	// primary is down.
+	r.serveRead(w, req, nil, 0, true)
+}
+
+// serveRead routes one idempotent read, failing over across backends until
+// one answers or no candidates remain.
+func (r *Router) serveRead(w http.ResponseWriter, req *http.Request, body []byte, target uint64, primaryFirst bool) {
+	r.reads.Add(1)
+	tried := make(map[*backend]bool, len(r.backends))
+	for attempt := 0; attempt < len(r.backends); attempt++ {
+		b := r.pick(target, tried, primaryFirst)
+		if b == nil {
+			break
+		}
+		tried[b] = true
+		resp, rb, err := r.forward(req, b, body)
+		if retryableRead(resp, err) {
+			if req.Context().Err() != nil {
+				return // the client went away; nothing to fail over for
+			}
+			if err == nil {
+				err = fmt.Errorf("read: HTTP %d", resp.StatusCode)
+			}
+			if _, ejected := b.markDown(err); ejected {
+				r.logf("router: ejecting %s: %v", b.url, err)
+			}
+			r.retries.Add(1)
+			continue
+		}
+		b.routed.Add(1)
+		writeProxied(w, resp, rb, b)
+		return
+	}
+	r.noBackend.Add(1)
+	writeRouterError(w, http.StatusServiceUnavailable,
+		errorJSON{Error: "no healthy backend can serve this read", Primary: r.primary.url})
+}
+
+// handleMutation forwards a write to the primary, or fails fast. Mutations
+// are not idempotent, so the router never retries them — an ambiguous
+// transport failure surfaces to the client, which owns the dedup decision.
+func (r *Router) handleMutation(w http.ResponseWriter, req *http.Request) {
+	r.mutations.Add(1)
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxBodyBytes))
+	if err != nil {
+		writeRouterError(w, http.StatusRequestEntityTooLarge, errorJSON{Error: err.Error()})
+		return
+	}
+	if !r.primary.isHealthy() {
+		r.noBackend.Add(1)
+		writeRouterError(w, http.StatusServiceUnavailable,
+			errorJSON{Error: "primary is unhealthy; mutations are unavailable", Primary: r.primary.url})
+		return
+	}
+	resp, rb, err := r.forward(req, r.primary, body)
+	if err != nil {
+		if _, ejected := r.primary.markDown(err); ejected {
+			r.logf("router: ejecting %s: %v", r.primary.url, err)
+		}
+		r.noBackend.Add(1)
+		writeRouterError(w, http.StatusServiceUnavailable,
+			errorJSON{Error: fmt.Sprintf("primary unreachable: %v", err), Primary: r.primary.url})
+		return
+	}
+	r.primary.routed.Add(1)
+	writeProxied(w, resp, rb, r.primary)
+}
+
+func (r *Router) handleHealth(w http.ResponseWriter, req *http.Request) {
+	sts := r.Snapshot()
+	healthyReads, primaryUp := 0, false
+	for _, st := range sts {
+		if st.Healthy {
+			healthyReads++
+			if st.Primary {
+				primaryUp = true
+			}
+		}
+	}
+	resp := HealthResponse{Backends: sts}
+	code := http.StatusOK
+	switch {
+	case healthyReads == 0:
+		resp.Status = "unavailable"
+		code = http.StatusServiceUnavailable
+	case !primaryUp:
+		resp.Status = "degraded"
+	default:
+		resp.Status = "ok"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	sts := r.Snapshot()
+	healthy := 0
+	for _, st := range sts {
+		if st.Healthy {
+			healthy++
+		}
+	}
+	fmt.Fprintf(w, "pcrouter_backends %d\n", len(sts))
+	fmt.Fprintf(w, "pcrouter_backends_healthy %d\n", healthy)
+	fmt.Fprintf(w, "pcrouter_reads_total %d\n", r.reads.Load())
+	fmt.Fprintf(w, "pcrouter_mutations_total %d\n", r.mutations.Load())
+	fmt.Fprintf(w, "pcrouter_read_retries_total %d\n", r.retries.Load())
+	fmt.Fprintf(w, "pcrouter_no_backend_total %d\n", r.noBackend.Load())
+	// Deterministic label order: sorted by URL, primary's flag in the line.
+	sorted := append([]BackendStatus(nil), sts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].URL < sorted[j].URL })
+	for _, st := range sorted {
+		up := 0
+		if st.Healthy {
+			up = 1
+		}
+		fmt.Fprintf(w, "pcrouter_backend_healthy{backend=%q} %d\n", st.URL, up)
+		fmt.Fprintf(w, "pcrouter_backend_epoch{backend=%q} %d\n", st.URL, st.Epoch)
+		fmt.Fprintf(w, "pcrouter_backend_inflight{backend=%q} %d\n", st.URL, st.Inflight)
+		fmt.Fprintf(w, "pcrouter_backend_routed_total{backend=%q} %d\n", st.URL, st.Routed)
+		fmt.Fprintf(w, "pcrouter_backend_ejections_total{backend=%q} %d\n", st.URL, st.Ejections)
+	}
+}

@@ -1,0 +1,362 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeBackend is a scriptable pcserved stand-in: health status, role, and
+// epoch are mutable, and per-path hit counts record what the router sent.
+type fakeBackend struct {
+	ts *httptest.Server
+
+	mu         sync.Mutex
+	role       string         // guarded by mu
+	epoch      uint64         // guarded by mu
+	healthCode int            // guarded by mu
+	hits       map[string]int // guarded by mu
+}
+
+func newFakeBackend(t *testing.T, role string, epoch uint64) *fakeBackend {
+	t.Helper()
+	f := &fakeBackend{role: role, epoch: epoch, healthCode: http.StatusOK, hits: map[string]int{}}
+	f.ts = httptest.NewServer(http.HandlerFunc(f.serve))
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+func (f *fakeBackend) serve(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	f.hits[r.URL.Path]++
+	role, epoch, code := f.role, f.epoch, f.healthCode
+	f.mu.Unlock()
+	switch r.URL.Path {
+	case "/healthz":
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		doc := map[string]any{"status": "ok", "role": role, "epoch": epoch}
+		if role == "follower" {
+			doc["replication"] = map[string]any{"applied_epoch": epoch}
+		}
+		_ = json.NewEncoder(w).Encode(doc)
+	case "/v1/bound", "/v1/batch":
+		fmt.Fprintf(w, `{"range":{"lo":1,"hi":2},"epoch":%d}`, epoch)
+	case "/v1/store":
+		fmt.Fprintf(w, `{"epoch":%d}`, epoch)
+	case "/v1/store/add", "/v1/store/remove", "/v1/store/replace":
+		fmt.Fprintf(w, `{"epoch":%d}`, epoch+1)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (f *fakeBackend) setHealthCode(code int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.healthCode = code
+}
+
+func (f *fakeBackend) hitCount(path string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.hits[path]
+}
+
+// newTestRouter builds a router over the fakes with fast health polls and
+// waits until every backend has been probed healthy.
+func newTestRouter(t *testing.T, primary *fakeBackend, replicas ...*fakeBackend) (*Router, *httptest.Server) {
+	t.Helper()
+	urls := make([]string, len(replicas))
+	for i, f := range replicas {
+		urls[i] = f.ts.URL
+	}
+	r, err := New(Options{
+		Primary: primary.ts.URL, Replicas: urls,
+		CheckInterval: 10 * time.Millisecond, CheckTimeout: time.Second,
+		MaxProbeBackoff: 40 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	ts := httptest.NewServer(r.Handler())
+	t.Cleanup(ts.Close)
+	waitBackends(t, r, func(sts []BackendStatus) bool {
+		for _, st := range sts {
+			if !st.Healthy {
+				return false
+			}
+		}
+		return true
+	})
+	return r, ts
+}
+
+func waitBackends(t *testing.T, r *Router, ok func([]BackendStatus) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if ok(r.Snapshot()) {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("backends never reached the expected state: %+v", r.Snapshot())
+}
+
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+// TestMutationsRouteToPrimary: writes only ever reach the primary, and the
+// backend's response (with the router's backend tag) passes through.
+func TestMutationsRouteToPrimary(t *testing.T) {
+	p := newFakeBackend(t, "primary", 10)
+	f := newFakeBackend(t, "follower", 10)
+	_, ts := newTestRouter(t, p, f)
+
+	for i := 0; i < 5; i++ {
+		resp, raw := post(t, ts.URL+"/v1/store/add", `{"constraints":[]}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("add via router: %d (%s)", resp.StatusCode, raw)
+		}
+		if got := resp.Header.Get("X-Pcrouter-Backend"); got != p.ts.URL {
+			t.Fatalf("mutation answered by %q, want primary %q", got, p.ts.URL)
+		}
+	}
+	if got := f.hitCount("/v1/store/add"); got != 0 {
+		t.Fatalf("follower saw %d mutations, want 0", got)
+	}
+	if got := p.hitCount("/v1/store/add"); got != 5 {
+		t.Fatalf("primary saw %d mutations, want 5", got)
+	}
+}
+
+// TestReadsPreferFollowers: unpinned reads land on followers, keeping the
+// primary's capacity for writes.
+func TestReadsPreferFollowers(t *testing.T) {
+	p := newFakeBackend(t, "primary", 10)
+	f1 := newFakeBackend(t, "follower", 10)
+	f2 := newFakeBackend(t, "follower", 10)
+	_, ts := newTestRouter(t, p, f1, f2)
+
+	for i := 0; i < 10; i++ {
+		resp, raw := post(t, ts.URL+"/v1/bound", `{"query":{"agg":"COUNT"}}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("bound via router: %d (%s)", resp.StatusCode, raw)
+		}
+	}
+	if got := p.hitCount("/v1/bound"); got != 0 {
+		t.Fatalf("primary served %d reads with healthy followers available", got)
+	}
+	if f1.hitCount("/v1/bound")+f2.hitCount("/v1/bound") != 10 {
+		t.Fatal("reads did not all land on followers")
+	}
+}
+
+// TestMinEpochRoutesToQualifiedBackend: a read demanding an epoch ahead of
+// every follower's tracked frontier goes to the primary instead of a
+// follower that would stall or 412.
+func TestMinEpochRoutesToQualifiedBackend(t *testing.T) {
+	p := newFakeBackend(t, "primary", 10)
+	lag := newFakeBackend(t, "follower", 5)
+	_, ts := newTestRouter(t, p, lag)
+
+	resp, raw := post(t, ts.URL+"/v1/bound", `{"query":{"agg":"COUNT"},"min_epoch":8}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("min_epoch read: %d (%s)", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get("X-Pcrouter-Backend"); got != p.ts.URL {
+		t.Fatalf("min_epoch 8 read answered by %q (follower tracked at 5), want primary", got)
+	}
+	if got := lag.hitCount("/v1/bound"); got != 0 {
+		t.Fatalf("lagging follower saw %d epoch-demanding reads, want 0", got)
+	}
+
+	// An epoch pin behind the follower's frontier stays on the follower.
+	resp, raw = post(t, ts.URL+"/v1/bound", `{"query":{"agg":"COUNT"},"epoch":3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pinned read: %d (%s)", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get("X-Pcrouter-Backend"); got != lag.ts.URL {
+		t.Fatalf("epoch 3 read answered by %q, want the qualified follower", got)
+	}
+}
+
+// TestReadFailoverOnDeadBackend: a follower that dies between health polls
+// is ejected by the first read that hits it, and that read retries on
+// another backend — the client never sees the failure.
+func TestReadFailoverOnDeadBackend(t *testing.T) {
+	p := newFakeBackend(t, "primary", 10)
+	f1 := newFakeBackend(t, "follower", 10)
+	f2 := newFakeBackend(t, "follower", 10)
+
+	urls := []string{f1.ts.URL, f2.ts.URL}
+	r, err := New(Options{
+		Primary: p.ts.URL, Replicas: urls,
+		// A long interval so the router cannot learn of the death from a
+		// probe first: the read path must discover and eject it.
+		CheckInterval: time.Hour, CheckTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	ts := httptest.NewServer(r.Handler())
+	t.Cleanup(ts.Close)
+	waitBackends(t, r, func(sts []BackendStatus) bool {
+		for _, st := range sts {
+			if !st.Healthy {
+				return false
+			}
+		}
+		return true
+	})
+
+	f1.ts.Close() // SIGKILL stand-in: connections now refuse
+
+	for i := 0; i < 50; i++ {
+		resp, raw := post(t, ts.URL+"/v1/bound", `{"query":{"agg":"COUNT"}}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("read %d failed through failover: %d (%s)", i, resp.StatusCode, raw)
+		}
+	}
+	if r.retries.Load() == 0 {
+		t.Fatal("no read ever hit the dead follower; failover untested (retry counter 0)")
+	}
+	var dead BackendStatus
+	for _, st := range r.Snapshot() {
+		if st.URL == f1.ts.URL {
+			dead = st
+		}
+	}
+	if dead.Healthy || dead.Ejections == 0 {
+		t.Fatalf("dead follower not ejected: %+v", dead)
+	}
+}
+
+// TestPrimaryDownFailFastAndReadsServe: with the primary gone, mutations
+// fail fast with Retry-After and the primary's address while reads keep
+// serving from followers, and the router reports itself degraded.
+func TestPrimaryDownFailFastAndReadsServe(t *testing.T) {
+	p := newFakeBackend(t, "primary", 10)
+	f := newFakeBackend(t, "follower", 10)
+	r, ts := newTestRouter(t, p, f)
+
+	p.ts.Close()
+	waitBackends(t, r, func(sts []BackendStatus) bool { return !sts[0].Healthy })
+
+	resp, raw := post(t, ts.URL+"/v1/store/add", `{"constraints":[]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("mutation with primary down: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("fail-fast mutation 503 missing Retry-After")
+	}
+	var e errorJSON
+	if err := json.Unmarshal(raw, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Primary != p.ts.URL {
+		t.Fatalf("error primary hint %q, want %q", e.Primary, p.ts.URL)
+	}
+
+	resp, raw = post(t, ts.URL+"/v1/bound", `{"query":{"agg":"COUNT"}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("read with primary down: %d (%s)", resp.StatusCode, raw)
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var hr HealthResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	if hresp.StatusCode != http.StatusOK || hr.Status != "degraded" {
+		t.Fatalf("router health = %d %q, want 200 degraded", hresp.StatusCode, hr.Status)
+	}
+}
+
+// TestEjectionAndRecovery: an unhealthy backend is ejected, re-probed on a
+// backoff, and rejoins the read pool once its health flips back.
+func TestEjectionAndRecovery(t *testing.T) {
+	p := newFakeBackend(t, "primary", 10)
+	f := newFakeBackend(t, "follower", 10)
+	r, ts := newTestRouter(t, p, f)
+
+	f.setHealthCode(http.StatusServiceUnavailable)
+	waitBackends(t, r, func(sts []BackendStatus) bool { return !sts[1].Healthy && sts[1].Ejections >= 1 })
+
+	// Ejected: reads fall back to the primary.
+	resp, raw := post(t, ts.URL+"/v1/bound", `{"query":{"agg":"COUNT"}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("read with follower ejected: %d (%s)", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get("X-Pcrouter-Backend"); got != p.ts.URL {
+		t.Fatalf("read answered by %q with the only follower ejected, want primary", got)
+	}
+
+	f.setHealthCode(http.StatusOK)
+	waitBackends(t, r, func(sts []BackendStatus) bool { return sts[1].Healthy })
+
+	resp, raw = post(t, ts.URL+"/v1/bound", `{"query":{"agg":"COUNT"}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("read after recovery: %d (%s)", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get("X-Pcrouter-Backend"); got != f.ts.URL {
+		t.Fatalf("read answered by %q after recovery, want the follower back in the pool", got)
+	}
+}
+
+// TestRouterMetrics: the router exports per-backend health and routing
+// counters in prometheus text form.
+func TestRouterMetrics(t *testing.T) {
+	p := newFakeBackend(t, "primary", 10)
+	f := newFakeBackend(t, "follower", 10)
+	_, ts := newTestRouter(t, p, f)
+
+	post(t, ts.URL+"/v1/bound", `{"query":{"agg":"COUNT"}}`)
+	post(t, ts.URL+"/v1/store/add", `{"constraints":[]}`)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	text := string(raw)
+	for _, want := range []string{
+		"pcrouter_backends 2\n",
+		"pcrouter_backends_healthy 2\n",
+		"pcrouter_reads_total 1\n",
+		"pcrouter_mutations_total 1\n",
+		"pcrouter_read_retries_total 0\n",
+		fmt.Sprintf("pcrouter_backend_healthy{backend=%q} 1\n", f.ts.URL),
+		fmt.Sprintf("pcrouter_backend_routed_total{backend=%q} 1\n", p.ts.URL),
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}

@@ -57,38 +57,86 @@ type Config struct {
 // magnitude beyond realistic use is a client bug, not a workload.
 const maxBodyBytes = 8 << 20
 
+// serving is the swappable half of a Server: the store and everything bound
+// to it (engine pool, closure solver, summary tier). Handlers snapshot it
+// once per request via Server.serving(), so a follower's re-bootstrap can
+// atomically replace the whole bundle while in-flight reads finish against
+// the immutable snapshots they already hold.
+type serving struct {
+	store *core.Store
+	pool  *enginePool
+	// closure is the solver backing /v1/store closure checks, separate from
+	// the engine pool's solver lineage only so closure SAT work never skews
+	// the serving-path solver statistics exported at /metrics. (Solvers are
+	// safe for concurrent use.)
+	closure *sat.Solver
+	// tier is the summary overlay every pooled engine shares (nil when
+	// Config.DisableSummary).
+	tier *core.SummaryOverlay
+}
+
 // Server serves the pcserved HTTP API over one Store. Create with New,
 // mount via Handler, and call StartDraining before http.Server.Shutdown so
 // health checks report the drain.
 type Server struct {
-	store *core.Store
-	pool  *enginePool
-	lim   *limiter
-	met   *metrics
+	// sv is the current serving state. Swapped only by Rebootstrap (under
+	// mutMu); read lock-free by handlers, one load per request.
+	sv atomic.Pointer[serving]
+	// engineCfg, retain, summaryOn are what newServing needs to rebuild the
+	// serving bundle around a re-bootstrapped store.
+	engineCfg core.Options
+	retain    int
+	summaryOn bool
+
+	lim *limiter
+	met *metrics
 	// mutMu serializes this server's mutations so each response reports
 	// exactly the epoch its mutation produced, and so that epoch's engine is
 	// registered in the pool before the next mutation can commit — which is
 	// what makes the documented mutate → pinned-read chain race-free for
 	// HTTP clients. Library-level writers sharing the store bypass this, so
-	// pcserved must be the store's only writer.
-	mutMu sync.Mutex
-	// closure is the solver backing /v1/store closure checks, separate from
-	// the engine pool's solver lineage only so closure SAT work never skews
-	// the serving-path solver statistics exported at /metrics. (Solvers are
-	// safe for concurrent use.)
-	closure  *sat.Solver
+	// pcserved must be the store's only writer. Rebootstrap also swaps sv
+	// under it, so a swap never interleaves with a replicated apply.
+	mutMu    sync.Mutex
 	dur      *wal.Manager // nil when running without durability
 	maxPar   int
 	maxBatch int
 	draining atomic.Bool
 	mux      *http.ServeMux
-	// tier is the summary overlay every pooled engine shares (nil when
-	// Config.DisableSummary); tmet counts tier outcomes for /metrics.
-	tier *core.SummaryOverlay
+	// tmet counts summary-tier outcomes for /metrics.
 	tmet tierMetrics
 	// repl is the follower-mode replication state (nil on a primary).
 	repl *replState
 }
+
+// newServing bundles a store with a fresh engine pool, closure solver, and
+// summary tier per the server's configuration.
+func (s *Server) newServing(store *core.Store, solver *sat.Solver) *serving {
+	opts := s.engineCfg
+	var tier *core.SummaryOverlay
+	if s.summaryOn {
+		// The summary overlay rides Options.Summary into every engine the
+		// pool creates, so tiered answers and escalations share one tier per
+		// store.
+		tier = core.AttachSummary(store)
+		opts.Summary = tier
+	}
+	return &serving{
+		store:   store,
+		pool:    newEnginePool(store, solver, opts, s.retain),
+		closure: sat.New(store.Schema()),
+		tier:    tier,
+	}
+}
+
+// serving returns the current serving state. Handlers call it once and use
+// the same snapshot throughout a request: a concurrent re-bootstrap swap
+// must never split one request across two stores.
+func (s *Server) serving() *serving { return s.sv.Load() }
+
+// Store returns the store currently being served. On a follower this can
+// change across a Rebootstrap; callers must not cache it across mutations.
+func (s *Server) Store() *core.Store { return s.serving().store }
 
 // New builds a server over the store. The solver seeds the pool's engine
 // lineage (nil for a fresh one).
@@ -105,24 +153,17 @@ func New(store *core.Store, solver *sat.Solver, cfg Config) *Server {
 	if maxBatch <= 0 {
 		maxBatch = 4096
 	}
-	// The summary overlay rides Options.Summary into every engine the pool
-	// creates, so tiered answers and escalations share one tier per store.
-	var tier *core.SummaryOverlay
-	if !cfg.DisableSummary {
-		tier = core.AttachSummary(store)
-		cfg.Engine.Summary = tier
-	}
 	s := &Server{
-		store:    store,
-		pool:     newEnginePool(store, solver, cfg.Engine, cfg.RetainEpochs),
-		lim:      newLimiter(maxInflight),
-		met:      newMetrics(),
-		closure:  sat.New(store.Schema()),
-		dur:      cfg.Durability,
-		maxPar:   maxPar,
-		maxBatch: maxBatch,
-		tier:     tier,
+		engineCfg: cfg.Engine,
+		retain:    cfg.RetainEpochs,
+		summaryOn: !cfg.DisableSummary,
+		lim:       newLimiter(maxInflight),
+		met:       newMetrics(),
+		dur:       cfg.Durability,
+		maxPar:    maxPar,
+		maxBatch:  maxBatch,
 	}
+	s.sv.Store(s.newServing(store, solver))
 	if cfg.Replica != nil {
 		s.repl = newReplState(*cfg.Replica, store.Epoch())
 	}
@@ -187,12 +228,15 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 
 // engineFor resolves the engine a read request runs against: the latest
 // snapshot by default, a retained pinned one when the request names an
-// epoch. Returns nil after writing the 410 response.
-func (s *Server) engineFor(w http.ResponseWriter, epoch *uint64) *core.Engine {
+// epoch. Returns nil after writing the 410 response. The caller passes the
+// serving snapshot it already loaded: after a follower re-bootstrap the
+// fresh pool retains only the new lineage, so pins into the pre-swap
+// lineage answer 410 here — never a mixed-lineage result.
+func (s *Server) engineFor(w http.ResponseWriter, sv *serving, epoch *uint64) *core.Engine {
 	if epoch == nil {
-		return s.pool.Latest()
+		return sv.pool.Latest()
 	}
-	e, err := s.pool.At(*epoch)
+	e, err := sv.pool.At(*epoch)
 	if err != nil {
 		writeError(w, http.StatusGone, err.Error())
 		return nil
@@ -222,7 +266,7 @@ func (s *Server) gateMinEpoch(w http.ResponseWriter, r *http.Request, minEpoch, 
 	if s.repl == nil {
 		// A primary is the frontier: either it has reached the epoch or no
 		// amount of waiting here will produce it.
-		if cur := s.store.Epoch(); target > cur {
+		if cur := s.serving().store.Epoch(); target > cur {
 			writeError(w, http.StatusPreconditionFailed,
 				fmt.Sprintf("min_epoch %d is ahead of the primary's epoch %d", target, cur))
 			return false
@@ -251,14 +295,15 @@ func (s *Server) handleBound(w http.ResponseWriter, r *http.Request) {
 	if !s.gateMinEpoch(w, r, req.MinEpoch, req.Epoch) {
 		return
 	}
-	q, err := core.QueryFromJSON(s.store.Schema(), req.Query)
+	sv := s.serving()
+	q, err := core.QueryFromJSON(sv.store.Schema(), req.Query)
 	if err != nil {
 		// Echo the query back: 400s must be actionable from the client's
 		// log alone, not require request/response correlation.
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("query %s: %v", req.Query, err))
 		return
 	}
-	e := s.engineFor(w, req.Epoch)
+	e := s.engineFor(w, sv, req.Epoch)
 	if e == nil {
 		return
 	}
@@ -322,17 +367,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// Gate before parsing: the gate can wait on the replication tail, and a
+	// re-bootstrap during that wait swaps the serving state — loading it
+	// after the gate keeps the parse schema and the engine on one bundle.
+	if !s.gateMinEpoch(w, r, req.MinEpoch, req.Epoch) {
+		return
+	}
+	sv := s.serving()
 	queries := make([]core.Query, len(req.Queries))
 	for i, qj := range req.Queries {
-		q, err := core.QueryFromJSON(s.store.Schema(), qj)
+		q, err := core.QueryFromJSON(sv.store.Schema(), qj)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("query %d (%s): %v", i, qj, err))
 			return
 		}
 		queries[i] = q
-	}
-	if !s.gateMinEpoch(w, r, req.MinEpoch, req.Epoch) {
-		return
 	}
 	par := req.Parallelism
 	switch {
@@ -344,7 +393,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if par > len(req.Queries) {
 		par = len(req.Queries)
 	}
-	e := s.engineFor(w, req.Epoch)
+	e := s.engineFor(w, sv, req.Epoch)
 	if e == nil {
 		return
 	}
@@ -421,7 +470,10 @@ func (s *Server) mutationAllowed(w http.ResponseWriter) bool {
 	if s.repl != nil {
 		// Followers are read-only: the log flows one way, so a local write
 		// would fork history the tail can never reconcile. The hint tells
-		// clients where writes go.
+		// clients where writes go, and Retry-After tells retrying clients
+		// (and the router) this is a routing error, not a transient fault —
+		// redirect now, or back off briefly if no primary is reachable.
+		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{
 			Error:   "read-only replica: mutations must go to the primary",
 			Primary: s.repl.cfg.Primary,
@@ -467,9 +519,10 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "add has no constraints")
 		return
 	}
+	sv := s.serving()
 	pcs := make([]core.PC, len(req.Constraints))
 	for i, cj := range req.Constraints {
-		pc, err := core.PCFromJSON(s.store.Schema(), cj)
+		pc, err := core.PCFromJSON(sv.store.Schema(), cj)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("constraint %d: %v", i, err))
 			return
@@ -477,7 +530,7 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		pcs[i] = pc
 	}
 	s.mutMu.Lock()
-	ids, err := s.store.AddPCs(pcs...)
+	ids, err := sv.store.AddPCs(pcs...)
 	if err != nil {
 		s.mutMu.Unlock()
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -501,7 +554,9 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 // advanced the store, so the returned epoch is exactly the one the caller's
 // mutation produced — and it is pinnable from this moment on.
 func (s *Server) commitEpochLocked() uint64 {
-	return s.pool.Latest().Snapshot().Epoch()
+	// mutMu is held, and Rebootstrap swaps sv only under mutMu, so this load
+	// observes the same serving state the caller just mutated.
+	return s.serving().pool.Latest().Snapshot().Epoch()
 }
 
 func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
@@ -513,7 +568,7 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mutMu.Lock()
-	if err := s.store.Remove(core.PCID(req.ID)); err != nil {
+	if err := s.serving().store.Remove(core.PCID(req.ID)); err != nil {
 		s.mutMu.Unlock()
 		writeError(w, http.StatusNotFound, err.Error())
 		return
@@ -531,7 +586,7 @@ func (s *Server) handleReplace(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	pc, err := core.PCFromJSON(s.store.Schema(), req.Constraint)
+	pc, err := core.PCFromJSON(s.serving().store.Schema(), req.Constraint)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -540,9 +595,11 @@ func (s *Server) handleReplace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// The constraint decoded against the store's own schema, so a Replace
-	// failure can only be a missing id.
+	// failure can only be a missing id. (Only a primary reaches the mutation
+	// below, and a primary's serving state is never swapped, so the schema
+	// load above and the store here cannot disagree.)
 	s.mutMu.Lock()
-	if err := s.store.Replace(core.PCID(req.ID), pc); err != nil {
+	if err := s.serving().store.Replace(core.PCID(req.ID), pc); err != nil {
 		s.mutMu.Unlock()
 		writeError(w, http.StatusNotFound, err.Error())
 		return
@@ -561,8 +618,9 @@ func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
 	// excluded, Store.Closed — incremental, far cheaper than a per-request
 	// stateless re-solve — describes exactly the snapshot taken here.
 	s.mutMu.Lock()
-	snap := s.store.Snapshot()
-	closed := s.store.Closed(s.closure)
+	sv := s.serving()
+	snap := sv.store.Snapshot()
+	closed := sv.store.Closed(sv.closure)
 	s.mutMu.Unlock()
 	spec := snap.Spec()
 	ids := snap.IDs()
@@ -580,7 +638,8 @@ func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	resp := HealthResponse{Status: "ok", Role: "primary", Epoch: s.store.Epoch(), Constraints: s.store.Len()}
+	sv := s.serving()
+	resp := HealthResponse{Status: "ok", Role: "primary", Epoch: sv.store.Epoch(), Constraints: sv.store.Len()}
 	code := http.StatusOK
 	if s.repl != nil {
 		resp.Role = "follower"
@@ -619,13 +678,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	e := s.pool.Current()
+	sv := s.serving()
+	e := sv.pool.Current()
 	cs := e.CacheStats()
 	ccs := e.CellCacheStats()
 	ss := e.Solver().Stats()
-	fmt.Fprintf(w, "pcserved_store_epoch %d\n", s.store.Epoch())
-	fmt.Fprintf(w, "pcserved_store_constraints %d\n", s.store.Len())
-	fmt.Fprintf(w, "pcserved_retained_epochs %d\n", len(s.pool.Epochs()))
+	fmt.Fprintf(w, "pcserved_store_epoch %d\n", sv.store.Epoch())
+	fmt.Fprintf(w, "pcserved_store_constraints %d\n", sv.store.Len())
+	fmt.Fprintf(w, "pcserved_retained_epochs %d\n", len(sv.pool.Epochs()))
 	fmt.Fprintf(w, "pcserved_inflight_queries %d\n", s.lim.inflight())
 	fmt.Fprintf(w, "pcserved_inflight_capacity %d\n", s.lim.capacity())
 	fmt.Fprintf(w, "pcserved_cache_hits_total %d\n", cs.Hits)
@@ -654,8 +714,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "pcserved_tier_escalated_total %d\n", s.tmet.escalated.Load())
 	fmt.Fprintf(w, "pcserved_tier_escalated_cells_total %d\n", s.tmet.escalatedCells.Load())
 	fmt.Fprintf(w, "pcserved_tier_degraded_total %d\n", s.tmet.degraded.Load())
-	if s.tier != nil {
-		ts := s.tier.Stats()
+	if sv.tier != nil {
+		ts := sv.tier.Stats()
 		disjoint := 0
 		if ts.Disjoint {
 			disjoint = 1
@@ -681,6 +741,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "pcserved_repl_applied_records_total %d\n", rj.AppliedRecords)
 		fmt.Fprintf(w, "pcserved_repl_tail_restarts_total %d\n", rj.TailRestarts)
 		fmt.Fprintf(w, "pcserved_repl_stale_rejects_total %d\n", rj.StaleRejects)
+		fmt.Fprintf(w, "pcserved_repl_rebootstraps_total %d\n", rj.Rebootstraps)
 		fmt.Fprintf(w, "pcserved_repl_wedged %d\n", wedged)
 	}
 	if s.dur != nil {
@@ -696,6 +757,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "wal_segment_start_epoch %d\n", wm.SegmentStart)
 		fmt.Fprintf(w, "wal_last_checkpoint_epoch %d\n", wm.LastCheckpointEpoch)
 		fmt.Fprintf(w, "wal_replayed_records_total %d\n", wm.Replayed)
+		fmt.Fprintf(w, "wal_leases_active %d\n", wm.LeasesActive)
+		fmt.Fprintf(w, "wal_lease_min_acked_epoch %d\n", wm.LeaseMinAcked)
+		fmt.Fprintf(w, "wal_lease_expirations_total %d\n", wm.LeaseExpirations)
+		fmt.Fprintf(w, "wal_held_segments %d\n", wm.HeldSegments)
+		fmt.Fprintf(w, "wal_truncations_held_total %d\n", wm.TruncationsHeld)
 		wedged := 0
 		if wm.Wedged {
 			wedged = 1

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestFollowerMutationRetryAfter pins the routing contract on a follower's
+// mutation rejection: the 503 carries a Retry-After header and the primary's
+// address in a structured field, so a router (or a bare retrying client) can
+// redirect instead of hammering the replica.
+func TestFollowerMutationRetryAfter(t *testing.T) {
+	_, _, _, fts, _ := newFollowerPair(t, Replica{Primary: "http://primary.example:8080"})
+	body, _ := json.Marshal(AddRequest{})
+	resp, err := http.Post(fts.URL+"/v1/store/add", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("code %d, want 503 (body %s)", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want %q", got, "1")
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(raw, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Primary != "http://primary.example:8080" {
+		t.Fatalf("primary hint = %q, want the configured primary", er.Primary)
+	}
+}
+
+// TestRebootstrapSwapsServing exercises the follower self-healing swap: a
+// follower whose replication terminally failed is handed a freshly
+// bootstrapped store via Rebootstrap and must (a) clear the failure and
+// serve again, (b) answer 410 for pins into the pre-swap lineage the fresh
+// pool no longer retains, (c) answer the frontier pin bit-identically to the
+// primary, and (d) report the recovery in /healthz and /metrics.
+func TestRebootstrapSwapsServing(t *testing.T) {
+	primary, pts, follower, fts, recs := newFollowerPair(t, Replica{Primary: "http://primary"})
+	boot := follower.Store().Epoch()
+
+	mutateStore(t, primary)
+	mutateStore(t, primary)
+	for _, rec := range recs() {
+		if err := follower.ApplyReplicated(reship(t, rec, primary.Schema(), follower.Store().Schema())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frontier := primary.Epoch()
+
+	// Pre-swap: the boot epoch is retained and pinnable.
+	pinned := boot
+	req := BoundRequest{Query: testQueries()[0], Epoch: &pinned}
+	if code, raw := doJSON(t, "POST", fts.URL+"/v1/bound", req, nil); code != http.StatusOK {
+		t.Fatalf("pre-swap pinned read: %d (body %s)", code, raw)
+	}
+
+	// The tail falls behind truncation: replication fails terminally and
+	// the follower advertises it.
+	follower.ReplicationFailed(errTest)
+	var hr HealthResponse
+	if code, _ := doJSON(t, "GET", fts.URL+"/healthz", nil, &hr); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after terminal failure: %d, want 503", code)
+	}
+
+	// Self-heal: re-bootstrap a fresh store at the primary's frontier (the
+	// same records a checkpoint + tail replay would produce) and swap it in.
+	fresh := testStore(t)
+	for _, rec := range recs() {
+		if err := fresh.ApplyReplicated(reship(t, rec, primary.Schema(), fresh.Schema())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := follower.Rebootstrap(fresh, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	hr = HealthResponse{}
+	if code, raw := doJSON(t, "GET", fts.URL+"/healthz", nil, &hr); code != http.StatusOK {
+		t.Fatalf("healthz after rebootstrap: %d (body %s)", code, raw)
+	}
+	if hr.Replication == nil || hr.Replication.Rebootstraps != 1 {
+		t.Fatalf("replication block = %+v, want rebootstraps 1", hr.Replication)
+	}
+	if hr.Replication.Error != "" {
+		t.Fatalf("rebootstrap must clear the terminal error, got %q", hr.Replication.Error)
+	}
+	if hr.Replication.AppliedEpoch != frontier {
+		t.Fatalf("applied epoch %d, want frontier %d", hr.Replication.AppliedEpoch, frontier)
+	}
+
+	// The fresh pool retains only the new lineage: a pin into the pre-swap
+	// lineage answers 410, never a mixed-lineage result.
+	if code, raw := doJSON(t, "POST", fts.URL+"/v1/bound", req, nil); code != http.StatusGone {
+		t.Fatalf("old-lineage pin after swap: %d, want 410 (body %s)", code, raw)
+	}
+
+	// The frontier pin serves, bit-identical to the primary.
+	for qi, q := range testQueries() {
+		e := frontier
+		freq := BoundRequest{Query: q, Epoch: &e}
+		var pbr, fbr BoundResponse
+		pcode, praw := doJSON(t, "POST", pts.URL+"/v1/bound", freq, &pbr)
+		fcode, fraw := doJSON(t, "POST", fts.URL+"/v1/bound", freq, &fbr)
+		if pcode != http.StatusOK || fcode != http.StatusOK {
+			t.Fatalf("query %d: primary %d, follower %d (%s / %s)", qi, pcode, fcode, praw, fraw)
+		}
+		if pbr.Range != fbr.Range || pbr.Epoch != fbr.Epoch {
+			t.Fatalf("query %d diverged after rebootstrap: primary %+v, follower %+v", qi, pbr, fbr)
+		}
+	}
+
+	resp, err := http.Get(fts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	met, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(met), "pcserved_repl_rebootstraps_total 1\n") {
+		t.Fatal("metrics missing pcserved_repl_rebootstraps_total 1")
+	}
+}

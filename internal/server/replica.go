@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pcbound/internal/core"
+	"pcbound/internal/sat"
 )
 
 // Replica configures a server as a log-shipping follower: it has no WAL of
@@ -56,6 +57,10 @@ type replState struct {
 	restarts uint64
 	// staleRejects counts reads that 412ed waiting for an epoch. guarded by mu
 	staleRejects uint64
+	// rebootstraps counts in-place recoveries from ErrFellBehind: the tail
+	// re-bootstrapped from a newer checkpoint and the serving state was
+	// swapped without a restart. guarded by mu
+	rebootstraps uint64
 	// err, once set, marks replication permanently failed (the tail hit a
 	// terminal condition); epoch-gated reads fail fast. guarded by mu
 	err error
@@ -114,6 +119,22 @@ func (rs *replState) noteStaleReject() {
 	rs.staleRejects++
 }
 
+// rebootstrapped resets progress to a freshly bootstrapped frontier. Any
+// pending terminal error is cleared: the follower recovered in place, so
+// epoch-gated reads should wait on the new tail, not fail fast forever.
+func (rs *replState) rebootstrapped(epoch uint64) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.applied = epoch
+	rs.appliedAt = time.Now()
+	rs.rebootstraps++
+	if epoch > rs.primary {
+		rs.primary = epoch
+	}
+	rs.err = nil
+	rs.wakeLocked()
+}
+
 func (rs *replState) fail(err error) {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
@@ -123,11 +144,21 @@ func (rs *replState) fail(err error) {
 	}
 }
 
-// snapshot returns a consistent copy of the counters for health/metrics.
-func (rs *replState) snapshot() (applied, primary, records, restarts, staleRejects uint64, appliedAt time.Time, err error) {
+// replSnapshot is a consistent copy of the counters for health/metrics.
+type replSnapshot struct {
+	applied, primary, records, restarts, staleRejects, rebootstraps uint64
+	appliedAt                                                       time.Time
+	err                                                             error
+}
+
+func (rs *replState) snapshot() replSnapshot {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
-	return rs.applied, rs.primary, rs.records, rs.restarts, rs.staleRejects, rs.appliedAt, rs.err
+	return replSnapshot{
+		applied: rs.applied, primary: rs.primary, records: rs.records,
+		restarts: rs.restarts, staleRejects: rs.staleRejects,
+		rebootstraps: rs.rebootstraps, appliedAt: rs.appliedAt, err: rs.err,
+	}
 }
 
 // await blocks until the applied frontier reaches target, the staleness
@@ -176,13 +207,31 @@ func (s *Server) ApplyReplicated(rec core.MutationRecord) error {
 		return errNotFollower
 	}
 	s.mutMu.Lock()
-	if err := s.store.ApplyReplicated(rec); err != nil {
+	if err := s.serving().store.ApplyReplicated(rec); err != nil {
 		s.mutMu.Unlock()
 		return err
 	}
 	epoch := s.commitEpochLocked()
 	s.mutMu.Unlock()
 	s.repl.advance(epoch)
+	return nil
+}
+
+// Rebootstrap swaps the follower's serving state for a freshly bootstrapped
+// store — the self-healing path out of ErrFellBehind, when the primary
+// truncated records this follower had not applied yet. The swap happens
+// under mutMu so it never interleaves with a replicated apply; handlers that
+// loaded the old serving state finish on its immutable snapshots (answering
+// bit-identically for the epochs they pinned), while new pins into the
+// pre-swap lineage answer 410 from the fresh pool. Reads never mix lineages.
+func (s *Server) Rebootstrap(store *core.Store, solver *sat.Solver) error {
+	if s.repl == nil {
+		return errNotFollower
+	}
+	s.mutMu.Lock()
+	s.sv.Store(s.newServing(store, solver))
+	s.mutMu.Unlock()
+	s.repl.rebootstrapped(store.Epoch())
 	return nil
 }
 
@@ -215,10 +264,9 @@ func (s *Server) ReplicationFailed(err error) {
 // AppliedEpoch returns the follower's applied frontier (reporting).
 func (s *Server) AppliedEpoch() uint64 {
 	if s.repl == nil {
-		return s.store.Epoch()
+		return s.serving().store.Epoch()
 	}
-	applied, _, _, _, _, _, _ := s.repl.snapshot()
-	return applied
+	return s.repl.snapshot().applied
 }
 
 // replicationJSON builds the healthz replication block. nil on primaries.
@@ -226,22 +274,23 @@ func (s *Server) replicationJSON() *ReplicationJSON {
 	if s.repl == nil {
 		return nil
 	}
-	applied, primary, records, restarts, stale, appliedAt, err := s.repl.snapshot()
+	sn := s.repl.snapshot()
 	rj := &ReplicationJSON{
 		Primary:        s.repl.cfg.Primary,
 		Source:         s.repl.cfg.Source,
-		AppliedEpoch:   applied,
-		PrimaryEpoch:   primary,
-		AppliedRecords: records,
-		TailRestarts:   restarts,
-		StaleRejects:   stale,
+		AppliedEpoch:   sn.applied,
+		PrimaryEpoch:   sn.primary,
+		AppliedRecords: sn.records,
+		TailRestarts:   sn.restarts,
+		StaleRejects:   sn.staleRejects,
+		Rebootstraps:   sn.rebootstraps,
 	}
-	if primary > applied {
-		rj.LagRecords = primary - applied
-		rj.LagSeconds = time.Since(appliedAt).Seconds()
+	if sn.primary > sn.applied {
+		rj.LagRecords = sn.primary - sn.applied
+		rj.LagSeconds = time.Since(sn.appliedAt).Seconds()
 	}
-	if err != nil {
-		rj.Error = err.Error()
+	if sn.err != nil {
+		rj.Error = sn.err.Error()
 	}
 	return rj
 }

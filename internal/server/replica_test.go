@@ -114,7 +114,7 @@ func TestFollowerBitIdenticalAtSharedEpochs(t *testing.T) {
 		}
 	}
 	for _, rec := range recs() {
-		if err := follower.ApplyReplicated(reship(t, rec, primary.Schema(), follower.store.Schema())); err != nil {
+		if err := follower.ApplyReplicated(reship(t, rec, primary.Schema(), follower.Store().Schema())); err != nil {
 			t.Fatalf("apply epoch %d: %v", rec.Epoch, err)
 		}
 	}
@@ -193,7 +193,7 @@ func TestFollowerMinEpochGate(t *testing.T) {
 	go func() {
 		defer close(done)
 		time.Sleep(50 * time.Millisecond)
-		if err := follower.ApplyReplicated(reship(t, recs()[0], primary.Schema(), follower.store.Schema())); err != nil {
+		if err := follower.ApplyReplicated(reship(t, recs()[0], primary.Schema(), follower.Store().Schema())); err != nil {
 			t.Error(err)
 		}
 	}()

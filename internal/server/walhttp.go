@@ -27,7 +27,24 @@ func (s *Server) walSource() wal.DirSource {
 	return wal.DirSource{FS: s.dur.FS(), Dir: s.dur.Dir()}
 }
 
+// leaseHeartbeat registers the follower lease a WAL request piggybacks as
+// lease_id/acked query parameters (see HTTPSource.SetLease). Every tailing
+// request doubles as a heartbeat, so a live follower holds its lease with no
+// extra RPC — and a silent one expires out of the truncation floor.
+func (s *Server) leaseHeartbeat(r *http.Request) {
+	id := r.URL.Query().Get("lease_id")
+	if id == "" {
+		return
+	}
+	acked, err := strconv.ParseUint(r.URL.Query().Get("acked"), 10, 64)
+	if err != nil {
+		return
+	}
+	s.dur.Leases().Heartbeat(id, acked)
+}
+
 func (s *Server) handleWALList(w http.ResponseWriter, r *http.Request) {
+	s.leaseHeartbeat(r)
 	l, err := s.walSource().List()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
@@ -36,8 +53,9 @@ func (s *Server) handleWALList(w http.ResponseWriter, r *http.Request) {
 	lj := wal.ListingJSON{
 		Segments:     l.Segments,
 		Checkpoints:  l.Checkpoints,
-		Epoch:        s.store.Epoch(),
+		Epoch:        s.serving().store.Epoch(),
 		DurableEpoch: s.dur.Metrics().DurableEpoch,
+		Leases:       s.dur.Leases().SnapshotJSON(),
 	}
 	if lj.Segments == nil {
 		lj.Segments = []uint64{}
@@ -54,6 +72,7 @@ func (s *Server) handleWALCheckpoint(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid checkpoint epoch: %v", err))
 		return
 	}
+	s.leaseHeartbeat(r)
 	data, err := s.walSource().ReadCheckpoint(epoch)
 	switch {
 	case errors.Is(err, fs.ErrNotExist):
@@ -78,6 +97,7 @@ func (s *Server) handleWALSegment(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid segment start: %v", err))
 		return
 	}
+	s.leaseHeartbeat(r)
 	var off int64
 	if v := r.URL.Query().Get("off"); v != "" {
 		off, err = strconv.ParseInt(v, 10, 64)
@@ -129,7 +149,7 @@ func (s *Server) handleWALSegment(w http.ResponseWriter, r *http.Request) {
 		case <-t.C:
 		}
 	}
-	w.Header().Set(wal.HeaderFrontierEpoch, strconv.FormatUint(s.store.Epoch(), 10))
+	w.Header().Set(wal.HeaderFrontierEpoch, strconv.FormatUint(s.serving().store.Epoch(), 10))
 	w.Header().Set(wal.HeaderDurableEpoch, strconv.FormatUint(s.dur.Metrics().DurableEpoch, 10))
 	w.Header().Set(wal.HeaderSegmentSize, strconv.FormatInt(chunk.Size, 10))
 	w.Header().Set("Content-Type", "application/octet-stream")

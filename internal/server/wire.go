@@ -303,6 +303,10 @@ type ReplicationJSON struct {
 	TailRestarts uint64 `json:"tail_restarts"`
 	// StaleRejects counts epoch-gated reads that 412ed.
 	StaleRejects uint64 `json:"stale_rejects"`
+	// Rebootstraps counts in-place recoveries from falling behind
+	// truncation: the tail re-bootstrapped from a newer checkpoint and the
+	// serving state was swapped without restarting the process.
+	Rebootstraps uint64 `json:"rebootstraps"`
 	// Error, when set, means replication failed terminally: the follower
 	// serves its frozen frontier but will not advance.
 	Error string `json:"error,omitempty"`

@@ -7,8 +7,10 @@ import (
 	"io"
 	"io/fs"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -32,6 +34,9 @@ type ListingJSON struct {
 	Checkpoints  []uint64 `json:"checkpoints"`
 	Epoch        uint64   `json:"epoch"`
 	DurableEpoch uint64   `json:"durable_epoch"`
+	// Leases lists the live replica leases, so operators (and cmd/pcwal
+	// info against a URL) can see which followers pin truncation.
+	Leases []LeaseJSON `json:"leases,omitempty"`
 }
 
 // Headers annotating /v1/wal segment responses.
@@ -52,6 +57,36 @@ type HTTPSource struct {
 	// fetches long-poll, so each request is bounded by a per-call context
 	// deadline instead.
 	Client *http.Client
+
+	mu      sync.Mutex
+	leaseID string // guarded by mu — replication lease piggybacked on every request
+	acked   uint64 // guarded by mu — applied epoch reported with the lease
+}
+
+// SetLease names the replication lease and applied epoch this source
+// attaches to every request (as lease_id/acked query parameters), so the
+// primary's checkpoint truncation can hold segments this follower still
+// needs. The Tailer calls it as its applied frontier advances.
+func (h *HTTPSource) SetLease(id string, acked uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.leaseID = id
+	h.acked = acked
+}
+
+// withLease appends the lease heartbeat parameters to a request path.
+func (h *HTTPSource) withLease(path string) string {
+	h.mu.Lock()
+	id, acked := h.leaseID, h.acked
+	h.mu.Unlock()
+	if id == "" {
+		return path
+	}
+	sep := "?"
+	if strings.Contains(path, "?") {
+		sep = "&"
+	}
+	return path + sep + "lease_id=" + url.QueryEscape(id) + "&acked=" + strconv.FormatUint(acked, 10)
 }
 
 // SourceFor returns the Source for a follow target: an http(s):// base URL
@@ -104,7 +139,7 @@ func (h *HTTPSource) get(path string, timeout time.Duration) (*http.Response, []
 
 // List implements Source.
 func (h *HTTPSource) List() (Listing, error) {
-	_, body, err := h.get("/v1/wal", 30*time.Second)
+	_, body, err := h.get(h.withLease("/v1/wal"), 30*time.Second)
 	if err != nil {
 		return Listing{}, err
 	}
@@ -122,7 +157,7 @@ func (h *HTTPSource) List() (Listing, error) {
 
 // ReadCheckpoint implements Source.
 func (h *HTTPSource) ReadCheckpoint(epoch uint64) ([]byte, error) {
-	_, body, err := h.get(fmt.Sprintf("/v1/wal/checkpoint/%d", epoch), 60*time.Second)
+	_, body, err := h.get(h.withLease(fmt.Sprintf("/v1/wal/checkpoint/%d", epoch)), 60*time.Second)
 	return body, err
 }
 
@@ -130,7 +165,7 @@ func (h *HTTPSource) ReadCheckpoint(epoch uint64) ([]byte, error) {
 // it open up to wait for bytes past off, so an idle tail costs one slow
 // request instead of a tight poll loop.
 func (h *HTTPSource) ReadSegment(start uint64, off int64, wait time.Duration) (SegmentChunk, error) {
-	path := fmt.Sprintf("/v1/wal/segment/%d?off=%d&wait_ms=%d", start, off, wait.Milliseconds())
+	path := h.withLease(fmt.Sprintf("/v1/wal/segment/%d?off=%d&wait_ms=%d", start, off, wait.Milliseconds()))
 	resp, body, err := h.get(path, wait+30*time.Second)
 	if err != nil {
 		return SegmentChunk{}, err

@@ -1,0 +1,167 @@
+package wal
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHTTPSourceErrorPaths pins how the HTTP transport's failures classify:
+// everything here must stay retryable (IsTerminal false) — the tailer's
+// terminal verdicts (fell behind, diverged) come from its own positioning
+// logic, never from a transport error. A 404 must satisfy fs.ErrNotExist so
+// that missing-file handling works identically across DirSource and
+// HTTPSource.
+func TestHTTPSourceErrorPaths(t *testing.T) {
+	cases := []struct {
+		name    string
+		handler http.HandlerFunc
+		call    func(h *HTTPSource) error
+		// wantNotExist: the error must satisfy errors.Is(err, fs.ErrNotExist).
+		wantNotExist bool
+		// wantInMsg, when non-empty, must appear in the error text.
+		wantInMsg string
+	}{
+		{
+			name:         "404 checkpoint is ErrNotExist",
+			handler:      func(w http.ResponseWriter, r *http.Request) { http.NotFound(w, r) },
+			call:         func(h *HTTPSource) error { _, err := h.ReadCheckpoint(7); return err },
+			wantNotExist: true,
+		},
+		{
+			name:         "404 segment is ErrNotExist",
+			handler:      func(w http.ResponseWriter, r *http.Request) { http.NotFound(w, r) },
+			call:         func(h *HTTPSource) error { _, err := h.ReadSegment(3, 0, 0); return err },
+			wantNotExist: true,
+		},
+		{
+			name: "500 surfaces the status and body",
+			handler: func(w http.ResponseWriter, r *http.Request) {
+				http.Error(w, "disk on fire", http.StatusInternalServerError)
+			},
+			call:      func(h *HTTPSource) error { _, err := h.List(); return err },
+			wantInMsg: "HTTP 500",
+		},
+		{
+			name: "mid-read connection drop is a transport error",
+			handler: func(w http.ResponseWriter, r *http.Request) {
+				// Promise more bytes than arrive: the server closes the
+				// connection short and the client's body read tears.
+				w.Header().Set("Content-Length", "4096")
+				_, _ = w.Write([]byte("torn"))
+			},
+			call: func(h *HTTPSource) error { _, err := h.ReadSegment(3, 0, 0); return err },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := httptest.NewServer(tc.handler)
+			defer ts.Close()
+			err := tc.call(&HTTPSource{Base: ts.URL})
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+			if IsTerminal(err) {
+				t.Fatalf("transport error classified terminal: %v", err)
+			}
+			if got := errors.Is(err, fs.ErrNotExist); got != tc.wantNotExist {
+				t.Fatalf("errors.Is(err, fs.ErrNotExist) = %v, want %v (err: %v)", got, tc.wantNotExist, err)
+			}
+			if tc.wantInMsg != "" && !strings.Contains(err.Error(), tc.wantInMsg) {
+				t.Fatalf("error %q missing %q", err, tc.wantInMsg)
+			}
+		})
+	}
+}
+
+// TestHTTPSourceLongPollTimeout: a segment long-poll that outlives the
+// client's own timeout fails as a retryable timeout, not a terminal fault —
+// the tailer treats it like any transient blip and polls again.
+func TestHTTPSourceLongPollTimeout(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // park until the client hangs up
+	}))
+	defer ts.Close()
+
+	h := &HTTPSource{Base: ts.URL, Client: &http.Client{Timeout: 50 * time.Millisecond}}
+	_, err := h.ReadSegment(3, 0, 10*time.Second)
+	if err == nil {
+		t.Fatal("expected a timeout error")
+	}
+	if IsTerminal(err) {
+		t.Fatalf("long-poll timeout classified terminal: %v", err)
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("want a net.Error timeout, got %v", err)
+	}
+}
+
+// TestHTTPSourceMidBodyDropRetryable: the torn-body error satisfies the
+// io.ErrUnexpectedEOF family, which retry layers classify as transient.
+func TestHTTPSourceMidBodyDropRetryable(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Length", "4096")
+		_, _ = w.Write([]byte("torn"))
+	}))
+	defer ts.Close()
+
+	_, err := (&HTTPSource{Base: ts.URL}).ReadCheckpoint(9)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("torn body should surface io.ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+// TestHTTPSourceLeaseParams: once SetLease names a lease, every endpoint the
+// source touches carries lease_id/acked — including the segment path that
+// already has query parameters — so each request doubles as a heartbeat.
+func TestHTTPSourceLeaseParams(t *testing.T) {
+	type seen struct{ path, leaseID, acked string }
+	var got []seen
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = append(got, seen{r.URL.Path, r.URL.Query().Get("lease_id"), r.URL.Query().Get("acked")})
+		switch {
+		case r.URL.Path == "/v1/wal":
+			_, _ = w.Write([]byte(`{"segments":[],"checkpoints":[],"epoch":0,"durable_epoch":0}`))
+		default:
+			_, _ = w.Write([]byte("x"))
+		}
+	}))
+	defer ts.Close()
+
+	h := &HTTPSource{Base: ts.URL}
+	h.SetLease("node a/1", 42)
+	if _, err := h.List(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ReadCheckpoint(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ReadSegment(3, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("saw %d requests, want 3", len(got))
+	}
+	for _, s := range got {
+		if s.leaseID != "node a/1" || s.acked != "42" {
+			t.Fatalf("%s heartbeat = %q@%q, want the escaped lease at 42", s.path, s.leaseID, s.acked)
+		}
+	}
+
+	// An unleased source adds nothing: DirSource-parity for primaries that
+	// tail a shared directory without the lease protocol.
+	got = nil
+	if _, err := (&HTTPSource{Base: ts.URL}).List(); err != nil {
+		t.Fatal(err)
+	}
+	if got[0].leaseID != "" {
+		t.Fatalf("unleased request carried lease_id %q", got[0].leaseID)
+	}
+}

@@ -1,0 +1,243 @@
+package wal
+
+// Replica leases: how a primary's checkpoint truncation becomes
+// replica-aware. Every follower names a lease (an opaque id) and its tail
+// piggybacks the lease id plus its applied epoch onto the /v1/wal requests
+// it already makes — listing, checkpoint fetch, segment long-poll — so the
+// primary learns each follower's progress for free, with no extra RPC. At
+// checkpoint time, truncation then holds every segment a live lease still
+// needs instead of cutting the log out from under a lagging replica.
+//
+// Two escape hatches keep a broken follower from pinning the log forever:
+// a lease that stops heartbeating expires after LeaseExpiry, and a live but
+// hopelessly slow lease is overridden once it trails the frontier by more
+// than MaxReplicaLag epochs. A follower truncated past either limit hits
+// ErrFellBehind on its next poll and re-bootstraps from the newest
+// checkpoint — the design makes that recovery path rare, not impossible.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultLeaseExpiry is how long a replica lease survives without a
+// heartbeat when Options.LeaseExpiry is zero. Long-poll requests heartbeat
+// at least once per poll, so a live follower refreshes far more often.
+const DefaultLeaseExpiry = 30 * time.Second
+
+// Lease is one follower's registered replication progress.
+type Lease struct {
+	// ID is the follower-chosen lease name (stable across its restarts).
+	ID string
+	// Acked is the highest epoch the follower reported applied.
+	Acked uint64
+	// Age is the time since the last heartbeat.
+	Age time.Duration
+}
+
+// LeaseJSON is the wire/disk form of a Lease, served in the /v1/wal listing
+// and persisted to leases.json for offline inspection (cmd/pcwal info).
+type LeaseJSON struct {
+	ID         string  `json:"id"`
+	Acked      uint64  `json:"acked"`
+	AgeSeconds float64 `json:"age_seconds"`
+}
+
+// leaseFile is the leases.json document: the registry as of the last
+// checkpoint, so an operator can see why truncation held segments even when
+// the primary is down.
+type leaseFile struct {
+	Leases []LeaseJSON `json:"leases"`
+}
+
+// leaseFileName is the registry's on-disk snapshot in the data directory.
+// The name matches neither the segment nor the checkpoint pattern, so
+// recovery and listings ignore it.
+const leaseFileName = "leases.json"
+
+type leaseEntry struct {
+	acked uint64
+	seen  time.Time
+}
+
+// LeaseRegistry tracks follower leases on a primary. Heartbeats arrive from
+// HTTP handler goroutines and the floor is read under the checkpoint lock,
+// so the registry is safe for concurrent use.
+type LeaseRegistry struct {
+	expiry time.Duration
+	maxLag uint64 // 0 = unlimited
+	now    func() time.Time
+
+	mu          sync.Mutex
+	leases      map[string]*leaseEntry // guarded by mu
+	expirations uint64                 // guarded by mu — leases dropped for missing heartbeats
+}
+
+// NewLeaseRegistry builds a registry. expiry <= 0 means DefaultLeaseExpiry;
+// maxLag 0 means a lease may trail the frontier without limit; now is for
+// tests (nil = time.Now).
+func NewLeaseRegistry(expiry time.Duration, maxLag uint64, now func() time.Time) *LeaseRegistry {
+	if expiry <= 0 {
+		expiry = DefaultLeaseExpiry
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &LeaseRegistry{
+		expiry: expiry,
+		maxLag: maxLag,
+		now:    now,
+		leases: make(map[string]*leaseEntry),
+	}
+}
+
+// Heartbeat registers or refreshes a lease. Acked is monotone per lease:
+// requests can race each other through the HTTP mux, and a stale heartbeat
+// must not roll a follower's recorded progress backwards.
+func (r *LeaseRegistry) Heartbeat(id string, acked uint64) {
+	if id == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.leases[id]
+	if !ok {
+		e = &leaseEntry{}
+		r.leases[id] = e
+	}
+	if acked > e.acked {
+		e.acked = acked
+	}
+	e.seen = r.now()
+}
+
+// pruneLocked drops leases whose last heartbeat is older than the expiry.
+func (r *LeaseRegistry) pruneLocked(now time.Time) {
+	for id, e := range r.leases {
+		if now.Sub(e.seen) > r.expiry {
+			delete(r.leases, id)
+			r.expirations++
+		}
+	}
+}
+
+// Snapshot returns the live leases sorted by id, pruning expired ones.
+func (r *LeaseRegistry) Snapshot() []Lease {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	r.pruneLocked(now)
+	out := make([]Lease, 0, len(r.leases))
+	for id, e := range r.leases {
+		out = append(out, Lease{ID: id, Acked: e.acked, Age: now.Sub(e.seen)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Expirations returns how many leases have been dropped for missing
+// heartbeats since the registry was created.
+func (r *LeaseRegistry) Expirations() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.expirations
+}
+
+// Floor returns the truncation floor the live leases demand: the minimum
+// acked epoch across them, raised to frontier-maxLag when a lease trails
+// the frontier beyond the lag cap. ok is false when no live lease exists
+// (truncation proceeds unheld). Expired leases are pruned first.
+func (r *LeaseRegistry) Floor(frontier uint64) (floor uint64, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pruneLocked(r.now())
+	if len(r.leases) == 0 {
+		return 0, false
+	}
+	first := true
+	for _, e := range r.leases {
+		if first || e.acked < floor {
+			floor = e.acked
+			first = false
+		}
+	}
+	if r.maxLag > 0 && frontier > r.maxLag && floor < frontier-r.maxLag {
+		floor = frontier - r.maxLag
+	}
+	return floor, true
+}
+
+// SnapshotJSON returns the live leases in wire form, for the /v1/wal listing.
+func (r *LeaseRegistry) SnapshotJSON() []LeaseJSON {
+	ls := r.Snapshot()
+	if len(ls) == 0 {
+		return nil
+	}
+	return leasesToJSON(ls)
+}
+
+// leasesToJSON converts a Snapshot for the wire/disk forms.
+func leasesToJSON(ls []Lease) []LeaseJSON {
+	out := make([]LeaseJSON, len(ls))
+	for i, l := range ls {
+		out[i] = LeaseJSON{ID: l.ID, Acked: l.Acked, AgeSeconds: l.Age.Seconds()}
+	}
+	return out
+}
+
+// writeLeaseFile persists the registry snapshot to leases.json (tmp +
+// rename, no fsync): the file is advisory — cmd/pcwal info reads it to show
+// an operator why truncation held — so losing it in a crash costs nothing.
+func writeLeaseFile(fsys FS, dir string, ls []Lease) error {
+	raw, err := json.Marshal(leaseFile{Leases: leasesToJSON(ls)})
+	if err != nil {
+		return err
+	}
+	tmp := dir + "/" + leaseFileName + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsys.Rename(tmp, dir+"/"+leaseFileName)
+}
+
+// ReadLeaseFile loads the leases.json snapshot a primary's checkpoints
+// leave in the data directory. A missing file returns no leases: the
+// primary never checkpointed with the registry populated.
+func ReadLeaseFile(fsys FS, dir string) ([]LeaseJSON, error) {
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	raw, err := fsys.ReadFile(dir + "/" + leaseFileName)
+	if err != nil {
+		return nil, err
+	}
+	var lf leaseFile
+	if err := json.Unmarshal(raw, &lf); err != nil {
+		return nil, fmt.Errorf("wal: parsing %s: %w", leaseFileName, err)
+	}
+	return lf.Leases, nil
+}
+
+// PinnedSegment returns the oldest segment a lease acked at the given epoch
+// still needs: the largest start <= acked (segment wal-<s> holds epochs
+// > s, so the record at acked+1 lives there). ok is false when no segment
+// covers it — the lease has fallen behind the truncation horizon.
+func PinnedSegment(segments []uint64, acked uint64) (start uint64, ok bool) {
+	for _, s := range segments {
+		if s <= acked {
+			start, ok = s, true
+		}
+	}
+	return start, ok
+}

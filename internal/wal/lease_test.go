@@ -1,0 +1,281 @@
+package wal
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"pcbound/internal/core"
+)
+
+// fakeNow is a manually advanced clock for lease expiry tests.
+type fakeNow struct{ t time.Time }
+
+func (f *fakeNow) now() time.Time          { return f.t }
+func (f *fakeNow) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func TestLeaseRegistryHeartbeatAndFloor(t *testing.T) {
+	clk := &fakeNow{t: time.Unix(1000, 0)}
+	r := NewLeaseRegistry(10*time.Second, 0, clk.now)
+
+	if _, ok := r.Floor(100); ok {
+		t.Fatal("empty registry should report no floor")
+	}
+	r.Heartbeat("a", 40)
+	r.Heartbeat("b", 70)
+	if floor, ok := r.Floor(100); !ok || floor != 40 {
+		t.Fatalf("floor = %d, %v; want 40, true", floor, ok)
+	}
+
+	// Acked is monotone: a racing stale heartbeat must not move it back.
+	r.Heartbeat("a", 30)
+	if floor, _ := r.Floor(100); floor != 40 {
+		t.Fatalf("stale heartbeat rolled acked back: floor = %d", floor)
+	}
+	r.Heartbeat("a", 90)
+	if floor, _ := r.Floor(100); floor != 70 {
+		t.Fatalf("floor = %d, want 70 (b is now the laggard)", floor)
+	}
+
+	// Empty ids are ignored: an unleased follower never registers.
+	r.Heartbeat("", 5)
+	if got := len(r.Snapshot()); got != 2 {
+		t.Fatalf("got %d leases, want 2", got)
+	}
+}
+
+func TestLeaseRegistryExpiry(t *testing.T) {
+	clk := &fakeNow{t: time.Unix(1000, 0)}
+	r := NewLeaseRegistry(10*time.Second, 0, clk.now)
+	r.Heartbeat("dead", 10)
+	clk.advance(5 * time.Second)
+	r.Heartbeat("live", 50)
+
+	clk.advance(6 * time.Second) // dead is 11s stale, live 6s
+	if floor, ok := r.Floor(100); !ok || floor != 50 {
+		t.Fatalf("floor = %d, %v; want 50, true after expiry", floor, ok)
+	}
+	if got := r.Expirations(); got != 1 {
+		t.Fatalf("expirations = %d, want 1", got)
+	}
+	ls := r.Snapshot()
+	if len(ls) != 1 || ls[0].ID != "live" {
+		t.Fatalf("snapshot = %+v, want only the live lease", ls)
+	}
+
+	clk.advance(11 * time.Second)
+	if _, ok := r.Floor(100); ok {
+		t.Fatal("all leases expired; floor should report none")
+	}
+	if got := r.Expirations(); got != 2 {
+		t.Fatalf("expirations = %d, want 2", got)
+	}
+}
+
+func TestLeaseRegistryMaxLagClamp(t *testing.T) {
+	clk := &fakeNow{t: time.Unix(1000, 0)}
+	r := NewLeaseRegistry(time.Hour, 25, clk.now)
+	r.Heartbeat("slow", 10)
+	if floor, _ := r.Floor(30); floor != 10 {
+		t.Fatalf("floor = %d, want 10 (lag 20 within cap)", floor)
+	}
+	if floor, _ := r.Floor(100); floor != 75 {
+		t.Fatalf("floor = %d, want 75 (clamped to frontier-25)", floor)
+	}
+}
+
+func TestPinnedSegment(t *testing.T) {
+	segs := []uint64{10, 50, 90}
+	if s, ok := PinnedSegment(segs, 60); !ok || s != 50 {
+		t.Fatalf("PinnedSegment(60) = %d, %v; want 50, true", s, ok)
+	}
+	if s, ok := PinnedSegment(segs, 10); !ok || s != 10 {
+		t.Fatalf("PinnedSegment(10) = %d, %v; want 10, true", s, ok)
+	}
+	if _, ok := PinnedSegment(segs, 9); ok {
+		t.Fatal("acked below the oldest segment must report no coverage")
+	}
+	if _, ok := PinnedSegment(nil, 5); ok {
+		t.Fatal("no segments, no coverage")
+	}
+}
+
+// mutateDurable drives n scripted mutations through a manager's store,
+// waiting each durable, and returns the updated live-id list.
+func mutateDurable(t *testing.T, m *Manager, ids []core.PCID, seed int64, n int) []core.PCID {
+	t.Helper()
+	store := m.Store()
+	rng := rand.New(rand.NewSource(seed))
+	var err error
+	for _, op := range makeScript(rng, store.Schema(), n, len(ids)) {
+		if ids, err = applyOp(store, ids, op); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.WaitDurable(store.Epoch()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ids
+}
+
+// TestCheckpointHoldsSegmentsForLease proves replica-aware truncation end to
+// end: a lagging live lease keeps its segments on disk across a checkpoint,
+// and once the lease advances past the boundary the next checkpoint
+// truncates normally.
+func TestCheckpointHoldsSegmentsForLease(t *testing.T) {
+	memfs := NewMemFS()
+	m, err := Open(Options{
+		Dir: "data", FS: memfs, Mode: SyncAlways,
+		Boot: buildBoot(t, testSchema()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	ids := append([]core.PCID(nil), m.Store().Snapshot().IDs()...)
+	ids = mutateDurable(t, m, ids, 7, 10)
+	lagAt := m.Store().Epoch()
+	m.Leases().Heartbeat("f1", lagAt)
+
+	ids = mutateDurable(t, m, ids, 8, 10)
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	l, err := listDir(memfs, "data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := PinnedSegment(l.segments, lagAt); !ok {
+		t.Fatalf("checkpoint truncated past the live lease: segments %v, lease acked %d", l.segments, lagAt)
+	}
+	met := m.Metrics()
+	if met.HeldSegments == 0 || met.TruncationsHeld == 0 {
+		t.Fatalf("expected held-segment accounting, got %+v", met)
+	}
+	if met.LeasesActive != 1 || met.LeaseMinAcked != lagAt {
+		t.Fatalf("lease metrics = %+v, want 1 active acked at %d", met, lagAt)
+	}
+
+	// leases.json is persisted at checkpoint for offline inspection.
+	leases, err := ReadLeaseFile(memfs, "data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leases) != 1 || leases[0].ID != "f1" || leases[0].Acked != lagAt {
+		t.Fatalf("leases.json = %+v, want f1 acked %d", leases, lagAt)
+	}
+
+	// The follower catches up; the next checkpoint truncates normally.
+	m.Leases().Heartbeat("f1", m.Store().Epoch())
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	l, err = listDir(memfs, "data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.segments) != 1 {
+		t.Fatalf("caught-up lease should not hold segments: %v", l.segments)
+	}
+	if met := m.Metrics(); met.HeldSegments != 0 {
+		t.Fatalf("HeldSegments = %d after a clean truncation", met.HeldSegments)
+	}
+}
+
+// TestCheckpointMaxLagOverridesLease pins the lag cap: a live lease that
+// trails the frontier beyond MaxReplicaLag no longer holds truncation (at
+// segment granularity — rotations define the release points), and a tailer
+// resuming from its stalled position hits ErrFellBehind.
+func TestCheckpointMaxLagOverridesLease(t *testing.T) {
+	memfs := NewMemFS()
+	m, err := Open(Options{
+		Dir: "data", FS: memfs, Mode: SyncAlways,
+		Boot:          buildBoot(t, testSchema()),
+		MaxReplicaLag: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	ids := append([]core.PCID(nil), m.Store().Snapshot().IDs()...)
+	stalledAt := m.Store().Epoch()
+	stalledSeg := stalledAt // the open segment is named by the boot epoch
+	m.Leases().Heartbeat("stalled", stalledAt)
+
+	// Each mutate+checkpoint round adds a rotation boundary; once the floor
+	// (frontier - maxLag) passes the stalled lease's segment, it is removed
+	// even though the lease is alive.
+	for round := int64(0); round < 4; round++ {
+		ids = mutateDurable(t, m, ids, 9+round, 5)
+		m.Leases().Heartbeat("stalled", stalledAt) // keep the lease live
+		if err := m.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l, err := listDir(memfs, "data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.segments) > 0 && l.segments[0] <= stalledSeg {
+		t.Fatalf("lag cap should have released the stalled lease's segment %d: %v", stalledSeg, l.segments)
+	}
+
+	// The stalled follower's next poll cannot find its segment and must be
+	// told to re-bootstrap.
+	tl := NewTailer(DirSource{FS: memfs, Dir: "data"})
+	tl.schema = testSchema()
+	tl.applied = stalledAt
+	tl.segStart = stalledSeg
+	if _, perr := tl.Poll(0); !errors.Is(perr, ErrFellBehind) {
+		t.Fatalf("stalled tail error = %v, want ErrFellBehind", perr)
+	}
+}
+
+// leaseRecordingSource wraps a Source and records the lease reports a
+// Tailer pushes — the hook HTTPSource implements for real.
+type leaseRecordingSource struct {
+	Source
+	id    string
+	acked uint64
+}
+
+func (l *leaseRecordingSource) SetLease(id string, acked uint64) { l.id, l.acked = id, acked }
+
+// TestTailerReportsLease pins the tailer half of the lease contract: the
+// applied epoch is pushed to a lease-aware source at bootstrap and as polls
+// surface records, so every request the source makes heartbeats honestly.
+func TestTailerReportsLease(t *testing.T) {
+	memfs := NewMemFS()
+	m, err := Open(Options{
+		Dir: "data", FS: memfs, Mode: SyncAlways,
+		Boot: buildBoot(t, testSchema()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	src := &leaseRecordingSource{Source: DirSource{FS: memfs, Dir: "data"}}
+	tl := NewTailer(src)
+	tl.SetLease("f1")
+	store, _, err := tl.Bootstrap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.id != "f1" || src.acked != store.Epoch() {
+		t.Fatalf("after bootstrap lease = %q@%d, want f1@%d", src.id, src.acked, store.Epoch())
+	}
+
+	mutateDurable(t, m, append([]core.PCID(nil), m.Store().Snapshot().IDs()...), 11, 5)
+	for i := 0; i < 50 && src.acked < m.Store().Epoch(); i++ {
+		if _, err := tl.Poll(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if src.acked != m.Store().Epoch() {
+		t.Fatalf("after polling lease acked = %d, want frontier %d", src.acked, m.Store().Epoch())
+	}
+}

@@ -30,6 +30,13 @@ type Options struct {
 	// It is ignored — with a warning left to the caller via Info.BootIgnored
 	// — when the directory already has a checkpoint or segments.
 	Boot *core.Store
+	// LeaseExpiry drops a replica lease whose follower stopped heartbeating
+	// (see LeaseRegistry). <= 0 means DefaultLeaseExpiry.
+	LeaseExpiry time.Duration
+	// MaxReplicaLag caps how many epochs behind the frontier a live lease
+	// may hold truncation; a slower lease is overridden and its follower
+	// re-bootstraps. 0 = unlimited (lease expiry is still the backstop).
+	MaxReplicaLag uint64
 }
 
 // Info describes what recovery found and did.
@@ -61,6 +68,12 @@ type Metrics struct {
 	LastCheckpointEpoch                               uint64
 	Replayed                                          uint64
 	Wedged                                            bool
+	// Replica-lease truncation accounting (see LeaseRegistry).
+	LeasesActive     uint64 // live leases right now
+	LeaseMinAcked    uint64 // minimum acked epoch among live leases (0 when none)
+	LeaseExpirations uint64 // leases dropped for missing heartbeats
+	HeldSegments     uint64 // segments the last checkpoint kept for lagging leases
+	TruncationsHeld  uint64 // checkpoints that held at least one segment
 }
 
 // errEmpty distinguishes a fresh data directory during recovery.
@@ -76,6 +89,7 @@ type Manager struct {
 	store  *core.Store
 	schema *domain.Schema
 	info   Info
+	leases *LeaseRegistry
 
 	ckptMu sync.Mutex // serializes Checkpoint end to end
 
@@ -85,6 +99,8 @@ type Manager struct {
 	ckptCount       uint64 // guarded by mu
 	ckptFailures    uint64 // guarded by mu
 	lastCkptEpoch   uint64 // guarded by mu
+	heldSegments    uint64 // guarded by mu — segments the last checkpoint held for leases
+	truncHeld       uint64 // guarded by mu — checkpoints that held at least one segment
 }
 
 // Open recovers the data directory (healing torn tails and leftover
@@ -151,6 +167,7 @@ func Open(opts Options) (*Manager, error) {
 		fsys: fsys, dir: opts.Dir, log: l, store: store, schema: schema,
 		info: info, checkpointEvery: opts.CheckpointEvery,
 		lastCkptEpoch: info.CheckpointEpoch,
+		leases:        NewLeaseRegistry(opts.LeaseExpiry, opts.MaxReplicaLag, nil),
 	}
 	store.SetCommitHook(m.onCommit)
 	return m, nil
@@ -341,25 +358,41 @@ func (m *Manager) checkpointDue() bool {
 // matters: rotating first pins the boundary R, and only segments strictly
 // below R are deleted — every record past the checkpoint's epoch lives in
 // wal-<R>.log or later, so recovery always has a complete chain.
+//
+// Truncation is replica-aware: a live lease acked at epoch A still needs
+// every segment from the largest start <= A on (the record at A+1 lives
+// there), so the deletion limit is lowered from R to that segment. Lease
+// expiry and the max-lag clamp (see LeaseRegistry.Floor) bound how long a
+// broken or hopeless follower can hold the log.
 func (m *Manager) Checkpoint() error {
 	m.ckptMu.Lock()
 	defer m.ckptMu.Unlock()
 	boundary, err := m.log.Rotate()
 	if err != nil {
-		m.noteCheckpoint(0, err)
+		m.noteCheckpoint(0, 0, err)
 		return err
 	}
 	sn := m.store.Snapshot() // taken after Rotate, so sn.Epoch() >= boundary
 	if err := writeCheckpoint(m.fsys, m.dir, sn); err != nil {
-		m.noteCheckpoint(0, err)
+		m.noteCheckpoint(0, 0, err)
 		return err
 	}
 	// Best-effort cleanup: a leftover file never confuses recovery, it only
 	// wastes space, so cleanup failures don't fail the checkpoint.
+	var held uint64
 	if l, err := listDir(m.fsys, m.dir); err == nil {
+		limit := boundary
+		if floor, ok := m.leases.Floor(sn.Epoch()); ok {
+			if hold, ok := PinnedSegment(l.segments, floor); ok && hold < limit {
+				limit = hold
+			}
+		}
 		for _, s := range l.segments {
-			if s < boundary {
+			switch {
+			case s < limit:
 				_ = m.fsys.Remove(m.dir + "/" + segmentName(s))
+			case s < boundary:
+				held++
 			}
 		}
 		for _, c := range l.checkpoints {
@@ -368,11 +401,14 @@ func (m *Manager) Checkpoint() error {
 			}
 		}
 	}
-	m.noteCheckpoint(sn.Epoch(), nil)
+	// Advisory snapshot for offline inspection (pcwal info): which leases
+	// existed, at what progress, when this checkpoint decided truncation.
+	_ = writeLeaseFile(m.fsys, m.dir, m.leases.Snapshot())
+	m.noteCheckpoint(sn.Epoch(), held, nil)
 	return nil
 }
 
-func (m *Manager) noteCheckpoint(epoch uint64, err error) {
+func (m *Manager) noteCheckpoint(epoch, held uint64, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if err != nil {
@@ -381,11 +417,26 @@ func (m *Manager) noteCheckpoint(epoch uint64, err error) {
 	}
 	m.ckptCount++
 	m.lastCkptEpoch = epoch
+	m.heldSegments = held
+	if held > 0 {
+		m.truncHeld++
+	}
 }
+
+// Leases returns the replica-lease registry followers heartbeat into.
+func (m *Manager) Leases() *LeaseRegistry { return m.leases }
 
 // Metrics returns a consistent snapshot of the WAL counters.
 func (m *Manager) Metrics() Metrics {
 	ls := m.log.stats()
+	leases := m.leases.Snapshot()
+	var minAcked uint64
+	for i, l := range leases {
+		if i == 0 || l.Acked < minAcked {
+			minAcked = l.Acked
+		}
+	}
+	expired := m.leases.Expirations()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return Metrics{
@@ -396,6 +447,11 @@ func (m *Manager) Metrics() Metrics {
 		LastCheckpointEpoch: m.lastCkptEpoch,
 		Replayed:            uint64(m.info.Replayed),
 		Wedged:              m.log.Err() != nil,
+		LeasesActive:        uint64(len(leases)),
+		LeaseMinAcked:       minAcked,
+		LeaseExpirations:    expired,
+		HeldSegments:        m.heldSegments,
+		TruncationsHeld:     m.truncHeld,
 	}
 }
 

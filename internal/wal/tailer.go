@@ -157,11 +157,38 @@ type Tailer struct {
 	frontier uint64 // primary's frontier epoch when known (monotone max)
 	durable  uint64 // primary's durable epoch when known (monotone max)
 	stalls   int    // consecutive no-progress polls on a sealed segment
+	leaseID  string // replication lease reported to lease-aware sources
 }
 
 // NewTailer returns a tailer over the source. Call Bootstrap before Poll.
 func NewTailer(src Source) *Tailer {
 	return &Tailer{src: src}
+}
+
+// leaseReporter is the optional Source extension a lease-aware transport
+// (HTTPSource) implements: the tailer pushes its lease id and applied epoch
+// so subsequent requests heartbeat the primary's lease registry.
+type leaseReporter interface {
+	SetLease(id string, acked uint64)
+}
+
+// SetLease names this tailer's replication lease. When the source supports
+// it (the HTTP source does; a shared-disk directory has no one to tell),
+// every request thereafter carries the lease id and the applied epoch, and
+// the primary's checkpoint truncation holds segments this tail still needs.
+func (t *Tailer) SetLease(id string) {
+	t.leaseID = id
+	t.reportLease()
+}
+
+// reportLease pushes the current applied epoch to a lease-aware source.
+func (t *Tailer) reportLease() {
+	if t.leaseID == "" {
+		return
+	}
+	if lr, ok := t.src.(leaseReporter); ok {
+		lr.SetLease(t.leaseID, t.applied)
+	}
 }
 
 // Bootstrap restores the newest readable checkpoint from the source and
@@ -222,6 +249,7 @@ func (t *Tailer) Bootstrap() (*core.Store, *domain.Schema, error) {
 	t.schema = schema
 	t.applied = ckpt
 	t.segStart, t.off, t.stalls = pos, 0, 0
+	t.reportLease()
 	return store, schema, nil
 }
 
@@ -307,6 +335,7 @@ func (t *Tailer) Poll(wait time.Duration) ([]core.MutationRecord, error) {
 	t.off = base + consumed
 	if len(recs) > 0 {
 		t.stalls = 0
+		t.reportLease()
 		return recs, nil
 	}
 	if heldBack {
